@@ -1,0 +1,459 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), plus microbenchmarks for each subsystem and ablation
+// benches for the design choices DESIGN.md calls out.
+//
+// Quality-bearing benches report custom metrics next to timings:
+// "relevance" is the Figure 3 statistic (mean judged relevance across the
+// workload), so `go test -bench=.` shows both speed and reproduction
+// quality in one table.
+package qunits_test
+
+import (
+	"sync"
+	"testing"
+
+	"qunits/internal/banks"
+	"qunits/internal/derive"
+	"qunits/internal/eval"
+	"qunits/internal/evidence"
+	"qunits/internal/experiments"
+	"qunits/internal/graph"
+	"qunits/internal/imdb"
+	"qunits/internal/ir"
+	"qunits/internal/objectrank"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+	"qunits/internal/segment"
+	"qunits/internal/xtree"
+)
+
+// The shared lab is built once; benches that mutate nothing reuse it.
+var (
+	labOnce  sync.Once
+	benchLab *experiments.Lab
+)
+
+func sharedLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		lab, err := experiments.NewLab(experiments.SmallConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchLab = lab
+	})
+	return benchLab
+}
+
+// --- Experiment benches: one per table/figure -------------------------------
+
+// BenchmarkTable1UserStudy regenerates Table 1 (the five-user study).
+func BenchmarkTable1UserStudy(b *testing.B) {
+	var st eval.StudyStats
+	for i := 0; i < b.N; i++ {
+		st = experiments.Table1(int64(i + 1)).Stats
+	}
+	b.ReportMetric(float64(st.Queries), "queries")
+	b.ReportMetric(float64(st.SingleEntity), "single-entity")
+	b.ReportMetric(float64(st.Underspecified), "underspecified")
+}
+
+// BenchmarkQuerylogBenchmarkConstruction regenerates the §5.2 statistics
+// and the 28-query movie querylog benchmark.
+func BenchmarkQuerylogBenchmarkConstruction(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	var r *experiments.QuerylogResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.QuerylogBenchmark(lab)
+	}
+	b.ReportMetric(r.Stats.ClassFraction(querylog.ClassSingleEntity)*100, "single-entity-%")
+	b.ReportMetric(r.Stats.ClassFraction(querylog.ClassEntityAttribute)*100, "entity-attr-%")
+	b.ReportMetric(float64(len(r.Workload)), "workload-queries")
+}
+
+// BenchmarkFigure3 regenerates the Figure 3 result-quality comparison and
+// reports each system's mean relevance.
+func BenchmarkFigure3(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	var r *experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure3(lab)
+	}
+	b.ReportMetric(r.Score("BANKS"), "banks")
+	b.ReportMetric(r.Score("LCA"), "lca")
+	b.ReportMetric(r.Score("MLCA"), "mlca")
+	b.ReportMetric(r.Score("Qunits (querylog)"), "qunits-querylog")
+	b.ReportMetric(r.Score("Qunits (human)"), "qunits-human")
+}
+
+// --- Subsystem microbenches --------------------------------------------------
+
+// BenchmarkIMDbGeneration measures synthetic-database generation.
+func BenchmarkIMDbGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		imdb.MustGenerate(imdb.Config{Seed: 1, Persons: 300, Movies: 200, CastPerMovie: 5})
+	}
+}
+
+// BenchmarkDataGraphBuild measures tuple-graph construction (BANKS's
+// substrate).
+func BenchmarkDataGraphBuild(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Build(lab.Universe.DB)
+	}
+}
+
+// BenchmarkXTreeBuild measures the XML-view construction (LCA/MLCA's
+// substrate).
+func BenchmarkXTreeBuild(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xtree.Build(lab.Universe.DB, xtree.BuildOptions{EntityTables: []string{imdb.TablePerson, imdb.TableMovie}})
+	}
+}
+
+// BenchmarkBanksSearch measures BANKS query latency.
+func BenchmarkBanksSearch(b *testing.B) {
+	lab := sharedLab(b)
+	e := banks.New(graph.Build(lab.Universe.DB), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search("star wars cast", 5)
+	}
+}
+
+// BenchmarkObjectRankBuild measures authority precomputation (power
+// iteration over the tuple graph).
+func BenchmarkObjectRankBuild(b *testing.B) {
+	lab := sharedLab(b)
+	g := graph.Build(lab.Universe.DB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objectrank.New(g, objectrank.Options{})
+	}
+}
+
+// BenchmarkObjectRankSearch measures ObjectRank query latency.
+func BenchmarkObjectRankSearch(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.ObjectRank.Search("star wars cast", 5)
+	}
+}
+
+// BenchmarkLCASearch measures smallest-LCA query latency.
+func BenchmarkLCASearch(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.Tree.SearchLCA("star wars cast", 5)
+	}
+}
+
+// BenchmarkMLCASearch measures meaningful-LCA query latency.
+func BenchmarkMLCASearch(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.Tree.SearchMLCA("star wars cast", 5)
+	}
+}
+
+// BenchmarkQunitSearch measures qunit search latency on a prebuilt
+// engine — the paper's headline operation.
+func BenchmarkQunitSearch(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.HumanEngine.Search("star wars cast", 5)
+	}
+}
+
+// BenchmarkQunitEngineBuild measures full engine construction:
+// materializing every qunit instance and indexing it.
+func BenchmarkQunitEngineBuild(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazyResolverBuild measures non-materialized resolver
+// construction (§3's "no requirement that qunits be materialized") —
+// compare against BenchmarkQunitEngineBuild.
+func BenchmarkLazyResolverBuild(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.NewResolver(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	}
+}
+
+// BenchmarkLazyResolverSearch measures on-demand qunit evaluation per
+// query — the other side of the materialization trade-off.
+func BenchmarkLazyResolverSearch(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := search.NewResolver(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Search("star wars cast", 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentation measures query segmentation latency.
+func BenchmarkSegmentation(b *testing.B) {
+	lab := sharedLab(b)
+	seg := lab.Segmenter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg.Segment("george clooney movies")
+	}
+}
+
+// BenchmarkDictionaryBuild measures entity-dictionary construction.
+func BenchmarkDictionaryBuild(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segment.BuildDictionary(lab.Universe.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	}
+}
+
+// BenchmarkQuerylogGeneration measures synthetic log generation.
+func BenchmarkQuerylogGeneration(b *testing.B) {
+	lab := sharedLab(b)
+	cfg := querylog.DefaultGenConfig()
+	cfg.Volume = 4000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		querylog.Generate(lab.Universe, cfg)
+	}
+}
+
+// BenchmarkDeriveSchema measures §4.1 derivation.
+func BenchmarkDeriveSchema(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (derive.FromSchema{}).Derive(lab.Universe.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveQueryLog measures §4.2 derivation.
+func BenchmarkDeriveQueryLog(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (derive.FromQueryLog{Log: lab.Log, Segmenter: lab.Segmenter}).Derive(lab.Universe.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveEvidence measures §4.3 derivation, including signature
+// mining over the page corpus.
+func BenchmarkDeriveEvidence(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (derive.FromEvidence{Pages: lab.Pages, Dict: lab.Dict}).Derive(lab.Universe.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvidenceCorpusBuild measures synthetic page rendering.
+func BenchmarkEvidenceCorpusBuild(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evidence.BuildCorpus(lab.Universe, lab.Config.CorpusPages)
+	}
+}
+
+// BenchmarkIRIndexing measures inverted-index construction throughput.
+func BenchmarkIRIndexing(b *testing.B) {
+	lab := sharedLab(b)
+	var docs []string
+	for _, m := range lab.Universe.Movies {
+		docs = append(docs, m.Name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := ir.NewIndex()
+		for j, d := range docs {
+			ix.MustAdd(string(rune('a'+j%26))+d, ir.Field{Text: d})
+		}
+	}
+}
+
+// --- Ablation benches --------------------------------------------------------
+
+// relevanceOf runs the Figure 3 protocol for a single system and returns
+// its mean relevance; the ablation benches use it as their quality
+// metric.
+func relevanceOf(lab *experiments.Lab, sys experiments.System) float64 {
+	panel := eval.NewPanel(lab.Config.Judges, lab.Config.JudgeNoise, lab.Config.Seed+2)
+	workload := eval.BuildSurveyWorkload(lab.Log, lab.Segmenter, lab.Config.WorkloadSize)
+	var perQuery []float64
+	for _, sq := range workload {
+		oracle := 0.0
+		if res, ok := sys.Answer(sq.Query); ok {
+			oracle = lab.Oracle.Score(sq.Need, res)
+		}
+		perQuery = append(perQuery, eval.Mean(panel.Rate(oracle)))
+	}
+	return eval.Mean(perQuery)
+}
+
+// BenchmarkAblationSchemaK sweeps §4.1's tunable k1/k2 parameters and
+// reports the resulting search quality.
+func BenchmarkAblationSchemaK(b *testing.B) {
+	lab := sharedLab(b)
+	for _, k := range []struct{ k1, k2 int }{{1, 2}, {2, 2}, {2, 4}, {2, 6}, {4, 4}} {
+		k := k
+		b.Run(benchName("k1", k.k1, "k2", k.k2), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				cat, err := derive.FromSchema{K1: k.k1, K2: k.k2}.Derive(lab.Universe.DB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel = relevanceOf(lab, &experiments.QunitSystem{Label: "ablation", Engine: engine})
+			}
+			b.ReportMetric(rel, "relevance")
+		})
+	}
+}
+
+// BenchmarkAblationLogSize sweeps the query-log volume available to §4.2
+// derivation: how much log does rollup need before quality saturates?
+func BenchmarkAblationLogSize(b *testing.B) {
+	lab := sharedLab(b)
+	for _, volume := range []int{250, 1000, 4000} {
+		volume := volume
+		b.Run(benchName("volume", volume, "", -1), func(b *testing.B) {
+			cfg := querylog.DefaultGenConfig()
+			cfg.Seed = lab.Config.Seed + 1
+			cfg.Volume = volume
+			log := querylog.Generate(lab.Universe, cfg)
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				cat, err := (derive.FromQueryLog{Log: log, Segmenter: lab.Segmenter}).Derive(lab.Universe.DB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel = relevanceOf(lab, &experiments.QunitSystem{Label: "ablation", Engine: engine})
+			}
+			b.ReportMetric(rel, "relevance")
+		})
+	}
+}
+
+// BenchmarkAblationEvidenceSize sweeps the evidence corpus size available
+// to §4.3 derivation.
+func BenchmarkAblationEvidenceSize(b *testing.B) {
+	lab := sharedLab(b)
+	for _, scale := range []int{10, 30, 60} {
+		scale := scale
+		b.Run(benchName("pages", scale*4, "", -1), func(b *testing.B) {
+			pages := evidence.BuildCorpus(lab.Universe, evidence.CorpusConfig{
+				Seed: 1, MoviePages: scale, CastPages: scale, FilmographyPages: scale, SoundtrackPages: scale,
+			})
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				cat, err := (derive.FromEvidence{Pages: pages, Dict: lab.Dict, MinPages: 3}).Derive(lab.Universe.DB)
+				if err != nil {
+					b.Skip("corpus too small to derive any definitions")
+				}
+				engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel = relevanceOf(lab, &experiments.QunitSystem{Label: "ablation", Engine: engine})
+			}
+			b.ReportMetric(rel, "relevance")
+		})
+	}
+}
+
+// BenchmarkAblationRanker compares BM25 against TF-IDF cosine inside the
+// qunit engine — the "standard IR techniques" slot is pluggable.
+func BenchmarkAblationRanker(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scorer := range []ir.Scorer{ir.BM25{B: 0.3}, ir.BM25{}, ir.TFIDF{}} {
+		scorer := scorer
+		name := scorer.Name()
+		if bm, ok := scorer.(ir.BM25); ok && bm.B != 0 {
+			name = "bm25-b0.3"
+		}
+		b.Run(name, func(b *testing.B) {
+			engine, err := search.NewEngine(cat, search.Options{Scorer: scorer, Synonyms: imdb.AttributeSynonyms()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				rel = relevanceOf(lab, &experiments.QunitSystem{Label: "ablation", Engine: engine})
+			}
+			b.ReportMetric(rel, "relevance")
+		})
+	}
+}
+
+func benchName(k1 string, v1 int, k2 string, v2 int) string {
+	name := k1 + "=" + itoa(v1)
+	if v2 >= 0 {
+		name += "/" + k2 + "=" + itoa(v2)
+	}
+	return name
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section against the synthetic substrates:
+//
+//	experiments -experiment table1     # Table 1: the five-user study
+//	experiments -experiment querylog   # §5.2: query-log benchmark stats
+//	experiments -experiment fig3       # Figure 3: result-quality comparison
+//	experiments -experiment all        # everything (default)
+//
+// -scale small runs an order of magnitude smaller (for quick checks);
+// -seed changes every generator's seed at once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qunits/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: table1 | querylog | fig3 | all")
+	scale := flag.String("scale", "default", "experiment scale: default | small")
+	seed := flag.Int64("seed", 1, "master seed for all generators")
+	extended := flag.Bool("extended", false, "include ObjectRank (outside the paper's Figure 3) in the comparison")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *scale == "small" {
+		cfg = experiments.SmallConfig()
+	}
+	cfg.Seed = *seed
+
+	runTable1 := *experiment == "table1" || *experiment == "all"
+	runQuerylog := *experiment == "querylog" || *experiment == "all"
+	runFig3 := *experiment == "fig3" || *experiment == "all"
+	if !runTable1 && !runQuerylog && !runFig3 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if runTable1 {
+		experiments.Table1(cfg.Seed).Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if runQuerylog || runFig3 {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "assembling lab (scale=%s, seed=%d)...\n", *scale, cfg.Seed)
+		lab, err := experiments.NewLab(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lab ready in %v: %d tuples, %d log queries, %d evidence pages\n\n",
+			time.Since(start).Round(time.Millisecond),
+			lab.Universe.DB.TotalRows(), lab.Log.Total, len(lab.Pages))
+
+		if runQuerylog {
+			experiments.QuerylogBenchmark(lab).Render(os.Stdout)
+			fmt.Println()
+		}
+		if runFig3 {
+			if *extended {
+				experiments.Figure3Extended(lab).Render(os.Stdout)
+			} else {
+				experiments.Figure3(lab).Render(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+}

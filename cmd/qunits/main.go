@@ -1,0 +1,173 @@
+// Command qunits is the interactive face of the library: generate the
+// synthetic IMDb, derive a qunit catalog with any §4 strategy, and run
+// keyword searches against it.
+//
+//	qunits -dump schema                         # print the Fig. 2 schema
+//	qunits -derive human -dump defs             # show a catalog's definitions
+//	qunits -derive querylog -query "star wars cast"
+//	qunits -derive schema -query "george clooney" -k 5 -xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/evidence"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+	"qunits/internal/segment"
+)
+
+func main() {
+	strategy := flag.String("derive", "human", "derivation strategy: schema | querylog | evidence | human")
+	query := flag.String("query", "", "keyword query to run")
+	k := flag.Int("k", 3, "number of results")
+	dump := flag.String("dump", "", "dump: schema | defs | stats")
+	persons := flag.Int("persons", 1200, "synthetic persons")
+	movies := flag.Int("movies", 600, "synthetic movies")
+	seed := flag.Int64("seed", 1, "generator seed")
+	showXML := flag.Bool("xml", false, "print result qunits as XML instead of text")
+	saveCatalog := flag.String("save", "", "write the derived catalog as JSON to this file")
+	loadCatalog := flag.String("load", "", "load the catalog from this JSON file instead of deriving")
+	lazy := flag.Bool("lazy", false, "answer with on-demand view evaluation instead of a materialized index")
+	flag.Parse()
+
+	u := imdb.MustGenerate(imdb.Config{Seed: *seed, Persons: *persons, Movies: *movies, CastPerMovie: 6})
+
+	if *dump == "schema" {
+		for _, name := range u.DB.TableNames() {
+			fmt.Println(u.DB.Table(name).Schema())
+		}
+		return
+	}
+	if *dump == "stats" {
+		s := u.DB.Stats()
+		fmt.Printf("database: %d tables, %d tuples, %d foreign keys\n", s.Tables, s.Rows, s.ForeignKys)
+		for _, name := range u.DB.TableNames() {
+			fmt.Printf("  %-16s %7d rows\n", name, s.PerTable[name])
+		}
+		return
+	}
+
+	var cat *core.Catalog
+	var err error
+	if *loadCatalog != "" {
+		f, ferr := os.Open(*loadCatalog)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", ferr)
+			os.Exit(1)
+		}
+		cat, err = core.DecodeCatalog(u.DB, f)
+		f.Close()
+	} else {
+		cat, err = buildCatalog(u, *strategy, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qunits: %v\n", err)
+		os.Exit(1)
+	}
+	if *saveCatalog != "" {
+		f, ferr := os.Create(*saveCatalog)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", ferr)
+			os.Exit(1)
+		}
+		if err := cat.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %d definitions to %s\n", cat.Len(), *saveCatalog)
+	}
+
+	if *dump == "defs" {
+		fmt.Printf("catalog (%s): %d qunit definitions\n\n", *strategy, cat.Len())
+		for _, d := range cat.Definitions() {
+			fmt.Printf("%s\n  %s\n  keywords: %s\n\n", d, d.Description, strings.Join(d.Keywords, ", "))
+		}
+		return
+	}
+
+	if *query == "" {
+		if *saveCatalog != "" {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "qunits: nothing to do; pass -query or -dump (see -help)")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var results []search.Result
+	if *lazy {
+		resolver := search.NewResolver(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		fmt.Fprintf(os.Stderr, "resolver ready in %v (nothing materialized)\n\n", time.Since(start).Round(time.Millisecond))
+		var rerr error
+		results, rerr = resolver.Search(*query, *k)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", rerr)
+			os.Exit(1)
+		}
+	} else {
+		engine, eerr := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		if eerr != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", eerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "indexed %d qunit instances in %v\n\n", engine.InstanceCount(), time.Since(start).Round(time.Millisecond))
+		results = engine.Search(*query, *k)
+	}
+	if len(results) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	for i, r := range results {
+		fmt.Printf("%d. %s  (score %.3f, ir %.3f, type-affinity %.1f)\n",
+			i+1, r.Instance.ID(), r.Score, r.IRScore, r.TypeAffinity)
+		if *showXML {
+			fmt.Println(indent(r.Instance.Rendered.XML))
+		} else {
+			fmt.Println(indent(clip(r.Instance.Rendered.Text, 400)))
+		}
+		fmt.Println()
+	}
+}
+
+func buildCatalog(u *imdb.Universe, strategy string, seed int64) (*core.Catalog, error) {
+	switch strategy {
+	case "human":
+		return derive.Expert{}.Derive(u.DB)
+	case "schema":
+		return derive.FromSchema{}.Derive(u.DB)
+	case "querylog":
+		logCfg := querylog.DefaultGenConfig()
+		logCfg.Seed = seed + 1
+		log := querylog.Generate(u, logCfg)
+		dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+		return derive.FromQueryLog{Log: log, Segmenter: segment.NewSegmenter(dict)}.Derive(u.DB)
+	case "evidence":
+		cfg := evidence.DefaultCorpusConfig()
+		cfg.Seed = seed + 2
+		pages := evidence.BuildCorpus(u, cfg)
+		dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+		return derive.FromEvidence{Pages: pages, Dict: dict}.Derive(u.DB)
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want schema | querylog | evidence | human)", strategy)
+	}
+}
+
+func indent(s string) string {
+	return "   " + strings.ReplaceAll(s, "\n", "\n   ")
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + " …"
+}

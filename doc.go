@@ -1,0 +1,21 @@
+// Package qunits is a from-scratch Go reproduction of "Qunits: queried
+// units for database search" (Nandi & Jagadish, CIDR 2009).
+//
+// The paper proposes modeling a database as a flat collection of qunits —
+// queried units, each a view plus a presentation — so that keyword search
+// becomes standard IR document retrieval over qunit instances. This
+// module implements the full system: the relational substrate, the qunit
+// definition language, three automatic derivation strategies, the search
+// engine, the baselines the paper compares against (BANKS, LCA, MLCA),
+// and the synthetic counterparts of the paper's proprietary evaluation
+// inputs (IMDb data, the AOL query log, web evidence pages, human
+// judges).
+//
+// Start with README.md for a tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-versus-measured record. The
+// bench_test.go file in this directory regenerates every table and figure
+// of the paper's evaluation as Go benchmarks.
+package qunits
+
+// Version identifies this reproduction's release.
+const Version = "1.0.0"

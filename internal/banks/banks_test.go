@@ -1,0 +1,174 @@
+package banks
+
+import (
+	"testing"
+
+	"qunits/internal/graph"
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func engine(t *testing.T) (*imdb.Universe, *Engine) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 120, Movies: 80, CastPerMovie: 4})
+	return u, New(graph.Build(u.DB), 0)
+}
+
+func TestSearchSingleKeyword(t *testing.T) {
+	_, e := engine(t)
+	res := e.Search("clooney", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// A single-keyword tree is just the matching tuple.
+	top := res[0]
+	if len(top.Tuples) != 1 {
+		t.Errorf("single keyword tree = %v", top.Tuples)
+	}
+	if top.Tuples[0].Table != imdb.TablePerson {
+		t.Errorf("top result table = %s, want person", top.Tuples[0].Table)
+	}
+}
+
+func TestSearchConnectsKeywords(t *testing.T) {
+	u, e := engine(t)
+	res := e.Search("george clooney star wars", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// The top tree must contain both a person tuple matching clooney and
+	// a movie tuple matching star wars, connected through join tuples.
+	top := res[0]
+	var hasPerson, hasMovie bool
+	for _, ref := range top.Tuples {
+		switch ref.Table {
+		case imdb.TablePerson:
+			if u.DB.Label(ref) == "george clooney" {
+				hasPerson = true
+			}
+		case imdb.TableMovie:
+			if u.DB.Label(ref) == "star wars" {
+				hasMovie = true
+			}
+		}
+	}
+	if !hasPerson || !hasMovie {
+		t.Errorf("top tree lacks endpoints: person=%v movie=%v tuples=%v", hasPerson, hasMovie, top.Tuples)
+	}
+	if len(top.Tuples) < 3 {
+		t.Errorf("connection tree suspiciously small: %v", top.Tuples)
+	}
+}
+
+func TestSearchRanksCompactTreesHigher(t *testing.T) {
+	_, e := engine(t)
+	res := e.Search("george clooney", 10)
+	if len(res) < 2 {
+		t.Skip("not enough results to compare")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Score < res[i].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	// Top result should be more compact (fewer tuples) than the worst.
+	if len(res[0].Tuples) > len(res[len(res)-1].Tuples)+3 {
+		t.Errorf("top tree has %d tuples, last has %d", len(res[0].Tuples), len(res[len(res)-1].Tuples))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	_, e := engine(t)
+	if res := e.Search("xyzzyplugh", 5); res != nil {
+		t.Errorf("results for nonsense query: %v", res)
+	}
+	if res := e.Search("", 5); res != nil {
+		t.Errorf("results for empty query: %v", res)
+	}
+}
+
+func TestSearchDropsUnmatchedTokens(t *testing.T) {
+	_, e := engine(t)
+	with := e.Search("clooney", 3)
+	withJunk := e.Search("clooney xyzzyblorp", 3)
+	if len(with) != len(withJunk) {
+		t.Fatalf("unmatched token changed result count: %d vs %d", len(with), len(withJunk))
+	}
+	for i := range with {
+		if with[i].Root != withJunk[i].Root {
+			t.Fatalf("unmatched token changed ranking at %d", i)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	_, e := engine(t)
+	a := e.Search("star wars cast", 5)
+	b := e.Search("star wars cast", 5)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if a[i].Root != b[i].Root || a[i].Score != b[i].Score {
+			t.Fatalf("nondeterministic result %d", i)
+		}
+	}
+}
+
+func TestSearchTopKRespected(t *testing.T) {
+	_, e := engine(t)
+	if res := e.Search("the", 3); len(res) > 3 {
+		t.Errorf("k=3 returned %d", len(res))
+	}
+}
+
+func TestTreesAreUnique(t *testing.T) {
+	_, e := engine(t)
+	res := e.Search("star wars", 10)
+	seen := map[string]bool{}
+	for _, r := range res {
+		key := ""
+		for _, tup := range r.Tuples {
+			key += tup.String() + "|"
+		}
+		if seen[key] {
+			t.Fatal("duplicate tree in results")
+		}
+		seen[key] = true
+	}
+}
+
+// The paper's critique: BANKS demarcates results by spanning tree, which
+// chains through join tuples. Verify the tree actually is connected in
+// the graph (every tuple reachable from the root within the tree).
+func TestTreeConnectivity(t *testing.T) {
+	u, e := engine(t)
+	res := e.Search("george clooney star wars", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	g := graph.Build(u.DB)
+	for _, r := range res {
+		inTree := map[relational.TupleRef]bool{}
+		for _, ref := range r.Tuples {
+			inTree[ref] = true
+		}
+		visited := map[relational.TupleRef]bool{r.Root: true}
+		queue := []relational.TupleRef{r.Root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			n, _ := g.Node(cur)
+			for _, nb := range g.Neighbors(n) {
+				ref := g.Ref(nb)
+				if inTree[ref] && !visited[ref] {
+					visited[ref] = true
+					queue = append(queue, ref)
+				}
+			}
+		}
+		if len(visited) != len(r.Tuples) {
+			t.Errorf("tree rooted at %v is disconnected: visited %d of %d", r.Root, len(visited), len(r.Tuples))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package banks
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"qunits/internal/graph"
+	"qunits/internal/imdb"
+)
+
+// Property: the multi-source Dijkstra matches a brute-force relaxation
+// (Bellman-Ford style) on the same weighted graph.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 12, Persons: 40, Movies: 30, CastPerMovie: 3})
+	g := graph.Build(u.DB)
+	e := New(g, 0)
+
+	sources := g.MatchKeyword("clooney")
+	if len(sources) == 0 {
+		t.Fatal("no sources")
+	}
+	dist, _ := e.dijkstra(sources, g.Len())
+
+	// Bellman-Ford over the same edge weights.
+	bf := make([]float64, g.Len())
+	for i := range bf {
+		bf[i] = math.Inf(1)
+	}
+	for _, s := range sources {
+		bf[s] = 0
+	}
+	for iter := 0; iter < g.Len(); iter++ {
+		changed := false
+		for v := 0; v < g.Len(); v++ {
+			if math.IsInf(bf[v], 1) {
+				continue
+			}
+			for _, nb := range g.Neighbors(v) {
+				w := 1 + math.Log(1+float64(g.InDegree(nb)))
+				if bf[v]+w < bf[nb]-1e-12 {
+					bf[nb] = bf[v] + w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for v := 0; v < g.Len(); v++ {
+		if math.IsInf(dist[v], 1) != math.IsInf(bf[v], 1) {
+			t.Fatalf("node %d reachability differs", v)
+		}
+		if !math.IsInf(dist[v], 1) && math.Abs(dist[v]-bf[v]) > 1e-9 {
+			t.Fatalf("node %d: dijkstra %v, bellman-ford %v", v, dist[v], bf[v])
+		}
+	}
+}
+
+// Lambda shifts the balance between compactness and prestige: with lambda
+// near 1 the ranking orders by prestige, with lambda near 0 by tree cost.
+func TestLambdaShiftsRanking(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 12, Persons: 150, Movies: 100, CastPerMovie: 5})
+	g := graph.Build(u.DB)
+
+	compact := New(g, 0.01)
+	prestige := New(g, 0.99)
+	q := "the" // a common token with many matches of varying prestige
+	a := compact.Search(q, 5)
+	b := prestige.Search(q, 5)
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no results for common token")
+	}
+	// The prestige-heavy engine's top root should have in-degree at least
+	// that of the compactness-heavy engine's top root.
+	na, _ := g.Node(a[0].Root)
+	nb, _ := g.Node(b[0].Root)
+	if g.InDegree(nb) < g.InDegree(na) {
+		t.Errorf("prestige-heavy top root has lower in-degree (%d) than compact-heavy (%d)",
+			g.InDegree(nb), g.InDegree(na))
+	}
+}
+
+func TestNodeHeapOrdering(t *testing.T) {
+	h := &nodeHeap{}
+	heap.Push(h, nodeDist{node: 1, dist: 3})
+	heap.Push(h, nodeDist{node: 2, dist: 1})
+	heap.Push(h, nodeDist{node: 3, dist: 2})
+	want := []float64{1, 2, 3}
+	for _, w := range want {
+		got := heap.Pop(h).(nodeDist)
+		if got.dist != w {
+			t.Fatalf("heap popped %v, want %v", got.dist, w)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+	"qunits/internal/sqlview"
+)
+
+// Catalog is a flat collection of qunit definitions over one database —
+// the paper's model of "the database … as a collection of independent
+// qunits".
+type Catalog struct {
+	db     *relational.Database
+	defs   []*Definition
+	byName map[string]*Definition
+}
+
+// NewCatalog creates an empty catalog over the database.
+func NewCatalog(db *relational.Database) *Catalog {
+	return &Catalog{db: db, byName: make(map[string]*Definition)}
+}
+
+// DB returns the underlying database.
+func (c *Catalog) DB() *relational.Database { return c.db }
+
+// Add validates and adds a definition. Duplicate names are rejected.
+func (c *Catalog) Add(d *Definition) error {
+	if err := d.Validate(c.db); err != nil {
+		return err
+	}
+	if _, dup := c.byName[d.Name]; dup {
+		return fmt.Errorf("core: catalog already has definition %q", d.Name)
+	}
+	c.defs = append(c.defs, d)
+	c.byName[d.Name] = d
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (c *Catalog) MustAdd(d *Definition) {
+	if err := c.Add(d); err != nil {
+		panic(err)
+	}
+}
+
+// Definitions returns the definitions in utility order (best first), ties
+// broken by name.
+func (c *Catalog) Definitions() []*Definition {
+	out := append([]*Definition(nil), c.defs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utility != out[j].Utility {
+			return out[i].Utility > out[j].Utility
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Definition returns the named definition, or nil.
+func (c *Catalog) Definition(name string) *Definition { return c.byName[name] }
+
+// Len returns the number of definitions.
+func (c *Catalog) Len() int { return len(c.defs) }
+
+// NormalizeUtilities rescales all definition utilities to (0, 1] by
+// dividing by the maximum. No-op on an empty catalog or all-zero
+// utilities.
+func (c *Catalog) NormalizeUtilities() {
+	max := 0.0
+	for _, d := range c.defs {
+		if d.Utility > max {
+			max = d.Utility
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for _, d := range c.defs {
+		d.Utility /= max
+	}
+}
+
+// Instantiate applies a definition to the database with the given
+// parameter bindings, deriving one instance. The main expression and
+// every section are evaluated under the same bindings; their renderings
+// concatenate and their provenance unions. Instances with empty results
+// are still returned (the caller decides whether an empty qunit is
+// meaningful); evaluation errors are not.
+func (c *Catalog) Instantiate(d *Definition, params map[string]string) (*Instance, error) {
+	seen := map[relational.TupleRef]bool{}
+	var tuples []relational.TupleRef
+	collect := func(rows []relational.JoinedRow) {
+		for _, row := range rows {
+			for _, ref := range row.Provenance {
+				if !seen[ref] {
+					seen[ref] = true
+					tuples = append(tuples, ref)
+				}
+			}
+		}
+	}
+
+	res, err := d.Base.Eval(c.db, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: instantiating %q: %w", d.Name, err)
+	}
+	rendered := d.Conversion.Render(res.Schema, res.Rows, params)
+	mainEmpty := len(res.Rows) == 0
+	collect(res.Rows)
+
+	for i, s := range d.Sections {
+		sres, err := s.Base.Eval(c.db, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: instantiating %q section %d: %w", d.Name, i, err)
+		}
+		if len(sres.Rows) == 0 {
+			continue // empty aspects are simply absent from the instance
+		}
+		sr := s.Conversion.Render(sres.Schema, sres.Rows, params)
+		rendered.XML += "\n" + sr.XML
+		if rendered.Text != "" && sr.Text != "" {
+			rendered.Text += " "
+		}
+		rendered.Text += sr.Text
+		collect(sres.Rows)
+	}
+	// Context sections: ranking text only — no XML, no provenance.
+	contextText := ""
+	for i, s := range d.Context {
+		cres, err := s.Base.Eval(c.db, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: instantiating %q context %d: %w", d.Name, i, err)
+		}
+		if len(cres.Rows) == 0 {
+			continue
+		}
+		cr := s.Conversion.Render(cres.Schema, cres.Rows, params)
+		if contextText != "" && cr.Text != "" {
+			contextText += " "
+		}
+		contextText += cr.Text
+	}
+
+	// A composite whose main expression found nothing is an instance of a
+	// nonexistent anchor; report it as empty regardless of sections.
+	if mainEmpty {
+		tuples = nil
+	}
+	return &Instance{
+		Def:         d,
+		Params:      params,
+		Rendered:    rendered,
+		Tuples:      tuples,
+		Utility:     d.Utility,
+		ContextText: contextText,
+	}, nil
+}
+
+// MaterializeAll derives every non-empty instance of a definition: one
+// per distinct value of the anchor column. A parameterless definition
+// yields a single instance. Values are deduplicated case-insensitively
+// through the IR normalizer — "Batman" and "batman" parameterize the same
+// qunit instance.
+//
+// Unlike Instantiate, which re-evaluates the view per anchor, bulk
+// materialization evaluates each (base or section) expression once with
+// the anchor bind removed and groups the joined rows by normalized anchor
+// value — the classic view-maintenance trick that turns O(anchors × join)
+// into O(join).
+func (c *Catalog) MaterializeAll(d *Definition) ([]*Instance, error) {
+	param, col, ok := d.AnchorParam()
+	if !ok {
+		inst, err := c.Instantiate(d, map[string]string{})
+		if err != nil {
+			return nil, err
+		}
+		return []*Instance{inst}, nil
+	}
+
+	main, err := c.groupedEval(d.Base, param, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: materializing %q: %w", d.Name, err)
+	}
+	secs := make([]*groupedResult, len(d.Sections))
+	for i, s := range d.Sections {
+		// Sections without the parameter (static context) still group by
+		// the anchor column when present; otherwise they render whole.
+		sg, err := c.groupedEval(s.Base, param, col)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing %q section %d: %w", d.Name, i, err)
+		}
+		secs[i] = sg
+	}
+	ctxs := make([]*groupedResult, len(d.Context))
+	for i, s := range d.Context {
+		sg, err := c.groupedEval(s.Base, param, col)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing %q context %d: %w", d.Name, i, err)
+		}
+		ctxs[i] = sg
+	}
+
+	values := make([]string, 0, len(main.groups))
+	for v := range main.groups {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+
+	out := make([]*Instance, 0, len(values))
+	for _, v := range values {
+		params := map[string]string{param: v}
+		rendered := d.Conversion.Render(main.schema, main.groups[v], params)
+		seen := map[relational.TupleRef]bool{}
+		var tuples []relational.TupleRef
+		collect := func(rows []relational.JoinedRow) {
+			for _, row := range rows {
+				for _, ref := range row.Provenance {
+					if !seen[ref] {
+						seen[ref] = true
+						tuples = append(tuples, ref)
+					}
+				}
+			}
+		}
+		collect(main.groups[v])
+		for i, sg := range secs {
+			rows := sg.rowsFor(v)
+			if len(rows) == 0 {
+				continue
+			}
+			sr := d.Sections[i].Conversion.Render(sg.schema, rows, params)
+			rendered.XML += "\n" + sr.XML
+			if rendered.Text != "" && sr.Text != "" {
+				rendered.Text += " "
+			}
+			rendered.Text += sr.Text
+			collect(rows)
+		}
+		if len(tuples) == 0 {
+			continue
+		}
+		contextText := ""
+		for i, cg := range ctxs {
+			rows := cg.rowsFor(v)
+			if len(rows) == 0 {
+				continue
+			}
+			cr := d.Context[i].Conversion.Render(cg.schema, rows, params)
+			if contextText != "" && cr.Text != "" {
+				contextText += " "
+			}
+			contextText += cr.Text
+		}
+		out = append(out, &Instance{
+			Def:         d,
+			Params:      params,
+			Rendered:    rendered,
+			Tuples:      tuples,
+			Utility:     d.Utility,
+			ContextText: contextText,
+		})
+	}
+	return out, nil
+}
+
+// groupedResult is one view evaluated in bulk, with rows grouped by
+// normalized anchor value. Views that do not expose the anchor column
+// (static context sections) keep their rows ungrouped in all.
+type groupedResult struct {
+	schema  *relational.JoinedSchema
+	groups  map[string][]relational.JoinedRow
+	all     []relational.JoinedRow
+	grouped bool
+}
+
+// rowsFor returns the rows belonging to one anchor value.
+func (gr *groupedResult) rowsFor(v string) []relational.JoinedRow {
+	if gr.grouped {
+		return gr.groups[v]
+	}
+	return gr.all
+}
+
+// groupedEval evaluates the expression with the named parameter's bind
+// removed and groups the result rows by the anchor column's normalized
+// value.
+func (c *Catalog) groupedEval(b *sqlview.BaseExpr, param string, col relational.QualifiedColumn) (*groupedResult, error) {
+	unbound := *b
+	unbound.Binds = nil
+	for _, bd := range b.Binds {
+		if bd.Param == param {
+			continue
+		}
+		unbound.Binds = append(unbound.Binds, bd)
+	}
+	res, err := unbound.Eval(c.db, nil)
+	if err != nil {
+		return nil, err
+	}
+	ci, ok := res.Schema.ColumnIndex(col)
+	if !ok {
+		// No anchor column in the output: a static section shared by
+		// every instance.
+		return &groupedResult{schema: res.Schema, all: res.Rows}, nil
+	}
+	gr := &groupedResult{schema: res.Schema, groups: make(map[string][]relational.JoinedRow), grouped: true}
+	for _, row := range res.Rows {
+		key := ir.Normalize(row.Values[ci].Render())
+		if key == "" {
+			continue
+		}
+		gr.groups[key] = append(gr.groups[key], row)
+	}
+	return gr, nil
+}
+
+// MaterializeCatalog derives every instance of every definition, in
+// definition-utility order. It is the bulk path engines use to build an
+// IR index over the whole qunit collection.
+func (c *Catalog) MaterializeCatalog() ([]*Instance, error) {
+	var out []*Instance
+	for _, d := range c.Definitions() {
+		insts, err := c.MaterializeAll(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, insts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qunits/internal/relational"
+	"qunits/internal/sqlview"
+)
+
+// The wire format round-trips definitions through their canonical source
+// text: base expressions via BaseExpr.String, conversion expressions via
+// Template.Source. A catalog written by one process is readable by any
+// other holding a database with a compatible schema — the deployment
+// story for expert-authored qunit sets ("the manual effort involved is
+// likely to be only a small part of the total cost of database design").
+
+type definitionJSON struct {
+	Name        string        `json:"name"`
+	Description string        `json:"description,omitempty"`
+	Base        string        `json:"base"`
+	Conversion  string        `json:"conversion"`
+	Utility     float64       `json:"utility"`
+	Keywords    []string      `json:"keywords,omitempty"`
+	Source      string        `json:"source,omitempty"`
+	Sections    []sectionJSON `json:"sections,omitempty"`
+	Context     []sectionJSON `json:"context,omitempty"`
+}
+
+type sectionJSON struct {
+	Base       string `json:"base"`
+	Conversion string `json:"conversion"`
+}
+
+type catalogJSON struct {
+	Database    string           `json:"database"`
+	Definitions []definitionJSON `json:"definitions"`
+}
+
+// Encode writes the catalog as JSON.
+func (c *Catalog) Encode(w io.Writer) error {
+	out := catalogJSON{Database: c.db.Name()}
+	for _, d := range c.Definitions() {
+		dj := definitionJSON{
+			Name:        d.Name,
+			Description: d.Description,
+			Base:        d.Base.String(),
+			Conversion:  d.Conversion.Source(),
+			Utility:     d.Utility,
+			Keywords:    d.Keywords,
+			Source:      d.Source,
+		}
+		for _, s := range d.Sections {
+			dj.Sections = append(dj.Sections, sectionJSON{
+				Base:       s.Base.String(),
+				Conversion: s.Conversion.Source(),
+			})
+		}
+		for _, s := range d.Context {
+			dj.Context = append(dj.Context, sectionJSON{
+				Base:       s.Base.String(),
+				Conversion: s.Conversion.Source(),
+			})
+		}
+		out.Definitions = append(out.Definitions, dj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeCatalog reads a catalog written by Encode and validates every
+// definition against the database.
+func DecodeCatalog(db *relational.Database, r io.Reader) (*Catalog, error) {
+	var in catalogJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding catalog: %w", err)
+	}
+	cat := NewCatalog(db)
+	for _, dj := range in.Definitions {
+		base, err := sqlview.ParseBase(dj.Base)
+		if err != nil {
+			return nil, fmt.Errorf("core: definition %q: %w", dj.Name, err)
+		}
+		conv, err := sqlview.ParseTemplate(dj.Conversion)
+		if err != nil {
+			return nil, fmt.Errorf("core: definition %q: %w", dj.Name, err)
+		}
+		d := &Definition{
+			Name:        dj.Name,
+			Description: dj.Description,
+			Base:        base,
+			Conversion:  conv,
+			Utility:     dj.Utility,
+			Keywords:    dj.Keywords,
+			Source:      dj.Source,
+		}
+		parseSections := func(sjs []sectionJSON, what string) ([]Section, error) {
+			var out []Section
+			for i, sj := range sjs {
+				sb, err := sqlview.ParseBase(sj.Base)
+				if err != nil {
+					return nil, fmt.Errorf("core: definition %q %s %d: %w", dj.Name, what, i, err)
+				}
+				sc, err := sqlview.ParseTemplate(sj.Conversion)
+				if err != nil {
+					return nil, fmt.Errorf("core: definition %q %s %d: %w", dj.Name, what, i, err)
+				}
+				out = append(out, Section{Base: sb, Conversion: sc})
+			}
+			return out, nil
+		}
+		if d.Sections, err = parseSections(dj.Sections, "section"); err != nil {
+			return nil, err
+		}
+		if d.Context, err = parseSections(dj.Context, "context"); err != nil {
+			return nil, err
+		}
+		if err := cat.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}

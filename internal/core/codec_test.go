@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogEncodeDecodeRoundTrip(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	cat.MustAdd(castDef())
+	cat.MustAdd(profileWithSections())
+
+	var buf bytes.Buffer
+	if err := cat.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "movie-cast") {
+		t.Fatalf("encoded form missing definition: %s", buf.String()[:120])
+	}
+
+	decoded, err := DecodeCatalog(db, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != cat.Len() {
+		t.Fatalf("decoded %d definitions, want %d", decoded.Len(), cat.Len())
+	}
+	for _, orig := range cat.Definitions() {
+		got := decoded.Definition(orig.Name)
+		if got == nil {
+			t.Fatalf("lost definition %q", orig.Name)
+		}
+		if got.Base.String() != orig.Base.String() {
+			t.Errorf("%s: base differs:\n%s\n%s", orig.Name, got.Base, orig.Base)
+		}
+		if got.Utility != orig.Utility {
+			t.Errorf("%s: utility %v vs %v", orig.Name, got.Utility, orig.Utility)
+		}
+		if len(got.Sections) != len(orig.Sections) {
+			t.Errorf("%s: sections %d vs %d", orig.Name, len(got.Sections), len(orig.Sections))
+		}
+	}
+
+	// The decoded catalog must be functionally identical: same instances.
+	origInsts, err := cat.MaterializeCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decInsts, err := decoded.MaterializeCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origInsts) != len(decInsts) {
+		t.Fatalf("instances %d vs %d", len(origInsts), len(decInsts))
+	}
+	for i := range origInsts {
+		if origInsts[i].ID() != decInsts[i].ID() {
+			t.Fatalf("instance %d: %s vs %s", i, origInsts[i].ID(), decInsts[i].ID())
+		}
+		if origInsts[i].Rendered.Text != decInsts[i].Rendered.Text {
+			t.Fatalf("instance %s text differs after round trip", origInsts[i].ID())
+		}
+	}
+}
+
+func TestDecodeCatalogRejectsGarbage(t *testing.T) {
+	db := coreDB(t)
+	if _, err := DecodeCatalog(db, strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON, invalid base expression.
+	bad := `{"database":"t","definitions":[{"name":"x","base":"NOT SQL","conversion":"<a></a>","utility":1}]}`
+	if _, err := DecodeCatalog(db, strings.NewReader(bad)); err == nil {
+		t.Error("bad base expression accepted")
+	}
+	// Valid base, invalid template.
+	bad = `{"database":"t","definitions":[{"name":"x","base":"SELECT * FROM movie","conversion":"<unclosed","utility":1}]}`
+	if _, err := DecodeCatalog(db, strings.NewReader(bad)); err == nil {
+		t.Error("bad template accepted")
+	}
+	// References a table the database lacks: validation must fire.
+	bad = `{"database":"t","definitions":[{"name":"x","base":"SELECT * FROM nosuch","conversion":"<a>b</a>","utility":1}]}`
+	if _, err := DecodeCatalog(db, strings.NewReader(bad)); err == nil {
+		t.Error("schema-incompatible catalog accepted")
+	}
+}

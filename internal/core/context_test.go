@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/sqlview"
+)
+
+func castDefWithContext() *Definition {
+	d := castDef()
+	d.Context = []Section{{
+		Base:       sqlview.MustParseBase(`SELECT * FROM movie WHERE movie.title = "$x"`),
+		Conversion: sqlview.MustParseTemplate(`<ctx>about the film $movie.title</ctx>`),
+	}}
+	return d
+}
+
+func TestContextSectionsRankOnly(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := castDefWithContext()
+	cat.MustAdd(d)
+	inst, err := cat.Instantiate(d, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.ContextText, "about the film") {
+		t.Errorf("ContextText = %q", inst.ContextText)
+	}
+	// Context is NOT part of the presentation.
+	if strings.Contains(inst.Rendered.XML, "about the film") || strings.Contains(inst.Rendered.Text, "about the film") {
+		t.Error("context leaked into the presented qunit")
+	}
+	// Context tuples are NOT provenance (cast instance has movie via the
+	// base expression already; verify count unchanged vs. plain def).
+	plain := castDef()
+	plain.Name = "plain"
+	cat.MustAdd(plain)
+	pinst, err := cat.Instantiate(plain, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tuples) != len(pinst.Tuples) {
+		t.Errorf("context changed provenance: %d vs %d", len(inst.Tuples), len(pinst.Tuples))
+	}
+}
+
+func TestContextInBulkMaterialization(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := castDefWithContext()
+	cat.MustAdd(d)
+	insts, err := cat.MaterializeAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) == 0 {
+		t.Fatal("no instances")
+	}
+	for _, inst := range insts {
+		if inst.ContextText == "" {
+			t.Errorf("%s: empty context", inst.ID())
+		}
+		if strings.Contains(inst.Rendered.Text, "about the film") {
+			t.Errorf("%s: context leaked into presentation", inst.ID())
+		}
+	}
+}
+
+func TestContextValidated(t *testing.T) {
+	db := coreDB(t)
+	d := castDefWithContext()
+	d.Context[0].Base = sqlview.MustParseBase(`SELECT * FROM nosuch WHERE nosuch.x = "$x"`)
+	if d.Validate(db) == nil {
+		t.Error("bad context section accepted")
+	}
+	d = castDefWithContext()
+	d.Context[0].Base = sqlview.MustParseBase(`SELECT * FROM movie WHERE movie.title = "$other"`)
+	if d.Validate(db) == nil {
+		t.Error("context with foreign parameter accepted")
+	}
+}
+
+func TestContextRoundTripsThroughCodec(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	cat.MustAdd(castDefWithContext())
+	var buf strings.Builder
+	if err := cat.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCatalog(db, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.Definition("movie-cast")
+	if got == nil || len(got.Context) != 1 {
+		t.Fatalf("context lost in round trip")
+	}
+	inst, err := decoded.Instantiate(got, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.ContextText, "about the film") {
+		t.Errorf("decoded context broken: %q", inst.ContextText)
+	}
+}

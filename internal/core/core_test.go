@@ -1,0 +1,297 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/relational"
+	"qunits/internal/sqlview"
+)
+
+func coreDB(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase("t")
+	db.MustCreateTable(relational.MustTableSchema("person", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("movie", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("cast", []relational.Column{
+		{Name: "person_id", Kind: relational.KindInt},
+		{Name: "movie_id", Kind: relational.KindInt},
+		{Name: "role", Kind: relational.KindString, Searchable: true},
+	}, "", []relational.ForeignKey{
+		{Column: "person_id", RefTable: "person"},
+		{Column: "movie_id", RefTable: "movie"},
+	}))
+	p := db.Table("person")
+	p.MustInsert(relational.Row{relational.Int(1), relational.String("Mark Hamill")})
+	p.MustInsert(relational.Row{relational.Int(2), relational.String("Carrie Fisher")})
+	m := db.Table("movie")
+	m.MustInsert(relational.Row{relational.Int(1), relational.String("Star Wars")})
+	m.MustInsert(relational.Row{relational.Int(2), relational.String("Ocean's Eleven")})
+	m.MustInsert(relational.Row{relational.Int(3), relational.String("Nobody Watched This")})
+	c := db.Table("cast")
+	c.MustInsert(relational.Row{relational.Int(1), relational.Int(1), relational.String("luke")})
+	c.MustInsert(relational.Row{relational.Int(2), relational.Int(1), relational.String("leia")})
+	c.MustInsert(relational.Row{relational.Int(1), relational.Int(2), relational.String("cameo")})
+	return db
+}
+
+func castDef() *Definition {
+	return &Definition{
+		Name:        "movie-cast",
+		Description: "the cast of a movie",
+		Base: sqlview.MustParseBase(`SELECT * FROM person, cast, movie
+WHERE cast.movie_id = movie.id AND cast.person_id = person.id AND movie.title = "$x"`),
+		Conversion: sqlview.MustParseTemplate(`<cast movie="$x">
+<foreach:tuple><person>$person.name</person> as <role>$cast.role</role></foreach:tuple>
+</cast>`),
+		Utility:  0.8,
+		Keywords: []string{"cast", "actors"},
+		Source:   "expert",
+	}
+}
+
+func TestDefinitionAnchorParam(t *testing.T) {
+	d := castDef()
+	param, col, ok := d.AnchorParam()
+	if !ok || param != "x" || col.String() != "movie.title" {
+		t.Fatalf("AnchorParam = %q, %v, %v", param, col, ok)
+	}
+	noParam := &Definition{
+		Name:       "all-movies",
+		Base:       sqlview.MustParseBase(`SELECT * FROM movie`),
+		Conversion: sqlview.MustParseTemplate(`<movies><foreach:tuple><m>$movie.title</m></foreach:tuple></movies>`),
+	}
+	if _, _, ok := noParam.AnchorParam(); ok {
+		t.Error("parameterless definition reported an anchor")
+	}
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	db := coreDB(t)
+	if err := castDef().Validate(db); err != nil {
+		t.Fatalf("valid def rejected: %v", err)
+	}
+	bad := castDef()
+	bad.Name = ""
+	if bad.Validate(db) == nil {
+		t.Error("empty name accepted")
+	}
+	bad = castDef()
+	bad.Base = sqlview.MustParseBase(`SELECT * FROM nosuch`)
+	if bad.Validate(db) == nil {
+		t.Error("missing table accepted")
+	}
+	bad = castDef()
+	bad.Base = sqlview.MustParseBase(`SELECT * FROM movie WHERE movie.nosuch = "$x"`)
+	if bad.Validate(db) == nil {
+		t.Error("missing column accepted")
+	}
+	bad = castDef()
+	bad.Conversion = nil
+	if bad.Validate(db) == nil {
+		t.Error("nil conversion accepted")
+	}
+	bad = castDef()
+	bad.Base = sqlview.MustParseBase(`SELECT * FROM movie WHERE movie.title = "$x" AND movie.id = "$y"`)
+	if bad.Validate(db) == nil {
+		t.Error("two parameters accepted")
+	}
+}
+
+func TestCatalogAdd(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	if err := cat.Add(castDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(castDef()); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if cat.Len() != 1 {
+		t.Errorf("Len = %d", cat.Len())
+	}
+	if cat.Definition("movie-cast") == nil {
+		t.Error("Definition lookup failed")
+	}
+	if cat.Definition("nope") != nil {
+		t.Error("found nonexistent definition")
+	}
+	if cat.DB() != db {
+		t.Error("DB accessor broken")
+	}
+}
+
+func TestCatalogDefinitionsSortedByUtility(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	low := castDef()
+	low.Name = "low"
+	low.Utility = 0.1
+	high := castDef()
+	high.Name = "high"
+	high.Utility = 0.9
+	cat.MustAdd(low)
+	cat.MustAdd(high)
+	defs := cat.Definitions()
+	if defs[0].Name != "high" || defs[1].Name != "low" {
+		t.Errorf("order = %s, %s", defs[0].Name, defs[1].Name)
+	}
+}
+
+func TestNormalizeUtilities(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	a := castDef()
+	a.Name = "a"
+	a.Utility = 4
+	b := castDef()
+	b.Name = "b"
+	b.Utility = 2
+	cat.MustAdd(a)
+	cat.MustAdd(b)
+	cat.NormalizeUtilities()
+	if a.Utility != 1.0 || b.Utility != 0.5 {
+		t.Errorf("utilities = %v, %v", a.Utility, b.Utility)
+	}
+	// All-zero catalog: no-op, no panic.
+	empty := NewCatalog(db)
+	empty.NormalizeUtilities()
+}
+
+func TestInstantiate(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := castDef()
+	cat.MustAdd(d)
+	inst, err := cat.Instantiate(d, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.Rendered.Text, "Mark Hamill") || !strings.Contains(inst.Rendered.Text, "Carrie Fisher") {
+		t.Errorf("rendered text = %q", inst.Rendered.Text)
+	}
+	if !strings.Contains(inst.Rendered.XML, "<cast movie=\"star wars\">") {
+		t.Errorf("rendered xml = %q", inst.Rendered.XML)
+	}
+	// Provenance: movie row, 2 cast rows, 2 person rows.
+	if len(inst.Tuples) != 5 {
+		t.Errorf("tuples = %v", inst.Tuples)
+	}
+	if inst.ID() != "movie-cast:star wars" {
+		t.Errorf("ID = %q", inst.ID())
+	}
+	if inst.Label() != "star wars" {
+		t.Errorf("Label = %q", inst.Label())
+	}
+	if inst.Utility != d.Utility {
+		t.Error("instance utility not inherited")
+	}
+}
+
+func TestInstantiateNormalizedParam(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := castDef()
+	cat.MustAdd(d)
+	// "oceans eleven" (apostrophe stripped) must match "Ocean's Eleven".
+	inst, err := cat.Instantiate(d, map[string]string{"x": "oceans eleven"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tuples) == 0 {
+		t.Error("normalized parameter failed to match punctuated title")
+	}
+}
+
+func TestMaterializeAll(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := castDef()
+	cat.MustAdd(d)
+	insts, err := cat.MaterializeAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three movies, but "Nobody Watched This" has no cast → skipped.
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d, want 2", len(insts))
+	}
+	ids := map[string]bool{}
+	for _, inst := range insts {
+		ids[inst.ID()] = true
+	}
+	if !ids["movie-cast:star wars"] || !ids["movie-cast:oceans eleven"] {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestMaterializeAllParameterless(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := &Definition{
+		Name:       "all-movies",
+		Base:       sqlview.MustParseBase(`SELECT * FROM movie`),
+		Conversion: sqlview.MustParseTemplate(`<movies><foreach:tuple><m>$movie.title</m></foreach:tuple></movies>`),
+		Utility:    0.2,
+	}
+	cat.MustAdd(d)
+	insts, err := cat.MaterializeAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	if !strings.Contains(insts[0].Rendered.Text, "Star Wars") {
+		t.Errorf("text = %q", insts[0].Rendered.Text)
+	}
+	if insts[0].ID() != "all-movies" {
+		t.Errorf("ID = %q", insts[0].ID())
+	}
+	if insts[0].Label() != "all-movies" {
+		t.Errorf("Label = %q", insts[0].Label())
+	}
+}
+
+func TestMaterializeCatalog(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	cat.MustAdd(castDef())
+	profile := &Definition{
+		Name:       "person-profile",
+		Base:       sqlview.MustParseBase(`SELECT * FROM person WHERE person.name = "$x"`),
+		Conversion: sqlview.MustParseTemplate(`<profile><name>$person.name</name></profile>`),
+		Utility:    0.5,
+	}
+	cat.MustAdd(profile)
+	insts, err := cat.MaterializeCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cast instances + 2 person profiles.
+	if len(insts) != 4 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	// Utility order: movie-cast (0.8) instances come first.
+	if insts[0].Def.Name != "movie-cast" {
+		t.Errorf("first instance from %q", insts[0].Def.Name)
+	}
+}
+
+func TestDefinitionStringAndTables(t *testing.T) {
+	d := castDef()
+	s := d.String()
+	if !strings.Contains(s, "movie-cast") || !strings.Contains(s, "SELECT") {
+		t.Errorf("String = %q", s)
+	}
+	tabs := d.Tables()
+	if len(tabs) != 3 || tabs[0] != "cast" {
+		t.Errorf("Tables = %v", tabs)
+	}
+}

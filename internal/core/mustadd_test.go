@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"qunits/internal/sqlview"
+)
+
+func TestMustAddPanicsOnInvalid(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	bad := &Definition{
+		Name:       "broken",
+		Base:       sqlview.MustParseBase(`SELECT * FROM nosuch`),
+		Conversion: sqlview.MustParseTemplate(`<a>b</a>`),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on invalid definition")
+		}
+	}()
+	cat.MustAdd(bad)
+}
+
+// A parameterless static section in a composite definition exercises the
+// ungrouped rowsFor path during bulk materialization.
+func TestStaticSectionSharedAcrossInstances(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := profileWithSections()
+	d.Name = "with-static"
+	d.Sections = append(d.Sections, Section{
+		Base:       sqlview.MustParseBase(`SELECT * FROM person`),
+		Conversion: sqlview.MustParseTemplate(`<all-people><foreach:tuple><p>$person.name</p></foreach:tuple></all-people>`),
+	})
+	cat.MustAdd(d)
+	insts, err := cat.MaterializeAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	// Every instance carries the shared static block.
+	for _, inst := range insts {
+		if !contains(inst.Rendered.Text, "Mark Hamill") || !contains(inst.Rendered.Text, "Carrie Fisher") {
+			t.Errorf("%s: static section missing: %q", inst.ID(), inst.Rendered.Text)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}

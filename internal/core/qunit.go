@@ -1,0 +1,228 @@
+// Package core implements the paper's central abstraction: the qunit.
+//
+// "A qunit is the basic, independent semantic unit of information in a
+// database" (§2). A qunit *definition* pairs a base expression (a view
+// over the database) with a conversion expression (its presentation);
+// applying a definition to the database derives qunit *instances*, one
+// per binding of the definition's parameter. A *catalog* is the flat
+// collection of definitions that models the whole database for search:
+// overlaps between qunits are permitted and deliberately ignored, and
+// references are resolved at definition time — exactly the independence
+// assumptions §2 lays out.
+//
+// Instances need not be materialized (§3: "there is no requirement that
+// qunits be materialized"); Instantiate evaluates lazily, and
+// MaterializeAll exists for engines that want an IR index over every
+// instance.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qunits/internal/relational"
+	"qunits/internal/sqlview"
+)
+
+// Definition is one qunit definition.
+type Definition struct {
+	// Name identifies the definition within a catalog, e.g. "movie-cast".
+	Name string
+	// Description is a one-line human summary, e.g. "the cast of a movie".
+	Description string
+	// Base is the base expression (the view).
+	Base *sqlview.BaseExpr
+	// Conversion is the conversion expression (the presentation).
+	Conversion *sqlview.Template
+	// Utility is the definition-level utility score (§2): the importance
+	// of this qunit in the intuitive organization of the database.
+	// Derivation strategies assign it; higher is better. Catalogs
+	// normalize utilities to (0, 1].
+	Utility float64
+	// Keywords is search vocabulary associated with the definition
+	// ("cast", "actors", "starring" for movie-cast); the search engine
+	// uses it for qunit-type identification.
+	Keywords []string
+	// Source names the derivation strategy that produced the definition.
+	Source string
+	// Sections are additional (base, conversion) pairs evaluated with the
+	// same parameter binding and concatenated into the instance. They
+	// realize the paper's §4.2 rollup: "the qunit definition for an
+	// under-specified query is an aggregation of the qunit definitions of
+	// its specializations" — a profile qunit is the main expression plus
+	// one section per specialized aspect. Sections keep each aspect an
+	// independent join, avoiding the cross-product a single flat view
+	// over several fact tables would produce.
+	Sections []Section
+	// Context sections are evaluated like Sections but their rendering is
+	// *not* part of the presented qunit — it feeds search and ranking
+	// only. This is the paper's §2 note: "context information, not part
+	// of the qunit presented to the user, may often be useful for
+	// purposes of search and ranking … Our model explicitly allows for
+	// this." A cast qunit, for instance, can carry the movie's genre and
+	// plot as context so genre words retrieve it without cluttering the
+	// answer.
+	Context []Section
+}
+
+// Section is one aggregated aspect of a composite qunit definition.
+type Section struct {
+	Base       *sqlview.BaseExpr
+	Conversion *sqlview.Template
+}
+
+// AnchorParam returns the definition's parameter name and the column it
+// binds. Qunit definitions in this system are single-parameter views
+// (one instance per anchor entity); ok is false for parameterless
+// definitions.
+func (d *Definition) AnchorParam() (param string, col relational.QualifiedColumn, ok bool) {
+	for _, b := range d.Base.Binds {
+		if b.Param != "" {
+			return b.Param, b.Col, true
+		}
+	}
+	return "", relational.QualifiedColumn{}, false
+}
+
+// Tables returns the distinct tables the base expression touches.
+func (d *Definition) Tables() []string {
+	out := append([]string(nil), d.Base.From...)
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the definition against a database schema: every table
+// exists, every referenced column exists, and the definition has at most
+// one parameter.
+func (d *Definition) Validate(db *relational.Database) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: definition with empty name")
+	}
+	if d.Base == nil || d.Conversion == nil {
+		return fmt.Errorf("core: definition %q missing base or conversion expression", d.Name)
+	}
+	for _, tn := range d.Base.From {
+		t := db.Table(tn)
+		if t == nil {
+			return fmt.Errorf("core: definition %q references missing table %q", d.Name, tn)
+		}
+	}
+	checkCol := func(q relational.QualifiedColumn) error {
+		t := db.Table(q.Table)
+		if t == nil {
+			return fmt.Errorf("core: definition %q references missing table %q", d.Name, q.Table)
+		}
+		if _, ok := t.Schema().ColumnIndex(q.Column); !ok {
+			return fmt.Errorf("core: definition %q references missing column %s", d.Name, q)
+		}
+		return nil
+	}
+	for _, j := range d.Base.Joins {
+		if err := checkCol(j.Left); err != nil {
+			return err
+		}
+		if err := checkCol(j.Right); err != nil {
+			return err
+		}
+	}
+	params := 0
+	for _, b := range d.Base.Binds {
+		if err := checkCol(b.Col); err != nil {
+			return err
+		}
+		if b.Param != "" {
+			params++
+		}
+	}
+	if params > 1 {
+		return fmt.Errorf("core: definition %q has %d parameters; at most one is supported", d.Name, params)
+	}
+	mainParam, _, hasParam := d.AnchorParam()
+	checkSection := func(s Section, what string, i int) error {
+		if s.Base == nil || s.Conversion == nil {
+			return fmt.Errorf("core: definition %q %s %d missing base or conversion", d.Name, what, i)
+		}
+		for _, tn := range s.Base.From {
+			if db.Table(tn) == nil {
+				return fmt.Errorf("core: definition %q %s %d references missing table %q", d.Name, what, i, tn)
+			}
+		}
+		for _, p := range s.Base.Params() {
+			if !hasParam || p != mainParam {
+				return fmt.Errorf("core: definition %q %s %d uses parameter $%s; sections must reuse the main parameter", d.Name, what, i, p)
+			}
+		}
+		return nil
+	}
+	for i, s := range d.Sections {
+		if err := checkSection(s, "section", i); err != nil {
+			return err
+		}
+	}
+	for i, s := range d.Context {
+		if err := checkSection(s, "context section", i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the definition in the paper's SELECT…RETURN form.
+func (d *Definition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s (utility %.3f, source %s)\n", d.Name, d.Utility, d.Source)
+	b.WriteString(d.Base.String())
+	b.WriteString("\nRETURN …")
+	return b.String()
+}
+
+// Instance is one qunit instance: a definition applied to the database
+// with concrete parameter bindings.
+type Instance struct {
+	// Def is the producing definition.
+	Def *Definition
+	// Params are the parameter bindings that derived this instance.
+	Params map[string]string
+	// Rendered is the conversion-expression output (XML + flat text).
+	Rendered sqlview.Rendered
+	// Tuples is the provenance: every base tuple that contributed.
+	Tuples []relational.TupleRef
+	// Utility is the instance-level utility; by default the definition's.
+	Utility float64
+	// ContextText is searchable text from the definition's Context
+	// sections — indexed for ranking, never presented, and never part of
+	// the provenance (context tuples are not *in* the result).
+	ContextText string
+}
+
+// ID returns the instance's unique name: definition name plus parameter
+// values.
+func (inst *Instance) ID() string {
+	if len(inst.Params) == 0 {
+		return inst.Def.Name
+	}
+	keys := make([]string, 0, len(inst.Params))
+	for k := range inst.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(inst.Def.Name)
+	for _, k := range keys {
+		b.WriteString(":")
+		b.WriteString(inst.Params[k])
+	}
+	return b.String()
+}
+
+// Label returns the instance's display label: its first parameter value,
+// or the definition name.
+func (inst *Instance) Label() string {
+	if p, _, ok := inst.Def.AnchorParam(); ok {
+		if v, exists := inst.Params[p]; exists {
+			return v
+		}
+	}
+	return inst.Def.Name
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/sqlview"
+)
+
+func profileWithSections() *Definition {
+	return &Definition{
+		Name:        "movie-profile",
+		Description: "rollup: summary plus cast",
+		Base:        sqlview.MustParseBase(`SELECT * FROM movie WHERE movie.title = "$x"`),
+		Conversion:  sqlview.MustParseTemplate(`<movie name="$x"><title>$movie.title</title></movie>`),
+		Utility:     1,
+		Sections: []Section{{
+			Base: sqlview.MustParseBase(`SELECT * FROM movie, cast, person
+WHERE cast.movie_id = movie.id AND cast.person_id = person.id AND movie.title = "$x"`),
+			Conversion: sqlview.MustParseTemplate(`<cast><foreach:tuple><p>$person.name</p></foreach:tuple></cast>`),
+		}},
+	}
+}
+
+func TestCompositeDefinitionInstantiate(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := profileWithSections()
+	cat.MustAdd(d)
+	inst, err := cat.Instantiate(d, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.Rendered.Text, "Star Wars") {
+		t.Errorf("main section missing: %q", inst.Rendered.Text)
+	}
+	if !strings.Contains(inst.Rendered.Text, "Mark Hamill") {
+		t.Errorf("cast section missing: %q", inst.Rendered.Text)
+	}
+	// Provenance: movie + 2 cast + 2 persons.
+	if len(inst.Tuples) != 5 {
+		t.Errorf("tuples = %v", inst.Tuples)
+	}
+}
+
+func TestCompositeEmptySectionOmitted(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := profileWithSections()
+	cat.MustAdd(d)
+	// "Nobody Watched This" exists but has no cast: the section
+	// disappears, the main part remains.
+	inst, err := cat.Instantiate(d, map[string]string{"x": "nobody watched this"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.Rendered.Text, "Nobody Watched This") {
+		t.Errorf("main text = %q", inst.Rendered.Text)
+	}
+	if strings.Contains(inst.Rendered.XML, "<p>") {
+		t.Error("empty section rendered tuples")
+	}
+	if len(inst.Tuples) != 1 {
+		t.Errorf("tuples = %v", inst.Tuples)
+	}
+}
+
+func TestCompositeEmptyMainMeansEmptyInstance(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := profileWithSections()
+	cat.MustAdd(d)
+	inst, err := cat.Instantiate(d, map[string]string{"x": "no such movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tuples) != 0 {
+		t.Errorf("tuples for nonexistent anchor: %v", inst.Tuples)
+	}
+}
+
+func TestSectionValidation(t *testing.T) {
+	db := coreDB(t)
+	bad := profileWithSections()
+	bad.Sections[0].Base = sqlview.MustParseBase(`SELECT * FROM nosuch WHERE nosuch.title = "$x"`)
+	if bad.Validate(db) == nil {
+		t.Error("section with missing table accepted")
+	}
+	bad = profileWithSections()
+	bad.Sections[0].Base = sqlview.MustParseBase(`SELECT * FROM cast WHERE cast.role = "$other"`)
+	if bad.Validate(db) == nil {
+		t.Error("section with mismatched parameter accepted")
+	}
+	bad = profileWithSections()
+	bad.Sections[0].Conversion = nil
+	if bad.Validate(db) == nil {
+		t.Error("section without conversion accepted")
+	}
+	// Sections without parameters are fine (static context blocks).
+	ok := profileWithSections()
+	ok.Sections = append(ok.Sections, Section{
+		Base:       sqlview.MustParseBase(`SELECT * FROM movie`),
+		Conversion: sqlview.MustParseTemplate(`<all><foreach:tuple><t>$movie.title</t></foreach:tuple></all>`),
+	})
+	if err := ok.Validate(db); err != nil {
+		t.Errorf("parameterless section rejected: %v", err)
+	}
+}
+
+func TestCompositeMaterializeAll(t *testing.T) {
+	db := coreDB(t)
+	cat := NewCatalog(db)
+	d := profileWithSections()
+	cat.MustAdd(d)
+	insts, err := cat.MaterializeAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three movies exist as anchors (main expression matches even the
+	// castless one).
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+}

@@ -1,0 +1,202 @@
+// Package derive implements §4 of the paper: automatic derivation of
+// qunit definitions from a database. Three strategies are provided, one
+// per subsection, plus the expert baseline used in the evaluation:
+//
+//   - FromSchema (§4.1): queriability over schema and data cardinality.
+//   - FromQueryLog (§4.2): query rollup over a keyword query log.
+//   - FromEvidence (§4.3): type-signature mining over external web pages.
+//   - Expert: a hand-written qunit set standing in for the paper's
+//     imdb.com URL-cluster catalog ("Human" in Figure 3).
+//
+// All strategies produce a core.Catalog with normalized utilities.
+package derive
+
+import (
+	"fmt"
+	"strings"
+
+	"qunits/internal/core"
+	"qunits/internal/relational"
+	"qunits/internal/sqlview"
+)
+
+// anchorColumn returns the label column of a table — the column qunit
+// parameters bind against ("movie.title", "person.name").
+func anchorColumn(db *relational.Database, table string) (relational.QualifiedColumn, error) {
+	t := db.Table(table)
+	if t == nil {
+		return relational.QualifiedColumn{}, fmt.Errorf("derive: no table %q", table)
+	}
+	lc := t.Schema().LabelColumn()
+	if lc == t.Schema().PrimaryKey {
+		return relational.QualifiedColumn{}, fmt.Errorf("derive: table %q has no label column to anchor on", table)
+	}
+	return relational.QualifiedColumn{Table: table, Column: lc}, nil
+}
+
+// aspectSection builds the (base, conversion) pair presenting one aspect
+// of an anchor entity: the tuples of the target table reachable from the
+// anchor along the schema's foreign keys. The anchor's label column binds
+// the shared $x parameter.
+func aspectSection(db *relational.Database, anchor, target string) (core.Section, error) {
+	anchorCol, err := anchorColumn(db, anchor)
+	if err != nil {
+		return core.Section{}, err
+	}
+	path := db.FKPath(anchor, target)
+	if path == nil {
+		return core.Section{}, fmt.Errorf("derive: no foreign-key path %s → %s", anchor, target)
+	}
+	tables := relational.TablesOnPath(anchor, path)
+
+	// A pure fact-table target (cast, movie_award) is meaningless without
+	// its far-side entities — the paper's point about id normalization:
+	// "it could be addressed by performing a value join every time an
+	// internal id element is encountered". Extend the join to resolve the
+	// target's remaining foreign keys (cast → person; movie_award →
+	// award).
+	if targetT := db.Table(target); targetT != nil && targetT.Schema().PrimaryKey == "" {
+		onPath := map[string]bool{}
+		for _, tn := range tables {
+			onPath[tn] = true
+		}
+		for _, fk := range targetT.Schema().ForeignKeys {
+			if onPath[fk.RefTable] {
+				continue
+			}
+			ref := db.Table(fk.RefTable)
+			if ref == nil || ref.Schema().PrimaryKey == "" {
+				continue
+			}
+			path = append(path, relational.EquiJoinSpec{
+				Left:  relational.QualifiedColumn{Table: target, Column: fk.Column},
+				Right: relational.QualifiedColumn{Table: fk.RefTable, Column: ref.Schema().PrimaryKey},
+			})
+			tables = append(tables, fk.RefTable)
+			onPath[fk.RefTable] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT * FROM ")
+	b.WriteString(strings.Join(tables, ", "))
+	b.WriteString(" WHERE ")
+	for i, j := range path {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s = %s", j.Left, j.Right)
+	}
+	if len(path) > 0 {
+		b.WriteString(" AND ")
+	}
+	fmt.Fprintf(&b, "%s = \"$x\"", anchorCol)
+	base, err := sqlview.ParseBase(b.String())
+	if err != nil {
+		return core.Section{}, fmt.Errorf("derive: building aspect %s→%s: %w", anchor, target, err)
+	}
+
+	tmpl, err := sqlview.ParseTemplate(aspectTemplateSource(db, anchor, target, tables))
+	if err != nil {
+		return core.Section{}, fmt.Errorf("derive: aspect template %s→%s: %w", anchor, target, err)
+	}
+	return core.Section{Base: base, Conversion: tmpl}, nil
+}
+
+// aspectTemplateSource renders each joined tuple's interesting columns:
+// for every table on the path except the anchor, the label column plus
+// any other searchable scalar columns. The section tag is the target
+// table's name.
+func aspectTemplateSource(db *relational.Database, anchor, target string, tables []string) string {
+	var fields []string
+	for _, tn := range tables {
+		if tn == anchor {
+			continue
+		}
+		schema := db.Table(tn).Schema()
+		label := schema.LabelColumn()
+		seen := map[string]bool{}
+		add := func(col string) {
+			if seen[col] {
+				return
+			}
+			seen[col] = true
+			fields = append(fields, fmt.Sprintf("<%s>$%s.%s</%s>", col, tn, col, col))
+		}
+		if label != schema.PrimaryKey {
+			add(label)
+		}
+		for _, c := range schema.Columns {
+			if c.Searchable && c.Name != label && c.Kind == relational.KindString {
+				add(c.Name)
+			}
+		}
+	}
+	return fmt.Sprintf("<%s anchor=\"$x\"><foreach:tuple>%s </foreach:tuple></%s>",
+		target, strings.Join(fields, " "), target)
+}
+
+// overviewDefinition builds a profile qunit for an anchor table: the main
+// expression selects the anchor tuple and renders its scalar columns; one
+// section per target table presents that aspect.
+func overviewDefinition(db *relational.Database, anchor string, targets []string,
+	name, source string, utility float64, keywords []string) (*core.Definition, error) {
+
+	anchorCol, err := anchorColumn(db, anchor)
+	if err != nil {
+		return nil, err
+	}
+	base, err := sqlview.ParseBase(fmt.Sprintf(`SELECT * FROM %s WHERE %s = "$x"`, anchor, anchorCol))
+	if err != nil {
+		return nil, err
+	}
+	schema := db.Table(anchor).Schema()
+	var fields []string
+	for _, c := range schema.Columns {
+		if c.Name == schema.PrimaryKey || strings.HasSuffix(c.Name, "_id") {
+			continue
+		}
+		fields = append(fields, fmt.Sprintf("<%s>$%s.%s</%s>", c.Name, anchor, c.Name, c.Name))
+	}
+	tmpl, err := sqlview.ParseTemplate(fmt.Sprintf(`<%s name="$x">%s</%s>`, anchor, strings.Join(fields, " "), anchor))
+	if err != nil {
+		return nil, err
+	}
+	d := &core.Definition{
+		Name:        name,
+		Description: fmt.Sprintf("profile of a %s with %s", anchor, strings.Join(targets, ", ")),
+		Base:        base,
+		Conversion:  tmpl,
+		Utility:     utility,
+		Keywords:    keywords,
+		Source:      source,
+	}
+	for _, target := range targets {
+		sec, err := aspectSection(db, anchor, target)
+		if err != nil {
+			return nil, err
+		}
+		d.Sections = append(d.Sections, sec)
+	}
+	return d, nil
+}
+
+// aspectDefinition builds a single-aspect qunit ("the cast of a movie"):
+// an aspect section promoted to a standalone definition.
+func aspectDefinition(db *relational.Database, anchor, target string,
+	name, source string, utility float64, keywords []string) (*core.Definition, error) {
+
+	sec, err := aspectSection(db, anchor, target)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Definition{
+		Name:        name,
+		Description: fmt.Sprintf("the %s of a %s", target, anchor),
+		Base:        sec.Base,
+		Conversion:  sec.Conversion,
+		Utility:     utility,
+		Keywords:    keywords,
+		Source:      source,
+	}, nil
+}

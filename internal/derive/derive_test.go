@@ -1,0 +1,298 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/core"
+	"qunits/internal/evidence"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/segment"
+)
+
+func universe(t *testing.T) *imdb.Universe {
+	t.Helper()
+	return imdb.MustGenerate(imdb.Config{Seed: 9, Persons: 250, Movies: 160, CastPerMovie: 5})
+}
+
+func segmenter(t *testing.T, u *imdb.Universe) *segment.Segmenter {
+	t.Helper()
+	d := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	return segment.NewSegmenter(d)
+}
+
+func TestFromSchemaDerive(t *testing.T) {
+	u := universe(t)
+	cat, err := FromSchema{K1: 2, K2: 4}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 2 {
+		t.Fatalf("definitions = %d, want k1=2", cat.Len())
+	}
+	movie := cat.Definition("movie-profile-schema")
+	person := cat.Definition("person-profile-schema")
+	if movie == nil || person == nil {
+		t.Fatalf("missing expected profiles; have %v", names(cat))
+	}
+	if len(movie.Sections) != 4 {
+		t.Errorf("movie profile sections = %d, want k2=4", len(movie.Sections))
+	}
+	// The paper's noted weakness must be present: cardinality-only
+	// scoring pulls in the plot text (info) — a big table — for movies.
+	foundInfo := false
+	for _, sec := range movie.Sections {
+		for _, tn := range sec.Base.From {
+			if tn == imdb.TableInfo {
+				foundInfo = true
+			}
+		}
+	}
+	if !foundInfo {
+		t.Error("schema strategy should (suboptimally) include the plot info table")
+	}
+	// Utilities normalized.
+	defs := cat.Definitions()
+	if defs[0].Utility != 1.0 {
+		t.Errorf("top utility = %v", defs[0].Utility)
+	}
+}
+
+func TestFromSchemaInstancesWork(t *testing.T) {
+	u := universe(t)
+	cat, err := FromSchema{K1: 2, K2: 3}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cat.Definition("movie-profile-schema")
+	inst, err := cat.Instantiate(d, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tuples) < 2 {
+		t.Errorf("instance tuples = %v", inst.Tuples)
+	}
+	if !strings.Contains(inst.Rendered.Text, "star wars") &&
+		!strings.Contains(inst.Rendered.Text, "Star Wars") {
+		t.Errorf("instance text = %q", inst.Rendered.Text)
+	}
+}
+
+func TestFromSchemaK1Sweep(t *testing.T) {
+	u := universe(t)
+	for _, k1 := range []int{1, 2, 3, 5} {
+		cat, err := FromSchema{K1: k1, K2: 2}.Derive(u.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cat.Len() > k1 {
+			t.Errorf("k1=%d produced %d definitions", k1, cat.Len())
+		}
+	}
+}
+
+func TestFromQueryLogDerive(t *testing.T) {
+	u := universe(t)
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 21, Volume: 6000})
+	seg := segmenter(t, u)
+	cat, err := FromQueryLog{Log: log, Segmenter: seg}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must produce aspect qunits for the dominant query templates and the
+	// rollup profiles.
+	if cat.Definition("movie-cast-querylog") == nil {
+		t.Errorf("missing movie-cast aspect; have %v", names(cat))
+	}
+	if cat.Definition("person-movie-querylog") == nil {
+		t.Errorf("missing person-movie (filmography) aspect; have %v", names(cat))
+	}
+	movieProfile := cat.Definition("movie-profile-querylog")
+	personProfile := cat.Definition("person-profile-querylog")
+	if movieProfile == nil || personProfile == nil {
+		t.Fatalf("missing rollup profiles; have %v", names(cat))
+	}
+	if len(personProfile.Sections) == 0 {
+		t.Error("person rollup has no fragments")
+	}
+	// The rollup's first fragment should be the most-queried aspect:
+	// people are queried with "movies"/"filmography", so movie must be a
+	// target.
+	foundMovie := false
+	for _, sec := range personProfile.Sections {
+		for _, tn := range sec.Base.From {
+			if tn == imdb.TableMovie {
+				foundMovie = true
+			}
+		}
+	}
+	if !foundMovie {
+		t.Error("person rollup lacks the movie fragment")
+	}
+	// Keywords: the movie-cast aspect must carry the observed word
+	// "cast".
+	mc := cat.Definition("movie-cast-querylog")
+	if !contains(mc.Keywords, "cast") {
+		t.Errorf("movie-cast keywords = %v", mc.Keywords)
+	}
+}
+
+func TestFromQueryLogUtilityTracksFrequency(t *testing.T) {
+	u := universe(t)
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 21, Volume: 6000})
+	seg := segmenter(t, u)
+	cat, err := FromQueryLog{Log: log, Segmenter: seg}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "cast" is the most common movie attribute in the generator's mix;
+	// its utility should beat a rare aspect like awards, if both exist.
+	mc := cat.Definition("movie-cast-querylog")
+	if ma := cat.Definition("movie-movie_award-querylog"); ma != nil && mc != nil {
+		if mc.Utility <= ma.Utility {
+			t.Errorf("cast utility %v <= awards utility %v", mc.Utility, ma.Utility)
+		}
+	}
+}
+
+func TestFromQueryLogErrors(t *testing.T) {
+	u := universe(t)
+	if _, err := (FromQueryLog{}).Derive(u.DB); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	empty := &querylog.Log{}
+	if _, err := (FromQueryLog{Log: empty, Segmenter: segmenter(t, u)}).Derive(u.DB); err == nil {
+		t.Error("empty log accepted")
+	}
+}
+
+func TestFromEvidenceDerive(t *testing.T) {
+	u := universe(t)
+	pages := evidence.BuildCorpus(u, evidence.CorpusConfig{
+		Seed: 3, MoviePages: 60, CastPages: 50, FilmographyPages: 50, SoundtrackPages: 20,
+	})
+	d := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	cat, err := FromEvidence{Pages: pages, Dict: d}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cast page family must become a movie-anchored cast qunit.
+	mc := cat.Definition("movie-cast-evidence")
+	if mc == nil {
+		t.Fatalf("missing movie-cast-evidence; have %v", names(cat))
+	}
+	if _, col, ok := mc.AnchorParam(); !ok || col.Table != imdb.TableMovie {
+		t.Errorf("cast qunit anchored on %v", col)
+	}
+	usesCast := false
+	for _, tn := range mc.Base.From {
+		if tn == imdb.TableCast {
+			usesCast = true
+		}
+	}
+	if !usesCast {
+		t.Error("cast qunit does not join through cast")
+	}
+	if !contains(mc.Keywords, "cast") {
+		t.Errorf("keywords = %v", mc.Keywords)
+	}
+	// The filmography family must become a person-anchored qunit.
+	if cat.Definition("person-evidence") == nil {
+		t.Errorf("missing person-evidence profile; have %v", names(cat))
+	}
+	// Instances must evaluate.
+	inst, err := cat.Instantiate(mc, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tuples) == 0 {
+		t.Error("evidence cast instance is empty")
+	}
+}
+
+func TestFromEvidenceMinPages(t *testing.T) {
+	u := universe(t)
+	pages := evidence.BuildCorpus(u, evidence.CorpusConfig{
+		Seed: 3, MoviePages: 10, CastPages: 3, FilmographyPages: 10, SoundtrackPages: 2,
+	})
+	d := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	cat, err := FromEvidence{Pages: pages, Dict: d, MinPages: 5}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cast family (3 pages) is below the threshold.
+	if cat.Definition("movie-cast-evidence") != nil {
+		t.Error("under-evidenced cluster produced a definition")
+	}
+}
+
+func TestExpertDerive(t *testing.T) {
+	u := universe(t)
+	cat, err := Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 10 {
+		t.Fatalf("expert definitions = %d", cat.Len())
+	}
+	for _, name := range []string{"movie-summary", "movie-cast", "person-profile", "movie-boxoffice", "movie-soundtrack"} {
+		if cat.Definition(name) == nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// movie-summary has the top utility.
+	if cat.Definitions()[0].Name != "movie-summary" {
+		t.Errorf("top definition = %s", cat.Definitions()[0].Name)
+	}
+	// Every expert definition must instantiate without error on a real
+	// anchor.
+	for _, def := range cat.Definitions() {
+		param, col, ok := def.AnchorParam()
+		if !ok {
+			t.Errorf("%s has no anchor", def.Name)
+			continue
+		}
+		anchor := "star wars"
+		if col.Table == imdb.TablePerson {
+			anchor = "george clooney"
+		}
+		inst, err := cat.Instantiate(def, map[string]string{param: anchor})
+		if err != nil {
+			t.Errorf("%s: %v", def.Name, err)
+			continue
+		}
+		if len(inst.Tuples) == 0 && def.Name != "movie-awards" && def.Name != "movie-soundtrack" &&
+			def.Name != "movie-trivia" && def.Name != "movie-boxoffice" {
+			// Fact-dependent qunits may legitimately be empty for a given
+			// movie; structural ones must not be.
+			t.Errorf("%s produced an empty instance for %q", def.Name, anchor)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (FromSchema{}).Name() != "schema" ||
+		(FromQueryLog{}).Name() != "querylog" ||
+		(FromEvidence{}).Name() != "evidence" ||
+		(Expert{}).Name() != "human" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func names(cat *core.Catalog) []string {
+	var out []string
+	for _, d := range cat.Definitions() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package derive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qunits/internal/core"
+	"qunits/internal/evidence"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+// FromEvidence is the §4.3 strategy: learn qunit definitions from
+// external evidence. Pages are clustered by URL pattern; each cluster's
+// aggregated type signature reveals the page family's organization — one
+// header entity (the label field, e.g. the movie title of a cast page)
+// and the repeated body types (the foreach, e.g. the cast's person
+// names). Each cluster becomes one qunit definition anchored on the
+// header type with one aspect section per body type.
+type FromEvidence struct {
+	// Pages is the external corpus.
+	Pages []evidence.Page
+	// Dict recognizes database entities inside page text.
+	Dict *segment.Dictionary
+	// MinPages is the minimum cluster size to trust a layout family; 0
+	// means 5.
+	MinPages int
+	// MaxTargets caps the aspect sections per definition; 0 means 4.
+	MaxTargets int
+}
+
+// Name implements a conventional strategy label.
+func (FromEvidence) Name() string { return "evidence" }
+
+// Derive builds the catalog.
+func (s FromEvidence) Derive(db *relational.Database) (*core.Catalog, error) {
+	if len(s.Pages) == 0 || s.Dict == nil {
+		return nil, fmt.Errorf("derive: FromEvidence needs pages and a dictionary")
+	}
+	minPages := s.MinPages
+	if minPages <= 0 {
+		minPages = 5
+	}
+	maxTargets := s.MaxTargets
+	if maxTargets <= 0 {
+		maxTargets = 4
+	}
+
+	clusters := evidence.Cluster(s.Pages, s.Dict)
+	cat := core.NewCatalog(db)
+	for _, cl := range clusters {
+		if cl.Pages < minPages {
+			continue
+		}
+		anchor, ok := headerType(cl)
+		if !ok {
+			continue
+		}
+		targets := bodyTargets(cl, anchor, maxTargets)
+		if len(targets) == 0 {
+			continue
+		}
+		name := patternName(cl.Pattern) + "-evidence"
+		if cat.Definition(name) != nil {
+			continue
+		}
+		keywords := patternKeywords(cl.Pattern)
+		var def *core.Definition
+		var err error
+		if len(targets) == 1 && literalTail(cl.Pattern) != "" {
+			// A narrow page family like /movie/*/cast: a single-aspect
+			// qunit.
+			def, err = aspectDefinition(db, anchor.Table, targets[0], name, "evidence",
+				float64(cl.Pages), keywords)
+		} else {
+			// A broad family like /movie/*: an overview profile.
+			def, err = overviewDefinition(db, anchor.Table, targets, name, "evidence",
+				float64(cl.Pages), keywords)
+		}
+		if err != nil {
+			continue // cluster's types not connected in this schema
+		}
+		cat.MustAdd(def)
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("derive: evidence corpus produced no qunit definitions")
+	}
+	cat.NormalizeUtilities()
+	return cat, nil
+}
+
+// headerType finds the cluster's label field: a type that occurs about
+// once per page, predominantly in header position — "using person.name as
+// a label field … based on the relative cardinality in the signature".
+func headerType(cl evidence.ClusterSignature) (relational.QualifiedColumn, bool) {
+	best := relational.QualifiedColumn{}
+	bestShare := 0.0
+	for typ, avg := range cl.AvgCounts {
+		if avg < 0.5 || avg > 2.5 {
+			continue
+		}
+		share := cl.HeaderShare[typ]
+		if share >= 0.5 && share > bestShare {
+			best, bestShare = typ, share
+		}
+	}
+	return best, bestShare > 0
+}
+
+// bodyTargets returns the tables of the non-header types, by descending
+// average count: high-multiplicity types first (the foreach content),
+// then the once-per-page context fields.
+func bodyTargets(cl evidence.ClusterSignature, anchor relational.QualifiedColumn, max int) []string {
+	type scored struct {
+		table string
+		avg   float64
+	}
+	var out []scored
+	seen := map[string]bool{anchor.Table: true}
+	// Deterministic iteration over the map.
+	keys := make([]relational.QualifiedColumn, 0, len(cl.AvgCounts))
+	for k := range cl.AvgCounts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, typ := range keys {
+		if typ == anchor || seen[typ.Table] {
+			continue
+		}
+		if cl.AvgCounts[typ] < 0.3 {
+			continue // incidental recognition noise
+		}
+		seen[typ.Table] = true
+		out = append(out, scored{table: typ.Table, avg: cl.AvgCounts[typ]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].avg != out[j].avg {
+			return out[i].avg > out[j].avg
+		}
+		return out[i].table < out[j].table
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	tables := make([]string, len(out))
+	for i, s := range out {
+		tables[i] = s.table
+	}
+	return tables
+}
+
+// patternName turns "/movie/*/cast" into "movie-cast".
+func patternName(pattern string) string {
+	var parts []string
+	for _, seg := range strings.Split(pattern, "/") {
+		if seg == "" || seg == "*" {
+			continue
+		}
+		parts = append(parts, seg)
+	}
+	if len(parts) == 0 {
+		return "page"
+	}
+	return strings.Join(parts, "-")
+}
+
+// patternKeywords are the literal URL segments: page families advertise
+// their aspect in the path ("cast", "soundtrack").
+func patternKeywords(pattern string) []string {
+	var out []string
+	for _, seg := range strings.Split(pattern, "/") {
+		if seg != "" && seg != "*" {
+			out = append(out, evidence.Unslug(seg))
+		}
+	}
+	return out
+}
+
+// literalTail returns the last literal segment after a wildcard, or "".
+func literalTail(pattern string) string {
+	segs := strings.Split(pattern, "/")
+	sawStar := false
+	tail := ""
+	for _, s := range segs {
+		if s == "*" {
+			sawStar = true
+			tail = ""
+			continue
+		}
+		if sawStar && s != "" {
+			tail = s
+		}
+	}
+	return tail
+}

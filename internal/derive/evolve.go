@@ -1,0 +1,99 @@
+package derive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qunits/internal/core"
+	"qunits/internal/querylog"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+// Evolution implements the paper's §7 future work: "we expect to deal
+// with qunit evolution over time as user interests mutate during the life
+// of a database system." Given the previous epoch's catalog and a fresh
+// query log, it re-derives and blends: definitions present in both epochs
+// get an exponentially-smoothed utility, newly demanded definitions enter
+// at discounted weight, and definitions no longer backed by query demand
+// decay instead of vanishing (yesterday's interests fade; they do not
+// disappear overnight).
+type Evolution struct {
+	// Log is the new epoch's query log.
+	Log *querylog.Log
+	// Segmenter types the new log's queries.
+	Segmenter *segment.Segmenter
+	// Alpha is the weight of the new epoch in the blend; 0 means 0.5.
+	Alpha float64
+}
+
+// Drift records one definition's utility movement across an evolution
+// step.
+type Drift struct {
+	// Name is the definition.
+	Name string
+	// Before and After are the utilities on each side of the step;
+	// Before is 0 for newborn definitions, After reflects decay for ones
+	// the new epoch no longer demands.
+	Before, After float64
+}
+
+// Delta is the signed utility change.
+func (d Drift) Delta() float64 { return d.After - d.Before }
+
+// Evolve produces the next epoch's catalog and the drift report, sorted
+// by absolute utility change (the headline movers first).
+func (e Evolution) Evolve(db *relational.Database, prev *core.Catalog) (*core.Catalog, []Drift, error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("derive: Evolve needs the previous catalog")
+	}
+	alpha := e.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	fresh, err := FromQueryLog{Log: e.Log, Segmenter: e.Segmenter}.Derive(db)
+	if err != nil {
+		return nil, nil, fmt.Errorf("derive: evolving: %w", err)
+	}
+
+	next := core.NewCatalog(db)
+	var drifts []Drift
+
+	// Definitions the new epoch demands: blended when they existed
+	// before, discounted when newborn.
+	for _, nd := range fresh.Definitions() {
+		before := 0.0
+		utility := alpha * nd.Utility
+		if od := prev.Definition(nd.Name); od != nil {
+			before = od.Utility
+			utility = alpha*nd.Utility + (1-alpha)*od.Utility
+		}
+		nd.Utility = utility
+		if err := next.Add(nd); err != nil {
+			return nil, nil, err
+		}
+		drifts = append(drifts, Drift{Name: nd.Name, Before: before, After: utility})
+	}
+	// Definitions only the old catalog has: decay.
+	for _, od := range prev.Definitions() {
+		if next.Definition(od.Name) != nil {
+			continue
+		}
+		decayed := *od
+		decayed.Utility = od.Utility * (1 - alpha)
+		if err := next.Add(&decayed); err != nil {
+			return nil, nil, err
+		}
+		drifts = append(drifts, Drift{Name: od.Name, Before: od.Utility, After: decayed.Utility})
+	}
+	next.NormalizeUtilities()
+	sort.Slice(drifts, func(i, j int) bool {
+		di, dj := math.Abs(drifts[i].Delta()), math.Abs(drifts[j].Delta())
+		if di != dj {
+			return di > dj
+		}
+		return drifts[i].Name < drifts[j].Name
+	})
+	return next, drifts, nil
+}

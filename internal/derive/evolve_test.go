@@ -1,0 +1,97 @@
+package derive
+
+import (
+	"testing"
+
+	"qunits/internal/querylog"
+)
+
+// TestEvolveTracksInterestShift simulates the paper's §7 scenario: user
+// interests mutate between epochs (soundtrack queries surge, cast queries
+// recede) and the catalog follows.
+func TestEvolveTracksInterestShift(t *testing.T) {
+	u := universe(t)
+	seg := segmenter(t, u)
+
+	epoch1 := querylog.Generate(u, querylog.GenConfig{Seed: 31, Volume: 6000})
+	prev, err := FromQueryLog{Log: epoch1, Segmenter: seg}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	castBefore := prev.Definition("movie-cast-querylog")
+	if castBefore == nil {
+		t.Fatal("epoch 1 lacks movie-cast")
+	}
+
+	// Epoch 2: a log where entity-attribute demand collapses (users now
+	// mostly navigate), so the cast aspect's relative utility must fall.
+	epoch2 := querylog.Generate(u, querylog.GenConfig{
+		Seed: 32, Volume: 6000,
+		SingleEntity: 0.70, EntityAttribute: 0.02, MultiEntity: 0.02, Complex: 0.01,
+	})
+	next, drifts, err := Evolution{Log: epoch2, Segmenter: seg}.Evolve(u.DB, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Len() == 0 {
+		t.Fatal("evolution produced an empty catalog")
+	}
+	if len(drifts) == 0 {
+		t.Fatal("no drift recorded")
+	}
+	// Drift report sorted by magnitude.
+	for i := 1; i < len(drifts); i++ {
+		a := drifts[i-1].Delta()
+		b := drifts[i].Delta()
+		if abs(a) < abs(b) {
+			t.Fatalf("drifts not sorted by |delta|: %v then %v", a, b)
+		}
+	}
+	// Every previous definition survives (decayed, not dropped).
+	for _, od := range prev.Definitions() {
+		if next.Definition(od.Name) == nil {
+			t.Errorf("definition %q vanished during evolution", od.Name)
+		}
+	}
+}
+
+func TestEvolveBlendsUtilities(t *testing.T) {
+	u := universe(t)
+	seg := segmenter(t, u)
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 31, Volume: 6000})
+	prev, err := FromQueryLog{Log: log, Segmenter: seg}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evolving against the SAME log: utilities should stay roughly put
+	// (blend of x with x is x, then renormalized).
+	next, _, err := Evolution{Log: log, Segmenter: seg, Alpha: 0.5}.Evolve(u.DB, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range prev.Definitions() {
+		nd := next.Definition(od.Name)
+		if nd == nil {
+			t.Fatalf("%q missing", od.Name)
+		}
+		if diff := abs(nd.Utility - od.Utility); diff > 0.15 {
+			t.Errorf("%q drifted %v on an identical epoch", od.Name, diff)
+		}
+	}
+}
+
+func TestEvolveRequiresPrev(t *testing.T) {
+	u := universe(t)
+	seg := segmenter(t, u)
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 31, Volume: 2000})
+	if _, _, err := (Evolution{Log: log, Segmenter: seg}).Evolve(u.DB, nil); err == nil {
+		t.Error("nil previous catalog accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,140 @@
+package derive
+
+import (
+	"qunits/internal/core"
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+// Expert builds the hand-written qunit catalog for the IMDb schema. In
+// the paper's evaluation this role was played by the structure of the
+// imdb.com website itself: "each page on the website is considered a
+// unique qunit instance … qunit definitions were then created by hand
+// based on each type of URL". These definitions are the "Human" series in
+// Figure 3 — the quality ceiling the derivation strategies chase.
+type Expert struct{}
+
+// Name implements a conventional strategy label.
+func (Expert) Name() string { return "human" }
+
+// expertSpec describes one hand-written qunit.
+type expertSpec struct {
+	name     string
+	anchor   string
+	targets  []string
+	profile  bool // profile (overview+sections) vs. single aspect
+	utility  float64
+	keywords []string
+	desc     string
+}
+
+// Derive builds the expert catalog. It is written against the imdb
+// schema; deriving over a database missing those tables returns an error
+// from validation, which is the desired behaviour (expert qunits are
+// schema-specific by definition).
+func (Expert) Derive(db *relational.Database) (*core.Catalog, error) {
+	specs := []expertSpec{
+		{
+			name: "movie-summary", anchor: imdb.TableMovie, profile: true,
+			targets:  []string{imdb.TableGenre, imdb.TableCast, imdb.TableInfo},
+			utility:  1.0,
+			keywords: []string{"movie", "summary", "about", "film"},
+			desc:     "the summary page of a movie: facts, genre, principal cast, plot",
+		},
+		{
+			name: "movie-cast", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableCast},
+			utility:  0.95,
+			keywords: []string{"cast", "actors", "starring", "who played"},
+			desc:     "the full cast of a movie",
+		},
+		{
+			name: "person-profile", anchor: imdb.TablePerson, profile: true,
+			targets:  []string{imdb.TableCast, imdb.TableCrew},
+			utility:  0.95,
+			keywords: []string{"movies", "filmography", "films", "biography", "actor"},
+			desc:     "a person's profile: vitals and filmography",
+		},
+		{
+			name: "movie-soundtrack", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableSoundtrack},
+			utility:  0.7,
+			keywords: []string{"soundtrack", "ost", "music", "songs"},
+			desc:     "the soundtrack listing of a movie",
+		},
+		{
+			name: "movie-boxoffice", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableBoxOffice},
+			utility:  0.7,
+			keywords: []string{"box office", "gross", "revenue"},
+			desc:     "the box-office figures of a movie",
+		},
+		{
+			name: "movie-awards", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableAward},
+			utility:  0.65,
+			keywords: []string{"awards", "oscars", "won"},
+			desc:     "the awards of a movie",
+		},
+		{
+			name: "movie-trivia", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableTrivia},
+			utility:  0.6,
+			keywords: []string{"trivia", "quotes", "facts"},
+			desc:     "trivia about a movie",
+		},
+		{
+			name: "movie-locations", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableLocations},
+			utility:  0.5,
+			keywords: []string{"locations", "filmed", "where"},
+			desc:     "the shooting locations of a movie",
+		},
+		{
+			name: "movie-crew", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableCrew},
+			utility:  0.6,
+			keywords: []string{"director", "crew", "directed"},
+			desc:     "the crew of a movie",
+		},
+		{
+			name: "movie-keywords", anchor: imdb.TableMovie, profile: false,
+			targets:  []string{imdb.TableKeyword},
+			utility:  0.4,
+			keywords: []string{"keywords", "themes"},
+			desc:     "plot keywords of a movie",
+		},
+	}
+
+	cat := core.NewCatalog(db)
+	for _, sp := range specs {
+		var def *core.Definition
+		var err error
+		if sp.profile {
+			def, err = overviewDefinition(db, sp.anchor, sp.targets, sp.name, "human", sp.utility, sp.keywords)
+		} else {
+			def, err = aspectDefinition(db, sp.anchor, sp.targets[0], sp.name, "human", sp.utility, sp.keywords)
+		}
+		if err != nil {
+			return nil, err
+		}
+		def.Description = sp.desc
+		// Movie-anchored aspect qunits carry the movie's genre and plot
+		// as ranking-only context (§2): "star wars cast" and "space opera
+		// cast" should both land on the cast qunit, but only the cast is
+		// presented.
+		if sp.anchor == imdb.TableMovie && !sp.profile {
+			if ctx, err := aspectSection(db, imdb.TableMovie, imdb.TableGenre); err == nil {
+				def.Context = append(def.Context, ctx)
+			}
+			if ctx, err := aspectSection(db, imdb.TableMovie, imdb.TableInfo); err == nil {
+				def.Context = append(def.Context, ctx)
+			}
+		}
+		if err := cat.Add(def); err != nil {
+			return nil, err
+		}
+	}
+	cat.NormalizeUtilities()
+	return cat, nil
+}

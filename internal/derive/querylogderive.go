@@ -1,0 +1,213 @@
+package derive
+
+import (
+	"fmt"
+	"sort"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/querylog"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+// FromQueryLog is the §4.2 strategy: query rollup. "Keyword queries are
+// inherently underspecified, and hence the qunit definition for an
+// under-specified query is an aggregation of the qunit definitions of its
+// specializations." The log's queries are segmented against the database;
+// every recognized entity is mapped onto the schema, and the co-occurring
+// schema elements build an annotated set of schema links, weighted by
+// query frequency. Each anchor type then gets (a) one aspect qunit per
+// strongly-linked table, and (b) a rollup profile qunit aggregating its
+// top fragments — the answer for the bare "george clooney" query.
+//
+// The paper describes sampling entities and looking them up in the log;
+// segmenting every unique log query and aggregating is the batch
+// equivalent (identical link counts, one pass instead of many lookups).
+type FromQueryLog struct {
+	// Log is the aggregated keyword query log.
+	Log *querylog.Log
+	// Segmenter types log queries against the database.
+	Segmenter *segment.Segmenter
+	// TopFragments caps the aspects aggregated into each rollup profile;
+	// 0 means 4.
+	TopFragments int
+	// MinShare is the minimum share of an anchor's total link mass a
+	// fragment needs to become a standalone aspect qunit; 0 means 0.02.
+	MinShare float64
+}
+
+// Name implements a conventional strategy label.
+func (FromQueryLog) Name() string { return "querylog" }
+
+// link is one annotated schema link: anchor type → target table.
+type link struct {
+	anchor relational.QualifiedColumn
+	target string
+}
+
+// Derive builds the catalog.
+func (s FromQueryLog) Derive(db *relational.Database) (*core.Catalog, error) {
+	if s.Log == nil || s.Segmenter == nil {
+		return nil, fmt.Errorf("derive: FromQueryLog needs a log and a segmenter")
+	}
+	topFragments := s.TopFragments
+	if topFragments <= 0 {
+		topFragments = 4
+	}
+	minShare := s.MinShare
+	if minShare == 0 {
+		minShare = 0.02
+	}
+
+	linkFreq := map[link]int{}                         // annotated schema links
+	anchorFreq := map[relational.QualifiedColumn]int{} // anchor popularity
+	surface := map[link]map[string]int{}               // observed attribute words per link
+
+	for _, e := range s.Log.Entries {
+		sg := s.Segmenter.Segment(e.Query)
+		entities := sg.Entities()
+		if len(entities) == 0 {
+			continue
+		}
+		for _, ent := range entities {
+			anchorFreq[ent.Type] += e.Freq
+		}
+		for i, ent := range entities {
+			// Attribute segments link the entity to the attribute's table.
+			for _, attr := range sg.Attributes() {
+				if attr.Table == ent.Type.Table {
+					continue // "[movie.title] movies" is not a link
+				}
+				l := link{anchor: ent.Type, target: attr.Table}
+				linkFreq[l] += e.Freq
+				addSurface(surface, l, attr.Text, e.Freq)
+			}
+			// Other entities link through their tables ("george clooney
+			// batman" links person.name → movie).
+			for j, other := range entities {
+				if i == j || other.Type.Table == ent.Type.Table {
+					continue
+				}
+				l := link{anchor: ent.Type, target: other.Type.Table}
+				linkFreq[l] += e.Freq
+			}
+		}
+	}
+	if len(anchorFreq) == 0 {
+		return nil, fmt.Errorf("derive: query log contains no recognizable entities")
+	}
+
+	cat := core.NewCatalog(db)
+	anchors := make([]relational.QualifiedColumn, 0, len(anchorFreq))
+	for a := range anchorFreq {
+		anchors = append(anchors, a)
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].String() < anchors[j].String() })
+
+	for _, anchor := range anchors {
+		// Collect this anchor's fragments, sorted by link frequency: "the
+		// rollup of the qunit representing person.name should contain
+		// movie.name and cast.role, in that order".
+		type frag struct {
+			target string
+			freq   int
+		}
+		var frags []frag
+		total := 0
+		for l, f := range linkFreq {
+			if l.anchor == anchor {
+				frags = append(frags, frag{target: l.target, freq: f})
+				total += f
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		sort.Slice(frags, func(i, j int) bool {
+			if frags[i].freq != frags[j].freq {
+				return frags[i].freq > frags[j].freq
+			}
+			return frags[i].target < frags[j].target
+		})
+
+		// Standalone aspect qunits for strong fragments.
+		var rollupTargets []string
+		for _, f := range frags {
+			if db.FKPath(anchor.Table, f.target) == nil {
+				continue // not reachable; a stray vocabulary collision
+			}
+			share := float64(f.freq) / float64(total)
+			if len(rollupTargets) < topFragments {
+				rollupTargets = append(rollupTargets, f.target)
+			}
+			if share < minShare {
+				continue
+			}
+			l := link{anchor: anchor, target: f.target}
+			name := fmt.Sprintf("%s-%s-querylog", anchor.Table, f.target)
+			if cat.Definition(name) != nil {
+				continue
+			}
+			def, err := aspectDefinition(db, anchor.Table, f.target, name, "querylog",
+				float64(f.freq), surfaceWords(surface, l, f.target))
+			if err != nil {
+				continue // unreachable targets already filtered; be safe
+			}
+			cat.MustAdd(def)
+		}
+
+		// The rollup profile answering the underspecified single-entity
+		// query.
+		if len(rollupTargets) > 0 {
+			name := anchor.Table + "-profile-querylog"
+			if cat.Definition(name) == nil {
+				def, err := overviewDefinition(db, anchor.Table, rollupTargets, name,
+					"querylog", float64(anchorFreq[anchor]), []string{anchor.Table})
+				if err == nil {
+					cat.MustAdd(def)
+				}
+			}
+		}
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("derive: query log produced no qunit definitions")
+	}
+	cat.NormalizeUtilities()
+	return cat, nil
+}
+
+func addSurface(surface map[link]map[string]int, l link, text string, freq int) {
+	m := surface[l]
+	if m == nil {
+		m = map[string]int{}
+		surface[l] = m
+	}
+	m[ir.Normalize(text)] += freq
+}
+
+// surfaceWords returns the observed query vocabulary for a link, most
+// frequent first, always including the target table's name.
+func surfaceWords(surface map[link]map[string]int, l link, target string) []string {
+	m := surface[l]
+	words := make([]string, 0, len(m)+1)
+	for w := range m {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if m[words[i]] != m[words[j]] {
+			return m[words[i]] > m[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	has := false
+	for _, w := range words {
+		if w == target {
+			has = true
+		}
+	}
+	if !has {
+		words = append(words, target)
+	}
+	return words
+}

@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func TestNeedKindStrings(t *testing.T) {
+	names := map[NeedKind]string{
+		NeedUnknown:    "unknown",
+		NeedProfile:    "profile",
+		NeedAspect:     "aspect",
+		NeedConnection: "connection",
+		NeedComplex:    "complex",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestAllFormsOrder(t *testing.T) {
+	forms := AllForms()
+	if len(forms) != 14 {
+		t.Fatalf("forms = %d", len(forms))
+	}
+	if forms[0] != FormTitle || forms[len(forms)-1] != FormDontKnow {
+		t.Errorf("form order changed: %v … %v", forms[0], forms[len(forms)-1])
+	}
+}
+
+// Person-person connection: the required tuples must include the shared
+// movie and both persons' fact rows (the sharedFarSide path).
+func TestConnectionPersonPerson(t *testing.T) {
+	u, seg, oracle := fixture(t)
+	// Find two persons sharing a movie.
+	cast := u.DB.Table(imdb.TableCast)
+	byMovie := map[int64][]string{}
+	cast.Scan(func(id int, row relational.Row) bool {
+		movieID := row[1].AsInt()
+		pTable, pRow, ok := u.DB.Resolve(imdb.TableCast, id, "person_id")
+		if !ok {
+			return true
+		}
+		name := u.DB.Label(relational.TupleRef{Table: pTable, Row: pRow})
+		byMovie[movieID] = append(byMovie[movieID], name)
+		return true
+	})
+	var a, b string
+	for _, names := range byMovie {
+		seen := map[string]bool{}
+		var distinct []string
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				distinct = append(distinct, n)
+			}
+		}
+		if len(distinct) >= 2 {
+			a, b = distinct[0], distinct[1]
+			break
+		}
+	}
+	if a == "" {
+		t.Skip("no co-acting pair at this seed")
+	}
+	need := NeedFromQuery(seg, a+" "+b)
+	if need.Kind != NeedConnection {
+		t.Fatalf("kind = %s for %q", need.Kind, a+" "+b)
+	}
+	req := oracle.Required(need)
+	if len(req) == 0 {
+		t.Fatal("no required tuples for co-actorship")
+	}
+	var hasMovie, hasFact bool
+	for _, r := range req {
+		if r.Table == imdb.TableMovie {
+			hasMovie = true
+		}
+		if r.Table == imdb.TableCast || r.Table == imdb.TableCrew {
+			hasFact = true
+		}
+	}
+	if !hasMovie || !hasFact {
+		t.Errorf("co-actorship required = %v", req)
+	}
+}
+
+// "Most awarded movies" exercises the mostReferenced aggregate.
+func TestComplexMostAwarded(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "most awarded movies")
+	if need.Kind != NeedComplex {
+		t.Fatalf("kind = %s", need.Kind)
+	}
+	req := oracle.Required(need)
+	if len(req) == 0 {
+		t.Skip("no awards at this seed")
+	}
+	var hasMovie, hasAwardRow bool
+	for _, r := range req {
+		if r.Table == imdb.TableMovie {
+			hasMovie = true
+		}
+		if r.Table == imdb.TableMovieAward {
+			hasAwardRow = true
+		}
+	}
+	if !hasMovie || !hasAwardRow {
+		t.Errorf("most-awarded required = %v", req)
+	}
+}
+
+// "Top rated ..." exercises topRatedMovies.
+func TestComplexTopRated(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "top rated comedy movies")
+	if need.Kind != NeedComplex {
+		t.Fatalf("kind = %s", need.Kind)
+	}
+	req := oracle.Required(need)
+	if len(req) != 3 {
+		t.Fatalf("top-rated required = %d tuples, want 3", len(req))
+	}
+	for _, r := range req {
+		if r.Table != imdb.TableMovie {
+			t.Errorf("non-movie tuple %v in top-rated requirement", r)
+		}
+	}
+}
+
+// Unresolvable complex queries yield nothing to require.
+func TestComplexUnresolvable(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "biggest disappointment ever")
+	if need.Kind != NeedComplex {
+		t.Fatalf("kind = %s", need.Kind)
+	}
+	if req := oracle.Required(need); len(req) != 0 {
+		t.Errorf("unresolvable aggregate produced requirements: %v", req)
+	}
+}
+
+// Judge drift must be exercised in both directions and clamp at the
+// rubric boundaries.
+func TestJudgeDriftClamps(t *testing.T) {
+	p := NewPanel(200, 1.0, 9) // always drift
+	for _, oracle := range []float64{0, 0.5, 1} {
+		for _, r := range p.Rate(oracle) {
+			if r < 0 || r > 1 {
+				t.Fatalf("rating %v out of range", r)
+			}
+			if r != 0 && r != 0.5 && r != 1 {
+				t.Fatalf("rating %v off rubric", r)
+			}
+		}
+	}
+	// From 0, drift can only go up or stay (clamped); ensure at least one
+	// upward drift occurred.
+	up := false
+	for _, r := range p.Rate(0) {
+		if r > 0 {
+			up = true
+		}
+	}
+	if !up {
+		t.Error("no upward drift from 0 with noise 1.0")
+	}
+}

@@ -1,0 +1,318 @@
+package eval
+
+import (
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+func fixture(t *testing.T) (*imdb.Universe, *segment.Segmenter, *Oracle) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 8, Persons: 200, Movies: 120, CastPerMovie: 5})
+	d := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	oracle := NewOracle(u.DB, map[string][]string{
+		imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+		imdb.TableMovie:  {imdb.TableCast},
+	})
+	return u, segment.NewSegmenter(d), oracle
+}
+
+func TestNeedFromQueryKinds(t *testing.T) {
+	_, seg, _ := fixture(t)
+	cases := []struct {
+		query string
+		kind  NeedKind
+	}{
+		{"george clooney", NeedProfile},
+		{"star wars", NeedProfile},
+		{"star wars cast", NeedAspect},
+		{"george clooney movies", NeedAspect},
+		{"angelina jolie tomb raider", NeedConnection},
+		{"highest box office revenue", NeedComplex},
+		{"best comedy movies", NeedComplex},
+		{"movie trailers online", NeedUnknown},
+	}
+	for _, c := range cases {
+		need := NeedFromQuery(seg, c.query)
+		if need.Kind != c.kind {
+			t.Errorf("NeedFromQuery(%q).Kind = %s, want %s", c.query, need.Kind, c.kind)
+		}
+	}
+}
+
+func TestNeedAnchorsResolved(t *testing.T) {
+	u, seg, _ := fixture(t)
+	need := NeedFromQuery(seg, "star wars cast")
+	if len(need.Anchor) == 0 {
+		t.Fatal("no anchor")
+	}
+	if need.Anchor[0].Table != imdb.TableMovie {
+		t.Errorf("anchor table = %s", need.Anchor[0].Table)
+	}
+	if need.AspectTable != imdb.TableCast {
+		t.Errorf("aspect = %s", need.AspectTable)
+	}
+	_ = u
+}
+
+func TestRequiredAspectCast(t *testing.T) {
+	u, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "star wars cast")
+	req := oracle.Required(need)
+	if len(req) == 0 {
+		t.Fatal("no required tuples")
+	}
+	var hasCast, hasPerson bool
+	for _, r := range req {
+		switch r.Table {
+		case imdb.TableCast:
+			hasCast = true
+		case imdb.TablePerson:
+			hasPerson = true
+		case imdb.TableMovie:
+			t.Error("required includes the anchor movie (queried entity is not payload)")
+		}
+	}
+	if !hasCast || !hasPerson {
+		t.Errorf("required misses cast or person rows: %v", req)
+	}
+	_ = u
+}
+
+func TestRequiredAspectFilmography(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "george clooney movies")
+	req := oracle.Required(need)
+	var hasMovie, hasFact bool
+	for _, r := range req {
+		if r.Table == imdb.TableMovie {
+			hasMovie = true
+		}
+		if r.Table == imdb.TableCast || r.Table == imdb.TableCrew {
+			hasFact = true
+		}
+	}
+	if !hasMovie || !hasFact {
+		t.Errorf("filmography required = %v", req)
+	}
+}
+
+func TestRequiredProfile(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "star wars")
+	req := oracle.Required(need)
+	tables := map[string]bool{}
+	for _, r := range req {
+		tables[r.Table] = true
+	}
+	for _, want := range []string{imdb.TableGenre, imdb.TableInfo, imdb.TableCast, imdb.TablePerson} {
+		if !tables[want] {
+			t.Errorf("profile required misses %s (have %v)", want, tables)
+		}
+	}
+}
+
+func TestRequiredConnection(t *testing.T) {
+	u, seg, oracle := fixture(t)
+	// Find a person+movie pair that is actually connected.
+	castT := u.DB.Table(imdb.TableCast)
+	var person, movie string
+	castT.Scan(func(id int, row relational.Row) bool {
+		pT, pR, _ := u.DB.Resolve(imdb.TableCast, id, "person_id")
+		mT, mR, _ := u.DB.Resolve(imdb.TableCast, id, "movie_id")
+		person = u.DB.Label(relational.TupleRef{Table: pT, Row: pR})
+		movie = u.DB.Label(relational.TupleRef{Table: mT, Row: mR})
+		return false
+	})
+	need := NeedFromQuery(seg, person+" "+movie)
+	if need.Kind != NeedConnection {
+		t.Fatalf("kind = %s for %q", need.Kind, person+" "+movie)
+	}
+	req := oracle.Required(need)
+	hasLink := false
+	for _, r := range req {
+		if r.Table == imdb.TableCast || r.Table == imdb.TableCrew {
+			hasLink = true
+		}
+	}
+	if !hasLink {
+		t.Errorf("connection required lacks linking fact rows: %v", req)
+	}
+}
+
+func TestRequiredComplex(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "highest box office revenue")
+	req := oracle.Required(need)
+	hasBox := false
+	for _, r := range req {
+		if r.Table == imdb.TableBoxOffice {
+			hasBox = true
+		}
+	}
+	if !hasBox {
+		t.Errorf("complex required = %v", req)
+	}
+	need = NeedFromQuery(seg, "best comedy movies")
+	if len(oracle.Required(need)) == 0 {
+		t.Error("top-rated complex need unresolved")
+	}
+}
+
+func TestOracleScoreRubric(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "star wars cast")
+	required := oracle.Required(need)
+
+	// Perfect result: exactly the required tuples (+ anchor).
+	perfect := SystemResult{Tuples: append(append([]relational.TupleRef(nil), required...), need.Anchor...)}
+	if got := oracle.Score(need, perfect); got != 1.0 {
+		t.Errorf("perfect result scored %v", got)
+	}
+	// Empty result.
+	if got := oracle.Score(need, SystemResult{}); got != 0 {
+		t.Errorf("empty result scored %v", got)
+	}
+	// Anchor-only result: no information above the query.
+	anchorOnly := SystemResult{Tuples: need.Anchor}
+	if got := oracle.Score(need, anchorOnly); got != 0 {
+		t.Errorf("anchor-only result scored %v", got)
+	}
+	// Incomplete: half the required tuples.
+	half := SystemResult{Tuples: required[:len(required)/2]}
+	if got := oracle.Score(need, half); got != 0.5 {
+		t.Errorf("incomplete result scored %v", got)
+	}
+	// Excessive: required plus a pile of unrelated tuples.
+	var noise []relational.TupleRef
+	for i := 0; i < len(required)*2; i++ {
+		noise = append(noise, relational.TupleRef{Table: imdb.TableTrivia, Row: i})
+	}
+	excessive := SystemResult{Tuples: append(append([]relational.TupleRef(nil), required...), noise...)}
+	if got := oracle.Score(need, excessive); got != 0.5 {
+		t.Errorf("excessive result scored %v", got)
+	}
+	// Irrelevant: only unrelated tuples.
+	irrelevant := SystemResult{Tuples: noise}
+	if got := oracle.Score(need, irrelevant); got != 0 {
+		t.Errorf("irrelevant result scored %v", got)
+	}
+}
+
+func TestOracleScoreUnknownNeed(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	need := NeedFromQuery(seg, "movie trailers online")
+	res := SystemResult{Tuples: []relational.TupleRef{{Table: imdb.TableMovie, Row: 0}}}
+	if got := oracle.Score(need, res); got != 0 {
+		t.Errorf("unverifiable need scored %v", got)
+	}
+}
+
+func TestJudgePanel(t *testing.T) {
+	p := NewPanel(20, 0.1, 42)
+	if p.Size() != 20 {
+		t.Fatalf("panel size = %d", p.Size())
+	}
+	ratings := p.Rate(1.0)
+	if len(ratings) != 20 {
+		t.Fatal("ratings count")
+	}
+	m := Mean(ratings)
+	if m < 0.8 || m > 1.0 {
+		t.Errorf("panel mean for oracle=1.0 is %v", m)
+	}
+	for _, r := range ratings {
+		if r != 0 && r != 0.5 && r != 1.0 {
+			t.Errorf("non-rubric rating %v", r)
+		}
+	}
+	// Determinism.
+	p2 := NewPanel(20, 0.1, 42)
+	r2 := p2.Rate(1.0)
+	for i := range ratings {
+		if ratings[i] != r2[i] {
+			t.Fatal("panel not deterministic")
+		}
+	}
+	// Zero noise: unanimous.
+	clean := NewPanel(20, 0, 1)
+	for _, r := range clean.Rate(0.5) {
+		if r != 0.5 {
+			t.Fatal("zero-noise judge drifted")
+		}
+	}
+}
+
+func TestMajorityShare(t *testing.T) {
+	if got := MajorityShare([]float64{1, 1, 1, 0.5}); got != 0.75 {
+		t.Errorf("MajorityShare = %v", got)
+	}
+	if got := MajorityShare(nil); got != 0 {
+		t.Errorf("MajorityShare(nil) = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestRunStudyShape(t *testing.T) {
+	study := RunStudy(DefaultPersonas(), 3)
+	st := study.Stats()
+	// 5 users × 5 needs, plus occasional alternates.
+	if st.Queries < 25 || st.Queries > 35 {
+		t.Errorf("queries = %d", st.Queries)
+	}
+	// The paper's headline structure: a large share single-entity, most
+	// of those underspecified, and a many-to-many mapping.
+	if st.SingleEntity < 5 {
+		t.Errorf("single-entity = %d, want a sizeable share", st.SingleEntity)
+	}
+	if st.Underspecified == 0 {
+		t.Error("no underspecified queries")
+	}
+	if st.Underspecified > st.SingleEntity {
+		t.Error("underspecified exceeds single-entity")
+	}
+	if st.NeedsWithMultipleForms == 0 {
+		t.Error("no need expressed multiple ways (many-to-many violated)")
+	}
+	if st.FormsWithMultipleNeeds == 0 {
+		t.Error("no form serving multiple needs (many-to-many violated)")
+	}
+	// Deterministic.
+	again := RunStudy(DefaultPersonas(), 3)
+	if len(again.Entries) != len(study.Entries) {
+		t.Error("study not deterministic")
+	}
+	// Matrix pivots consistently.
+	m := study.Matrix()
+	cells := 0
+	for _, row := range m {
+		cells += len(row)
+	}
+	if cells == 0 {
+		t.Error("empty matrix")
+	}
+}
+
+func TestBuildSurveyWorkload(t *testing.T) {
+	u, seg, _ := fixture(t)
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 13, Volume: 6000})
+	w := BuildSurveyWorkload(log, seg, 25)
+	if len(w) != 25 {
+		t.Fatalf("workload = %d queries", len(w))
+	}
+	kinds := map[NeedKind]int{}
+	for _, sq := range w {
+		kinds[sq.Need.Kind]++
+		if sq.Query == "" {
+			t.Error("empty query")
+		}
+	}
+	if kinds[NeedProfile] == 0 || kinds[NeedAspect] == 0 {
+		t.Errorf("workload lacks basic kinds: %v", kinds)
+	}
+}

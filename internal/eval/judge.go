@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"qunits/internal/relational"
+)
+
+// scoredRow orders tuples by a numeric aggregate, descending, with RowID
+// tiebreak.
+type scoredRow struct {
+	id  int
+	val float64
+}
+
+func sortRows(rows []scoredRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].val != rows[j].val {
+			return rows[i].val > rows[j].val
+		}
+		return rows[i].id < rows[j].id
+	})
+}
+
+// SystemResult is what a search system returns for one query, reduced to
+// the terms the evaluation understands: the rendered text and the tuples
+// the result presents.
+type SystemResult struct {
+	Text   string
+	Tuples []relational.TupleRef
+}
+
+// Rubric is the paper's Table 2, encoded:
+//
+//	0.0  provides incorrect information / no information above the query
+//	0.5  correct but incomplete, or correct but excessive
+//	1.0  provides correct information
+//
+// Score maps a result to the rubric value an ideal careful judge would
+// assign, given the need oracle.
+func (o *Oracle) Score(need Need, res SystemResult) float64 {
+	if len(res.Tuples) == 0 {
+		return 0
+	}
+	required := o.Required(need)
+	if len(required) == 0 {
+		return 0 // unverifiable intent: nothing can be judged correct
+	}
+	anchorSet := map[relational.TupleRef]bool{}
+	for _, a := range need.Anchor {
+		anchorSet[a] = true
+	}
+	for _, b := range need.Other {
+		anchorSet[b] = true
+	}
+	// "Provides no information above the query": the result restates the
+	// queried entities and nothing else.
+	info := false
+	for _, t := range res.Tuples {
+		if !anchorSet[t] {
+			info = true
+			break
+		}
+	}
+	if !info {
+		return 0
+	}
+	reqSet := map[relational.TupleRef]bool{}
+	for _, r := range required {
+		reqSet[r] = true
+	}
+	covered := 0
+	for _, t := range res.Tuples {
+		if reqSet[t] {
+			covered++
+		}
+	}
+	coverage := float64(covered) / float64(len(required))
+	extra := 0
+	for _, t := range res.Tuples {
+		if !reqSet[t] && !anchorSet[t] {
+			extra++
+		}
+	}
+	excess := float64(extra) / float64(len(res.Tuples))
+
+	switch {
+	case coverage >= 0.75 && excess <= 0.25:
+		return 1.0
+	case coverage >= 0.75:
+		return 0.5 // correct but excessive
+	case coverage >= 0.25:
+		return 0.5 // correct but incomplete
+	default:
+		return 0
+	}
+}
+
+// Judge is one simulated survey participant. With probability Noise the
+// judge drifts one rubric step from the oracle's assessment —
+// disagreement of the kind real Turk panels show. Borderline results
+// (oracle 0.5, "correct but incomplete/excessive") provoke three times
+// the disagreement of clear-cut ones, matching the intuition that humans
+// argue about partial credit, not about perfect or useless answers.
+type Judge struct {
+	Noise float64
+	r     *rand.Rand
+}
+
+// Rate returns the judge's rubric rating for a result the oracle scored.
+func (j *Judge) Rate(oracle float64) float64 {
+	noise := j.Noise
+	if oracle == 0.5 {
+		noise *= 3
+		if noise > 0.45 {
+			noise = 0.45
+		}
+	}
+	if j.r.Float64() >= noise {
+		return oracle
+	}
+	if j.r.Intn(2) == 0 {
+		oracle += 0.5
+	} else {
+		oracle -= 0.5
+	}
+	if oracle < 0 {
+		return 0
+	}
+	if oracle > 1 {
+		return 1
+	}
+	return oracle
+}
+
+// Panel is a set of judges, the stand-in for the paper's 20 Mechanical
+// Turk workers.
+type Panel struct {
+	judges []*Judge
+}
+
+// NewPanel creates n judges with the given noise, deterministically
+// seeded.
+func NewPanel(n int, noise float64, seed int64) *Panel {
+	r := rand.New(rand.NewSource(seed))
+	p := &Panel{}
+	for i := 0; i < n; i++ {
+		p.judges = append(p.judges, &Judge{Noise: noise, r: rand.New(rand.NewSource(r.Int63()))})
+	}
+	return p
+}
+
+// Size returns the number of judges.
+func (p *Panel) Size() int { return len(p.judges) }
+
+// Rate collects every judge's rating for a result.
+func (p *Panel) Rate(oracle float64) []float64 {
+	out := make([]float64, len(p.judges))
+	for i, j := range p.judges {
+		out[i] = j.Rate(oracle)
+	}
+	return out
+}
+
+// Mean averages a rating slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// MajorityShare returns the fraction of ratings agreeing with the modal
+// rating — the paper reports "a third of the questions having an 80% or
+// higher majority for the winning answer".
+func MajorityShare(ratings []float64) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	counts := map[float64]int{}
+	for _, r := range ratings {
+		counts[r]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(len(ratings))
+}

@@ -1,0 +1,467 @@
+// Package eval is the evaluation harness for the reproduction: it models
+// information needs, scores system results against a need oracle using
+// the paper's Table 2 rubric, simulates the 20-judge Mechanical Turk
+// panel, and simulates the five-user study behind Table 1.
+//
+// The paper's evaluation relied on human judgment, which a reproduction
+// cannot re-run; the substitution is an explicit oracle (what tuples does
+// this information need require?) plus noisy simulated judges, giving the
+// same statistic Figure 3 plots — mean relevance per system — with
+// controllable noise.
+package eval
+
+import (
+	"strings"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+// NeedKind classifies an information need.
+type NeedKind uint8
+
+// The need kinds.
+const (
+	// NeedUnknown: no recognizable intent (free text); the oracle cannot
+	// verify any result.
+	NeedUnknown NeedKind = iota
+	// NeedProfile: everything salient about one entity ("george
+	// clooney").
+	NeedProfile
+	// NeedAspect: a specific aspect of one entity ("star wars cast").
+	NeedAspect
+	// NeedConnection: how two entities relate ("angelina jolie tomb
+	// raider").
+	NeedConnection
+	// NeedComplex: an aggregate question ("highest box office revenue").
+	NeedComplex
+)
+
+// String names the kind.
+func (k NeedKind) String() string {
+	switch k {
+	case NeedProfile:
+		return "profile"
+	case NeedAspect:
+		return "aspect"
+	case NeedConnection:
+		return "connection"
+	case NeedComplex:
+		return "complex"
+	default:
+		return "unknown"
+	}
+}
+
+// Need is one information need, derived from a benchmark query by gold
+// segmentation (the queries were generated from entities, so segmentation
+// recovers the generating intent).
+type Need struct {
+	// Kind classifies the need.
+	Kind NeedKind
+	// Query is the original keyword query.
+	Query string
+	// Anchor is the primary entity's tuples (several for remakes).
+	Anchor []relational.TupleRef
+	// Other is the secondary entity's tuples for connection needs.
+	Other []relational.TupleRef
+	// AspectTable is the target table for aspect needs.
+	AspectTable string
+}
+
+// NeedFromQuery derives the gold information need for a query.
+func NeedFromQuery(seg *segment.Segmenter, query string) Need {
+	sg := seg.Segment(query)
+	need := Need{Query: query}
+	if isComplex(sg) {
+		need.Kind = NeedComplex
+		return need
+	}
+	entities := sg.Entities()
+	// Only label-column entities of entity tables count as anchors;
+	// incidental matches (a keyword, a role word) are not what the user
+	// names.
+	var anchors []segment.Segment
+	for _, e := range entities {
+		if labelRefs(e) != nil {
+			anchors = append(anchors, e)
+		}
+	}
+	switch {
+	case len(anchors) == 0:
+		need.Kind = NeedUnknown
+	case len(anchors) >= 2:
+		need.Kind = NeedConnection
+		need.Anchor = labelRefs(anchors[0])
+		need.Other = labelRefs(anchors[1])
+	default:
+		need.Anchor = labelRefs(anchors[0])
+		attrs := sg.Attributes()
+		aspect := ""
+		for _, a := range attrs {
+			if a.Table != anchors[0].Type.Table {
+				aspect = a.Table
+				break
+			}
+		}
+		if aspect != "" {
+			need.Kind = NeedAspect
+			need.AspectTable = aspect
+		} else {
+			need.Kind = NeedProfile
+		}
+	}
+	return need
+}
+
+// labelRefs returns the tuples a segment's phrase names through a label
+// column, or nil when the segment is not an entity name.
+func labelRefs(s segment.Segment) []relational.TupleRef {
+	var out []relational.TupleRef
+	for _, e := range s.Entries {
+		if e.IsLabel && e.Type == s.Type {
+			out = append(out, e.Ref)
+		}
+	}
+	return out
+}
+
+var aggregateWords = map[string]bool{
+	"highest": true, "best": true, "top": true, "most": true,
+	"worst": true, "lowest": true, "greatest": true, "biggest": true,
+}
+
+func isComplex(sg segment.Segmentation) bool {
+	for _, s := range sg.Segments {
+		if s.Kind != segment.KindEntity {
+			for _, tok := range strings.Fields(s.Text) {
+				if aggregateWords[tok] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Oracle computes required tuples for needs and scores results with the
+// Table 2 rubric.
+type Oracle struct {
+	db *relational.Database
+	// ProfileTables lists, per entity table, the referencing/related
+	// tables whose tuples a profile must include (the salient aspects).
+	ProfileTables map[string][]string
+}
+
+// NewOracle creates an oracle. profileTables may be nil, in which case
+// profiles require only the entity's directly referenced dimension rows.
+func NewOracle(db *relational.Database, profileTables map[string][]string) *Oracle {
+	return &Oracle{db: db, ProfileTables: profileTables}
+}
+
+// Required returns the payload tuples the need demands — deliberately
+// excluding the anchor tuples themselves, since restating the query's
+// entity provides "no information above the query".
+func (o *Oracle) Required(need Need) []relational.TupleRef {
+	switch need.Kind {
+	case NeedProfile:
+		return o.profileTuples(need.Anchor)
+	case NeedAspect:
+		return o.aspectTuples(need.Anchor, need.AspectTable)
+	case NeedConnection:
+		return o.connectionTuples(need.Anchor, need.Other)
+	case NeedComplex:
+		return o.complexTuples(need.Query)
+	default:
+		return nil
+	}
+}
+
+// profileTuples: the salient aspects of each anchor.
+func (o *Oracle) profileTuples(anchors []relational.TupleRef) []relational.TupleRef {
+	set := newRefSet()
+	for _, a := range anchors {
+		salient := map[string]bool{}
+		for _, tn := range o.ProfileTables[a.Table] {
+			salient[tn] = true
+		}
+		// Directly referenced dimension rows are always salient: they are
+		// the entity's own attributes, merely normalized away.
+		t := o.db.Table(a.Table)
+		for _, fk := range t.Schema().ForeignKeys {
+			if refTable, refRow, ok := o.db.Resolve(a.Table, a.Row, fk.Column); ok {
+				set.add(relational.TupleRef{Table: refTable, Row: refRow})
+			}
+		}
+		// Referencing fact rows in salient tables, with their far-side
+		// resolutions.
+		for _, ref := range o.db.ReferencingRows(a.Table, a.Row) {
+			if !salient[ref.Table] {
+				continue
+			}
+			set.add(ref)
+			o.addFarSides(set, ref, a.Table)
+		}
+	}
+	return set.slice()
+}
+
+// aspectTuples: the tuples presenting one aspect of the anchors.
+func (o *Oracle) aspectTuples(anchors []relational.TupleRef, aspect string) []relational.TupleRef {
+	set := newRefSet()
+	for _, a := range anchors {
+		// Direct dimension: the anchor's FK resolves into the aspect
+		// table.
+		t := o.db.Table(a.Table)
+		for _, fk := range t.Schema().ForeignKeys {
+			if fk.RefTable != aspect {
+				continue
+			}
+			if refTable, refRow, ok := o.db.Resolve(a.Table, a.Row, fk.Column); ok {
+				set.add(relational.TupleRef{Table: refTable, Row: refRow})
+			}
+		}
+		// Referencing fact rows in the aspect table.
+		for _, ref := range o.db.ReferencingRows(a.Table, a.Row) {
+			if ref.Table == aspect {
+				set.add(ref)
+				o.addFarSides(set, ref, a.Table)
+				continue
+			}
+			// Fact row leading to the aspect table (person → cast →
+			// movie when the aspect is movie).
+			fact := o.db.Table(ref.Table)
+			for _, fk := range fact.Schema().ForeignKeys {
+				if fk.RefTable != aspect {
+					continue
+				}
+				if refTable, refRow, ok := o.db.Resolve(ref.Table, ref.Row, fk.Column); ok {
+					set.add(ref)
+					set.add(relational.TupleRef{Table: refTable, Row: refRow})
+				}
+			}
+		}
+	}
+	return set.slice()
+}
+
+// addFarSides resolves a fact row's other foreign keys (the person of a
+// cast row when anchored on the movie).
+func (o *Oracle) addFarSides(set *refSet, fact relational.TupleRef, anchorTable string) {
+	t := o.db.Table(fact.Table)
+	for _, fk := range t.Schema().ForeignKeys {
+		if fk.RefTable == anchorTable {
+			continue
+		}
+		if refTable, refRow, ok := o.db.Resolve(fact.Table, fact.Row, fk.Column); ok {
+			set.add(relational.TupleRef{Table: refTable, Row: refRow})
+		}
+	}
+}
+
+// connectionTuples: the fact rows linking the two entity sets. When the
+// entities share no link, the best answer simply presents both, so the
+// requirement falls back to the union of both anchor sets.
+func (o *Oracle) connectionTuples(a, b []relational.TupleRef) []relational.TupleRef {
+	set := newRefSet()
+	bByTable := map[string]map[int]bool{}
+	for _, ref := range b {
+		m := bByTable[ref.Table]
+		if m == nil {
+			m = map[int]bool{}
+			bByTable[ref.Table] = m
+		}
+		m[ref.Row] = true
+	}
+	for _, ar := range a {
+		for _, fact := range o.db.ReferencingRows(ar.Table, ar.Row) {
+			factT := o.db.Table(fact.Table)
+			for _, fk := range factT.Schema().ForeignKeys {
+				refTable, refRow, ok := o.db.Resolve(fact.Table, fact.Row, fk.Column)
+				if !ok {
+					continue
+				}
+				if bByTable[refTable][refRow] {
+					set.add(fact)
+					set.add(relational.TupleRef{Table: refTable, Row: refRow})
+				}
+			}
+		}
+	}
+	if set.len() == 0 {
+		// Same-table entities (two people): connected through a shared
+		// far-side entity (a movie both appear in).
+		shared := o.sharedFarSide(a, b)
+		for _, ref := range shared {
+			set.add(ref)
+		}
+	}
+	if set.len() == 0 {
+		for _, ref := range append(append([]relational.TupleRef(nil), a...), b...) {
+			set.add(ref)
+		}
+	}
+	return set.slice()
+}
+
+// sharedFarSide finds fact rows of a and b that resolve to the same
+// far-side tuple, returning the fact rows plus the shared tuples.
+func (o *Oracle) sharedFarSide(a, b []relational.TupleRef) []relational.TupleRef {
+	type farKey struct {
+		table string
+		row   int
+	}
+	aFar := map[farKey][]relational.TupleRef{}
+	collect := func(anchors []relational.TupleRef, into map[farKey][]relational.TupleRef) {
+		for _, ar := range anchors {
+			for _, fact := range o.db.ReferencingRows(ar.Table, ar.Row) {
+				factT := o.db.Table(fact.Table)
+				for _, fk := range factT.Schema().ForeignKeys {
+					if fk.RefTable == ar.Table {
+						continue
+					}
+					if refTable, refRow, ok := o.db.Resolve(fact.Table, fact.Row, fk.Column); ok {
+						k := farKey{refTable, refRow}
+						into[k] = append(into[k], fact)
+					}
+				}
+			}
+		}
+	}
+	collect(a, aFar)
+	bFar := map[farKey][]relational.TupleRef{}
+	collect(b, bFar)
+	set := newRefSet()
+	for k, aFacts := range aFar {
+		bFacts, ok := bFar[k]
+		if !ok {
+			continue
+		}
+		set.add(relational.TupleRef{Table: k.table, Row: k.row})
+		for _, f := range aFacts {
+			set.add(f)
+		}
+		for _, f := range bFacts {
+			set.add(f)
+		}
+	}
+	return set.slice()
+}
+
+// complexTuples handles the aggregate templates the synthetic log
+// contains: box-office leaders, top-rated-by-genre, most-awarded.
+func (o *Oracle) complexTuples(query string) []relational.TupleRef {
+	q := " " + ir.Normalize(query) + " "
+	switch {
+	case strings.Contains(q, "box office") || strings.Contains(q, "grossing") || strings.Contains(q, "revenue"):
+		return o.topByColumn("boxoffice", "gross", "movie_id", 1)
+	case strings.Contains(q, "awarded") || strings.Contains(q, "awards"):
+		return o.mostReferenced("movie_award", "movie_id", 1)
+	case strings.Contains(q, "rated") || strings.Contains(q, " best ") || strings.Contains(q, " top "):
+		return o.topRatedMovies(3)
+	default:
+		return nil
+	}
+}
+
+func (o *Oracle) topByColumn(table, valueCol, fkCol string, n int) []relational.TupleRef {
+	t := o.db.Table(table)
+	if t == nil {
+		return nil
+	}
+	var best []scoredRow
+	vi, _ := t.Schema().ColumnIndex(valueCol)
+	t.Scan(func(id int, r relational.Row) bool {
+		best = append(best, scoredRow{id: id, val: r[vi].AsFloat()})
+		return true
+	})
+	if len(best) == 0 {
+		return nil
+	}
+	sortRows(best)
+	set := newRefSet()
+	for i := 0; i < n && i < len(best); i++ {
+		ref := relational.TupleRef{Table: table, Row: best[i].id}
+		set.add(ref)
+		if refTable, refRow, ok := o.db.Resolve(table, best[i].id, fkCol); ok {
+			set.add(relational.TupleRef{Table: refTable, Row: refRow})
+		}
+	}
+	return set.slice()
+}
+
+func (o *Oracle) mostReferenced(table, fkCol string, n int) []relational.TupleRef {
+	t := o.db.Table(table)
+	if t == nil {
+		return nil
+	}
+	counts := map[relational.Value][]int{}
+	ci, _ := t.Schema().ColumnIndex(fkCol)
+	t.Scan(func(id int, r relational.Row) bool {
+		counts[r[ci]] = append(counts[r[ci]], id)
+		return true
+	})
+	bestVal := relational.Null()
+	bestN := 0
+	for v, ids := range counts {
+		if len(ids) > bestN || (len(ids) == bestN && v.Compare(bestVal) < 0) {
+			bestVal, bestN = v, len(ids)
+		}
+	}
+	if bestN == 0 {
+		return nil
+	}
+	set := newRefSet()
+	fk, _ := t.Schema().ForeignKeyOn(fkCol)
+	if ref := o.db.Table(fk.RefTable); ref != nil {
+		if id, ok := ref.LookupPK(bestVal); ok {
+			set.add(relational.TupleRef{Table: fk.RefTable, Row: id})
+		}
+	}
+	for _, id := range counts[bestVal] {
+		set.add(relational.TupleRef{Table: table, Row: id})
+	}
+	_ = n
+	return set.slice()
+}
+
+func (o *Oracle) topRatedMovies(n int) []relational.TupleRef {
+	t := o.db.Table("movie")
+	if t == nil {
+		return nil
+	}
+	ri, ok := t.Schema().ColumnIndex("rating")
+	if !ok {
+		return nil
+	}
+	var best []scoredRow
+	t.Scan(func(id int, r relational.Row) bool {
+		best = append(best, scoredRow{id: id, val: r[ri].AsFloat()})
+		return true
+	})
+	sortRows(best)
+	set := newRefSet()
+	for i := 0; i < n && i < len(best); i++ {
+		set.add(relational.TupleRef{Table: "movie", Row: best[i].id})
+	}
+	return set.slice()
+}
+
+// refSet is an insertion-ordered set of tuple refs.
+type refSet struct {
+	seen map[relational.TupleRef]bool
+	out  []relational.TupleRef
+}
+
+func newRefSet() *refSet { return &refSet{seen: map[relational.TupleRef]bool{}} }
+
+func (s *refSet) add(r relational.TupleRef) {
+	if !s.seen[r] {
+		s.seen[r] = true
+		s.out = append(s.out, r)
+	}
+}
+
+func (s *refSet) len() int                     { return len(s.out) }
+func (s *refSet) slice() []relational.TupleRef { return s.out }

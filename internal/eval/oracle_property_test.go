@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"qunits/internal/relational"
+)
+
+// Oracle monotonicity properties: the rubric must behave sanely under
+// perturbation of the result set.
+
+func TestOracleMonotonicity(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	r := rand.New(rand.NewSource(71))
+	queries := []string{
+		"star wars cast", "george clooney", "tom hanks movies",
+		"star wars", "batman trivia",
+	}
+	for _, q := range queries {
+		need := NeedFromQuery(seg, q)
+		required := oracle.Required(need)
+		if len(required) == 0 {
+			continue
+		}
+		full := append(append([]relational.TupleRef(nil), required...), need.Anchor...)
+		fullScore := oracle.Score(need, SystemResult{Tuples: full})
+		if fullScore != 1.0 {
+			t.Fatalf("%q: exact result scored %v", q, fullScore)
+		}
+
+		// Removing required tuples never increases the score.
+		prev := fullScore
+		tuples := append([]relational.TupleRef(nil), full...)
+		for len(tuples) > 0 {
+			tuples = tuples[:len(tuples)*2/3]
+			s := oracle.Score(need, SystemResult{Tuples: tuples})
+			if s > prev {
+				t.Fatalf("%q: removing tuples raised score %v -> %v", q, prev, s)
+			}
+			prev = s
+		}
+
+		// Adding unrelated noise never increases the score.
+		noisy := append([]relational.TupleRef(nil), full...)
+		prev = fullScore
+		for i := 0; i < 5; i++ {
+			for j := 0; j < len(required); j++ {
+				noisy = append(noisy, relational.TupleRef{Table: "keyword", Row: r.Intn(20)})
+			}
+			s := oracle.Score(need, SystemResult{Tuples: noisy})
+			if s > prev {
+				t.Fatalf("%q: adding noise raised score %v -> %v", q, prev, s)
+			}
+			prev = s
+		}
+	}
+}
+
+// Scores always land on the rubric.
+func TestOracleScoresOnRubric(t *testing.T) {
+	u, seg, oracle := fixture(t)
+	r := rand.New(rand.NewSource(73))
+	tables := u.DB.TableNames()
+	for i := 0; i < 300; i++ {
+		q := []string{"star wars cast", "george clooney", "batman", "tom hanks movies"}[r.Intn(4)]
+		need := NeedFromQuery(seg, q)
+		var tuples []relational.TupleRef
+		for j := 0; j < r.Intn(30); j++ {
+			tn := tables[r.Intn(len(tables))]
+			if u.DB.Table(tn).Len() == 0 {
+				continue
+			}
+			tuples = append(tuples, relational.TupleRef{Table: tn, Row: r.Intn(u.DB.Table(tn).Len())})
+		}
+		s := oracle.Score(need, SystemResult{Tuples: tuples})
+		if s != 0 && s != 0.5 && s != 1.0 {
+			t.Fatalf("non-rubric score %v", s)
+		}
+	}
+}
+
+// The required set never contains the anchor itself: the queried entity
+// is given, not payload.
+func TestRequiredExcludesAnchor(t *testing.T) {
+	_, seg, oracle := fixture(t)
+	for _, q := range []string{"star wars", "george clooney", "star wars cast", "tom hanks movies"} {
+		need := NeedFromQuery(seg, q)
+		anchors := map[relational.TupleRef]bool{}
+		for _, a := range need.Anchor {
+			anchors[a] = true
+		}
+		for _, r := range oracle.Required(need) {
+			if anchors[r] {
+				t.Errorf("%q: required contains anchor %v", q, r)
+			}
+		}
+	}
+}

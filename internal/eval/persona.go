@@ -1,0 +1,254 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file simulates the Table 1 user study: five users, each asked for
+// five movie-related information needs and the keyword queries they would
+// use. The paper's finding is structural — the need↔query mapping is
+// many-to-many, a large share of queries are single-entity, and most of
+// those are underspecified — and the simulation reproduces that structure
+// from a behavioural model rather than copying the table.
+
+// InformationNeed names one row of Table 1.
+type InformationNeed string
+
+// The paper's thirteen information needs.
+const (
+	NeedMovieSummary   InformationNeed = "movie summary"
+	NeedCast           InformationNeed = "cast"
+	NeedFilmography    InformationNeed = "filmography"
+	NeedCoactorship    InformationNeed = "coactorship"
+	NeedPosters        InformationNeed = "posters"
+	NeedRelatedMovies  InformationNeed = "related movies"
+	NeedAwards         InformationNeed = "awards"
+	NeedMoviesOfPeriod InformationNeed = "movies of period"
+	NeedChartsLists    InformationNeed = "charts / lists"
+	NeedRecommend      InformationNeed = "recommendations"
+	NeedSoundtracks    InformationNeed = "soundtracks"
+	NeedTrivia         InformationNeed = "trivia"
+	NeedBoxOffice      InformationNeed = "box office"
+)
+
+// AllNeeds lists the needs in the paper's row order.
+func AllNeeds() []InformationNeed {
+	return []InformationNeed{
+		NeedMovieSummary, NeedCast, NeedFilmography, NeedCoactorship,
+		NeedPosters, NeedRelatedMovies, NeedAwards, NeedMoviesOfPeriod,
+		NeedChartsLists, NeedRecommend, NeedSoundtracks, NeedTrivia,
+		NeedBoxOffice,
+	}
+}
+
+// QueryForm names one column of Table 1: the abstract shape of the query
+// a user typed.
+type QueryForm string
+
+// The paper's thirteen query forms.
+const (
+	FormTitle          QueryForm = "[title]"
+	FormTitleBoxOffice QueryForm = "[title] box office"
+	FormActorAward     QueryForm = "[actor] [award]"
+	FormYearActor      QueryForm = "[year] [actor]"
+	FormActor          QueryForm = "[actor]"
+	FormActorGenre     QueryForm = "[actor] [genre]"
+	FormTitleOST       QueryForm = "[title] ost"
+	FormTitleCast      QueryForm = "[title] cast"
+	FormTitleFreetext  QueryForm = "[title] [freetext]"
+	FormMovieFreetext  QueryForm = "movie [freetext]"
+	FormTitleYear      QueryForm = "[title] year"
+	FormTitlePosters   QueryForm = "[title] posters"
+	FormTitlePlot      QueryForm = "[title] plot"
+	FormDontKnow       QueryForm = "don't know"
+)
+
+// AllForms lists the forms in the paper's column order.
+func AllForms() []QueryForm {
+	return []QueryForm{
+		FormTitle, FormTitleBoxOffice, FormActorAward, FormYearActor,
+		FormActor, FormActorGenre, FormTitleOST, FormTitleCast,
+		FormTitleFreetext, FormMovieFreetext, FormTitleYear,
+		FormTitlePosters, FormTitlePlot, FormDontKnow,
+	}
+}
+
+// formChoices maps each need to the query forms users plausibly reach
+// for, most specific first. The sets mirror the populated cells of
+// Table 1.
+var formChoices = map[InformationNeed][]QueryForm{
+	NeedMovieSummary:   {FormTitlePlot, FormTitleFreetext, FormTitle},
+	NeedCast:           {FormTitleCast, FormTitle},
+	NeedFilmography:    {FormActorGenre, FormActor},
+	NeedCoactorship:    {FormTitleCast, FormActor, FormTitle},
+	NeedPosters:        {FormTitlePosters, FormTitle},
+	NeedRelatedMovies:  {FormTitleFreetext, FormTitle, FormDontKnow},
+	NeedAwards:         {FormActorAward, FormTitle},
+	NeedMoviesOfPeriod: {FormYearActor, FormTitleYear, FormDontKnow},
+	NeedChartsLists:    {FormMovieFreetext, FormActor, FormDontKnow},
+	NeedRecommend:      {FormMovieFreetext, FormTitle, FormDontKnow},
+	NeedSoundtracks:    {FormTitleOST, FormTitle},
+	NeedTrivia:         {FormTitleFreetext, FormTitlePlot, FormTitle},
+	NeedBoxOffice:      {FormTitleBoxOffice, FormTitle},
+}
+
+// underspecifiedForms are the bare single-entity forms: issuing one for a
+// richer need means the query could have been written better "by adding
+// on additional predicates".
+var underspecifiedForms = map[QueryForm]bool{
+	FormTitle: true,
+	FormActor: true,
+}
+
+// singleEntityForms contain exactly one entity and nothing else.
+var singleEntityForms = map[QueryForm]bool{
+	FormTitle: true,
+	FormActor: true,
+}
+
+// Persona is one simulated study subject.
+type Persona struct {
+	// ID is the paper's subject letter (a–e).
+	ID string
+	// DBSavvy marks the two database-graduate subjects.
+	DBSavvy bool
+	// Underspecification is the probability of reaching for a bare
+	// entity query even when a more specific form exists.
+	Underspecification float64
+}
+
+// DefaultPersonas returns the five subjects: two database-savvy, three
+// lay users with a stronger tendency to underspecify.
+func DefaultPersonas() []Persona {
+	return []Persona{
+		{ID: "a", DBSavvy: true, Underspecification: 0.2},
+		{ID: "b", DBSavvy: true, Underspecification: 0.25},
+		{ID: "c", DBSavvy: false, Underspecification: 0.45},
+		{ID: "d", DBSavvy: false, Underspecification: 0.5},
+		{ID: "e", DBSavvy: false, Underspecification: 0.4},
+	}
+}
+
+// StudyEntry is one cell contribution: a persona expressed a need through
+// a form.
+type StudyEntry struct {
+	Need    InformationNeed
+	Form    QueryForm
+	Persona string
+}
+
+// Study is the simulated user study.
+type Study struct {
+	Entries []StudyEntry
+}
+
+// RunStudy simulates the study: each persona draws five distinct needs
+// and verbalizes each through one or occasionally two query forms.
+func RunStudy(personas []Persona, seed int64) *Study {
+	r := rand.New(rand.NewSource(seed))
+	needs := AllNeeds()
+	study := &Study{}
+	for _, p := range personas {
+		picked := r.Perm(len(needs))[:5]
+		sort.Ints(picked)
+		for _, ni := range picked {
+			need := needs[ni]
+			forms := formChoices[need]
+			study.Entries = append(study.Entries, StudyEntry{
+				Need: need, Form: chooseForm(r, p, forms), Persona: p.ID,
+			})
+			// Some subjects offer an alternative formulation (the paper
+			// notes users "came up with multiple queries to satisfy the
+			// same information need").
+			if r.Float64() < 0.15 && len(forms) > 1 {
+				alt := chooseForm(r, p, forms)
+				study.Entries = append(study.Entries, StudyEntry{
+					Need: need, Form: alt, Persona: p.ID,
+				})
+			}
+		}
+	}
+	return study
+}
+
+func chooseForm(r *rand.Rand, p Persona, forms []QueryForm) QueryForm {
+	// Underspecify: reach for a bare entity form when the need allows it.
+	if r.Float64() < p.Underspecification {
+		for _, f := range forms {
+			if underspecifiedForms[f] {
+				return f
+			}
+		}
+	}
+	// Otherwise prefer the most specific (first) forms; savvy users more
+	// reliably so.
+	if p.DBSavvy || r.Float64() < 0.6 {
+		return forms[0]
+	}
+	return forms[r.Intn(len(forms))]
+}
+
+// Matrix pivots the study into Table 1's shape: need × form → persona
+// IDs.
+func (s *Study) Matrix() map[InformationNeed]map[QueryForm][]string {
+	m := map[InformationNeed]map[QueryForm][]string{}
+	for _, e := range s.Entries {
+		row := m[e.Need]
+		if row == nil {
+			row = map[QueryForm][]string{}
+			m[e.Need] = row
+		}
+		row[e.Form] = append(row[e.Form], e.Persona)
+	}
+	return m
+}
+
+// StudyStats are the quantities the paper derives from Table 1.
+type StudyStats struct {
+	// Queries is the total number of query formulations.
+	Queries int
+	// SingleEntity counts bare [title]/[actor] queries.
+	SingleEntity int
+	// Underspecified counts single-entity queries issued for needs richer
+	// than a summary lookup.
+	Underspecified int
+	// NeedsWithMultipleForms counts needs expressed through ≥2 forms.
+	NeedsWithMultipleForms int
+	// FormsWithMultipleNeeds counts forms used for ≥2 needs.
+	FormsWithMultipleNeeds int
+}
+
+// Stats computes the study statistics.
+func (s *Study) Stats() StudyStats {
+	st := StudyStats{Queries: len(s.Entries)}
+	needForms := map[InformationNeed]map[QueryForm]bool{}
+	formNeeds := map[QueryForm]map[InformationNeed]bool{}
+	for _, e := range s.Entries {
+		if singleEntityForms[e.Form] {
+			st.SingleEntity++
+			if e.Need != NeedMovieSummary && e.Need != NeedFilmography {
+				st.Underspecified++
+			}
+		}
+		if needForms[e.Need] == nil {
+			needForms[e.Need] = map[QueryForm]bool{}
+		}
+		needForms[e.Need][e.Form] = true
+		if formNeeds[e.Form] == nil {
+			formNeeds[e.Form] = map[InformationNeed]bool{}
+		}
+		formNeeds[e.Form][e.Need] = true
+	}
+	for _, forms := range needForms {
+		if len(forms) >= 2 {
+			st.NeedsWithMultipleForms++
+		}
+	}
+	for _, needs := range formNeeds {
+		if len(needs) >= 2 {
+			st.FormsWithMultipleNeeds++
+		}
+	}
+	return st
+}

@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"qunits/internal/querylog"
+	"qunits/internal/segment"
+)
+
+// SurveyQuery pairs a benchmark query with its gold information need.
+type SurveyQuery struct {
+	Query string
+	Need  Need
+}
+
+// BuildSurveyWorkload reproduces §5.3's survey construction: from the
+// movie querylog benchmark's 14×2 = 28 queries, take 25 (the paper used
+// "25 of the 28"; we drop the three whose templates rank lowest, the
+// deterministic counterpart of their unstated choice) and attach the gold
+// need each query expresses.
+func BuildSurveyWorkload(log *querylog.Log, seg *segment.Segmenter, size int) []SurveyQuery {
+	if size <= 0 {
+		size = 25
+	}
+	raw := querylog.BenchmarkWorkload(log, seg, 14, 2)
+	if len(raw) > size {
+		raw = raw[:size]
+	}
+	out := make([]SurveyQuery, 0, len(raw))
+	for _, q := range raw {
+		out = append(out, SurveyQuery{Query: q, Need: NeedFromQuery(seg, q)})
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package evidence
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+// CorpusConfig sizes the synthetic web corpus. Pages are created for the
+// most popular entities first — popular things are what the web writes
+// about, and the head-biased coverage matters: derivation must work from
+// evidence about popular entities and generalize to the tail.
+type CorpusConfig struct {
+	// Seed drives layout jitter.
+	Seed int64
+	// MoviePages: number of movie overview pages.
+	MoviePages int
+	// CastPages: number of per-movie cast pages.
+	CastPages int
+	// FilmographyPages: number of per-person filmography pages.
+	FilmographyPages int
+	// SoundtrackPages: number of per-movie soundtrack pages.
+	SoundtrackPages int
+}
+
+// DefaultCorpusConfig covers the popular head of a default-scale
+// universe.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:             1,
+		MoviePages:       220,
+		CastPages:        180,
+		FilmographyPages: 180,
+		SoundtrackPages:  80,
+	}
+}
+
+// BuildCorpus renders the synthetic site from the universe.
+func BuildCorpus(u *imdb.Universe, cfg CorpusConfig) []Page {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var pages []Page
+	movies := u.Movies
+	persons := u.Persons
+
+	for i := 0; i < cfg.MoviePages && i < len(movies); i++ {
+		pages = append(pages, moviePage(u, movies[i]))
+	}
+	for i := 0; i < cfg.CastPages && i < len(movies); i++ {
+		pages = append(pages, castPage(u, movies[i], r))
+	}
+	for i := 0; i < cfg.FilmographyPages && i < len(persons); i++ {
+		pages = append(pages, filmographyPage(u, persons[i]))
+	}
+	count := 0
+	for i := 0; count < cfg.SoundtrackPages && i < len(movies); i++ {
+		if p, ok := soundtrackPage(u, movies[i]); ok {
+			pages = append(pages, p)
+			count++
+		}
+	}
+	return pages
+}
+
+// moviePage renders an overview page: the movie title in the header, an
+// infobox of resolved facts (genre, location), a starring list — real
+// overview pages always name the principal cast — and the plot
+// paragraph.
+func moviePage(u *imdb.Universe, m imdb.Entity) Page {
+	db := u.DB
+	movieT := db.Table(imdb.TableMovie)
+	get := func(col string) string {
+		v, _ := movieT.Get(m.Row, col)
+		return v.Render()
+	}
+	resolve := func(col string) string {
+		t, row, ok := db.Resolve(imdb.TableMovie, m.Row, col)
+		if !ok {
+			return ""
+		}
+		return db.Label(relational.TupleRef{Table: t, Row: row})
+	}
+	info := El("div",
+		TextEl("span", resolve("genre_id")),
+		TextEl("span", resolve("location_id")),
+		TextEl("span", get("releasedate")),
+	)
+	var starring []*DOMNode
+	for _, ref := range db.ReferencingRows(imdb.TableMovie, m.Row) {
+		if ref.Table != imdb.TableCast {
+			continue
+		}
+		if pTable, pRow, ok := db.Resolve(imdb.TableCast, ref.Row, "person_id"); ok {
+			starring = append(starring, TextEl("li", db.Label(relational.TupleRef{Table: pTable, Row: pRow})))
+		}
+	}
+	root := El("html",
+		TextEl("h1", m.Name),
+		info,
+		El("ul", starring...),
+		TextEl("p", resolve("info_id")),
+	)
+	return Page{URL: "/movie/" + Slug(m.Name), Root: root}
+}
+
+// castPage renders the paper's canonical example: movie title on top, one
+// list item per cast member.
+func castPage(u *imdb.Universe, m imdb.Entity, r *rand.Rand) Page {
+	db := u.DB
+	var items []*DOMNode
+	for _, ref := range db.ReferencingRows(imdb.TableMovie, m.Row) {
+		if ref.Table != imdb.TableCast {
+			continue
+		}
+		pTable, pRow, ok := db.Resolve(imdb.TableCast, ref.Row, "person_id")
+		if !ok {
+			continue
+		}
+		name := db.Label(relational.TupleRef{Table: pTable, Row: pRow})
+		items = append(items, TextEl("li", name))
+	}
+	// Real pages have layout jitter: sometimes a byline or a footer.
+	children := []*DOMNode{TextEl("h1", m.Name), El("ul", items...)}
+	if r.Intn(3) == 0 {
+		children = append(children, TextEl("p", "full credits and production details"))
+	}
+	return Page{URL: "/movie/" + Slug(m.Name) + "/cast", Root: El("html", children...)}
+}
+
+// filmographyPage renders a person page: name in the header, one list
+// item per movie they appear in.
+func filmographyPage(u *imdb.Universe, p imdb.Entity) Page {
+	db := u.DB
+	seen := map[string]bool{}
+	var items []*DOMNode
+	for _, ref := range db.ReferencingRows(imdb.TablePerson, p.Row) {
+		if ref.Table != imdb.TableCast && ref.Table != imdb.TableCrew {
+			continue
+		}
+		mTable, mRow, ok := db.Resolve(ref.Table, ref.Row, "movie_id")
+		if !ok {
+			continue
+		}
+		title := db.Label(relational.TupleRef{Table: mTable, Row: mRow})
+		if seen[title] {
+			continue
+		}
+		seen[title] = true
+		items = append(items, TextEl("li", title))
+	}
+	root := El("html", TextEl("h1", p.Name), El("ul", items...))
+	return Page{URL: "/person/" + Slug(p.Name), Root: root}
+}
+
+// soundtrackPage lists a movie's tracks; ok is false when the movie has
+// none.
+func soundtrackPage(u *imdb.Universe, m imdb.Entity) (Page, bool) {
+	db := u.DB
+	var items []*DOMNode
+	for _, ref := range db.ReferencingRows(imdb.TableMovie, m.Row) {
+		if ref.Table != imdb.TableSoundtrack {
+			continue
+		}
+		track, _ := db.Table(imdb.TableSoundtrack).Get(ref.Row, "track")
+		items = append(items, TextEl("li", track.Render()))
+	}
+	if len(items) == 0 {
+		return Page{}, false
+	}
+	root := El("html", TextEl("h1", m.Name), El("ul", items...))
+	return Page{URL: fmt.Sprintf("/movie/%s/soundtrack", Slug(m.Name)), Root: root}, true
+}

@@ -1,0 +1,82 @@
+// Package evidence models the paper's third derivation input (§4.3):
+// external evidence. "External evidence can be in the form of existing
+// reports — published results of queries to the database, or relevant web
+// pages that present parts of the data." The paper used Wikipedia and an
+// imdb.com crawl; this package synthesizes an equivalent corpus — web
+// pages with DOM trees rendered from the database — and computes the
+// per-page *type signatures* ("((movie.title:1) (person.name:40))")
+// that the evidence-based derivation strategy aggregates into qunit
+// definitions.
+package evidence
+
+import "strings"
+
+// DOMNode is one node of a page's DOM tree.
+type DOMNode struct {
+	// Tag is the HTML-ish element name (html, h1, ul, li, p, span …).
+	Tag string
+	// Text is the node's own text content.
+	Text string
+	// Children in document order.
+	Children []*DOMNode
+}
+
+// El constructs an element node.
+func El(tag string, children ...*DOMNode) *DOMNode {
+	return &DOMNode{Tag: tag, Children: children}
+}
+
+// TextEl constructs a leaf element with text content.
+func TextEl(tag, text string) *DOMNode {
+	return &DOMNode{Tag: tag, Text: text}
+}
+
+// Walk visits every node in document order; fn receives the node and the
+// path of ancestor tags (outermost first).
+func (n *DOMNode) Walk(fn func(node *DOMNode, ancestors []string)) {
+	var rec func(node *DOMNode, anc []string)
+	rec = func(node *DOMNode, anc []string) {
+		fn(node, anc)
+		childAnc := append(anc, node.Tag)
+		for _, c := range node.Children {
+			rec(c, childAnc)
+		}
+	}
+	rec(n, nil)
+}
+
+// FlatText renders the subtree's text in document order.
+func (n *DOMNode) FlatText() string {
+	var parts []string
+	n.Walk(func(node *DOMNode, _ []string) {
+		if node.Text != "" {
+			parts = append(parts, node.Text)
+		}
+	})
+	return strings.Join(parts, " ")
+}
+
+// CountNodes returns the number of nodes in the subtree.
+func (n *DOMNode) CountNodes() int {
+	count := 0
+	n.Walk(func(*DOMNode, []string) { count++ })
+	return count
+}
+
+// Page is one synthetic web page.
+type Page struct {
+	// URL is the page address, e.g. "/movie/star-wars/cast".
+	URL string
+	// Root is the DOM tree.
+	Root *DOMNode
+}
+
+// Slug converts an entity name to its URL form.
+func Slug(name string) string {
+	return strings.ReplaceAll(strings.Join(strings.Fields(name), "-"), "'", "")
+}
+
+// Unslug converts a URL segment back to a phrase.
+func Unslug(seg string) string {
+	return strings.ReplaceAll(seg, "-", " ")
+}

@@ -1,0 +1,230 @@
+package evidence
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+func corpusFixture(t *testing.T) (*imdb.Universe, []Page, *segment.Dictionary) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 4, Persons: 150, Movies: 100, CastPerMovie: 5})
+	pages := BuildCorpus(u, CorpusConfig{
+		Seed: 2, MoviePages: 40, CastPages: 30, FilmographyPages: 30, SoundtrackPages: 10,
+	})
+	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	return u, pages, dict
+}
+
+func TestDOMHelpers(t *testing.T) {
+	tree := El("html", TextEl("h1", "star wars"), El("ul", TextEl("li", "a"), TextEl("li", "b")))
+	if tree.CountNodes() != 5 {
+		t.Errorf("CountNodes = %d", tree.CountNodes())
+	}
+	if got := tree.FlatText(); got != "star wars a b" {
+		t.Errorf("FlatText = %q", got)
+	}
+	var headerAnc []string
+	tree.Walk(func(n *DOMNode, anc []string) {
+		if n.Tag == "li" && n.Text == "a" {
+			headerAnc = append([]string(nil), anc...)
+		}
+	})
+	if len(headerAnc) != 2 || headerAnc[0] != "html" || headerAnc[1] != "ul" {
+		t.Errorf("ancestors = %v", headerAnc)
+	}
+}
+
+func TestSlugRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"star wars":      "star-wars",
+		"ocean's eleven": "oceans-eleven",
+		"cast away":      "cast-away",
+	}
+	for name, want := range cases {
+		if got := Slug(name); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", name, got, want)
+		}
+	}
+	if Unslug("star-wars") != "star wars" {
+		t.Error("Unslug broken")
+	}
+}
+
+func TestBuildCorpusShape(t *testing.T) {
+	_, pages, _ := corpusFixture(t)
+	if len(pages) != 110 {
+		t.Fatalf("pages = %d, want 40+30+30+10", len(pages))
+	}
+	kinds := map[string]int{}
+	for _, p := range pages {
+		switch {
+		case strings.HasSuffix(p.URL, "/cast"):
+			kinds["cast"]++
+		case strings.HasSuffix(p.URL, "/soundtrack"):
+			kinds["soundtrack"]++
+		case strings.HasPrefix(p.URL, "/person/"):
+			kinds["person"]++
+		case strings.HasPrefix(p.URL, "/movie/"):
+			kinds["movie"]++
+		}
+		if p.Root == nil || p.Root.CountNodes() < 2 {
+			t.Errorf("page %s is empty", p.URL)
+		}
+	}
+	if kinds["cast"] != 30 || kinds["movie"] != 40 || kinds["person"] != 30 || kinds["soundtrack"] != 10 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestCastPageSignatureMatchesPaperExample(t *testing.T) {
+	u, pages, dict := corpusFixture(t)
+	var cast *Page
+	for i := range pages {
+		if strings.HasSuffix(pages[i].URL, "/cast") {
+			cast = &pages[i]
+			break
+		}
+	}
+	if cast == nil {
+		t.Fatal("no cast page")
+	}
+	sig := ComputeSignature(*cast, dict)
+	movieTitle := relational.QualifiedColumn{Table: "movie", Column: "title"}
+	personName := relational.QualifiedColumn{Table: "person", Column: "name"}
+	// The paper's cast-page shape: one movie title (the header), many
+	// person names (the list).
+	if sig.Counts[movieTitle] < 1 {
+		t.Errorf("movie.title count = %d", sig.Counts[movieTitle])
+	}
+	if sig.Counts[personName] < 1 {
+		t.Errorf("person.name count = %d", sig.Counts[personName])
+	}
+	if sig.Header[movieTitle] == 0 {
+		t.Error("movie title not recognized in header position")
+	}
+	if sig.Header[personName] != 0 {
+		t.Error("person names should not be in header position on a cast page")
+	}
+	if !strings.Contains(sig.String(), "person.name") {
+		t.Errorf("String() = %q", sig.String())
+	}
+	_ = u
+}
+
+func TestURLPattern(t *testing.T) {
+	_, _, dict := corpusFixture(t)
+	cases := map[string]string{
+		"/movie/star-wars":         "/movie/*",
+		"/movie/star-wars/cast":    "/movie/*/cast",
+		"/person/george-clooney":   "/person/*",
+		"/movie/batman/soundtrack": "/movie/*/soundtrack",
+		"/about":                   "/about",
+	}
+	for url, want := range cases {
+		if got := URLPattern(url, dict); got != want {
+			t.Errorf("URLPattern(%q) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestClusterGroupsLayoutFamilies(t *testing.T) {
+	_, pages, dict := corpusFixture(t)
+	clusters := Cluster(pages, dict)
+	byPattern := map[string]ClusterSignature{}
+	for _, c := range clusters {
+		byPattern[c.Pattern] = c
+	}
+	for _, want := range []string{"/movie/*", "/movie/*/cast", "/person/*", "/movie/*/soundtrack"} {
+		if _, ok := byPattern[want]; !ok {
+			t.Fatalf("missing cluster %q (have %v)", want, patterns(clusters))
+		}
+	}
+	castCluster := byPattern["/movie/*/cast"]
+	if castCluster.Pages != 30 {
+		t.Errorf("cast cluster pages = %d", castCluster.Pages)
+	}
+	movieTitle := relational.QualifiedColumn{Table: "movie", Column: "title"}
+	personName := relational.QualifiedColumn{Table: "person", Column: "name"}
+	// Aggregate shape: ~1 movie title per page, several person names.
+	if avg := castCluster.AvgCounts[movieTitle]; avg < 0.8 || avg > 2.5 {
+		t.Errorf("avg movie.title per cast page = %f", avg)
+	}
+	if avg := castCluster.AvgCounts[personName]; avg < 1.5 {
+		t.Errorf("avg person.name per cast page = %f", avg)
+	}
+	if castCluster.AvgCounts[personName] <= castCluster.AvgCounts[movieTitle] {
+		t.Error("cast cluster should have more person names than movie titles")
+	}
+	// Header share: movie titles live in headers, person names don't.
+	if castCluster.HeaderShare[movieTitle] < 0.5 {
+		t.Errorf("movie.title header share = %f", castCluster.HeaderShare[movieTitle])
+	}
+	if castCluster.HeaderShare[personName] > 0.2 {
+		t.Errorf("person.name header share = %f", castCluster.HeaderShare[personName])
+	}
+}
+
+func patterns(cs []ClusterSignature) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Pattern
+	}
+	return out
+}
+
+func TestClustersSortedBySize(t *testing.T) {
+	_, pages, dict := corpusFixture(t)
+	clusters := Cluster(pages, dict)
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i-1].Pages < clusters[i].Pages {
+			t.Fatal("clusters not sorted by size")
+		}
+	}
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 4, Persons: 50, Movies: 40})
+	cfg := CorpusConfig{Seed: 2, MoviePages: 10, CastPages: 10, FilmographyPages: 10, SoundtrackPages: 5}
+	a := BuildCorpus(u, cfg)
+	b := BuildCorpus(u, cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic corpus size")
+	}
+	for i := range a {
+		if a[i].URL != b[i].URL || a[i].Root.FlatText() != b[i].Root.FlatText() {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+}
+
+func TestFilmographyPageContainsMovies(t *testing.T) {
+	u, pages, _ := corpusFixture(t)
+	// The most popular person's filmography page must list real titles.
+	top := u.Persons[0]
+	url := "/person/" + Slug(top.Name)
+	for _, p := range pages {
+		if p.URL != url {
+			continue
+		}
+		text := strings.ToLower(p.Root.FlatText())
+		if !strings.Contains(text, top.Name) {
+			t.Errorf("filmography page lacks person name")
+		}
+		found := false
+		for _, m := range u.Movies {
+			if strings.Contains(text, m.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("filmography page lists no known movie")
+		}
+		return
+	}
+	t.Fatalf("no filmography page for %s", top.Name)
+}

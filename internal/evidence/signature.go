@@ -1,0 +1,169 @@
+package evidence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+)
+
+// PageSignature is the type signature of one page: how many times each
+// recognized schema type occurs, overall and in header position. The
+// paper's example: "((person.name:1) (movie.name:40))" for a filmography
+// page.
+type PageSignature struct {
+	// Counts per schema type across the whole page.
+	Counts map[relational.QualifiedColumn]int
+	// Header counts: occurrences inside h1/h2 elements, which identify
+	// the page's label field.
+	Header map[relational.QualifiedColumn]int
+}
+
+// ComputeSignature entity-recognizes every text node of the page against
+// the dictionary ("we use records in the database to identify entities in
+// documents") and tallies occurrences by schema type and DOM position.
+func ComputeSignature(p Page, dict *segment.Dictionary) PageSignature {
+	sig := PageSignature{
+		Counts: make(map[relational.QualifiedColumn]int),
+		Header: make(map[relational.QualifiedColumn]int),
+	}
+	p.Root.Walk(func(node *DOMNode, ancestors []string) {
+		if node.Text == "" {
+			return
+		}
+		entries := dict.LookupEntity(node.Text)
+		if len(entries) == 0 {
+			return
+		}
+		// When a phrase is ambiguous between a label column (person.name)
+		// and an incidental text column (soundtrack.artist), recognize
+		// only the label readings: entities are identified by the columns
+		// that name them.
+		hasLabel := false
+		for _, e := range entries {
+			if e.IsLabel {
+				hasLabel = true
+				break
+			}
+		}
+		seen := map[relational.QualifiedColumn]bool{}
+		for _, e := range entries {
+			if hasLabel && !e.IsLabel {
+				continue
+			}
+			if seen[e.Type] {
+				continue
+			}
+			seen[e.Type] = true
+			sig.Counts[e.Type]++
+			if isHeaderTag(node.Tag) {
+				sig.Header[e.Type]++
+			}
+		}
+	})
+	return sig
+}
+
+func isHeaderTag(tag string) bool {
+	return tag == "h1" || tag == "h2" || tag == "title"
+}
+
+// String renders the signature in the paper's notation.
+func (s PageSignature) String() string {
+	keys := make([]relational.QualifiedColumn, 0, len(s.Counts))
+	for k := range s.Counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("(%s:%d)", k, s.Counts[k])
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// ClusterSignature aggregates the signatures of a URL cluster.
+type ClusterSignature struct {
+	// Pattern is the URL pattern, e.g. "/movie/*/cast".
+	Pattern string
+	// Pages is the number of pages aggregated.
+	Pages int
+	// AvgCounts is the mean per-page count per type.
+	AvgCounts map[relational.QualifiedColumn]float64
+	// HeaderShare is, per type, the fraction of its occurrences that were
+	// in header position.
+	HeaderShare map[relational.QualifiedColumn]float64
+}
+
+// URLPattern generalizes a URL by replacing entity-naming segments with
+// "*". A segment names an entity when its unslugged form is in the
+// dictionary. This is the reproduction of the paper's "clustering the
+// different types of URLs" over the imdb.com crawl.
+func URLPattern(url string, dict *segment.Dictionary) string {
+	segs := strings.Split(url, "/")
+	for i, s := range segs {
+		if s == "" {
+			continue
+		}
+		if len(dict.LookupEntity(Unslug(s))) > 0 {
+			segs[i] = "*"
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// Cluster groups pages by URL pattern and aggregates their signatures.
+// Clusters are returned sorted by page count descending (biggest layout
+// families first), then by pattern.
+func Cluster(pages []Page, dict *segment.Dictionary) []ClusterSignature {
+	type agg struct {
+		pages  int
+		counts map[relational.QualifiedColumn]int
+		header map[relational.QualifiedColumn]int
+	}
+	byPattern := map[string]*agg{}
+	for _, p := range pages {
+		pat := URLPattern(p.URL, dict)
+		a := byPattern[pat]
+		if a == nil {
+			a = &agg{
+				counts: make(map[relational.QualifiedColumn]int),
+				header: make(map[relational.QualifiedColumn]int),
+			}
+			byPattern[pat] = a
+		}
+		sig := ComputeSignature(p, dict)
+		a.pages++
+		for k, v := range sig.Counts {
+			a.counts[k] += v
+		}
+		for k, v := range sig.Header {
+			a.header[k] += v
+		}
+	}
+	out := make([]ClusterSignature, 0, len(byPattern))
+	for pat, a := range byPattern {
+		cs := ClusterSignature{
+			Pattern:     pat,
+			Pages:       a.pages,
+			AvgCounts:   make(map[relational.QualifiedColumn]float64),
+			HeaderShare: make(map[relational.QualifiedColumn]float64),
+		}
+		for k, v := range a.counts {
+			cs.AvgCounts[k] = float64(v) / float64(a.pages)
+			if v > 0 {
+				cs.HeaderShare[k] = float64(a.header[k]) / float64(v)
+			}
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pages != out[j].Pages {
+			return out[i].Pages > out[j].Pages
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}

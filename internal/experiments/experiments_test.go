@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"qunits/internal/querylog"
+)
+
+// The lab is expensive to assemble; share one across the package's tests.
+var (
+	labOnce sync.Once
+	testLab *Lab
+	labErr  error
+)
+
+func sharedLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		testLab, labErr = NewLab(SmallConfig())
+	})
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return testLab
+}
+
+func TestLabAssembly(t *testing.T) {
+	lab := sharedLab(t)
+	if lab.Universe == nil || lab.Log == nil || len(lab.Pages) == 0 {
+		t.Fatal("lab incomplete")
+	}
+	if lab.Banks == nil || lab.Tree == nil {
+		t.Fatal("baselines missing")
+	}
+	for name, e := range map[string]interface{ InstanceCount() int }{
+		"schema":   lab.SchemaEngine,
+		"querylog": lab.QuerylogEngine,
+		"evidence": lab.EvidenceEngine,
+		"human":    lab.HumanEngine,
+	} {
+		if e.InstanceCount() == 0 {
+			t.Errorf("%s engine has no instances", name)
+		}
+	}
+	if len(lab.Systems()) != 7 {
+		t.Errorf("systems = %d", len(lab.Systems()))
+	}
+}
+
+func TestFigure3ShapeMatchesPaper(t *testing.T) {
+	lab := sharedLab(t)
+	r := Figure3(lab)
+	if len(r.Scores) != 8 {
+		t.Fatalf("scores = %d (7 systems + theoretical max)", len(r.Scores))
+	}
+	get := func(name string) float64 {
+		s := r.Score(name)
+		if s < 0 {
+			t.Fatalf("missing system %q", name)
+		}
+		return s
+	}
+	banks := get("BANKS")
+	lca := get("LCA")
+	mlca := get("MLCA")
+	schema := get("Qunits (schema)")
+	evid := get("Qunits (evidence)")
+	qlog := get("Qunits (querylog)")
+	human := get("Qunits (human)")
+	max := get("Theoretical max")
+
+	// The paper's headline shape: every qunit variant beats every
+	// traditional baseline; hand-built qunits are the best qunit set; all
+	// systems sit well below the theoretical maximum.
+	worstQunit := min4(schema, evid, qlog, human)
+	for name, base := range map[string]float64{"BANKS": banks, "LCA": lca, "MLCA": mlca} {
+		if base >= worstQunit {
+			t.Errorf("%s (%.3f) >= worst qunit variant (%.3f); paper's ordering violated", name, base, worstQunit)
+		}
+	}
+	if mlca < lca-0.02 {
+		t.Errorf("MLCA (%.3f) clearly below LCA (%.3f)", mlca, lca)
+	}
+	if human < qlog-0.02 || human < schema-0.02 || human < evid-0.02 {
+		t.Errorf("human qunits (%.3f) below a derived variant (schema %.3f, evidence %.3f, querylog %.3f)",
+			human, schema, evid, qlog)
+	}
+	if max != 1.0 {
+		t.Errorf("theoretical max = %.3f", max)
+	}
+	if human >= max {
+		t.Error("human qunits reached the theoretical maximum; the paper's gap is gone")
+	}
+	if banks > 0.4 {
+		t.Errorf("BANKS = %.3f; expected a low baseline", banks)
+	}
+	if human < 0.45 {
+		t.Errorf("human qunits = %.3f; expected a strong system", human)
+	}
+}
+
+func TestFigure3ExtendedIncludesObjectRank(t *testing.T) {
+	lab := sharedLab(t)
+	r := Figure3Extended(lab)
+	if len(r.Scores) != 9 {
+		t.Fatalf("extended scores = %d (8 systems + max)", len(r.Scores))
+	}
+	or := r.Score("ObjectRank")
+	if or < 0 {
+		t.Fatal("ObjectRank missing")
+	}
+	// ObjectRank, like the other tuple-granularity baselines, must lose
+	// to every qunit variant.
+	worstQunit := min4(r.Score("Qunits (schema)"), r.Score("Qunits (evidence)"),
+		r.Score("Qunits (querylog)"), r.Score("Qunits (human)"))
+	if or >= worstQunit {
+		t.Errorf("ObjectRank (%.3f) >= worst qunit variant (%.3f)", or, worstQunit)
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	lab := sharedLab(t)
+	a := Figure3(lab)
+	b := Figure3(lab)
+	for i := range a.Scores {
+		if a.Scores[i].Mean != b.Scores[i].Mean {
+			t.Fatalf("system %s: %.4f vs %.4f", a.Scores[i].System, a.Scores[i].Mean, b.Scores[i].Mean)
+		}
+	}
+}
+
+func TestFigure3Render(t *testing.T) {
+	lab := sharedLab(t)
+	var buf bytes.Buffer
+	Figure3(lab).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "BANKS", "MLCA", "Qunits (human)", "Theoretical max", "agreement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(7)
+	if r.Stats.Queries < 25 {
+		t.Errorf("queries = %d", r.Stats.Queries)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "info. need", "cast", "single-entity", "many-to-many"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestQuerylogBenchmark(t *testing.T) {
+	lab := sharedLab(t)
+	r := QuerylogBenchmark(lab)
+	if len(r.Templates) != 14 {
+		t.Fatalf("templates = %d", len(r.Templates))
+	}
+	if len(r.Workload) != 28 {
+		t.Fatalf("workload = %d", len(r.Workload))
+	}
+	if f := r.Stats.ClassFraction(querylog.ClassSingleEntity); f < 0.30 || f > 0.42 {
+		t.Errorf("single-entity fraction = %.3f", f)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"§5.2", "single-entity", "top typed templates", "benchmark workload"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	for _, x := range []float64{b, c, d} {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/eval"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+	"qunits/internal/segment"
+)
+
+// TestEndToEndPipeline walks the complete system independently of the
+// Lab plumbing: generate → derive → index → search → judge. This is the
+// test a newcomer reads to understand how the pieces compose.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Synthetic database (Fig. 2 schema).
+	u := imdb.MustGenerate(imdb.Config{Seed: 42, Persons: 150, Movies: 100, CastPerMovie: 5})
+
+	// 2. Segmentation dictionary over the database.
+	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	seg := segment.NewSegmenter(dict)
+
+	// 3. A query log and a catalog derived from it (§4.2).
+	log := querylog.Generate(u, querylog.GenConfig{Seed: 43, Volume: 3000})
+	cat, err := derive.FromQueryLog{Log: log, Segmenter: seg}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. The search engine (§3).
+	engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. A query through the full pipeline.
+	results := engine.Search("star wars cast", 1)
+	if len(results) == 0 {
+		t.Fatal("no results end to end")
+	}
+	top := results[0].Instance
+	if top.Label() != "star wars" {
+		t.Errorf("anchored on %q", top.Label())
+	}
+
+	// 6. Judged by the evaluation harness.
+	oracle := eval.NewOracle(u.DB, map[string][]string{
+		imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+		imdb.TableMovie:  {imdb.TableCast},
+	})
+	need := eval.NeedFromQuery(seg, "star wars cast")
+	score := oracle.Score(need, eval.SystemResult{Text: top.Rendered.Text, Tuples: top.Tuples})
+	if score < 0.5 {
+		t.Errorf("end-to-end answer scored %v", score)
+	}
+	panel := eval.NewPanel(20, 0.08, 44)
+	if m := eval.Mean(panel.Rate(score)); m < 0.4 {
+		t.Errorf("panel mean %v", m)
+	}
+}
+
+// TestLabSmallVsDefaultShapeStable: the Figure 3 ordering must not be an
+// artifact of one scale. (The default scale is exercised by
+// cmd/experiments; here we check a second small seed.)
+func TestFigure3ShapeStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-lab test")
+	}
+	cfg := SmallConfig()
+	cfg.Seed = 7
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Figure3(lab)
+	banks := r.Score("BANKS")
+	human := r.Score("Qunits (human)")
+	if banks >= human {
+		t.Errorf("seed 7: BANKS (%.3f) >= human qunits (%.3f)", banks, human)
+	}
+	worstQunit := min4(r.Score("Qunits (schema)"), r.Score("Qunits (evidence)"), r.Score("Qunits (querylog)"), human)
+	for _, base := range []string{"BANKS", "LCA", "MLCA"} {
+		if r.Score(base) >= worstQunit {
+			t.Errorf("seed 7: %s (%.3f) >= worst qunit (%.3f)", base, r.Score(base), worstQunit)
+		}
+	}
+}

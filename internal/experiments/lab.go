@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qunits/internal/banks"
+	"qunits/internal/derive"
+	"qunits/internal/eval"
+	"qunits/internal/evidence"
+	"qunits/internal/graph"
+	"qunits/internal/imdb"
+	"qunits/internal/objectrank"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+	"qunits/internal/segment"
+	"qunits/internal/xtree"
+)
+
+// Config sizes a Lab. The zero value is invalid; use DefaultConfig or
+// SmallConfig.
+type Config struct {
+	Seed         int64
+	Persons      int
+	Movies       int
+	CastPerMovie int
+	LogVolume    int
+	CorpusPages  evidence.CorpusConfig
+	Judges       int
+	JudgeNoise   float64
+	WorkloadSize int
+}
+
+// DefaultConfig is the full experiment scale: a tenth of the paper's
+// query volume over a synthetic IMDb big enough for ranking differences
+// to matter, fast enough to run in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Persons:      2400,
+		Movies:       1200,
+		CastPerMovie: 6,
+		LogVolume:    9855,
+		CorpusPages:  evidence.DefaultCorpusConfig(),
+		Judges:       20,
+		JudgeNoise:   0.08,
+		WorkloadSize: 25,
+	}
+}
+
+// SmallConfig is for tests: an order of magnitude smaller.
+func SmallConfig() Config {
+	return Config{
+		Seed:         1,
+		Persons:      300,
+		Movies:       200,
+		CastPerMovie: 5,
+		LogVolume:    4000,
+		CorpusPages: evidence.CorpusConfig{
+			Seed: 1, MoviePages: 80, CastPages: 60, FilmographyPages: 60, SoundtrackPages: 25,
+		},
+		Judges:       20,
+		JudgeNoise:   0.08,
+		WorkloadSize: 25,
+	}
+}
+
+// Lab is the assembled experimental apparatus: the database, the query
+// log, the evidence corpus, the oracle and panel, all baselines and all
+// qunit engines.
+type Lab struct {
+	Config    Config
+	Universe  *imdb.Universe
+	Log       *querylog.Log
+	Pages     []evidence.Page
+	Dict      *segment.Dictionary
+	Segmenter *segment.Segmenter
+	Oracle    *eval.Oracle
+	Panel     *eval.Panel
+
+	Banks      *banks.Engine
+	Tree       *xtree.Tree
+	ObjectRank *objectrank.Engine
+
+	SchemaEngine   *search.Engine
+	QuerylogEngine *search.Engine
+	EvidenceEngine *search.Engine
+	HumanEngine    *search.Engine
+}
+
+// NewLab builds everything. Construction is deterministic in the config.
+func NewLab(cfg Config) (*Lab, error) {
+	u, err := imdb.Generate(imdb.Config{
+		Seed: cfg.Seed, Persons: cfg.Persons, Movies: cfg.Movies,
+		CastPerMovie: cfg.CastPerMovie, PopularityExponent: 0.9,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating universe: %w", err)
+	}
+	logCfg := querylog.DefaultGenConfig()
+	logCfg.Seed = cfg.Seed + 1
+	logCfg.Volume = cfg.LogVolume
+	log := querylog.Generate(u, logCfg)
+
+	pages := evidence.BuildCorpus(u, cfg.CorpusPages)
+
+	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	seg := segment.NewSegmenter(dict)
+
+	oracle := eval.NewOracle(u.DB, map[string][]string{
+		imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+		imdb.TableMovie:  {imdb.TableCast},
+	})
+	panel := eval.NewPanel(cfg.Judges, cfg.JudgeNoise, cfg.Seed+2)
+
+	lab := &Lab{
+		Config: cfg, Universe: u, Log: log, Pages: pages,
+		Dict: dict, Segmenter: seg, Oracle: oracle, Panel: panel,
+	}
+
+	dataGraph := graph.Build(u.DB)
+	lab.Banks = banks.New(dataGraph, 0)
+	lab.Tree = xtree.Build(u.DB, xtree.BuildOptions{EntityTables: []string{imdb.TablePerson, imdb.TableMovie}})
+	lab.ObjectRank = objectrank.New(dataGraph, objectrank.Options{})
+
+	engineOpts := search.Options{Synonyms: imdb.AttributeSynonyms()}
+	build := func(strategy string) (*search.Engine, error) {
+		switch strategy {
+		case "schema":
+			c, err := derive.FromSchema{}.Derive(u.DB)
+			if err != nil {
+				return nil, err
+			}
+			return search.NewEngine(c, engineOpts)
+		case "querylog":
+			c, err := derive.FromQueryLog{Log: log, Segmenter: seg}.Derive(u.DB)
+			if err != nil {
+				return nil, err
+			}
+			return search.NewEngine(c, engineOpts)
+		case "evidence":
+			c, err := derive.FromEvidence{Pages: pages, Dict: dict}.Derive(u.DB)
+			if err != nil {
+				return nil, err
+			}
+			return search.NewEngine(c, engineOpts)
+		default:
+			c, err := derive.Expert{}.Derive(u.DB)
+			if err != nil {
+				return nil, err
+			}
+			return search.NewEngine(c, engineOpts)
+		}
+	}
+	if lab.SchemaEngine, err = build("schema"); err != nil {
+		return nil, fmt.Errorf("experiments: schema engine: %w", err)
+	}
+	if lab.QuerylogEngine, err = build("querylog"); err != nil {
+		return nil, fmt.Errorf("experiments: querylog engine: %w", err)
+	}
+	if lab.EvidenceEngine, err = build("evidence"); err != nil {
+		return nil, fmt.Errorf("experiments: evidence engine: %w", err)
+	}
+	if lab.HumanEngine, err = build("human"); err != nil {
+		return nil, fmt.Errorf("experiments: human engine: %w", err)
+	}
+	return lab, nil
+}
+
+// Systems returns the evaluated systems in the paper's Figure 3 order:
+// the three prior-art baselines, the three derived-qunit variants, and
+// the hand-built qunit set.
+func (lab *Lab) Systems() []System {
+	return []System{
+		&BanksSystem{DB: lab.Universe.DB, Engine: lab.Banks},
+		&LCASystem{Tree: lab.Tree},
+		&MLCASystem{Tree: lab.Tree},
+		&QunitSystem{Label: "Qunits (schema)", Engine: lab.SchemaEngine},
+		&QunitSystem{Label: "Qunits (evidence)", Engine: lab.EvidenceEngine},
+		&QunitSystem{Label: "Qunits (querylog)", Engine: lab.QuerylogEngine},
+		&QunitSystem{Label: "Qunits (human)", Engine: lab.HumanEngine},
+	}
+}
+
+// ExtendedSystems additionally includes ObjectRank — the fourth prior-art
+// system the paper's introduction names, outside its Figure 3.
+func (lab *Lab) ExtendedSystems() []System {
+	base := lab.Systems()
+	out := make([]System, 0, len(base)+1)
+	out = append(out, base[:3]...)
+	out = append(out, &ObjectRankSystem{DB: lab.Universe.DB, Engine: lab.ObjectRank})
+	out = append(out, base[3:]...)
+	return out
+}

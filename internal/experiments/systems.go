@@ -1,0 +1,139 @@
+// Package experiments wires every subsystem together and regenerates the
+// paper's tables and figures: the Table 1 user study, the §5.2 query-log
+// benchmark statistics, and the Figure 3 result-quality comparison.
+package experiments
+
+import (
+	"strings"
+
+	"qunits/internal/banks"
+	"qunits/internal/eval"
+	"qunits/internal/objectrank"
+	"qunits/internal/relational"
+	"qunits/internal/search"
+	"qunits/internal/xtree"
+)
+
+// System is a keyword-search system under evaluation: it answers a query
+// with its single best result (the paper's judges rated one answer per
+// system per query).
+type System interface {
+	// Name labels the system in reports.
+	Name() string
+	// Answer returns the top result; ok is false when the system returns
+	// nothing.
+	Answer(query string) (eval.SystemResult, bool)
+}
+
+// BanksSystem adapts the BANKS baseline.
+type BanksSystem struct {
+	DB     *relational.Database
+	Engine *banks.Engine
+}
+
+// Name implements System.
+func (s *BanksSystem) Name() string { return "BANKS" }
+
+// Answer implements System.
+func (s *BanksSystem) Answer(query string) (eval.SystemResult, bool) {
+	res := s.Engine.Search(query, 1)
+	if len(res) == 0 {
+		return eval.SystemResult{}, false
+	}
+	var parts []string
+	for _, ref := range res[0].Tuples {
+		parts = append(parts, s.DB.Label(ref))
+	}
+	return eval.SystemResult{
+		Text:   strings.Join(parts, " "),
+		Tuples: res[0].Tuples,
+	}, true
+}
+
+// LCASystem adapts the smallest-LCA baseline.
+type LCASystem struct {
+	Tree *xtree.Tree
+}
+
+// Name implements System.
+func (s *LCASystem) Name() string { return "LCA" }
+
+// Answer implements System.
+func (s *LCASystem) Answer(query string) (eval.SystemResult, bool) {
+	res := s.Tree.SearchLCA(query, 1)
+	if len(res) == 0 {
+		return eval.SystemResult{}, false
+	}
+	return eval.SystemResult{Text: res[0].Text, Tuples: res[0].Tuples}, true
+}
+
+// MLCASystem adapts the meaningful-LCA baseline.
+type MLCASystem struct {
+	Tree *xtree.Tree
+}
+
+// Name implements System.
+func (s *MLCASystem) Name() string { return "MLCA" }
+
+// Answer implements System.
+func (s *MLCASystem) Answer(query string) (eval.SystemResult, bool) {
+	res := s.Tree.SearchMLCA(query, 1)
+	if len(res) == 0 {
+		return eval.SystemResult{}, false
+	}
+	return eval.SystemResult{Text: res[0].Text, Tuples: res[0].Tuples}, true
+}
+
+// ObjectRankSystem adapts the ObjectRank baseline — not part of the
+// paper's Figure 3, but named in its introduction as the
+// authority-transfer ranking approach; included as an extended
+// comparison. ObjectRank returns individual tuples, so the answer is the
+// top tuple plus its resolved foreign keys (the friendliest defensible
+// demarcation for it).
+type ObjectRankSystem struct {
+	DB     *relational.Database
+	Engine *objectrank.Engine
+}
+
+// Name implements System.
+func (s *ObjectRankSystem) Name() string { return "ObjectRank" }
+
+// Answer implements System.
+func (s *ObjectRankSystem) Answer(query string) (eval.SystemResult, bool) {
+	res := s.Engine.Search(query, 1)
+	if len(res) == 0 {
+		return eval.SystemResult{}, false
+	}
+	ref := res[0].Ref
+	tuples := []relational.TupleRef{ref}
+	parts := []string{s.DB.Label(ref)}
+	t := s.DB.Table(ref.Table)
+	for _, fk := range t.Schema().ForeignKeys {
+		if refTable, refRow, ok := s.DB.Resolve(ref.Table, ref.Row, fk.Column); ok {
+			r := relational.TupleRef{Table: refTable, Row: refRow}
+			tuples = append(tuples, r)
+			parts = append(parts, s.DB.Label(r))
+		}
+	}
+	return eval.SystemResult{Text: strings.Join(parts, " "), Tuples: tuples}, true
+}
+
+// QunitSystem adapts a qunit search engine built from one derivation
+// strategy's catalog.
+type QunitSystem struct {
+	Label  string
+	Engine *search.Engine
+}
+
+// Name implements System.
+func (s *QunitSystem) Name() string { return s.Label }
+
+// Answer implements System.
+func (s *QunitSystem) Answer(query string) (eval.SystemResult, bool) {
+	res := s.Engine.Search(query, 1)
+	if len(res) == 0 {
+		return eval.SystemResult{}, false
+	}
+	inst := res[0].Instance
+	return eval.SystemResult{Text: inst.Rendered.Text, Tuples: inst.Tuples}, true
+}

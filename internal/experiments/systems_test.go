@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemNames(t *testing.T) {
+	lab := sharedLab(t)
+	want := []string{"BANKS", "LCA", "MLCA", "Qunits (schema)", "Qunits (evidence)", "Qunits (querylog)", "Qunits (human)"}
+	systems := lab.Systems()
+	if len(systems) != len(want) {
+		t.Fatalf("systems = %d", len(systems))
+	}
+	for i, s := range systems {
+		if s.Name() != want[i] {
+			t.Errorf("system %d = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestEverySystemAnswersTheRunningExample(t *testing.T) {
+	lab := sharedLab(t)
+	for _, sys := range lab.Systems() {
+		res, ok := sys.Answer("star wars cast")
+		if !ok {
+			t.Errorf("%s: no answer for the paper's running example", sys.Name())
+			continue
+		}
+		if len(res.Tuples) == 0 {
+			t.Errorf("%s: answer carries no provenance", sys.Name())
+		}
+		if res.Text == "" {
+			t.Errorf("%s: answer carries no text", sys.Name())
+		}
+	}
+}
+
+func TestSystemsHandleNoMatch(t *testing.T) {
+	lab := sharedLab(t)
+	for _, sys := range lab.Systems() {
+		if res, ok := sys.Answer("qqqq zzzz xxxx"); ok && len(res.Tuples) > 0 {
+			// Some systems legitimately answer nothing; none may panic or
+			// return tuple-less "answers" — and a nonsense answer should
+			// at least be flagged by its emptiness.
+			if strings.TrimSpace(res.Text) == "" {
+				t.Errorf("%s: empty answer claimed ok", sys.Name())
+			}
+		}
+	}
+}
+
+func TestQunitSystemAnswerQuality(t *testing.T) {
+	lab := sharedLab(t)
+	sys := &QunitSystem{Label: "human", Engine: lab.HumanEngine}
+	res, ok := sys.Answer("george clooney")
+	if !ok {
+		t.Fatal("no answer")
+	}
+	if !strings.Contains(strings.ToLower(res.Text), "clooney") {
+		t.Errorf("answer text lacks the entity: %q", res.Text[:min(80, len(res.Text))])
+	}
+	hasPerson := false
+	for _, ref := range res.Tuples {
+		if ref.Table == "person" {
+			hasPerson = true
+		}
+	}
+	if !hasPerson {
+		t.Error("person profile lacks the person tuple")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"qunits/internal/eval"
+)
+
+// Table1Result is the simulated user study.
+type Table1Result struct {
+	Study *eval.Study
+	Stats eval.StudyStats
+}
+
+// Table1 runs the user-study simulation with the given seed.
+func Table1(seed int64) *Table1Result {
+	study := eval.RunStudy(eval.DefaultPersonas(), seed)
+	return &Table1Result{Study: study, Stats: study.Stats()}
+}
+
+// Render prints the needs × query-forms matrix in the paper's layout:
+// each cell lists the subjects who expressed that need through that
+// form.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — Information Needs vs Keyword Queries")
+	fmt.Fprintln(w, "(five simulated users a–e, five information needs each)")
+	fmt.Fprintln(w)
+
+	matrix := r.Study.Matrix()
+	forms := eval.AllForms()
+
+	// Only render columns that were actually used, preserving paper
+	// order.
+	var used []eval.QueryForm
+	for _, f := range forms {
+		for _, row := range matrix {
+			if len(row[f]) > 0 {
+				used = append(used, f)
+				break
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "  %-18s", "info. need")
+	for i := range used {
+		fmt.Fprintf(w, " q%-3d", i+1)
+	}
+	fmt.Fprintln(w)
+	for _, need := range eval.AllNeeds() {
+		row := matrix[need]
+		if len(row) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s", need)
+		for _, f := range used {
+			cell := append([]string(nil), row[f]...)
+			sort.Strings(cell)
+			fmt.Fprintf(w, " %-4s", strings.Join(uniq(cell), ","))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\n  query form legend:")
+	for i, f := range used {
+		fmt.Fprintf(w, "    q%-3d %s\n", i+1, f)
+	}
+	fmt.Fprintf(w, "\n  %d queries total; %d single-entity (paper: 10 of 25), %d underspecified (paper: 8)\n",
+		r.Stats.Queries, r.Stats.SingleEntity, r.Stats.Underspecified)
+	fmt.Fprintf(w, "  many-to-many: %d needs expressed via ≥2 forms, %d forms serving ≥2 needs\n",
+		r.Stats.NeedsWithMultipleForms, r.Stats.FormsWithMultipleNeeds)
+}
+
+func uniq(sorted []string) []string {
+	var out []string
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

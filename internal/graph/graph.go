@@ -1,0 +1,134 @@
+// Package graph builds the tuple-level data graph used by graph-based
+// keyword search systems: nodes are tuples, edges are foreign-key links.
+// BANKS (Bhalotia et al., ICDE 2002) — one of the paper's baselines —
+// searches this graph for spanning trees connecting keyword matches.
+package graph
+
+import (
+	"sort"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// NodeID indexes a node within a Graph.
+type NodeID = int
+
+// Graph is an undirected view of the tuple/foreign-key graph with
+// in-degree tracked for node-prestige scoring.
+type Graph struct {
+	refs   []relational.TupleRef
+	index  map[relational.TupleRef]NodeID
+	adj    [][]NodeID
+	indeg  []int
+	text   []string            // searchable text per node
+	lookup map[string][]NodeID // token -> nodes containing it
+}
+
+// Build constructs the data graph: one node per tuple in every table, one
+// edge per resolvable foreign-key reference. Node text is the
+// concatenation of the tuple's searchable columns, which drives keyword
+// matching.
+func Build(db *relational.Database) *Graph {
+	g := &Graph{index: make(map[relational.TupleRef]NodeID), lookup: make(map[string][]NodeID)}
+
+	// First pass: create nodes.
+	db.Tables(func(t *relational.Table) {
+		schema := t.Schema()
+		searchable := make([]int, 0, len(schema.Columns))
+		for i, c := range schema.Columns {
+			if c.Searchable {
+				searchable = append(searchable, i)
+			}
+		}
+		t.Scan(func(id int, row relational.Row) bool {
+			ref := relational.TupleRef{Table: schema.Name, Row: id}
+			nid := len(g.refs)
+			g.refs = append(g.refs, ref)
+			g.index[ref] = nid
+			var text string
+			for _, ci := range searchable {
+				if !row[ci].IsNull() {
+					if text != "" {
+						text += " "
+					}
+					text += row[ci].Render()
+				}
+			}
+			g.text = append(g.text, text)
+			return true
+		})
+	})
+	g.adj = make([][]NodeID, len(g.refs))
+	g.indeg = make([]int, len(g.refs))
+
+	// Second pass: edges along foreign keys.
+	db.Tables(func(t *relational.Table) {
+		schema := t.Schema()
+		t.Scan(func(id int, row relational.Row) bool {
+			from := g.index[relational.TupleRef{Table: schema.Name, Row: id}]
+			for _, fk := range schema.ForeignKeys {
+				refTable, refRow, ok := db.Resolve(schema.Name, id, fk.Column)
+				if !ok {
+					continue
+				}
+				to := g.index[relational.TupleRef{Table: refTable, Row: refRow}]
+				g.adj[from] = append(g.adj[from], to)
+				g.adj[to] = append(g.adj[to], from)
+				g.indeg[to]++
+			}
+			return true
+		})
+	})
+
+	// Token lookup for keyword matching.
+	for nid, text := range g.text {
+		seen := map[string]bool{}
+		for _, tok := range ir.Tokenize(text) {
+			if !seen[tok] {
+				seen[tok] = true
+				g.lookup[tok] = append(g.lookup[tok], nid)
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.refs) }
+
+// Ref returns the tuple a node represents.
+func (g *Graph) Ref(n NodeID) relational.TupleRef { return g.refs[n] }
+
+// Node returns the node for a tuple.
+func (g *Graph) Node(ref relational.TupleRef) (NodeID, bool) {
+	n, ok := g.index[ref]
+	return n, ok
+}
+
+// Neighbors returns a node's adjacency list (shared; do not mutate).
+func (g *Graph) Neighbors(n NodeID) []NodeID { return g.adj[n] }
+
+// InDegree returns the number of foreign-key references pointing at the
+// node; BANKS uses this as node prestige.
+func (g *Graph) InDegree(n NodeID) int { return g.indeg[n] }
+
+// Text returns the node's searchable text.
+func (g *Graph) Text(n NodeID) string { return g.text[n] }
+
+// MatchKeyword returns the nodes whose text contains the token, sorted.
+func (g *Graph) MatchKeyword(token string) []NodeID {
+	nodes := g.lookup[token]
+	out := append([]NodeID(nil), nodes...)
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func testGraph(t *testing.T) (*imdb.Universe, *Graph) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 120, Movies: 80, CastPerMovie: 4})
+	return u, Build(u.DB)
+}
+
+func TestBuildCounts(t *testing.T) {
+	u, g := testGraph(t)
+	if g.Len() != u.DB.TotalRows() {
+		t.Fatalf("nodes = %d, tuples = %d", g.Len(), u.DB.TotalRows())
+	}
+	if g.EdgeCount() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	_, g := testGraph(t)
+	for i := 0; i < g.Len(); i += 97 {
+		ref := g.Ref(i)
+		n, ok := g.Node(ref)
+		if !ok || n != i {
+			t.Fatalf("round trip failed for node %d", i)
+		}
+	}
+	if _, ok := g.Node(relational.TupleRef{Table: "nope", Row: 0}); ok {
+		t.Error("found nonexistent node")
+	}
+}
+
+func TestEdgesFollowForeignKeys(t *testing.T) {
+	u, g := testGraph(t)
+	// Every cast tuple must be adjacent to its person and movie tuples.
+	castT := u.DB.Table(imdb.TableCast)
+	checked := 0
+	castT.Scan(func(id int, row relational.Row) bool {
+		if checked >= 25 {
+			return false
+		}
+		checked++
+		castNode, _ := g.Node(relational.TupleRef{Table: imdb.TableCast, Row: id})
+		neighbors := map[relational.TupleRef]bool{}
+		for _, nb := range g.Neighbors(castNode) {
+			neighbors[g.Ref(nb)] = true
+		}
+		pTable, pRow, ok := u.DB.Resolve(imdb.TableCast, id, "person_id")
+		if !ok || !neighbors[relational.TupleRef{Table: pTable, Row: pRow}] {
+			t.Fatalf("cast#%d not adjacent to its person", id)
+		}
+		mTable, mRow, ok := u.DB.Resolve(imdb.TableCast, id, "movie_id")
+		if !ok || !neighbors[relational.TupleRef{Table: mTable, Row: mRow}] {
+			t.Fatalf("cast#%d not adjacent to its movie", id)
+		}
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no cast rows checked")
+	}
+}
+
+func TestInDegreeReflectsPopularity(t *testing.T) {
+	u, g := testGraph(t)
+	// The most popular person should have higher in-degree than the least
+	// popular (they appear in more cast/crew rows).
+	top, _ := g.Node(relational.TupleRef{Table: imdb.TablePerson, Row: u.Persons[0].Row})
+	bottom, _ := g.Node(relational.TupleRef{Table: imdb.TablePerson, Row: u.Persons[len(u.Persons)-1].Row})
+	if g.InDegree(top) <= g.InDegree(bottom) {
+		t.Errorf("indegree(top)=%d <= indegree(bottom)=%d", g.InDegree(top), g.InDegree(bottom))
+	}
+}
+
+func TestMatchKeyword(t *testing.T) {
+	u, g := testGraph(t)
+	nodes := g.MatchKeyword("clooney")
+	if len(nodes) == 0 {
+		t.Fatal("no match for clooney")
+	}
+	found := false
+	for _, n := range nodes {
+		if g.Ref(n).Table == imdb.TablePerson {
+			found = true
+			if got := g.Text(n); got == "" {
+				t.Error("matched node has empty text")
+			}
+		}
+	}
+	if !found {
+		t.Error("clooney did not match a person tuple")
+	}
+	if len(g.MatchKeyword("zzzzneverthere")) != 0 {
+		t.Error("nonsense keyword matched")
+	}
+	_ = u
+}
+
+func TestMatchKeywordSorted(t *testing.T) {
+	_, g := testGraph(t)
+	nodes := g.MatchKeyword("the")
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatal("MatchKeyword result not sorted")
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package imdb
+
+// Word lists for the synthetic generator. Names and titles are built
+// compositionally from these fragments so that arbitrarily large databases
+// still have distinct, plausible, tokenizable entity names.
+
+// famousPeople are real-sounding anchors placed at the head of the
+// popularity distribution; they include every person the paper's examples
+// mention so the running examples (george clooney movies, julio iglesias)
+// work verbatim against the synthetic data.
+var famousPeople = []string{
+	"george clooney",
+	"tom hanks",
+	"angelina jolie",
+	"julio iglesias",
+	"brad pitt",
+	"meryl streep",
+	"julia roberts",
+	"denzel washington",
+	"harrison ford",
+	"natalie portman",
+	"kate winslet",
+	"morgan freeman",
+	"cate blanchett",
+	"samuel jackson",
+	"sigourney weaver",
+	"al pacino",
+	"jodie foster",
+	"robert de niro",
+	"emma thompson",
+	"anthony hopkins",
+}
+
+// famousMovies anchor the head of the movie popularity distribution and
+// include every title the paper's examples mention.
+var famousMovies = []string{
+	"star wars",
+	"batman",
+	"cast away",
+	"terminator",
+	"tomb raider",
+	"ocean's eleven",
+	"the godfather",
+	"casablanca",
+	"titanic",
+	"jurassic park",
+	"the matrix",
+	"forrest gump",
+	"gladiator",
+	"alien",
+	"jaws",
+	"rocky",
+	"goodfellas",
+	"vertigo",
+	"psycho",
+	"chinatown",
+}
+
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "anthony",
+	"nancy", "mark", "lisa", "donald", "betty", "steven", "margaret", "paul",
+	"sandra", "andrew", "ashley", "joshua", "kimberly", "kenneth", "emily",
+	"kevin", "donna", "brian", "michelle", "edward", "dorothy", "ronald",
+	"carol", "timothy", "amanda", "jason", "melissa", "jeffrey", "deborah",
+	"gary", "stephanie", "ryan", "rebecca", "nicholas", "sharon", "eric",
+	"laura", "jacob", "cynthia", "jonathan", "kathleen", "larry", "amy",
+	"frank", "shirley", "scott", "angela", "justin", "helen", "brandon",
+	"anna", "raymond", "brenda", "gregory", "pamela", "samuel", "nicole",
+	"benjamin", "ruth", "patrick", "katherine", "jack", "samantha", "dennis",
+	"christine", "jerry", "emma", "alexander", "catherine", "tyler",
+	"debra", "aaron", "virginia", "jose", "rachel", "adam", "janet",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "taylor", "moore", "jackson", "martin", "lee",
+	"perez", "thompson", "white", "harris", "sanchez", "clark", "ramirez",
+	"lewis", "robinson", "walker", "young", "allen", "king", "wright",
+	"scott", "torres", "nguyen", "hill", "flores", "green", "adams",
+	"nelson", "baker", "hall", "rivera", "campbell", "mitchell", "carter",
+	"roberts", "gomez", "phillips", "evans", "turner", "diaz", "parker",
+	"cruz", "edwards", "collins", "reyes", "stewart", "morris", "morales",
+	"murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper",
+	"peterson", "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox",
+	"ward", "richardson", "watson", "brooks", "chavez", "wood", "james",
+	"bennett", "gray", "mendoza", "ruiz", "hughes", "price", "alvarez",
+	"castillo", "sanders", "patel", "myers", "long", "ross", "foster",
+}
+
+var titleAdjectives = []string{
+	"last", "dark", "silent", "hidden", "broken", "lost", "final",
+	"eternal", "crimson", "golden", "savage", "gentle", "burning",
+	"frozen", "distant", "forgotten", "midnight", "perfect", "wild",
+	"quiet", "restless", "shattered", "secret", "stolen", "fearless",
+	"endless", "bitter", "brave", "cruel", "daring",
+}
+
+var titleNouns = []string{
+	"horizon", "empire", "shadow", "river", "garden", "storm", "crown",
+	"voyage", "whisper", "fortune", "canyon", "harbor", "island", "legend",
+	"mirror", "mountain", "ocean", "promise", "reckoning", "refuge",
+	"requiem", "sanctuary", "serpent", "signal", "silence", "sunrise",
+	"symphony", "tempest", "threshold", "tide", "tower", "valley", "winter",
+	"witness", "zero", "paradox", "labyrinth", "covenant", "exodus",
+	"inferno",
+}
+
+var titlePatterns = []string{
+	"the %a %n",
+	"%a %n",
+	"the %n",
+	"%n of the %a %n",
+	"a %a %n",
+	"the %n and the %n",
+	"%a %n rising",
+	"return of the %n",
+	"beyond the %n",
+	"the last %n",
+}
+
+var genres = []string{
+	"drama", "comedy", "thriller", "action", "romance", "horror",
+	"documentary", "animation", "science fiction", "western", "musical",
+	"crime", "fantasy", "war", "mystery", "adventure", "biography",
+	"family", "film noir", "sport",
+}
+
+var places = []string{
+	"los angeles", "new york", "london", "paris", "rome", "tokyo",
+	"vancouver", "toronto", "sydney", "berlin", "prague", "budapest",
+	"chicago", "san francisco", "seattle", "atlanta", "dublin",
+	"barcelona", "mexico city", "mumbai", "hong kong", "auckland",
+	"cape town", "buenos aires", "montreal",
+}
+
+var placeLevels = []string{"city", "studio", "backlot", "on location"}
+
+var castRoles = []string{
+	"actor", "actress", "lead", "supporting", "cameo", "narrator",
+	"villain", "hero", "detective", "doctor", "captain", "stranger",
+}
+
+var crewJobs = []string{
+	"director", "producer", "writer", "composer", "cinematographer",
+	"editor", "production designer", "costume designer",
+}
+
+var companyNames = []string{
+	"paragon pictures", "silverlight studios", "northstar films",
+	"atlas entertainment group", "blue harbor productions",
+	"meridian media", "cascade cinema", "ironwood pictures",
+	"luminary films", "vanguard studios", "redwood entertainment",
+	"summit crest pictures", "orion gate films", "stellar arc media",
+	"granite peak productions",
+}
+
+var companyCountries = []string{"usa", "uk", "france", "germany", "canada", "japan", "india", "australia"}
+
+var companyKinds = []string{"production", "distribution", "effects", "sound"}
+
+var keywordWords = []string{
+	"heist", "betrayal", "revenge", "redemption", "road trip", "space",
+	"robot", "alien invasion", "time travel", "courtroom", "undercover",
+	"assassin", "conspiracy", "survival", "wedding", "prison escape",
+	"treasure", "haunted house", "small town", "coming of age",
+	"based on novel", "sequel", "remake", "dystopia", "superhero",
+	"martial arts", "submarine", "desert", "jungle", "heirloom",
+}
+
+var awardNames = []string{
+	"academy award for best picture", "academy award for best actor",
+	"academy award for best actress", "academy award for best director",
+	"golden globe for best drama", "golden globe for best comedy",
+	"bafta for best film", "palme d'or", "golden lion",
+	"screen actors guild award",
+}
+
+var trackWords = []string{
+	"theme", "overture", "ballad", "march", "lament", "reprise",
+	"serenade", "nocturne", "anthem", "interlude", "prelude", "finale",
+}
+
+var plotFragments = []string{
+	"a reluctant hero must confront a buried past",
+	"two strangers cross paths in a city that never sleeps",
+	"an investigation unravels a conspiracy reaching the highest offices",
+	"a family secret surfaces after decades of silence",
+	"an unlikely friendship forms against the backdrop of war",
+	"a scientist races against time to avert catastrophe",
+	"a small town hides a darkness beneath its charm",
+	"a journey across the frontier tests loyalty and love",
+	"a con artist plans one final score",
+	"a musician searches for the song that got away",
+	"an exile returns home to settle an old debt",
+	"a detective follows a trail of impossible clues",
+}
+
+var triviaFragments = []string{
+	"the production ran forty days over schedule",
+	"most exterior shots used practical effects",
+	"the lead role was recast two weeks before filming",
+	"the score was recorded in a single live session",
+	"the screenplay went through eleven drafts",
+	"several scenes were improvised on set",
+	"the film was shot entirely in sequence",
+	"the director has a brief uncredited cameo",
+}

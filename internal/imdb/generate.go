@@ -1,0 +1,444 @@
+package imdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"qunits/internal/relational"
+)
+
+// Config controls the size and randomness of the generated database.
+type Config struct {
+	// Seed drives all randomness; equal seeds produce identical databases.
+	Seed int64
+	// Persons is the number of people to generate (minimum: the famous
+	// anchor set).
+	Persons int
+	// Movies is the number of movies to generate.
+	Movies int
+	// CastPerMovie is the mean cast size.
+	CastPerMovie int
+	// PopularityExponent shapes the Zipfian head; ~0.8-1.2 is realistic.
+	PopularityExponent float64
+}
+
+// DefaultConfig returns a laptop-scale configuration: large enough that
+// ranking quality differences are visible, small enough that the full
+// experiment suite runs in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Persons:            2400,
+		Movies:             1200,
+		CastPerMovie:       6,
+		PopularityExponent: 0.9,
+	}
+}
+
+// Entity is one searchable database entity (a person or a movie) together
+// with its popularity weight. The query log generator, evidence renderer,
+// and evaluation oracle all sample entities through this view.
+type Entity struct {
+	// Name is the searchable surface form (person name or movie title),
+	// lowercase.
+	Name string
+	// Table is the entity's table (person or movie).
+	Table string
+	// Row is the RowID in that table.
+	Row int
+	// PK is the primary-key value.
+	PK int64
+	// Weight is the Zipfian popularity mass; higher means more queried.
+	Weight float64
+}
+
+// Universe bundles the generated database with the entity views and
+// samplers the rest of the system needs.
+type Universe struct {
+	// DB is the generated relational database.
+	DB *relational.Database
+	// Persons, sorted by descending weight.
+	Persons []Entity
+	// Movies, sorted by descending weight.
+	Movies []Entity
+
+	personCum []float64
+	movieCum  []float64
+}
+
+// Generate builds the synthetic IMDb.
+func Generate(cfg Config) (*Universe, error) {
+	if cfg.Persons < len(famousPeople) {
+		cfg.Persons = len(famousPeople)
+	}
+	if cfg.Movies < len(famousMovies) {
+		cfg.Movies = len(famousMovies)
+	}
+	if cfg.CastPerMovie <= 0 {
+		cfg.CastPerMovie = 6
+	}
+	if cfg.PopularityExponent <= 0 {
+		cfg.PopularityExponent = 0.9
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDatabase("imdb")
+	for _, s := range Schemas() {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+
+	u := &Universe{DB: db}
+
+	// --- genre, locations ---
+	genreT := db.Table(TableGenre)
+	for i, g := range genres {
+		genreT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(g)})
+	}
+	locT := db.Table(TableLocations)
+	locID := int64(1)
+	for _, p := range places {
+		lvl := placeLevels[r.Intn(len(placeLevels))]
+		locT.MustInsert(relational.Row{relational.Int(locID), relational.String(p), relational.String(lvl)})
+		locID++
+	}
+
+	// --- person ---
+	personT := db.Table(TablePerson)
+	personNames := makeUniqueNames(r, cfg.Persons, famousPeople, func() string {
+		return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+	})
+	for i, name := range personNames {
+		g := "m"
+		if r.Intn(2) == 0 {
+			g = "f"
+		}
+		bd := fmt.Sprintf("%04d-%02d-%02d", 1925+r.Intn(75), 1+r.Intn(12), 1+r.Intn(28))
+		id := int64(i + 1)
+		row := personT.MustInsert(relational.Row{
+			relational.Int(id), relational.String(name),
+			relational.String(bd), relational.String(g),
+		})
+		u.Persons = append(u.Persons, Entity{
+			Name: name, Table: TablePerson, Row: row, PK: id,
+			Weight: zipfWeight(i, cfg.PopularityExponent),
+		})
+	}
+
+	// --- info (one plot per movie), movie ---
+	infoT := db.Table(TableInfo)
+	movieT := db.Table(TableMovie)
+	movieTitles := makeMovieTitles(r, cfg.Movies)
+	for i, title := range movieTitles {
+		id := int64(i + 1)
+		plot := plotFragments[r.Intn(len(plotFragments))] + "; " +
+			plotFragments[r.Intn(len(plotFragments))]
+		infoT.MustInsert(relational.Row{relational.Int(id), relational.String(plot)})
+		year := 1950 + r.Intn(59) // up to 2008, the paper's horizon
+		rating := 10 * (0.35 + 0.65*r.Float64()*r.Float64())
+		rating = math.Round(rating*10) / 10
+		row := movieT.MustInsert(relational.Row{
+			relational.Int(id), relational.String(title),
+			relational.Int(int64(year)), relational.Float(rating),
+			relational.Int(int64(1 + r.Intn(len(genres)))),
+			relational.Int(int64(1 + r.Intn(len(places)))),
+			relational.Int(id),
+		})
+		u.Movies = append(u.Movies, Entity{
+			Name: title, Table: TableMovie, Row: row, PK: id,
+			Weight: zipfWeight(i, cfg.PopularityExponent),
+		})
+	}
+
+	u.buildSamplers()
+
+	// --- cast: popular people cluster in popular movies ---
+	castT := db.Table(TableCast)
+	for _, m := range u.Movies {
+		n := 1 + r.Intn(2*cfg.CastPerMovie)
+		seen := map[int64]bool{}
+		for j := 0; j < n; j++ {
+			p := u.SamplePerson(r)
+			if seen[p.PK] {
+				continue
+			}
+			seen[p.PK] = true
+			role := castRoles[r.Intn(len(castRoles))]
+			castT.MustInsert(relational.Row{
+				relational.Int(p.PK), relational.Int(m.PK), relational.String(role),
+			})
+		}
+	}
+
+	// --- crew: every movie has a director plus a couple of others ---
+	crewT := db.Table(TableCrew)
+	for _, m := range u.Movies {
+		jobs := []string{"director"}
+		for j := 0; j < 1+r.Intn(3); j++ {
+			jobs = append(jobs, crewJobs[1+r.Intn(len(crewJobs)-1)])
+		}
+		for _, job := range jobs {
+			p := u.SamplePerson(r)
+			crewT.MustInsert(relational.Row{
+				relational.Int(p.PK), relational.Int(m.PK), relational.String(job),
+			})
+		}
+	}
+
+	// --- aka titles for ~20% of movies ---
+	akaT := db.Table(TableAkaTitle)
+	for _, m := range u.Movies {
+		if r.Float64() < 0.2 {
+			aka := "aka " + titleNouns[r.Intn(len(titleNouns))] + " " + titleNouns[r.Intn(len(titleNouns))]
+			akaT.MustInsert(relational.Row{relational.Int(m.PK), relational.String(aka)})
+		}
+	}
+
+	// --- companies ---
+	compT := db.Table(TableCompany)
+	for i, c := range companyNames {
+		compT.MustInsert(relational.Row{
+			relational.Int(int64(i + 1)), relational.String(c),
+			relational.String(companyCountries[r.Intn(len(companyCountries))]),
+		})
+	}
+	mcT := db.Table(TableMovieCompany)
+	for _, m := range u.Movies {
+		for j := 0; j < 1+r.Intn(2); j++ {
+			mcT.MustInsert(relational.Row{
+				relational.Int(m.PK),
+				relational.Int(int64(1 + r.Intn(len(companyNames)))),
+				relational.String(companyKinds[r.Intn(len(companyKinds))]),
+			})
+		}
+	}
+
+	// --- keywords ---
+	kwT := db.Table(TableKeyword)
+	for i, k := range keywordWords {
+		kwT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(k)})
+	}
+	mkT := db.Table(TableMovieKeyword)
+	for _, m := range u.Movies {
+		n := 2 + r.Intn(4)
+		seen := map[int64]bool{}
+		for j := 0; j < n; j++ {
+			k := int64(1 + r.Intn(len(keywordWords)))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			mkT.MustInsert(relational.Row{relational.Int(m.PK), relational.Int(k)})
+		}
+	}
+
+	// --- awards: high-rated movies get nominations ---
+	awT := db.Table(TableAward)
+	for i, a := range awardNames {
+		awT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(a)})
+	}
+	maT := db.Table(TableMovieAward)
+	for _, m := range u.Movies {
+		rt, _ := movieT.Get(m.Row, "rating")
+		if rt.AsFloat() >= 7.5 && r.Float64() < 0.6 {
+			yr, _ := movieT.Get(m.Row, "releasedate")
+			maT.MustInsert(relational.Row{
+				relational.Int(m.PK),
+				relational.Int(int64(1 + r.Intn(len(awardNames)))),
+				relational.Int(yr.AsInt() + 1),
+				relational.Bool(r.Float64() < 0.35),
+			})
+		}
+	}
+
+	// --- soundtrack for ~30% of movies ---
+	stT := db.Table(TableSoundtrack)
+	for _, m := range u.Movies {
+		if r.Float64() < 0.3 {
+			for j := 0; j < 1+r.Intn(3); j++ {
+				track := trackWords[r.Intn(len(trackWords))] + " in " +
+					titleNouns[r.Intn(len(titleNouns))]
+				artist := u.SamplePerson(r).Name
+				stT.MustInsert(relational.Row{
+					relational.Int(m.PK), relational.String(track), relational.String(artist),
+				})
+			}
+		}
+	}
+
+	// --- box office for ~85% of movies ---
+	boT := db.Table(TableBoxOffice)
+	for _, m := range u.Movies {
+		if r.Float64() < 0.85 {
+			gross := int64(1+r.Intn(900)) * 1_000_000
+			boT.MustInsert(relational.Row{
+				relational.Int(m.PK), relational.Int(gross),
+				relational.Int(gross / int64(3+r.Intn(10))),
+			})
+		}
+	}
+
+	// --- trivia for ~40% of movies ---
+	trT := db.Table(TableTrivia)
+	for _, m := range u.Movies {
+		if r.Float64() < 0.4 {
+			for j := 0; j < 1+r.Intn(2); j++ {
+				trT.MustInsert(relational.Row{
+					relational.Int(m.PK),
+					relational.String(triviaFragments[r.Intn(len(triviaFragments))]),
+				})
+			}
+		}
+	}
+
+	// Index every foreign-key column: ReferencingRows and the data-graph
+	// builder lean on these heavily.
+	db.Tables(func(t *relational.Table) {
+		for _, fk := range t.Schema().ForeignKeys {
+			if err := t.CreateIndex(fk.Column); err != nil {
+				panic(err) // unreachable: columns come from validated schemas
+			}
+		}
+	})
+
+	if err := db.ValidateForeignKeys(); err != nil {
+		return nil, fmt.Errorf("imdb: generated database fails FK validation: %w", err)
+	}
+	return u, nil
+}
+
+// MustGenerate is Generate that panics on error; for tests and examples.
+func MustGenerate(cfg Config) *Universe {
+	u, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func zipfWeight(rank int, s float64) float64 {
+	return 1 / math.Pow(float64(rank+1), s)
+}
+
+func (u *Universe) buildSamplers() {
+	u.personCum = cumulative(u.Persons)
+	u.movieCum = cumulative(u.Movies)
+}
+
+func cumulative(es []Entity) []float64 {
+	cum := make([]float64, len(es))
+	total := 0.0
+	for i, e := range es {
+		total += e.Weight
+		cum[i] = total
+	}
+	return cum
+}
+
+func sampleByWeight(r *rand.Rand, es []Entity, cum []float64) Entity {
+	if len(es) == 0 {
+		return Entity{}
+	}
+	x := r.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(es) {
+		i = len(es) - 1
+	}
+	return es[i]
+}
+
+// SamplePerson draws a person with probability proportional to
+// popularity.
+func (u *Universe) SamplePerson(r *rand.Rand) Entity {
+	return sampleByWeight(r, u.Persons, u.personCum)
+}
+
+// SampleMovie draws a movie with probability proportional to popularity.
+func (u *Universe) SampleMovie(r *rand.Rand) Entity {
+	return sampleByWeight(r, u.Movies, u.movieCum)
+}
+
+// FindPerson returns the person entity with the given name, if any.
+func (u *Universe) FindPerson(name string) (Entity, bool) {
+	return findEntity(u.Persons, name)
+}
+
+// FindMovie returns the movie entity with the given title, if any. When
+// remakes share a title the most popular one is returned.
+func (u *Universe) FindMovie(title string) (Entity, bool) {
+	return findEntity(u.Movies, title)
+}
+
+func findEntity(es []Entity, name string) (Entity, bool) {
+	name = strings.ToLower(name)
+	for _, e := range es {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entity{}, false
+}
+
+func makeUniqueNames(r *rand.Rand, n int, anchors []string, gen func() string) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for _, a := range anchors {
+		out = append(out, a)
+		seen[a] = true
+		if len(out) == n {
+			return out
+		}
+	}
+	for len(out) < n {
+		name := gen()
+		if seen[name] {
+			// Disambiguate with a middle surname rather than rejecting, so
+			// generation terminates even when the combination space is tight.
+			name = strings.Replace(name, " ", " "+lastNames[r.Intn(len(lastNames))]+" ", 1)
+			if seen[name] {
+				continue
+			}
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// makeMovieTitles generates n titles. Roughly 2% are deliberate
+// duplicates — the paper points out that movie titles are not unique
+// ("remakes and sequels"), and the qunit machinery must cope.
+func makeMovieTitles(r *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	for _, a := range famousMovies {
+		out = append(out, a)
+		if len(out) == n {
+			return out
+		}
+	}
+	seen := make(map[string]bool, n)
+	for _, a := range out {
+		seen[a] = true
+	}
+	for len(out) < n {
+		if len(out) > len(famousMovies) && r.Float64() < 0.02 {
+			// Remake: duplicate an existing title.
+			out = append(out, out[r.Intn(len(out))])
+			continue
+		}
+		p := titlePatterns[r.Intn(len(titlePatterns))]
+		t := strings.ReplaceAll(p, "%a", titleAdjectives[r.Intn(len(titleAdjectives))])
+		for strings.Contains(t, "%n") {
+			t = strings.Replace(t, "%n", titleNouns[r.Intn(len(titleNouns))], 1)
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package imdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"qunits/internal/relational"
+)
+
+func smallConfig() Config {
+	return Config{Seed: 7, Persons: 200, Movies: 120, CastPerMovie: 4, PopularityExponent: 0.9}
+}
+
+func TestGenerateProducesAllTables(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	names := u.DB.TableNames()
+	if len(names) != 17 {
+		t.Fatalf("tables = %d (%v), want 17", len(names), names)
+	}
+	for _, n := range names {
+		if n == TableCast || n == TableAkaTitle || n == TableMovieAward ||
+			n == TableSoundtrack || n == TableTrivia || n == TableBoxOffice ||
+			n == TableMovieCompany || n == TableMovieKeyword || n == TableCrew {
+			continue // fact tables may be any size ≥ 0
+		}
+		if u.DB.Table(n).Len() == 0 {
+			t.Errorf("table %s is empty", n)
+		}
+	}
+	if u.DB.Table(TablePerson).Len() != 200 {
+		t.Errorf("persons = %d", u.DB.Table(TablePerson).Len())
+	}
+	if u.DB.Table(TableMovie).Len() != 120 {
+		t.Errorf("movies = %d", u.DB.Table(TableMovie).Len())
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	if err := u.DB.ValidateForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallConfig())
+	b := MustGenerate(smallConfig())
+	if a.DB.TotalRows() != b.DB.TotalRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.DB.TotalRows(), b.DB.TotalRows())
+	}
+	for i := range a.Movies {
+		if a.Movies[i].Name != b.Movies[i].Name {
+			t.Fatalf("movie %d differs: %q vs %q", i, a.Movies[i].Name, b.Movies[i].Name)
+		}
+	}
+	for i := range a.Persons {
+		if a.Persons[i].Name != b.Persons[i].Name {
+			t.Fatalf("person %d differs", i)
+		}
+	}
+	// Different seed must differ somewhere.
+	cfg := smallConfig()
+	cfg.Seed = 8
+	c := MustGenerate(cfg)
+	same := true
+	for i := range c.Movies {
+		if c.Movies[i].Name != a.Movies[i].Name {
+			same = false
+			break
+		}
+	}
+	if same && c.DB.TotalRows() == a.DB.TotalRows() {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestFamousAnchorsPresent(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	for _, name := range []string{"george clooney", "tom hanks", "angelina jolie", "julio iglesias"} {
+		if _, ok := u.FindPerson(name); !ok {
+			t.Errorf("missing famous person %q", name)
+		}
+	}
+	for _, title := range []string{"star wars", "batman", "cast away", "terminator", "tomb raider"} {
+		if _, ok := u.FindMovie(title); !ok {
+			t.Errorf("missing famous movie %q", title)
+		}
+	}
+	if _, ok := u.FindPerson("nobody at all"); ok {
+		t.Error("found nonexistent person")
+	}
+}
+
+func TestPopularityIsZipfian(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	// Head should carry much more weight than the tail.
+	if u.Persons[0].Weight <= u.Persons[len(u.Persons)-1].Weight {
+		t.Error("popularity not decreasing")
+	}
+	r := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[u.SamplePerson(r).Name]++
+	}
+	head := counts[u.Persons[0].Name]
+	tail := counts[u.Persons[len(u.Persons)-1].Name]
+	if head <= tail {
+		t.Errorf("head sampled %d times, tail %d — not skewed", head, tail)
+	}
+	if head < 20 {
+		t.Errorf("head sampled only %d times out of 5000", head)
+	}
+}
+
+func TestEveryMovieHasDirector(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	crew := u.DB.Table(TableCrew)
+	directors := map[int64]bool{}
+	crew.Scan(func(id int, row relational.Row) bool {
+		if row[2].AsString() == "director" {
+			directors[row[1].AsInt()] = true
+		}
+		return true
+	})
+	for _, m := range u.Movies {
+		if !directors[m.PK] {
+			t.Errorf("movie %q (id %d) has no director", m.Name, m.PK)
+		}
+	}
+}
+
+func TestRemakesExist(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Movies = 800
+	u := MustGenerate(cfg)
+	titles := map[string]int{}
+	for _, m := range u.Movies {
+		titles[m.Name]++
+	}
+	dup := 0
+	for _, c := range titles {
+		if c > 1 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Error("no remakes generated; title non-uniqueness (a paper premise) untested")
+	}
+}
+
+func TestFKColumnsIndexed(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	u.DB.Tables(func(tb *relational.Table) {
+		for _, fk := range tb.Schema().ForeignKeys {
+			if !tb.HasIndex(fk.Column) {
+				t.Errorf("%s.%s not indexed", tb.Schema().Name, fk.Column)
+			}
+		}
+	})
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	u := MustGenerate(Config{Seed: 1}) // all other fields zero
+	if u.DB.Table(TablePerson).Len() < len(famousPeople) {
+		t.Error("persons below anchor set")
+	}
+	if u.DB.Table(TableMovie).Len() < len(famousMovies) {
+		t.Error("movies below anchor set")
+	}
+}
+
+func TestMovieRatingsInRange(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	u.DB.Table(TableMovie).Scan(func(id int, row relational.Row) bool {
+		rt := row[3].AsFloat()
+		if rt < 0 || rt > 10 {
+			t.Errorf("rating %v out of range", rt)
+		}
+		yr := row[2].AsInt()
+		if yr < 1950 || yr > 2008 {
+			t.Errorf("year %d out of range", yr)
+		}
+		return true
+	})
+}
+
+func TestDefaultConfigScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Persons < 1000 || cfg.Movies < 500 {
+		t.Error("default config too small to exercise ranking")
+	}
+}

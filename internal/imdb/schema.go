@@ -1,0 +1,177 @@
+// Package imdb generates a synthetic Internet Movie Database. The paper's
+// evaluation ran against a real IMDb dump (15 tables, 34M tuples via
+// IMDbPy); that data is proprietary, so this package produces a
+// structurally faithful synthetic substitute: the Fig. 2 schema (person,
+// cast, movie, genre, locations, info) extended with the satellite tables
+// a real IMDb carries (alternative titles, companies, keywords, crew,
+// awards, soundtracks, box office, trivia), populated with Zipfian
+// popularity so query logs and search behave like they would against the
+// skewed real thing.
+//
+// Everything is deterministic given the Config seed.
+package imdb
+
+import "qunits/internal/relational"
+
+// Table names, exported so higher layers (derivation, evaluation) can
+// refer to them without string literals scattered everywhere.
+const (
+	TablePerson       = "person"
+	TableMovie        = "movie"
+	TableCast         = "cast"
+	TableGenre        = "genre"
+	TableLocations    = "locations"
+	TableInfo         = "info"
+	TableAkaTitle     = "aka_title"
+	TableCompany      = "company"
+	TableMovieCompany = "movie_company"
+	TableKeyword      = "keyword"
+	TableMovieKeyword = "movie_keyword"
+	TableCrew         = "crew"
+	TableAward        = "award"
+	TableMovieAward   = "movie_award"
+	TableSoundtrack   = "soundtrack"
+	TableBoxOffice    = "boxoffice"
+	TableTrivia       = "trivia"
+)
+
+// Schemas returns the full table set in creation order. The first six
+// tables are exactly the paper's Fig. 2; the rest are the satellite tables
+// that make the schema realistically wide (and give the derivation
+// strategies meaningful choices about which neighbors matter).
+func Schemas() []*relational.TableSchema {
+	return []*relational.TableSchema{
+		relational.MustTableSchema(TablePerson, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+			{Name: "birthdate", Kind: relational.KindString},
+			{Name: "gender", Kind: relational.KindString},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableGenre, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "type", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableLocations, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "place", Kind: relational.KindString, Searchable: true, Label: true},
+			{Name: "level", Kind: relational.KindString},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableInfo, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "text", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableMovie, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
+			{Name: "releasedate", Kind: relational.KindInt},
+			{Name: "rating", Kind: relational.KindFloat},
+			{Name: "genre_id", Kind: relational.KindInt},
+			{Name: "location_id", Kind: relational.KindInt},
+			{Name: "info_id", Kind: relational.KindInt},
+		}, "id", []relational.ForeignKey{
+			{Column: "genre_id", RefTable: TableGenre},
+			{Column: "location_id", RefTable: TableLocations},
+			{Column: "info_id", RefTable: TableInfo},
+		}),
+
+		relational.MustTableSchema(TableCast, []relational.Column{
+			{Name: "person_id", Kind: relational.KindInt},
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "role", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "", []relational.ForeignKey{
+			{Column: "person_id", RefTable: TablePerson},
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+
+		relational.MustTableSchema(TableAkaTitle, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+
+		relational.MustTableSchema(TableCompany, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+			{Name: "country", Kind: relational.KindString},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableMovieCompany, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "company_id", Kind: relational.KindInt},
+			{Name: "kind", Kind: relational.KindString},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+			{Column: "company_id", RefTable: TableCompany},
+		}),
+
+		relational.MustTableSchema(TableKeyword, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "word", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableMovieKeyword, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "keyword_id", Kind: relational.KindInt},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+			{Column: "keyword_id", RefTable: TableKeyword},
+		}),
+
+		relational.MustTableSchema(TableCrew, []relational.Column{
+			{Name: "person_id", Kind: relational.KindInt},
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "job", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "", []relational.ForeignKey{
+			{Column: "person_id", RefTable: TablePerson},
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+
+		relational.MustTableSchema(TableAward, []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "id", nil),
+
+		relational.MustTableSchema(TableMovieAward, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "award_id", Kind: relational.KindInt},
+			{Name: "year", Kind: relational.KindInt},
+			{Name: "won", Kind: relational.KindBool},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+			{Column: "award_id", RefTable: TableAward},
+		}),
+
+		relational.MustTableSchema(TableSoundtrack, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "track", Kind: relational.KindString, Searchable: true, Label: true},
+			{Name: "artist", Kind: relational.KindString, Searchable: true},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+
+		relational.MustTableSchema(TableBoxOffice, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "gross", Kind: relational.KindInt},
+			{Name: "opening", Kind: relational.KindInt},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+
+		relational.MustTableSchema(TableTrivia, []relational.Column{
+			{Name: "movie_id", Kind: relational.KindInt},
+			{Name: "text", Kind: relational.KindString, Searchable: true, Label: true},
+		}, "", []relational.ForeignKey{
+			{Column: "movie_id", RefTable: TableMovie},
+		}),
+	}
+}
+
+// EntityTables lists the tables a user thinks of as entities; matches the
+// paper's framing of IMDb as "a collection of actor profiles and movie
+// listings".
+func EntityTables() []string { return []string{TablePerson, TableMovie} }

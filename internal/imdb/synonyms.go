@@ -1,0 +1,41 @@
+package imdb
+
+// AttributeSynonyms maps movie-domain query vocabulary onto the schema's
+// tables, supplementing the table/column names the segmentation
+// dictionary derives automatically. These are the words real users type
+// ("filmography", "ost", "box office") that no schema identifier
+// mentions.
+func AttributeSynonyms() map[string]string {
+	return map[string]string{
+		"movies":      TableMovie,
+		"films":       TableMovie,
+		"film":        TableMovie,
+		"filmography": TableMovie,
+		"posters":     TableMovie,
+		"poster":      TableMovie,
+		"year":        TableMovie,
+		"release":     TableMovie,
+		"actors":      TableCast,
+		"actor":       TableCast,
+		"starring":    TableCast,
+		"ost":         TableSoundtrack,
+		"music":       TableSoundtrack,
+		"songs":       TableSoundtrack,
+		"box office":  TableBoxOffice,
+		"gross":       TableBoxOffice,
+		"revenue":     TableBoxOffice,
+		"plot":        TableInfo,
+		"summary":     TableInfo,
+		"synopsis":    TableInfo,
+		"quotes":      TableTrivia,
+		"director":    TableCrew,
+		"directed by": TableCrew,
+		"awards":      TableMovieAward,
+		"oscars":      TableMovieAward,
+		"biography":   TablePerson,
+		"age":         TablePerson,
+		"photos":      TablePerson,
+		"review":      TableInfo,
+		"reviews":     TableInfo,
+	}
+}

@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Field is one weighted zone of a document. A qunit instance typically
+// indexes its label (e.g. the movie title) with a higher weight than its
+// body tuples.
+type Field struct {
+	Text   string
+	Weight float64 // defaults to 1 when zero
+}
+
+// Posting records one document's weighted term frequency for a term.
+type Posting struct {
+	Doc int     // dense internal document id
+	TF  float64 // weighted term frequency
+}
+
+// Index is an in-memory inverted index over named documents.
+type Index struct {
+	names    []string
+	byName   map[string]int
+	postings map[string][]Posting
+	docLen   []float64 // weighted token count per doc
+	totalLen float64
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		byName:   make(map[string]int),
+		postings: make(map[string][]Posting),
+	}
+}
+
+// Add indexes a document under a unique name. It returns the dense
+// internal id, or an error if the name was already indexed.
+func (ix *Index) Add(name string, fields ...Field) (int, error) {
+	if _, dup := ix.byName[name]; dup {
+		return 0, fmt.Errorf("ir: document %q already indexed", name)
+	}
+	id := len(ix.names)
+	ix.names = append(ix.names, name)
+	ix.byName[name] = id
+
+	tf := make(map[string]float64)
+	var length float64
+	for _, f := range fields {
+		w := f.Weight
+		if w == 0 {
+			w = 1
+		}
+		for _, tok := range Tokenize(f.Text) {
+			tf[tok] += w
+			length += w
+		}
+	}
+	terms := make([]string, 0, len(tf))
+	for t := range tf {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms) // deterministic posting construction
+	for _, t := range terms {
+		ix.postings[t] = append(ix.postings[t], Posting{Doc: id, TF: tf[t]})
+	}
+	ix.docLen = append(ix.docLen, length)
+	ix.totalLen += length
+	return id, nil
+}
+
+// MustAdd is Add that panics on error.
+func (ix *Index) MustAdd(name string, fields ...Field) int {
+	id, err := ix.Add(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.names) }
+
+// Name returns the external name of a document id.
+func (ix *Index) Name(id int) string {
+	if id < 0 || id >= len(ix.names) {
+		return ""
+	}
+	return ix.names[id]
+}
+
+// ID returns the dense id for a document name.
+func (ix *Index) ID(name string) (int, bool) {
+	id, ok := ix.byName[name]
+	return id, ok
+}
+
+// DocFreq returns the number of documents containing the term.
+func (ix *Index) DocFreq(term string) int { return len(ix.postings[term]) }
+
+// Postings returns the posting list for a term. The returned slice is
+// shared; callers must not mutate it.
+func (ix *Index) Postings(term string) []Posting { return ix.postings[term] }
+
+// AvgDocLen returns the mean weighted document length.
+func (ix *Index) AvgDocLen() float64 {
+	if len(ix.docLen) == 0 {
+		return 0
+	}
+	return ix.totalLen / float64(len(ix.docLen))
+}
+
+// DocLen returns the weighted length of a document.
+func (ix *Index) DocLen(id int) float64 {
+	if id < 0 || id >= len(ix.docLen) {
+		return 0
+	}
+	return ix.docLen[id]
+}
+
+// IDF returns the smoothed inverse document frequency of a term:
+// ln(1 + (N - df + 0.5)/(df + 0.5)), the BM25+ form, which is positive
+// even for terms in most documents.
+func (ix *Index) IDF(term string) float64 {
+	n := float64(ix.Len())
+	df := float64(ix.DocFreq(term))
+	return math.Log(1 + (n-df+0.5)/(df+0.5))
+}
+
+// VocabularySize returns the number of distinct terms.
+func (ix *Index) VocabularySize() int { return len(ix.postings) }

@@ -1,0 +1,281 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"George Clooney movies", []string{"george", "clooney", "movies"}},
+		{"ocean's eleven", []string{"oceans", "eleven"}},
+		{"ocean’s eleven", []string{"oceans", "eleven"}},
+		{"  spaced   out ", []string{"spaced", "out"}},
+		{"hy-phen_ated", []string{"hy", "phen", "ated"}},
+		{"movie2008!", []string{"movie2008"}},
+		{"", nil},
+		{"!!!", nil},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  The  GodFather "); got != "the godfather" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	got := ContentTokens("the cast of star wars")
+	want := []string{"cast", "star", "wars"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentTokens = %v, want %v", got, want)
+	}
+}
+
+func buildFixtureIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := NewIndex()
+	ix.MustAdd("cast:star wars", Field{Text: "star wars", Weight: 3}, Field{Text: "cast of star wars with many actors luke leia han"})
+	ix.MustAdd("cast:batman", Field{Text: "batman", Weight: 3}, Field{Text: "cast of batman bruce wayne joker"})
+	ix.MustAdd("movie:star wars", Field{Text: "star wars", Weight: 3}, Field{Text: "a space opera movie epic galaxy"})
+	ix.MustAdd("person:george clooney", Field{Text: "george clooney", Weight: 3}, Field{Text: "actor profile filmography"})
+	return ix
+}
+
+func TestIndexBasics(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	id, ok := ix.ID("cast:batman")
+	if !ok {
+		t.Fatal("missing doc")
+	}
+	if ix.Name(id) != "cast:batman" {
+		t.Fatalf("Name(%d) = %q", id, ix.Name(id))
+	}
+	if ix.Name(-1) != "" || ix.Name(99) != "" {
+		t.Error("out-of-range Name should be empty")
+	}
+	if _, err := ix.Add("cast:batman"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if ix.DocFreq("star") != 2 {
+		t.Errorf("DocFreq(star) = %d", ix.DocFreq("star"))
+	}
+	if ix.DocFreq("zzz") != 0 {
+		t.Error("DocFreq of absent term should be 0")
+	}
+	if ix.VocabularySize() == 0 {
+		t.Error("empty vocabulary")
+	}
+	if ix.AvgDocLen() <= 0 {
+		t.Error("AvgDocLen should be positive")
+	}
+	if ix.DocLen(0) <= ix.DocLen(99) {
+		t.Error("DocLen of real doc should exceed out-of-range 0")
+	}
+}
+
+func TestFieldWeighting(t *testing.T) {
+	ix := NewIndex()
+	ix.MustAdd("weighted", Field{Text: "batman", Weight: 5})
+	ix.MustAdd("plain", Field{Text: "batman"})
+	ps := ix.Postings("batman")
+	if len(ps) != 2 {
+		t.Fatalf("postings = %v", ps)
+	}
+	if ps[0].TF != 5 || ps[1].TF != 1 {
+		t.Fatalf("weighted TFs = %v", ps)
+	}
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	for _, scorer := range []Scorer{TFIDF{}, BM25{}} {
+		hits := Search(ix, scorer, "star wars cast", 0)
+		if len(hits) == 0 {
+			t.Fatalf("%s: no hits", scorer.Name())
+		}
+		if hits[0].Name != "cast:star wars" {
+			t.Errorf("%s: top hit = %q, want cast:star wars (hits %v)", scorer.Name(), hits[0].Name, hits)
+		}
+	}
+}
+
+func TestSearchTopKCut(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	hits := Search(ix, BM25{}, "cast", 1)
+	if len(hits) != 1 {
+		t.Fatalf("k=1 returned %d hits", len(hits))
+	}
+	all := Search(ix, BM25{}, "cast", 0)
+	if len(all) != 2 {
+		t.Fatalf("cast appears in 2 docs, got %d", len(all))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	if hits := Search(ix, TFIDF{}, "zzzz qqqq", 10); len(hits) != 0 {
+		t.Errorf("hits for nonsense query: %v", hits)
+	}
+}
+
+func TestSearchDeterministicTiebreak(t *testing.T) {
+	ix := NewIndex()
+	ix.MustAdd("b", Field{Text: "same text"})
+	ix.MustAdd("a", Field{Text: "same text"})
+	hits := Search(ix, BM25{}, "same text", 0)
+	if len(hits) != 2 || hits[0].Name != "a" {
+		t.Fatalf("tie not broken by name: %v", hits)
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	// "cast" (df=2) must have lower idf than "joker" (df=1).
+	if ix.IDF("cast") >= ix.IDF("joker") {
+		t.Errorf("IDF(cast)=%v should be < IDF(joker)=%v", ix.IDF("cast"), ix.IDF("joker"))
+	}
+	if ix.IDF("absent") <= ix.IDF("cast") {
+		t.Error("absent terms should have maximal idf")
+	}
+}
+
+func TestBM25CustomParams(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	a := Search(ix, BM25{K1: 0.5, B: 0.1}, "star wars", 0)
+	b := Search(ix, BM25{}, "star wars", 0)
+	if len(a) != len(b) {
+		t.Fatal("param change altered candidate set")
+	}
+}
+
+func TestBM25EmptyIndex(t *testing.T) {
+	ix := NewIndex()
+	if hits := Search(ix, BM25{}, "anything", 5); len(hits) != 0 {
+		t.Error("hits from empty index")
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var hits []Hit
+	for i := 0; i < 300; i++ {
+		hits = append(hits, Hit{Doc: i, Name: fmt.Sprintf("d%03d", i), Score: float64(r.Intn(50))})
+	}
+	for _, k := range []int{1, 5, 17, 300, 500} {
+		tk := NewTopK(k)
+		for _, h := range hits {
+			tk.Offer(h)
+		}
+		got := tk.Hits()
+
+		full := append([]Hit(nil), hits...)
+		sortHits(full)
+		want := full
+		if k < len(full) {
+			want = full[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: TopK disagrees with full sort\n got %v\nwant %v", k, got[:min(3, len(got))], want[:min(3, len(want))])
+		}
+	}
+	zero := NewTopK(0)
+	zero.Offer(Hit{Score: 1})
+	if len(zero.Hits()) != 0 {
+		t.Error("TopK(0) retained hits")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: adding an unrelated document never changes the relative order
+// of two existing documents' BM25 scores for a fixed query (IDF shifts are
+// monotone across all docs for the same terms).
+func TestScoreStabilityUnderUnrelatedGrowth(t *testing.T) {
+	base := func(extra int) (float64, float64) {
+		ix := NewIndex()
+		ix.MustAdd("rel", Field{Text: "star wars cast list"})
+		ix.MustAdd("semi", Field{Text: "star chart astronomy"})
+		for i := 0; i < extra; i++ {
+			ix.MustAdd(fmt.Sprintf("junk%d", i), Field{Text: "unrelated filler document about cooking"})
+		}
+		s := BM25{}.Score(ix, Tokenize("star wars"))
+		relID, _ := ix.ID("rel")
+		semiID, _ := ix.ID("semi")
+		return s[relID], s[semiID]
+	}
+	for _, extra := range []int{0, 5, 50} {
+		rel, semi := base(extra)
+		if rel <= semi {
+			t.Errorf("extra=%d: rel=%v <= semi=%v", extra, rel, semi)
+		}
+	}
+}
+
+// Property: every query term present in exactly one document makes that
+// document the unique top hit for that term as a query.
+func TestUniqueTermRetrieval(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ix := NewIndex()
+	uniq := make(map[string]string) // term -> doc name
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("doc%d", i)
+		term := fmt.Sprintf("uniqterm%d", i)
+		common := []string{"alpha", "beta", "gamma"}[r.Intn(3)]
+		ix.MustAdd(name, Field{Text: term + " " + common + " filler words here"})
+		uniq[term] = name
+	}
+	for term, want := range uniq {
+		hits := Search(ix, BM25{}, term, 1)
+		if len(hits) != 1 || hits[0].Name != want {
+			t.Fatalf("query %q: hits = %v, want %q", term, hits, want)
+		}
+	}
+}
+
+// Property: tokenization is idempotent — tokenizing the normalized form
+// yields the same tokens.
+func TestTokenizeIdempotent(t *testing.T) {
+	inputs := []string{
+		"George Clooney", "ocean's 11!!", "the,matrix", "A-B-C 123",
+		strings.Repeat("word ", 20),
+	}
+	for _, in := range inputs {
+		first := Tokenize(in)
+		second := Tokenize(strings.Join(first, " "))
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("not idempotent for %q: %v vs %v", in, first, second)
+		}
+	}
+}
+
+func TestPostingsSortedByDoc(t *testing.T) {
+	ix := buildFixtureIndex(t)
+	for _, term := range []string{"star", "cast", "wars"} {
+		ps := ix.Postings(term)
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc }) {
+			t.Errorf("postings for %q not sorted: %v", term, ps)
+		}
+	}
+}

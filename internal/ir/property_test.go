@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// BM25 axioms, checked empirically: more occurrences of a query term
+// never lower a document's score (TF monotonicity), and rarer terms
+// contribute more than common ones of equal frequency (IDF effect).
+
+func TestBM25TFMonotonicity(t *testing.T) {
+	for reps := 1; reps < 8; reps++ {
+		ix := NewIndex()
+		// Pad documents to identical length so only TF varies.
+		pad := func(n int) string { return strings.Repeat("filler ", n) }
+		ix.MustAdd("less", Field{Text: strings.Repeat("target ", reps) + pad(10-reps)})
+		ix.MustAdd("more", Field{Text: strings.Repeat("target ", reps+1) + pad(9-reps)})
+		s := BM25{}.Score(ix, []string{"target"})
+		lessID, _ := ix.ID("less")
+		moreID, _ := ix.ID("more")
+		if s[moreID] < s[lessID] {
+			t.Fatalf("reps=%d: more occurrences scored lower (%v < %v)", reps, s[moreID], s[lessID])
+		}
+	}
+}
+
+func TestBM25IDFEffect(t *testing.T) {
+	ix := NewIndex()
+	// "rare" appears in 1 doc, "common" in all 20; both once in doc0.
+	ix.MustAdd("doc0", Field{Text: "rare common"})
+	for i := 1; i < 20; i++ {
+		ix.MustAdd(fmt.Sprintf("doc%d", i), Field{Text: "common filler"})
+	}
+	id0, _ := ix.ID("doc0")
+	rareScore := BM25{}.Score(ix, []string{"rare"})[id0]
+	commonScore := BM25{}.Score(ix, []string{"common"})[id0]
+	if rareScore <= commonScore {
+		t.Fatalf("rare term (%v) did not outscore common term (%v)", rareScore, commonScore)
+	}
+}
+
+// Property: scores are invariant under document insertion order.
+func TestScoringOrderInvariance(t *testing.T) {
+	docs := map[string]string{
+		"a": "star wars epic space opera",
+		"b": "cast of star wars",
+		"c": "wars of the roses documentary",
+		"d": "unrelated cooking show",
+	}
+	build := func(order []string) map[string]float64 {
+		ix := NewIndex()
+		for _, name := range order {
+			ix.MustAdd(name, Field{Text: docs[name]})
+		}
+		out := map[string]float64{}
+		for doc, s := range (BM25{}).Score(ix, Tokenize("star wars")) {
+			out[ix.Name(doc)] = s
+		}
+		return out
+	}
+	base := build([]string{"a", "b", "c", "d"})
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		order := []string{"a", "b", "c", "d"}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := build(order)
+		if len(got) != len(base) {
+			t.Fatal("candidate set changed with insertion order")
+		}
+		for name, s := range base {
+			if got[name] != s {
+				t.Fatalf("score of %q changed with insertion order: %v vs %v", name, got[name], s)
+			}
+		}
+	}
+}
+
+// --- package microbenches ---
+
+func benchIndex(n int) *Index {
+	ix := NewIndex()
+	words := []string{"star", "wars", "cast", "movie", "epic", "space", "drama", "actor", "scene", "story"}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for j := 0; j < 20; j++ {
+			sb.WriteString(words[r.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		ix.MustAdd(fmt.Sprintf("doc%d", i), Field{Text: sb.String()})
+	}
+	return ix
+}
+
+func BenchmarkBM25Score(b *testing.B) {
+	ix := benchIndex(2000)
+	terms := Tokenize("star wars cast")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BM25{}.Score(ix, terms)
+	}
+}
+
+func BenchmarkTFIDFScore(b *testing.B) {
+	ix := benchIndex(2000)
+	terms := Tokenize("star wars cast")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TFIDF{}.Score(ix, terms)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	s := "The Quick Brown Fox's 2008 adventure, with punctuation—and UNICODE"
+	for i := 0; i < b.N; i++ {
+		Tokenize(s)
+	}
+}

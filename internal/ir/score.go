@@ -1,0 +1,178 @@
+package ir
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Hit is one ranked retrieval result.
+type Hit struct {
+	Doc   int
+	Name  string
+	Score float64
+}
+
+// Scorer ranks documents for a tokenized query. Implementations must be
+// deterministic.
+type Scorer interface {
+	// Score returns per-candidate scores for the query terms. Documents
+	// not containing any query term are absent.
+	Score(ix *Index, terms []string) map[int]float64
+	// Name identifies the scorer in reports.
+	Name() string
+}
+
+// TFIDF is lnc-style cosine scoring: document weight (1+ln tf)·idf,
+// normalized by document vector length.
+type TFIDF struct{}
+
+// Name implements Scorer.
+func (TFIDF) Name() string { return "tfidf" }
+
+// Score implements Scorer.
+func (TFIDF) Score(ix *Index, terms []string) map[int]float64 {
+	qtf := make(map[string]float64)
+	for _, t := range terms {
+		qtf[t]++
+	}
+	acc := make(map[int]float64)
+	for t, qf := range qtf {
+		idf := ix.IDF(t)
+		if idf == 0 {
+			continue
+		}
+		qw := (1 + math.Log(qf)) * idf
+		for _, p := range ix.Postings(t) {
+			dw := (1 + math.Log(p.TF)) * idf
+			acc[p.Doc] += qw * dw
+		}
+	}
+	for doc := range acc {
+		if l := ix.DocLen(doc); l > 0 {
+			acc[doc] /= math.Sqrt(l)
+		}
+	}
+	return acc
+}
+
+// BM25 is Okapi BM25 with the usual shape parameters.
+type BM25 struct {
+	// K1 controls term-frequency saturation; 0 means the default 1.2.
+	K1 float64
+	// B controls length normalization; 0 means the default 0.75.
+	B float64
+}
+
+// Name implements Scorer.
+func (BM25) Name() string { return "bm25" }
+
+// Score implements Scorer.
+func (s BM25) Score(ix *Index, terms []string) map[int]float64 {
+	k1, b := s.K1, s.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	avg := ix.AvgDocLen()
+	if avg == 0 {
+		return nil
+	}
+	qtf := make(map[string]float64)
+	for _, t := range terms {
+		qtf[t]++
+	}
+	acc := make(map[int]float64)
+	for t := range qtf {
+		idf := ix.IDF(t)
+		for _, p := range ix.Postings(t) {
+			norm := p.TF * (k1 + 1) / (p.TF + k1*(1-b+b*ix.DocLen(p.Doc)/avg))
+			acc[p.Doc] += idf * norm
+		}
+	}
+	return acc
+}
+
+// Search scores the query with the scorer and returns the top k hits,
+// highest score first, ties broken by document name for determinism.
+// k <= 0 returns all hits.
+func Search(ix *Index, scorer Scorer, query string, k int) []Hit {
+	terms := Tokenize(query)
+	scores := scorer.Score(ix, terms)
+	hits := make([]Hit, 0, len(scores))
+	for doc, sc := range scores {
+		hits = append(hits, Hit{Doc: doc, Name: ix.Name(doc), Score: sc})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Name < hits[j].Name
+	})
+}
+
+// TopK keeps the k best (score, name) pairs seen so far using a bounded
+// min-heap; useful when scoring streams of candidates without
+// materializing all scores.
+type TopK struct {
+	k    int
+	heap hitHeap
+}
+
+// NewTopK returns an accumulator for the k best hits.
+func NewTopK(k int) *TopK { return &TopK{k: k} }
+
+// Offer considers one hit.
+func (t *TopK) Offer(h Hit) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, h)
+		return
+	}
+	if less(t.heap[0], h) {
+		t.heap[0] = h
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// Hits returns the accumulated hits, best first.
+func (t *TopK) Hits() []Hit {
+	out := append([]Hit(nil), t.heap...)
+	sortHits(out)
+	return out
+}
+
+// less orders hits worst-first for the min-heap: lower score is "less",
+// with reverse-name tiebreak mirroring sortHits.
+func less(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Name > b.Name
+}
+
+type hitHeap []Hit
+
+func (h hitHeap) Len() int            { return len(h) }
+func (h hitHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h hitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x interface{}) { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

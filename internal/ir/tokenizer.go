@@ -1,0 +1,69 @@
+// Package ir is a small information-retrieval engine: tokenization, an
+// inverted index, TF-IDF and BM25 ranking, and top-k retrieval.
+//
+// The qunits paradigm's whole point is that once a database is modeled as
+// a flat collection of qunit instances, "standard IR techniques" finish
+// the job. This package is those standard techniques, built from scratch:
+// the qunit search engine, the evidence-page signature miner, and parts of
+// the baselines all rank with it.
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the input, strips apostrophes (so "ocean's" and
+// "oceans" unify), and splits on any other non-letter, non-digit run. It
+// never removes stopwords — IDF weighting already discounts them, and the
+// segmentation layer needs to see every token.
+func Tokenize(s string) []string {
+	s = strings.ToLower(s)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '\'' || r == '’': // apostrophes vanish in place
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Normalize returns the canonical single-string form of the input: its
+// tokens joined by single spaces. Entity dictionaries and query templates
+// compare normalized forms.
+func Normalize(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// Stopwords is the closed-class word list used by the query classifier to
+// recognize non-content tokens. The inverted index itself keeps
+// stopwords; only classification logic consults this set.
+var Stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
+	"and": true, "or": true, "for": true, "to": true, "with": true,
+	"is": true, "was": true, "by": true, "at": true, "from": true,
+}
+
+// ContentTokens tokenizes and removes stopwords; what remains are the
+// information-bearing tokens of a query.
+func ContentTokens(s string) []string {
+	var out []string
+	for _, t := range Tokenize(s) {
+		if !Stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

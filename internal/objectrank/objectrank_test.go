@@ -1,0 +1,127 @@
+package objectrank
+
+import (
+	"math"
+	"testing"
+
+	"qunits/internal/graph"
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func engine(t *testing.T) (*imdb.Universe, *Engine) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 120, Movies: 80, CastPerMovie: 4})
+	return u, New(graph.Build(u.DB), Options{})
+}
+
+func TestAuthoritySumsToOne(t *testing.T) {
+	_, e := engine(t)
+	total := 0.0
+	for i := 0; i < e.g.Len(); i++ {
+		total += e.authority[i]
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("authority mass = %v, want 1", total)
+	}
+	for i := 0; i < e.g.Len(); i++ {
+		if e.authority[i] <= 0 {
+			t.Fatalf("node %d has non-positive authority", i)
+		}
+	}
+}
+
+func TestPopularEntitiesHaveHigherAuthority(t *testing.T) {
+	u, e := engine(t)
+	top, _ := e.g.Node(relational.TupleRef{Table: imdb.TablePerson, Row: u.Persons[0].Row})
+	bottom, _ := e.g.Node(relational.TupleRef{Table: imdb.TablePerson, Row: u.Persons[len(u.Persons)-1].Row})
+	if e.Authority(top) <= e.Authority(bottom) {
+		t.Errorf("authority(top)=%v <= authority(bottom)=%v", e.Authority(top), e.Authority(bottom))
+	}
+}
+
+func TestSearchRanksMatchingTuples(t *testing.T) {
+	_, e := engine(t)
+	res := e.Search("george clooney", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Ref.Table != imdb.TablePerson {
+		t.Errorf("top result table = %s", res[0].Ref.Table)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Score < res[i].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+	if res[0].Match == 0 || res[0].Authority == 0 {
+		t.Error("score components not populated")
+	}
+}
+
+func TestSearchAuthorityBreaksTies(t *testing.T) {
+	u, e := engine(t)
+	// Query a token matching many tuples with equal match strength: the
+	// winner must be the one with the most authority.
+	res := e.Search("actor", 10) // cast.role value
+	if len(res) < 2 {
+		t.Skip("not enough matches")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Match == res[i].Match && res[i-1].Authority < res[i].Authority {
+			t.Fatal("equal-match results not ordered by authority")
+		}
+	}
+	_ = u
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	_, e := engine(t)
+	if res := e.Search("zzzz qqqq", 5); res != nil {
+		t.Errorf("results for nonsense: %v", res)
+	}
+	if res := e.Search("", 5); res != nil {
+		t.Error("results for empty query")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	_, e := engine(t)
+	a := e.Search("star wars", 10)
+	b := e.Search("star wars", 10)
+	if len(a) != len(b) {
+		t.Fatal("count differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranking differs")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	db := relational.NewDatabase("empty")
+	e := New(graph.Build(db), Options{})
+	if res := e.Search("anything", 3); res != nil {
+		t.Error("results from empty graph")
+	}
+}
+
+func TestDampingExtremes(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 40, Movies: 30})
+	g := graph.Build(u.DB)
+	// Damping near 0: authority ≈ uniform.
+	low := New(g, Options{Damping: 1e-9})
+	n := g.Len()
+	for i := 0; i < n; i += 37 {
+		if math.Abs(low.Authority(i)-1/float64(n)) > 1e-3 {
+			t.Fatalf("near-zero damping not uniform: %v", low.Authority(i))
+		}
+	}
+	// Higher damping concentrates more mass on hubs.
+	high := New(g, Options{Damping: 0.95, Iterations: 60})
+	topHub, _ := g.Node(relational.TupleRef{Table: imdb.TablePerson, Row: u.Persons[0].Row})
+	if high.Authority(topHub) <= low.Authority(topHub) {
+		t.Error("hub authority did not grow with damping")
+	}
+}

@@ -1,0 +1,230 @@
+package querylog
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"qunits/internal/imdb"
+)
+
+// GenConfig controls synthetic log generation. The default mix matches
+// the fractions the paper reports for its AOL/IMDb base log.
+type GenConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Volume is the total number of (non-unique) queries to generate. The
+	// paper's base log had 98,549; the default experiment scale is a
+	// tenth of that.
+	Volume int
+	// Mix fractions by query class; whatever is left over becomes free
+	// text / junk. Zero values take the paper's defaults.
+	SingleEntity    float64
+	EntityAttribute float64
+	MultiEntity     float64
+	Complex         float64
+	// MisspellRate is the chance a generated query gets a typo, which
+	// usually demotes it to free text at classification time (the paper's
+	// ~7% of unidentifiable queries).
+	MisspellRate float64
+}
+
+// DefaultGenConfig returns the paper-calibrated configuration.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:            1,
+		Volume:          9855, // 98,549 / 10
+		SingleEntity:    0.36,
+		EntityAttribute: 0.20,
+		MultiEntity:     0.02,
+		Complex:         0.015,
+		MisspellRate:    0.03,
+	}
+}
+
+// weightedWord is query vocabulary with a popularity weight; attribute
+// words are far from uniform in real logs (cast queries dwarf award
+// queries).
+type weightedWord struct {
+	word   string
+	weight int
+}
+
+// movieAttributes is the query vocabulary users attach to movie entities;
+// mirrors Table 1's columns ([title] cast, [title] box office, [title]
+// ost, [title] year, [title] posters, [title] plot …), weighted by how
+// often users actually ask for each aspect.
+var movieAttributes = []weightedWord{
+	{"cast", 10}, {"plot", 4}, {"soundtrack", 3}, {"ost", 2},
+	{"box office", 3}, {"year", 3}, {"trivia", 2}, {"quotes", 2},
+	{"posters", 2}, {"review", 2}, {"director", 2}, {"genre", 1},
+	{"awards", 1}, {"locations", 1},
+}
+
+// personAttributes is the vocabulary attached to person entities.
+var personAttributes = []weightedWord{
+	{"movies", 10}, {"filmography", 3}, {"films", 3}, {"biography", 2},
+	{"age", 2}, {"photos", 1}, {"awards", 1},
+}
+
+func pickWeighted(r *rand.Rand, words []weightedWord) string {
+	total := 0
+	for _, w := range words {
+		total += w.weight
+	}
+	x := r.Intn(total)
+	for _, w := range words {
+		x -= w.weight
+		if x < 0 {
+			return w.word
+		}
+	}
+	return words[len(words)-1].word
+}
+
+// complexTemplates are aggregate-structured queries (<2% of the log).
+// Genre placeholders type-recognize ("comedy" is a genre.type entity), so
+// each shape collapses into a single typed template heavy enough to
+// appear in the benchmark — as the paper's complex examples did.
+var complexTemplates = []string{
+	"highest box office revenue",
+	"best %genre movies",
+}
+
+// freeTemplates are navigational or free-text queries that carry no
+// recognizable entity.
+var freeTemplates = []string{
+	"movie trailers",
+	"new movies",
+	"movie showtimes",
+	"celebrity gossip",
+	"upcoming releases",
+	"film reviews online",
+	"imdb",
+	"movie database",
+	"oscar nominations list",
+	"cinema near me",
+}
+
+// Generate builds a synthetic aggregated log over the universe's
+// entities.
+func Generate(u *imdb.Universe, cfg GenConfig) *Log {
+	if cfg.Volume <= 0 {
+		cfg.Volume = DefaultGenConfig().Volume
+	}
+	if cfg.SingleEntity == 0 && cfg.EntityAttribute == 0 && cfg.MultiEntity == 0 && cfg.Complex == 0 {
+		def := DefaultGenConfig()
+		cfg.SingleEntity = def.SingleEntity
+		cfg.EntityAttribute = def.EntityAttribute
+		cfg.MultiEntity = def.MultiEntity
+		cfg.Complex = def.Complex
+		if cfg.MisspellRate == 0 {
+			cfg.MisspellRate = def.MisspellRate
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	counts := make(map[string]int)
+	for i := 0; i < cfg.Volume; i++ {
+		q := generateOne(u, cfg, r)
+		if cfg.MisspellRate > 0 && r.Float64() < cfg.MisspellRate {
+			q = misspell(r, q)
+		}
+		counts[q]++
+	}
+	return fromCounts(counts)
+}
+
+func generateOne(u *imdb.Universe, cfg GenConfig, r *rand.Rand) string {
+	x := r.Float64()
+	switch {
+	case x < cfg.SingleEntity:
+		return sampleEntityName(u, r)
+	case x < cfg.SingleEntity+cfg.EntityAttribute:
+		if r.Float64() < 0.55 {
+			m := u.SampleMovie(r)
+			return m.Name + " " + pickWeighted(r, movieAttributes)
+		}
+		p := u.SamplePerson(r)
+		return p.Name + " " + pickWeighted(r, personAttributes)
+	case x < cfg.SingleEntity+cfg.EntityAttribute+cfg.MultiEntity:
+		// Usually person+movie ("angelina jolie tomb raider"), sometimes
+		// person+person (coactorship).
+		if r.Float64() < 0.85 {
+			return u.SamplePerson(r).Name + " " + u.SampleMovie(r).Name
+		}
+		return u.SamplePerson(r).Name + " " + u.SamplePerson(r).Name
+	case x < cfg.SingleEntity+cfg.EntityAttribute+cfg.MultiEntity+cfg.Complex:
+		t := complexTemplates[r.Intn(len(complexTemplates))]
+		t = strings.ReplaceAll(t, "%year", yearString(r))
+		t = strings.ReplaceAll(t, "%genre", sampleGenre(r))
+		return t
+	default:
+		// Free text. Real logs' unidentifiable remainder is diverse:
+		// entity names with extra prose ("[title] [freetext]"), mangled
+		// entity names (typos bad enough to defeat recognition), and a
+		// thin stream of navigational queries.
+		switch x := r.Float64(); {
+		case x < 0.4:
+			return u.SampleMovie(r).Name + " " + freeExtra(r)
+		case x < 0.55:
+			// Aggressively mangle an entity name: two edits usually push
+			// it out of the dictionary (the paper's ~7% unidentifiable
+			// remainder).
+			q := sampleEntityName(u, r)
+			return misspell(r, misspell(r, q))
+		default:
+			// Navigational queries repeat massively, exactly like the
+			// real log's "imdb"; the benchmark builder excludes their
+			// templates, as the paper's imdb.com click filter did.
+			return freeTemplates[r.Intn(len(freeTemplates))]
+		}
+	}
+}
+
+func sampleEntityName(u *imdb.Universe, r *rand.Rand) string {
+	if r.Float64() < 0.5 {
+		return u.SamplePerson(r).Name
+	}
+	return u.SampleMovie(r).Name
+}
+
+func yearString(r *rand.Rand) string {
+	return strconv.Itoa(1950 + r.Intn(50))
+}
+
+var genreSamples = []string{"comedy", "drama", "action", "horror", "thriller"}
+
+func sampleGenre(r *rand.Rand) string {
+	return genreSamples[r.Intn(len(genreSamples))]
+}
+
+var freeExtraWords = []string{
+	"ending explained", "watch online", "full movie", "streaming",
+	"behind the scenes", "fan theories", "parents guide", "runtime",
+	"age rating", "similar titles", "deleted scenes", "easter eggs",
+	"filming schedule", "sequel rumors", "alternate ending", "blooper reel",
+	"costume design", "opening scene", "final battle", "fan art",
+}
+
+func freeExtra(r *rand.Rand) string {
+	return freeExtraWords[r.Intn(len(freeExtraWords))]
+}
+
+// misspell perturbs one interior character: drop it, double it, or swap
+// with its neighbor.
+func misspell(r *rand.Rand, q string) string {
+	if len(q) < 4 {
+		return q
+	}
+	i := 1 + r.Intn(len(q)-2)
+	switch r.Intn(3) {
+	case 0: // drop
+		return q[:i] + q[i+1:]
+	case 1: // double
+		return q[:i] + string(q[i]) + q[i:]
+	default: // swap
+		b := []byte(q)
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	}
+}

@@ -1,0 +1,109 @@
+package querylog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qunits/internal/imdb"
+)
+
+func TestPickWeightedDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	words := []weightedWord{{"heavy", 9}, {"light", 1}}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[pickWeighted(r, words)]++
+	}
+	if counts["heavy"] < 4*counts["light"] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+	if counts["light"] == 0 {
+		t.Error("light option never chosen")
+	}
+}
+
+func TestBenchmarkTemplateFilter(t *testing.T) {
+	cases := map[string]bool{
+		"[movie.title] cast":         true,
+		"[person.name]":              true,
+		"highest box office revenue": true,
+		"best [genre.type] movies":   true,
+		"imdb":                       false,
+		"movie trailers":             false,
+		"celebrity gossip":           false,
+	}
+	for tpl, want := range cases {
+		if got := benchmarkTemplate(tpl); got != want {
+			t.Errorf("benchmarkTemplate(%q) = %v, want %v", tpl, got, want)
+		}
+	}
+}
+
+func TestGeneratedClassesMatchGenerator(t *testing.T) {
+	// Each class branch of the generator must produce queries the
+	// classifier maps back to the intended class (modulo misspelling,
+	// disabled here).
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 200, Movies: 150})
+	_, _, seg := logFixture(t)
+	_ = u
+
+	cases := []struct {
+		cfg  GenConfig
+		want Class
+	}{
+		{GenConfig{Seed: 1, Volume: 200, SingleEntity: 1}, ClassSingleEntity},
+		{GenConfig{Seed: 2, Volume: 200, SingleEntity: 0.001, EntityAttribute: 0.999}, ClassEntityAttribute},
+		{GenConfig{Seed: 3, Volume: 200, SingleEntity: 0.001, EntityAttribute: 0.001, MultiEntity: 0.998}, ClassMultiEntity},
+		{GenConfig{Seed: 4, Volume: 200, SingleEntity: 0.001, EntityAttribute: 0.001, MultiEntity: 0.001, Complex: 0.997}, ClassComplex},
+	}
+	u2 := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 300, Movies: 200, CastPerMovie: 4})
+	for _, c := range cases {
+		log := Generate(u2, c.cfg)
+		st := Analyze(log, seg)
+		if f := st.ClassFraction(c.want); f < 0.80 {
+			t.Errorf("generator class %s: classified fraction %.2f (byClass %v)", c.want, f, st.ByClassVolume)
+		}
+	}
+}
+
+func TestFreeBranchDiversity(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 300, Movies: 200, CastPerMovie: 4})
+	// All free text: verify the three sub-branches all appear.
+	log := Generate(u, GenConfig{
+		Seed: 9, Volume: 3000,
+		SingleEntity: 0.001, EntityAttribute: 0.001, MultiEntity: 0.001, Complex: 0.001,
+	})
+	var navigational, entityExtra int
+	for _, e := range log.Entries {
+		if containsAny(e.Query, freeTemplates) {
+			navigational += e.Freq
+		}
+		for _, w := range freeExtraWords {
+			if strings.HasSuffix(e.Query, w) {
+				entityExtra += e.Freq
+				break
+			}
+		}
+	}
+	if navigational == 0 {
+		t.Error("no navigational queries generated")
+	}
+	if entityExtra == 0 {
+		t.Error("no entity+freetext queries generated")
+	}
+	// Mangles: a large share of unique queries should be unrecognizable
+	// variants (not equal to any canned string and not suffix-matched).
+	if log.Unique() < 500 {
+		t.Errorf("free branch insufficiently diverse: %d unique", log.Unique())
+	}
+}
+
+func containsAny(q string, set []string) bool {
+	for _, s := range set {
+		if q == s {
+			return true
+		}
+	}
+	return false
+}

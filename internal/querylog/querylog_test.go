@@ -1,0 +1,239 @@
+package querylog
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/segment"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func logFixture(t *testing.T) (*imdb.Universe, *Log, *segment.Segmenter) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 300, Movies: 200, CastPerMovie: 4})
+	l := Generate(u, GenConfig{
+		Seed: 11, Volume: 8000,
+		SingleEntity: 0.36, EntityAttribute: 0.20, MultiEntity: 0.02,
+		Complex: 0.015, MisspellRate: 0.03,
+	})
+	d := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	return u, l, segment.NewSegmenter(d)
+}
+
+func TestGenerateVolumeAndAggregation(t *testing.T) {
+	_, l, _ := logFixture(t)
+	if l.Total != 8000 {
+		t.Fatalf("Total = %d", l.Total)
+	}
+	if l.Unique() == 0 || l.Unique() >= l.Total {
+		t.Fatalf("Unique = %d of %d; expected aggregation", l.Unique(), l.Total)
+	}
+	// Sorted by descending frequency.
+	for i := 1; i < len(l.Entries); i++ {
+		if l.Entries[i-1].Freq < l.Entries[i].Freq {
+			t.Fatal("entries not sorted by frequency")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 100, Movies: 80})
+	cfg := GenConfig{Seed: 5, Volume: 2000, SingleEntity: 0.4, EntityAttribute: 0.2, MultiEntity: 0.02, Complex: 0.02}
+	a := Generate(u, cfg)
+	b := Generate(u, cfg)
+	if a.Total != b.Total || a.Unique() != b.Unique() {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestClassifyExamples(t *testing.T) {
+	_, _, seg := logFixture(t)
+	cases := []struct {
+		query string
+		want  Class
+	}{
+		{"george clooney", ClassSingleEntity},
+		{"star wars", ClassSingleEntity},
+		{"terminator cast", ClassEntityAttribute},
+		{"george clooney movies", ClassEntityAttribute},
+		{"angelina jolie tomb raider", ClassMultiEntity},
+		{"highest box office revenue", ClassComplex},
+		{"best comedy movies", ClassComplex},
+		{"movie trailers online", ClassFreeText},
+		{"star wars ending explained", ClassEntityFreeText},
+	}
+	for _, c := range cases {
+		got := Classify(seg.Segment(c.query))
+		if got != c.want {
+			t.Errorf("Classify(%q) = %s, want %s", c.query, got, c.want)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := map[Class]string{
+		ClassSingleEntity:    "single-entity",
+		ClassEntityAttribute: "entity-attribute",
+		ClassMultiEntity:     "multi-entity",
+		ClassComplex:         "complex",
+		ClassEntityFreeText:  "entity-freetext",
+		ClassFreeText:        "free-text",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+// The headline reproduction check for §5.2: the synthetic log's class mix
+// must match the paper's published fractions within tolerance.
+func TestAnalyzeMatchesPaperMix(t *testing.T) {
+	_, l, seg := logFixture(t)
+	st := Analyze(l, seg)
+	if st.Unique != l.Unique() || st.Total != l.Total {
+		t.Fatal("stats totals wrong")
+	}
+	// The paper reports ≥36% single entity, ~20% entity-attribute, ~2%
+	// multi-entity, <2% complex. At full scale distinct fractions equal
+	// volume fractions; at reproduction scale the volume-weighted
+	// fraction is the scale-invariant quantity (see Stats doc).
+	if f := st.ClassFraction(ClassSingleEntity); math.Abs(f-0.36) > 0.06 {
+		t.Errorf("single-entity fraction = %.3f, want ≈0.36", f)
+	}
+	if f := st.ClassFraction(ClassEntityAttribute); math.Abs(f-0.20) > 0.08 {
+		t.Errorf("entity-attribute fraction = %.3f, want ≈0.20", f)
+	}
+	if f := st.ClassFraction(ClassMultiEntity); f > 0.06 || f == 0 {
+		t.Errorf("multi-entity fraction = %.3f, want ≈0.02", f)
+	}
+	if f := st.ClassFraction(ClassComplex); f > 0.05 {
+		t.Errorf("complex fraction = %.3f, want <0.05", f)
+	}
+	if st.MovieRelated < 0.75 {
+		t.Errorf("movie-related fraction = %.3f, want high (paper: ~93%%)", st.MovieRelated)
+	}
+	// Unique-query counts must be populated too.
+	if st.ByClass[ClassSingleEntity] == 0 || st.ByClass[ClassEntityAttribute] == 0 {
+		t.Error("unique-count classification empty")
+	}
+}
+
+func TestContaining(t *testing.T) {
+	_, l, _ := logFixture(t)
+	hits := l.Containing("george clooney")
+	if len(hits) == 0 {
+		t.Fatal("no log entries contain george clooney")
+	}
+	for _, e := range hits {
+		if !strings.Contains(e.Query, "george clooney") && !strings.Contains(e.Query, "clooney") {
+			// The match is on token subsequence; a misspelled variant can
+			// differ, but the base form should appear.
+			t.Errorf("entry %q does not contain the phrase", e.Query)
+		}
+	}
+	if got := l.Containing(""); got != nil {
+		t.Error("empty phrase matched")
+	}
+	if got := l.Containing("zzz qqq xxx"); len(got) != 0 {
+		t.Errorf("nonsense phrase matched %d entries", len(got))
+	}
+}
+
+func TestContainsSubsequence(t *testing.T) {
+	cases := []struct {
+		hay, needle string
+		want        bool
+	}{
+		{"a b c d", "b c", true},
+		{"a b c d", "a", true},
+		{"a b c d", "d", true},
+		{"a b c d", "c b", false},
+		{"a b", "a b c", false},
+		{"a b c", "a c", false},
+	}
+	for _, c := range cases {
+		got := containsSubsequence(strings.Fields(c.hay), strings.Fields(c.needle))
+		if got != c.want {
+			t.Errorf("containsSubsequence(%q, %q) = %v", c.hay, c.needle, got)
+		}
+	}
+}
+
+func TestTopTemplates(t *testing.T) {
+	_, l, seg := logFixture(t)
+	stats := TopTemplates(l, seg, 14)
+	if len(stats) != 14 {
+		t.Fatalf("TopTemplates returned %d", len(stats))
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Freq < stats[i].Freq {
+			t.Fatal("templates not sorted by frequency")
+		}
+	}
+	// Single-entity templates must dominate the head.
+	head := stats[0].Template
+	if head != "[person.name]" && head != "[movie.title]" {
+		t.Errorf("top template = %q, expected a single-entity template", head)
+	}
+	// Every template's queries must be non-empty and resegment to it.
+	for _, st := range stats[:5] {
+		if len(st.Queries) == 0 {
+			t.Fatalf("template %q has no queries", st.Template)
+		}
+		got := seg.Segment(st.Queries[0]).Template()
+		if got != st.Template {
+			t.Errorf("query %q resegments to %q, not %q", st.Queries[0], got, st.Template)
+		}
+	}
+}
+
+func TestBenchmarkWorkload28(t *testing.T) {
+	_, l, seg := logFixture(t)
+	w := BenchmarkWorkload(l, seg, 14, 2)
+	if len(w) != 28 {
+		t.Fatalf("workload size = %d, want 28 (the paper's 14×2)", len(w))
+	}
+	seen := map[string]bool{}
+	for _, q := range w {
+		if q == "" {
+			t.Error("empty query in workload")
+		}
+		seen[q] = true
+	}
+	if len(seen) != 28 {
+		t.Errorf("workload has duplicates: %d unique", len(seen))
+	}
+}
+
+func TestGenerateDefaultsApplied(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 60, Movies: 50})
+	l := Generate(u, GenConfig{Seed: 2})
+	if l.Total != DefaultGenConfig().Volume {
+		t.Errorf("default volume = %d", l.Total)
+	}
+}
+
+func TestMisspell(t *testing.T) {
+	// Misspelling must never panic and must change or preserve length by 1.
+	r := newRand()
+	for i := 0; i < 200; i++ {
+		q := "george clooney"
+		m := misspell(r, q)
+		if d := len(m) - len(q); d < -1 || d > 1 {
+			t.Fatalf("misspell length delta %d", d)
+		}
+	}
+	if misspell(r, "ab") != "ab" {
+		t.Error("short strings should pass through")
+	}
+}

@@ -1,0 +1,108 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchDB(persons, movies, facts int) *Database {
+	r := rand.New(rand.NewSource(1))
+	db := NewDatabase("bench")
+	db.MustCreateTable(MustTableSchema("person", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "name", Kind: KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("movie", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "title", Kind: KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("cast", []Column{
+		{Name: "person_id", Kind: KindInt},
+		{Name: "movie_id", Kind: KindInt},
+	}, "", []ForeignKey{
+		{Column: "person_id", RefTable: "person"},
+		{Column: "movie_id", RefTable: "movie"},
+	}))
+	p, m, c := db.Table("person"), db.Table("movie"), db.Table("cast")
+	for i := 0; i < persons; i++ {
+		p.MustInsert(Row{Int(int64(i)), String(fmt.Sprintf("person %d", i))})
+	}
+	for i := 0; i < movies; i++ {
+		m.MustInsert(Row{Int(int64(i)), String(fmt.Sprintf("movie %d", i))})
+	}
+	for i := 0; i < facts; i++ {
+		c.MustInsert(Row{Int(int64(r.Intn(persons))), Int(int64(r.Intn(movies)))})
+	}
+	_ = c.CreateIndex("person_id")
+	_ = c.CreateIndex("movie_id")
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	schema := MustTableSchema("t", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "v", Kind: KindString},
+	}, "id", nil)
+	b.ResetTimer()
+	tbl := NewTable(schema)
+	for i := 0; i < b.N; i++ {
+		tbl.MustInsert(Row{Int(int64(i)), String("value")})
+	}
+}
+
+func BenchmarkIndexedSelect(b *testing.B) {
+	db := benchDB(1000, 500, 5000)
+	c := db.Table("cast")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Select(Equals("person_id", Int(int64(i%1000))))
+	}
+}
+
+func BenchmarkThreeWayJoin(b *testing.B) {
+	db := benchDB(1000, 500, 5000)
+	conds := []EquiJoinSpec{
+		{Left: QualifiedColumn{"cast", "person_id"}, Right: QualifiedColumn{"person", "id"}},
+		{Left: QualifiedColumn{"cast", "movie_id"}, Right: QualifiedColumn{"movie", "id"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Join([]string{"person", "cast", "movie"}, conds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinWithPushdown(b *testing.B) {
+	db := benchDB(1000, 500, 5000)
+	conds := []EquiJoinSpec{
+		{Left: QualifiedColumn{"cast", "person_id"}, Right: QualifiedColumn{"person", "id"}},
+		{Left: QualifiedColumn{"cast", "movie_id"}, Right: QualifiedColumn{"movie", "id"}},
+	}
+	pre := map[string]Predicate{"movie": Equals("title", String("movie 7"))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.JoinPre([]string{"movie", "cast", "person"}, conds, pre, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFKPath(b *testing.B) {
+	db := benchDB(100, 100, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if db.FKPath("person", "movie") == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkReferencingRows(b *testing.B) {
+	db := benchDB(1000, 500, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ReferencingRows("person", i%1000)
+	}
+}

@@ -1,0 +1,216 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of tables with foreign keys between
+// them.
+type Database struct {
+	name   string
+	tables map[string]*Table
+	order  []string // table names in creation order, for deterministic iteration
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// CreateTable adds a table with the given schema. Foreign keys may
+// reference tables created later; they are validated by ValidateForeignKeys.
+func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relational: database %q: table %q already exists", db.name, schema.Name)
+	}
+	t := NewTable(schema)
+	db.tables[schema.Name] = t
+	db.order = append(db.order, schema.Name)
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *Database) MustCreateTable(schema *TableSchema) *Table {
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil when it does not exist.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns all table names in creation order.
+func (db *Database) TableNames() []string {
+	return append([]string(nil), db.order...)
+}
+
+// Tables calls fn for every table in creation order.
+func (db *Database) Tables(fn func(*Table)) {
+	for _, n := range db.order {
+		fn(db.tables[n])
+	}
+}
+
+// TotalRows returns the number of tuples across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, name := range db.order {
+		n += db.tables[name].Len()
+	}
+	return n
+}
+
+// ValidateForeignKeys checks that every declared foreign key references an
+// existing table with a primary key, and that every non-NULL foreign-key
+// value resolves. It returns the first violation found, or nil.
+func (db *Database) ValidateForeignKeys() error {
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.Schema().ForeignKeys {
+			ref := db.tables[fk.RefTable]
+			if ref == nil {
+				return fmt.Errorf("relational: %s.%s references missing table %q", name, fk.Column, fk.RefTable)
+			}
+			if ref.Schema().PrimaryKey == "" {
+				return fmt.Errorf("relational: %s.%s references table %q which has no primary key", name, fk.Column, fk.RefTable)
+			}
+			ci, _ := t.Schema().ColumnIndex(fk.Column)
+			var bad error
+			t.Scan(func(id int, row Row) bool {
+				v := row[ci]
+				if v.IsNull() {
+					return true
+				}
+				if _, ok := ref.LookupPK(v); !ok {
+					bad = fmt.Errorf("relational: %s row %d: %s=%s has no match in %s",
+						name, id, fk.Column, v, fk.RefTable)
+					return false
+				}
+				return true
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}
+
+// Resolve follows the foreign key on (table, column) for the given row and
+// returns the referenced table name and RowID. ok is false when there is
+// no such foreign key or the value is NULL/dangling.
+func (db *Database) Resolve(table string, rowID int, column string) (refTable string, refRow int, ok bool) {
+	t := db.tables[table]
+	if t == nil {
+		return "", 0, false
+	}
+	fk, has := t.Schema().ForeignKeyOn(column)
+	if !has {
+		return "", 0, false
+	}
+	v, vok := t.Get(rowID, column)
+	if !vok || v.IsNull() {
+		return "", 0, false
+	}
+	ref := db.tables[fk.RefTable]
+	if ref == nil {
+		return "", 0, false
+	}
+	id, found := ref.LookupPK(v)
+	if !found {
+		return "", 0, false
+	}
+	return fk.RefTable, id, true
+}
+
+// ReferencingRows returns, for the tuple (table, rowID), every tuple in
+// other tables whose foreign key points at it: the inverse of Resolve.
+// Results are sorted by (table, row) for determinism.
+func (db *Database) ReferencingRows(table string, rowID int) []TupleRef {
+	target := db.tables[table]
+	if target == nil || target.Schema().PrimaryKey == "" {
+		return nil
+	}
+	pkIdx, _ := target.Schema().ColumnIndex(target.Schema().PrimaryKey)
+	pkVal := target.Row(rowID)[pkIdx]
+	var out []TupleRef
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.Schema().ForeignKeys {
+			if fk.RefTable != table {
+				continue
+			}
+			ci, _ := t.Schema().ColumnIndex(fk.Column)
+			if t.HasIndex(fk.Column) {
+				for _, id := range t.Select(Equals(fk.Column, pkVal)) {
+					out = append(out, TupleRef{Table: name, Row: id})
+				}
+				continue
+			}
+			t.Scan(func(id int, row Row) bool {
+				if row[ci].Equal(pkVal) {
+					out = append(out, TupleRef{Table: name, Row: id})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}
+
+// TupleRef identifies a tuple anywhere in the database.
+type TupleRef struct {
+	Table string
+	Row   int
+}
+
+// String renders table#row.
+func (tr TupleRef) String() string { return fmt.Sprintf("%s#%d", tr.Table, tr.Row) }
+
+// Label returns the human-readable label of the referenced tuple (the
+// value of its schema's label column).
+func (db *Database) Label(ref TupleRef) string {
+	t := db.tables[ref.Table]
+	if t == nil {
+		return ref.String()
+	}
+	v, ok := t.Get(ref.Row, t.Schema().LabelColumn())
+	if !ok {
+		return ref.String()
+	}
+	return v.Render()
+}
+
+// Stats summarizes the database for display and for the queriability
+// model.
+type Stats struct {
+	Tables     int
+	Rows       int
+	PerTable   map[string]int
+	ForeignKys int
+}
+
+// Stats computes summary statistics.
+func (db *Database) Stats() Stats {
+	s := Stats{PerTable: make(map[string]int)}
+	for _, name := range db.order {
+		t := db.tables[name]
+		s.Tables++
+		s.Rows += t.Len()
+		s.PerTable[name] = t.Len()
+		s.ForeignKys += len(t.Schema().ForeignKeys)
+	}
+	return s
+}

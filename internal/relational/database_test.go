@@ -1,0 +1,207 @@
+package relational
+
+import (
+	"testing"
+)
+
+// miniIMDb builds a tiny two-entity database shaped like the paper's
+// Fig. 2 example for use across tests.
+func miniIMDb(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("mini")
+	db.MustCreateTable(MustTableSchema("person", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "name", Kind: KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("movie", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "title", Kind: KindString, Searchable: true, Label: true},
+		{Name: "genre_id", Kind: KindInt},
+	}, "id", []ForeignKey{{Column: "genre_id", RefTable: "genre"}}))
+	db.MustCreateTable(MustTableSchema("genre", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "type", Kind: KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("cast", []Column{
+		{Name: "person_id", Kind: KindInt},
+		{Name: "movie_id", Kind: KindInt},
+		{Name: "role", Kind: KindString, Searchable: true},
+	}, "", []ForeignKey{
+		{Column: "person_id", RefTable: "person"},
+		{Column: "movie_id", RefTable: "movie"},
+	}))
+
+	p := db.Table("person")
+	p.MustInsert(Row{Int(1), String("george clooney")})
+	p.MustInsert(Row{Int(2), String("brad pitt")})
+	g := db.Table("genre")
+	g.MustInsert(Row{Int(1), String("comedy")})
+	g.MustInsert(Row{Int(2), String("thriller")})
+	m := db.Table("movie")
+	m.MustInsert(Row{Int(10), String("ocean's eleven"), Int(2)})
+	m.MustInsert(Row{Int(11), String("up in the air"), Int(1)})
+	c := db.Table("cast")
+	c.MustInsert(Row{Int(1), Int(10), String("danny ocean")})
+	c.MustInsert(Row{Int(2), Int(10), String("rusty ryan")})
+	c.MustInsert(Row{Int(1), Int(11), String("ryan bingham")})
+	return db
+}
+
+func TestDatabaseCreateTable(t *testing.T) {
+	db := NewDatabase("d")
+	if db.Name() != "d" {
+		t.Errorf("Name = %q", db.Name())
+	}
+	s := MustTableSchema("t", []Column{{Name: "a", Kind: KindInt}}, "a", nil)
+	if _, err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(s); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if db.Table("t") == nil {
+		t.Error("Table(t) nil")
+	}
+	if db.Table("zz") != nil {
+		t.Error("Table(zz) not nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCreateTable did not panic on duplicate")
+		}
+	}()
+	db.MustCreateTable(s)
+}
+
+func TestDatabaseIterationOrderDeterministic(t *testing.T) {
+	db := miniIMDb(t)
+	want := []string{"person", "movie", "genre", "cast"}
+	got := db.TableNames()
+	if len(got) != len(want) {
+		t.Fatalf("TableNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TableNames = %v, want %v", got, want)
+		}
+	}
+	var visited []string
+	db.Tables(func(tb *Table) { visited = append(visited, tb.Schema().Name) })
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("Tables order = %v", visited)
+		}
+	}
+}
+
+func TestValidateForeignKeys(t *testing.T) {
+	db := miniIMDb(t)
+	if err := db.ValidateForeignKeys(); err != nil {
+		t.Fatalf("valid db rejected: %v", err)
+	}
+	// Dangling reference.
+	db.Table("cast").MustInsert(Row{Int(99), Int(10), String("ghost")})
+	if err := db.ValidateForeignKeys(); err == nil {
+		t.Error("dangling FK accepted")
+	}
+}
+
+func TestValidateForeignKeysMissingTable(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustCreateTable(MustTableSchema("a", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "b_id", Kind: KindInt},
+	}, "id", []ForeignKey{{Column: "b_id", RefTable: "b"}}))
+	if err := db.ValidateForeignKeys(); err == nil {
+		t.Error("FK to missing table accepted")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	db := miniIMDb(t)
+	refTable, refRow, ok := db.Resolve("movie", 0, "genre_id")
+	if !ok || refTable != "genre" {
+		t.Fatalf("Resolve = %q, %d, %v", refTable, refRow, ok)
+	}
+	v, _ := db.Table("genre").Get(refRow, "type")
+	if v.AsString() != "thriller" {
+		t.Fatalf("resolved genre = %q", v.AsString())
+	}
+	if _, _, ok := db.Resolve("movie", 0, "title"); ok {
+		t.Error("Resolve on non-FK column should fail")
+	}
+	if _, _, ok := db.Resolve("nope", 0, "x"); ok {
+		t.Error("Resolve on missing table should fail")
+	}
+}
+
+func TestReferencingRows(t *testing.T) {
+	db := miniIMDb(t)
+	refs := db.ReferencingRows("person", 0) // george clooney
+	if len(refs) != 2 {
+		t.Fatalf("ReferencingRows = %v, want 2 cast rows", refs)
+	}
+	for _, r := range refs {
+		if r.Table != "cast" {
+			t.Fatalf("unexpected referencing table %q", r.Table)
+		}
+	}
+	// With an index on the FK column the result must be identical.
+	if err := db.Table("cast").CreateIndex("person_id"); err != nil {
+		t.Fatal(err)
+	}
+	refs2 := db.ReferencingRows("person", 0)
+	if len(refs2) != len(refs) {
+		t.Fatalf("indexed ReferencingRows = %v", refs2)
+	}
+	for i := range refs {
+		if refs[i] != refs2[i] {
+			t.Fatalf("indexed path disagrees: %v vs %v", refs, refs2)
+		}
+	}
+}
+
+func TestLabelAndTupleRef(t *testing.T) {
+	db := miniIMDb(t)
+	if got := db.Label(TupleRef{Table: "person", Row: 0}); got != "george clooney" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := db.Label(TupleRef{Table: "nope", Row: 0}); got != "nope#0" {
+		t.Errorf("Label of missing table = %q", got)
+	}
+	if (TupleRef{Table: "a", Row: 3}).String() != "a#3" {
+		t.Error("TupleRef.String format")
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := miniIMDb(t)
+	s := db.Stats()
+	if s.Tables != 4 {
+		t.Errorf("Tables = %d", s.Tables)
+	}
+	if s.Rows != db.TotalRows() {
+		t.Errorf("Rows = %d, TotalRows = %d", s.Rows, db.TotalRows())
+	}
+	if s.PerTable["cast"] != 3 {
+		t.Errorf("PerTable[cast] = %d", s.PerTable["cast"])
+	}
+	if s.ForeignKys != 3 {
+		t.Errorf("ForeignKys = %d", s.ForeignKys)
+	}
+}
+
+func TestQualifiedColumnParse(t *testing.T) {
+	q, ok := ParseQualifiedColumn("person.name")
+	if !ok || q.Table != "person" || q.Column != "name" {
+		t.Fatalf("ParseQualifiedColumn = %v, %v", q, ok)
+	}
+	if q.String() != "person.name" {
+		t.Errorf("String = %q", q.String())
+	}
+	for _, bad := range []string{"", "x", ".x", "x.", "a.b.c"} {
+		if _, ok := ParseQualifiedColumn(bad); ok {
+			t.Errorf("ParseQualifiedColumn(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package relational
+
+// Index is a hash index mapping a column value to the RowIDs holding it.
+// Indexes are maintained incrementally on insert.
+type Index struct {
+	m map[Value][]int
+}
+
+func newIndex() *Index {
+	return &Index{m: make(map[Value][]int)}
+}
+
+func (ix *Index) add(v Value, id int) {
+	if v.IsNull() {
+		return // NULLs are never equal to anything; don't index them
+	}
+	ix.m[v] = append(ix.m[v], id)
+}
+
+// lookup returns the RowIDs with the given value. The returned slice is
+// shared; callers must not mutate it.
+func (ix *Index) lookup(v Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	return ix.m[v]
+}
+
+// Cardinality returns the number of distinct indexed values.
+func (ix *Index) Cardinality() int { return len(ix.m) }

@@ -1,0 +1,292 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JoinedSchema describes the output of a join: a flat list of qualified
+// columns drawn from the participating tables.
+type JoinedSchema struct {
+	// Columns are qualified (table.column) in output order.
+	Columns []QualifiedColumn
+
+	index map[QualifiedColumn]int
+}
+
+func newJoinedSchema(cols []QualifiedColumn) *JoinedSchema {
+	js := &JoinedSchema{Columns: cols, index: make(map[QualifiedColumn]int, len(cols))}
+	for i, c := range cols {
+		js.index[c] = i
+	}
+	return js
+}
+
+// ColumnIndex returns the output position of a qualified column.
+func (js *JoinedSchema) ColumnIndex(q QualifiedColumn) (int, bool) {
+	i, ok := js.index[q]
+	return i, ok
+}
+
+// JoinedRow is one tuple of a join result, positionally matching a
+// JoinedSchema. Provenance records which base tuples produced it.
+type JoinedRow struct {
+	Values     Row
+	Provenance []TupleRef
+}
+
+// Get returns the value of the qualified column.
+func (jr JoinedRow) Get(js *JoinedSchema, q QualifiedColumn) (Value, bool) {
+	i, ok := js.ColumnIndex(q)
+	if !ok {
+		return Null(), false
+	}
+	return jr.Values[i], true
+}
+
+// EquiJoinSpec names one equality join condition between two tables
+// already present in the join.
+type EquiJoinSpec struct {
+	Left  QualifiedColumn
+	Right QualifiedColumn
+}
+
+// JoinResult is a materialized join output.
+type JoinResult struct {
+	Schema *JoinedSchema
+	Rows   []JoinedRow
+}
+
+// Join computes the equi-join of the named tables under the given join
+// conditions and an optional residual filter applied to joined rows. The
+// join order follows the order of the tables argument: table[0] is scanned
+// and each subsequent table is hash-joined in, using any condition that
+// links it to the tables joined so far. Tables with no linking condition
+// produce an error (no cartesian products — qunit base expressions always
+// join along declared links).
+func (db *Database) Join(tables []string, conds []EquiJoinSpec, filter func(*JoinedSchema, JoinedRow) bool) (*JoinResult, error) {
+	return db.JoinPre(tables, conds, nil, filter)
+}
+
+// JoinPre is Join with per-table pre-filters: rows of a table failing its
+// predicate never enter the join. Selection pushdown through pre-filters
+// is what makes instantiating one qunit (anchor bound to a single entity)
+// cheap instead of a full N-way join followed by a filter.
+func (db *Database) JoinPre(tables []string, conds []EquiJoinSpec, pre map[string]Predicate, filter func(*JoinedSchema, JoinedRow) bool) (*JoinResult, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("relational: join of zero tables")
+	}
+	seen := make(map[string]bool, len(tables))
+	for _, tn := range tables {
+		if db.tables[tn] == nil {
+			return nil, fmt.Errorf("relational: join references missing table %q", tn)
+		}
+		if seen[tn] {
+			return nil, fmt.Errorf("relational: table %q appears twice in join (self-joins need aliases, which qunit base expressions do not use)", tn)
+		}
+		seen[tn] = true
+	}
+
+	// Build the output schema: all columns of all tables, qualified.
+	var cols []QualifiedColumn
+	offsets := make(map[string]int, len(tables))
+	for _, tn := range tables {
+		offsets[tn] = len(cols)
+		for _, c := range db.tables[tn].Schema().Columns {
+			cols = append(cols, QualifiedColumn{Table: tn, Column: c.Name})
+		}
+	}
+	js := newJoinedSchema(cols)
+
+	// Start from table[0], applying its pre-filter during the scan.
+	first := db.tables[tables[0]]
+	current := make([]JoinedRow, 0, first.Len())
+	firstWidth := len(first.Schema().Columns)
+	firstPre := pre[tables[0]]
+	first.Scan(func(id int, row Row) bool {
+		if firstPre != nil && !firstPre.Eval(first.Schema(), row) {
+			return true
+		}
+		vals := make(Row, len(cols))
+		copy(vals[:firstWidth], row)
+		current = append(current, JoinedRow{
+			Values:     vals,
+			Provenance: []TupleRef{{Table: tables[0], Row: id}},
+		})
+		return true
+	})
+	joined := map[string]bool{tables[0]: true}
+
+	for _, tn := range tables[1:] {
+		// Find a condition linking tn to an already-joined table.
+		var link *EquiJoinSpec
+		var probeSide, buildCol QualifiedColumn
+		for i := range conds {
+			c := conds[i]
+			switch {
+			case c.Left.Table == tn && joined[c.Right.Table]:
+				link, buildCol, probeSide = &conds[i], c.Left, c.Right
+			case c.Right.Table == tn && joined[c.Left.Table]:
+				link, buildCol, probeSide = &conds[i], c.Right, c.Left
+			}
+			if link != nil {
+				break
+			}
+		}
+		if link == nil {
+			return nil, fmt.Errorf("relational: no join condition links table %q to the tables joined before it", tn)
+		}
+
+		t := db.tables[tn]
+		bi, ok := t.Schema().ColumnIndex(buildCol.Column)
+		if !ok {
+			return nil, fmt.Errorf("relational: join condition references missing column %s", buildCol)
+		}
+		// Build hash table on the new table's join column, applying its
+		// pre-filter during the scan.
+		tPre := pre[tn]
+		build := make(map[Value][]int)
+		t.Scan(func(id int, row Row) bool {
+			if tPre != nil && !tPre.Eval(t.Schema(), row) {
+				return true
+			}
+			v := row[bi]
+			if !v.IsNull() {
+				build[v] = append(build[v], id)
+			}
+			return true
+		})
+
+		pi, ok := js.ColumnIndex(probeSide)
+		if !ok {
+			return nil, fmt.Errorf("relational: join condition references missing column %s", probeSide)
+		}
+		off := offsets[tn]
+		width := len(t.Schema().Columns)
+		next := make([]JoinedRow, 0, len(current))
+		for _, jr := range current {
+			probe := jr.Values[pi]
+			if probe.IsNull() {
+				continue
+			}
+			matches := build[probe]
+			// Numeric cross-kind equality: probe again with converted kind
+			// when the direct lookup misses.
+			if len(matches) == 0 {
+				if cv, okc := probe.ConvertTo(t.Schema().Columns[bi].Kind); okc && cv != probe {
+					matches = build[cv]
+				}
+			}
+			for _, id := range matches {
+				vals := jr.Values.Clone()
+				copy(vals[off:off+width], t.Row(id))
+				prov := append(append([]TupleRef(nil), jr.Provenance...), TupleRef{Table: tn, Row: id})
+				next = append(next, JoinedRow{Values: vals, Provenance: prov})
+			}
+		}
+		current = next
+		joined[tn] = true
+	}
+
+	// Apply remaining conditions that were not used as link conditions
+	// (e.g. cycles) as residual filters.
+	for _, c := range conds {
+		li, lok := js.ColumnIndex(c.Left)
+		ri, rok := js.ColumnIndex(c.Right)
+		if !lok || !rok {
+			return nil, fmt.Errorf("relational: join condition %v=%v references missing column", c.Left, c.Right)
+		}
+		filtered := current[:0]
+		for _, jr := range current {
+			if jr.Values[li].Equal(jr.Values[ri]) {
+				filtered = append(filtered, jr)
+			}
+		}
+		current = filtered
+	}
+
+	if filter != nil {
+		filtered := current[:0]
+		for _, jr := range current {
+			if filter(js, jr) {
+				filtered = append(filtered, jr)
+			}
+		}
+		current = filtered
+	}
+
+	return &JoinResult{Schema: js, Rows: current}, nil
+}
+
+// FKPath returns a chain of foreign-key hops connecting two tables, found
+// by breadth-first search over the schema graph (both FK directions). It
+// returns nil when the tables are not connected. Used by derivation to
+// build join plans from recognized entities.
+func (db *Database) FKPath(from, to string) []EquiJoinSpec {
+	if from == to {
+		return []EquiJoinSpec{}
+	}
+	type edge struct {
+		next string
+		spec EquiJoinSpec
+	}
+	adj := make(map[string][]edge)
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.Schema().ForeignKeys {
+			ref := db.tables[fk.RefTable]
+			if ref == nil || ref.Schema().PrimaryKey == "" {
+				continue
+			}
+			spec := EquiJoinSpec{
+				Left:  QualifiedColumn{Table: name, Column: fk.Column},
+				Right: QualifiedColumn{Table: fk.RefTable, Column: ref.Schema().PrimaryKey},
+			}
+			adj[name] = append(adj[name], edge{next: fk.RefTable, spec: spec})
+			adj[fk.RefTable] = append(adj[fk.RefTable], edge{next: name, spec: spec})
+		}
+	}
+	// Deterministic neighbor order.
+	for k := range adj {
+		es := adj[k]
+		sort.Slice(es, func(i, j int) bool { return es[i].next < es[j].next })
+	}
+	type state struct {
+		table string
+		path  []EquiJoinSpec
+	}
+	visited := map[string]bool{from: true}
+	queue := []state{{table: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.table] {
+			if visited[e.next] {
+				continue
+			}
+			path := append(append([]EquiJoinSpec(nil), cur.path...), e.spec)
+			if e.next == to {
+				return path
+			}
+			visited[e.next] = true
+			queue = append(queue, state{table: e.next, path: path})
+		}
+	}
+	return nil
+}
+
+// TablesOnPath lists the distinct tables touched by a join path, in first-
+// appearance order starting from the given root.
+func TablesOnPath(root string, path []EquiJoinSpec) []string {
+	out := []string{root}
+	seen := map[string]bool{root: true}
+	for _, s := range path {
+		for _, tn := range []string{s.Left.Table, s.Right.Table} {
+			if !seen[tn] {
+				seen[tn] = true
+				out = append(out, tn)
+			}
+		}
+	}
+	return out
+}

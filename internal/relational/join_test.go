@@ -1,0 +1,198 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinTwoTables(t *testing.T) {
+	db := miniIMDb(t)
+	res, err := db.Join(
+		[]string{"person", "cast"},
+		[]EquiJoinSpec{{
+			Left:  QualifiedColumn{"cast", "person_id"},
+			Right: QualifiedColumn{"person", "id"},
+		}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows = %d, want 3", len(res.Rows))
+	}
+	nameCol := QualifiedColumn{"person", "name"}
+	count := map[string]int{}
+	for _, r := range res.Rows {
+		v, ok := r.Get(res.Schema, nameCol)
+		if !ok {
+			t.Fatal("missing person.name in join schema")
+		}
+		count[v.AsString()]++
+	}
+	if count["george clooney"] != 2 || count["brad pitt"] != 1 {
+		t.Fatalf("join distribution = %v", count)
+	}
+}
+
+func TestJoinThreeTablesCastChain(t *testing.T) {
+	db := miniIMDb(t)
+	// The paper's running example: person ⋈ cast ⋈ movie.
+	res, err := db.Join(
+		[]string{"person", "cast", "movie"},
+		[]EquiJoinSpec{
+			{Left: QualifiedColumn{"cast", "person_id"}, Right: QualifiedColumn{"person", "id"}},
+			{Left: QualifiedColumn{"cast", "movie_id"}, Right: QualifiedColumn{"movie", "id"}},
+		},
+		func(js *JoinedSchema, jr JoinedRow) bool {
+			v, _ := jr.Get(js, QualifiedColumn{"person", "name"})
+			return v.AsString() == "george clooney"
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("george clooney movies = %d, want 2", len(res.Rows))
+	}
+	titles := map[string]bool{}
+	for _, r := range res.Rows {
+		v, _ := r.Get(res.Schema, QualifiedColumn{"movie", "title"})
+		titles[v.AsString()] = true
+		if len(r.Provenance) != 3 {
+			t.Fatalf("provenance = %v, want 3 tuples", r.Provenance)
+		}
+	}
+	if !titles["ocean's eleven"] || !titles["up in the air"] {
+		t.Fatalf("titles = %v", titles)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	db := miniIMDb(t)
+	if _, err := db.Join(nil, nil, nil); err == nil {
+		t.Error("empty join accepted")
+	}
+	if _, err := db.Join([]string{"nope"}, nil, nil); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := db.Join([]string{"person", "person"}, nil, nil); err == nil {
+		t.Error("self join accepted")
+	}
+	// No linking condition → no cartesian product.
+	if _, err := db.Join([]string{"person", "movie"}, nil, nil); err == nil {
+		t.Error("cartesian product accepted")
+	}
+	// Condition referencing a bogus column.
+	_, err := db.Join([]string{"person", "cast"}, []EquiJoinSpec{{
+		Left:  QualifiedColumn{"cast", "bogus"},
+		Right: QualifiedColumn{"person", "id"},
+	}}, nil)
+	if err == nil {
+		t.Error("bogus join column accepted")
+	}
+}
+
+func TestJoinSingleTable(t *testing.T) {
+	db := miniIMDb(t)
+	res, err := db.Join([]string{"movie"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if len(res.Schema.Columns) != 3 {
+		t.Fatalf("columns = %v", res.Schema.Columns)
+	}
+}
+
+func TestFKPath(t *testing.T) {
+	db := miniIMDb(t)
+	path := db.FKPath("person", "movie")
+	if path == nil {
+		t.Fatal("no path person→movie")
+	}
+	if len(path) != 2 {
+		t.Fatalf("path length = %d, want 2 hops via cast: %v", len(path), path)
+	}
+	tables := TablesOnPath("person", path)
+	if len(tables) != 3 {
+		t.Fatalf("tables on path = %v", tables)
+	}
+	// The path must be executable.
+	res, err := db.Join(tables, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("join along FKPath rows = %d", len(res.Rows))
+	}
+	if got := db.FKPath("person", "person"); got == nil || len(got) != 0 {
+		t.Errorf("self path = %v", got)
+	}
+	// genre is reachable from person via movie.
+	if p := db.FKPath("person", "genre"); p == nil || len(p) != 3 {
+		t.Errorf("person→genre path = %v", p)
+	}
+}
+
+func TestFKPathDisconnected(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustCreateTable(MustTableSchema("a", []Column{{Name: "id", Kind: KindInt}}, "id", nil))
+	db.MustCreateTable(MustTableSchema("b", []Column{{Name: "id", Kind: KindInt}}, "id", nil))
+	if db.FKPath("a", "b") != nil {
+		t.Error("disconnected tables should have no path")
+	}
+}
+
+// Property: hash join output equals nested-loop join output on random
+// data.
+func TestJoinMatchesNestedLoopProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	db := NewDatabase("p")
+	db.MustCreateTable(MustTableSchema("l", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "k", Kind: KindInt},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("r", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "k", Kind: KindInt},
+	}, "id", nil))
+	lt, rt := db.Table("l"), db.Table("r")
+	for i := 0; i < 80; i++ {
+		lt.MustInsert(Row{Int(int64(i)), Int(int64(r.Intn(10)))})
+	}
+	for i := 0; i < 60; i++ {
+		rt.MustInsert(Row{Int(int64(i)), Int(int64(r.Intn(10)))})
+	}
+	res, err := db.Join([]string{"l", "r"}, []EquiJoinSpec{{
+		Left:  QualifiedColumn{"l", "k"},
+		Right: QualifiedColumn{"r", "k"},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nested loop reference.
+	want := 0
+	lt.Scan(func(_ int, lr Row) bool {
+		rt.Scan(func(_ int, rr Row) bool {
+			if lr[1].Equal(rr[1]) {
+				want++
+			}
+			return true
+		})
+		return true
+	})
+	if len(res.Rows) != want {
+		t.Fatalf("hash join %d rows, nested loop %d", len(res.Rows), want)
+	}
+	// Every output row must actually satisfy the condition.
+	ki, _ := res.Schema.ColumnIndex(QualifiedColumn{"l", "k"})
+	kj, _ := res.Schema.ColumnIndex(QualifiedColumn{"r", "k"})
+	for _, jr := range res.Rows {
+		if !jr.Values[ki].Equal(jr.Values[kj]) {
+			t.Fatal("join emitted non-matching row")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: JoinPre with pre-filters produces exactly the rows Join
+// produces with the same predicates applied afterwards — selection
+// pushdown must be semantically invisible.
+func TestJoinPreEquivalentToPostFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	db := NewDatabase("p")
+	db.MustCreateTable(MustTableSchema("l", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "k", Kind: KindInt},
+		{Name: "tag", Kind: KindInt},
+	}, "id", nil))
+	db.MustCreateTable(MustTableSchema("r", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "k", Kind: KindInt},
+		{Name: "tag", Kind: KindInt},
+	}, "id", nil))
+	lt, rt := db.Table("l"), db.Table("r")
+	for i := 0; i < 120; i++ {
+		lt.MustInsert(Row{Int(int64(i)), Int(int64(r.Intn(8))), Int(int64(r.Intn(4)))})
+	}
+	for i := 0; i < 90; i++ {
+		rt.MustInsert(Row{Int(int64(i)), Int(int64(r.Intn(8))), Int(int64(r.Intn(4)))})
+	}
+	conds := []EquiJoinSpec{{
+		Left:  QualifiedColumn{"l", "k"},
+		Right: QualifiedColumn{"r", "k"},
+	}}
+
+	for tag := int64(0); tag < 4; tag++ {
+		pre := map[string]Predicate{
+			"l": Equals("tag", Int(tag)),
+			"r": Equals("tag", Int(tag)),
+		}
+		pushed, err := db.JoinPre([]string{"l", "r"}, conds, pre, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lTag, _ := pushed.Schema.ColumnIndex(QualifiedColumn{"l", "tag"})
+		rTag, _ := pushed.Schema.ColumnIndex(QualifiedColumn{"r", "tag"})
+
+		post, err := db.Join([]string{"l", "r"}, conds, func(js *JoinedSchema, jr JoinedRow) bool {
+			li, _ := js.ColumnIndex(QualifiedColumn{"l", "tag"})
+			ri, _ := js.ColumnIndex(QualifiedColumn{"r", "tag"})
+			return jr.Values[li].Equal(Int(tag)) && jr.Values[ri].Equal(Int(tag))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pushed.Rows) != len(post.Rows) {
+			t.Fatalf("tag %d: pushed %d rows, post-filtered %d", tag, len(pushed.Rows), len(post.Rows))
+		}
+		for _, row := range pushed.Rows {
+			if !row.Values[lTag].Equal(Int(tag)) || !row.Values[rTag].Equal(Int(tag)) {
+				t.Fatal("pushed row violates predicate")
+			}
+		}
+	}
+}
+
+func TestJoinPreOnFirstTableOnly(t *testing.T) {
+	db := NewDatabase("p")
+	db.MustCreateTable(MustTableSchema("a", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "v", Kind: KindString},
+	}, "id", nil))
+	a := db.Table("a")
+	a.MustInsert(Row{Int(1), String("keep")})
+	a.MustInsert(Row{Int(2), String("drop")})
+	res, err := db.JoinPre([]string{"a"}, nil, map[string]Predicate{"a": Equals("v", String("keep"))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPredicateFunc(t *testing.T) {
+	s := MustTableSchema("t", []Column{{Name: "n", Kind: KindInt}}, "", nil)
+	p := Func(func(ts *TableSchema, r Row) bool { return r[0].AsInt() > 5 })
+	if !p.Eval(s, Row{Int(7)}) || p.Eval(s, Row{Int(3)}) {
+		t.Error("Func predicate broken")
+	}
+}

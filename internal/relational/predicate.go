@@ -1,0 +1,130 @@
+package relational
+
+import "strings"
+
+// Predicate is a boolean condition over a single row of a known schema.
+type Predicate interface {
+	// Eval reports whether the row satisfies the predicate.
+	Eval(schema *TableSchema, row Row) bool
+}
+
+type equalsPred struct {
+	col string
+	val Value
+}
+
+func (p equalsPred) Eval(s *TableSchema, r Row) bool {
+	i, ok := s.ColumnIndex(p.col)
+	if !ok {
+		return false
+	}
+	return r[i].Equal(p.val)
+}
+
+// Equals matches rows where the named column equals the value.
+func Equals(col string, val Value) Predicate { return equalsPred{col: col, val: val} }
+
+type comparePred struct {
+	col  string
+	val  Value
+	want func(int) bool
+}
+
+func (p comparePred) Eval(s *TableSchema, r Row) bool {
+	i, ok := s.ColumnIndex(p.col)
+	if !ok || r[i].IsNull() || p.val.IsNull() {
+		return false
+	}
+	return p.want(r[i].Compare(p.val))
+}
+
+// LessThan matches rows where the column is strictly less than the value.
+func LessThan(col string, val Value) Predicate {
+	return comparePred{col, val, func(c int) bool { return c < 0 }}
+}
+
+// GreaterThan matches rows where the column is strictly greater than the
+// value.
+func GreaterThan(col string, val Value) Predicate {
+	return comparePred{col, val, func(c int) bool { return c > 0 }}
+}
+
+// AtLeast matches rows where the column is greater than or equal to the
+// value.
+func AtLeast(col string, val Value) Predicate {
+	return comparePred{col, val, func(c int) bool { return c >= 0 }}
+}
+
+// AtMost matches rows where the column is less than or equal to the value.
+func AtMost(col string, val Value) Predicate {
+	return comparePred{col, val, func(c int) bool { return c <= 0 }}
+}
+
+type containsPred struct {
+	col    string
+	needle string
+}
+
+func (p containsPred) Eval(s *TableSchema, r Row) bool {
+	i, ok := s.ColumnIndex(p.col)
+	if !ok || r[i].Kind() != KindString {
+		return false
+	}
+	return strings.Contains(strings.ToLower(r[i].AsString()), p.needle)
+}
+
+// Contains matches rows whose TEXT column contains the substring,
+// case-insensitively.
+func Contains(col, needle string) Predicate {
+	return containsPred{col: col, needle: strings.ToLower(needle)}
+}
+
+type andPred []Predicate
+
+func (ps andPred) Eval(s *TableSchema, r Row) bool {
+	for _, p := range ps {
+		if !p.Eval(s, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// And matches rows satisfying every sub-predicate. And() with no arguments
+// matches everything.
+func And(ps ...Predicate) Predicate { return andPred(ps) }
+
+type orPred []Predicate
+
+func (ps orPred) Eval(s *TableSchema, r Row) bool {
+	for _, p := range ps {
+		if p.Eval(s, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or matches rows satisfying at least one sub-predicate. Or() with no
+// arguments matches nothing.
+func Or(ps ...Predicate) Predicate { return orPred(ps) }
+
+type notPred struct{ p Predicate }
+
+func (n notPred) Eval(s *TableSchema, r Row) bool { return !n.p.Eval(s, r) }
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate { return notPred{p} }
+
+type truePred struct{}
+
+func (truePred) Eval(*TableSchema, Row) bool { return true }
+
+// All matches every row.
+func All() Predicate { return truePred{} }
+
+// Func adapts a plain function to the Predicate interface.
+type Func func(*TableSchema, Row) bool
+
+// Eval implements Predicate.
+func (f Func) Eval(s *TableSchema, r Row) bool { return f(s, r) }

@@ -1,0 +1,59 @@
+package relational
+
+import "testing"
+
+func predSchema() *TableSchema {
+	return MustTableSchema("t", []Column{
+		{Name: "n", Kind: KindInt},
+		{Name: "s", Kind: KindString},
+	}, "", nil)
+}
+
+func TestPredicates(t *testing.T) {
+	s := predSchema()
+	row := Row{Int(5), String("Hello World")}
+
+	cases := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"equals hit", Equals("n", Int(5)), true},
+		{"equals miss", Equals("n", Int(6)), false},
+		{"equals missing col", Equals("zz", Int(5)), false},
+		{"less than", LessThan("n", Int(6)), true},
+		{"less than equal", LessThan("n", Int(5)), false},
+		{"greater than", GreaterThan("n", Int(4)), true},
+		{"at least", AtLeast("n", Int(5)), true},
+		{"at most", AtMost("n", Int(5)), true},
+		{"at most miss", AtMost("n", Int(4)), false},
+		{"contains", Contains("s", "world"), true},
+		{"contains case", Contains("s", "WORLD"), true},
+		{"contains miss", Contains("s", "mars"), false},
+		{"contains non-string", Contains("n", "5"), false},
+		{"and", And(Equals("n", Int(5)), Contains("s", "hello")), true},
+		{"and short", And(Equals("n", Int(9)), Contains("s", "hello")), false},
+		{"and empty", And(), true},
+		{"or", Or(Equals("n", Int(9)), Contains("s", "hello")), true},
+		{"or empty", Or(), false},
+		{"not", Not(Equals("n", Int(9))), true},
+		{"all", All(), true},
+		{"compare null", LessThan("n", Null()), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(s, row); got != c.want {
+			t.Errorf("%s: Eval = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPredicateNullRow(t *testing.T) {
+	s := predSchema()
+	row := Row{Null(), Null()}
+	if Equals("n", Int(0)).Eval(s, row) {
+		t.Error("NULL should not equal 0")
+	}
+	if LessThan("n", Int(10)).Eval(s, row) {
+		t.Error("NULL comparison should be false")
+	}
+}

@@ -1,0 +1,188 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	// Name is the attribute name, unique within the table.
+	Name string
+	// Kind is the declared type; inserts are checked against it.
+	Kind Kind
+	// Searchable marks text columns whose content should participate in
+	// keyword matching (entity dictionaries, inverted indexes). Internal
+	// surrogate keys are not searchable — the paper's point that "internal
+	// id fields are never really meant for search".
+	Searchable bool
+	// Label marks the column that best names a tuple of this table for
+	// human display (e.g. person.name, movie.title).
+	Label bool
+}
+
+// ForeignKey declares that Column in this table references the primary key
+// of RefTable.
+type ForeignKey struct {
+	// Column is the referencing column in the declaring table.
+	Column string
+	// RefTable is the referenced table name.
+	RefTable string
+}
+
+// TableSchema describes the shape of one table.
+type TableSchema struct {
+	// Name is the table name, unique within the database.
+	Name string
+	// Columns in declaration order.
+	Columns []Column
+	// PrimaryKey is the name of the single-column primary key, or empty
+	// for tables without one (pure fact tables).
+	PrimaryKey string
+	// ForeignKeys declared on this table.
+	ForeignKeys []ForeignKey
+	// Entity marks tables the designer considers conceptual entities
+	// (person, movie) as opposed to relationship/fact tables (cast) or
+	// normalization tables (genre strings). Derivation strategies may use
+	// this as a hint but do not require it.
+	Entity bool
+
+	colIndex map[string]int
+}
+
+// NewTableSchema builds a schema and validates it: non-empty name, unique
+// column names, and a primary key (if declared) that names a real column.
+func NewTableSchema(name string, cols []Column, primaryKey string, fks []ForeignKey) (*TableSchema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relational: table schema needs a name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relational: table %q needs at least one column", name)
+	}
+	ts := &TableSchema{
+		Name:        name,
+		Columns:     append([]Column(nil), cols...),
+		PrimaryKey:  primaryKey,
+		ForeignKeys: append([]ForeignKey(nil), fks...),
+		colIndex:    make(map[string]int, len(cols)),
+	}
+	for i, c := range ts.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relational: table %q: column %d has no name", name, i)
+		}
+		if _, dup := ts.colIndex[c.Name]; dup {
+			return nil, fmt.Errorf("relational: table %q: duplicate column %q", name, c.Name)
+		}
+		ts.colIndex[c.Name] = i
+	}
+	if primaryKey != "" {
+		if _, ok := ts.colIndex[primaryKey]; !ok {
+			return nil, fmt.Errorf("relational: table %q: primary key %q is not a column", name, primaryKey)
+		}
+	}
+	for _, fk := range ts.ForeignKeys {
+		if _, ok := ts.colIndex[fk.Column]; !ok {
+			return nil, fmt.Errorf("relational: table %q: foreign key column %q is not a column", name, fk.Column)
+		}
+	}
+	return ts, nil
+}
+
+// MustTableSchema is NewTableSchema that panics on error; for statically
+// known schemas (package-level fixtures, generators).
+func MustTableSchema(name string, cols []Column, primaryKey string, fks []ForeignKey) *TableSchema {
+	ts, err := NewTableSchema(name, cols, primaryKey, fks)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// ColumnIndex returns the position of the named column and whether it
+// exists.
+func (ts *TableSchema) ColumnIndex(name string) (int, bool) {
+	i, ok := ts.colIndex[name]
+	return i, ok
+}
+
+// Column returns the column descriptor by name.
+func (ts *TableSchema) Column(name string) (Column, bool) {
+	i, ok := ts.colIndex[name]
+	if !ok {
+		return Column{}, false
+	}
+	return ts.Columns[i], true
+}
+
+// ColumnNames returns the column names in declaration order.
+func (ts *TableSchema) ColumnNames() []string {
+	out := make([]string, len(ts.Columns))
+	for i, c := range ts.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// LabelColumn returns the name of the column marked Label, or the primary
+// key if none is marked, or the first column as a last resort.
+func (ts *TableSchema) LabelColumn() string {
+	for _, c := range ts.Columns {
+		if c.Label {
+			return c.Name
+		}
+	}
+	if ts.PrimaryKey != "" {
+		return ts.PrimaryKey
+	}
+	return ts.Columns[0].Name
+}
+
+// ForeignKeyOn returns the foreign key declared on the given column, if
+// any.
+func (ts *TableSchema) ForeignKeyOn(col string) (ForeignKey, bool) {
+	for _, fk := range ts.ForeignKeys {
+		if fk.Column == col {
+			return fk, true
+		}
+	}
+	return ForeignKey{}, false
+}
+
+// String renders the schema in a compact CREATE TABLE-like form.
+func (ts *TableSchema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE %s (", ts.Name)
+	for i, c := range ts.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+		if c.Name == ts.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if fk, ok := ts.ForeignKeyOn(c.Name); ok {
+			fmt.Fprintf(&b, " REFERENCES %s", fk.RefTable)
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// QualifiedColumn names a column within a table, e.g. person.name.
+type QualifiedColumn struct {
+	Table  string
+	Column string
+}
+
+// String renders table.column.
+func (q QualifiedColumn) String() string { return q.Table + "." + q.Column }
+
+// ParseQualifiedColumn splits "table.column"; it returns ok=false when the
+// input does not have exactly one dot.
+func ParseQualifiedColumn(s string) (QualifiedColumn, bool) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i >= len(s)-1 || strings.IndexByte(s[i+1:], '.') >= 0 {
+		return QualifiedColumn{}, false
+	}
+	return QualifiedColumn{Table: s[:i], Column: s[i+1:]}, true
+}

@@ -1,0 +1,200 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a schema plus a slice of rows. Rows are
+// identified by their stable integer position (RowID); deletion is not
+// supported, which keeps RowIDs stable for the lifetime of the database —
+// the higher layers (data graph, XML tree, qunit instances) rely on that.
+type Table struct {
+	schema  *TableSchema
+	rows    []Row
+	pk      map[Value]int     // primary-key value -> row index
+	indexes map[string]*Index // secondary hash indexes by column name
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema *TableSchema) *Table {
+	t := &Table{
+		schema:  schema,
+		indexes: make(map[string]*Index),
+	}
+	if schema.PrimaryKey != "" {
+		t.pk = make(map[Value]int)
+	}
+	return t
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *TableSchema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row after checking arity, declared column kinds
+// (coercing when a lossless conversion exists), and primary-key
+// uniqueness. It returns the new row's RowID.
+func (t *Table) Insert(row Row) (int, error) {
+	if len(row) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("relational: table %q: insert arity %d, want %d",
+			t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	stored := make(Row, len(row))
+	for i, v := range row {
+		if v.IsNull() {
+			stored[i] = v
+			continue
+		}
+		if v.Kind() == t.schema.Columns[i].Kind {
+			stored[i] = v
+			continue
+		}
+		cv, ok := v.ConvertTo(t.schema.Columns[i].Kind)
+		if !ok {
+			return 0, fmt.Errorf("relational: table %q: column %q: cannot store %s as %s",
+				t.schema.Name, t.schema.Columns[i].Name, v.Kind(), t.schema.Columns[i].Kind)
+		}
+		stored[i] = cv
+	}
+	if t.pk != nil {
+		pkIdx, _ := t.schema.ColumnIndex(t.schema.PrimaryKey)
+		key := stored[pkIdx]
+		if key.IsNull() {
+			return 0, fmt.Errorf("relational: table %q: NULL primary key", t.schema.Name)
+		}
+		if _, dup := t.pk[key]; dup {
+			return 0, fmt.Errorf("relational: table %q: duplicate primary key %s", t.schema.Name, key)
+		}
+		t.pk[key] = len(t.rows)
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, stored)
+	for col, idx := range t.indexes {
+		ci, _ := t.schema.ColumnIndex(col)
+		idx.add(stored[ci], id)
+	}
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error; for generators and tests.
+func (t *Table) MustInsert(row Row) int {
+	id, err := t.Insert(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Row returns the row at the given RowID. It returns nil when the id is
+// out of range.
+func (t *Table) Row(id int) Row {
+	if id < 0 || id >= len(t.rows) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+// Get returns the value of the named column in the given row.
+func (t *Table) Get(id int, col string) (Value, bool) {
+	r := t.Row(id)
+	if r == nil {
+		return Null(), false
+	}
+	ci, ok := t.schema.ColumnIndex(col)
+	if !ok {
+		return Null(), false
+	}
+	return r[ci], true
+}
+
+// LookupPK returns the RowID holding the given primary-key value.
+func (t *Table) LookupPK(key Value) (int, bool) {
+	if t.pk == nil {
+		return 0, false
+	}
+	// Primary keys are stored post-coercion; coerce the probe the same way.
+	pkIdx, _ := t.schema.ColumnIndex(t.schema.PrimaryKey)
+	if cv, ok := key.ConvertTo(t.schema.Columns[pkIdx].Kind); ok {
+		key = cv
+	}
+	id, ok := t.pk[key]
+	return id, ok
+}
+
+// Scan calls fn for every row, in RowID order, until fn returns false.
+func (t *Table) Scan(fn func(id int, row Row) bool) {
+	for i, r := range t.rows {
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// Select returns the RowIDs of all rows satisfying the predicate, in RowID
+// order. When an equality predicate on an indexed column is detected the
+// index is used instead of a scan.
+func (t *Table) Select(p Predicate) []int {
+	if eq, ok := p.(equalsPred); ok {
+		if idx, has := t.indexes[eq.col]; has {
+			ids := append([]int(nil), idx.lookup(eq.val)...)
+			sort.Ints(ids)
+			return ids
+		}
+		if t.schema.PrimaryKey == eq.col && t.pk != nil {
+			if id, ok := t.LookupPK(eq.val); ok {
+				return []int{id}
+			}
+			return nil
+		}
+	}
+	var out []int
+	for i, r := range t.rows {
+		if p.Eval(t.schema, r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	ci, ok := t.schema.ColumnIndex(col)
+	if !ok {
+		return fmt.Errorf("relational: table %q: no column %q to index", t.schema.Name, col)
+	}
+	if _, exists := t.indexes[col]; exists {
+		return nil
+	}
+	idx := newIndex()
+	for id, r := range t.rows {
+		idx.add(r[ci], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the named column has a secondary index.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// DistinctCount returns the number of distinct non-NULL values in the
+// named column. Used by the queriability model in derivation.
+func (t *Table) DistinctCount(col string) int {
+	ci, ok := t.schema.ColumnIndex(col)
+	if !ok {
+		return 0
+	}
+	seen := make(map[Value]struct{})
+	for _, r := range t.rows {
+		if !r[ci].IsNull() {
+			seen[r[ci]] = struct{}{}
+		}
+	}
+	return len(seen)
+}

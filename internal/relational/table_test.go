@@ -1,0 +1,246 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func personSchema(t *testing.T) *TableSchema {
+	t.Helper()
+	ts, err := NewTableSchema("person",
+		[]Column{
+			{Name: "id", Kind: KindInt},
+			{Name: "name", Kind: KindString, Searchable: true, Label: true},
+			{Name: "birthdate", Kind: KindString},
+			{Name: "gender", Kind: KindString},
+		}, "id", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestNewTableSchemaValidation(t *testing.T) {
+	if _, err := NewTableSchema("", []Column{{Name: "a", Kind: KindInt}}, "", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTableSchema("t", nil, "", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Kind: KindInt}, {Name: "a", Kind: KindInt}}, "", nil); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Kind: KindInt}}, "zzz", nil); err == nil {
+		t.Error("bogus primary key accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "a", Kind: KindInt}}, "", []ForeignKey{{Column: "nope", RefTable: "x"}}); err == nil {
+		t.Error("bogus foreign key column accepted")
+	}
+	if _, err := NewTableSchema("t", []Column{{Name: "", Kind: KindInt}}, "", nil); err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestMustTableSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTableSchema did not panic on invalid schema")
+		}
+	}()
+	MustTableSchema("", nil, "", nil)
+}
+
+func TestTableInsertAndGet(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	id, err := tbl.Insert(Row{Int(1), String("george clooney"), String("1961-05-06"), String("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first RowID = %d", id)
+	}
+	v, ok := tbl.Get(id, "name")
+	if !ok || v.AsString() != "george clooney" {
+		t.Fatalf("Get(name) = %v, %v", v, ok)
+	}
+	if _, ok := tbl.Get(id, "missing"); ok {
+		t.Error("Get on missing column should fail")
+	}
+	if _, ok := tbl.Get(99, "name"); ok {
+		t.Error("Get on missing row should fail")
+	}
+	if tbl.Row(-1) != nil {
+		t.Error("negative RowID should return nil")
+	}
+}
+
+func TestTableInsertChecksArity(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	if _, err := tbl.Insert(Row{Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestTableInsertCoercesKinds(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	// id arrives as string; should be coerced to INTEGER.
+	id, err := tbl.Insert(Row{String("7"), String("x"), Null(), Null()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := tbl.Get(id, "id")
+	if v.Kind() != KindInt || v.AsInt() != 7 {
+		t.Fatalf("coerced id = %v", v)
+	}
+	if _, err := tbl.Insert(Row{String("not a number"), String("x"), Null(), Null()}); err == nil {
+		t.Error("uncoercible value accepted")
+	}
+}
+
+func TestTablePrimaryKeyEnforcement(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	tbl.MustInsert(Row{Int(1), String("a"), Null(), Null()})
+	if _, err := tbl.Insert(Row{Int(1), String("b"), Null(), Null()}); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	if _, err := tbl.Insert(Row{Null(), String("c"), Null(), Null()}); err == nil {
+		t.Error("NULL PK accepted")
+	}
+	id, ok := tbl.LookupPK(Int(1))
+	if !ok || id != 0 {
+		t.Fatalf("LookupPK = %d, %v", id, ok)
+	}
+	// Cross-kind PK probe: string "1" should find int 1 after coercion.
+	if _, ok := tbl.LookupPK(String("1")); !ok {
+		t.Error("LookupPK should coerce probe kind")
+	}
+	if _, ok := tbl.LookupPK(Int(2)); ok {
+		t.Error("LookupPK found missing key")
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert did not panic")
+		}
+	}()
+	tbl.MustInsert(Row{Int(1)})
+}
+
+func TestTableSelectWithAndWithoutIndex(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	for i := 0; i < 100; i++ {
+		g := "m"
+		if i%3 == 0 {
+			g = "f"
+		}
+		tbl.MustInsert(Row{Int(int64(i)), String(fmt.Sprintf("p%d", i)), Null(), String(g)})
+	}
+	scan := tbl.Select(Equals("gender", String("f")))
+	if err := tbl.CreateIndex("gender"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex("gender") {
+		t.Error("HasIndex false after CreateIndex")
+	}
+	indexed := tbl.Select(Equals("gender", String("f")))
+	if !equalInts(scan, indexed) {
+		t.Fatalf("index path disagrees with scan: %v vs %v", scan, indexed)
+	}
+	if len(scan) != 34 {
+		t.Fatalf("expected 34 f rows, got %d", len(scan))
+	}
+	// PK fast path.
+	got := tbl.Select(Equals("id", Int(42)))
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("PK select = %v", got)
+	}
+	if got := tbl.Select(Equals("id", Int(1000))); len(got) != 0 {
+		t.Fatalf("PK select of missing key = %v", got)
+	}
+	if err := tbl.CreateIndex("nope"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+	if err := tbl.CreateIndex("gender"); err != nil {
+		t.Errorf("re-creating index should be a no-op, got %v", err)
+	}
+}
+
+func TestTableScanEarlyStop(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	for i := 0; i < 10; i++ {
+		tbl.MustInsert(Row{Int(int64(i)), String("x"), Null(), Null()})
+	}
+	n := 0
+	tbl.Scan(func(id int, row Row) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("scan visited %d rows, want 3", n)
+	}
+}
+
+func TestTableDistinctCount(t *testing.T) {
+	tbl := NewTable(personSchema(t))
+	tbl.MustInsert(Row{Int(1), String("a"), Null(), String("m")})
+	tbl.MustInsert(Row{Int(2), String("b"), Null(), String("m")})
+	tbl.MustInsert(Row{Int(3), String("c"), Null(), String("f")})
+	tbl.MustInsert(Row{Int(4), String("d"), Null(), Null()})
+	if got := tbl.DistinctCount("gender"); got != 2 {
+		t.Fatalf("DistinctCount(gender) = %d, want 2 (NULL excluded)", got)
+	}
+	if got := tbl.DistinctCount("missing"); got != 0 {
+		t.Fatalf("DistinctCount(missing) = %d", got)
+	}
+}
+
+// Property: after inserting random rows, Select on an indexed column
+// returns exactly the rows a full scan returns, for every probe value.
+func TestIndexMatchesScanProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	schema := MustTableSchema("t", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "v", Kind: KindInt},
+	}, "id", nil)
+	tbl := NewTable(schema)
+	if err := tbl.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tbl.MustInsert(Row{Int(int64(i)), Int(int64(r.Intn(20)))})
+	}
+	for probe := int64(-1); probe <= 20; probe++ {
+		viaIndex := tbl.Select(Equals("v", Int(probe)))
+		var viaScan []int
+		tbl.Scan(func(id int, row Row) bool {
+			if row[1].Equal(Int(probe)) {
+				viaScan = append(viaScan, id)
+			}
+			return true
+		})
+		if !equalInts(viaIndex, viaScan) {
+			t.Fatalf("probe %d: index %v scan %v", probe, viaIndex, viaScan)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]int(nil), a...)
+	bc := append([]int(nil), b...)
+	sort.Ints(ac)
+	sort.Ints(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

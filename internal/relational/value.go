@@ -1,0 +1,265 @@
+// Package relational implements a small in-memory relational database
+// engine: typed values, schemas with primary and foreign keys, tables with
+// hash indexes, predicate evaluation, and equi-joins.
+//
+// It is the storage substrate for the qunits reproduction. Base data (the
+// synthetic IMDb, the university example, test fixtures) lives in
+// relational tables; every higher layer — the qunit definition language,
+// the data graph used by BANKS, the XML tree used by the LCA/MLCA
+// baselines, and the derivation strategies — is built on top of this
+// package.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value so that a zero
+// Value is a well-formed NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindString
+	KindFloat
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindString:
+		return "TEXT"
+	case KindFloat:
+		return "REAL"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed database value. The zero Value is NULL.
+// Value is a comparable struct, so it can be used directly as a map key
+// (for hash indexes and join tables).
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	f    float64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// String returns a TEXT value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Float returns a REAL value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value {
+	if v {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool, i: 0}
+}
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid only for KindInt and
+// KindBool values; other kinds return 0.
+func (v Value) AsInt() int64 {
+	if v.kind == KindInt || v.kind == KindBool {
+		return v.i
+	}
+	return 0
+}
+
+// AsString returns the string payload for KindString, or a rendered form
+// for every other kind (so it is always safe to call for display).
+func (v Value) AsString() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.Render()
+}
+
+// AsFloat returns the numeric payload widened to float64. Valid for
+// KindFloat and KindInt; other kinds return 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	return 0
+}
+
+// AsBool returns the boolean payload. Valid only for KindBool.
+func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
+
+// Render formats the value for human display. NULL renders as the empty
+// string, which is what the conversion-expression templates want.
+func (v Value) Render() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer; quoted form for TEXT so that values are
+// unambiguous in debug output.
+func (v Value) String() string {
+	if v.kind == KindString {
+		return strconv.Quote(v.s)
+	}
+	if v.kind == KindNull {
+		return "NULL"
+	}
+	return v.Render()
+}
+
+// Equal reports whether two values are equal. NULL equals nothing,
+// including NULL, matching SQL three-valued-logic's practical effect on
+// equality predicates. Numeric kinds compare across Int/Float.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	if v.kind == o.kind {
+		return v == o
+	}
+	if isNumeric(v.kind) && isNumeric(o.kind) {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Compare orders two non-NULL values of comparable kinds. It returns a
+// negative number if v < o, zero if equal, positive if v > o. NULL sorts
+// before everything; mixed non-numeric kinds order by kind tag so that
+// Compare is still a total order usable for sorting heterogeneous columns.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		return int(v.kind) - int(o.kind)
+	}
+	if isNumeric(v.kind) && isNumeric(o.kind) {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		return int(v.kind) - int(o.kind)
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		return int(v.i - o.i)
+	default:
+		return 0
+	}
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// ConvertTo coerces the value to the target kind when a lossless or
+// conventional conversion exists (string↔int, int↔float, etc.). It returns
+// the converted value and whether the conversion succeeded. NULL converts
+// to NULL of any kind.
+func (v Value) ConvertTo(k Kind) (Value, bool) {
+	if v.kind == k {
+		return v, true
+	}
+	if v.kind == KindNull {
+		return Null(), true
+	}
+	switch k {
+	case KindInt:
+		switch v.kind {
+		case KindFloat:
+			return Int(int64(v.f)), true
+		case KindString:
+			n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null(), false
+			}
+			return Int(n), true
+		case KindBool:
+			return Int(v.i), true
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return Float(float64(v.i)), true
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null(), false
+			}
+			return Float(f), true
+		}
+	case KindString:
+		return String(v.Render()), true
+	case KindBool:
+		switch v.kind {
+		case KindInt:
+			return Bool(v.i != 0), true
+		case KindString:
+			b, err := strconv.ParseBool(v.s)
+			if err != nil {
+				return Null(), false
+			}
+			return Bool(b), true
+		}
+	}
+	return Null(), false
+}
+
+// Row is a tuple: one Value per column, positionally matching the table
+// schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

@@ -1,0 +1,215 @@
+package relational
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() not null")
+	}
+	if got := Int(42).AsInt(); got != 42 {
+		t.Fatalf("Int(42).AsInt() = %d", got)
+	}
+	if got := String("abc").AsString(); got != "abc" {
+		t.Fatalf("String(abc).AsString() = %q", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Fatalf("Float(2.5).AsFloat() = %v", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Fatal("Bool roundtrip broken")
+	}
+	if Int(7).AsFloat() != 7 {
+		t.Fatal("Int widening to float broken")
+	}
+}
+
+func TestValueKindNames(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INTEGER",
+		KindString: "TEXT",
+		KindFloat:  "REAL",
+		KindBool:   "BOOLEAN",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind renders %q", Kind(99).String())
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL should be false")
+	}
+	if Null().Equal(Int(0)) || Int(0).Equal(Null()) {
+		t.Error("NULL = 0 should be false")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("3 should equal 3.0")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 should not equal 3.5")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("int should not implicitly equal string")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int // sign only
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		got := c.a.Compare(c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+	if Null().Compare(Int(1)) >= 0 {
+		t.Error("NULL should sort before non-NULL")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestValueRender(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{Int(-5), "-5"},
+		{String("hi"), "hi"},
+		{Float(0.5), "0.5"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.Render(); got != c.want {
+			t.Errorf("Render(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueConvertTo(t *testing.T) {
+	cases := []struct {
+		in   Value
+		to   Kind
+		want Value
+		ok   bool
+	}{
+		{String("42"), KindInt, Int(42), true},
+		{String(" 42 "), KindInt, Int(42), true},
+		{String("x"), KindInt, Null(), false},
+		{Int(42), KindString, String("42"), true},
+		{Int(1), KindBool, Bool(true), true},
+		{Float(2.9), KindInt, Int(2), true},
+		{Int(2), KindFloat, Float(2), true},
+		{String("2.5"), KindFloat, Float(2.5), true},
+		{String("true"), KindBool, Bool(true), true},
+		{Null(), KindInt, Null(), true},
+		{Int(5), KindInt, Int(5), true},
+		{Bool(true), KindFloat, Null(), false},
+	}
+	for _, c := range cases {
+		got, ok := c.in.ConvertTo(c.to)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ConvertTo(%v, %v) = (%v, %v), want (%v, %v)", c.in, c.to, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), String("x")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].AsInt() != 1 {
+		t.Error("Clone did not copy")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal implies Compare == 0 for
+// same-kind non-null values.
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return sign(va.Compare(vb)) == -sign(vb.Compare(va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := String(a), String(b)
+		if va.Equal(vb) != (a == b) {
+			return false
+		}
+		return sign(va.Compare(vb)) == -sign(vb.Compare(va))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: int -> string -> int round-trips.
+func TestValueConvertRoundTrip(t *testing.T) {
+	f := func(a int64) bool {
+		s, ok := Int(a).ConvertTo(KindString)
+		if !ok {
+			return false
+		}
+		back, ok := s.ConvertTo(KindInt)
+		return ok && back.AsInt() == a
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive over random int/float mixes.
+func TestValueCompareTransitive(t *testing.T) {
+	mk := func(r *rand.Rand) Value {
+		if r.Intn(2) == 0 {
+			return Int(int64(r.Intn(100) - 50))
+		}
+		return Float(float64(r.Intn(1000))/10 - 50)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := mk(r), mk(r), mk(r)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+var _ = reflect.TypeOf // keep reflect import if quick stops needing it

@@ -1,0 +1,255 @@
+// Package search implements the qunit-based search engine of §3. The
+// pipeline is exactly the paper's: the database has been translated into
+// a collection of independent qunit instances; an incoming keyword query
+// is segmented and typed ("[movie.title] [cast]"); the segmentation is
+// matched against qunit definitions to identify the most appropriate
+// qunit type; and standard IR ranking over the instances — each treated
+// as an independent document — picks the instances to return.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/segment"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Scorer is the IR ranking function; nil means BM25 with defaults.
+	Scorer ir.Scorer
+	// Synonyms extends the segmentation dictionary's attribute
+	// vocabulary (e.g. imdb.AttributeSynonyms()).
+	Synonyms map[string]string
+	// LabelWeight is the index weight of an instance's anchor label;
+	// 0 means 3.
+	LabelWeight float64
+	// KeywordWeight is the index weight of a definition's keywords;
+	// 0 means 2.
+	KeywordWeight float64
+	// TypeBoost scales how strongly qunit-type identification dominates
+	// plain IR score; 0 means 1.
+	TypeBoost float64
+	// UtilityInfluence in [0,1] blends definition utility into the final
+	// score; 0 means 0.35.
+	UtilityInfluence float64
+	// AnchorBoost multiplies the score of instances whose anchor label is
+	// exactly an entity the query names — the instance-selection half of
+	// §3's "qunit instances of the identified type". 0 means 2.
+	AnchorBoost float64
+}
+
+// Result is one ranked qunit instance.
+type Result struct {
+	// Instance is the returned qunit instance.
+	Instance *core.Instance
+	// Score is the final combined score.
+	Score float64
+	// IRScore is the raw IR relevance component.
+	IRScore float64
+	// TypeAffinity is the qunit-type identification component.
+	TypeAffinity float64
+}
+
+// Engine answers keyword queries over a qunit catalog.
+type Engine struct {
+	cat       *core.Catalog
+	dict      *segment.Dictionary
+	seg       *segment.Segmenter
+	index     *ir.Index
+	instances map[string]*core.Instance // by instance ID
+	opts      Options
+	defTables map[string]map[string]bool // definition -> tables it covers
+}
+
+// NewEngine materializes every instance of the catalog and indexes it.
+// (The paper notes qunits need not be materialized; this engine trades
+// that freedom for a standard inverted index, which is itself a
+// legitimate realization — §3 only requires that ranking treat instances
+// as independent documents.)
+func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
+	if opts.Scorer == nil {
+		// Gentle length normalization: qunit instances differ in length
+		// by design (a profile is long because it covers more, not
+		// because it is verbose), so the standard b=0.75 would
+		// systematically favour thin aspect instances over rich ones.
+		opts.Scorer = ir.BM25{B: 0.3}
+	}
+	if opts.LabelWeight == 0 {
+		opts.LabelWeight = 3
+	}
+	if opts.KeywordWeight == 0 {
+		opts.KeywordWeight = 2
+	}
+	if opts.TypeBoost == 0 {
+		opts.TypeBoost = 1
+	}
+	if opts.UtilityInfluence == 0 {
+		opts.UtilityInfluence = 0.35
+	}
+	if opts.AnchorBoost == 0 {
+		opts.AnchorBoost = 2
+	}
+
+	dict := segment.BuildDictionary(cat.DB(), segment.Options{AttributeSynonyms: opts.Synonyms})
+	e := &Engine{
+		cat:       cat,
+		dict:      dict,
+		seg:       segment.NewSegmenter(dict),
+		index:     ir.NewIndex(),
+		instances: make(map[string]*core.Instance),
+		opts:      opts,
+		defTables: make(map[string]map[string]bool),
+	}
+	insts, err := cat.MaterializeCatalog()
+	if err != nil {
+		return nil, err
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("search: catalog produced no instances")
+	}
+	for _, inst := range insts {
+		id := inst.ID()
+		if _, dup := e.instances[id]; dup {
+			continue // identical anchors across remakes collapse to one document
+		}
+		e.instances[id] = inst
+		// Definition keywords deliberately stay out of the instance
+		// index: they are type vocabulary, handled by type affinity.
+		// Indexing them would let every instance of a definition match
+		// its vocabulary, drowning the instances that actually contain
+		// the query's content. Context text (§2: ranking-only content)
+		// is indexed at half weight — findable, never presented.
+		fields := []ir.Field{
+			{Text: inst.Label(), Weight: opts.LabelWeight},
+			{Text: inst.Rendered.Text, Weight: 1},
+		}
+		if inst.ContextText != "" {
+			fields = append(fields, ir.Field{Text: inst.ContextText, Weight: 0.5})
+		}
+		if _, err := e.index.Add(id, fields...); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range cat.Definitions() {
+		tables := map[string]bool{}
+		for _, tn := range d.Base.From {
+			tables[tn] = true
+		}
+		for _, s := range d.Sections {
+			for _, tn := range s.Base.From {
+				tables[tn] = true
+			}
+		}
+		e.defTables[d.Name] = tables
+	}
+	return e, nil
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *core.Catalog { return e.cat }
+
+// InstanceCount returns the number of indexed qunit instances.
+func (e *Engine) InstanceCount() int { return len(e.instances) }
+
+// Segmenter exposes the engine's query segmenter (shared with callers
+// that need gold segmentations, e.g. the evaluation oracle).
+func (e *Engine) Segmenter() *segment.Segmenter { return e.seg }
+
+// Search answers a keyword query with the top-k qunit instances.
+func (e *Engine) Search(query string, k int) []Result {
+	sg := e.seg.Segment(query)
+	affinity := e.typeAffinity(sg)
+	// Anchor identification: the entities the query names select the
+	// instances bound to them.
+	anchors := map[string]bool{}
+	for _, ent := range sg.Entities() {
+		anchors[ent.Text] = true
+	}
+
+	hits := ir.Search(e.index, e.opts.Scorer, query, 0)
+	results := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		inst := e.instances[h.Name]
+		if inst == nil {
+			continue
+		}
+		aff := affinity[inst.Def.Name]
+		util := inst.Utility
+		score := h.Score * (1 + e.opts.TypeBoost*aff) * (1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*util)
+		if anchors[inst.Label()] {
+			score *= 1 + e.opts.AnchorBoost
+		}
+		results = append(results, Result{
+			Instance:     inst,
+			Score:        score,
+			IRScore:      h.Score,
+			TypeAffinity: aff,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Instance.ID() < results[j].Instance.ID()
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// typeAffinity scores each definition against the query's segmentation —
+// the paper's "high overlap with the qunit definition" step. An entity
+// segment matching the definition's anchor type is the strongest signal;
+// attribute vocabulary matching the definition's keywords or covered
+// tables adds more.
+func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
+	aff := make(map[string]float64, e.cat.Len())
+	entities := sg.Entities()
+	attrs := sg.Attributes()
+	for _, d := range e.cat.Definitions() {
+		score := 0.0
+		_, anchorCol, hasAnchor := d.AnchorParam()
+		for _, ent := range entities {
+			if !hasAnchor {
+				continue
+			}
+			if ent.Type == anchorCol {
+				score += 2
+			} else if ent.Type.Table == anchorCol.Table {
+				score += 1
+			}
+		}
+		kw := map[string]bool{}
+		for _, w := range d.Keywords {
+			kw[ir.Normalize(w)] = true
+		}
+		for _, a := range attrs {
+			if kw[a.Text] {
+				score += 2
+			} else if e.defTables[d.Name][a.Table] {
+				score += 1
+			}
+		}
+		// A bare single-entity query prefers profile qunits: rollup
+		// definitions (those with sections) answer underspecified
+		// queries.
+		if len(entities) == 1 && len(attrs) == 0 && len(d.Sections) > 0 {
+			score += 1
+		}
+		if score > 0 {
+			aff[d.Name] = score
+		}
+	}
+	return aff
+}
+
+// Instance returns the indexed instance with the given ID, if any. Used
+// by tools that inspect engine state.
+func (e *Engine) Instance(id string) (*core.Instance, bool) {
+	inst, ok := e.instances[id]
+	return inst, ok
+}

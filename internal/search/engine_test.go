@@ -1,0 +1,218 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/ir"
+)
+
+func expertEngine(t *testing.T) (*imdb.Universe, *Engine) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 200, Movies: 120, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, e
+}
+
+func TestEngineBuild(t *testing.T) {
+	_, e := expertEngine(t)
+	if e.InstanceCount() == 0 {
+		t.Fatal("no instances")
+	}
+	if e.Catalog() == nil || e.Segmenter() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestSearchPaperRunningExample(t *testing.T) {
+	_, e := expertEngine(t)
+	// Fig. 1: "star wars cast" must pick the cast qunit instance of the
+	// movie Star Wars.
+	res := e.Search("star wars cast", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top := res[0]
+	if top.Instance.Def.Name != "movie-cast" {
+		t.Errorf("top def = %s, want movie-cast (results: %s)", top.Instance.Def.Name, resultIDs(res))
+	}
+	if top.Instance.Label() != "star wars" {
+		t.Errorf("top anchor = %q", top.Instance.Label())
+	}
+	if top.TypeAffinity == 0 {
+		t.Error("type identification contributed nothing")
+	}
+}
+
+func TestSearchSingleEntityGetsProfile(t *testing.T) {
+	_, e := expertEngine(t)
+	res := e.Search("george clooney", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Instance.Def.Name != "person-profile" {
+		t.Errorf("top def = %s, want person-profile (results: %s)", res[0].Instance.Def.Name, resultIDs(res))
+	}
+	if res[0].Instance.Label() != "george clooney" {
+		t.Errorf("top anchor = %q", res[0].Instance.Label())
+	}
+}
+
+func TestSearchEntityAttributeVariants(t *testing.T) {
+	u, e := expertEngine(t)
+	// Fact-dependent aspects (soundtrack, trivia) only exist for movies
+	// that have such rows; pick anchors that do.
+	withSoundtrack := movieWithFact(u, imdb.TableSoundtrack)
+	withTrivia := movieWithFact(u, imdb.TableTrivia)
+	withBoxOffice := movieWithFact(u, imdb.TableBoxOffice)
+	cases := []struct {
+		query   string
+		wantDef string
+	}{
+		{withSoundtrack + " soundtrack", "movie-soundtrack"},
+		{withBoxOffice + " box office", "movie-boxoffice"},
+		{"george clooney movies", "person-profile"},
+		{withTrivia + " trivia", "movie-trivia"},
+	}
+	for _, c := range cases {
+		res := e.Search(c.query, 3)
+		if len(res) == 0 {
+			t.Errorf("%q: no results", c.query)
+			continue
+		}
+		if res[0].Instance.Def.Name != c.wantDef {
+			t.Errorf("%q: top def = %s, want %s", c.query, res[0].Instance.Def.Name, c.wantDef)
+		}
+	}
+}
+
+// movieWithFact returns the most popular movie that has at least one row
+// in the given fact table.
+func movieWithFact(u *imdb.Universe, fact string) string {
+	for _, m := range u.Movies {
+		for _, ref := range u.DB.ReferencingRows(imdb.TableMovie, m.Row) {
+			if ref.Table == fact {
+				return m.Name
+			}
+		}
+	}
+	return ""
+}
+
+func TestSearchAnchorsCorrectEntity(t *testing.T) {
+	u, e := expertEngine(t)
+	// Every famous movie must surface its own cast instance for
+	// "<title> cast".
+	for _, title := range []string{"star wars", "batman", "terminator"} {
+		if _, ok := u.FindMovie(title); !ok {
+			continue
+		}
+		res := e.Search(title+" cast", 1)
+		if len(res) == 0 {
+			t.Errorf("%q cast: no results", title)
+			continue
+		}
+		if res[0].Instance.Label() != title {
+			t.Errorf("%q cast: anchored on %q", title, res[0].Instance.Label())
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	_, e := expertEngine(t)
+	a := e.Search("tom hanks", 10)
+	b := e.Search("tom hanks", 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].Instance.ID() != b[i].Instance.ID() || a[i].Score != b[i].Score {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	_, e := expertEngine(t)
+	if res := e.Search("zzzz qqqq wwww", 5); len(res) != 0 {
+		t.Errorf("nonsense query returned %d results", len(res))
+	}
+	if res := e.Search("", 5); len(res) != 0 {
+		t.Errorf("empty query returned %d results", len(res))
+	}
+}
+
+func TestSearchKRespected(t *testing.T) {
+	_, e := expertEngine(t)
+	if res := e.Search("the", 3); len(res) > 3 {
+		t.Errorf("k=3 returned %d", len(res))
+	}
+}
+
+func TestSearchResultHasRenderedContent(t *testing.T) {
+	_, e := expertEngine(t)
+	res := e.Search("star wars cast", 1)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	inst := res[0].Instance
+	if inst.Rendered.Text == "" || inst.Rendered.XML == "" {
+		t.Error("instance has no rendered content")
+	}
+	if len(inst.Tuples) == 0 {
+		t.Error("instance has no provenance")
+	}
+	if !strings.Contains(inst.Rendered.XML, "<cast") {
+		t.Errorf("XML = %q", inst.Rendered.XML[:min(80, len(inst.Rendered.XML))])
+	}
+}
+
+func TestSearchWithTFIDF(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 80, Movies: 60})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cat, Options{Scorer: ir.TFIDF{}, Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Search("star wars cast", 1)
+	if len(res) == 0 || res[0].Instance.Def.Name != "movie-cast" {
+		t.Errorf("TFIDF engine top = %v", resultIDs(res))
+	}
+}
+
+func TestInstanceLookup(t *testing.T) {
+	_, e := expertEngine(t)
+	if _, ok := e.Instance("movie-cast:star wars"); !ok {
+		t.Error("known instance not found")
+	}
+	if _, ok := e.Instance("nope:nothing"); ok {
+		t.Error("found nonexistent instance")
+	}
+}
+
+func resultIDs(res []Result) string {
+	ids := make([]string, len(res))
+	for i, r := range res {
+		ids[i] = r.Instance.ID()
+	}
+	return strings.Join(ids, ", ")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package search
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feedback is the relevance-feedback extension the paper's §3 motivates:
+// "The benefit of maintaining a clear separation between ranking and
+// database content is that … our system [is] easier to extend and enhance
+// with additional IR methods for ranking, such as relevance feedback."
+//
+// A positive signal on a result raises its definition's utility; a
+// negative signal lowers it. Because utility multiplies into every later
+// score, feedback shifts the whole qunit *type* — a user telling us the
+// cast qunit was the right answer for "[title] cast" improves every
+// future cast query, which is exactly the granularity the qunit paradigm
+// buys.
+//
+// The update is a bounded exponential step: utilities stay in (0, 1].
+type Feedback struct {
+	// Rate is the learning rate; 0 means 0.2.
+	Rate float64
+}
+
+// Apply records one feedback signal for the instance with the given ID.
+// positive=true reinforces the instance's definition; positive=false
+// penalizes it. It returns the definition's new utility.
+func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (float64, error) {
+	inst, ok := e.instances[instanceID]
+	if !ok {
+		return 0, fmt.Errorf("search: no instance %q", instanceID)
+	}
+	rate := f.Rate
+	if rate == 0 {
+		rate = 0.2
+	}
+	def := inst.Def
+	if positive {
+		def.Utility = def.Utility + rate*(1-def.Utility)
+	} else {
+		def.Utility = def.Utility * (1 - rate)
+	}
+	if def.Utility < 1e-6 {
+		def.Utility = 1e-6
+	}
+	if def.Utility > 1 {
+		def.Utility = 1
+	}
+	// Instance utilities mirror their definition's.
+	for _, other := range e.instances {
+		if other.Def == def {
+			other.Utility = def.Utility
+		}
+	}
+	return def.Utility, nil
+}
+
+// FeedbackSession replays a sequence of (query, clicked instance) pairs —
+// a miniature click log — applying positive feedback to clicked results
+// and negative feedback to results that ranked above the click but were
+// skipped (the classic "skip-above" interpretation).
+func (e *Engine) FeedbackSession(clicks map[string]string, f Feedback) error {
+	for query, clicked := range clicks {
+		results := e.Search(query, 10)
+		for _, r := range results {
+			id := r.Instance.ID()
+			if id == clicked {
+				if _, err := e.ApplyFeedback(id, true, f); err != nil {
+					return err
+				}
+				break
+			}
+			if _, err := e.ApplyFeedback(id, false, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UtilityEntropy summarizes how concentrated the catalog's utilities are;
+// monitoring it across feedback epochs shows the catalog adapting.
+// Maximal when all definitions are equally useful.
+func (e *Engine) UtilityEntropy() float64 {
+	defs := e.cat.Definitions()
+	total := 0.0
+	for _, d := range defs {
+		total += d.Utility
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, d := range defs {
+		p := d.Utility / total
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package search
+
+import (
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+)
+
+func TestApplyFeedbackMovesUtility(t *testing.T) {
+	_, e := expertEngine(t)
+	res := e.Search("star wars cast", 1)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	id := res[0].Instance.ID()
+	before := res[0].Instance.Def.Utility
+
+	after, err := e.ApplyFeedback(id, true, Feedback{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("positive feedback: %v -> %v", before, after)
+	}
+	if after > 1 {
+		t.Errorf("utility above 1: %v", after)
+	}
+
+	down, err := e.ApplyFeedback(id, false, Feedback{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down >= after {
+		t.Errorf("negative feedback: %v -> %v", after, down)
+	}
+}
+
+func TestApplyFeedbackUnknownInstance(t *testing.T) {
+	_, e := expertEngine(t)
+	if _, err := e.ApplyFeedback("nope:nothing", true, Feedback{}); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}
+
+func TestFeedbackBounded(t *testing.T) {
+	_, e := expertEngine(t)
+	res := e.Search("star wars cast", 1)
+	id := res[0].Instance.ID()
+	for i := 0; i < 100; i++ {
+		u, err := e.ApplyFeedback(id, true, Feedback{Rate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u > 1 {
+			t.Fatalf("utility escaped above 1: %v", u)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		u, err := e.ApplyFeedback(id, false, Feedback{Rate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u <= 0 {
+			t.Fatalf("utility collapsed to %v", u)
+		}
+	}
+}
+
+func TestFeedbackChangesRanking(t *testing.T) {
+	// Build a fresh engine (feedback mutates definitions, so no sharing).
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An ambiguous query where summary and cast both plausibly answer.
+	query := "star wars"
+	before := e.Search(query, 5)
+	if len(before) < 2 {
+		t.Skip("not enough results to reorder")
+	}
+	// Hammer the second result with positive feedback and the first with
+	// negative; their order must eventually flip.
+	first, second := before[0].Instance.ID(), before[1].Instance.ID()
+	for i := 0; i < 12; i++ {
+		if _, err := e.ApplyFeedback(second, true, Feedback{Rate: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ApplyFeedback(first, false, Feedback{Rate: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Search(query, 5)
+	if after[0].Instance.ID() == first {
+		t.Errorf("ranking did not adapt: %s still first", first)
+	}
+}
+
+func TestFeedbackSession(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Search("star wars cast", 2)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	clicked := res[0].Instance.ID()
+	prior := res[0].Instance.Def.Utility
+	if err := e.FeedbackSession(map[string]string{"star wars cast": clicked}, Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Instance.Def.Utility <= prior {
+		t.Error("clicked definition did not gain utility")
+	}
+}
+
+func TestUtilityEntropy(t *testing.T) {
+	_, e := expertEngine(t)
+	h := e.UtilityEntropy()
+	if h <= 0 {
+		t.Fatalf("entropy = %v", h)
+	}
+	// Concentrating utility on one definition lowers entropy.
+	res := e.Search("star wars cast", 1)
+	winner := res[0].Instance.Def.Name
+	for i := 0; i < 30; i++ {
+		if _, err := e.ApplyFeedback(res[0].Instance.ID(), true, Feedback{Rate: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, other := range e.Catalog().Definitions() {
+		if other.Name != winner {
+			other.Utility *= 0.05
+		}
+	}
+	if got := e.UtilityEntropy(); got >= h {
+		t.Errorf("entropy did not drop: %v -> %v", h, got)
+	}
+}

@@ -1,0 +1,56 @@
+package search
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the engine never panics and stays deterministic under
+// arbitrary query strings — entity fragments, punctuation, empty tokens,
+// unicode, very long inputs.
+func TestSearchNeverPanics(t *testing.T) {
+	_, e := expertEngine(t)
+	r := rand.New(rand.NewSource(77))
+	fragments := []string{
+		"star", "wars", "cast", "george", "clooney", "'", "\"", "$x",
+		"<tag>", "movie.title", "…", "日本語", "", "   ", "-", "the",
+		strings.Repeat("long", 50),
+	}
+	for i := 0; i < 500; i++ {
+		n := r.Intn(6)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[r.Intn(len(fragments))]
+		}
+		q := strings.Join(parts, " ")
+		a := e.Search(q, 5)
+		b := e.Search(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic for %q", q)
+		}
+		for k := range a {
+			if a[k].Instance.ID() != b[k].Instance.ID() {
+				t.Fatalf("nondeterministic ranking for %q", q)
+			}
+		}
+	}
+}
+
+// Robustness: the resolver never panics either, and errors only surface
+// as errors.
+func TestResolverNeverPanics(t *testing.T) {
+	_, r, _ := resolverFixture(t)
+	rng := rand.New(rand.NewSource(78))
+	fragments := []string{"star", "wars", "cast", "tom", "hanks", "$", "<", "", "zz"}
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(5)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[rng.Intn(len(fragments))]
+		}
+		if _, err := r.Search(strings.Join(parts, " "), 3); err != nil {
+			t.Fatalf("resolver error on fuzz input: %v", err)
+		}
+	}
+}

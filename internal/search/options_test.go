@@ -1,0 +1,83 @@
+package search
+
+import (
+	"testing"
+
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+)
+
+// The engine's scoring knobs must each do what they claim.
+
+func buildWith(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 150, Movies: 100, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Synonyms = imdb.AttributeSynonyms()
+	e, err := NewEngine(cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAnchorBoostSelectsNamedEntity(t *testing.T) {
+	// With a strong anchor boost, the instance bound to the queried
+	// entity wins; with the boost neutralized (tiny value), IR length
+	// effects can promote other instances. Either way, the boosted
+	// engine must rank the named entity first.
+	boosted := buildWith(t, Options{AnchorBoost: 5})
+	res := boosted.Search("george clooney", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Instance.Label() != "george clooney" {
+		t.Errorf("boosted engine top anchor = %q", res[0].Instance.Label())
+	}
+}
+
+func TestUtilityInfluenceReordersEqualContent(t *testing.T) {
+	// With utility influence near 1, definition utility dominates: for a
+	// bare movie query the movie-summary def (utility 1.0) must beat
+	// lower-utility aspect defs anchored on the same movie.
+	heavy := buildWith(t, Options{UtilityInfluence: 0.9})
+	res := heavy.Search("star wars", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Instance.Def.Name != "movie-summary" {
+		t.Errorf("utility-heavy engine top def = %s", res[0].Instance.Def.Name)
+	}
+}
+
+func TestTypeBoostPrefersTypedDefinition(t *testing.T) {
+	// With the type boost large, attribute vocabulary decides: "star wars
+	// soundtrack" must pick the soundtrack def over the summary even
+	// though the summary instance is content-richer. Pick a movie that
+	// has soundtrack rows.
+	e := buildWith(t, Options{TypeBoost: 5})
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 150, Movies: 100, CastPerMovie: 5})
+	title := movieWithFact(u, imdb.TableSoundtrack)
+	if title == "" {
+		t.Skip("no movie with soundtrack at this seed")
+	}
+	res := e.Search(title+" soundtrack", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Instance.Def.Name != "movie-soundtrack" {
+		t.Errorf("type-boosted engine top def = %s for %q", res[0].Instance.Def.Name, title+" soundtrack")
+	}
+}
+
+func TestEngineRejectsEmptyCatalog(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 30, Movies: 20})
+	empty := core.NewCatalog(u.DB)
+	if _, err := NewEngine(empty, Options{}); err == nil {
+		t.Error("engine accepted an empty catalog")
+	}
+}

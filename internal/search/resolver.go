@@ -1,0 +1,153 @@
+package search
+
+import (
+	"sort"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/segment"
+)
+
+// Resolver answers keyword queries WITHOUT materializing the catalog —
+// the paper's preferred implementation (§3): "there is no requirement
+// that qunits be materialized, and we expect that most qunits will not be
+// materialized in most implementations. … each qunit is nothing more than
+// a view definition, with specific instance tuples in the view being
+// computed on demand."
+//
+// The resolver runs the same segmentation and type-identification as
+// Engine, then instantiates only the (definition, anchor) pairs the query
+// names — a handful of view evaluations instead of an index over every
+// instance. The trade-off is reach: a query naming no recognizable entity
+// has nothing to bind the views with, so the resolver returns nothing
+// where the indexed engine could still fall back to full-text matching.
+type Resolver struct {
+	cat  *core.Catalog
+	dict *segment.Dictionary
+	seg  *segment.Segmenter
+	opts Options
+}
+
+// NewResolver builds a resolver. Unlike NewEngine this touches no data:
+// construction cost is the segmentation dictionary only.
+func NewResolver(cat *core.Catalog, opts Options) *Resolver {
+	if opts.TypeBoost == 0 {
+		opts.TypeBoost = 1
+	}
+	if opts.UtilityInfluence == 0 {
+		opts.UtilityInfluence = 0.35
+	}
+	dict := segment.BuildDictionary(cat.DB(), segment.Options{AttributeSynonyms: opts.Synonyms})
+	return &Resolver{
+		cat:  cat,
+		dict: dict,
+		seg:  segment.NewSegmenter(dict),
+		opts: opts,
+	}
+}
+
+// Search instantiates qunits on demand for the entities the query names
+// and returns the top k, ranked by type affinity and utility.
+func (r *Resolver) Search(query string, k int) ([]Result, error) {
+	sg := r.seg.Segment(query)
+	entities := sg.Entities()
+	if len(entities) == 0 {
+		return nil, nil
+	}
+	affinity := r.typeAffinity(sg)
+
+	var results []Result
+	seen := map[string]bool{}
+	for _, d := range r.cat.Definitions() {
+		aff := affinity[d.Name]
+		if aff == 0 {
+			continue
+		}
+		param, col, ok := d.AnchorParam()
+		if !ok {
+			continue
+		}
+		for _, ent := range entities {
+			if ent.Type.Table != col.Table {
+				continue
+			}
+			inst, err := r.cat.Instantiate(d, map[string]string{param: ent.Text})
+			if err != nil {
+				return nil, err
+			}
+			if len(inst.Tuples) == 0 {
+				continue
+			}
+			id := inst.ID()
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			score := (1 + r.opts.TypeBoost*aff) * (1 - r.opts.UtilityInfluence + r.opts.UtilityInfluence*inst.Utility)
+			results = append(results, Result{
+				Instance:     inst,
+				Score:        score,
+				TypeAffinity: aff,
+			})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Instance.ID() < results[j].Instance.ID()
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}
+
+// typeAffinity mirrors Engine.typeAffinity; the resolver shares the
+// scoring model so the two paths agree on qunit-type identification.
+func (r *Resolver) typeAffinity(sg segment.Segmentation) map[string]float64 {
+	aff := make(map[string]float64, r.cat.Len())
+	entities := sg.Entities()
+	attrs := sg.Attributes()
+	for _, d := range r.cat.Definitions() {
+		score := 0.0
+		_, anchorCol, hasAnchor := d.AnchorParam()
+		for _, ent := range entities {
+			if !hasAnchor {
+				continue
+			}
+			if ent.Type == anchorCol {
+				score += 2
+			} else if ent.Type.Table == anchorCol.Table {
+				score += 1
+			}
+		}
+		kw := map[string]bool{}
+		for _, w := range d.Keywords {
+			kw[ir.Normalize(w)] = true
+		}
+		tables := map[string]bool{}
+		for _, tn := range d.Base.From {
+			tables[tn] = true
+		}
+		for _, s := range d.Sections {
+			for _, tn := range s.Base.From {
+				tables[tn] = true
+			}
+		}
+		for _, a := range attrs {
+			if kw[a.Text] {
+				score += 2
+			} else if tables[a.Table] {
+				score += 1
+			}
+		}
+		if len(entities) == 1 && len(attrs) == 0 && len(d.Sections) > 0 {
+			score += 1
+		}
+		if score > 0 {
+			aff[d.Name] = score
+		}
+	}
+	return aff
+}

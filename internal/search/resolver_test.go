@@ -1,0 +1,121 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+)
+
+func resolverFixture(t *testing.T) (*imdb.Universe, *Resolver, *Engine) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 200, Movies: 120, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResolver(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	eng, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, res, eng
+}
+
+func TestResolverAgreesWithEngineOnTypedQueries(t *testing.T) {
+	_, r, e := resolverFixture(t)
+	queries := []string{
+		"star wars cast",
+		"george clooney",
+		"george clooney movies",
+		"batman",
+	}
+	for _, q := range queries {
+		lazy, err := r.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed := e.Search(q, 1)
+		if len(lazy) == 0 || len(indexed) == 0 {
+			t.Errorf("%q: lazy=%d indexed=%d results", q, len(lazy), len(indexed))
+			continue
+		}
+		if lazy[0].Instance.ID() != indexed[0].Instance.ID() {
+			t.Errorf("%q: lazy top %s, indexed top %s", q, lazy[0].Instance.ID(), indexed[0].Instance.ID())
+		}
+	}
+}
+
+func TestResolverComputesOnDemand(t *testing.T) {
+	_, r, _ := resolverFixture(t)
+	res, err := r.Search("star wars cast", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top := res[0].Instance
+	if top.Def.Name != "movie-cast" || top.Label() != "star wars" {
+		t.Errorf("top = %s", top.ID())
+	}
+	if len(top.Tuples) == 0 || top.Rendered.Text == "" {
+		t.Error("on-demand instance not fully evaluated")
+	}
+}
+
+func TestResolverNoEntityNoAnswer(t *testing.T) {
+	_, r, _ := resolverFixture(t)
+	res, err := r.Search("completely unrecognizable words", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("resolver answered an entity-free query: %v", res)
+	}
+}
+
+// The §3 trade-off, measured: resolver construction must be much cheaper
+// than engine construction (no materialization), per-query more
+// expensive (on-demand view evaluation).
+func TestResolverConstructionCheaperThanEngine(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 400, Movies: 250, CastPerMovie: 6})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	NewResolver(cat, Options{Synonyms: imdb.AttributeSynonyms()})
+	lazyBuild := time.Since(start)
+
+	start = time.Now()
+	if _, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms()}); err != nil {
+		t.Fatal(err)
+	}
+	engineBuild := time.Since(start)
+
+	if lazyBuild > engineBuild {
+		t.Errorf("resolver build (%v) slower than engine build (%v)", lazyBuild, engineBuild)
+	}
+}
+
+func TestResolverDeterministic(t *testing.T) {
+	_, r, _ := resolverFixture(t)
+	a, err := r.Search("tom hanks", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Search("tom hanks", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].Instance.ID() != b[i].Instance.ID() {
+			t.Fatal("nondeterministic ranking")
+		}
+	}
+}

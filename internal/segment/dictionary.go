@@ -1,0 +1,196 @@
+// Package segment implements keyword-query segmentation and typing. The
+// paper's search pipeline (§3) begins by processing queries "to identify
+// entities using standard query segmentation techniques" and §5.2 builds
+// typed templates by replacing tokens "with schema types by looking for
+// the largest possible string overlaps with entities in the database".
+// This package provides both: a dictionary of entity surface forms drawn
+// from the database, a dynamic-programming segmenter that prefers the
+// largest overlaps, and the typed-template abstraction
+// ("[movie.title] cast").
+package segment
+
+import (
+	"sort"
+	"strings"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// maxEntityTokens caps how long a dictionary phrase may be; longer text
+// values (plot outlines, trivia) are prose, not entity names.
+const maxEntityTokens = 6
+
+// Entry records that a phrase is the surface form of a database value.
+type Entry struct {
+	// Type is the schema element the phrase instantiates (person.name,
+	// movie.title, genre.type, …).
+	Type relational.QualifiedColumn
+	// Ref is the tuple holding the value.
+	Ref relational.TupleRef
+	// IsLabel marks entries from a table's label column — the column that
+	// *names* entities of that table. When a phrase is ambiguous between
+	// a label column (person.name) and an incidental text column
+	// (soundtrack.artist), recognizers prefer the label reading.
+	IsLabel bool
+}
+
+// Dictionary maps normalized phrases to the database values they name,
+// plus the schema-attribute vocabulary used to type non-entity tokens.
+type Dictionary struct {
+	entities  map[string][]Entry
+	attrs     map[string]string // normalized phrase -> table name
+	maxTokens int
+}
+
+// Options configures dictionary construction.
+type Options struct {
+	// AttributeSynonyms maps extra query vocabulary to table names, e.g.
+	// "filmography" -> "movie", "ost" -> "soundtrack". The schema's own
+	// table and column names are always included.
+	AttributeSynonyms map[string]string
+}
+
+// BuildDictionary scans every searchable column whose values are short
+// enough to be entity names and registers each value under its normalized
+// form. It also assembles the attribute vocabulary from table names,
+// column names, and the provided synonyms.
+func BuildDictionary(db *relational.Database, opts Options) *Dictionary {
+	d := &Dictionary{
+		entities:  make(map[string][]Entry),
+		attrs:     make(map[string]string),
+		maxTokens: 1,
+	}
+	db.Tables(func(t *relational.Table) {
+		schema := t.Schema()
+		label := schema.LabelColumn()
+		for ci, col := range schema.Columns {
+			if !col.Searchable || col.Kind != relational.KindString {
+				continue
+			}
+			q := relational.QualifiedColumn{Table: schema.Name, Column: col.Name}
+			colIdx := ci
+			isLabel := col.Name == label
+			t.Scan(func(id int, row relational.Row) bool {
+				v := row[colIdx]
+				if v.IsNull() {
+					return true
+				}
+				toks := ir.Tokenize(v.AsString())
+				if len(toks) == 0 || len(toks) > maxEntityTokens {
+					return true
+				}
+				phrase := strings.Join(toks, " ")
+				d.entities[phrase] = append(d.entities[phrase], Entry{
+					Type:    q,
+					Ref:     relational.TupleRef{Table: schema.Name, Row: id},
+					IsLabel: isLabel,
+				})
+				if len(toks) > d.maxTokens {
+					d.maxTokens = len(toks)
+				}
+				return true
+			})
+		}
+	})
+	// Attribute vocabulary: table names and their naive plural/singular
+	// variants, then column names, then synonyms (synonyms win).
+	db.Tables(func(t *relational.Table) {
+		name := t.Schema().Name
+		for _, form := range nameForms(name) {
+			d.addAttr(form, name)
+		}
+		for _, col := range t.Schema().Columns {
+			if strings.HasSuffix(col.Name, "_id") || col.Name == "id" {
+				continue // internal ids are never query vocabulary
+			}
+			for _, form := range nameForms(col.Name) {
+				d.addAttr(form, name)
+			}
+		}
+	})
+	for phrase, table := range opts.AttributeSynonyms {
+		d.attrs[ir.Normalize(phrase)] = table
+		if n := len(ir.Tokenize(phrase)); n > d.maxTokens {
+			d.maxTokens = n
+		}
+	}
+	return d
+}
+
+func (d *Dictionary) addAttr(phrase, table string) {
+	phrase = ir.Normalize(phrase)
+	if phrase == "" {
+		return
+	}
+	if _, exists := d.attrs[phrase]; !exists {
+		d.attrs[phrase] = table
+	}
+	if n := len(strings.Fields(phrase)); n > d.maxTokens {
+		d.maxTokens = n
+	}
+}
+
+// nameForms produces lookup variants of a schema identifier:
+// "aka_title" -> ["aka title", "aka titles"]; "movie" -> ["movie",
+// "movies"].
+func nameForms(name string) []string {
+	base := strings.ReplaceAll(name, "_", " ")
+	forms := []string{base}
+	if strings.HasSuffix(base, "s") {
+		forms = append(forms, strings.TrimSuffix(base, "s"))
+	} else {
+		forms = append(forms, base+"s")
+	}
+	return forms
+}
+
+// LookupEntity returns the entries for a normalized phrase.
+func (d *Dictionary) LookupEntity(phrase string) []Entry {
+	return d.entities[ir.Normalize(phrase)]
+}
+
+// LookupAttribute returns the table an attribute phrase refers to.
+func (d *Dictionary) LookupAttribute(phrase string) (string, bool) {
+	t, ok := d.attrs[ir.Normalize(phrase)]
+	return t, ok
+}
+
+// EntityCount returns the number of distinct entity phrases.
+func (d *Dictionary) EntityCount() int { return len(d.entities) }
+
+// EntityTypes returns the distinct schema types a phrase may denote,
+// sorted for determinism.
+func (d *Dictionary) EntityTypes(phrase string) []relational.QualifiedColumn {
+	seen := map[relational.QualifiedColumn]bool{}
+	var out []relational.QualifiedColumn
+	for _, e := range d.entities[ir.Normalize(phrase)] {
+		if !seen[e.Type] {
+			seen[e.Type] = true
+			out = append(out, e.Type)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SamplePhrases returns up to n entity phrases of the given type; used by
+// the query-log derivation strategy, which "samples the database for
+// entities and looks them up in the search query log". Deterministic
+// (sorted) order.
+func (d *Dictionary) SamplePhrases(typ relational.QualifiedColumn, n int) []string {
+	var phrases []string
+	for p, entries := range d.entities {
+		for _, e := range entries {
+			if e.Type == typ {
+				phrases = append(phrases, p)
+				break
+			}
+		}
+	}
+	sort.Strings(phrases)
+	if n > 0 && len(phrases) > n {
+		phrases = phrases[:n]
+	}
+	return phrases
+}

@@ -1,0 +1,111 @@
+package segment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qunits/internal/relational"
+)
+
+// smallDict builds a dictionary over a handful of entities for brute-force
+// comparison.
+func smallDict(t *testing.T) *Dictionary {
+	t.Helper()
+	db := relational.NewDatabase("t")
+	db.MustCreateTable(relational.MustTableSchema("movie", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("person", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	m := db.Table("movie")
+	m.MustInsert(relational.Row{relational.Int(1), relational.String("cast away")})
+	m.MustInsert(relational.Row{relational.Int(2), relational.String("star wars")})
+	m.MustInsert(relational.Row{relational.Int(3), relational.String("the big star")})
+	p := db.Table("person")
+	p.MustInsert(relational.Row{relational.Int(1), relational.String("star jones")})
+	p.MustInsert(relational.Row{relational.Int(2), relational.String("big tom")})
+	return BuildDictionary(db, Options{AttributeSynonyms: map[string]string{"films": "movie"}})
+}
+
+// bruteBest enumerates every segmentation of the token sequence and
+// returns the maximal score under the same scoring rules as the DP.
+func bruteBest(d *Dictionary, toks []string) float64 {
+	n := len(toks)
+	if n == 0 {
+		return 0
+	}
+	best := -1.0
+	var rec func(at int, score float64)
+	rec = func(at int, score float64) {
+		if at == n {
+			if score > best {
+				best = score
+			}
+			return
+		}
+		for j := at + 1; j <= n; j++ {
+			phrase := strings.Join(toks[at:j], " ")
+			length := float64(j - at)
+			if len(d.entities[phrase]) > 0 {
+				rec(j, score+entityTokenWeight*length*length)
+			}
+			if _, ok := d.attrs[phrase]; ok {
+				rec(j, score+attrTokenWeight*length)
+			}
+			if j == at+1 {
+				rec(j, score+freeTokenWeight)
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: the DP finds the globally optimal segmentation score.
+func TestSegmenterIsOptimal(t *testing.T) {
+	d := smallDict(t)
+	s := NewSegmenter(d)
+	vocab := []string{"star", "wars", "cast", "away", "big", "the", "tom", "jones", "films", "zzz"}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(6)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = vocab[r.Intn(len(vocab))]
+		}
+		query := strings.Join(toks, " ")
+		got := s.Segment(query).Score
+		want := bruteBest(d, toks)
+		if got != want {
+			t.Fatalf("Segment(%q).Score = %v, brute force = %v", query, got, want)
+		}
+	}
+}
+
+// Property: segment boundaries reconstruct the token sequence exactly.
+func TestSegmentationPartitions(t *testing.T) {
+	d := smallDict(t)
+	s := NewSegmenter(d)
+	r := rand.New(rand.NewSource(42))
+	vocab := []string{"star", "wars", "cast", "away", "big", "films", "q"}
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(7)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = vocab[r.Intn(len(vocab))]
+		}
+		query := strings.Join(toks, " ")
+		sg := s.Segment(query)
+		var rebuilt []string
+		for _, seg := range sg.Segments {
+			rebuilt = append(rebuilt, strings.Fields(seg.Text)...)
+		}
+		if strings.Join(rebuilt, " ") != query {
+			t.Fatalf("segmentation of %q rebuilt as %q", query, strings.Join(rebuilt, " "))
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package segment
+
+import (
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func testUniverse(t *testing.T) (*imdb.Universe, *Dictionary) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 3, Persons: 150, Movies: 100, CastPerMovie: 4})
+	d := BuildDictionary(u.DB, Options{AttributeSynonyms: map[string]string{
+		"filmography": "movie",
+		"films":       "movie",
+		"actors":      "cast",
+		"ost":         "soundtrack",
+		"box office":  "boxoffice",
+	}})
+	return u, d
+}
+
+func TestDictionaryEntities(t *testing.T) {
+	_, d := testUniverse(t)
+	if d.EntityCount() == 0 {
+		t.Fatal("empty dictionary")
+	}
+	entries := d.LookupEntity("george clooney")
+	if len(entries) == 0 {
+		t.Fatal("george clooney not in dictionary")
+	}
+	if entries[0].Type.String() != "person.name" {
+		t.Errorf("type = %s", entries[0].Type)
+	}
+	if es := d.LookupEntity("GEORGE   Clooney"); len(es) == 0 {
+		t.Error("lookup not normalized")
+	}
+	if es := d.LookupEntity("zz top nonsense"); len(es) != 0 {
+		t.Error("found nonsense entity")
+	}
+}
+
+func TestDictionaryAttributes(t *testing.T) {
+	_, d := testUniverse(t)
+	cases := map[string]string{
+		"cast":        "cast",
+		"movies":      "movie",
+		"movie":       "movie",
+		"filmography": "movie",
+		"box office":  "boxoffice",
+		"ost":         "soundtrack",
+		"trivia":      "trivia",
+		"genre":       "genre",
+	}
+	for phrase, want := range cases {
+		got, ok := d.LookupAttribute(phrase)
+		if !ok || got != want {
+			t.Errorf("LookupAttribute(%q) = %q, %v; want %q", phrase, got, ok, want)
+		}
+	}
+	if _, ok := d.LookupAttribute("id"); ok {
+		t.Error("internal id column leaked into attribute vocabulary")
+	}
+	if _, ok := d.LookupAttribute("person_id"); ok {
+		t.Error("internal fk column leaked into attribute vocabulary")
+	}
+}
+
+func TestSegmentPaperExamples(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+
+	cases := []struct {
+		query    string
+		template string
+	}{
+		{"george clooney movies", "[person.name] movies"},
+		{"star wars cast", "[movie.title] cast"},
+		{"terminator cast", "[movie.title] cast"},
+		{"george clooney", "[person.name]"},
+		{"tom hanks cast away", "[person.name] [movie.title]"},
+	}
+	for _, c := range cases {
+		sg := s.Segment(c.query)
+		if got := sg.Template(); got != c.template {
+			t.Errorf("Segment(%q).Template() = %q, want %q (%s)", c.query, got, c.template, sg)
+		}
+	}
+}
+
+func TestSegmentLargestOverlapWins(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+	// "cast away" is a movie; the segmenter must prefer the two-token
+	// entity over attribute "cast" + free "away".
+	sg := s.Segment("cast away")
+	if len(sg.Segments) != 1 || sg.Segments[0].Kind != KindEntity {
+		t.Fatalf("cast away segmented as %s", sg)
+	}
+	if sg.Segments[0].Type.String() != "movie.title" {
+		t.Errorf("type = %s", sg.Segments[0].Type)
+	}
+	// But "cast" alone is the attribute.
+	sg = s.Segment("cast")
+	if len(sg.Segments) != 1 || sg.Segments[0].Kind != KindAttribute {
+		t.Fatalf("cast segmented as %s", sg)
+	}
+}
+
+func TestSegmentFreeTextMerging(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+	sg := s.Segment("movie flying transponders")
+	// "movie" is attribute; "flying transponders" should merge into one
+	// free segment (modeled on the paper's "movie space transponders"
+	// free-form example; our synthetic DB happens to contain "space" as a
+	// keyword entity, so the free tokens differ).
+	if len(sg.Segments) != 2 {
+		t.Fatalf("segments = %s", sg)
+	}
+	if sg.Segments[0].Kind != KindAttribute {
+		t.Errorf("first segment = %s", sg.Segments[0].Kind)
+	}
+	if sg.Segments[1].Kind != KindFree || sg.Segments[1].Text != "flying transponders" {
+		t.Errorf("free segment = %+v", sg.Segments[1])
+	}
+	if sg.FreeText() != "flying transponders" {
+		t.Errorf("FreeText = %q", sg.FreeText())
+	}
+}
+
+func TestSegmentEmptyQuery(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+	sg := s.Segment("")
+	if len(sg.Segments) != 0 {
+		t.Errorf("segments of empty query: %v", sg.Segments)
+	}
+	sg = s.Segment("!!! ???")
+	if len(sg.Segments) != 0 {
+		t.Errorf("segments of punctuation: %v", sg.Segments)
+	}
+}
+
+func TestSegmentEntitiesAndAttributesAccessors(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+	sg := s.Segment("george clooney movies xyzzy")
+	if len(sg.Entities()) != 1 {
+		t.Errorf("Entities = %v", sg.Entities())
+	}
+	if len(sg.Attributes()) != 1 {
+		t.Errorf("Attributes = %v", sg.Attributes())
+	}
+	if sg.FreeText() != "xyzzy" {
+		t.Errorf("FreeText = %q", sg.FreeText())
+	}
+}
+
+func TestSegmentationCoversAllTokens(t *testing.T) {
+	_, d := testUniverse(t)
+	s := NewSegmenter(d)
+	queries := []string{
+		"george clooney movies",
+		"star wars",
+		"highest box office revenue",
+		"angelina jolie tomb raider",
+		"completely unknown gibberish words",
+		"the godfather trivia",
+	}
+	for _, q := range queries {
+		sg := s.Segment(q)
+		total := 0
+		for _, seg := range sg.Segments {
+			total += len(splitWords(seg.Text))
+		}
+		want := len(splitWords(q))
+		if total != want {
+			t.Errorf("Segment(%q) covers %d tokens, want %d (%s)", q, total, want, sg)
+		}
+	}
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' || r == '\'' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			if r == '\'' && cur == "" {
+				continue
+			}
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestEntityTypesMultiType(t *testing.T) {
+	db := relational.NewDatabase("t")
+	db.MustCreateTable(relational.MustTableSchema("a", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("b", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
+	}, "id", nil))
+	db.Table("a").MustInsert(relational.Row{relational.Int(1), relational.String("batman")})
+	db.Table("b").MustInsert(relational.Row{relational.Int(1), relational.String("batman")})
+	d := BuildDictionary(db, Options{})
+	types := d.EntityTypes("batman")
+	if len(types) != 2 {
+		t.Fatalf("EntityTypes = %v, want both a.name and b.title", types)
+	}
+	if types[0].String() != "a.name" || types[1].String() != "b.title" {
+		t.Errorf("types order = %v", types)
+	}
+}
+
+func TestSamplePhrases(t *testing.T) {
+	_, d := testUniverse(t)
+	ph := d.SamplePhrases(relational.QualifiedColumn{Table: "person", Column: "name"}, 10)
+	if len(ph) != 10 {
+		t.Fatalf("SamplePhrases returned %d", len(ph))
+	}
+	for i := 1; i < len(ph); i++ {
+		if ph[i-1] >= ph[i] {
+			t.Fatal("SamplePhrases not sorted")
+		}
+	}
+	all := d.SamplePhrases(relational.QualifiedColumn{Table: "person", Column: "name"}, 0)
+	if len(all) < 100 {
+		t.Errorf("expected ≥100 person phrases, got %d", len(all))
+	}
+}
+
+func TestLongTextValuesExcluded(t *testing.T) {
+	_, d := testUniverse(t)
+	// Plot outlines are long prose; none should be an entity phrase.
+	if es := d.LookupEntity("a reluctant hero must confront a buried past"); len(es) != 0 {
+		t.Error("plot text leaked into entity dictionary")
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if KindEntity.String() != "entity" || KindAttribute.String() != "attribute" || KindFree.String() != "free" {
+		t.Error("SegmentKind names wrong")
+	}
+}

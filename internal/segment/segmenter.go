@@ -1,0 +1,234 @@
+package segment
+
+import (
+	"fmt"
+	"strings"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// SegmentKind classifies one segment of a query.
+type SegmentKind uint8
+
+// The segment kinds.
+const (
+	// KindEntity is a database entity surface form (george clooney).
+	KindEntity SegmentKind = iota
+	// KindAttribute is schema vocabulary (cast, movies, box office).
+	KindAttribute
+	// KindFree is anything else — the paper's "free-form text".
+	KindFree
+)
+
+// String names the kind.
+func (k SegmentKind) String() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindAttribute:
+		return "attribute"
+	default:
+		return "free"
+	}
+}
+
+// Segment is one typed piece of a segmented query.
+type Segment struct {
+	// Text is the normalized surface text of the segment.
+	Text string
+	// Kind classifies the segment.
+	Kind SegmentKind
+	// Type is the schema element for entity segments (person.name).
+	Type relational.QualifiedColumn
+	// Table is the referenced table for attribute segments.
+	Table string
+	// Entries are the matching database values for entity segments.
+	Entries []Entry
+}
+
+// Segmentation is a full segmentation of one query.
+type Segmentation struct {
+	// Segments in query order.
+	Segments []Segment
+	// Score is the generative score the DP assigned; higher is better.
+	Score float64
+}
+
+// Segmentation scoring: the DP maximizes total score. Longer entity
+// matches dominate (the "largest possible string overlap" rule): an
+// n-token entity scores n², so a two-token entity (4) beats two
+// independent free tokens (1) or an entity+free split (1.5). Attribute
+// vocabulary beats free text but never beats an entity of equal length,
+// breaking the "actor" ambiguity (cast.role value vs. cast vocabulary) in
+// favor of the attribute reading only when no longer entity consumes it.
+const (
+	entityTokenWeight = 1.0 // multiplied by len²
+	attrTokenWeight   = 1.3 // multiplied by len
+	freeTokenWeight   = 0.5 // per token
+)
+
+// Segmenter segments queries against a dictionary.
+type Segmenter struct {
+	dict *Dictionary
+}
+
+// NewSegmenter returns a segmenter over the dictionary.
+func NewSegmenter(d *Dictionary) *Segmenter { return &Segmenter{dict: d} }
+
+// Segment computes the best-scoring segmentation of the query by dynamic
+// programming over token positions.
+func (s *Segmenter) Segment(query string) Segmentation {
+	toks := ir.Tokenize(query)
+	n := len(toks)
+	if n == 0 {
+		return Segmentation{}
+	}
+	type cell struct {
+		score float64
+		prev  int
+		seg   Segment
+	}
+	best := make([]cell, n+1)
+	for i := 1; i <= n; i++ {
+		best[i].score = -1
+	}
+	maxSpan := s.dict.maxTokens
+	if maxSpan < 1 {
+		maxSpan = 1
+	}
+	for i := 0; i < n; i++ {
+		if best[i].score < 0 {
+			continue
+		}
+		limit := i + maxSpan
+		if limit > n {
+			limit = n
+		}
+		for j := i + 1; j <= limit; j++ {
+			span := toks[i:j]
+			phrase := strings.Join(span, " ")
+			length := float64(j - i)
+
+			// Entity reading.
+			if entries := s.dict.entities[phrase]; len(entries) > 0 {
+				sc := best[i].score + entityTokenWeight*length*length
+				if sc > best[j].score {
+					best[j] = cell{score: sc, prev: i, seg: Segment{
+						Text: phrase, Kind: KindEntity,
+						Type: entries[0].Type, Entries: entries,
+					}}
+				}
+			}
+			// Attribute reading.
+			if table, ok := s.dict.attrs[phrase]; ok {
+				sc := best[i].score + attrTokenWeight*length
+				if sc > best[j].score {
+					best[j] = cell{score: sc, prev: i, seg: Segment{
+						Text: phrase, Kind: KindAttribute, Table: table,
+					}}
+				}
+			}
+			// Free reading, single token only (free runs compose from
+			// single-token segments).
+			if j == i+1 {
+				sc := best[i].score + freeTokenWeight
+				if sc > best[j].score {
+					best[j] = cell{score: sc, prev: i, seg: Segment{
+						Text: phrase, Kind: KindFree,
+					}}
+				}
+			}
+		}
+	}
+	// Reconstruct.
+	var rev []Segment
+	for at := n; at > 0; at = best[at].prev {
+		rev = append(rev, best[at].seg)
+	}
+	segs := make([]Segment, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		segs = append(segs, rev[i])
+	}
+	segs = mergeFreeRuns(segs)
+	return Segmentation{Segments: segs, Score: best[n].score}
+}
+
+// mergeFreeRuns collapses adjacent free tokens into one free-text
+// segment.
+func mergeFreeRuns(segs []Segment) []Segment {
+	var out []Segment
+	for _, s := range segs {
+		if s.Kind == KindFree && len(out) > 0 && out[len(out)-1].Kind == KindFree {
+			out[len(out)-1].Text += " " + s.Text
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Template renders the segmentation as a typed template in the paper's
+// §5.2 notation: entity segments become their schema type in brackets,
+// everything else stays literal. "george clooney movies" →
+// "[person.name] movies".
+func (sg Segmentation) Template() string {
+	parts := make([]string, 0, len(sg.Segments))
+	for _, s := range sg.Segments {
+		if s.Kind == KindEntity {
+			parts = append(parts, "["+s.Type.String()+"]")
+		} else {
+			parts = append(parts, s.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Entities returns the entity segments in order.
+func (sg Segmentation) Entities() []Segment {
+	var out []Segment
+	for _, s := range sg.Segments {
+		if s.Kind == KindEntity {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Attributes returns the attribute segments in order.
+func (sg Segmentation) Attributes() []Segment {
+	var out []Segment
+	for _, s := range sg.Segments {
+		if s.Kind == KindAttribute {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FreeText returns the concatenated free-text segments.
+func (sg Segmentation) FreeText() string {
+	var parts []string
+	for _, s := range sg.Segments {
+		if s.Kind == KindFree {
+			parts = append(parts, s.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the segmentation for debugging.
+func (sg Segmentation) String() string {
+	parts := make([]string, 0, len(sg.Segments))
+	for _, s := range sg.Segments {
+		switch s.Kind {
+		case KindEntity:
+			parts = append(parts, fmt.Sprintf("%s(%s)", s.Text, s.Type))
+		case KindAttribute:
+			parts = append(parts, fmt.Sprintf("%s(→%s)", s.Text, s.Table))
+		default:
+			parts = append(parts, fmt.Sprintf("%s(free)", s.Text))
+		}
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,139 @@
+// Package sqlview implements the qunit definition language from §2 of the
+// paper: a SQL-like *base expression* that selects and joins the
+// underlying relations, and an XSL-like *conversion expression* that
+// renders the resulting tuples for presentation. Together they form a
+// qunit definition:
+//
+//	SELECT * FROM person, cast, movie
+//	WHERE cast.movie_id = movie.id AND
+//	      cast.person_id = person.id AND
+//	      movie.title = "$x"
+//	RETURN
+//	<cast movie="$x">
+//	  <foreach:tuple>
+//	    <person>$person.name</person>
+//	  </foreach:tuple>
+//	</cast>
+//
+// Applying the definition to a database with a binding for $x derives one
+// qunit instance.
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+
+	"qunits/internal/relational"
+)
+
+// BaseExpr is the parsed form of a base expression.
+type BaseExpr struct {
+	// SelectAll is true for SELECT *.
+	SelectAll bool
+	// Select lists projected columns when SelectAll is false.
+	Select []relational.QualifiedColumn
+	// From lists the joined tables in declaration order.
+	From []string
+	// Joins are column=column conditions.
+	Joins []relational.EquiJoinSpec
+	// Binds are column=parameter or column=literal conditions.
+	Binds []Bind
+}
+
+// Bind is a selection condition on one column: either a named parameter
+// (movie.title = "$x") or a literal (genre.type = "comedy",
+// movie.releasedate = 1977).
+type Bind struct {
+	Col relational.QualifiedColumn
+	// Param is the parameter name without the dollar sign, or empty for a
+	// literal bind.
+	Param string
+	// Literal is the constant value for literal binds.
+	Literal relational.Value
+}
+
+// String renders the base expression back to canonical SQL-ish text.
+func (b *BaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if b.SelectAll {
+		sb.WriteString("*")
+	} else {
+		for i, c := range b.Select {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(b.From, ", "))
+	conds := make([]string, 0, len(b.Joins)+len(b.Binds))
+	for _, j := range b.Joins {
+		conds = append(conds, fmt.Sprintf("%s = %s", j.Left, j.Right))
+	}
+	for _, bd := range b.Binds {
+		if bd.Param != "" {
+			conds = append(conds, fmt.Sprintf("%s = \"$%s\"", bd.Col, bd.Param))
+		} else if bd.Literal.Kind() == relational.KindString {
+			conds = append(conds, fmt.Sprintf("%s = %q", bd.Col, bd.Literal.AsString()))
+		} else {
+			conds = append(conds, fmt.Sprintf("%s = %s", bd.Col, bd.Literal.Render()))
+		}
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conds, " AND "))
+	}
+	return sb.String()
+}
+
+// Params returns the distinct parameter names referenced by the base
+// expression, in first-appearance order.
+func (b *BaseExpr) Params() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, bd := range b.Binds {
+		if bd.Param != "" && !seen[bd.Param] {
+			seen[bd.Param] = true
+			out = append(out, bd.Param)
+		}
+	}
+	return out
+}
+
+// Node is one node of a parsed conversion expression: an element, a text
+// run, or a foreach:tuple loop.
+type Node struct {
+	// Kind discriminates the node type.
+	Kind NodeKind
+	// Tag is the element name for NodeElement.
+	Tag string
+	// Attrs are the element attributes in source order.
+	Attrs []Attr
+	// Text is the raw text (with $refs unexpanded) for NodeText.
+	Text string
+	// Children of elements and loops.
+	Children []*Node
+}
+
+// NodeKind discriminates conversion-expression node types.
+type NodeKind uint8
+
+// The node kinds.
+const (
+	NodeElement NodeKind = iota
+	NodeText
+	NodeForeach
+)
+
+// Attr is one element attribute; Value may contain $refs.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Template is a parsed conversion expression.
+type Template struct {
+	Root *Node
+}

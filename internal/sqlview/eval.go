@@ -1,0 +1,248 @@
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// Eval evaluates the base expression against a database with the given
+// parameter bindings, returning the joined tuples. Missing parameters are
+// an error; unused parameters are ignored. String parameter binds compare
+// case-insensitively on text columns (keyword queries are lowercase;
+// stored values may not be).
+func (b *BaseExpr) Eval(db *relational.Database, params map[string]string) (*relational.JoinResult, error) {
+	// Resolve binds to concrete values.
+	type resolvedBind struct {
+		col relational.QualifiedColumn
+		val relational.Value
+	}
+	binds := make([]resolvedBind, 0, len(b.Binds))
+	boundTables := map[string]bool{}
+	for _, bd := range b.Binds {
+		v := bd.Literal
+		if bd.Param != "" {
+			s, ok := params[bd.Param]
+			if !ok {
+				return nil, fmt.Errorf("sqlview: missing parameter $%s", bd.Param)
+			}
+			v = relational.String(s)
+		}
+		binds = append(binds, resolvedBind{col: bd.Col, val: v})
+		boundTables[bd.Col.Table] = true
+	}
+
+	// Rooting the join at a bound table lets the pre-filter shrink the
+	// probe side to (usually) a single entity row before any join work.
+	from := append([]string(nil), b.From...)
+	for i, tn := range from {
+		if boundTables[tn] {
+			from[0], from[i] = from[i], from[0]
+			break
+		}
+	}
+	order, err := joinOrder(from, b.Joins)
+	if err != nil {
+		return nil, err
+	}
+
+	// Selection pushdown: each bind becomes a pre-filter on its table.
+	pre := make(map[string]relational.Predicate, len(boundTables))
+	for _, bd := range binds {
+		bd := bd
+		prev := pre[bd.col.Table]
+		p := relational.Func(func(s *relational.TableSchema, r relational.Row) bool {
+			i, ok := s.ColumnIndex(bd.col.Column)
+			if !ok {
+				return false
+			}
+			return valueMatches(r[i], bd.val)
+		})
+		if prev != nil {
+			pre[bd.col.Table] = relational.And(prev, p)
+		} else {
+			pre[bd.col.Table] = p
+		}
+	}
+	return db.JoinPre(order, b.Joins, pre, nil)
+}
+
+// valueMatches compares a stored value against a bind value: exact Equal
+// first, then numeric coercion, then case-insensitive text comparison,
+// and finally token-normalized comparison so that keyword-derived
+// parameters ("oceans eleven") match punctuated stored values
+// ("Ocean's Eleven").
+func valueMatches(stored, probe relational.Value) bool {
+	if stored.Equal(probe) {
+		return true
+	}
+	if cv, ok := probe.ConvertTo(stored.Kind()); ok && stored.Equal(cv) {
+		return true
+	}
+	if stored.Kind() == relational.KindString && probe.Kind() == relational.KindString {
+		if strings.EqualFold(stored.AsString(), probe.AsString()) {
+			return true
+		}
+		return ir.Normalize(stored.AsString()) == ir.Normalize(probe.AsString())
+	}
+	return false
+}
+
+// joinOrder reorders the FROM list so each table after the first is
+// linked by a join condition to a table before it — the contract
+// relational.Join requires. A single table needs no conditions.
+func joinOrder(from []string, joins []relational.EquiJoinSpec) ([]string, error) {
+	if len(from) <= 1 {
+		return from, nil
+	}
+	placed := map[string]bool{from[0]: true}
+	order := []string{from[0]}
+	remaining := append([]string(nil), from[1:]...)
+	for len(remaining) > 0 {
+		progress := false
+		for i, tn := range remaining {
+			linked := false
+			for _, j := range joins {
+				if j.Left.Table == tn && placed[j.Right.Table] ||
+					j.Right.Table == tn && placed[j.Left.Table] {
+					linked = true
+					break
+				}
+			}
+			if linked {
+				placed[tn] = true
+				order = append(order, tn)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("sqlview: tables %v are not connected to %v by any join condition", remaining, order)
+		}
+	}
+	return order, nil
+}
+
+// Rendering -----------------------------------------------------------------
+
+// Rendered is the output of applying a conversion expression to a base-
+// expression result: the XML-ish presentation plus a flat text form used
+// for IR indexing and for the "simplified natural English" the paper's
+// judges saw.
+type Rendered struct {
+	XML  string
+	Text string
+}
+
+// Render applies the template to the join result. $param references
+// resolve from params; $table.column references resolve from the current
+// tuple inside a foreach loop, and from the first tuple outside one
+// (header fields like the movie title are constant across the result).
+func (t *Template) Render(js *relational.JoinedSchema, rows []relational.JoinedRow, params map[string]string) Rendered {
+	var xml, text strings.Builder
+	var current *relational.JoinedRow
+	if len(rows) > 0 {
+		current = &rows[0]
+	}
+	renderNode(t.Root, js, rows, params, current, &xml, &text, 0)
+	return Rendered{XML: xml.String(), Text: collapseSpace(text.String())}
+}
+
+func renderNode(n *Node, js *relational.JoinedSchema, rows []relational.JoinedRow,
+	params map[string]string, current *relational.JoinedRow, xml, text *strings.Builder, depth int) {
+
+	sub := func(s string) string { return substitute(s, js, params, current) }
+	switch n.Kind {
+	case NodeText:
+		s := sub(n.Text)
+		xml.WriteString(s)
+		text.WriteString(s)
+		text.WriteByte(' ')
+	case NodeForeach:
+		for i := range rows {
+			row := &rows[i]
+			for _, c := range n.Children {
+				renderNode(c, js, rows, params, row, xml, text, depth+1)
+			}
+		}
+	case NodeElement:
+		xml.WriteString(tagString(n, sub))
+		for _, a := range n.Attrs {
+			text.WriteString(sub(a.Value))
+			text.WriteByte(' ')
+		}
+		for _, c := range n.Children {
+			renderNode(c, js, rows, params, current, xml, text, depth+1)
+		}
+		xml.WriteString("</" + n.Tag + ">")
+		text.WriteByte(' ')
+	}
+}
+
+// substitute expands $references in s. A reference is $name or
+// $table.column; the longest identifier run (with at most one dot) after
+// the dollar sign is taken.
+func substitute(s string, js *relational.JoinedSchema, params map[string]string, current *relational.JoinedRow) string {
+	if !strings.ContainsRune(s, '$') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '$' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + 1
+		dots := 0
+		for j < len(s) {
+			c := rune(s[j])
+			if c == '.' && dots == 0 && j+1 < len(s) && isRefRune(rune(s[j+1])) {
+				dots++
+				j++
+				continue
+			}
+			if isRefRune(c) {
+				j++
+				continue
+			}
+			break
+		}
+		ref := s[i+1 : j]
+		if ref == "" {
+			b.WriteByte('$')
+			i++
+			continue
+		}
+		b.WriteString(resolveRef(ref, js, params, current))
+		i = j
+	}
+	return b.String()
+}
+
+func isRefRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func resolveRef(ref string, js *relational.JoinedSchema, params map[string]string, current *relational.JoinedRow) string {
+	if q, ok := relational.ParseQualifiedColumn(ref); ok {
+		if js != nil && current != nil {
+			if v, found := current.Get(js, q); found {
+				return v.Render()
+			}
+		}
+		return ""
+	}
+	if v, ok := params[ref]; ok {
+		return v
+	}
+	return ""
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,290 @@
+package sqlview
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"qunits/internal/relational"
+)
+
+// ParseBase parses a base expression:
+//
+//	SELECT (* | col[, col...]) FROM table[, table...]
+//	[WHERE cond AND cond ...]
+//
+// where each cond is `qualified = qualified` (a join),
+// `qualified = "$param"` (a parameter bind), or
+// `qualified = "literal"` / `qualified = number` (a literal bind).
+// Keywords are case-insensitive; identifiers are lowercase
+// letters/digits/underscores.
+func ParseBase(src string) (*BaseExpr, error) {
+	p := &sqlParser{toks: lexSQL(src)}
+	return p.parse()
+}
+
+// MustParseBase is ParseBase that panics on error; for static qunit
+// definitions in generators and tests.
+func MustParseBase(src string) *BaseExpr {
+	b, err := ParseBase(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type sqlTok struct {
+	kind sqlTokKind
+	text string
+}
+
+type sqlTokKind uint8
+
+const (
+	tokWord sqlTokKind = iota // identifier, keyword, or dotted name
+	tokString
+	tokNumber
+	tokStar
+	tokComma
+	tokEquals
+	tokEOF
+)
+
+func lexSQL(src string) []sqlTok {
+	var toks []sqlTok
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, sqlTok{tokStar, "*"})
+			i++
+		case c == ',':
+			toks = append(toks, sqlTok{tokComma, ","})
+			i++
+		case c == '=':
+			toks = append(toks, sqlTok{tokEquals, "="})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < n && src[j] != quote {
+				j++
+			}
+			toks = append(toks, sqlTok{tokString, src[i+1 : min(j, n)]})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, sqlTok{tokNumber, src[i:j]})
+			i = j
+		default:
+			if isIdentRune(rune(c)) {
+				j := i
+				for j < n && (isIdentRune(rune(src[j])) || src[j] == '.') {
+					j++
+				}
+				toks = append(toks, sqlTok{tokWord, src[i:j]})
+				i = j
+			} else {
+				// Skip unknown bytes rather than failing the lexer; the
+				// parser reports a useful error on the resulting stream.
+				i++
+			}
+		}
+	}
+	toks = append(toks, sqlTok{tokEOF, ""})
+	return toks
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type sqlParser struct {
+	toks []sqlTok
+	pos  int
+}
+
+func (p *sqlParser) peek() sqlTok { return p.toks[p.pos] }
+
+func (p *sqlParser) next() sqlTok {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokWord || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sqlview: expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) parse() (*BaseExpr, error) {
+	b := &BaseExpr{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	// Select list.
+	if p.peek().kind == tokStar {
+		p.next()
+		b.SelectAll = true
+	} else {
+		for {
+			t := p.next()
+			if t.kind != tokWord {
+				return nil, fmt.Errorf("sqlview: expected column in select list, got %q", t.text)
+			}
+			q, ok := relational.ParseQualifiedColumn(t.text)
+			if !ok {
+				return nil, fmt.Errorf("sqlview: select list column %q must be table.column", t.text)
+			}
+			b.Select = append(b.Select, q)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokWord {
+			return nil, fmt.Errorf("sqlview: expected table name, got %q", t.text)
+		}
+		if strings.Contains(t.text, ".") {
+			return nil, fmt.Errorf("sqlview: table name %q must not be qualified", t.text)
+		}
+		b.From = append(b.From, t.text)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().kind == tokEOF {
+		return b, validateBase(b)
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseCondition(b); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind == tokWord && strings.EqualFold(t.text, "AND") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlview: trailing input at %q", t.text)
+	}
+	return b, validateBase(b)
+}
+
+func (p *sqlParser) parseCondition(b *BaseExpr) error {
+	lt := p.next()
+	if lt.kind != tokWord {
+		return fmt.Errorf("sqlview: expected column on left of condition, got %q", lt.text)
+	}
+	left, ok := relational.ParseQualifiedColumn(lt.text)
+	if !ok {
+		return fmt.Errorf("sqlview: condition column %q must be table.column", lt.text)
+	}
+	if t := p.next(); t.kind != tokEquals {
+		return fmt.Errorf("sqlview: expected = after %s, got %q", left, t.text)
+	}
+	rt := p.next()
+	switch rt.kind {
+	case tokWord:
+		right, ok := relational.ParseQualifiedColumn(rt.text)
+		if !ok {
+			return fmt.Errorf("sqlview: right side %q must be table.column, \"$param\", or a literal", rt.text)
+		}
+		b.Joins = append(b.Joins, relational.EquiJoinSpec{Left: left, Right: right})
+	case tokString:
+		if strings.HasPrefix(rt.text, "$") {
+			name := rt.text[1:]
+			if name == "" {
+				return fmt.Errorf("sqlview: empty parameter name in condition on %s", left)
+			}
+			b.Binds = append(b.Binds, Bind{Col: left, Param: name})
+		} else {
+			b.Binds = append(b.Binds, Bind{Col: left, Literal: relational.String(rt.text)})
+		}
+	case tokNumber:
+		if strings.Contains(rt.text, ".") {
+			f, err := strconv.ParseFloat(rt.text, 64)
+			if err != nil {
+				return fmt.Errorf("sqlview: bad number %q", rt.text)
+			}
+			b.Binds = append(b.Binds, Bind{Col: left, Literal: relational.Float(f)})
+		} else {
+			n, err := strconv.ParseInt(rt.text, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sqlview: bad number %q", rt.text)
+			}
+			b.Binds = append(b.Binds, Bind{Col: left, Literal: relational.Int(n)})
+		}
+	default:
+		return fmt.Errorf("sqlview: unexpected %q on right side of condition", rt.text)
+	}
+	return nil
+}
+
+// validateBase checks that every referenced table appears in FROM.
+func validateBase(b *BaseExpr) error {
+	inFrom := make(map[string]bool, len(b.From))
+	for _, t := range b.From {
+		if inFrom[t] {
+			return fmt.Errorf("sqlview: table %q listed twice in FROM", t)
+		}
+		inFrom[t] = true
+	}
+	check := func(q relational.QualifiedColumn) error {
+		if !inFrom[q.Table] {
+			return fmt.Errorf("sqlview: column %s references table not in FROM", q)
+		}
+		return nil
+	}
+	for _, c := range b.Select {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	for _, j := range b.Joins {
+		if err := check(j.Left); err != nil {
+			return err
+		}
+		if err := check(j.Right); err != nil {
+			return err
+		}
+	}
+	for _, bd := range b.Binds {
+		if err := check(bd.Col); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package sqlview
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Property: Template.Source round-trips through the parser — parsing the
+// reconstructed source yields a template that renders identically.
+func TestTemplateSourceRoundTrip(t *testing.T) {
+	sources := []string{
+		castTemplate,
+		`<a></a>`,
+		`<a b="c" d="e">text</a>`,
+		`<profile name="$x"><title>$movie.title</title><year>$movie.year</year></profile>`,
+		`<outer><foreach:tuple><inner>$person.name</inner> and more</foreach:tuple>tail</outer>`,
+		`<a><b/><c>x</c></a>`,
+	}
+	for _, src := range sources {
+		tpl, err := ParseTemplate(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		re, err := ParseTemplate(tpl.Source())
+		if err != nil {
+			t.Fatalf("reparse of Source() %q: %v", tpl.Source(), err)
+		}
+		params := map[string]string{"x": "VALUE"}
+		a := tpl.Render(nil, nil, params)
+		b := re.Render(nil, nil, params)
+		if a.XML != b.XML || a.Text != b.Text {
+			t.Errorf("round trip changed rendering for %q:\n%q\n%q", src, a.XML, b.XML)
+		}
+	}
+}
+
+// Property: the base-expression printer and parser are mutually inverse
+// on randomly generated expressions.
+func TestBaseExprRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	tables := []string{"alpha", "beta", "gamma", "delta"}
+	cols := []string{"id", "name", "ref"}
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(3)
+		from := append([]string(nil), tables[:n]...)
+		var conds []string
+		for j := 1; j < n; j++ {
+			conds = append(conds, from[j]+"."+cols[r.Intn(len(cols))]+" = "+from[j-1]+"."+cols[r.Intn(len(cols))])
+		}
+		switch r.Intn(3) {
+		case 0:
+			conds = append(conds, from[0]+".name = \"$x\"")
+		case 1:
+			conds = append(conds, from[0]+".id = 42")
+		}
+		src := "SELECT * FROM " + strings.Join(from, ", ")
+		if len(conds) > 0 {
+			src += " WHERE " + strings.Join(conds, " AND ")
+		}
+		b, err := ParseBase(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		again, err := ParseBase(b.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", b.String(), err)
+		}
+		if again.String() != b.String() {
+			t.Fatalf("not a fixed point:\n%s\n%s", b.String(), again.String())
+		}
+	}
+}
+
+// Robustness: the template parser never panics on arbitrary input.
+func TestTemplateParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	alphabet := []byte(`<>/"= abfx$.`)
+	for i := 0; i < 3000; i++ {
+		n := r.Intn(30)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		// Must not panic; errors are fine.
+		_, _ = ParseTemplate(string(buf))
+		_, _ = ParseBase(string(buf))
+	}
+}
+
+// Robustness: rendering with hostile parameter values never panics and
+// never leaks template syntax.
+func TestRenderHostileParams(t *testing.T) {
+	tpl := MustParseTemplate(`<a name="$x">$x</a>`)
+	for _, v := range []string{"", `"><script>`, "$y", "a$b.c", strings.Repeat("x", 10000)} {
+		out := tpl.Render(nil, nil, map[string]string{"x": v})
+		if out.XML == "" {
+			t.Errorf("empty render for %q", v[:min(len(v), 20)])
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package sqlview
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/relational"
+)
+
+func testDB(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase("t")
+	db.MustCreateTable(relational.MustTableSchema("person", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "name", Kind: relational.KindString, Label: true},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("movie", []relational.Column{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "title", Kind: relational.KindString, Label: true},
+		{Name: "year", Kind: relational.KindInt},
+	}, "id", nil))
+	db.MustCreateTable(relational.MustTableSchema("cast", []relational.Column{
+		{Name: "person_id", Kind: relational.KindInt},
+		{Name: "movie_id", Kind: relational.KindInt},
+		{Name: "role", Kind: relational.KindString},
+	}, "", []relational.ForeignKey{
+		{Column: "person_id", RefTable: "person"},
+		{Column: "movie_id", RefTable: "movie"},
+	}))
+	p := db.Table("person")
+	p.MustInsert(relational.Row{relational.Int(1), relational.String("Mark Hamill")})
+	p.MustInsert(relational.Row{relational.Int(2), relational.String("Carrie Fisher")})
+	p.MustInsert(relational.Row{relational.Int(3), relational.String("George Clooney")})
+	m := db.Table("movie")
+	m.MustInsert(relational.Row{relational.Int(1), relational.String("star wars"), relational.Int(1977)})
+	m.MustInsert(relational.Row{relational.Int(2), relational.String("ocean's eleven"), relational.Int(2001)})
+	c := db.Table("cast")
+	c.MustInsert(relational.Row{relational.Int(1), relational.Int(1), relational.String("luke")})
+	c.MustInsert(relational.Row{relational.Int(2), relational.Int(1), relational.String("leia")})
+	c.MustInsert(relational.Row{relational.Int(3), relational.Int(2), relational.String("danny ocean")})
+	return db
+}
+
+const castBase = `SELECT * FROM person, cast, movie
+WHERE cast.movie_id = movie.id AND
+cast.person_id = person.id AND
+movie.title = "$x"`
+
+const castTemplate = `<cast movie="$x">
+<foreach:tuple>
+<person>$person.name</person>
+</foreach:tuple>
+</cast>`
+
+func TestParseBasePaperExample(t *testing.T) {
+	b, err := ParseBase(castBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.SelectAll {
+		t.Error("SelectAll false")
+	}
+	if len(b.From) != 3 || b.From[0] != "person" || b.From[2] != "movie" {
+		t.Errorf("From = %v", b.From)
+	}
+	if len(b.Joins) != 2 {
+		t.Errorf("Joins = %v", b.Joins)
+	}
+	if len(b.Binds) != 1 || b.Binds[0].Param != "x" || b.Binds[0].Col.String() != "movie.title" {
+		t.Errorf("Binds = %v", b.Binds)
+	}
+	if got := b.Params(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Params = %v", got)
+	}
+}
+
+func TestParseBaseRoundTrip(t *testing.T) {
+	b := MustParseBase(castBase)
+	again, err := ParseBase(b.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", b.String(), err)
+	}
+	if again.String() != b.String() {
+		t.Errorf("round trip differs:\n%s\n%s", b.String(), again.String())
+	}
+}
+
+func TestParseBaseSelectList(t *testing.T) {
+	b, err := ParseBase(`SELECT person.name, movie.title FROM person, cast, movie WHERE cast.person_id = person.id AND cast.movie_id = movie.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SelectAll || len(b.Select) != 2 {
+		t.Errorf("Select = %v", b.Select)
+	}
+	if !strings.Contains(b.String(), "person.name, movie.title") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestParseBaseLiterals(t *testing.T) {
+	b, err := ParseBase(`SELECT * FROM movie WHERE movie.year = 1977 AND movie.title = "star wars"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Binds) != 2 {
+		t.Fatalf("Binds = %v", b.Binds)
+	}
+	if b.Binds[0].Literal.AsInt() != 1977 {
+		t.Errorf("int literal = %v", b.Binds[0].Literal)
+	}
+	if b.Binds[1].Literal.AsString() != "star wars" {
+		t.Errorf("string literal = %v", b.Binds[1].Literal)
+	}
+	// Float literal.
+	f, err := ParseBase(`SELECT * FROM movie WHERE movie.year = 7.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Binds[0].Literal.AsFloat() != 7.5 {
+		t.Errorf("float literal = %v", f.Binds[0].Literal)
+	}
+}
+
+func TestParseBaseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM person",
+		"SELECT",
+		"SELECT * WHERE x.y = 1",
+		"SELECT * FROM",
+		"SELECT * FROM person WHERE",
+		"SELECT * FROM person WHERE name = 1",    // unqualified column
+		"SELECT * FROM person WHERE person.name", // missing =
+		"SELECT * FROM person WHERE person.name = ",       // missing rhs
+		"SELECT * FROM person WHERE movie.title = \"$x\"", // table not in FROM
+		"SELECT movie.title FROM person",                  // select references missing table
+		"SELECT * FROM person, person",                    // duplicate table
+		"SELECT * FROM person extra garbage",
+		`SELECT * FROM person WHERE person.name = "$"`, // empty param
+		"SELECT * FROM person.name",                    // qualified table
+	}
+	for _, src := range bad {
+		if _, err := ParseBase(src); err == nil {
+			t.Errorf("ParseBase(%q) accepted", src)
+		}
+	}
+}
+
+func TestMustParseBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustParseBase("garbage")
+}
+
+func TestEvalPaperExample(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(castBase)
+	res, err := b.Eval(db, map[string]string{"x": "star wars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (luke, leia)", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		v, _ := r.Get(res.Schema, relational.QualifiedColumn{Table: "person", Column: "name"})
+		names[v.AsString()] = true
+	}
+	if !names["Mark Hamill"] || !names["Carrie Fisher"] {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestEvalCaseInsensitiveBind(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(`SELECT * FROM person WHERE person.name = "$x"`)
+	res, err := b.Eval(db, map[string]string{"x": "george clooney"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d; case-insensitive match failed", len(res.Rows))
+	}
+}
+
+func TestEvalNumericCoercionBind(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(`SELECT * FROM movie WHERE movie.year = "$y"`)
+	res, err := b.Eval(db, map[string]string{"y": "1977"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d; string→int bind failed", len(res.Rows))
+	}
+}
+
+func TestEvalMissingParam(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(castBase)
+	if _, err := b.Eval(db, nil); err == nil {
+		t.Error("missing parameter accepted")
+	}
+}
+
+func TestEvalReordersFrom(t *testing.T) {
+	db := testDB(t)
+	// movie listed before cast: join order must be fixed automatically.
+	b := MustParseBase(`SELECT * FROM person, movie, cast
+WHERE cast.movie_id = movie.id AND cast.person_id = person.id`)
+	res, err := b.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestEvalDisconnectedTables(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(`SELECT * FROM person, movie`)
+	if _, err := b.Eval(db, nil); err == nil {
+		t.Error("disconnected FROM accepted")
+	}
+}
+
+func TestParseTemplatePaperExample(t *testing.T) {
+	tpl, err := ParseTemplate(castTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Root.Tag != "cast" {
+		t.Errorf("root = %q", tpl.Root.Tag)
+	}
+	if len(tpl.Root.Attrs) != 1 || tpl.Root.Attrs[0].Name != "movie" {
+		t.Errorf("attrs = %v", tpl.Root.Attrs)
+	}
+	var foreach *Node
+	for _, c := range tpl.Root.Children {
+		if c.Kind == NodeForeach {
+			foreach = c
+		}
+	}
+	if foreach == nil {
+		t.Fatal("no foreach:tuple node")
+	}
+}
+
+func TestParseTemplateErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"just text",
+		"<a><b></a></b>",
+		"<a>",
+		"</a>",
+		"<a b=c></a>",
+		`<a b="unterminated></a>`,
+		"<a><b></b></a><c></c>", // two roots
+		"<>x</>",
+		`<a b></a>`,
+	}
+	for _, src := range bad {
+		if _, err := ParseTemplate(src); err == nil {
+			t.Errorf("ParseTemplate(%q) accepted", src)
+		}
+	}
+}
+
+func TestMustParseTemplatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustParseTemplate("<unclosed>")
+}
+
+func TestRenderPaperExample(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(castBase)
+	params := map[string]string{"x": "star wars"}
+	res, err := b.Eval(db, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := MustParseTemplate(castTemplate)
+	out := tpl.Render(res.Schema, res.Rows, params)
+	for _, want := range []string{`<cast movie="star wars">`, "<person>Mark Hamill</person>", "<person>Carrie Fisher</person>", "</cast>"} {
+		if !strings.Contains(out.XML, want) {
+			t.Errorf("XML missing %q:\n%s", want, out.XML)
+		}
+	}
+	for _, want := range []string{"star wars", "Mark Hamill", "Carrie Fisher"} {
+		if !strings.Contains(out.Text, want) {
+			t.Errorf("Text missing %q: %q", want, out.Text)
+		}
+	}
+}
+
+func TestRenderEmptyResult(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(castBase)
+	params := map[string]string{"x": "no such movie"}
+	res, err := b.Eval(db, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("expected empty result")
+	}
+	tpl := MustParseTemplate(castTemplate)
+	out := tpl.Render(res.Schema, res.Rows, params)
+	if !strings.Contains(out.XML, `<cast movie="no such movie">`) {
+		t.Errorf("XML = %q", out.XML)
+	}
+	if strings.Contains(out.XML, "<person>") {
+		t.Error("foreach emitted tuples for empty result")
+	}
+}
+
+func TestRenderOutsideForeachUsesFirstRow(t *testing.T) {
+	db := testDB(t)
+	b := MustParseBase(`SELECT * FROM movie WHERE movie.title = "$x"`)
+	params := map[string]string{"x": "star wars"}
+	res, _ := b.Eval(db, params)
+	tpl := MustParseTemplate(`<movie><title>$movie.title</title><year>$movie.year</year></movie>`)
+	out := tpl.Render(res.Schema, res.Rows, params)
+	if !strings.Contains(out.XML, "<year>1977</year>") {
+		t.Errorf("XML = %q", out.XML)
+	}
+}
+
+func TestSubstituteEdgeCases(t *testing.T) {
+	// Unknown refs vanish; lone dollar survives; dollar at end survives.
+	got := substitute("cost: $unknown and $ 5 and end$", nil, map[string]string{}, nil)
+	if got != "cost:  and $ 5 and end$" {
+		t.Errorf("substitute = %q", got)
+	}
+	got = substitute("$a.b.c", nil, map[string]string{}, nil)
+	// $a.b consumed as table.column (empty), then ".c" remains.
+	if !strings.HasSuffix(got, ".c") {
+		t.Errorf("substitute = %q", got)
+	}
+}
+
+func TestSelfClosingTag(t *testing.T) {
+	tpl, err := ParseTemplate(`<profile><br/><name>$x</name></profile>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tpl.Render(nil, nil, map[string]string{"x": "abc"})
+	if !strings.Contains(out.XML, "<br></br>") && !strings.Contains(out.XML, "<br/>") {
+		t.Errorf("self-closing rendered as %q", out.XML)
+	}
+	if !strings.Contains(out.XML, "<name>abc</name>") {
+		t.Errorf("XML = %q", out.XML)
+	}
+}

@@ -1,0 +1,197 @@
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseTemplate parses a conversion expression: a minimal XML dialect with
+// elements, attributes, text, $references, and the special
+// <foreach:tuple>…</foreach:tuple> loop that repeats its children once per
+// result tuple. A template must have exactly one root element.
+func ParseTemplate(src string) (*Template, error) {
+	p := &tmplParser{src: src}
+	nodes, err := p.parseNodes("")
+	if err != nil {
+		return nil, err
+	}
+	var root *Node
+	for _, n := range nodes {
+		if n.Kind == NodeText && strings.TrimSpace(n.Text) == "" {
+			continue
+		}
+		if root != nil {
+			return nil, fmt.Errorf("sqlview: template has more than one root node")
+		}
+		root = n
+	}
+	if root == nil {
+		return nil, fmt.Errorf("sqlview: empty template")
+	}
+	if root.Kind != NodeElement && root.Kind != NodeForeach {
+		return nil, fmt.Errorf("sqlview: template root must be an element")
+	}
+	return &Template{Root: root}, nil
+}
+
+// MustParseTemplate is ParseTemplate that panics on error.
+func MustParseTemplate(src string) *Template {
+	t, err := ParseTemplate(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type tmplParser struct {
+	src string
+	pos int
+}
+
+// parseNodes parses until </closeTag> (or end of input when closeTag is
+// empty).
+func (p *tmplParser) parseNodes(closeTag string) ([]*Node, error) {
+	var nodes []*Node
+	for p.pos < len(p.src) {
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sqlview: unterminated close tag at offset %d", p.pos)
+			}
+			name := strings.TrimSpace(p.src[p.pos+2 : p.pos+end])
+			if name != closeTag {
+				return nil, fmt.Errorf("sqlview: mismatched close tag </%s>, open tag was <%s>", name, closeTag)
+			}
+			p.pos += end + 1
+			return nodes, nil
+		}
+		if p.src[p.pos] == '<' {
+			n, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
+			continue
+		}
+		// Text run until next tag.
+		next := strings.IndexByte(p.src[p.pos:], '<')
+		var text string
+		if next < 0 {
+			text = p.src[p.pos:]
+			p.pos = len(p.src)
+		} else {
+			text = p.src[p.pos : p.pos+next]
+			p.pos += next
+		}
+		if text != "" {
+			nodes = append(nodes, &Node{Kind: NodeText, Text: text})
+		}
+	}
+	if closeTag != "" {
+		return nil, fmt.Errorf("sqlview: missing </%s>", closeTag)
+	}
+	return nodes, nil
+}
+
+func (p *tmplParser) parseElement() (*Node, error) {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return nil, fmt.Errorf("sqlview: unterminated tag at offset %d", p.pos)
+	}
+	inner := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	selfClosing := strings.HasSuffix(inner, "/")
+	if selfClosing {
+		inner = strings.TrimSuffix(inner, "/")
+	}
+	name, attrs, err := parseTagBody(inner)
+	if err != nil {
+		return nil, err
+	}
+	kind := NodeElement
+	if name == "foreach:tuple" {
+		kind = NodeForeach
+	}
+	n := &Node{Kind: kind, Tag: name, Attrs: attrs}
+	if selfClosing {
+		return n, nil
+	}
+	children, err := p.parseNodes(name)
+	if err != nil {
+		return nil, err
+	}
+	n.Children = children
+	return n, nil
+}
+
+func parseTagBody(s string) (string, []Attr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", nil, fmt.Errorf("sqlview: empty tag")
+	}
+	// Tag name runs until whitespace.
+	nameEnd := strings.IndexAny(s, " \t\n\r")
+	if nameEnd < 0 {
+		return s, nil, nil
+	}
+	name := s[:nameEnd]
+	rest := strings.TrimSpace(s[nameEnd:])
+	var attrs []Attr
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("sqlview: malformed attribute in <%s>", name)
+		}
+		aname := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) < 2 || rest[0] != '"' {
+			return "", nil, fmt.Errorf("sqlview: attribute %s in <%s> must be double-quoted", aname, name)
+		}
+		close := strings.IndexByte(rest[1:], '"')
+		if close < 0 {
+			return "", nil, fmt.Errorf("sqlview: unterminated attribute value in <%s>", name)
+		}
+		attrs = append(attrs, Attr{Name: aname, Value: rest[1 : 1+close]})
+		rest = strings.TrimSpace(rest[close+2:])
+	}
+	return name, attrs, nil
+}
+
+// tagString renders a node's open tag with substituted attributes.
+func tagString(n *Node, sub func(string) string) string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		fmt.Fprintf(&b, " %s=%q", a.Name, sub(a.Value))
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Source reconstructs the template's markup; ParseTemplate(t.Source()) is
+// equivalent to t. Catalog persistence round-trips templates through this
+// form.
+func (t *Template) Source() string {
+	var b strings.Builder
+	writeNodeSource(&b, t.Root)
+	return b.String()
+}
+
+func writeNodeSource(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case NodeText:
+		b.WriteString(n.Text)
+	case NodeForeach, NodeElement:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			fmt.Fprintf(b, " %s=%q", a.Name, a.Value)
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			writeNodeSource(b, c)
+		}
+		b.WriteString("</" + n.Tag + ">")
+	}
+}

@@ -1,0 +1,140 @@
+package xtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/ir"
+)
+
+// bruteLCA computes the LCA by materializing ancestor sets.
+func bruteLCA(t *Tree, a, b int) int {
+	anc := map[int]bool{}
+	for v := a; v != -1; v = t.Parent(v) {
+		anc[v] = true
+	}
+	for v := b; v != -1; v = t.Parent(v) {
+		if anc[v] {
+			return v
+		}
+	}
+	return 0
+}
+
+func TestLCAMatchesBruteForce(t *testing.T) {
+	_, tree := testTree(t)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		a := r.Intn(tree.Len())
+		b := r.Intn(tree.Len())
+		if got, want := tree.LCA(a, b), bruteLCA(tree, a, b); got != want {
+			t.Fatalf("LCA(%d,%d) = %d, brute force = %d", a, b, got, want)
+		}
+	}
+}
+
+// bruteSLCA computes smallest LCAs by direct definition: nodes whose
+// subtree covers all keywords and no child of which also covers all.
+func bruteSLCA(t *Tree, sets [][]int) map[int]bool {
+	covers := make([]map[int]bool, len(sets))
+	for i, set := range sets {
+		covers[i] = map[int]bool{}
+		for _, n := range set {
+			for v := n; v != -1; v = t.Parent(v) {
+				covers[i][v] = true
+			}
+		}
+	}
+	all := map[int]bool{}
+	for v := 0; v < t.Len(); v++ {
+		ok := true
+		for i := range sets {
+			if !covers[i][v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			all[v] = true
+		}
+	}
+	smallest := map[int]bool{}
+	for v := range all {
+		hasCoveringChild := false
+		for _, c := range t.Children(v) {
+			if all[c] {
+				hasCoveringChild = true
+				break
+			}
+		}
+		if !hasCoveringChild {
+			smallest[v] = true
+		}
+	}
+	return smallest
+}
+
+func TestSearchLCAMatchesBruteForce(t *testing.T) {
+	_, tree := testTree(t)
+	queries := []string{
+		"star wars cast",
+		"george clooney",
+		"batman genre",
+		"clooney wars",
+		"drama",
+	}
+	for _, q := range queries {
+		var sets [][]int
+		for _, tok := range ir.ContentTokens(q) {
+			if nodes := tree.Match(tok); len(nodes) > 0 {
+				sets = append(sets, nodes)
+			}
+		}
+		if len(sets) == 0 {
+			continue
+		}
+		want := bruteSLCA(tree, sets)
+		got := tree.SearchLCA(q, 0)
+		if len(got) != len(want) {
+			t.Fatalf("%q: SearchLCA found %d roots, brute force %d", q, len(got), len(want))
+		}
+		for _, res := range got {
+			if !want[res.Root] {
+				t.Fatalf("%q: root %d not a brute-force SLCA", q, res.Root)
+			}
+		}
+	}
+	_ = imdb.TableMovie
+}
+
+// Property: every MLCA result root is also an ancestor-or-equal of some
+// SLCA root — meaningfulness only prunes or deepens, never invents
+// unrelated roots covering fewer keywords.
+func TestMLCARootsCoverAllKeywords(t *testing.T) {
+	_, tree := testTree(t)
+	for _, q := range []string{"star wars cast", "george clooney batman", "drama clooney"} {
+		var sets [][]int
+		for _, tok := range ir.ContentTokens(q) {
+			if nodes := tree.Match(tok); len(nodes) > 0 {
+				sets = append(sets, nodes)
+			}
+		}
+		if len(sets) < 2 {
+			continue
+		}
+		covers := bruteSLCA(tree, sets)
+		// Build the full covering set (not just smallest).
+		allCover := map[int]bool{}
+		for v := range covers {
+			for x := v; x != -1; x = tree.Parent(x) {
+				allCover[x] = true
+			}
+		}
+		for _, res := range tree.SearchMLCA(q, 0) {
+			if !allCover[res.Root] {
+				t.Errorf("%q: MLCA root %d does not cover all keywords", q, res.Root)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package xtree
+
+import (
+	"qunits/internal/relational"
+)
+
+// Result is one keyword-search answer: the subtree rooted at Root.
+type Result struct {
+	// Root is the LCA node demarcating the result.
+	Root int
+	// Tuples is the provenance of the returned subtree.
+	Tuples []relational.TupleRef
+	// Text is the flat rendering of the subtree.
+	Text string
+	// Score ranks results (higher is better): specificity first.
+	Score float64
+}
+
+func (t *Tree) makeResult(root int) Result {
+	return Result{
+		Root:   root,
+		Tuples: t.SubtreeTuples(root),
+		Text:   t.SubtreeText(root),
+		// Deeper roots are more specific; among equal depths, smaller
+		// subtrees are tighter answers.
+		Score: float64(t.depth[root]) + 1/float64(1+t.subSize[root]),
+	}
+}
+
+// SearchLCA is the smallest-LCA baseline: return the deepest nodes whose
+// subtrees cover every query keyword, most specific first. Tokens that
+// match nothing are dropped; a query with no matches returns nil.
+func (t *Tree) SearchLCA(query string, k int) []Result {
+	sets := t.matchSets(query)
+	if len(sets) == 0 {
+		return nil
+	}
+	full := uint32(1)<<uint(len(sets)) - 1
+
+	// Propagate keyword masks to ancestors.
+	mask := make(map[int]uint32)
+	for i, set := range sets {
+		bit := uint32(1) << uint(i)
+		for _, n := range set {
+			for v := n; v != -1; v = t.parent[v] {
+				if mask[v]&bit != 0 {
+					break // this ancestor chain already has the bit
+				}
+				mask[v] |= bit
+			}
+		}
+	}
+	// Candidates: nodes covering all keywords...
+	var candidates []int
+	for v, m := range mask {
+		if m == full {
+			candidates = append(candidates, v)
+		}
+	}
+	// ...that have no child also covering all keywords (smallest LCAs).
+	isCand := make(map[int]bool, len(candidates))
+	for _, v := range candidates {
+		isCand[v] = true
+	}
+	var results []Result
+	for _, v := range candidates {
+		smallest := true
+		for _, c := range t.children[v] {
+			if isCand[c] {
+				smallest = false
+				break
+			}
+		}
+		if smallest {
+			results = append(results, t.makeResult(v))
+		}
+	}
+	sortResults(results)
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// SearchMLCA is the meaningful-LCA baseline. For each instance of the
+// rarest keyword, it pairs the instance with the nearest instance of
+// every other keyword (the deepest pairwise LCA) and checks
+// meaningfulness: no same-typed competitor may relate more closely. LCAs
+// failing the check — the ones that merely happen to contain unrelated
+// matches — are discarded, which is MLCA's improvement over plain LCA.
+func (t *Tree) SearchMLCA(query string, k int) []Result {
+	sets := t.matchSets(query)
+	if len(sets) == 0 {
+		return nil
+	}
+	if len(sets) == 1 {
+		// Degenerate case: identical to LCA.
+		return t.SearchLCA(query, k)
+	}
+	// Pivot on the rarest keyword.
+	pivot := 0
+	for i, s := range sets {
+		if len(s) < len(sets[pivot]) {
+			pivot = i
+		}
+	}
+
+	seenRoot := map[int]bool{}
+	var results []Result
+	for _, x := range sets[pivot] {
+		root := x
+		meaningful := true
+		for j, set := range sets {
+			if j == pivot {
+				continue
+			}
+			y, l := t.nearest(x, set)
+			if y < 0 {
+				meaningful = false
+				break
+			}
+			// Symmetric check: x must also be (one of) the nearest
+			// pivot-typed nodes to y. If some same-typed x' relates to y
+			// strictly more closely, the pair (x, y) conflates unrelated
+			// content and is not meaningful.
+			if better, lx := t.nearestTyped(y, sets[pivot], t.tags[x]); better >= 0 && t.depth[lx] > t.depth[l] {
+				meaningful = false
+				break
+			}
+			if t.depth[l] < t.depth[root] {
+				root = l
+			} else {
+				root = t.LCA(root, l)
+			}
+		}
+		if !meaningful {
+			continue
+		}
+		if seenRoot[root] {
+			continue
+		}
+		seenRoot[root] = true
+		results = append(results, t.makeResult(root))
+	}
+	sortResults(results)
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// nearest returns the node in set whose LCA with x is deepest, along with
+// that LCA. Ties break toward the smaller node id.
+func (t *Tree) nearest(x int, set []int) (node, lca int) {
+	best, bestLCA, bestDepth := -1, -1, -1
+	for _, y := range set {
+		l := t.LCA(x, y)
+		if d := t.depth[l]; d > bestDepth {
+			best, bestLCA, bestDepth = y, l, d
+		}
+	}
+	return best, bestLCA
+}
+
+// nearestTyped returns the node in set with the given tag whose LCA with
+// x is deepest.
+func (t *Tree) nearestTyped(x int, set []int, tag string) (node, lca int) {
+	best, bestLCA, bestDepth := -1, -1, -1
+	for _, y := range set {
+		if t.tags[y] != tag {
+			continue
+		}
+		l := t.LCA(x, y)
+		if d := t.depth[l]; d > bestDepth {
+			best, bestLCA, bestDepth = y, l, d
+		}
+	}
+	return best, bestLCA
+}

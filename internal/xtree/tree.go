@@ -1,0 +1,243 @@
+// Package xtree provides the XML-tree view of a database and the two
+// tree-based keyword-search baselines the paper evaluates against:
+//
+//   - LCA: smallest-LCA keyword search in the style of XRANK (Guo et al.,
+//     SIGMOD 2003) — return the deepest elements whose subtree covers all
+//     keywords.
+//   - MLCA: meaningful LCA in the style of Schema-Free XQuery (Li, Yu &
+//     Jagadish, VLDB 2004) — additionally require that each keyword node
+//     pairs with the *nearest* instance of the other keyword's type, so
+//     an LCA is "unique to the combination of queried nodes that connect
+//     to it".
+//
+// The paper obtained its XML by converting a crawl of imdb.com; Build
+// plays that role by rendering the relational database into a hierarchy
+// of entity pages.
+package xtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// Tree is an immutable document tree. Node 0 is the root.
+type Tree struct {
+	tags     []string
+	texts    []string
+	parent   []int
+	children [][]int
+	depth    []int
+	refs     []relational.TupleRef // provenance; Table=="" means none
+	subSize  []int
+	posting  map[string][]int
+}
+
+// builder-side append; subSize fixed up by finish().
+func (t *Tree) addNode(parent int, tag, text string, ref relational.TupleRef) int {
+	id := len(t.tags)
+	t.tags = append(t.tags, tag)
+	t.texts = append(t.texts, text)
+	t.parent = append(t.parent, parent)
+	t.children = append(t.children, nil)
+	t.refs = append(t.refs, ref)
+	if parent >= 0 {
+		t.depth = append(t.depth, t.depth[parent]+1)
+		t.children[parent] = append(t.children[parent], id)
+	} else {
+		t.depth = append(t.depth, 0)
+	}
+	return id
+}
+
+func (t *Tree) finish() {
+	n := len(t.tags)
+	t.subSize = make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		t.subSize[i] = 1
+		for _, c := range t.children[i] {
+			t.subSize[i] += t.subSize[c]
+		}
+	}
+	t.posting = make(map[string][]int)
+	for i := 0; i < n; i++ {
+		seen := map[string]bool{}
+		// Text tokens match the node itself.
+		for _, tok := range ir.Tokenize(t.texts[i]) {
+			if !seen[tok] {
+				seen[tok] = true
+				t.posting[tok] = append(t.posting[tok], i)
+			}
+		}
+		// Tag tokens (and naive plural/singular variants) match the
+		// element, so "movies" finds <movie> elements.
+		for _, tok := range tagForms(t.tags[i]) {
+			if !seen[tok] {
+				seen[tok] = true
+				t.posting[tok] = append(t.posting[tok], i)
+			}
+		}
+	}
+}
+
+func tagForms(tag string) []string {
+	var out []string
+	for _, tok := range ir.Tokenize(strings.ReplaceAll(tag, "_", " ")) {
+		out = append(out, tok)
+		if strings.HasSuffix(tok, "s") {
+			out = append(out, strings.TrimSuffix(tok, "s"))
+		} else {
+			out = append(out, tok+"s")
+		}
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.tags) }
+
+// Tag returns a node's element name.
+func (t *Tree) Tag(n int) string { return t.tags[n] }
+
+// Text returns a node's own text content.
+func (t *Tree) Text(n int) string { return t.texts[n] }
+
+// Parent returns a node's parent, -1 for the root.
+func (t *Tree) Parent(n int) int { return t.parent[n] }
+
+// Children returns a node's children (shared slice; do not mutate).
+func (t *Tree) Children(n int) []int { return t.children[n] }
+
+// Depth returns a node's depth; the root has depth 0.
+func (t *Tree) Depth(n int) int { return t.depth[n] }
+
+// Ref returns the tuple a node was rendered from; ok is false for
+// structural nodes.
+func (t *Tree) Ref(n int) (relational.TupleRef, bool) {
+	r := t.refs[n]
+	return r, r.Table != ""
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at n.
+func (t *Tree) SubtreeSize(n int) int { return t.subSize[n] }
+
+// Match returns the nodes matching a token (by text or tag), sorted.
+func (t *Tree) Match(token string) []int {
+	return t.posting[token]
+}
+
+// LCA returns the lowest common ancestor of two nodes.
+func (t *Tree) LCA(a, b int) int {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return a
+}
+
+// IsAncestor reports whether a is an ancestor of b (or equal).
+func (t *Tree) IsAncestor(a, b int) bool {
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	return a == b
+}
+
+// SubtreeTuples returns the distinct provenance tuples in the subtree at
+// n, in document order.
+func (t *Tree) SubtreeTuples(n int) []relational.TupleRef {
+	var out []relational.TupleRef
+	seen := map[relational.TupleRef]bool{}
+	var walk func(int)
+	walk = func(v int) {
+		if r, ok := t.Ref(v); ok && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+		for _, c := range t.children[v] {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// SubtreeText renders the subtree at n as flat text: every node's own
+// text in document order.
+func (t *Tree) SubtreeText(n int) string {
+	var parts []string
+	var walk func(int)
+	walk = func(v int) {
+		if t.texts[v] != "" {
+			parts = append(parts, t.texts[v])
+		}
+		for _, c := range t.children[v] {
+			walk(c)
+		}
+	}
+	walk(n)
+	return strings.Join(parts, " ")
+}
+
+// SubtreeXML serializes the subtree at n as indented XML — the form the
+// paper's LCA/MLCA baselines present results in.
+func (t *Tree) SubtreeXML(n int) string {
+	var b strings.Builder
+	var walk func(v, depth int)
+	walk = func(v, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if len(t.children[v]) == 0 {
+			fmt.Fprintf(&b, "%s<%s>%s</%s>\n", indent, t.tags[v], xmlEscape(t.texts[v]), t.tags[v])
+			return
+		}
+		fmt.Fprintf(&b, "%s<%s>", indent, t.tags[v])
+		if t.texts[v] != "" {
+			b.WriteString(xmlEscape(t.texts[v]))
+		}
+		b.WriteByte('\n')
+		for _, c := range t.children[v] {
+			walk(c, depth+1)
+		}
+		fmt.Fprintf(&b, "%s</%s>\n", indent, t.tags[v])
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// matchSets resolves query tokens to node sets, dropping stopwords and
+// unmatched tokens. It returns nil when nothing matches.
+func (t *Tree) matchSets(query string) [][]int {
+	var sets [][]int
+	for _, tok := range ir.ContentTokens(query) {
+		if nodes := t.posting[tok]; len(nodes) > 0 {
+			sets = append(sets, nodes)
+		}
+	}
+	return sets
+}
+
+// sortResults orders results by score descending with deterministic ties.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Root < rs[j].Root
+	})
+}

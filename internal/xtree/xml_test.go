@@ -1,0 +1,47 @@
+package xtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubtreeXML(t *testing.T) {
+	u, tree := testTree(t)
+	sw, _ := u.FindMovie("star wars")
+	var elem = -1
+	for _, c := range tree.Children(0) {
+		if ref, ok := tree.Ref(c); ok && ref.Table == "movie" && ref.Row == sw.Row {
+			elem = c
+			break
+		}
+	}
+	if elem < 0 {
+		t.Fatal("no star wars element")
+	}
+	xml := tree.SubtreeXML(elem)
+	for _, want := range []string{"<movie>", "</movie>", "<title>star wars</title>", "<cast>"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML missing %q:\n%s", want, xml[:min(400, len(xml))])
+		}
+	}
+	// Well-formedness smoke check: equal open and close tag counts.
+	if strings.Count(xml, "<movie>") != strings.Count(xml, "</movie>") {
+		t.Error("unbalanced movie tags")
+	}
+	if strings.Count(xml, "<cast>") != strings.Count(xml, "</cast>") {
+		t.Error("unbalanced cast tags")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a < b & c > d`); got != "a &lt; b &amp; c &gt; d" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package xtree
+
+import (
+	"strings"
+	"testing"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+func testTree(t *testing.T) (*imdb.Universe, *Tree) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 100, Movies: 60, CastPerMovie: 4})
+	tree := Build(u.DB, BuildOptions{EntityTables: []string{imdb.TablePerson, imdb.TableMovie}})
+	return u, tree
+}
+
+func TestBuildShape(t *testing.T) {
+	u, tree := testTree(t)
+	if tree.Len() < u.DB.Table(imdb.TablePerson).Len()+u.DB.Table(imdb.TableMovie).Len() {
+		t.Fatal("tree too small")
+	}
+	// Root has one child per entity row.
+	wantTop := u.DB.Table(imdb.TablePerson).Len() + u.DB.Table(imdb.TableMovie).Len()
+	if got := len(tree.Children(0)); got != wantTop {
+		t.Fatalf("root children = %d, want %d", got, wantTop)
+	}
+	if tree.Depth(0) != 0 || tree.Parent(0) != -1 {
+		t.Error("root malformed")
+	}
+	for _, c := range tree.Children(0) {
+		if tree.Depth(c) != 1 {
+			t.Fatal("depth wrong for top-level element")
+		}
+		if tag := tree.Tag(c); tag != imdb.TablePerson && tag != imdb.TableMovie {
+			t.Fatalf("top-level tag = %q", tag)
+		}
+	}
+}
+
+func TestBuildMovieElementContents(t *testing.T) {
+	u, tree := testTree(t)
+	sw, _ := u.FindMovie("star wars")
+	// Find the movie element for star wars.
+	var elem = -1
+	for _, c := range tree.Children(0) {
+		if ref, ok := tree.Ref(c); ok && ref.Table == imdb.TableMovie && ref.Row == sw.Row {
+			elem = c
+			break
+		}
+	}
+	if elem < 0 {
+		t.Fatal("no element for star wars")
+	}
+	tags := map[string]int{}
+	for _, c := range tree.Children(elem) {
+		tags[tree.Tag(c)]++
+	}
+	for _, want := range []string{"title", "genre", "locations", "info", "cast", "crew"} {
+		if tags[want] == 0 {
+			t.Errorf("movie element missing <%s> (have %v)", want, tags)
+		}
+	}
+	// The cast child must contain a person leaf, and not repeat the movie
+	// title.
+	for _, c := range tree.Children(elem) {
+		if tree.Tag(c) != "cast" {
+			continue
+		}
+		var hasPerson, hasMovie bool
+		for _, g := range tree.Children(c) {
+			if tree.Tag(g) == "person" {
+				hasPerson = true
+			}
+			if tree.Tag(g) == "movie" {
+				hasMovie = true
+			}
+		}
+		if !hasPerson {
+			t.Error("cast element lacks person leaf")
+		}
+		if hasMovie {
+			t.Error("cast element redundantly repeats parent movie")
+		}
+		break
+	}
+}
+
+func TestSubtreeSizeConsistent(t *testing.T) {
+	_, tree := testTree(t)
+	// Root subtree size must equal the node count.
+	if tree.SubtreeSize(0) != tree.Len() {
+		t.Fatalf("SubtreeSize(root) = %d, Len = %d", tree.SubtreeSize(0), tree.Len())
+	}
+	// Each node: 1 + sum of children sizes.
+	for v := 0; v < tree.Len(); v += 53 {
+		want := 1
+		for _, c := range tree.Children(v) {
+			want += tree.SubtreeSize(c)
+		}
+		if tree.SubtreeSize(v) != want {
+			t.Fatalf("SubtreeSize(%d) = %d, want %d", v, tree.SubtreeSize(v), want)
+		}
+	}
+}
+
+func TestLCAProperties(t *testing.T) {
+	_, tree := testTree(t)
+	// LCA(x,x) == x; LCA with root is root; LCA symmetric; LCA is
+	// ancestor of both.
+	nodes := []int{1, 5, tree.Len() / 2, tree.Len() - 1}
+	for _, a := range nodes {
+		if tree.LCA(a, a) != a {
+			t.Errorf("LCA(%d,%d) != self", a, a)
+		}
+		if tree.LCA(a, 0) != 0 {
+			t.Error("LCA with root not root")
+		}
+		for _, b := range nodes {
+			l := tree.LCA(a, b)
+			if l != tree.LCA(b, a) {
+				t.Error("LCA not symmetric")
+			}
+			if !tree.IsAncestor(l, a) || !tree.IsAncestor(l, b) {
+				t.Error("LCA not an ancestor of both")
+			}
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	_, tree := testTree(t)
+	c := tree.Children(0)[0]
+	if !tree.IsAncestor(0, c) {
+		t.Error("root not ancestor of child")
+	}
+	if tree.IsAncestor(c, 0) {
+		t.Error("child is ancestor of root")
+	}
+	if !tree.IsAncestor(c, c) {
+		t.Error("node not ancestor of itself")
+	}
+}
+
+func TestSearchLCASingleEntity(t *testing.T) {
+	_, tree := testTree(t)
+	res := tree.SearchLCA("george clooney", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top := res[0]
+	// The paper's critique: LCA returns the smallest covering node — for
+	// a name query that is just the name leaf, providing nothing beyond
+	// the query.
+	if !strings.Contains(strings.ToLower(top.Text), "clooney") {
+		t.Errorf("top text %q lacks the keyword", top.Text)
+	}
+	if tree.SubtreeSize(top.Root) > 3 {
+		t.Errorf("smallest LCA should be (nearly) a leaf, size = %d", tree.SubtreeSize(top.Root))
+	}
+}
+
+func TestSearchLCACoversAllKeywords(t *testing.T) {
+	_, tree := testTree(t)
+	res := tree.SearchLCA("star wars cast", 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range res[:1] {
+		text := strings.ToLower(tree.SubtreeText(r.Root))
+		for _, kw := range []string{"star", "wars", "cast"} {
+			// Tag matches don't appear in text; check tags too.
+			if strings.Contains(text, kw) {
+				continue
+			}
+			found := false
+			var walk func(int)
+			walk = func(v int) {
+				if found {
+					return
+				}
+				for _, f := range tagForms(tree.Tag(v)) {
+					if f == kw {
+						found = true
+						return
+					}
+				}
+				for _, c := range tree.Children(v) {
+					walk(c)
+				}
+			}
+			walk(r.Root)
+			if !found {
+				t.Errorf("result subtree misses keyword %q", kw)
+			}
+		}
+	}
+}
+
+func TestSearchLCANoMatch(t *testing.T) {
+	_, tree := testTree(t)
+	if res := tree.SearchLCA("zzzzz qqqqq", 5); res != nil {
+		t.Errorf("results for nonsense: %v", res)
+	}
+}
+
+func TestSearchLCASmallestProperty(t *testing.T) {
+	_, tree := testTree(t)
+	res := tree.SearchLCA("star wars", 10)
+	// No result root may be an ancestor of another result root.
+	for i, a := range res {
+		for j, b := range res {
+			if i != j && a.Root != b.Root && tree.IsAncestor(a.Root, b.Root) {
+				t.Fatalf("result %d (%d) is ancestor of result %d (%d)", i, a.Root, j, b.Root)
+			}
+		}
+	}
+}
+
+func TestSearchMLCAMoreSelectiveThanLCA(t *testing.T) {
+	_, tree := testTree(t)
+	q := "george clooney star wars"
+	lca := tree.SearchLCA(q, 0)
+	mlca := tree.SearchMLCA(q, 0)
+	if len(mlca) > len(lca)+5 {
+		t.Errorf("MLCA returned %d results, LCA %d; expected MLCA ⊆-ish", len(mlca), len(lca))
+	}
+	// Every MLCA root must genuinely relate its keywords: no root may be
+	// the document root when deeper relationships exist.
+	if len(mlca) > 0 && mlca[0].Root == 0 && len(lca) > 0 && lca[0].Root != 0 {
+		t.Error("MLCA returned the document root while LCA found something deeper")
+	}
+}
+
+func TestSearchMLCASingleKeywordDegenerates(t *testing.T) {
+	_, tree := testTree(t)
+	a := tree.SearchLCA("clooney", 5)
+	b := tree.SearchMLCA("clooney", 5)
+	if len(a) != len(b) {
+		t.Fatalf("single-keyword MLCA differs from LCA: %d vs %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Root != b[i].Root {
+			t.Fatal("single-keyword MLCA ranking differs")
+		}
+	}
+}
+
+func TestSearchMLCANoMatch(t *testing.T) {
+	_, tree := testTree(t)
+	if res := tree.SearchMLCA("qqqq zzzz", 3); res != nil {
+		t.Error("MLCA matched nonsense")
+	}
+}
+
+func TestResultProvenance(t *testing.T) {
+	u, tree := testTree(t)
+	res := tree.SearchLCA("star wars cast", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range res {
+		if len(r.Tuples) == 0 {
+			t.Error("result with no provenance")
+		}
+		for _, ref := range r.Tuples {
+			if u.DB.Table(ref.Table) == nil {
+				t.Errorf("provenance names missing table %q", ref.Table)
+			}
+		}
+	}
+}
+
+func TestMatchIncludesTagForms(t *testing.T) {
+	_, tree := testTree(t)
+	if len(tree.Match("movie")) == 0 || len(tree.Match("movies")) == 0 {
+		t.Error("tag forms not matchable")
+	}
+	if len(tree.Match("cast")) == 0 {
+		t.Error("cast tag not matchable")
+	}
+}
+
+func TestBuildDefaultEntityTables(t *testing.T) {
+	u := imdb.MustGenerate(imdb.Config{Seed: 5, Persons: 30, Movies: 20})
+	tree := Build(u.DB, BuildOptions{})
+	// Defaults pick every PK+label table: person, movie, genre,
+	// locations, info, company, keyword, award.
+	tags := map[string]bool{}
+	for _, c := range tree.Children(0) {
+		tags[tree.Tag(c)] = true
+	}
+	for _, want := range []string{"person", "movie", "genre", "company"} {
+		if !tags[want] {
+			t.Errorf("default build missing top-level %q", want)
+		}
+	}
+	_ = relational.TupleRef{}
+}
