@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with concurrent hot paths: parallel engine
+# build, sharded scoring, and the HTTP serving layer.
+race:
+	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/server/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-json runs the full benchmark suite once and writes the results
+# as JSON to BENCH.json, so benchmark trajectories are reproducible and
+# diffable across commits.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH.json
+	@echo "wrote BENCH.json"
+
+ci: build fmt-check vet test race bench

@@ -9,6 +9,7 @@
 package qunits_test
 
 import (
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"qunits/internal/querylog"
 	"qunits/internal/search"
 	"qunits/internal/segment"
+	"qunits/internal/server"
 	"qunits/internal/xtree"
 )
 
@@ -187,6 +189,94 @@ func BenchmarkQunitEngineBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQunitEngineBuildSerial pins the sequential baseline: one
+// build worker, one index shard — the seed's original construction path.
+// Compare against BenchmarkQunitEngineBuild (parallel default) for the
+// multi-core build speedup.
+func BenchmarkQunitEngineBuildSerial(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: 1, BuildWorkers: 1}
+		if _, err := search.NewEngine(cat, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQunitSearchShards sweeps the shard count on one catalog:
+// shards=1 is the seed's sequential scoring path, higher counts score
+// shard-parallel. Results are identical at every count; only latency
+// may differ.
+func BenchmarkQunitSearchShards(b *testing.B) {
+	lab := sharedLab(b)
+	cat, err := derive.Expert{}.Derive(lab.Universe.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(benchName("shards", shards, "", -1), func(b *testing.B) {
+			engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Search("star wars cast", 5)
+			}
+		})
+	}
+}
+
+// BenchmarkQunitSearchParallelClients measures sustained throughput with
+// GOMAXPROCS concurrent querying goroutines — the serving workload.
+func BenchmarkQunitSearchParallelClients(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lab.HumanEngine.Search("star wars cast", 5)
+		}
+	})
+}
+
+// BenchmarkServerSearchCold measures the full HTTP serving path with the
+// result cache disabled: parse, engine search, JSON encode.
+func BenchmarkServerSearchCold(b *testing.B) {
+	lab := sharedLab(b)
+	srv := server.New(lab.HumanEngine, server.Config{CacheSize: -1})
+	req := httptest.NewRequest("GET", "/search?q=star+wars+cast&k=5", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServerSearchCached measures the same path served from the LRU
+// result cache — the steady state for a head-skewed query workload.
+func BenchmarkServerSearchCached(b *testing.B) {
+	lab := sharedLab(b)
+	srv := server.New(lab.HumanEngine, server.Config{})
+	req := httptest.NewRequest("GET", "/search?q=star+wars+cast&k=5", nil)
+	srv.ServeHTTP(httptest.NewRecorder(), req) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
 		}
 	}
 }

@@ -1,0 +1,85 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one object per benchmark result:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | go run ./cmd/benchjson
+//
+// Each object carries the benchmark name, the -N procs suffix, the
+// iteration count, and every reported metric (ns/op, B/op, plus custom
+// b.ReportMetric units like "relevance"). Non-benchmark lines are
+// ignored, so the tool can consume raw `go test` output directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := []Result{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is: Name[-procs] N value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters, Metrics: make(map[string]float64)}
+		r.Name, r.Procs = splitProcs(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// splitProcs splits the "-8" GOMAXPROCS suffix off a benchmark name.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 0
+	}
+	return name[:i], procs
+}

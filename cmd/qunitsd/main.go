@@ -1,0 +1,97 @@
+// Command qunitsd serves qunit search over HTTP.
+//
+// It generates a synthetic IMDb-like database, derives a qunit catalog,
+// builds the search engine (instance materialization and analysis fanned
+// out across all cores, the index sharded for parallel scoring), and
+// listens for queries:
+//
+//	qunitsd -addr :8080 -movies 500 -persons 800
+//	curl 'localhost:8080/search?q=star+wars+cast&k=5'
+//	curl 'localhost:8080/healthz'
+//	curl 'localhost:8080/stats'
+//
+// Flags control the universe size, the derivation strategy, the shard
+// and build-worker counts, and the result-cache capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+	"qunits/internal/search"
+	"qunits/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		seed         = flag.Int64("seed", 1, "universe generation seed")
+		persons      = flag.Int("persons", 400, "persons in the generated universe")
+		movies       = flag.Int("movies", 250, "movies in the generated universe")
+		castPerMovie = flag.Int("cast-per-movie", 5, "cast entries per movie")
+		deriveMode   = flag.String("derive", "expert", "catalog derivation strategy: expert or schema")
+		shards       = flag.Int("shards", 0, "index shards scored in parallel (0 = GOMAXPROCS)")
+		buildWorkers = flag.Int("build-workers", 0, "engine build workers (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 1024, "LRU query-result cache capacity (negative disables)")
+		defaultK     = flag.Int("k", 10, "default result count when the request omits k")
+		maxK         = flag.Int("max-k", 100, "maximum per-request result count")
+	)
+	flag.Parse()
+
+	log.Printf("qunitsd: generating universe (seed=%d persons=%d movies=%d)", *seed, *persons, *movies)
+	u := imdb.MustGenerate(imdb.Config{
+		Seed:         *seed,
+		Persons:      *persons,
+		Movies:       *movies,
+		CastPerMovie: *castPerMovie,
+	})
+
+	cat, err := deriveCatalog(*deriveMode, u.DB)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	buildStart := time.Now()
+	engine, err := search.NewEngine(cat, search.Options{
+		Synonyms:     imdb.AttributeSynonyms(),
+		Shards:       *shards,
+		BuildWorkers: *buildWorkers,
+	})
+	if err != nil {
+		log.Printf("qunitsd: building engine: %v", err)
+		os.Exit(2)
+	}
+	log.Printf("qunitsd: engine ready in %v (%d instances, %d definitions)",
+		time.Since(buildStart).Round(time.Millisecond), engine.InstanceCount(), cat.Len())
+
+	srv := server.New(engine, server.Config{
+		CacheSize: *cacheSize,
+		DefaultK:  *defaultK,
+		MaxK:      *maxK,
+	})
+	log.Printf("qunitsd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func deriveCatalog(mode string, db *relational.Database) (*core.Catalog, error) {
+	switch mode {
+	case "expert":
+		return derive.Expert{}.Derive(db)
+	case "schema":
+		return derive.FromSchema{}.Derive(db)
+	default:
+		return nil, fmt.Errorf("qunitsd: unknown -derive mode %q (want expert or schema)", mode)
+	}
+}

@@ -11,11 +11,20 @@
 // inputs (IMDb data, the AOL query log, web evidence pages, human
 // judges).
 //
-// Start with README.md for a tour, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for the paper-versus-measured record. The
-// bench_test.go file in this directory regenerates every table and figure
-// of the paper's evaluation as Go benchmarks.
+// Beyond the reproduction, the module is a concurrent search service:
+// engine construction fans instance materialization and tokenization out
+// across all cores, the inverted index is sharded for parallel BM25
+// scoring with results bitwise identical to the sequential path, and
+// cmd/qunitsd serves /search, /healthz, and /stats over HTTP behind an
+// LRU query-result cache with singleflight deduplication of concurrent
+// identical queries.
+//
+// Start with README.md for a tour — module setup, qunitsd usage, and the
+// CI commands — and EXPERIMENTS.md for the paper-versus-measured record.
+// The bench_test.go file in this directory regenerates every table and
+// figure of the paper's evaluation as Go benchmarks; `make bench-json`
+// emits the whole suite as a JSON artifact.
 package qunits
 
 // Version identifies this reproduction's release.
-const Version = "1.0.0"
+const Version = "1.1.0"

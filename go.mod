@@ -1,0 +1,3 @@
+module qunits
+
+go 1.24

@@ -27,6 +27,21 @@ type Index struct {
 	postings map[string][]Posting
 	docLen   []float64 // weighted token count per doc
 	totalLen float64
+
+	// shared, when non-nil, makes the collection statistics (document
+	// count, average length, document frequency) come from the owning
+	// ShardedIndex instead of this shard alone, so scorers see the same
+	// IDF and length normalization they would on one monolithic index.
+	shared *sharedStats
+}
+
+// sharedStats are collection-wide statistics shared by the shards of a
+// ShardedIndex. They are accumulated in global insertion order, which
+// keeps every float sum bitwise identical to the unsharded path.
+type sharedStats struct {
+	n        int
+	totalLen float64
+	df       map[string]int
 }
 
 // NewIndex returns an empty index.
@@ -37,16 +52,27 @@ func NewIndex() *Index {
 	}
 }
 
-// Add indexes a document under a unique name. It returns the dense
-// internal id, or an error if the name was already indexed.
-func (ix *Index) Add(name string, fields ...Field) (int, error) {
-	if _, dup := ix.byName[name]; dup {
-		return 0, fmt.Errorf("ir: document %q already indexed", name)
-	}
-	id := len(ix.names)
-	ix.names = append(ix.names, name)
-	ix.byName[name] = id
+// TermCount is one analyzed term of a document with its weighted
+// frequency.
+type TermCount struct {
+	Term string
+	TF   float64
+}
 
+// DocTerms is the analyzed form of a document: its weighted term
+// frequencies (sorted by term, for deterministic posting construction)
+// and its total weighted length. Analysis is the CPU-heavy half of
+// indexing, so it is split out: AnalyzeFields can run on many documents
+// concurrently while AddAnalyzed merges them into the index one at a
+// time in a deterministic order.
+type DocTerms struct {
+	Terms  []TermCount
+	Length float64
+}
+
+// AnalyzeFields tokenizes and weighs the fields of one document. It is
+// pure and safe to call from many goroutines.
+func AnalyzeFields(fields ...Field) DocTerms {
 	tf := make(map[string]float64)
 	var length float64
 	for _, f := range fields {
@@ -59,16 +85,36 @@ func (ix *Index) Add(name string, fields ...Field) (int, error) {
 			length += w
 		}
 	}
-	terms := make([]string, 0, len(tf))
-	for t := range tf {
-		terms = append(terms, t)
+	terms := make([]TermCount, 0, len(tf))
+	for t, f := range tf {
+		terms = append(terms, TermCount{Term: t, TF: f})
 	}
-	sort.Strings(terms) // deterministic posting construction
-	for _, t := range terms {
-		ix.postings[t] = append(ix.postings[t], Posting{Doc: id, TF: tf[t]})
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+	return DocTerms{Terms: terms, Length: length}
+}
+
+// Add indexes a document under a unique name. It returns the dense
+// internal id, or an error if the name was already indexed.
+func (ix *Index) Add(name string, fields ...Field) (int, error) {
+	return ix.AddAnalyzed(name, AnalyzeFields(fields...))
+}
+
+// AddAnalyzed indexes a pre-analyzed document under a unique name. It is
+// the merge half of Add; callers that analyzed documents concurrently
+// feed the results in here sequentially, in whatever order determinism
+// requires.
+func (ix *Index) AddAnalyzed(name string, doc DocTerms) (int, error) {
+	if _, dup := ix.byName[name]; dup {
+		return 0, fmt.Errorf("ir: document %q already indexed", name)
 	}
-	ix.docLen = append(ix.docLen, length)
-	ix.totalLen += length
+	id := len(ix.names)
+	ix.names = append(ix.names, name)
+	ix.byName[name] = id
+	for _, tc := range doc.Terms {
+		ix.postings[tc.Term] = append(ix.postings[tc.Term], Posting{Doc: id, TF: tc.TF})
+	}
+	ix.docLen = append(ix.docLen, doc.Length)
+	ix.totalLen += doc.Length
 	return id, nil
 }
 
@@ -81,8 +127,19 @@ func (ix *Index) MustAdd(name string, fields ...Field) int {
 	return id
 }
 
-// Len returns the number of indexed documents.
-func (ix *Index) Len() int { return len(ix.names) }
+// Len returns the number of documents in the collection. For a shard of
+// a ShardedIndex this is the collection-wide count, so scorers compute
+// the same IDF they would on a monolithic index; use LocalLen for the
+// number of documents physically in this index.
+func (ix *Index) Len() int {
+	if ix.shared != nil {
+		return ix.shared.n
+	}
+	return len(ix.names)
+}
+
+// LocalLen returns the number of documents physically indexed here.
+func (ix *Index) LocalLen() int { return len(ix.names) }
 
 // Name returns the external name of a document id.
 func (ix *Index) Name(id int) string {
@@ -98,15 +155,28 @@ func (ix *Index) ID(name string) (int, bool) {
 	return id, ok
 }
 
-// DocFreq returns the number of documents containing the term.
-func (ix *Index) DocFreq(term string) int { return len(ix.postings[term]) }
+// DocFreq returns the number of documents in the collection containing
+// the term (collection-wide when this index is a shard).
+func (ix *Index) DocFreq(term string) int {
+	if ix.shared != nil {
+		return ix.shared.df[term]
+	}
+	return len(ix.postings[term])
+}
 
 // Postings returns the posting list for a term. The returned slice is
 // shared; callers must not mutate it.
 func (ix *Index) Postings(term string) []Posting { return ix.postings[term] }
 
-// AvgDocLen returns the mean weighted document length.
+// AvgDocLen returns the mean weighted document length of the collection
+// (collection-wide when this index is a shard).
 func (ix *Index) AvgDocLen() float64 {
+	if ix.shared != nil {
+		if ix.shared.n == 0 {
+			return 0
+		}
+		return ix.shared.totalLen / float64(ix.shared.n)
+	}
 	if len(ix.docLen) == 0 {
 		return 0
 	}

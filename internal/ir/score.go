@@ -37,7 +37,8 @@ func (TFIDF) Score(ix *Index, terms []string) map[int]float64 {
 		qtf[t]++
 	}
 	acc := make(map[int]float64)
-	for t, qf := range qtf {
+	for _, t := range sortedTerms(qtf) {
+		qf := qtf[t]
 		idf := ix.IDF(t)
 		if idf == 0 {
 			continue
@@ -85,7 +86,7 @@ func (s BM25) Score(ix *Index, terms []string) map[int]float64 {
 		qtf[t]++
 	}
 	acc := make(map[int]float64)
-	for t := range qtf {
+	for _, t := range sortedTerms(qtf) {
 		idf := ix.IDF(t)
 		for _, p := range ix.Postings(t) {
 			norm := p.TF * (k1 + 1) / (p.TF + k1*(1-b+b*ix.DocLen(p.Doc)/avg))
@@ -93,6 +94,20 @@ func (s BM25) Score(ix *Index, terms []string) map[int]float64 {
 		}
 	}
 	return acc
+}
+
+// sortedTerms returns the query's distinct terms in sorted order.
+// Scoring must accumulate per-document sums in a fixed term order:
+// float addition is not associative, so a map-order walk would make
+// scores differ between runs — and between the sharded and unsharded
+// search paths, which must agree bitwise.
+func sortedTerms(qtf map[string]float64) []string {
+	terms := make([]string, 0, len(qtf))
+	for t := range qtf {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
 }
 
 // Search scores the query with the scorer and returns the top k hits,

@@ -1,0 +1,242 @@
+package ir
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ShardedIndex partitions a document collection across N sub-indexes so
+// that scoring can run shard-parallel. Documents are assigned round-robin
+// in insertion order; collection statistics (document count, document
+// frequency, total length) live in one shared accumulator that every
+// shard consults, so per-document scores are bitwise identical to what a
+// single monolithic Index would produce. Search scores all shards
+// concurrently and k-way-merges the per-shard rankings with the same
+// (score desc, name asc) order the unsharded path uses.
+//
+// A ShardedIndex is not safe for concurrent mutation; once built it is
+// immutable and any number of goroutines may Search it concurrently.
+type ShardedIndex struct {
+	shards   []*Index
+	shared   *sharedStats
+	names    []string       // global id -> name
+	byName   map[string]int // name -> global id
+	shardOf  []int32        // global id -> shard
+	localOf  []int32        // global id -> local id within shard
+	globalOf [][]int        // shard -> local id -> global id
+}
+
+// NewShardedIndex returns an empty index over n shards; n <= 0 means
+// runtime.GOMAXPROCS(0). One shard is a valid (degenerate) configuration
+// equivalent to a plain Index.
+func NewShardedIndex(n int) *ShardedIndex {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedIndex{
+		shards:   make([]*Index, n),
+		shared:   &sharedStats{df: make(map[string]int)},
+		byName:   make(map[string]int),
+		globalOf: make([][]int, n),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewIndex()
+		s.shards[i].shared = s.shared
+	}
+	return s
+}
+
+// Add analyzes and indexes a document under a unique name, returning its
+// global id. Not safe for concurrent use.
+func (s *ShardedIndex) Add(name string, fields ...Field) (int, error) {
+	return s.AddAnalyzed(name, AnalyzeFields(fields...))
+}
+
+// MustAdd is Add that panics on error.
+func (s *ShardedIndex) MustAdd(name string, fields ...Field) int {
+	id, err := s.Add(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddAnalyzed indexes a pre-analyzed document under a unique name,
+// returning its global id. Documents are assigned to shards round-robin
+// by global id, so a fixed insertion order yields a fixed layout.
+func (s *ShardedIndex) AddAnalyzed(name string, doc DocTerms) (int, error) {
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("ir: document %q already indexed", name)
+	}
+	id := len(s.names)
+	shard := id % len(s.shards)
+	local, err := s.shards[shard].AddAnalyzed(name, doc)
+	if err != nil {
+		return 0, err
+	}
+	s.names = append(s.names, name)
+	s.byName[name] = id
+	s.shardOf = append(s.shardOf, int32(shard))
+	s.localOf = append(s.localOf, int32(local))
+	s.globalOf[shard] = append(s.globalOf[shard], id)
+	s.shared.n++
+	s.shared.totalLen += doc.Length
+	for _, tc := range doc.Terms {
+		s.shared.df[tc.Term]++
+	}
+	return id, nil
+}
+
+// NumShards returns the number of shards.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Len returns the number of indexed documents.
+func (s *ShardedIndex) Len() int { return len(s.names) }
+
+// Name returns the external name of a global document id.
+func (s *ShardedIndex) Name(id int) string {
+	if id < 0 || id >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// ID returns the global id for a document name.
+func (s *ShardedIndex) ID(name string) (int, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// DocLen returns the weighted length of a global document id.
+func (s *ShardedIndex) DocLen(id int) float64 {
+	if id < 0 || id >= len(s.names) {
+		return 0
+	}
+	return s.shards[s.shardOf[id]].DocLen(int(s.localOf[id]))
+}
+
+// AvgDocLen returns the mean weighted document length.
+func (s *ShardedIndex) AvgDocLen() float64 {
+	if s.shared.n == 0 {
+		return 0
+	}
+	return s.shared.totalLen / float64(s.shared.n)
+}
+
+// DocFreq returns the number of documents containing the term.
+func (s *ShardedIndex) DocFreq(term string) int { return s.shared.df[term] }
+
+// VocabularySize returns the number of distinct terms.
+func (s *ShardedIndex) VocabularySize() int { return len(s.shared.df) }
+
+// Search scores the query against every shard concurrently and merges
+// the shard rankings into the global top k (k <= 0 means all hits). Hit
+// ordering is score desc, name asc — exactly the unsharded Search order —
+// and Hit.Doc carries the global document id.
+func (s *ShardedIndex) Search(scorer Scorer, query string, k int) []Hit {
+	terms := Tokenize(query)
+	if len(s.shards) == 1 {
+		// One shard means no parallelism to exploit: score inline and
+		// skip the goroutine and merge machinery — this is exactly the
+		// sequential path.
+		scores := scorer.Score(s.shards[0], terms)
+		hits := make([]Hit, 0, len(scores))
+		for doc, sc := range scores {
+			hits = append(hits, Hit{Doc: doc, Name: s.shards[0].Name(doc), Score: sc})
+		}
+		sortHits(hits)
+		if k > 0 && len(hits) > k {
+			hits = hits[:k]
+		}
+		return hits
+	}
+	perShard := make([][]Hit, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shard := s.shards[i]
+			scores := scorer.Score(shard, terms)
+			hits := make([]Hit, 0, len(scores))
+			for local, sc := range scores {
+				hits = append(hits, Hit{
+					Doc:   s.globalOf[i][local],
+					Name:  shard.Name(local),
+					Score: sc,
+				})
+			}
+			sortHits(hits)
+			// The global top k is contained in the union of per-shard
+			// top k's, so shards can truncate before the merge.
+			if k > 0 && len(hits) > k {
+				hits = hits[:k]
+			}
+			perShard[i] = hits
+		}(i)
+	}
+	wg.Wait()
+	return mergeHits(perShard, k)
+}
+
+// mergeHits k-way-merges sorted per-shard hit lists, preserving the
+// (score desc, name asc) order, and truncates to k when k > 0.
+func mergeHits(lists [][]Hit, k int) []Hit {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	h := make(mergeHeap, 0, len(lists))
+	for i, l := range lists {
+		if len(l) > 0 {
+			h = append(h, mergeCursor{list: i, hit: l[0]})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Hit, 0, k)
+	pos := make([]int, len(lists))
+	for len(out) < k && h.Len() > 0 {
+		top := h[0]
+		out = append(out, top.hit)
+		pos[top.list]++
+		if next := pos[top.list]; next < len(lists[top.list]) {
+			h[0] = mergeCursor{list: top.list, hit: lists[top.list][next]}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+type mergeCursor struct {
+	list int
+	hit  Hit
+}
+
+// mergeHeap orders cursors best-first: higher score wins, ties broken by
+// name asc — the inverse of the TopK min-heap's less.
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].hit, h[j].hit
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Name < b.Name
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,200 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomCorpus builds the same fixed-seed corpus into both a plain Index
+// and a ShardedIndex, returning the pair.
+func randomCorpus(t *testing.T, docs, shards int) (*Index, *ShardedIndex) {
+	t.Helper()
+	vocab := []string{
+		"star", "wars", "cast", "movie", "actor", "galaxy", "space",
+		"drama", "heist", "ocean", "eleven", "clooney", "george",
+		"batman", "joker", "profile", "filmography", "soundtrack",
+	}
+	rng := rand.New(rand.NewSource(42))
+	plain := NewIndex()
+	sharded := NewShardedIndex(shards)
+	for i := 0; i < docs; i++ {
+		var label, body string
+		for w := 0; w < 2; w++ {
+			label += vocab[rng.Intn(len(vocab))] + " "
+		}
+		n := 3 + rng.Intn(12)
+		for w := 0; w < n; w++ {
+			body += vocab[rng.Intn(len(vocab))] + " "
+		}
+		name := fmt.Sprintf("doc-%03d %s", i, label)
+		fields := []Field{{Text: label, Weight: 3}, {Text: body}}
+		plain.MustAdd(name, fields...)
+		sharded.MustAdd(name, fields...)
+	}
+	return plain, sharded
+}
+
+var parityQueries = []string{
+	"star wars cast",
+	"george clooney",
+	"ocean eleven heist",
+	"batman",
+	"soundtrack",
+	"galaxy space drama movie",
+	"no such words anywhere",
+	"",
+}
+
+// TestShardedParity is the core guarantee: the sharded, parallel search
+// path returns byte-identical hits (names, scores, order, doc ids) to
+// the sequential unsharded path, for every scorer, every k, and several
+// shard counts.
+func TestShardedParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		for _, scorer := range []Scorer{BM25{}, BM25{B: 0.3}, TFIDF{}} {
+			plain, sharded := randomCorpus(t, 100, shards)
+			for _, q := range parityQueries {
+				for _, k := range []int{0, 1, 3, 10, 1000} {
+					want := Search(plain, scorer, q, k)
+					got := sharded.Search(scorer, q, k)
+					if len(got) != len(want) {
+						t.Fatalf("shards=%d scorer=%s q=%q k=%d: %d hits, want %d",
+							shards, scorer.Name(), q, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("shards=%d scorer=%s q=%q k=%d hit %d:\n got %+v\nwant %+v",
+								shards, scorer.Name(), q, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedStatsParity checks the shared collection statistics agree
+// exactly with the monolithic index's.
+func TestShardedStatsParity(t *testing.T) {
+	plain, sharded := randomCorpus(t, 80, 4)
+	if plain.Len() != sharded.Len() {
+		t.Fatalf("Len: %d vs %d", plain.Len(), sharded.Len())
+	}
+	if plain.AvgDocLen() != sharded.AvgDocLen() {
+		t.Fatalf("AvgDocLen: %v vs %v", plain.AvgDocLen(), sharded.AvgDocLen())
+	}
+	if plain.VocabularySize() != sharded.VocabularySize() {
+		t.Fatalf("VocabularySize: %d vs %d", plain.VocabularySize(), sharded.VocabularySize())
+	}
+	for _, term := range []string{"star", "cast", "joker", "absent"} {
+		if plain.DocFreq(term) != sharded.DocFreq(term) {
+			t.Fatalf("DocFreq(%q): %d vs %d", term, plain.DocFreq(term), sharded.DocFreq(term))
+		}
+		if plain.IDF(term) != sharded.shards[0].IDF(term) {
+			t.Fatalf("IDF(%q): %v vs %v", term, plain.IDF(term), sharded.shards[0].IDF(term))
+		}
+	}
+	for id := 0; id < plain.Len(); id++ {
+		if plain.Name(id) != sharded.Name(id) {
+			t.Fatalf("Name(%d): %q vs %q", id, plain.Name(id), sharded.Name(id))
+		}
+		if plain.DocLen(id) != sharded.DocLen(id) {
+			t.Fatalf("DocLen(%d): %v vs %v", id, plain.DocLen(id), sharded.DocLen(id))
+		}
+	}
+	name := plain.Name(17)
+	pid, _ := plain.ID(name)
+	sid, ok := sharded.ID(name)
+	if !ok || pid != sid {
+		t.Fatalf("ID(%q): %d vs %d ok=%v", name, pid, sid, ok)
+	}
+}
+
+// TestShardedTieBreak pins the merged ordering of equal-score hits:
+// score desc, then name asc — across shard boundaries.
+func TestShardedTieBreak(t *testing.T) {
+	sharded := NewShardedIndex(3)
+	// Identical content means identical BM25 scores; round-robin
+	// placement spreads the ties across all three shards.
+	for _, name := range []string{"delta", "alpha", "echo", "charlie", "bravo", "foxtrot"} {
+		sharded.MustAdd(name, Field{Text: "same exact words"})
+	}
+	hits := sharded.Search(BM25{}, "same words", 0)
+	if len(hits) != 6 {
+		t.Fatalf("got %d hits, want 6", len(hits))
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	for i, h := range hits {
+		if h.Name != want[i] {
+			t.Fatalf("hit %d = %q, want %q (order %v)", i, h.Name, want[i], hits)
+		}
+		if h.Score != hits[0].Score {
+			t.Fatalf("hit %d score %v differs from %v — fixture no longer ties", i, h.Score, hits[0].Score)
+		}
+	}
+	// Truncation respects the same order.
+	top2 := sharded.Search(BM25{}, "same words", 2)
+	if len(top2) != 2 || top2[0].Name != "alpha" || top2[1].Name != "bravo" {
+		t.Fatalf("top2 = %v", top2)
+	}
+}
+
+// TestShardedDuplicateName mirrors the plain index's duplicate rejection.
+func TestShardedDuplicateName(t *testing.T) {
+	sharded := NewShardedIndex(2)
+	if _, err := sharded.Add("a", Field{Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Add("a", Field{Text: "y"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if sharded.Len() != 1 {
+		t.Fatalf("Len after rejected duplicate = %d", sharded.Len())
+	}
+}
+
+// TestShardedConcurrentSearch hammers one immutable ShardedIndex from
+// many goroutines; run under -race this proves read-path safety.
+func TestShardedConcurrentSearch(t *testing.T) {
+	_, sharded := randomCorpus(t, 60, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := parityQueries[(g+i)%len(parityQueries)]
+				sharded.Search(BM25{B: 0.3}, q, 5)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestAnalyzeFieldsMatchesAdd ensures the split analyze/merge path is
+// the same computation as the original one-shot Add.
+func TestAnalyzeFieldsMatchesAdd(t *testing.T) {
+	fields := []Field{{Text: "Star Wars", Weight: 3}, {Text: "cast of star wars luke leia"}, {Text: "context", Weight: 0.5}}
+	a := NewIndex()
+	a.MustAdd("doc", fields...)
+	b := NewIndex()
+	if _, err := b.AddAnalyzed("doc", AnalyzeFields(fields...)); err != nil {
+		t.Fatal(err)
+	}
+	if a.DocLen(0) != b.DocLen(0) || a.AvgDocLen() != b.AvgDocLen() {
+		t.Fatalf("lengths differ: %v/%v vs %v/%v", a.DocLen(0), a.AvgDocLen(), b.DocLen(0), b.AvgDocLen())
+	}
+	for _, term := range []string{"star", "wars", "cast", "luke", "context"} {
+		pa, pb := a.Postings(term), b.Postings(term)
+		if len(pa) != len(pb) {
+			t.Fatalf("postings(%q) length differ", term)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("postings(%q)[%d]: %+v vs %+v", term, i, pa[i], pb[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+)
+
+// concurrencyQueries mixes the workload shapes the engine sees: entity,
+// entity+attribute, attribute-only, and junk.
+var concurrencyQueries = []string{
+	"star wars cast",
+	"george clooney",
+	"soundtrack",
+	"movies",
+	"box office galaxy",
+	"nonsense zz yy",
+}
+
+func engineWith(t *testing.T, shards, workers int) *Engine {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 150, Movies: 100, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cat, Options{Synonyms: imdb.AttributeSynonyms(), Shards: shards, BuildWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestParallelBuildShardedSearchParity is the acceptance gate for the
+// concurrent subsystem: an engine built with many workers over many
+// shards must answer every query byte-identically (ids, scores, order)
+// to the sequential single-shard build — the seed's original path.
+func TestParallelBuildShardedSearchParity(t *testing.T) {
+	sequential := engineWith(t, 1, 1)
+	parallel := engineWith(t, 5, 8)
+	if sequential.InstanceCount() != parallel.InstanceCount() {
+		t.Fatalf("instance counts differ: %d vs %d", sequential.InstanceCount(), parallel.InstanceCount())
+	}
+	for _, q := range concurrencyQueries {
+		for _, k := range []int{1, 5, 50, 0} {
+			want := sequential.Search(q, k)
+			got := parallel.Search(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("q=%q k=%d: %d results, want %d", q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Instance.ID() != want[i].Instance.ID() {
+					t.Fatalf("q=%q k=%d result %d: id %q, want %q", q, k, i, got[i].Instance.ID(), want[i].Instance.ID())
+				}
+				if got[i].Score != want[i].Score || got[i].IRScore != want[i].IRScore || got[i].TypeAffinity != want[i].TypeAffinity {
+					t.Fatalf("q=%q k=%d result %d (%s): scores (%v,%v,%v), want (%v,%v,%v)",
+						q, k, i, got[i].Instance.ID(),
+						got[i].Score, got[i].IRScore, got[i].TypeAffinity,
+						want[i].Score, want[i].IRScore, want[i].TypeAffinity)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSearchAndFeedback hammers one engine from many
+// goroutines — searches interleaved with feedback writes — and relies on
+// -race to flag unsynchronized access.
+func TestConcurrentSearchAndFeedback(t *testing.T) {
+	e := engineWith(t, 4, 4)
+	seed := e.Search("star wars cast", 1)
+	if len(seed) == 0 {
+		t.Fatal("no seed result")
+	}
+	clicked := seed[0].Instance.ID()
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := concurrencyQueries[(g+i)%len(concurrencyQueries)]
+				if res := e.Search(q, 5); len(res) > 0 && res[0].Score < 0 {
+					t.Error("negative score")
+				}
+				if i%5 == 0 {
+					if _, err := e.ApplyFeedback(clicked, g%2 == 0, Feedback{}); err != nil {
+						t.Error(err)
+					}
+				}
+				e.UtilityEntropy()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSortResultsTieBreak pins the merged-path ordering contract: score
+// desc, then instance ID asc.
+func TestSortResultsTieBreak(t *testing.T) {
+	mk := func(name string, score float64) Result {
+		return Result{Instance: &core.Instance{Def: &core.Definition{Name: name}}, Score: score}
+	}
+	results := []Result{mk("delta", 1), mk("bravo", 2), mk("charlie", 1), mk("alpha", 1), mk("echo", 0.5)}
+	sortResults(results)
+	want := []string{"bravo", "alpha", "charlie", "delta", "echo"}
+	for i, w := range want {
+		if results[i].Instance.ID() != w {
+			t.Fatalf("position %d = %q, want %q", i, results[i].Instance.ID(), w)
+		}
+	}
+}
+
+// TestBuildWorkerCountsAgree checks a range of worker counts all produce
+// the same engine-visible state (instances indexed, vocabulary).
+func TestBuildWorkerCountsAgree(t *testing.T) {
+	base := engineWith(t, 1, 1)
+	for _, workers := range []int{2, 3, 8} {
+		e := engineWith(t, 1, workers)
+		if e.InstanceCount() != base.InstanceCount() {
+			t.Fatalf("workers=%d: %d instances, want %d", workers, e.InstanceCount(), base.InstanceCount())
+		}
+		res := e.Search("star wars cast", 3)
+		baseRes := base.Search("star wars cast", 3)
+		for i := range baseRes {
+			if res[i].Instance.ID() != baseRes[i].Instance.ID() || res[i].Score != baseRes[i].Score {
+				t.Fatalf("workers=%d result %d: (%s, %v), want (%s, %v)",
+					workers, i, res[i].Instance.ID(), res[i].Score, baseRes[i].Instance.ID(), baseRes[i].Score)
+			}
+		}
+	}
+}

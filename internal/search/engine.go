@@ -9,7 +9,9 @@ package search
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"qunits/internal/core"
 	"qunits/internal/ir"
@@ -39,6 +41,15 @@ type Options struct {
 	// exactly an entity the query names — the instance-selection half of
 	// §3's "qunit instances of the identified type". 0 means 2.
 	AnchorBoost float64
+	// Shards is the number of index shards scored in parallel per query;
+	// 0 means runtime.GOMAXPROCS(0), 1 disables sharding. Results are
+	// identical for every shard count.
+	Shards int
+	// BuildWorkers is the number of workers that materialize and analyze
+	// qunit instances during engine construction; 0 means
+	// runtime.GOMAXPROCS(0), 1 builds sequentially. The built engine is
+	// identical for every worker count.
+	BuildWorkers int
 }
 
 // Result is one ranked qunit instance.
@@ -54,11 +65,19 @@ type Result struct {
 }
 
 // Engine answers keyword queries over a qunit catalog.
+//
+// After construction the engine is safe for concurrent use: any number
+// of goroutines may call Search; ApplyFeedback (which mutates utilities)
+// is serialized against searches by an internal lock.
 type Engine struct {
+	// mu guards the mutable state: instance/definition utilities, which
+	// ApplyFeedback writes and Search reads. The index, dictionary and
+	// segmenter are immutable after construction.
+	mu        sync.RWMutex
 	cat       *core.Catalog
 	dict      *segment.Dictionary
 	seg       *segment.Segmenter
-	index     *ir.Index
+	index     *ir.ShardedIndex
 	instances map[string]*core.Instance // by instance ID
 	opts      Options
 	defTables map[string]map[string]bool // definition -> tables it covers
@@ -93,43 +112,44 @@ func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
 		opts.AnchorBoost = 2
 	}
 
+	workers := opts.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	dict := segment.BuildDictionary(cat.DB(), segment.Options{AttributeSynonyms: opts.Synonyms})
 	e := &Engine{
 		cat:       cat,
 		dict:      dict,
 		seg:       segment.NewSegmenter(dict),
-		index:     ir.NewIndex(),
+		index:     ir.NewShardedIndex(opts.Shards),
 		instances: make(map[string]*core.Instance),
 		opts:      opts,
 		defTables: make(map[string]map[string]bool),
 	}
-	insts, err := cat.MaterializeCatalog()
+	insts, err := materializeParallel(cat, workers)
 	if err != nil {
 		return nil, err
 	}
 	if len(insts) == 0 {
 		return nil, fmt.Errorf("search: catalog produced no instances")
 	}
+	// Deduplicate in catalog order (identical anchors across remakes
+	// collapse to one document), fan analysis out across the workers,
+	// then merge into the index sequentially in that same order — the
+	// posting lists come out identical to a sequential build.
+	unique := make([]*core.Instance, 0, len(insts))
 	for _, inst := range insts {
 		id := inst.ID()
 		if _, dup := e.instances[id]; dup {
-			continue // identical anchors across remakes collapse to one document
+			continue
 		}
 		e.instances[id] = inst
-		// Definition keywords deliberately stay out of the instance
-		// index: they are type vocabulary, handled by type affinity.
-		// Indexing them would let every instance of a definition match
-		// its vocabulary, drowning the instances that actually contain
-		// the query's content. Context text (§2: ranking-only content)
-		// is indexed at half weight — findable, never presented.
-		fields := []ir.Field{
-			{Text: inst.Label(), Weight: opts.LabelWeight},
-			{Text: inst.Rendered.Text, Weight: 1},
-		}
-		if inst.ContextText != "" {
-			fields = append(fields, ir.Field{Text: inst.ContextText, Weight: 0.5})
-		}
-		if _, err := e.index.Add(id, fields...); err != nil {
+		unique = append(unique, inst)
+	}
+	analyzed := analyzeParallel(unique, opts, workers)
+	for i, inst := range unique {
+		if _, err := e.index.AddAnalyzed(inst.ID(), analyzed[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -148,6 +168,95 @@ func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// materializeParallel is cat.MaterializeCatalog with the per-definition
+// evaluation fanned out across workers. The flattened result preserves
+// catalog (utility) order exactly, so downstream document ids match the
+// sequential build. Materialization only reads the database, which is
+// immutable here, so concurrent evaluation is safe.
+func materializeParallel(cat *core.Catalog, workers int) ([]*core.Instance, error) {
+	defs := cat.Definitions()
+	if workers > len(defs) {
+		workers = len(defs)
+	}
+	if workers <= 1 {
+		return cat.MaterializeCatalog()
+	}
+	perDef := make([][]*core.Instance, len(defs))
+	errs := make([]error, len(defs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perDef[i], errs[i] = cat.MaterializeAll(defs[i])
+			}
+		}()
+	}
+	for i := range defs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var out []*core.Instance
+	for i := range defs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, perDef[i]...)
+	}
+	return out, nil
+}
+
+// indexFields returns the IR fields one instance is indexed under.
+//
+// Definition keywords deliberately stay out of the instance index: they
+// are type vocabulary, handled by type affinity. Indexing them would let
+// every instance of a definition match its vocabulary, drowning the
+// instances that actually contain the query's content. Context text
+// (§2: ranking-only content) is indexed at half weight — findable, never
+// presented.
+func indexFields(inst *core.Instance, opts Options) []ir.Field {
+	fields := []ir.Field{
+		{Text: inst.Label(), Weight: opts.LabelWeight},
+		{Text: inst.Rendered.Text, Weight: 1},
+	}
+	if inst.ContextText != "" {
+		fields = append(fields, ir.Field{Text: inst.ContextText, Weight: 0.5})
+	}
+	return fields
+}
+
+// analyzeParallel tokenizes every instance's fields across workers,
+// returning the analyses positionally aligned with insts.
+func analyzeParallel(insts []*core.Instance, opts Options, workers int) []ir.DocTerms {
+	out := make([]ir.DocTerms, len(insts))
+	if workers <= 1 || len(insts) < 2 {
+		for i, inst := range insts {
+			out[i] = ir.AnalyzeFields(indexFields(inst, opts)...)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = ir.AnalyzeFields(indexFields(insts[i], opts)...)
+			}
+		}()
+	}
+	for i := range insts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *core.Catalog { return e.cat }
 
@@ -158,8 +267,12 @@ func (e *Engine) InstanceCount() int { return len(e.instances) }
 // that need gold segmentations, e.g. the evaluation oracle).
 func (e *Engine) Segmenter() *segment.Segmenter { return e.seg }
 
-// Search answers a keyword query with the top-k qunit instances.
+// Search answers a keyword query with the top-k qunit instances. It is
+// safe to call from any number of goroutines concurrently; index shards
+// are scored in parallel.
 func (e *Engine) Search(query string, k int) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sg := e.seg.Segment(query)
 	affinity := e.typeAffinity(sg)
 	// Anchor identification: the entities the query names select the
@@ -169,7 +282,7 @@ func (e *Engine) Search(query string, k int) []Result {
 		anchors[ent.Text] = true
 	}
 
-	hits := ir.Search(e.index, e.opts.Scorer, query, 0)
+	hits := e.index.Search(e.opts.Scorer, query, 0)
 	results := make([]Result, 0, len(hits))
 	for _, h := range hits {
 		inst := e.instances[h.Name]
@@ -189,16 +302,23 @@ func (e *Engine) Search(query string, k int) []Result {
 			TypeAffinity: aff,
 		})
 	}
+	sortResults(results)
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// sortResults orders results by score desc, ties broken by instance ID
+// asc — the deterministic order every search path (sharded or not) must
+// present.
+func sortResults(results []Result) {
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score
 		}
 		return results[i].Instance.ID() < results[j].Instance.ID()
 	})
-	if k > 0 && len(results) > k {
-		results = results[:k]
-	}
-	return results
 }
 
 // typeAffinity scores each definition against the query's segmentation —

@@ -25,8 +25,12 @@ type Feedback struct {
 
 // Apply records one feedback signal for the instance with the given ID.
 // positive=true reinforces the instance's definition; positive=false
-// penalizes it. It returns the definition's new utility.
+// penalizes it. It returns the definition's new utility. Safe to call
+// concurrently with Search: the utility update is serialized behind the
+// engine's lock.
 func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	inst, ok := e.instances[instanceID]
 	if !ok {
 		return 0, fmt.Errorf("search: no instance %q", instanceID)
@@ -83,6 +87,8 @@ func (e *Engine) FeedbackSession(clicks map[string]string, f Feedback) error {
 // monitoring it across feedback epochs shows the catalog adapting.
 // Maximal when all definitions are equally useful.
 func (e *Engine) UtilityEntropy() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	defs := e.cat.Definitions()
 	total := 0.0
 	for _, d := range defs {

@@ -1,0 +1,261 @@
+// Package server exposes a qunit search engine over HTTP — the qunitsd
+// daemon's core. It is the paper's presentation layer turned service:
+// "the results of the keyword query are presented as ranked qunit
+// instances", here as JSON.
+//
+// Endpoints:
+//
+//	GET /search?q=<query>&k=<n>  ranked qunit instances as JSON
+//	GET /healthz                 liveness probe
+//	GET /stats                   serving counters and engine stats
+//
+// The handler is safe for arbitrary concurrency: the engine is scored
+// shard-parallel and guarded internally, identical concurrent queries
+// collapse into one engine call (singleflight), and an LRU cache serves
+// repeated queries without touching the engine at all.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"qunits/internal/search"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the LRU capacity in distinct (query, k) entries;
+	// 0 means 1024, negative disables caching.
+	CacheSize int
+	// DefaultK is the result count when the request omits k; 0 means 10.
+	DefaultK int
+	// MaxK caps the per-request k; 0 means 100.
+	MaxK int
+}
+
+// Server serves a search engine over HTTP. Create with New; it
+// implements http.Handler.
+type Server struct {
+	engine *search.Engine
+	cfg    Config
+	cache  *lruCache
+	flight *flightGroup
+	mux    *http.ServeMux
+	start  time.Time
+
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	dedupShared atomic.Int64
+	badRequests atomic.Int64
+	purgeEpoch  atomic.Int64
+}
+
+// New returns a Server over the engine.
+func New(engine *search.Engine, cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.DefaultK == 0 {
+		cfg.DefaultK = 10
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = 100
+	}
+	s := &Server{
+		engine: engine,
+		cfg:    cfg,
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SearchResult is one ranked qunit instance on the wire.
+type SearchResult struct {
+	// ID is the instance's unique name (definition plus parameters).
+	ID string `json:"id"`
+	// Label is the instance's display label (its anchor value).
+	Label string `json:"label"`
+	// Definition names the qunit type this instance belongs to.
+	Definition string `json:"definition"`
+	// Score is the final combined relevance score.
+	Score float64 `json:"score"`
+	// IRScore is the raw IR component of the score.
+	IRScore float64 `json:"ir_score"`
+	// TypeAffinity is the qunit-type identification component.
+	TypeAffinity float64 `json:"type_affinity"`
+	// Snippet is the leading portion of the instance's rendered text.
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// SearchResponse is the /search reply.
+type SearchResponse struct {
+	Query   string         `json:"query"`
+	K       int            `json:"k"`
+	Cached  bool           `json:"cached"`
+	TookUS  int64          `json:"took_us"`
+	Results []SearchResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+const snippetLen = 200
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing required parameter q"})
+		return
+	}
+	k := s.cfg.DefaultK
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			s.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid k %q: want a positive integer", raw)})
+			return
+		}
+		k = parsed
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	s.queries.Add(1)
+
+	key := strconv.Itoa(k) + "\x00" + q
+	results, cached := s.cache.get(key)
+	if cached {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+		var shared bool
+		results, shared = s.flight.do(key, func() []SearchResult {
+			// Snapshot the purge epoch before searching: if feedback
+			// purges the cache while this search runs, the result was
+			// computed against stale utilities and must not be
+			// re-inserted after the purge.
+			epoch := s.purgeEpoch.Load()
+			res := s.toWire(s.engine.Search(q, k))
+			if s.purgeEpoch.Load() == epoch {
+				s.cache.put(key, res)
+			}
+			return res
+		})
+		if shared {
+			s.dedupShared.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{
+		Query:   q,
+		K:       k,
+		Cached:  cached,
+		TookUS:  time.Since(started).Microseconds(),
+		Results: results,
+	})
+}
+
+// toWire converts engine results to their wire form.
+func (s *Server) toWire(results []search.Result) []SearchResult {
+	out := make([]SearchResult, len(results))
+	for i, r := range results {
+		snippet := truncateRunes(r.Instance.Rendered.Text, snippetLen)
+		out[i] = SearchResult{
+			ID:           r.Instance.ID(),
+			Label:        r.Instance.Label(),
+			Definition:   r.Instance.Def.Name,
+			Score:        r.Score,
+			IRScore:      r.IRScore,
+			TypeAffinity: r.TypeAffinity,
+			Snippet:      snippet,
+		}
+	}
+	return out
+}
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Instances int    `json:"instances"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Instances: s.engine.InstanceCount()})
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	Queries       int64   `json:"queries"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	DedupShared   int64   `json:"dedup_shared"`
+	BadRequests   int64   `json:"bad_requests"`
+	CacheLen      int     `json:"cache_len"`
+	CacheCap      int     `json:"cache_cap"`
+	Instances     int     `json:"instances"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Queries:       s.queries.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		DedupShared:   s.dedupShared.Load(),
+		BadRequests:   s.badRequests.Load(),
+		CacheLen:      s.cache.len(),
+		CacheCap:      s.cfg.CacheSize,
+		Instances:     s.engine.InstanceCount(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// ApplyFeedback forwards a feedback signal to the engine and purges the
+// result cache: a utility update can reorder any query's results. The
+// epoch bump keeps searches that started before the update from
+// re-inserting their now-stale rankings after the purge.
+func (s *Server) ApplyFeedback(instanceID string, positive bool) (float64, error) {
+	util, err := s.engine.ApplyFeedback(instanceID, positive, search.Feedback{})
+	if err == nil {
+		s.purgeEpoch.Add(1)
+		s.cache.purge()
+	}
+	return util, err
+}
+
+// truncateRunes cuts s to at most max bytes without splitting a rune,
+// so snippets stay valid UTF-8.
+func truncateRunes(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	for max > 0 && !utf8.RuneStart(s[max]) {
+		max--
+	}
+	return s[:max]
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

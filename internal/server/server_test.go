@@ -1,0 +1,413 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/search"
+)
+
+var (
+	engineOnce sync.Once
+	testEngine *search.Engine
+)
+
+// sharedEngine builds one small engine for every test; the engine is
+// immutable aside from feedback, which only TestFeedbackPurgesCache uses
+// via its own server's cache.
+func sharedEngine(t *testing.T) *search.Engine {
+	t.Helper()
+	engineOnce.Do(func() {
+		u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			panic(err)
+		}
+		testEngine, err = search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testEngine
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	return New(sharedEngine(t), cfg)
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec, rec.Body.Bytes()
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, body := get(t, s, "/search?q=star+wars+cast&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query != "star wars cast" || resp.K != 3 || resp.Cached {
+		t.Fatalf("resp header wrong: %+v", resp)
+	}
+	if len(resp.Results) == 0 || len(resp.Results) > 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	top := resp.Results[0]
+	if top.Definition != "movie-cast" || top.Label != "star wars" {
+		t.Fatalf("top result = %+v", top)
+	}
+	if top.Score <= 0 || top.ID == "" {
+		t.Fatalf("degenerate top result: %+v", top)
+	}
+	// Results must be ordered by score desc.
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Score > resp.Results[i-1].Score {
+			t.Fatalf("results out of order at %d: %v", i, resp.Results)
+		}
+	}
+}
+
+func TestSearchCaching(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, first := get(t, s, "/search?q=george+clooney&k=5")
+	rec, second := get(t, s, "/search?q=george+clooney&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var a, b SearchResponse
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cached || !b.Cached {
+		t.Fatalf("cached flags: first=%v second=%v", a.Cached, b.Cached)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("cached result diverges: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("cached result %d differs: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+	// Different k is a different cache entry.
+	_, third := get(t, s, "/search?q=george+clooney&k=2")
+	var c SearchResponse
+	if err := json.Unmarshal(third, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cached {
+		t.Fatal("k=2 should miss the k=5 entry")
+	}
+	var st StatsResponse
+	_, body := get(t, s, "/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 3 || st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSearchBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, path := range []string{"/search", "/search?q=", "/search?q=x&k=zero", "/search?q=x&k=-3", "/search?q=x&k=0"} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %s", path, rec.Code, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: not a JSON error: %s", path, body)
+		}
+	}
+	var st StatsResponse
+	_, body := get(t, s, "/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BadRequests != 5 || st.Queries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKCapped(t *testing.T) {
+	s := newTestServer(t, Config{MaxK: 4})
+	_, body := get(t, s, "/search?q=movies&k=9999")
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 4 || len(resp.Results) > 4 {
+		t.Fatalf("k not capped: k=%d results=%d", resp.K, len(resp.Results))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Instances == 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestConcurrentRequests hammers the full handler from many goroutines
+// over a mixed query set; under -race this validates the whole serving
+// path (engine, cache, singleflight, counters).
+func TestConcurrentRequests(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 8})
+	queries := []string{"star wars cast", "george clooney", "movies", "soundtrack", "box office"}
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				q := queries[(g+i)%len(queries)]
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q="+url.QueryEscape(q)+"&k=5", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d for %q", rec.Code, q)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var st StatsResponse
+	_, body := get(t, s, "/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 24*15 {
+		t.Fatalf("queries = %d, want %d", st.Queries, 24*15)
+	}
+	if st.CacheHits+st.CacheMisses != st.Queries {
+		t.Fatalf("hit+miss %d+%d != queries %d", st.CacheHits, st.CacheMisses, st.Queries)
+	}
+}
+
+func TestFeedbackPurgesCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, body := get(t, s, "/search?q=star+wars+cast&k=1")
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.len() == 0 {
+		t.Fatal("cache empty after search")
+	}
+	if _, err := s.ApplyFeedback(resp.Results[0].ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("cache not purged after feedback")
+	}
+	if _, err := s.ApplyFeedback("no-such-instance", true); err == nil {
+		t.Fatal("feedback on unknown instance accepted")
+	}
+}
+
+// --- unit tests for the cache and singleflight primitives -----------------
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", []SearchResult{{ID: "a"}})
+	c.put("b", []SearchResult{{ID: "b"}})
+	if _, ok := c.get("a"); !ok { // promotes a
+		t.Fatal("a missing")
+	}
+	c.put("c", []SearchResult{{ID: "c"}}) // evicts b (LRU)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if v, ok := c.get(k); !ok || v[0].ID != k {
+			t.Fatalf("%s missing or wrong", k)
+		}
+	}
+	c.put("a", []SearchResult{{ID: "a2"}}) // refresh in place
+	if v, _ := c.get("a"); v[0].ID != "a2" {
+		t.Fatal("refresh did not replace value")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestFlightGroupDedupes(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var calls int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.do("k", func() []SearchResult {
+			calls++
+			close(entered)
+			<-release
+			return []SearchResult{{ID: "v"}}
+		})
+	}()
+	<-entered // the leader is inside fn; followers must now share
+	const followers = 8
+	sharedCount := make(chan bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, shared := g.do("k", func() []SearchResult {
+				t.Error("follower executed fn")
+				return nil
+			})
+			if len(val) != 1 || val[0].ID != "v" {
+				t.Errorf("follower got %v", val)
+			}
+			sharedCount <- shared
+		}()
+	}
+	// Release only once every follower is parked on the inflight call,
+	// so the test is deterministic regardless of scheduling.
+	for {
+		g.mu.Lock()
+		waiting := g.calls["k"].waiters
+		g.mu.Unlock()
+		if waiting == followers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < followers; i++ {
+		if !<-sharedCount {
+			t.Fatal("follower did not share")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+	// After completion the key is free again: a new call recomputes.
+	val, shared := g.do("k", func() []SearchResult { return []SearchResult{{ID: "v2"}} })
+	if shared || val[0].ID != "v2" {
+		t.Fatalf("post-flight call: shared=%v val=%v", shared, val)
+	}
+}
+
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	g := newFlightGroup()
+	func() {
+		defer func() { recover() }()
+		g.do("k", func() []SearchResult { panic("engine blew up") })
+	}()
+	// The key must be free again — a fresh call computes normally
+	// instead of joining a dead flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		val, shared := g.do("k", func() []SearchResult { return []SearchResult{{ID: "ok"}} })
+		if shared || len(val) != 1 || val[0].ID != "ok" {
+			t.Errorf("post-panic call: shared=%v val=%v", shared, val)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-panic call hung: key leaked in flight group")
+	}
+}
+
+func TestTruncateRunes(t *testing.T) {
+	cases := []struct {
+		in   string
+		max  int
+		want string
+	}{
+		{"short", 10, "short"},
+		{"exactly", 7, "exactly"},
+		{"abcdef", 3, "abc"},
+		{"héllo", 2, "h"},  // é is 2 bytes starting at offset 1
+		{"héllo", 3, "hé"}, // clean boundary
+		{"日本語", 4, "日"},    // 3-byte runes
+		{"日本語", 5, "日"},    // mid-rune: back up
+		{"日本語", 6, "日本"},   // clean boundary
+	}
+	for _, c := range cases {
+		got := truncateRunes(c.in, c.max)
+		if got != c.want {
+			t.Errorf("truncateRunes(%q, %d) = %q, want %q", c.in, c.max, got, c.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("truncateRunes(%q, %d) = %q is invalid UTF-8", c.in, c.max, got)
+		}
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 7})
+	_, body := get(t, s, "/stats")
+	var raw map[string]interface{}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"queries", "cache_hits", "cache_misses", "dedup_shared", "bad_requests", "cache_len", "cache_cap", "instances", "uptime_seconds"} {
+		if _, ok := raw[field]; !ok {
+			t.Fatalf("stats missing %q: %s", field, body)
+		}
+	}
+	if int(raw["cache_cap"].(float64)) != 7 {
+		t.Fatalf("cache_cap = %v", raw["cache_cap"])
+	}
+}
+
+// TestEndToEndHTTP runs the server on a real listener — the same wiring
+// cmd/qunitsd uses — and exercises it over TCP.
+func TestEndToEndHTTP(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, Config{}))
+	defer ts.Close()
+	resp, err := http.Get(fmt.Sprintf("%s/search?q=%s", ts.URL, "star+wars+cast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results over TCP")
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical work: while one
+// goroutine computes the value for a key, any other goroutine asking for
+// the same key blocks and shares the result instead of recomputing it.
+// Under a thundering herd of identical queries the engine runs each
+// query once. (Same contract as golang.org/x/sync/singleflight, reduced
+// to what the server needs — no external dependency.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	val     []SearchResult
+	waiters int // goroutines sharing this call, beyond the leader
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per concurrent set of callers with the same key. The
+// second return reports whether this caller shared another's result.
+func (g *flightGroup) do(key string, fn func() []SearchResult) ([]SearchResult, bool) {
+	g.mu.Lock()
+	if c, inflight := g.calls[key]; inflight {
+		c.waiters++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Release waiters and the key even if fn panics: otherwise every
+	// current and future caller for this key would block forever.
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val, false
+}
