@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet fmt-check bench bench-json ci
+.PHONY: build test race vet fmt-check staticcheck smoke bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,18 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
+# staticcheck runs honnef.co/go/tools without adding a module
+# dependency; it needs network access to fetch the tool, so it is a CI
+# step rather than part of the offline `ci` target.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# smoke boots qunitsd and drives the HTTP surface (/healthz, /v1/search
+# single+batch, /v1/feedback, /v1/instances, legacy /search, graceful
+# shutdown) with curl.
+smoke:
+	./scripts/smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
@@ -32,4 +45,4 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH.json
 	@echo "wrote BENCH.json"
 
-ci: build fmt-check vet test race bench
+ci: build fmt-check vet test race smoke bench

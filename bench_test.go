@@ -9,7 +9,9 @@
 package qunits_test
 
 import (
+	"context"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -171,9 +173,13 @@ func BenchmarkMLCASearch(b *testing.B) {
 // engine — the paper's headline operation.
 func BenchmarkQunitSearch(b *testing.B) {
 	lab := sharedLab(b)
+	ctx := context.Background()
+	req := search.Request{Query: "star wars cast", K: 5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lab.HumanEngine.Search("star wars cast", 5)
+		if _, err := lab.HumanEngine.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -228,9 +234,13 @@ func BenchmarkQunitSearchShards(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			ctx := context.Background()
+			req := search.Request{Query: "star wars cast", K: 5}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				engine.Search("star wars cast", 5)
+				if _, err := engine.Search(ctx, req); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -241,9 +251,13 @@ func BenchmarkQunitSearchShards(b *testing.B) {
 func BenchmarkQunitSearchParallelClients(b *testing.B) {
 	lab := sharedLab(b)
 	b.ResetTimer()
+	ctx := context.Background()
+	req := search.Request{Query: "star wars cast", K: 5}
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			lab.HumanEngine.Search("star wars cast", 5)
+			if _, err := lab.HumanEngine.Search(ctx, req); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -277,6 +291,44 @@ func BenchmarkServerSearchCached(b *testing.B) {
 		srv.ServeHTTP(rec, req)
 		if rec.Code != 200 {
 			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServerV1Search measures the structured POST /v1/search path
+// cold (cache disabled): JSON decode, engine search, JSON encode.
+func BenchmarkServerV1Search(b *testing.B) {
+	lab := sharedLab(b)
+	srv := server.New(lab.HumanEngine, server.Config{CacheSize: -1})
+	body := `{"query":"star wars cast","k":5}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerV1SearchBatch measures an 8-query /v1/search batch per
+// op — the amortized-overhead serving mode.
+func BenchmarkServerV1SearchBatch(b *testing.B) {
+	lab := sharedLab(b)
+	srv := server.New(lab.HumanEngine, server.Config{CacheSize: -1})
+	items := make([]string, 8)
+	for i := range items {
+		items[i] = `{"query":"star wars cast","k":5}`
+	}
+	body := `{"queries":[` + strings.Join(items, ",") + `]}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 		}
 	}
 }

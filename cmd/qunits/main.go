@@ -6,9 +6,13 @@
 //	qunits -derive human -dump defs             # show a catalog's definitions
 //	qunits -derive querylog -query "star wars cast"
 //	qunits -derive schema -query "george clooney" -k 5 -xml
+//	qunits -query "star wars cast" -explain     # show segmentation + affinities
+//	qunits -query "star wars" -k 5 -offset 5    # page two
+//	qunits -query "cast" -filter-def movie-cast # restrict to one qunit type
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +32,10 @@ func main() {
 	strategy := flag.String("derive", "human", "derivation strategy: schema | querylog | evidence | human")
 	query := flag.String("query", "", "keyword query to run")
 	k := flag.Int("k", 3, "number of results")
+	offset := flag.Int("offset", 0, "ranked results to skip before collecting k (offset pagination)")
+	filterDefs := flag.String("filter-def", "", "comma-separated definition names to restrict the search to")
+	filterAnchors := flag.String("filter-anchor", "", "comma-separated anchor types (table.column) to restrict the search to")
+	explain := flag.Bool("explain", false, "print the query segmentation and identified-type affinities")
 	dump := flag.String("dump", "", "dump: schema | defs | stats")
 	persons := flag.Int("persons", 1200, "synthetic persons")
 	movies := flag.Int("movies", 600, "synthetic movies")
@@ -105,6 +113,10 @@ func main() {
 	start := time.Now()
 	var results []search.Result
 	if *lazy {
+		if *offset != 0 || *filterDefs != "" || *filterAnchors != "" || *explain {
+			fmt.Fprintln(os.Stderr, "qunits: -offset, -filter-def, -filter-anchor, and -explain need the indexed engine; drop -lazy")
+			os.Exit(2)
+		}
 		resolver := search.NewResolver(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
 		fmt.Fprintf(os.Stderr, "resolver ready in %v (nothing materialized)\n\n", time.Since(start).Round(time.Millisecond))
 		var rerr error
@@ -120,7 +132,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "indexed %d qunit instances in %v\n\n", engine.InstanceCount(), time.Since(start).Round(time.Millisecond))
-		results = engine.Search(*query, *k)
+		resp, serr := engine.Search(context.Background(), search.Request{
+			Query:  *query,
+			K:      *k,
+			Offset: *offset,
+			Filter: search.Filter{
+				Definitions: splitList(*filterDefs),
+				AnchorTypes: splitList(*filterAnchors),
+			},
+			Explain: *explain,
+		})
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "qunits: %v\n", serr)
+			os.Exit(1)
+		}
+		if *explain {
+			fmt.Fprintf(os.Stderr, "segmented as %q\n", resp.Explain.Template)
+			for _, seg := range resp.Explain.Segments {
+				fmt.Fprintf(os.Stderr, "  segment %-20q kind=%s", seg.Text, seg.Kind)
+				if seg.Type != "" {
+					fmt.Fprintf(os.Stderr, " type=%s", seg.Type)
+				}
+				if seg.Table != "" {
+					fmt.Fprintf(os.Stderr, " table=%s", seg.Table)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+			for _, aff := range resp.Explain.Affinities {
+				fmt.Fprintf(os.Stderr, "  affinity %-24s %.1f\n", aff.Definition, aff.Affinity)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		if resp.Total > len(resp.Results) {
+			fmt.Fprintf(os.Stderr, "showing %d of %d matching instances (offset %d)\n\n", len(resp.Results), resp.Total, *offset)
+		}
+		results = resp.Results
 	}
 	if len(results) == 0 {
 		fmt.Println("no results")
@@ -159,6 +205,20 @@ func buildCatalog(u *imdb.Universe, strategy string, seed int64) (*core.Catalog,
 	default:
 		return nil, fmt.Errorf("unknown strategy %q (want schema | querylog | evidence | human)", strategy)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func indent(s string) string {

@@ -3,23 +3,32 @@
 // It generates a synthetic IMDb-like database, derives a qunit catalog,
 // builds the search engine (instance materialization and analysis fanned
 // out across all cores, the index sharded for parallel scoring), and
-// listens for queries:
+// listens for queries on the versioned /v1 JSON API:
 //
 //	qunitsd -addr :8080 -movies 500 -persons 800
-//	curl 'localhost:8080/search?q=star+wars+cast&k=5'
+//	curl -d '{"query":"star wars cast","k":5}' localhost:8080/v1/search
+//	curl -d '{"queries":[{"query":"star wars cast"},{"query":"george clooney"}]}' localhost:8080/v1/search
+//	curl -d '{"instance_id":"movie-cast:star wars","positive":true}' localhost:8080/v1/feedback
+//	curl 'localhost:8080/v1/instances/movie-cast:star%20wars'
+//	curl 'localhost:8080/search?q=star+wars+cast&k=5'   # legacy alias
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/stats'
 //
 // Flags control the universe size, the derivation strategy, the shard
-// and build-worker counts, and the result-cache capacity.
+// and build-worker counts, and the result-cache capacity. The daemon
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"qunits/internal/core"
@@ -43,6 +52,8 @@ func main() {
 		cacheSize    = flag.Int("cache", 1024, "LRU query-result cache capacity (negative disables)")
 		defaultK     = flag.Int("k", 10, "default result count when the request omits k")
 		maxK         = flag.Int("max-k", 100, "maximum per-request result count")
+		maxBatch     = flag.Int("max-batch", 32, "maximum queries per /v1/search batch")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
@@ -73,15 +84,49 @@ func main() {
 	log.Printf("qunitsd: engine ready in %v (%d instances, %d definitions)",
 		time.Since(buildStart).Round(time.Millisecond), engine.InstanceCount(), cat.Len())
 
-	srv := server.New(engine, server.Config{
+	handler := server.New(engine, server.Config{
 		CacheSize: *cacheSize,
 		DefaultK:  *defaultK,
 		MaxK:      *maxK,
+		MaxBatch:  *maxBatch,
 	})
-	log.Printf("qunitsd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Print(err)
-		os.Exit(1)
+	// A production listener, not a bare ListenAndServe: bounded header,
+	// read, write, and idle timeouts so one slow client can't pin a
+	// connection goroutine forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qunitsd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Print(err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("qunitsd: signal received, draining (up to %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("qunitsd: shutdown: %v", err)
+			_ = srv.Close()
+			os.Exit(1)
+		}
+		log.Print("qunitsd: drained, bye")
 	}
 }
 

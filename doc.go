@@ -15,16 +15,43 @@
 // engine construction fans instance materialization and tokenization out
 // across all cores, the inverted index is sharded for parallel BM25
 // scoring with results bitwise identical to the sequential path, and
-// cmd/qunitsd serves /search, /healthz, and /stats over HTTP behind an
-// LRU query-result cache with singleflight deduplication of concurrent
-// identical queries.
+// cmd/qunitsd serves a versioned /v1 JSON API behind an LRU result
+// cache keyed by the full canonicalized request, with singleflight
+// deduplication of concurrent identical requests and graceful shutdown.
 //
-// Start with README.md for a tour — module setup, qunitsd usage, and the
-// CI commands — and EXPERIMENTS.md for the paper-versus-measured record.
-// The bench_test.go file in this directory regenerates every table and
+// # The /v1 HTTP API
+//
+// POST /v1/search takes a structured request — query, k, offset,
+// definition/anchor-type filter, explain flag — either singly or as a
+// batch ("queries": [...]) whose items succeed and fail independently.
+// Responses carry the result page, the pre-paging total, and a
+// per-result score breakdown (ir_score, type_affinity, type_factor,
+// utility, utility_blend, anchor_boost); with "explain": true the reply
+// also
+// includes the query segmentation, its typed template, and the
+// identified-type affinities — the paper's §3 pipeline made
+// machine-readable. POST /v1/feedback closes the relevance-feedback
+// loop, GET /v1/instances/{id} dereferences a result, and every error
+// is an envelope {"error":{"code","message"}} with a stable code.
+// The pre-/v1 GET /search alias is kept byte-compatible.
+//
+// # Embedding
+//
+// This root package is also the public facade for external programs
+// (the implementation lives under internal/, which the toolchain walls
+// off): NewDatabase/NewCatalog/MustParseBase build the substrate,
+// DeriveExpert/DeriveFromSchema derive catalogs, NewEngine +
+// Engine.Search(ctx, Request) run structured searches, and NewServer
+// mounts the whole HTTP surface as an http.Handler. See facade.go and
+// examples/quickstart, which is written entirely against this surface.
+//
+// Start with README.md for a tour — module setup, the /v1 API
+// reference with curl examples, qunitsd usage, and the CI commands —
+// and EXPERIMENTS.md for the paper-versus-measured record. The
+// bench_test.go file in this directory regenerates every table and
 // figure of the paper's evaluation as Go benchmarks; `make bench-json`
 // emits the whole suite as a JSON artifact.
 package qunits
 
 // Version identifies this reproduction's release.
-const Version = "1.1.0"
+const Version = "1.2.0"

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	qunits, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	qunitEngine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,8 +68,12 @@ func main() {
 		}
 
 		// Qunits: a complete, demarcated unit of information.
-		if res := qunits.Search(q, 1); len(res) > 0 {
-			inst := res[0].Instance
+		resp, err := qunitEngine.Search(context.Background(), search.Request{Query: q, K: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Results) > 0 {
+			inst := resp.Results[0].Instance
 			fmt.Printf("  QUNITS  %s (%s): %s\n", inst.ID(), inst.Def.Description, clip(inst.Rendered.Text, 140))
 		} else {
 			fmt.Println("  QUNITS  no result")

@@ -5,62 +5,63 @@
 // the paper's §2 example verbatim), derive instances, and run a keyword
 // query that is segmented, typed, and answered with the right qunit.
 //
+// It is written entirely against the public root package — the same
+// surface an external program embedding this module would use.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"qunits/internal/core"
-	"qunits/internal/relational"
-	"qunits/internal/search"
-	"qunits/internal/sqlview"
+	"qunits"
 )
 
 func main() {
 	// 1. A small relational database: the paper's person/cast/movie core.
-	db := relational.NewDatabase("tinyimdb")
-	db.MustCreateTable(relational.MustTableSchema("person", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
+	db := qunits.NewDatabase("tinyimdb")
+	db.MustCreateTable(qunits.MustTableSchema("person", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "name", Kind: qunits.KindString, Searchable: true, Label: true},
 	}, "id", nil))
-	db.MustCreateTable(relational.MustTableSchema("movie", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
-		{Name: "year", Kind: relational.KindInt},
+	db.MustCreateTable(qunits.MustTableSchema("movie", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "title", Kind: qunits.KindString, Searchable: true, Label: true},
+		{Name: "year", Kind: qunits.KindInt},
 	}, "id", nil))
-	db.MustCreateTable(relational.MustTableSchema("cast", []relational.Column{
-		{Name: "person_id", Kind: relational.KindInt},
-		{Name: "movie_id", Kind: relational.KindInt},
-		{Name: "role", Kind: relational.KindString, Searchable: true},
-	}, "", []relational.ForeignKey{
+	db.MustCreateTable(qunits.MustTableSchema("cast", []qunits.Column{
+		{Name: "person_id", Kind: qunits.KindInt},
+		{Name: "movie_id", Kind: qunits.KindInt},
+		{Name: "role", Kind: qunits.KindString, Searchable: true},
+	}, "", []qunits.ForeignKey{
 		{Column: "person_id", RefTable: "person"},
 		{Column: "movie_id", RefTable: "movie"},
 	}))
 
 	people := db.Table("person")
-	people.MustInsert(relational.Row{relational.Int(1), relational.String("mark hamill")})
-	people.MustInsert(relational.Row{relational.Int(2), relational.String("carrie fisher")})
-	people.MustInsert(relational.Row{relational.Int(3), relational.String("harrison ford")})
+	people.MustInsert(qunits.Row{qunits.Int(1), qunits.String("mark hamill")})
+	people.MustInsert(qunits.Row{qunits.Int(2), qunits.String("carrie fisher")})
+	people.MustInsert(qunits.Row{qunits.Int(3), qunits.String("harrison ford")})
 	movies := db.Table("movie")
-	movies.MustInsert(relational.Row{relational.Int(1), relational.String("star wars"), relational.Int(1977)})
-	movies.MustInsert(relational.Row{relational.Int(2), relational.String("blade runner"), relational.Int(1982)})
+	movies.MustInsert(qunits.Row{qunits.Int(1), qunits.String("star wars"), qunits.Int(1977)})
+	movies.MustInsert(qunits.Row{qunits.Int(2), qunits.String("blade runner"), qunits.Int(1982)})
 	cast := db.Table("cast")
-	cast.MustInsert(relational.Row{relational.Int(1), relational.Int(1), relational.String("luke skywalker")})
-	cast.MustInsert(relational.Row{relational.Int(2), relational.Int(1), relational.String("princess leia")})
-	cast.MustInsert(relational.Row{relational.Int(3), relational.Int(1), relational.String("han solo")})
-	cast.MustInsert(relational.Row{relational.Int(3), relational.Int(2), relational.String("rick deckard")})
+	cast.MustInsert(qunits.Row{qunits.Int(1), qunits.Int(1), qunits.String("luke skywalker")})
+	cast.MustInsert(qunits.Row{qunits.Int(2), qunits.Int(1), qunits.String("princess leia")})
+	cast.MustInsert(qunits.Row{qunits.Int(3), qunits.Int(1), qunits.String("han solo")})
+	cast.MustInsert(qunits.Row{qunits.Int(3), qunits.Int(2), qunits.String("rick deckard")})
 
 	// 2. A qunit definition — the paper's §2 example, verbatim syntax.
-	def := &core.Definition{
+	def := &qunits.Definition{
 		Name:        "movie-cast",
 		Description: "the cast of a movie",
-		Base: sqlview.MustParseBase(`SELECT * FROM person, cast, movie
+		Base: qunits.MustParseBase(`SELECT * FROM person, cast, movie
 WHERE cast.movie_id = movie.id AND
 cast.person_id = person.id AND
 movie.title = "$x"`),
-		Conversion: sqlview.MustParseTemplate(`<cast movie="$x">
+		Conversion: qunits.MustParseTemplate(`<cast movie="$x">
 <foreach:tuple>
 <person>$person.name</person> as <role>$cast.role</role>
 </foreach:tuple>
@@ -70,7 +71,7 @@ movie.title = "$x"`),
 		Source:   "quickstart",
 	}
 
-	catalog := core.NewCatalog(db)
+	catalog := qunits.NewCatalog(db)
 	catalog.MustAdd(def)
 
 	// 3. Derive qunit instances: one per movie.
@@ -84,19 +85,24 @@ movie.title = "$x"`),
 	}
 
 	// 4. Qunit-based search: segmentation types the query, IR ranking
-	// picks the instance (Fig. 1's "star wars cast" walkthrough).
-	engine, err := search.NewEngine(catalog, search.Options{})
+	// picks the instance (Fig. 1's "star wars cast" walkthrough), and
+	// the explain payload shows every pipeline step.
+	engine, err := qunits.NewEngine(catalog, qunits.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	for _, query := range []string{"star wars cast", "blade runner cast"} {
-		results := engine.Search(query, 1)
-		if len(results) == 0 {
+		resp, err := engine.Search(ctx, qunits.Request{Query: query, K: 1, Explain: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Results) == 0 {
 			fmt.Printf("%q -> no results\n", query)
 			continue
 		}
-		top := results[0]
-		fmt.Printf("%q -> %s (score %.2f)\n   %s\n\n",
-			query, top.Instance.ID(), top.Score, top.Instance.Rendered.Text)
+		top := resp.Results[0]
+		fmt.Printf("%q -> %s (score %.2f, segmented as %q)\n   %s\n\n",
+			query, top.Instance.ID(), top.Score, resp.Explain.Template, top.Instance.Rendered.Text)
 	}
 }

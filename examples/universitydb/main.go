@@ -7,71 +7,69 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"qunits/internal/core"
+	"qunits"
 	"qunits/internal/derive"
-	"qunits/internal/relational"
-	"qunits/internal/search"
-	"qunits/internal/sqlview"
 )
 
-func buildUniversity() *relational.Database {
-	db := relational.NewDatabase("university")
-	db.MustCreateTable(relational.MustTableSchema("department", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
-		{Name: "building", Kind: relational.KindString},
+func buildUniversity() *qunits.Database {
+	db := qunits.NewDatabase("university")
+	db.MustCreateTable(qunits.MustTableSchema("department", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "name", Kind: qunits.KindString, Searchable: true, Label: true},
+		{Name: "building", Kind: qunits.KindString},
 	}, "id", nil))
-	db.MustCreateTable(relational.MustTableSchema("professor", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
-		{Name: "dept_id", Kind: relational.KindInt},
-	}, "id", []relational.ForeignKey{{Column: "dept_id", RefTable: "department"}}))
-	db.MustCreateTable(relational.MustTableSchema("course", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "title", Kind: relational.KindString, Searchable: true, Label: true},
-		{Name: "dept_id", Kind: relational.KindInt},
-		{Name: "prof_id", Kind: relational.KindInt},
-	}, "id", []relational.ForeignKey{
+	db.MustCreateTable(qunits.MustTableSchema("professor", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "name", Kind: qunits.KindString, Searchable: true, Label: true},
+		{Name: "dept_id", Kind: qunits.KindInt},
+	}, "id", []qunits.ForeignKey{{Column: "dept_id", RefTable: "department"}}))
+	db.MustCreateTable(qunits.MustTableSchema("course", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "title", Kind: qunits.KindString, Searchable: true, Label: true},
+		{Name: "dept_id", Kind: qunits.KindInt},
+		{Name: "prof_id", Kind: qunits.KindInt},
+	}, "id", []qunits.ForeignKey{
 		{Column: "dept_id", RefTable: "department"},
 		{Column: "prof_id", RefTable: "professor"},
 	}))
-	db.MustCreateTable(relational.MustTableSchema("student", []relational.Column{
-		{Name: "id", Kind: relational.KindInt},
-		{Name: "name", Kind: relational.KindString, Searchable: true, Label: true},
-		{Name: "year", Kind: relational.KindInt},
+	db.MustCreateTable(qunits.MustTableSchema("student", []qunits.Column{
+		{Name: "id", Kind: qunits.KindInt},
+		{Name: "name", Kind: qunits.KindString, Searchable: true, Label: true},
+		{Name: "year", Kind: qunits.KindInt},
 	}, "id", nil))
-	db.MustCreateTable(relational.MustTableSchema("enrollment", []relational.Column{
-		{Name: "student_id", Kind: relational.KindInt},
-		{Name: "course_id", Kind: relational.KindInt},
-		{Name: "grade", Kind: relational.KindString},
-	}, "", []relational.ForeignKey{
+	db.MustCreateTable(qunits.MustTableSchema("enrollment", []qunits.Column{
+		{Name: "student_id", Kind: qunits.KindInt},
+		{Name: "course_id", Kind: qunits.KindInt},
+		{Name: "grade", Kind: qunits.KindString},
+	}, "", []qunits.ForeignKey{
 		{Column: "student_id", RefTable: "student"},
 		{Column: "course_id", RefTable: "course"},
 	}))
 
 	dep := db.Table("department")
-	dep.MustInsert(relational.Row{relational.Int(1), relational.String("computer science"), relational.String("bob hall")})
-	dep.MustInsert(relational.Row{relational.Int(2), relational.String("mathematics"), relational.String("east quad")})
+	dep.MustInsert(qunits.Row{qunits.Int(1), qunits.String("computer science"), qunits.String("bob hall")})
+	dep.MustInsert(qunits.Row{qunits.Int(2), qunits.String("mathematics"), qunits.String("east quad")})
 	prof := db.Table("professor")
-	prof.MustInsert(relational.Row{relational.Int(1), relational.String("ada lovelace"), relational.Int(1)})
-	prof.MustInsert(relational.Row{relational.Int(2), relational.String("emmy noether"), relational.Int(2)})
-	prof.MustInsert(relational.Row{relational.Int(3), relational.String("alan turing"), relational.Int(1)})
+	prof.MustInsert(qunits.Row{qunits.Int(1), qunits.String("ada lovelace"), qunits.Int(1)})
+	prof.MustInsert(qunits.Row{qunits.Int(2), qunits.String("emmy noether"), qunits.Int(2)})
+	prof.MustInsert(qunits.Row{qunits.Int(3), qunits.String("alan turing"), qunits.Int(1)})
 	course := db.Table("course")
-	course.MustInsert(relational.Row{relational.Int(1), relational.String("databases"), relational.Int(1), relational.Int(1)})
-	course.MustInsert(relational.Row{relational.Int(2), relational.String("information retrieval"), relational.Int(1), relational.Int(3)})
-	course.MustInsert(relational.Row{relational.Int(3), relational.String("abstract algebra"), relational.Int(2), relational.Int(2)})
+	course.MustInsert(qunits.Row{qunits.Int(1), qunits.String("databases"), qunits.Int(1), qunits.Int(1)})
+	course.MustInsert(qunits.Row{qunits.Int(2), qunits.String("information retrieval"), qunits.Int(1), qunits.Int(3)})
+	course.MustInsert(qunits.Row{qunits.Int(3), qunits.String("abstract algebra"), qunits.Int(2), qunits.Int(2)})
 	student := db.Table("student")
-	student.MustInsert(relational.Row{relational.Int(1), relational.String("alice chen"), relational.Int(2)})
-	student.MustInsert(relational.Row{relational.Int(2), relational.String("bob kumar"), relational.Int(3)})
-	student.MustInsert(relational.Row{relational.Int(3), relational.String("carol diaz"), relational.Int(1)})
+	student.MustInsert(qunits.Row{qunits.Int(1), qunits.String("alice chen"), qunits.Int(2)})
+	student.MustInsert(qunits.Row{qunits.Int(2), qunits.String("bob kumar"), qunits.Int(3)})
+	student.MustInsert(qunits.Row{qunits.Int(3), qunits.String("carol diaz"), qunits.Int(1)})
 	enr := db.Table("enrollment")
-	enr.MustInsert(relational.Row{relational.Int(1), relational.Int(1), relational.String("a")})
-	enr.MustInsert(relational.Row{relational.Int(1), relational.Int(2), relational.String("b")})
-	enr.MustInsert(relational.Row{relational.Int(2), relational.Int(1), relational.String("a")})
-	enr.MustInsert(relational.Row{relational.Int(3), relational.Int(3), relational.String("a")})
+	enr.MustInsert(qunits.Row{qunits.Int(1), qunits.Int(1), qunits.String("a")})
+	enr.MustInsert(qunits.Row{qunits.Int(1), qunits.Int(2), qunits.String("b")})
+	enr.MustInsert(qunits.Row{qunits.Int(2), qunits.Int(1), qunits.String("a")})
+	enr.MustInsert(qunits.Row{qunits.Int(3), qunits.Int(3), qunits.String("a")})
 	return db
 }
 
@@ -83,25 +81,25 @@ func main() {
 
 	// Hand-written qunits for the new domain: a course roster (who is
 	// enrolled) and a professor's teaching profile.
-	cat := core.NewCatalog(db)
-	cat.MustAdd(&core.Definition{
+	cat := qunits.NewCatalog(db)
+	cat.MustAdd(&qunits.Definition{
 		Name:        "course-roster",
 		Description: "the students enrolled in a course",
-		Base: sqlview.MustParseBase(`SELECT * FROM student, enrollment, course
+		Base: qunits.MustParseBase(`SELECT * FROM student, enrollment, course
 WHERE enrollment.student_id = student.id AND enrollment.course_id = course.id AND course.title = "$x"`),
-		Conversion: sqlview.MustParseTemplate(`<roster course="$x">
+		Conversion: qunits.MustParseTemplate(`<roster course="$x">
 <foreach:tuple><student>$student.name</student> grade <grade>$enrollment.grade</grade></foreach:tuple>
 </roster>`),
 		Utility:  1.0,
 		Keywords: []string{"roster", "students", "enrolled", "enrollment"},
 		Source:   "expert",
 	})
-	cat.MustAdd(&core.Definition{
+	cat.MustAdd(&qunits.Definition{
 		Name:        "professor-courses",
 		Description: "the courses a professor teaches",
-		Base: sqlview.MustParseBase(`SELECT * FROM course, professor
+		Base: qunits.MustParseBase(`SELECT * FROM course, professor
 WHERE course.prof_id = professor.id AND professor.name = "$x"`),
-		Conversion: sqlview.MustParseTemplate(`<teaching professor="$x">
+		Conversion: qunits.MustParseTemplate(`<teaching professor="$x">
 <foreach:tuple><course>$course.title</course></foreach:tuple>
 </teaching>`),
 		Utility:  0.9,
@@ -109,7 +107,7 @@ WHERE course.prof_id = professor.id AND professor.name = "$x"`),
 		Source:   "expert",
 	})
 
-	engine, err := search.NewEngine(cat, search.Options{Synonyms: map[string]string{
+	engine, err := qunits.NewEngine(cat, qunits.Options{Synonyms: map[string]string{
 		"teaches": "course", "classes": "course", "enrolled": "enrollment",
 	}})
 	if err != nil {
@@ -118,12 +116,16 @@ WHERE course.prof_id = professor.id AND professor.name = "$x"`),
 
 	fmt.Println("university database, expert qunits:")
 	for _, q := range []string{"databases roster", "ada lovelace courses", "alan turing"} {
-		res := engine.Search(q, 1)
-		if len(res) == 0 {
+		resp, err := engine.Search(context.Background(), qunits.Request{Query: q, K: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Results) == 0 {
 			fmt.Printf("  %-24q -> no results\n", q)
 			continue
 		}
-		fmt.Printf("  %-24q -> %s: %s\n", q, res[0].Instance.ID(), res[0].Instance.Rendered.Text)
+		top := resp.Results[0]
+		fmt.Printf("  %-24q -> %s: %s\n", q, top.Instance.ID(), top.Instance.Rendered.Text)
 	}
 
 	// The generic §4.1 derivation works on this schema too — no IMDb

@@ -1,0 +1,166 @@
+// facade.go is the embeddable public surface of the module. The
+// implementation lives under internal/; this file re-exports the types
+// and entry points an external Go program needs to build a database,
+// define or derive a qunit catalog, run structured searches, apply
+// relevance feedback, and serve the whole thing over HTTP — without
+// reaching into internal packages (which the Go toolchain forbids from
+// outside this module).
+//
+// A minimal embedding:
+//
+//	db := qunits.NewDatabase("app")
+//	// … create tables, insert rows …
+//	cat, err := qunits.DeriveFromSchema(db)
+//	engine, err := qunits.NewEngine(cat, qunits.Options{})
+//	resp, err := engine.Search(ctx, qunits.Request{Query: "ada lovelace", K: 5})
+//	http.ListenAndServe(":8080", qunits.NewServer(engine, qunits.ServerConfig{}))
+//
+// See examples/quickstart for the full walkthrough.
+package qunits
+
+import (
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/relational"
+	"qunits/internal/search"
+	"qunits/internal/server"
+	"qunits/internal/sqlview"
+)
+
+// --- Relational substrate ---------------------------------------------------
+
+// Database is an in-memory relational database — the substrate qunits
+// are defined over.
+type Database = relational.Database
+
+// TableSchema describes one table's columns, primary key, and foreign
+// keys.
+type TableSchema = relational.TableSchema
+
+// Column is one column of a table schema.
+type Column = relational.Column
+
+// ForeignKey declares that a column references another table's primary
+// key.
+type ForeignKey = relational.ForeignKey
+
+// Row is one tuple of column values.
+type Row = relational.Row
+
+// Value is one typed cell value.
+type Value = relational.Value
+
+// Kind is a value/column type tag.
+type Kind = relational.Kind
+
+// The column kinds a schema can declare.
+const (
+	KindInt    = relational.KindInt
+	KindString = relational.KindString
+)
+
+// NewDatabase returns an empty database with the given name.
+func NewDatabase(name string) *Database { return relational.NewDatabase(name) }
+
+// MustTableSchema builds a table schema or panics on an invalid one.
+func MustTableSchema(name string, cols []Column, primaryKey string, fks []ForeignKey) *TableSchema {
+	return relational.MustTableSchema(name, cols, primaryKey, fks)
+}
+
+// Int wraps an integer as a cell value.
+func Int(v int64) Value { return relational.Int(v) }
+
+// String wraps a string as a cell value.
+func String(v string) Value { return relational.String(v) }
+
+// --- Qunit definitions and catalogs -----------------------------------------
+
+// Definition is one qunit definition: a base view expression plus a
+// conversion (presentation) template, with keywords and a utility.
+type Definition = core.Definition
+
+// Instance is one materialized qunit instance — the unit of search.
+type Instance = core.Instance
+
+// Catalog is a set of qunit definitions over one database.
+type Catalog = core.Catalog
+
+// Section is one rollup section of a composite qunit definition.
+type Section = core.Section
+
+// NewCatalog returns an empty catalog over the database.
+func NewCatalog(db *Database) *Catalog { return core.NewCatalog(db) }
+
+// MustParseBase parses a qunit base expression (the paper's SQL-like
+// view syntax) or panics.
+func MustParseBase(src string) *sqlview.BaseExpr { return sqlview.MustParseBase(src) }
+
+// MustParseTemplate parses a qunit conversion template (the paper's
+// XML-with-substitutions syntax) or panics.
+func MustParseTemplate(src string) *sqlview.Template { return sqlview.MustParseTemplate(src) }
+
+// --- Catalog derivation (§4) ------------------------------------------------
+
+// DeriveExpert derives a hand-written expert catalog for databases with
+// recognized schemas (the paper's "qunits identified by experts").
+func DeriveExpert(db *Database) (*Catalog, error) { return derive.Expert{}.Derive(db) }
+
+// DeriveFromSchema derives a catalog automatically from schema and data
+// characteristics alone — the paper's §4.1 strategy, and the one that
+// works on any database.
+func DeriveFromSchema(db *Database) (*Catalog, error) { return derive.FromSchema{}.Derive(db) }
+
+// --- Search -----------------------------------------------------------------
+
+// Engine answers keyword queries over a qunit catalog; construct with
+// NewEngine. Safe for concurrent use.
+type Engine = search.Engine
+
+// Options configures an engine.
+type Options = search.Options
+
+// Request is a structured search request: query, page (K/Offset),
+// filter, and explain flag.
+type Request = search.Request
+
+// Response is a structured search response: the result page, the total
+// match count, and (on request) the explain payload.
+type Response = search.Response
+
+// Result is one ranked qunit instance with its score components.
+type Result = search.Result
+
+// Filter restricts a search by definition name and/or anchor type.
+type Filter = search.Filter
+
+// Explain is the diagnostic payload: segmentation, typed template, and
+// identified-type affinities.
+type Explain = search.Explain
+
+// Feedback tunes the relevance-feedback update step.
+type Feedback = search.Feedback
+
+// UnknownDefinitionError reports a filter naming a definition absent
+// from the catalog.
+type UnknownDefinitionError = search.UnknownDefinitionError
+
+// ErrEmptyQuery is returned by Engine.Search for a query with no
+// content.
+var ErrEmptyQuery = search.ErrEmptyQuery
+
+// NewEngine materializes and indexes every instance of the catalog and
+// returns a ready engine.
+func NewEngine(cat *Catalog, opts Options) (*Engine, error) { return search.NewEngine(cat, opts) }
+
+// --- Serving ----------------------------------------------------------------
+
+// Server is the HTTP serving layer: the versioned /v1 JSON API, the
+// legacy /search alias, /healthz, and /stats. It implements
+// http.Handler.
+type Server = server.Server
+
+// ServerConfig tunes a Server.
+type ServerConfig = server.Config
+
+// NewServer returns an HTTP handler serving the engine.
+func NewServer(engine *Engine, cfg ServerConfig) *Server { return server.New(engine, cfg) }

@@ -36,7 +36,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// 5. A query through the full pipeline.
-	results := engine.Search("star wars cast", 1)
+	results := engine.SearchTopK("star wars cast", 1)
 	if len(results) == 0 {
 		t.Fatal("no results end to end")
 	}

@@ -130,7 +130,7 @@ func (s *QunitSystem) Name() string { return s.Label }
 
 // Answer implements System.
 func (s *QunitSystem) Answer(query string) (eval.SystemResult, bool) {
-	res := s.Engine.Search(query, 1)
+	res := s.Engine.SearchTopK(query, 1)
 	if len(res) == 0 {
 		return eval.SystemResult{}, false
 	}

@@ -8,6 +8,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -52,7 +53,10 @@ type Options struct {
 	BuildWorkers int
 }
 
-// Result is one ranked qunit instance.
+// Result is one ranked qunit instance. Score is exactly
+// IRScore * TypeFactor * UtilityBlend * AnchorBoost — the component
+// fields expose every factor so clients can explain (or re-derive) any
+// ranking decision without knowing the engine's option values.
 type Result struct {
 	// Instance is the returned qunit instance.
 	Instance *core.Instance
@@ -62,6 +66,18 @@ type Result struct {
 	IRScore float64
 	// TypeAffinity is the qunit-type identification component.
 	TypeAffinity float64
+	// TypeFactor is the multiplier the type identification contributed
+	// to the score: 1 + Options.TypeBoost*TypeAffinity.
+	TypeFactor float64
+	// Utility is the instance's utility at scoring time.
+	Utility float64
+	// UtilityBlend is the utility multiplier applied to the score:
+	// 1 - UtilityInfluence + UtilityInfluence*Utility.
+	UtilityBlend float64
+	// AnchorBoost is the anchor-selection multiplier: 1 when the query
+	// names no entity anchoring this instance, 1+Options.AnchorBoost
+	// when it does.
+	AnchorBoost float64
 }
 
 // Engine answers keyword queries over a qunit catalog.
@@ -267,13 +283,26 @@ func (e *Engine) InstanceCount() int { return len(e.instances) }
 // that need gold segmentations, e.g. the evaluation oracle).
 func (e *Engine) Segmenter() *segment.Segmenter { return e.seg }
 
-// Search answers a keyword query with the top-k qunit instances. It is
-// safe to call from any number of goroutines concurrently; index shards
-// are scored in parallel.
-func (e *Engine) Search(query string, k int) []Result {
+// Search answers a structured request: the query is segmented and
+// typed, the segmentation identifies qunit types, IR ranking over the
+// (optionally filtered) instances picks the page [Offset, Offset+K),
+// and — when asked — the response explains every step. It is safe to
+// call from any number of goroutines concurrently; index shards are
+// scored in parallel. The context is honored between pipeline stages.
+func (e *Engine) Search(ctx context.Context, req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sg := e.seg.Segment(query)
+	allowed, err := e.filterSet(req.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sg := e.seg.Segment(req.Query)
 	affinity := e.typeAffinity(sg)
 	// Anchor identification: the entities the query names select the
 	// instances bound to them.
@@ -281,32 +310,101 @@ func (e *Engine) Search(query string, k int) []Result {
 	for _, ent := range sg.Entities() {
 		anchors[ent.Text] = true
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	hits := e.index.Search(e.opts.Scorer, query, 0)
+	hits := e.index.Search(e.opts.Scorer, req.Query, 0)
 	results := make([]Result, 0, len(hits))
 	for _, h := range hits {
 		inst := e.instances[h.Name]
 		if inst == nil {
 			continue
 		}
+		if allowed != nil && !allowed[inst.Def.Name] {
+			continue
+		}
 		aff := affinity[inst.Def.Name]
 		util := inst.Utility
-		score := h.Score * (1 + e.opts.TypeBoost*aff) * (1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*util)
+		typeFactor := 1 + e.opts.TypeBoost*aff
+		blend := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*util
+		boost := 1.0
 		if anchors[inst.Label()] {
-			score *= 1 + e.opts.AnchorBoost
+			boost = 1 + e.opts.AnchorBoost
 		}
 		results = append(results, Result{
 			Instance:     inst,
-			Score:        score,
+			Score:        h.Score * typeFactor * blend * boost,
 			IRScore:      h.Score,
 			TypeAffinity: aff,
+			TypeFactor:   typeFactor,
+			Utility:      util,
+			UtilityBlend: blend,
+			AnchorBoost:  boost,
 		})
 	}
 	sortResults(results)
-	if k > 0 && len(results) > k {
-		results = results[:k]
+	resp := &Response{Total: len(results)}
+	if req.Offset < len(results) {
+		results = results[req.Offset:]
+	} else {
+		results = nil
 	}
-	return results
+	if req.K > 0 && len(results) > req.K {
+		results = results[:req.K]
+	}
+	resp.Results = results
+	if req.Explain {
+		resp.Explain = explainPayload(sg, affinity)
+	}
+	return resp, nil
+}
+
+// SearchTopK answers a plain keyword query with the top-k instances.
+//
+// Deprecated: this is the pre-Request positional call surface, kept as
+// a thin shim. New code should build a Request and call Search.
+func (e *Engine) SearchTopK(query string, k int) []Result {
+	resp, err := e.Search(context.Background(), Request{Query: query, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
+}
+
+// filterSet resolves a Filter to the set of definition names it allows;
+// a nil map means "no filtering". Must be called with e.mu held.
+func (e *Engine) filterSet(f Filter) (map[string]bool, error) {
+	if f.IsZero() {
+		return nil, nil
+	}
+	var byName map[string]bool
+	if len(f.Definitions) > 0 {
+		byName = make(map[string]bool, len(f.Definitions))
+		for _, name := range f.Definitions {
+			if e.cat.Definition(name) == nil {
+				return nil, &UnknownDefinitionError{Name: name}
+			}
+			byName[name] = true
+		}
+	}
+	if len(f.AnchorTypes) == 0 {
+		return byName, nil
+	}
+	anchorTypes := make(map[string]bool, len(f.AnchorTypes))
+	for _, at := range f.AnchorTypes {
+		anchorTypes[at] = true
+	}
+	allowed := make(map[string]bool)
+	for _, d := range e.cat.Definitions() {
+		if byName != nil && !byName[d.Name] {
+			continue
+		}
+		if _, col, ok := d.AnchorParam(); ok && anchorTypes[col.String()] {
+			allowed[d.Name] = true
+		}
+	}
+	return allowed, nil
 }
 
 // sortResults orders results by score desc, ties broken by instance ID
@@ -372,4 +470,18 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 func (e *Engine) Instance(id string) (*core.Instance, bool) {
 	inst, ok := e.instances[id]
 	return inst, ok
+}
+
+// InstanceDetail returns the instance with the given ID together with a
+// consistent snapshot of its utility. Unlike reading Instance().Utility
+// directly, the snapshot is taken under the engine lock, so it never
+// races with concurrent ApplyFeedback updates.
+func (e *Engine) InstanceDetail(id string) (inst *core.Instance, utility float64, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inst, ok = e.instances[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return inst, inst.Utility, true
 }

@@ -66,7 +66,7 @@ func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (fl
 // skipped (the classic "skip-above" interpretation).
 func (e *Engine) FeedbackSession(clicks map[string]string, f Feedback) error {
 	for query, clicked := range clicks {
-		results := e.Search(query, 10)
+		results := e.SearchTopK(query, 10)
 		for _, r := range results {
 			id := r.Instance.ID()
 			if id == clicked {

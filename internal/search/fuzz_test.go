@@ -24,8 +24,8 @@ func TestSearchNeverPanics(t *testing.T) {
 			parts[j] = fragments[r.Intn(len(fragments))]
 		}
 		q := strings.Join(parts, " ")
-		a := e.Search(q, 5)
-		b := e.Search(q, 5)
+		a := e.SearchTopK(q, 5)
+		b := e.SearchTopK(q, 5)
 		if len(a) != len(b) {
 			t.Fatalf("nondeterministic for %q", q)
 		}

@@ -1,0 +1,199 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qunits/internal/segment"
+)
+
+// Request is a structured search request — the canonical way to query an
+// engine. The zero value of every field except Query is valid: K<=0
+// means "all results", Offset 0 starts at the top, an empty Filter
+// matches everything, and Explain false skips the diagnostic payload.
+type Request struct {
+	// Query is the keyword query. It must contain at least one
+	// non-space character.
+	Query string
+	// K caps the number of results returned after Offset is applied;
+	// K <= 0 returns all remaining results.
+	K int
+	// Offset skips that many ranked results before collecting K — offset
+	// pagination. An offset past the end yields an empty result page;
+	// Response.Total still reports the full match count.
+	Offset int
+	// Filter restricts results by qunit definition and/or anchor type.
+	Filter Filter
+	// Explain asks for the diagnostic payload: the query segmentation,
+	// the identified-type affinities, and per-result score components.
+	Explain bool
+}
+
+// Filter restricts a search to a subset of the catalog. Both lists are
+// OR within themselves and AND across: an instance survives when its
+// definition is in Definitions (or the list is empty) and its
+// definition's anchor type is in AnchorTypes (or that list is empty).
+type Filter struct {
+	// Definitions lists qunit definition names. Naming a definition the
+	// catalog does not contain is an error (UnknownDefinitionError).
+	Definitions []string
+	// AnchorTypes lists anchor schema types as "table.column" strings
+	// (e.g. "movie.title"). Types that no definition anchors on simply
+	// match nothing.
+	AnchorTypes []string
+}
+
+// IsZero reports whether the filter matches everything.
+func (f Filter) IsZero() bool {
+	return len(f.Definitions) == 0 && len(f.AnchorTypes) == 0
+}
+
+// Response is a structured search response.
+type Response struct {
+	// Results is the requested page of ranked qunit instances.
+	Results []Result
+	// Total is the number of instances matching the query and filter
+	// before Offset/K paging — the denominator a paginating client needs.
+	Total int
+	// Explain is the diagnostic payload; nil unless Request.Explain.
+	Explain *Explain
+}
+
+// Explain is the query-level diagnostic payload: how the query was
+// segmented and which qunit types the segmentation identified. Combined
+// with the per-component fields on each Result it reconstructs every
+// score exactly.
+type Explain struct {
+	// Template is the typed query template in the paper's §5.2 notation,
+	// e.g. "[movie.title] cast".
+	Template string
+	// Segments is the query segmentation in order.
+	Segments []ExplainSegment
+	// Affinities lists the identified-type affinities, strongest first.
+	Affinities []DefinitionAffinity
+}
+
+// ExplainSegment is one typed query segment on the explain payload.
+type ExplainSegment struct {
+	// Text is the normalized surface text.
+	Text string
+	// Kind is "entity", "attribute", or "free".
+	Kind string
+	// Type is the schema type for entity segments ("person.name").
+	Type string
+	// Table is the referenced table for attribute segments.
+	Table string
+}
+
+// DefinitionAffinity is one definition's type-identification score.
+type DefinitionAffinity struct {
+	// Definition is the qunit definition name.
+	Definition string
+	// Affinity is the segmentation-overlap score (higher = better match).
+	Affinity float64
+}
+
+// ErrEmptyQuery is returned by Search for a query with no content.
+var ErrEmptyQuery = errors.New("search: empty query")
+
+// UnknownDefinitionError reports a Filter.Definitions entry that names
+// no definition in the engine's catalog.
+type UnknownDefinitionError struct {
+	// Name is the unknown definition name.
+	Name string
+}
+
+// Error implements error.
+func (e *UnknownDefinitionError) Error() string {
+	return fmt.Sprintf("search: unknown definition %q in filter", e.Name)
+}
+
+// Validate checks the request's static shape (query present, K and
+// Offset non-negative). Filter definition names are validated against
+// the catalog by Search itself.
+func (r Request) Validate() error {
+	if strings.TrimSpace(r.Query) == "" {
+		return ErrEmptyQuery
+	}
+	if r.K < 0 {
+		return fmt.Errorf("search: negative k %d", r.K)
+	}
+	if r.Offset < 0 {
+		return fmt.Errorf("search: negative offset %d", r.Offset)
+	}
+	return nil
+}
+
+// CacheKey returns a canonical string identifying the request for
+// caching and request-coalescing: two requests that must produce the
+// same response map to the same key, and requests differing in any
+// result-affecting dimension (query, k, offset, filters, explain) map
+// to different keys. Filter lists are sorted and deduplicated so list
+// order never splits the cache.
+func (r Request) CacheKey() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(r.K))
+	b.WriteByte('\x00')
+	b.WriteString(strconv.Itoa(r.Offset))
+	b.WriteByte('\x00')
+	writeCanonicalList(&b, r.Filter.Definitions)
+	b.WriteByte('\x00')
+	writeCanonicalList(&b, r.Filter.AnchorTypes)
+	b.WriteByte('\x00')
+	if r.Explain {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	b.WriteByte('\x00')
+	b.WriteString(r.Query)
+	return b.String()
+}
+
+// writeCanonicalList writes a sorted, deduplicated copy of list,
+// separated by \x1f (never part of a definition name or schema type).
+func writeCanonicalList(b *strings.Builder, list []string) {
+	if len(list) == 0 {
+		return
+	}
+	sorted := append([]string(nil), list...)
+	sort.Strings(sorted)
+	for i, s := range sorted {
+		if i > 0 && s == sorted[i-1] {
+			continue
+		}
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(s)
+	}
+}
+
+// explainPayload builds the Explain for a segmentation and its
+// affinities.
+func explainPayload(sg segment.Segmentation, affinity map[string]float64) *Explain {
+	ex := &Explain{Template: sg.Template()}
+	for _, s := range sg.Segments {
+		es := ExplainSegment{Text: s.Text, Kind: s.Kind.String()}
+		switch s.Kind {
+		case segment.KindEntity:
+			es.Type = s.Type.String()
+		case segment.KindAttribute:
+			es.Table = s.Table
+		}
+		ex.Segments = append(ex.Segments, es)
+	}
+	for name, aff := range affinity {
+		ex.Affinities = append(ex.Affinities, DefinitionAffinity{Definition: name, Affinity: aff})
+	}
+	sort.Slice(ex.Affinities, func(i, j int) bool {
+		if ex.Affinities[i].Affinity != ex.Affinities[j].Affinity {
+			return ex.Affinities[i].Affinity > ex.Affinities[j].Affinity
+		}
+		return ex.Affinities[i].Definition < ex.Affinities[j].Definition
+	})
+	return ex
+}

@@ -1,0 +1,275 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestSearchShimEquivalence: the deprecated positional shim must be a
+// pure veneer over the structured call.
+func TestSearchShimEquivalence(t *testing.T) {
+	_, e := expertEngine(t)
+	resp, err := e.Search(context.Background(), Request{Query: "star wars cast", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim := e.SearchTopK("star wars cast", 5)
+	if !reflect.DeepEqual(resp.Results, shim) {
+		t.Fatalf("shim diverges from structured call:\n%v\nvs\n%v", resp.Results, shim)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	_, e := expertEngine(t)
+	ctx := context.Background()
+	for _, req := range []Request{
+		{Query: ""},
+		{Query: "   \t "},
+	} {
+		if _, err := e.Search(ctx, req); !errors.Is(err, ErrEmptyQuery) {
+			t.Errorf("Search(%+v) err = %v, want ErrEmptyQuery", req, err)
+		}
+	}
+	if _, err := e.Search(ctx, Request{Query: "x", K: -1}); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := e.Search(ctx, Request{Query: "x", Offset: -2}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestSearchContextCanceled(t *testing.T) {
+	_, e := expertEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Search(ctx, Request{Query: "star wars cast", K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchOffsetPagination: pages tile the full ranking exactly, the
+// total is page-invariant, and an offset past the end is an empty page,
+// not an error.
+func TestSearchOffsetPagination(t *testing.T) {
+	_, e := expertEngine(t)
+	ctx := context.Background()
+	full, err := e.Search(ctx, Request{Query: "star wars cast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total != len(full.Results) {
+		t.Fatalf("unpaged total %d != %d results", full.Total, len(full.Results))
+	}
+	if full.Total < 4 {
+		t.Fatalf("workload too thin for pagination test: %d results", full.Total)
+	}
+	pageSize := 3
+	var paged []Result
+	for off := 0; off < full.Total; off += pageSize {
+		page, err := e.Search(ctx, Request{Query: "star wars cast", K: pageSize, Offset: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != full.Total {
+			t.Fatalf("page at offset %d reports total %d, want %d", off, page.Total, full.Total)
+		}
+		paged = append(paged, page.Results...)
+	}
+	if !reflect.DeepEqual(paged, full.Results) {
+		t.Fatal("concatenated pages differ from the unpaged ranking")
+	}
+	// Offset past the end: empty page, intact total, no error.
+	past, err := e.Search(ctx, Request{Query: "star wars cast", K: pageSize, Offset: full.Total + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(past.Results) != 0 || past.Total != full.Total {
+		t.Fatalf("past-the-end page: %d results, total %d", len(past.Results), past.Total)
+	}
+}
+
+func TestSearchDefinitionFilter(t *testing.T) {
+	_, e := expertEngine(t)
+	ctx := context.Background()
+	resp, err := e.Search(ctx, Request{
+		Query:  "star wars cast",
+		K:      10,
+		Filter: Filter{Definitions: []string{"movie-summary"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("filter produced nothing")
+	}
+	for _, r := range resp.Results {
+		if r.Instance.Def.Name != "movie-summary" {
+			t.Fatalf("filtered result from definition %q", r.Instance.Def.Name)
+		}
+	}
+	// The filtered total must not exceed the unfiltered one.
+	unfiltered, err := e.Search(ctx, Request{Query: "star wars cast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total > unfiltered.Total {
+		t.Fatalf("filtered total %d > unfiltered %d", resp.Total, unfiltered.Total)
+	}
+}
+
+func TestSearchUnknownDefinitionFilter(t *testing.T) {
+	_, e := expertEngine(t)
+	_, err := e.Search(context.Background(), Request{
+		Query:  "star wars cast",
+		Filter: Filter{Definitions: []string{"no-such-definition"}},
+	})
+	var unknown *UnknownDefinitionError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want UnknownDefinitionError", err)
+	}
+	if unknown.Name != "no-such-definition" {
+		t.Fatalf("error names %q", unknown.Name)
+	}
+}
+
+func TestSearchAnchorTypeFilter(t *testing.T) {
+	_, e := expertEngine(t)
+	ctx := context.Background()
+	resp, err := e.Search(ctx, Request{
+		Query:  "star wars cast",
+		K:      10,
+		Filter: Filter{AnchorTypes: []string{"person.name"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("anchor filter produced nothing")
+	}
+	for _, r := range resp.Results {
+		_, col, ok := r.Instance.Def.AnchorParam()
+		if !ok || col.String() != "person.name" {
+			t.Fatalf("result %s anchors on %v, want person.name", r.Instance.ID(), col)
+		}
+	}
+	// An anchor type no definition uses matches nothing (and is not an
+	// error — anchor types are leniently validated).
+	none, err := e.Search(ctx, Request{
+		Query:  "star wars cast",
+		Filter: Filter{AnchorTypes: []string{"movie.year"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Total != 0 {
+		t.Fatalf("bogus anchor type matched %d results", none.Total)
+	}
+}
+
+// TestSearchExplain: the explain payload plus the per-result components
+// must reconstruct every score exactly.
+func TestSearchExplain(t *testing.T) {
+	_, e := expertEngine(t)
+	resp, err := e.Search(context.Background(), Request{Query: "star wars cast", K: 5, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := resp.Explain
+	if ex == nil {
+		t.Fatal("no explain payload")
+	}
+	if ex.Template != "[movie.title] cast" {
+		t.Errorf("template = %q, want [movie.title] cast", ex.Template)
+	}
+	if len(ex.Segments) != 2 || ex.Segments[0].Kind != "entity" || ex.Segments[1].Kind != "attribute" {
+		t.Errorf("segments = %+v", ex.Segments)
+	}
+	if ex.Segments[0].Type != "movie.title" {
+		t.Errorf("entity segment type = %q", ex.Segments[0].Type)
+	}
+	if len(ex.Affinities) == 0 {
+		t.Fatal("no affinities identified")
+	}
+	for i := 1; i < len(ex.Affinities); i++ {
+		if ex.Affinities[i].Affinity > ex.Affinities[i-1].Affinity {
+			t.Fatal("affinities not sorted strongest-first")
+		}
+	}
+	aff := map[string]float64{}
+	for _, a := range ex.Affinities {
+		aff[a.Definition] = a.Affinity
+	}
+	opts := e.opts
+	for _, r := range resp.Results {
+		if r.TypeAffinity != aff[r.Instance.Def.Name] {
+			t.Errorf("result %s affinity %v != payload %v", r.Instance.ID(), r.TypeAffinity, aff[r.Instance.Def.Name])
+		}
+		if r.TypeFactor != 1+opts.TypeBoost*r.TypeAffinity {
+			t.Errorf("result %s type factor %v, want %v", r.Instance.ID(), r.TypeFactor, 1+opts.TypeBoost*r.TypeAffinity)
+		}
+		wantBlend := 1 - opts.UtilityInfluence + opts.UtilityInfluence*r.Utility
+		if math.Abs(r.UtilityBlend-wantBlend) > 1e-12 {
+			t.Errorf("result %s blend %v != %v", r.Instance.ID(), r.UtilityBlend, wantBlend)
+		}
+		if r.AnchorBoost != 1 && r.AnchorBoost != 1+opts.AnchorBoost {
+			t.Errorf("result %s anchor boost %v", r.Instance.ID(), r.AnchorBoost)
+		}
+		// The components alone — no engine options — rebuild the score.
+		want := r.IRScore * r.TypeFactor * r.UtilityBlend * r.AnchorBoost
+		if math.Abs(r.Score-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("result %s score %v not reconstructed from components (%v)", r.Instance.ID(), r.Score, want)
+		}
+	}
+	// The top hit must anchor-boost: the query literally names star wars.
+	if resp.Results[0].AnchorBoost == 1 {
+		t.Error("top result not anchor-boosted")
+	}
+	// Explain off → no payload.
+	plain, err := e.Search(context.Background(), Request{Query: "star wars cast", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain != nil {
+		t.Error("explain payload without Explain:true")
+	}
+}
+
+// TestCacheKeyCanonicalization: keys must separate every
+// result-affecting dimension and nothing else.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := Request{Query: "star wars cast", K: 5}
+	distinct := []Request{
+		base,
+		{Query: "star wars cast", K: 6},
+		{Query: "star wars cast", K: 5, Offset: 10},
+		{Query: "star wars cast", K: 5, Explain: true},
+		{Query: "star wars cast", K: 5, Filter: Filter{Definitions: []string{"movie-cast"}}},
+		{Query: "star wars cast", K: 5, Filter: Filter{AnchorTypes: []string{"movie.title"}}},
+		{Query: "star wars cast", K: 5, Filter: Filter{Definitions: []string{"movie-cast"}, AnchorTypes: []string{"movie.title"}}},
+		{Query: "star wars castx", K: 5},
+	}
+	seen := map[string]int{}
+	for i, r := range distinct {
+		key := r.CacheKey()
+		if j, dup := seen[key]; dup {
+			t.Errorf("requests %d and %d share key %q", i, j, key)
+		}
+		seen[key] = i
+	}
+	// Filter list order and duplicates must NOT split the cache.
+	a := Request{Query: "q", Filter: Filter{Definitions: []string{"b", "a"}, AnchorTypes: []string{"y", "x"}}}
+	b := Request{Query: "q", Filter: Filter{Definitions: []string{"a", "b", "a"}, AnchorTypes: []string{"x", "y", "y"}}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("canonicalization order-sensitive: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	// A query containing the separator must not collide with the
+	// k-digit boundary.
+	c := Request{Query: "5\x00q", K: 1}
+	d := Request{Query: "q", K: 15}
+	if c.CacheKey() == d.CacheKey() {
+		t.Error("separator injection collides")
+	}
+}

@@ -5,11 +5,21 @@ import (
 	"sync"
 )
 
-// lruCache is a fixed-capacity, thread-safe LRU map from query key to
-// prepared search results. Heavy-traffic keyword workloads are extremely
-// head-skewed (the paper's §5.2 query-log analysis is exactly that
-// observation), so a small LRU in front of the engine absorbs most of
-// the load.
+// cachedSearch is one prepared search outcome: the wire-ready result
+// page plus the metadata (total, explain) the /v1 envelope carries.
+// Entries are immutable once inserted — handlers must never mutate the
+// slices they receive from the cache.
+type cachedSearch struct {
+	results []V1Result
+	total   int
+	explain *V1Explain
+}
+
+// lruCache is a fixed-capacity, thread-safe LRU map from canonicalized
+// request key to prepared search outcome. Heavy-traffic keyword
+// workloads are extremely head-skewed (the paper's §5.2 query-log
+// analysis is exactly that observation), so a small LRU in front of the
+// engine absorbs most of the load.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -19,7 +29,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val []SearchResult
+	val *cachedSearch
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -31,7 +41,7 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // get returns the cached value and promotes the key to most recent.
-func (c *lruCache) get(key string) ([]SearchResult, bool) {
+func (c *lruCache) get(key string) (*cachedSearch, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -44,7 +54,7 @@ func (c *lruCache) get(key string) ([]SearchResult, bool) {
 
 // put inserts or refreshes a key, evicting the least recently used entry
 // when over capacity.
-func (c *lruCache) put(key string, val []SearchResult) {
+func (c *lruCache) put(key string, val *cachedSearch) {
 	if c.cap <= 0 {
 		return
 	}

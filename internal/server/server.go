@@ -3,20 +3,37 @@
 // "the results of the keyword query are presented as ranked qunit
 // instances", here as JSON.
 //
-// Endpoints:
+// The stable, versioned surface is /v1:
 //
-//	GET /search?q=<query>&k=<n>  ranked qunit instances as JSON
+//	POST /v1/search              structured search: single or batched
+//	                             queries, offset pagination, definition
+//	                             and anchor-type filters, explain mode
+//	POST /v1/feedback            relevance feedback on one instance
+//	GET  /v1/instances/{id}      one qunit instance in full
+//
+// Plus the unversioned operational endpoints and the legacy alias:
+//
+//	GET /search?q=<query>&k=<n>  pre-/v1 wire format, kept byte-compatible
 //	GET /healthz                 liveness probe
 //	GET /stats                   serving counters and engine stats
 //
+// Every /v1 error is a structured envelope {"error":{"code","message"}}
+// with a stable machine-readable code. All search traffic — legacy and
+// /v1 alike — flows through one core path: the LRU result cache and the
+// singleflight group are keyed by the full canonicalized request
+// (query, k, offset, filters, explain), so requests that differ in any
+// result-affecting dimension never collide.
+//
 // The handler is safe for arbitrary concurrency: the engine is scored
-// shard-parallel and guarded internally, identical concurrent queries
-// collapse into one engine call (singleflight), and an LRU cache serves
-// repeated queries without touching the engine at all.
+// shard-parallel and guarded internally, identical concurrent requests
+// collapse into one engine call (singleflight), and the LRU cache
+// serves repeated requests without touching the engine at all.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -29,13 +46,16 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// CacheSize is the LRU capacity in distinct (query, k) entries;
-	// 0 means 1024, negative disables caching.
+	// CacheSize is the LRU capacity in distinct canonicalized-request
+	// entries; 0 means 1024, negative disables caching.
 	CacheSize int
 	// DefaultK is the result count when the request omits k; 0 means 10.
 	DefaultK int
 	// MaxK caps the per-request k; 0 means 100.
 	MaxK int
+	// MaxBatch caps the number of queries in one /v1/search batch;
+	// 0 means 32.
+	MaxBatch int
 }
 
 // Server serves a search engine over HTTP. Create with New; it
@@ -53,6 +73,7 @@ type Server struct {
 	cacheMisses atomic.Int64
 	dedupShared atomic.Int64
 	badRequests atomic.Int64
+	feedbacks   atomic.Int64
 	purgeEpoch  atomic.Int64
 }
 
@@ -67,6 +88,9 @@ func New(engine *search.Engine, cfg Config) *Server {
 	if cfg.MaxK == 0 {
 		cfg.MaxK = 100
 	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
 	s := &Server{
 		engine: engine,
 		cfg:    cfg,
@@ -75,9 +99,12 @@ func New(engine *search.Engine, cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
-	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search", s.handleLegacySearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/search", s.handleV1Search)
+	s.mux.HandleFunc("/v1/feedback", s.handleV1Feedback)
+	s.mux.HandleFunc("/v1/instances/", s.handleV1Instance)
 	return s
 }
 
@@ -86,7 +113,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// SearchResult is one ranked qunit instance on the wire.
+// SearchResult is one ranked qunit instance on the wire. This is the
+// legacy GET /search result shape and the common core of the /v1 result;
+// its field set and order are frozen for wire compatibility.
 type SearchResult struct {
 	// ID is the instance's unique name (definition plus parameters).
 	ID string `json:"id"`
@@ -104,7 +133,8 @@ type SearchResult struct {
 	Snippet string `json:"snippet,omitempty"`
 }
 
-// SearchResponse is the /search reply.
+// SearchResponse is the legacy GET /search reply; frozen for wire
+// compatibility.
 type SearchResponse struct {
 	Query   string         `json:"query"`
 	K       int            `json:"k"`
@@ -113,13 +143,85 @@ type SearchResponse struct {
 	Results []SearchResult `json:"results"`
 }
 
+// errorResponse is the legacy flat error shape; /v1 uses v1Envelope.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 const snippetLen = 200
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// runSearch is the single core every search endpoint flows through:
+// cache lookup by the request's canonical key, singleflight coalescing
+// of concurrent identical misses, and the engine call. The bool reports
+// whether the outcome came from the cache.
+func (s *Server) runSearch(ctx context.Context, req search.Request) (*cachedSearch, bool, error) {
+	key := req.CacheKey()
+	if entry, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		return entry, true, nil
+	}
+	s.cacheMisses.Add(1)
+	entry, shared, err := s.flight.do(key, func() (*cachedSearch, error) {
+		// Snapshot the purge epoch before searching: if feedback purges
+		// the cache while this search runs, the result was computed
+		// against stale utilities and must not be re-inserted after the
+		// purge.
+		epoch := s.purgeEpoch.Load()
+		// Detach cancellation: the leader's work is shared by every
+		// coalesced follower and feeds the cache, so one client hanging
+		// up must not fail the flight for the others.
+		resp, err := s.engine.Search(context.WithoutCancel(ctx), req)
+		if err != nil {
+			return nil, err
+		}
+		entry := toCached(resp)
+		if s.purgeEpoch.Load() == epoch {
+			s.cache.put(key, entry)
+		}
+		return entry, nil
+	})
+	if shared {
+		s.dedupShared.Add(1)
+	}
+	return entry, false, err
+}
+
+// toCached converts an engine response to its wire-ready cached form.
+func toCached(resp *search.Response) *cachedSearch {
+	out := make([]V1Result, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = V1Result{
+			SearchResult: SearchResult{
+				ID:           r.Instance.ID(),
+				Label:        r.Instance.Label(),
+				Definition:   r.Instance.Def.Name,
+				Score:        r.Score,
+				IRScore:      r.IRScore,
+				TypeAffinity: r.TypeAffinity,
+				Snippet:      truncateRunes(r.Instance.Rendered.Text, snippetLen),
+			},
+			Utility:      r.Utility,
+			TypeFactor:   r.TypeFactor,
+			UtilityBlend: r.UtilityBlend,
+			AnchorBoost:  r.AnchorBoost,
+		}
+	}
+	return &cachedSearch{results: out, total: resp.Total, explain: toWireExplain(resp.Explain)}
+}
+
+// legacyResults projects the /v1 result page down to the frozen legacy
+// shape.
+func legacyResults(entry *cachedSearch) []SearchResult {
+	out := make([]SearchResult, len(entry.results))
+	for i, r := range entry.results {
+		out[i] = r.SearchResult
+	}
+	return out
+}
+
+// handleLegacySearch serves the pre-/v1 GET /search contract, unchanged
+// on the wire, as a thin alias over the same core path /v1 uses.
+func (s *Server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -142,28 +244,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 
-	key := strconv.Itoa(k) + "\x00" + q
-	results, cached := s.cache.get(key)
-	if cached {
-		s.cacheHits.Add(1)
-	} else {
-		s.cacheMisses.Add(1)
-		var shared bool
-		results, shared = s.flight.do(key, func() []SearchResult {
-			// Snapshot the purge epoch before searching: if feedback
-			// purges the cache while this search runs, the result was
-			// computed against stale utilities and must not be
-			// re-inserted after the purge.
-			epoch := s.purgeEpoch.Load()
-			res := s.toWire(s.engine.Search(q, k))
-			if s.purgeEpoch.Load() == epoch {
-				s.cache.put(key, res)
-			}
-			return res
-		})
-		if shared {
-			s.dedupShared.Add(1)
-		}
+	results := []SearchResult{}
+	var cached bool
+	entry, hit, err := s.runSearch(r.Context(), search.Request{Query: q, K: k})
+	switch {
+	case errors.Is(err, search.ErrEmptyQuery):
+		// The pre-Request engine answered whitespace-only queries with
+		// zero results; keep that wire behavior on the legacy route.
+	case err != nil:
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	default:
+		results = legacyResults(entry)
+		cached = hit
 	}
 	writeJSON(w, http.StatusOK, SearchResponse{
 		Query:   q,
@@ -172,24 +266,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		TookUS:  time.Since(started).Microseconds(),
 		Results: results,
 	})
-}
-
-// toWire converts engine results to their wire form.
-func (s *Server) toWire(results []search.Result) []SearchResult {
-	out := make([]SearchResult, len(results))
-	for i, r := range results {
-		snippet := truncateRunes(r.Instance.Rendered.Text, snippetLen)
-		out[i] = SearchResult{
-			ID:           r.Instance.ID(),
-			Label:        r.Instance.Label(),
-			Definition:   r.Instance.Def.Name,
-			Score:        r.Score,
-			IRScore:      r.IRScore,
-			TypeAffinity: r.TypeAffinity,
-			Snippet:      snippet,
-		}
-	}
-	return out
 }
 
 // HealthResponse is the /healthz reply.
@@ -209,6 +285,7 @@ type StatsResponse struct {
 	CacheMisses   int64   `json:"cache_misses"`
 	DedupShared   int64   `json:"dedup_shared"`
 	BadRequests   int64   `json:"bad_requests"`
+	Feedbacks     int64   `json:"feedbacks"`
 	CacheLen      int     `json:"cache_len"`
 	CacheCap      int     `json:"cache_cap"`
 	Instances     int     `json:"instances"`
@@ -222,6 +299,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:   s.cacheMisses.Load(),
 		DedupShared:   s.dedupShared.Load(),
 		BadRequests:   s.badRequests.Load(),
+		Feedbacks:     s.feedbacks.Load(),
 		CacheLen:      s.cache.len(),
 		CacheCap:      s.cfg.CacheSize,
 		Instances:     s.engine.InstanceCount(),
@@ -230,12 +308,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // ApplyFeedback forwards a feedback signal to the engine and purges the
-// result cache: a utility update can reorder any query's results. The
+// result cache: a utility update can reorder any request's results. The
 // epoch bump keeps searches that started before the update from
 // re-inserting their now-stale rankings after the purge.
 func (s *Server) ApplyFeedback(instanceID string, positive bool) (float64, error) {
 	util, err := s.engine.ApplyFeedback(instanceID, positive, search.Feedback{})
 	if err == nil {
+		s.feedbacks.Add(1)
 		s.purgeEpoch.Add(1)
 		s.cache.purge()
 	}

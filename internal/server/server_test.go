@@ -235,24 +235,29 @@ func TestFeedbackPurgesCache(t *testing.T) {
 
 // --- unit tests for the cache and singleflight primitives -----------------
 
+// entryWithID builds a one-result cache entry for primitive tests.
+func entryWithID(id string) *cachedSearch {
+	return &cachedSearch{results: []V1Result{{SearchResult: SearchResult{ID: id}}}, total: 1}
+}
+
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", []SearchResult{{ID: "a"}})
-	c.put("b", []SearchResult{{ID: "b"}})
+	c.put("a", entryWithID("a"))
+	c.put("b", entryWithID("b"))
 	if _, ok := c.get("a"); !ok { // promotes a
 		t.Fatal("a missing")
 	}
-	c.put("c", []SearchResult{{ID: "c"}}) // evicts b (LRU)
+	c.put("c", entryWithID("c")) // evicts b (LRU)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should be evicted")
 	}
 	for _, k := range []string{"a", "c"} {
-		if v, ok := c.get(k); !ok || v[0].ID != k {
+		if v, ok := c.get(k); !ok || v.results[0].ID != k {
 			t.Fatalf("%s missing or wrong", k)
 		}
 	}
-	c.put("a", []SearchResult{{ID: "a2"}}) // refresh in place
-	if v, _ := c.get("a"); v[0].ID != "a2" {
+	c.put("a", entryWithID("a2")) // refresh in place
+	if v, _ := c.get("a"); v.results[0].ID != "a2" {
 		t.Fatal("refresh did not replace value")
 	}
 	if c.len() != 2 {
@@ -269,11 +274,11 @@ func TestFlightGroupDedupes(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		g.do("k", func() []SearchResult {
+		g.do("k", func() (*cachedSearch, error) {
 			calls++
 			close(entered)
 			<-release
-			return []SearchResult{{ID: "v"}}
+			return entryWithID("v"), nil
 		})
 	}()
 	<-entered // the leader is inside fn; followers must now share
@@ -283,12 +288,12 @@ func TestFlightGroupDedupes(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, shared := g.do("k", func() []SearchResult {
+			val, shared, err := g.do("k", func() (*cachedSearch, error) {
 				t.Error("follower executed fn")
-				return nil
+				return nil, nil
 			})
-			if len(val) != 1 || val[0].ID != "v" {
-				t.Errorf("follower got %v", val)
+			if err != nil || len(val.results) != 1 || val.results[0].ID != "v" {
+				t.Errorf("follower got %v, %v", val, err)
 			}
 			sharedCount <- shared
 		}()
@@ -315,8 +320,8 @@ func TestFlightGroupDedupes(t *testing.T) {
 		t.Fatalf("fn ran %d times", calls)
 	}
 	// After completion the key is free again: a new call recomputes.
-	val, shared := g.do("k", func() []SearchResult { return []SearchResult{{ID: "v2"}} })
-	if shared || val[0].ID != "v2" {
+	val, shared, _ := g.do("k", func() (*cachedSearch, error) { return entryWithID("v2"), nil })
+	if shared || val.results[0].ID != "v2" {
 		t.Fatalf("post-flight call: shared=%v val=%v", shared, val)
 	}
 }
@@ -325,15 +330,15 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 	g := newFlightGroup()
 	func() {
 		defer func() { recover() }()
-		g.do("k", func() []SearchResult { panic("engine blew up") })
+		g.do("k", func() (*cachedSearch, error) { panic("engine blew up") })
 	}()
 	// The key must be free again — a fresh call computes normally
 	// instead of joining a dead flight.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		val, shared := g.do("k", func() []SearchResult { return []SearchResult{{ID: "ok"}} })
-		if shared || len(val) != 1 || val[0].ID != "ok" {
+		val, shared, _ := g.do("k", func() (*cachedSearch, error) { return entryWithID("ok"), nil })
+		if shared || len(val.results) != 1 || val.results[0].ID != "ok" {
 			t.Errorf("post-panic call: shared=%v val=%v", shared, val)
 		}
 	}()

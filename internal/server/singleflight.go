@@ -5,9 +5,9 @@ import "sync"
 // flightGroup deduplicates concurrent identical work: while one
 // goroutine computes the value for a key, any other goroutine asking for
 // the same key blocks and shares the result instead of recomputing it.
-// Under a thundering herd of identical queries the engine runs each
-// query once. (Same contract as golang.org/x/sync/singleflight, reduced
-// to what the server needs — no external dependency.)
+// Under a thundering herd of identical requests the engine runs each
+// request once. (Same contract as golang.org/x/sync/singleflight,
+// reduced to what the server needs — no external dependency.)
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -15,7 +15,8 @@ type flightGroup struct {
 
 type flightCall struct {
 	wg      sync.WaitGroup
-	val     []SearchResult
+	val     *cachedSearch
+	err     error
 	waiters int // goroutines sharing this call, beyond the leader
 }
 
@@ -23,15 +24,16 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
-// do runs fn once per concurrent set of callers with the same key. The
-// second return reports whether this caller shared another's result.
-func (g *flightGroup) do(key string, fn func() []SearchResult) ([]SearchResult, bool) {
+// do runs fn once per concurrent set of callers with the same key;
+// followers share the leader's value and error. The shared return
+// reports whether this caller shared another's result.
+func (g *flightGroup) do(key string, fn func() (*cachedSearch, error)) (val *cachedSearch, shared bool, err error) {
 	g.mu.Lock()
 	if c, inflight := g.calls[key]; inflight {
 		c.waiters++
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.val, true
+		return c.val, true, c.err
 	}
 	c := &flightCall{}
 	c.wg.Add(1)
@@ -46,6 +48,6 @@ func (g *flightGroup) do(key string, fn func() []SearchResult) ([]SearchResult, 
 		delete(g.calls, key)
 		g.mu.Unlock()
 	}()
-	c.val = fn()
-	return c.val, false
+	c.val, c.err = fn()
+	return c.val, false, c.err
 }

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"qunits/internal/search"
+)
+
+// Stable /v1 error codes. Clients should branch on these, never on
+// message text.
+const (
+	// CodeInvalidArgument: the request is syntactically valid JSON but
+	// semantically wrong (empty query, negative offset, k out of range,
+	// batch too large, …).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeInvalidJSON: the request body is not the expected JSON shape.
+	CodeInvalidJSON = "invalid_json"
+	// CodeUnknownDefinition: a filter names a definition the catalog
+	// does not contain.
+	CodeUnknownDefinition = "unknown_definition"
+	// CodeNotFound: the addressed resource (instance) does not exist.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// V1Error is the structured error carried by every /v1 error envelope.
+type V1Error struct {
+	// Code is one of the stable Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description; not stable.
+	Message string `json:"message"`
+}
+
+// v1Envelope wraps a V1Error as the body of an error response.
+type v1Envelope struct {
+	Error V1Error `json:"error"`
+}
+
+// V1Filter restricts a /v1 search by qunit definition and/or anchor
+// type; both lists OR within themselves and AND across.
+type V1Filter struct {
+	// Definitions lists qunit definition names; unknown names fail with
+	// CodeUnknownDefinition.
+	Definitions []string `json:"definitions,omitempty"`
+	// AnchorTypes lists anchor schema types ("movie.title").
+	AnchorTypes []string `json:"anchor_types,omitempty"`
+}
+
+// V1SearchRequest is the POST /v1/search body. Set Query for a single
+// search or Queries for a batch — exactly one of the two.
+type V1SearchRequest struct {
+	// Query is the keyword query (single mode).
+	Query string `json:"query,omitempty"`
+	// K is the page size; omitted means the server default, and values
+	// above the server maximum are clamped to it.
+	K *int `json:"k,omitempty"`
+	// Offset skips that many ranked results — offset pagination.
+	Offset int `json:"offset,omitempty"`
+	// Filter restricts the searched catalog subset.
+	Filter *V1Filter `json:"filter,omitempty"`
+	// Explain asks for segmentation, type affinities, and per-result
+	// score components.
+	Explain bool `json:"explain,omitempty"`
+	// Queries holds the per-item requests in batch mode. Items must not
+	// themselves be batches.
+	Queries []V1SearchRequest `json:"queries,omitempty"`
+}
+
+// V1Result is one ranked instance on the /v1 wire: the legacy result
+// shape plus the score-component breakdown.
+type V1Result struct {
+	SearchResult
+	// Utility is the instance's utility at scoring time.
+	Utility float64 `json:"utility"`
+	// TypeFactor is the type-identification multiplier folded into
+	// Score: 1 + TypeBoost*TypeAffinity. Together with utility_blend
+	// and anchor_boost it makes the score exactly reconstructible:
+	// score = ir_score * type_factor * utility_blend * anchor_boost.
+	TypeFactor float64 `json:"type_factor"`
+	// UtilityBlend is the utility multiplier folded into Score.
+	UtilityBlend float64 `json:"utility_blend"`
+	// AnchorBoost is the anchor-selection multiplier folded into Score
+	// (1 when the query named no anchor of this instance).
+	AnchorBoost float64 `json:"anchor_boost"`
+}
+
+// V1Segment is one typed query segment on the explain payload.
+type V1Segment struct {
+	Text  string `json:"text"`
+	Kind  string `json:"kind"`
+	Type  string `json:"type,omitempty"`
+	Table string `json:"table,omitempty"`
+}
+
+// V1Affinity is one definition's type-identification score.
+type V1Affinity struct {
+	Definition string  `json:"definition"`
+	Affinity   float64 `json:"affinity"`
+}
+
+// V1Explain is the /v1 explain payload: the query segmentation as the
+// paper's typed template, plus the identified-type affinities,
+// strongest first.
+type V1Explain struct {
+	Template   string       `json:"template"`
+	Segments   []V1Segment  `json:"segments"`
+	Affinities []V1Affinity `json:"affinities"`
+}
+
+// V1SearchResponse is the POST /v1/search reply in single mode, and the
+// per-item success payload in batch mode.
+type V1SearchResponse struct {
+	Query   string     `json:"query"`
+	K       int        `json:"k"`
+	Offset  int        `json:"offset"`
+	Total   int        `json:"total"`
+	Cached  bool       `json:"cached"`
+	TookUS  int64      `json:"took_us"`
+	Results []V1Result `json:"results"`
+	Explain *V1Explain `json:"explain,omitempty"`
+}
+
+// V1BatchItem is one batch entry: exactly one of Response and Error is
+// set. A failing item never fails the batch.
+type V1BatchItem struct {
+	Response *V1SearchResponse `json:"response,omitempty"`
+	Error    *V1Error          `json:"error,omitempty"`
+}
+
+// V1BatchResponse is the POST /v1/search reply in batch mode.
+type V1BatchResponse struct {
+	Items  []V1BatchItem `json:"items"`
+	TookUS int64         `json:"took_us"`
+}
+
+// V1FeedbackRequest is the POST /v1/feedback body.
+type V1FeedbackRequest struct {
+	// InstanceID names the result the feedback is about.
+	InstanceID string `json:"instance_id"`
+	// Positive is true to reinforce the instance's qunit type, false to
+	// penalize it.
+	Positive bool `json:"positive"`
+}
+
+// V1FeedbackResponse is the POST /v1/feedback reply.
+type V1FeedbackResponse struct {
+	InstanceID string  `json:"instance_id"`
+	Definition string  `json:"definition"`
+	Utility    float64 `json:"utility"`
+}
+
+// V1Instance is the GET /v1/instances/{id} reply.
+type V1Instance struct {
+	ID         string  `json:"id"`
+	Label      string  `json:"label"`
+	Definition string  `json:"definition"`
+	Utility    float64 `json:"utility"`
+	Text       string  `json:"text"`
+	XML        string  `json:"xml,omitempty"`
+}
+
+// maxBodyBytes bounds every /v1 request body.
+const maxBodyBytes = 1 << 20
+
+// writeV1Error writes a structured error envelope and counts it.
+func (s *Server) writeV1Error(w http.ResponseWriter, status int, code, message string) {
+	s.badRequests.Add(1)
+	writeJSON(w, status, v1Envelope{Error: V1Error{Code: code, Message: message}})
+}
+
+// decodeV1 decodes a /v1 JSON body strictly (unknown fields rejected,
+// trailing garbage rejected).
+func decodeV1(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// v1ErrorFor maps an engine error to its HTTP status and stable code.
+func v1ErrorFor(err error) (int, string) {
+	var unknownDef *search.UnknownDefinitionError
+	switch {
+	case errors.Is(err, search.ErrEmptyQuery):
+		return http.StatusBadRequest, CodeInvalidArgument
+	case errors.As(err, &unknownDef):
+		return http.StatusBadRequest, CodeUnknownDefinition
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest, CodeInternal
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for requests
+// abandoned by the client; there is no standard-library constant.
+const statusClientClosedRequest = 499
+
+// toEngineRequest converts one wire request item to the engine form,
+// applying the server's k defaulting and clamping. It rejects batch
+// nesting and out-of-range values with stable codes.
+func (s *Server) toEngineRequest(item V1SearchRequest) (search.Request, *V1Error) {
+	if len(item.Queries) > 0 {
+		return search.Request{}, &V1Error{Code: CodeInvalidArgument, Message: "batch items must not themselves contain queries"}
+	}
+	if strings.TrimSpace(item.Query) == "" {
+		return search.Request{}, &V1Error{Code: CodeInvalidArgument, Message: "query must not be empty"}
+	}
+	k := s.cfg.DefaultK
+	if item.K != nil {
+		if *item.K < 1 {
+			return search.Request{}, &V1Error{Code: CodeInvalidArgument, Message: fmt.Sprintf("invalid k %d: want a positive integer", *item.K)}
+		}
+		k = *item.K
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	if item.Offset < 0 {
+		return search.Request{}, &V1Error{Code: CodeInvalidArgument, Message: fmt.Sprintf("invalid offset %d: want >= 0", item.Offset)}
+	}
+	req := search.Request{Query: item.Query, K: k, Offset: item.Offset, Explain: item.Explain}
+	if item.Filter != nil {
+		req.Filter = search.Filter{Definitions: item.Filter.Definitions, AnchorTypes: item.Filter.AnchorTypes}
+	}
+	return req, nil
+}
+
+// searchOne runs one engine request and shapes the /v1 reply.
+func (s *Server) searchOne(r *http.Request, req search.Request) (*V1SearchResponse, *V1Error) {
+	started := time.Now()
+	s.queries.Add(1)
+	entry, cached, err := s.runSearch(r.Context(), req)
+	if err != nil {
+		_, code := v1ErrorFor(err)
+		return nil, &V1Error{Code: code, Message: err.Error()}
+	}
+	results := entry.results
+	if results == nil {
+		results = []V1Result{}
+	}
+	return &V1SearchResponse{
+		Query:   req.Query,
+		K:       req.K,
+		Offset:  req.Offset,
+		Total:   entry.total,
+		Cached:  cached,
+		TookUS:  time.Since(started).Microseconds(),
+		Results: results,
+		Explain: entry.explain,
+	}, nil
+}
+
+// handleV1Search serves POST /v1/search, single and batched.
+func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/search")
+		return
+	}
+	var body V1SearchRequest
+	if err := decodeV1(r, &body); err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+		return
+	}
+	if len(body.Queries) > 0 {
+		// Strictness over silent loss: in batch mode the top-level
+		// single-query fields have no meaning, so setting any of them is
+		// an error rather than being ignored.
+		if body.Query != "" || body.K != nil || body.Offset != 0 || body.Filter != nil || body.Explain {
+			s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument,
+				"a batch request sets only queries; put k, offset, filter, and explain on each item")
+			return
+		}
+		if len(body.Queries) > s.cfg.MaxBatch {
+			s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("batch of %d exceeds the maximum of %d", len(body.Queries), s.cfg.MaxBatch))
+			return
+		}
+		started := time.Now()
+		items := make([]V1BatchItem, len(body.Queries))
+		for i, q := range body.Queries {
+			req, verr := s.toEngineRequest(q)
+			if verr == nil {
+				items[i].Response, verr = s.searchOne(r, req)
+			}
+			if verr != nil {
+				s.badRequests.Add(1)
+				items[i] = V1BatchItem{Error: verr}
+			}
+		}
+		writeJSON(w, http.StatusOK, V1BatchResponse{Items: items, TookUS: time.Since(started).Microseconds()})
+		return
+	}
+	req, verr := s.toEngineRequest(body)
+	if verr != nil {
+		s.writeV1Error(w, http.StatusBadRequest, verr.Code, verr.Message)
+		return
+	}
+	resp, verr := s.searchOne(r, req)
+	if verr != nil {
+		status := http.StatusBadRequest
+		if verr.Code == CodeInternal {
+			status = http.StatusInternalServerError
+		}
+		s.writeV1Error(w, status, verr.Code, verr.Message)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleV1Feedback serves POST /v1/feedback — the paper's relevance
+// feedback loop over HTTP: a positive signal raises the result's qunit
+// type utility, a negative one lowers it, and the result cache is
+// purged because any ranking may change.
+func (s *Server) handleV1Feedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/feedback")
+		return
+	}
+	var body V1FeedbackRequest
+	if err := decodeV1(r, &body); err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+		return
+	}
+	if body.InstanceID == "" {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, "instance_id must not be empty")
+		return
+	}
+	inst, _, ok := s.engine.InstanceDetail(body.InstanceID)
+	if !ok {
+		s.writeV1Error(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no instance %q", body.InstanceID))
+		return
+	}
+	util, err := s.ApplyFeedback(body.InstanceID, body.Positive)
+	if err != nil {
+		s.writeV1Error(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, V1FeedbackResponse{
+		InstanceID: body.InstanceID,
+		Definition: inst.Def.Name,
+		Utility:    util,
+	})
+}
+
+// handleV1Instance serves GET /v1/instances/{id}.
+func (s *Server) handleV1Instance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET /v1/instances/{id}")
+		return
+	}
+	// Work on the escaped path so an instance ID containing a literal
+	// "/" stays addressable as %2F (labels are arbitrary data).
+	raw := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/instances/")
+	if raw == "" || strings.Contains(raw, "/") {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, "want /v1/instances/{id}")
+		return
+	}
+	id, err := url.PathUnescape(raw)
+	if err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad instance id encoding: %v", err))
+		return
+	}
+	inst, util, ok := s.engine.InstanceDetail(id)
+	if !ok {
+		s.writeV1Error(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no instance %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, V1Instance{
+		ID:         inst.ID(),
+		Label:      inst.Label(),
+		Definition: inst.Def.Name,
+		Utility:    util,
+		Text:       inst.Rendered.Text,
+		XML:        inst.Rendered.XML,
+	})
+}
+
+// toWireExplain converts the engine explain payload to its wire form.
+func toWireExplain(ex *search.Explain) *V1Explain {
+	if ex == nil {
+		return nil
+	}
+	out := &V1Explain{Template: ex.Template}
+	for _, seg := range ex.Segments {
+		out.Segments = append(out.Segments, V1Segment(seg))
+	}
+	for _, a := range ex.Affinities {
+		out.Affinities = append(out.Affinities, V1Affinity(a))
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/search"
+)
+
+// newPrivateEngine builds a fresh, unshared engine for tests that
+// mutate utilities via feedback.
+func newPrivateEngine(t *testing.T) *search.Engine {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func post(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	s.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func decodeBody[T any](t *testing.T, body []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("decode %T: %v (body %s)", v, err, body)
+	}
+	return v
+}
+
+func wantV1Error(t *testing.T, rec *httptest.ResponseRecorder, body []byte, status int, code string) {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status %d, want %d (body %s)", rec.Code, status, body)
+	}
+	env := decodeBody[v1Envelope](t, body)
+	if env.Error.Code != code {
+		t.Fatalf("code %q, want %q (body %s)", env.Error.Code, code, body)
+	}
+	if env.Error.Message == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestV1SearchSingle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	resp := decodeBody[V1SearchResponse](t, body)
+	if resp.Query != "star wars cast" || resp.K != 3 || resp.Offset != 0 || resp.Cached {
+		t.Fatalf("envelope wrong: %+v", resp)
+	}
+	if len(resp.Results) == 0 || len(resp.Results) > 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Total < len(resp.Results) {
+		t.Fatalf("total %d < page %d", resp.Total, len(resp.Results))
+	}
+	top := resp.Results[0]
+	if top.Definition != "movie-cast" || top.Label != "star wars" {
+		t.Fatalf("top result = %+v", top)
+	}
+	// The /v1 result carries the full score breakdown, and the wire
+	// components alone reconstruct the score.
+	if top.Utility <= 0 || top.TypeFactor < 1 || top.UtilityBlend <= 0 || top.AnchorBoost < 1 {
+		t.Fatalf("missing score components: %+v", top)
+	}
+	if top.AnchorBoost == 1 {
+		t.Fatal("top result for an anchored query should be boosted")
+	}
+	if want := top.IRScore * top.TypeFactor * top.UtilityBlend * top.AnchorBoost; math.Abs(top.Score-want) > 1e-9 {
+		t.Fatalf("score %v not reconstructible from wire components (%v)", top.Score, want)
+	}
+	if resp.Explain != nil {
+		t.Fatal("explain payload without explain:true")
+	}
+	// Identical request again: served from cache.
+	_, body2 := post(t, s, "/v1/search", `{"query":"star wars cast","k":3}`)
+	if resp2 := decodeBody[V1SearchResponse](t, body2); !resp2.Cached {
+		t.Fatal("second identical request not cached")
+	}
+}
+
+func TestV1SearchExplain(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":2,"explain":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	resp := decodeBody[V1SearchResponse](t, body)
+	ex := resp.Explain
+	if ex == nil {
+		t.Fatal("no explain payload")
+	}
+	if ex.Template != "[movie.title] cast" {
+		t.Fatalf("template %q", ex.Template)
+	}
+	if len(ex.Segments) != 2 || ex.Segments[0].Kind != "entity" || ex.Segments[0].Type != "movie.title" {
+		t.Fatalf("segments %+v", ex.Segments)
+	}
+	if len(ex.Affinities) == 0 || ex.Affinities[0].Affinity <= 0 {
+		t.Fatalf("affinities %+v", ex.Affinities)
+	}
+	// Explain and non-explain requests must not share a cache entry.
+	_, plainBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":2}`)
+	plain := decodeBody[V1SearchResponse](t, plainBody)
+	if plain.Cached {
+		t.Fatal("non-explain request hit the explain cache entry")
+	}
+	if plain.Explain != nil {
+		t.Fatal("explain leaked into non-explain response")
+	}
+}
+
+func TestV1SearchOffsetPagination(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, fullBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":100}`)
+	full := decodeBody[V1SearchResponse](t, fullBody)
+	if full.Total < 3 {
+		t.Fatalf("workload too thin: total %d", full.Total)
+	}
+	_, pageBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":2,"offset":2}`)
+	page := decodeBody[V1SearchResponse](t, pageBody)
+	if page.Offset != 2 || page.Total != full.Total {
+		t.Fatalf("page envelope: %+v", page)
+	}
+	for i, r := range page.Results {
+		if r.ID != full.Results[i+2].ID {
+			t.Fatalf("page result %d = %s, want %s", i, r.ID, full.Results[i+2].ID)
+		}
+	}
+	// Offset past the end: 200 with an empty page, not an error.
+	rec, pastBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":5,"offset":100000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, pastBody)
+	}
+	past := decodeBody[V1SearchResponse](t, pastBody)
+	if len(past.Results) != 0 || past.Total != full.Total {
+		t.Fatalf("past-the-end page: %+v", past)
+	}
+	if !bytes.Contains(pastBody, []byte(`"results":[]`)) {
+		t.Fatalf("empty page must marshal as [], got %s", pastBody)
+	}
+}
+
+func TestV1SearchFilters(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":10,"filter":{"definitions":["movie-summary"]}}`)
+	resp := decodeBody[V1SearchResponse](t, body)
+	if len(resp.Results) == 0 {
+		t.Fatal("filter produced nothing")
+	}
+	for _, r := range resp.Results {
+		if r.Definition != "movie-summary" {
+			t.Fatalf("filtered result from %q", r.Definition)
+		}
+	}
+	// Unknown definition: stable error code, HTTP 400.
+	rec, body := post(t, s, "/v1/search", `{"query":"star wars cast","filter":{"definitions":["nope"]}}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeUnknownDefinition)
+	// Anchor-type filter restricts to person-anchored qunits.
+	_, body = post(t, s, "/v1/search", `{"query":"star wars cast","k":10,"filter":{"anchor_types":["person.name"]}}`)
+	resp = decodeBody[V1SearchResponse](t, body)
+	for _, r := range resp.Results {
+		if r.Definition != "person-profile" {
+			t.Fatalf("anchor filter let through %q", r.Definition)
+		}
+	}
+}
+
+// TestV1CacheKeysDistinguishRequests: requests that differ only in
+// offset or filter must never share a cache entry (the pre-/v1 cache
+// keyed on (query,k) alone and would have collided).
+func TestV1CacheKeysDistinguishRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, first := post(t, s, "/v1/search", `{"query":"star wars cast","k":5}`)
+	a := decodeBody[V1SearchResponse](t, first)
+	_, offsetBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":5,"offset":1}`)
+	b := decodeBody[V1SearchResponse](t, offsetBody)
+	if b.Cached {
+		t.Fatal("offset request served from the offsetless cache entry")
+	}
+	if len(a.Results) > 1 && b.Results[0].ID != a.Results[1].ID {
+		t.Fatalf("offset page wrong: %s vs %s", b.Results[0].ID, a.Results[1].ID)
+	}
+	_, filteredBody := post(t, s, "/v1/search", `{"query":"star wars cast","k":5,"filter":{"definitions":["movie-cast"]}}`)
+	c := decodeBody[V1SearchResponse](t, filteredBody)
+	if c.Cached {
+		t.Fatal("filtered request served from the unfiltered cache entry")
+	}
+	for _, r := range c.Results {
+		if r.Definition != "movie-cast" {
+			t.Fatalf("cache collision: unfiltered result %q in filtered response", r.Definition)
+		}
+	}
+	// The legacy route and /v1 share the core: an identical (query,k)
+	// arriving via GET /search IS a cache hit for the /v1 entry.
+	_, legacyBody := get(t, s, "/search?q=star+wars+cast&k=5")
+	if legacy := decodeBody[SearchResponse](t, legacyBody); !legacy.Cached {
+		t.Fatal("legacy alias did not share the /v1 cache entry")
+	}
+}
+
+func TestV1SearchBatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, body := post(t, s, "/v1/search",
+		`{"queries":[{"query":"star wars cast","k":2},{"query":"   "},{"query":"george clooney","k":1,"explain":true}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, body)
+	}
+	batch := decodeBody[V1BatchResponse](t, body)
+	if len(batch.Items) != 3 {
+		t.Fatalf("%d items", len(batch.Items))
+	}
+	// Item 0: success.
+	if batch.Items[0].Error != nil || batch.Items[0].Response == nil {
+		t.Fatalf("item 0: %+v", batch.Items[0])
+	}
+	if batch.Items[0].Response.Results[0].Definition != "movie-cast" {
+		t.Fatalf("item 0 top: %+v", batch.Items[0].Response.Results[0])
+	}
+	// Item 1: the empty query fails alone, not the whole batch.
+	if batch.Items[1].Response != nil || batch.Items[1].Error == nil {
+		t.Fatalf("item 1: %+v", batch.Items[1])
+	}
+	if batch.Items[1].Error.Code != CodeInvalidArgument {
+		t.Fatalf("item 1 code %q", batch.Items[1].Error.Code)
+	}
+	// Item 2: success with explain.
+	if batch.Items[2].Response == nil || batch.Items[2].Response.Explain == nil {
+		t.Fatalf("item 2: %+v", batch.Items[2])
+	}
+
+	// Mixing single-mode fields into a batch is rejected, never
+	// silently ignored.
+	for _, mixed := range []string{
+		`{"query":"x","queries":[{"query":"y"}]}`,
+		`{"explain":true,"queries":[{"query":"y"}]}`,
+		`{"k":3,"queries":[{"query":"y"}]}`,
+		`{"offset":2,"queries":[{"query":"y"}]}`,
+		`{"filter":{"definitions":["movie-cast"]},"queries":[{"query":"y"}]}`,
+	} {
+		rec, body = post(t, s, "/v1/search", mixed)
+		wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidArgument)
+	}
+	// Oversized batches are rejected with a stable code.
+	small := New(sharedEngine(t), Config{MaxBatch: 2})
+	rec, body = post(t, small, "/v1/search", `{"queries":[{"query":"a"},{"query":"b"},{"query":"c"}]}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidArgument)
+	// Nested batches are a per-item error.
+	_, body = post(t, s, "/v1/search", `{"queries":[{"query":"x","queries":[{"query":"y"}]}]}`)
+	if err := decodeBody[V1BatchResponse](t, body).Items[0].Error; err == nil || err.Code != CodeInvalidArgument {
+		t.Fatalf("nested batch item: %+v", err)
+	}
+}
+
+func TestV1SearchBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		body string
+		code string
+	}{
+		{`{`, CodeInvalidJSON},
+		{`{"query":"x"} trailing`, CodeInvalidJSON},
+		{`{"query":"x","unknown_field":1}`, CodeInvalidJSON},
+		{`{"query":""}`, CodeInvalidArgument},
+		{`{"query":"x","k":0}`, CodeInvalidArgument},
+		{`{"query":"x","k":-1}`, CodeInvalidArgument},
+		{`{"query":"x","offset":-1}`, CodeInvalidArgument},
+		{`{"queries":[]}`, CodeInvalidArgument},
+	}
+	for _, c := range cases {
+		rec, body := post(t, s, "/v1/search", c.body)
+		wantV1Error(t, rec, body, http.StatusBadRequest, c.code)
+	}
+	// Wrong method: structured 405.
+	rec, body := get(t, s, "/v1/search")
+	wantV1Error(t, rec, body, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+}
+
+// TestV1FeedbackEndToEnd drives the paper's feedback loop over HTTP:
+// search, praise a result, observe its type's utility rise and the
+// cache drop.
+func TestV1FeedbackEndToEnd(t *testing.T) {
+	// A private engine: feedback mutates utilities.
+	u := newPrivateEngine(t)
+	s := New(u, Config{})
+	_, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":1}`)
+	resp := decodeBody[V1SearchResponse](t, body)
+	top := resp.Results[0]
+	if s.cache.len() == 0 {
+		t.Fatal("cache empty after search")
+	}
+
+	rec, fbBody := post(t, s, "/v1/feedback", `{"instance_id":`+mustJSON(top.ID)+`,"positive":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feedback status %d: %s", rec.Code, fbBody)
+	}
+	fb := decodeBody[V1FeedbackResponse](t, fbBody)
+	if fb.InstanceID != top.ID || fb.Definition != top.Definition {
+		t.Fatalf("feedback reply %+v", fb)
+	}
+	if fb.Utility <= top.Utility {
+		t.Fatalf("positive feedback did not raise utility: %v -> %v", top.Utility, fb.Utility)
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("cache not purged by feedback")
+	}
+	// Negative feedback lowers it again.
+	_, fbBody = post(t, s, "/v1/feedback", `{"instance_id":`+mustJSON(top.ID)+`,"positive":false}`)
+	if fb2 := decodeBody[V1FeedbackResponse](t, fbBody); fb2.Utility >= fb.Utility {
+		t.Fatalf("negative feedback did not lower utility: %v -> %v", fb.Utility, fb2.Utility)
+	}
+	// The next search sees the updated utility.
+	_, body = post(t, s, "/v1/search", `{"query":"star wars cast","k":1}`)
+	if after := decodeBody[V1SearchResponse](t, body); after.Cached {
+		t.Fatal("post-feedback search served stale cache")
+	}
+
+	// Errors: unknown instance is 404 with a stable code; bad shapes 400.
+	rec, body = post(t, s, "/v1/feedback", `{"instance_id":"no-such-instance","positive":true}`)
+	wantV1Error(t, rec, body, http.StatusNotFound, CodeNotFound)
+	rec, body = post(t, s, "/v1/feedback", `{"positive":true}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidArgument)
+	rec, body = post(t, s, "/v1/feedback", `not json`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidJSON)
+	rec, body = get(t, s, "/v1/feedback")
+	wantV1Error(t, rec, body, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+
+	// The stats counter saw exactly the two applied signals.
+	_, stBody := get(t, s, "/stats")
+	if st := decodeBody[StatsResponse](t, stBody); st.Feedbacks != 2 {
+		t.Fatalf("feedbacks = %d, want 2", st.Feedbacks)
+	}
+}
+
+func TestV1InstanceEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":1}`)
+	top := decodeBody[V1SearchResponse](t, body).Results[0]
+
+	rec, instBody := get(t, s, "/v1/instances/"+url.PathEscape(top.ID))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, instBody)
+	}
+	inst := decodeBody[V1Instance](t, instBody)
+	if inst.ID != top.ID || inst.Definition != top.Definition || inst.Label != top.Label {
+		t.Fatalf("instance %+v vs result %+v", inst, top)
+	}
+	if inst.Text == "" || inst.XML == "" || inst.Utility <= 0 {
+		t.Fatalf("degenerate instance payload: %+v", inst)
+	}
+	if !strings.HasPrefix(inst.Text, top.Snippet) {
+		t.Fatalf("snippet %q is not a prefix of text %q", top.Snippet, inst.Text)
+	}
+
+	rec, instBody = get(t, s, "/v1/instances/no-such-instance")
+	wantV1Error(t, rec, instBody, http.StatusNotFound, CodeNotFound)
+	// A %2F in the id segment is part of the id, not a sub-path: it must
+	// reach the lookup (404 for this synthetic id), not be rejected.
+	rec, instBody = get(t, s, "/v1/instances/some%2Fslashed%2Fid")
+	wantV1Error(t, rec, instBody, http.StatusNotFound, CodeNotFound)
+	rec, instBody = get(t, s, "/v1/instances/")
+	wantV1Error(t, rec, instBody, http.StatusBadRequest, CodeInvalidArgument)
+	rec2 := httptest.NewRecorder()
+	rec2Req := httptest.NewRequest(http.MethodPost, "/v1/instances/x", strings.NewReader("{}"))
+	s.ServeHTTP(rec2, rec2Req)
+	wantV1Error(t, rec2, rec2.Body.Bytes(), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+}
+
+// --- legacy wire compatibility --------------------------------------------
+
+// The pre-redesign GET /search wire structs, frozen in this test. If
+// the live handler's output ever decodes with unknown fields, loses a
+// field, or reorders keys, one of the checks below fails.
+type frozenLegacyResult struct {
+	ID           string  `json:"id"`
+	Label        string  `json:"label"`
+	Definition   string  `json:"definition"`
+	Score        float64 `json:"score"`
+	IRScore      float64 `json:"ir_score"`
+	TypeAffinity float64 `json:"type_affinity"`
+	Snippet      string  `json:"snippet,omitempty"`
+}
+
+type frozenLegacyResponse struct {
+	Query   string               `json:"query"`
+	K       int                  `json:"k"`
+	Cached  bool                 `json:"cached"`
+	TookUS  int64                `json:"took_us"`
+	Results []frozenLegacyResult `json:"results"`
+}
+
+type frozenLegacyError struct {
+	Error string `json:"error"`
+}
+
+// TestLegacySearchWireCompat: the legacy GET /search response must be
+// byte-identical to what the pre-redesign server emitted — same fields,
+// same order, nothing added.
+func TestLegacySearchWireCompat(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, path := range []string{
+		"/search?q=star+wars+cast&k=3",
+		"/search?q=george+clooney",
+		"/search?q=zzzz+qqqq+wwww&k=2", // no results
+		"/search?q=%20",                // whitespace query: 200, empty results
+	} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, rec.Code, body)
+		}
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var frozen frozenLegacyResponse
+		if err := dec.Decode(&frozen); err != nil {
+			t.Fatalf("%s: legacy shape violated: %v (body %s)", path, err, body)
+		}
+		reencoded, err := json.Marshal(frozen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.TrimSpace(body); !bytes.Equal(got, reencoded) {
+			t.Fatalf("%s: wire bytes diverge from the frozen legacy format:\n got %s\nwant %s", path, got, reencoded)
+		}
+		if !bytes.Contains(body, []byte(`"results":[`)) {
+			t.Fatalf("%s: results not an array: %s", path, body)
+		}
+	}
+	// Legacy errors keep the flat {"error": "..."} shape, not the /v1
+	// envelope.
+	rec, body := get(t, s, "/search")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var e frozenLegacyError
+	if err := dec.Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("legacy error shape violated: %v (body %s)", err, body)
+	}
+}
+
+// mustJSON marshals a string as a JSON literal for test bodies.
+func mustJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

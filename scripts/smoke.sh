@@ -1,0 +1,97 @@
+#!/bin/sh
+# smoke.sh boots qunitsd on a scratch port and exercises the HTTP
+# surface end to end with curl: /healthz, /v1/search (single + batch +
+# explain + error envelope), /v1/feedback, /v1/instances/{id}, and the
+# legacy /search alias. It is the CI smoke test (`make smoke`) — fast,
+# hermetic, and loud on failure.
+set -eu
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/qunitsd"
+LOG="$(mktemp)"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    [ -n "${PID:-}" ] && wait "$PID" 2>/dev/null || true
+    rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke: FAIL: $1" >&2
+    echo "--- qunitsd log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# jsonget FILTER JSON: extract a field with python (always present in CI
+# images; avoids a jq dependency).
+jsonget() {
+    python3 -c 'import json,sys; d=json.load(sys.stdin); print(eval(sys.argv[1], {"d": d}))' "$1"
+}
+
+echo "smoke: building qunitsd"
+go build -o "$BIN" ./cmd/qunitsd
+
+echo "smoke: starting qunitsd on :$PORT"
+"$BIN" -addr "127.0.0.1:$PORT" -persons 120 -movies 80 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for readiness (engine build takes a moment).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server did not become healthy"
+    kill -0 "$PID" 2>/dev/null || fail "server exited early"
+    sleep 0.2
+done
+
+echo "smoke: GET /healthz"
+curl -fsS "$BASE/healthz" | jsonget 'd["status"]' | grep -qx ok || fail "healthz not ok"
+
+echo "smoke: POST /v1/search (single)"
+OUT=$(curl -fsS -d '{"query":"star wars cast","k":3,"explain":true}' "$BASE/v1/search")
+echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "single search top result: $OUT"
+echo "$OUT" | jsonget 'd["explain"]["template"]' | grep -q 'movie.title' || fail "explain missing: $OUT"
+TOP_ID=$(echo "$OUT" | jsonget 'd["results"][0]["id"]')
+
+echo "smoke: POST /v1/search (batch with per-item error)"
+OUT=$(curl -fsS -d '{"queries":[{"query":"george clooney","k":2},{"query":""}]}' "$BASE/v1/search")
+echo "$OUT" | jsonget 'len(d["items"])' | grep -qx 2 || fail "batch item count: $OUT"
+echo "$OUT" | jsonget 'd["items"][1]["error"]["code"]' | grep -qx invalid_argument || fail "batch per-item error: $OUT"
+
+echo "smoke: POST /v1/search (error envelope)"
+OUT=$(curl -sS -d '{"query":"x","filter":{"definitions":["nope"]}}' "$BASE/v1/search")
+echo "$OUT" | jsonget 'd["error"]["code"]' | grep -qx unknown_definition || fail "error envelope: $OUT"
+
+echo "smoke: POST /v1/feedback"
+OUT=$(curl -fsS -d "{\"instance_id\":$(printf '%s' "$TOP_ID" | python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'),\"positive\":true}" "$BASE/v1/feedback")
+echo "$OUT" | jsonget 'd["utility"] > 0' | grep -qx True || fail "feedback: $OUT"
+
+echo "smoke: GET /v1/instances/{id}"
+ENC_ID=$(printf '%s' "$TOP_ID" | python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.stdin.read()))')
+OUT=$(curl -fsS "$BASE/v1/instances/$ENC_ID")
+echo "$OUT" | jsonget 'd["definition"]' | grep -qx movie-cast || fail "instance fetch: $OUT"
+
+echo "smoke: GET /search (legacy alias)"
+OUT=$(curl -fsS "$BASE/search?q=star+wars+cast&k=2")
+echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "legacy search: $OUT"
+
+echo "smoke: GET /stats"
+OUT=$(curl -fsS "$BASE/stats")
+echo "$OUT" | jsonget 'd["feedbacks"]' | grep -qx 1 || fail "stats feedbacks: $OUT"
+
+echo "smoke: graceful shutdown (SIGTERM)"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server did not drain after SIGTERM"
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || true
+grep -q "drained" "$LOG" || fail "no graceful-shutdown log line"
+PID=
+
+echo "smoke: PASS"
