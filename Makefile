@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet fmt-check staticcheck smoke bench bench-json ci
+.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -10,12 +10,17 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent hot paths: parallel engine
-# build, sharded scoring, and the HTTP serving layer.
+# build, sharded scoring, live instance mutation, snapshot dump, and
+# the HTTP serving layer.
 race:
-	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/server/...
+	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/server/... ./internal/snapshot/...
 
+# vet covers the whole module; the explicit ./examples/... invocation
+# keeps the example programs covered even if they ever move behind a
+# build tag or their own module.
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./examples/...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -33,7 +38,13 @@ staticcheck:
 # single+batch, /v1/feedback, /v1/instances, legacy /search, graceful
 # shutdown) with curl.
 smoke:
-	./scripts/smoke.sh
+	./scripts/smoke.sh basic
+
+# snapshot-smoke drives the persistence cycle end to end: boot with
+# -snapshot, add an instance over /v1, SIGTERM (writes the snapshot),
+# restart from it, and assert the added instance is still searchable.
+snapshot-smoke:
+	./scripts/smoke.sh snapshot
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -45,4 +56,4 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH.json
 	@echo "wrote BENCH.json"
 
-ci: build fmt-check vet test race smoke bench
+ci: build fmt-check vet test race smoke snapshot-smoke bench

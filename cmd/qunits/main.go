@@ -9,12 +9,25 @@
 //	qunits -query "star wars cast" -explain     # show segmentation + affinities
 //	qunits -query "star wars" -k 5 -offset 5    # page two
 //	qunits -query "cast" -filter-def movie-cast # restrict to one qunit type
+//
+// The snapshot subcommand persists a built engine and serves from it
+// later, skipping the offline phase entirely:
+//
+//	qunits snapshot save -out engine.snap -derive human -seed 1
+//	qunits snapshot load -in engine.snap -seed 1 -query "star wars cast"
+//
+// The load must regenerate the same universe the save did (same -seed,
+// -persons, -movies, -cast-per-movie); a mismatch is refused via the
+// snapshot's database fingerprint. To load a snapshot written by
+// qunitsd, pass its universe flags (qunitsd defaults: -persons 400
+// -movies 250 -cast-per-movie 5).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,9 +39,14 @@ import (
 	"qunits/internal/querylog"
 	"qunits/internal/search"
 	"qunits/internal/segment"
+	"qunits/internal/snapshot"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		runSnapshot(os.Args[2:])
+		return
+	}
 	strategy := flag.String("derive", "human", "derivation strategy: schema | querylog | evidence | human")
 	query := flag.String("query", "", "keyword query to run")
 	k := flag.Int("k", 3, "number of results")
@@ -182,6 +200,101 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runSnapshot implements the `qunits snapshot save|load` subcommands:
+// save builds an engine (universe generation + derivation +
+// materialization + indexing) and persists it; load restores it from
+// the file, skipping all of that, and optionally runs a query.
+func runSnapshot(args []string) {
+	if len(args) == 0 || (args[0] != "save" && args[0] != "load") {
+		fmt.Fprintln(os.Stderr, "qunits snapshot: want a subcommand: save | load (see -help)")
+		os.Exit(2)
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("qunits snapshot "+sub, flag.ExitOnError)
+	var (
+		out      = fs.String("out", "engine.snap", "snapshot file to write (save)")
+		in       = fs.String("in", "engine.snap", "snapshot file to read (load)")
+		strategy = fs.String("derive", "human", "derivation strategy (save): schema | querylog | evidence | human")
+		seed     = fs.Int64("seed", 1, "generator seed (must match between save and load)")
+		persons  = fs.Int("persons", 1200, "synthetic persons (must match between save and load)")
+		movies   = fs.Int("movies", 600, "synthetic movies (must match between save and load)")
+		cast     = fs.Int("cast-per-movie", 6, "cast entries per movie (must match; qunitsd defaults to 5)")
+		query    = fs.String("query", "", "keyword query to run after loading")
+		k        = fs.Int("k", 3, "number of results for -query")
+	)
+	fs.Parse(args[1:])
+
+	u := imdb.MustGenerate(imdb.Config{Seed: *seed, Persons: *persons, Movies: *movies, CastPerMovie: *cast})
+	switch sub {
+	case "save":
+		cat, err := buildCatalog(u, *strategy, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "built engine in %v (%d instances)\n", time.Since(start).Round(time.Millisecond), engine.InstanceCount())
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cw := &countingWriter{w: f}
+		if err := snapshot.SaveEngine(cw, engine); err != nil {
+			f.Close()
+			fatalf("saving snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, format v%d)\n", *out, cw.n, snapshot.FormatVersion)
+	case "load":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		start := time.Now()
+		engine, err := snapshot.LoadEngine(f, u.DB)
+		if err != nil {
+			fatalf("loading snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded engine from %s in %v (%d instances)\n",
+			*in, time.Since(start).Round(time.Millisecond), engine.InstanceCount())
+		if *query == "" {
+			return
+		}
+		resp, err := engine.Search(context.Background(), search.Request{Query: *query, K: *k})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, r := range resp.Results {
+			fmt.Printf("%d. %s  (score %.3f)\n", i+1, r.Instance.ID(), r.Score)
+		}
+	}
+}
+
+// fatalf prints a qunits-prefixed error and exits non-zero.
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "qunits: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func buildCatalog(u *imdb.Universe, strategy string, seed int64) (*core.Catalog, error) {

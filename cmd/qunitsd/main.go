@@ -9,7 +9,9 @@
 //	curl -d '{"query":"star wars cast","k":5}' localhost:8080/v1/search
 //	curl -d '{"queries":[{"query":"star wars cast"},{"query":"george clooney"}]}' localhost:8080/v1/search
 //	curl -d '{"instance_id":"movie-cast:star wars","positive":true}' localhost:8080/v1/feedback
+//	curl -d '{"definition":"movie-cast","anchor":"new release"}' localhost:8080/v1/instances
 //	curl 'localhost:8080/v1/instances/movie-cast:star%20wars'
+//	curl -X DELETE 'localhost:8080/v1/instances/movie-cast:new%20release'
 //	curl 'localhost:8080/search?q=star+wars+cast&k=5'   # legacy alias
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/stats'
@@ -17,6 +19,15 @@
 // Flags control the universe size, the derivation strategy, the shard
 // and build-worker counts, and the result-cache capacity. The daemon
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
+// With -snapshot the expensive offline phase happens once: the engine
+// is loaded from the snapshot file at boot when it exists (skipping
+// derivation, materialization, and indexing) and written back — via a
+// temp file and atomic rename — after the graceful drain, and
+// periodically when -snapshot-interval is set. Learned utilities and
+// live instance adds/removals survive restarts:
+//
+//	qunitsd -addr :8080 -snapshot /var/lib/qunits/engine.snap -snapshot-interval 5m
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -37,6 +49,7 @@ import (
 	"qunits/internal/relational"
 	"qunits/internal/search"
 	"qunits/internal/server"
+	"qunits/internal/snapshot"
 )
 
 func main() {
@@ -54,6 +67,8 @@ func main() {
 		maxK         = flag.Int("max-k", 100, "maximum per-request result count")
 		maxBatch     = flag.Int("max-batch", 32, "maximum queries per /v1/search batch")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window")
+		snapshotPath = flag.String("snapshot", "", "engine snapshot file: loaded at boot when present, written after the graceful drain")
+		snapInterval = flag.Duration("snapshot-interval", 0, "also write the snapshot this often while serving (0 = only at shutdown)")
 	)
 	flag.Parse()
 
@@ -65,24 +80,11 @@ func main() {
 		CastPerMovie: *castPerMovie,
 	})
 
-	cat, err := deriveCatalog(*deriveMode, u.DB)
+	engine, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
 	}
-
-	buildStart := time.Now()
-	engine, err := search.NewEngine(cat, search.Options{
-		Synonyms:     imdb.AttributeSynonyms(),
-		Shards:       *shards,
-		BuildWorkers: *buildWorkers,
-	})
-	if err != nil {
-		log.Printf("qunitsd: building engine: %v", err)
-		os.Exit(2)
-	}
-	log.Printf("qunitsd: engine ready in %v (%d instances, %d definitions)",
-		time.Since(buildStart).Round(time.Millisecond), engine.InstanceCount(), cat.Len())
 
 	handler := server.New(engine, server.Config{
 		CacheSize: *cacheSize,
@@ -109,6 +111,9 @@ func main() {
 		log.Printf("qunitsd: listening on %s", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	if *snapshotPath != "" && *snapInterval > 0 {
+		go snapshotLoop(ctx, *snapshotPath, engine, *snapInterval)
+	}
 
 	select {
 	case err := <-errc:
@@ -121,13 +126,122 @@ func main() {
 		log.Printf("qunitsd: signal received, draining (up to %v)", *drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("qunitsd: shutdown: %v", err)
+		drainErr := srv.Shutdown(shutdownCtx)
+		if drainErr != nil {
+			log.Printf("qunitsd: shutdown: %v", drainErr)
 			_ = srv.Close()
+		}
+		// Write the snapshot even when the drain timed out: the engine
+		// state (learned utilities, live instance mutations) is intact
+		// and losing it would punish the operator for one slow client.
+		if *snapshotPath != "" {
+			if err := writeSnapshot(*snapshotPath, engine); err != nil {
+				log.Printf("qunitsd: snapshot: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("qunitsd: snapshot written to %s", *snapshotPath)
+		}
+		if drainErr != nil {
 			os.Exit(1)
 		}
 		log.Print("qunitsd: drained, bye")
 	}
+}
+
+// loadOrBuildEngine restores the engine from the snapshot file when one
+// is configured and present — skipping catalog derivation, instance
+// materialization, and indexing — and otherwise builds it from scratch.
+func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards, buildWorkers int) (*search.Engine, error) {
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			loadStart := time.Now()
+			engine, err := snapshot.LoadEngine(f, u.DB)
+			if err != nil {
+				return nil, fmt.Errorf("qunitsd: loading snapshot %s: %w", snapshotPath, err)
+			}
+			log.Printf("qunitsd: engine loaded from snapshot %s in %v (%d instances)",
+				snapshotPath, time.Since(loadStart).Round(time.Millisecond), engine.InstanceCount())
+			return engine, nil
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("qunitsd: opening snapshot: %w", err)
+		}
+		log.Printf("qunitsd: no snapshot at %s, building fresh", snapshotPath)
+	}
+	cat, err := deriveCatalog(deriveMode, u.DB)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	engine, err := search.NewEngine(cat, search.Options{
+		Synonyms:     imdb.AttributeSynonyms(),
+		Shards:       shards,
+		BuildWorkers: buildWorkers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qunitsd: building engine: %w", err)
+	}
+	log.Printf("qunitsd: engine ready in %v (%d instances, %d definitions)",
+		time.Since(buildStart).Round(time.Millisecond), engine.InstanceCount(), cat.Len())
+	return engine, nil
+}
+
+// snapshotLoop writes the snapshot every interval until the context is
+// canceled; the shutdown path writes the final one.
+func snapshotLoop(ctx context.Context, path string, engine *search.Engine, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := writeSnapshot(path, engine); err != nil {
+				log.Printf("qunitsd: periodic snapshot: %v", err)
+			} else {
+				log.Printf("qunitsd: periodic snapshot written to %s", path)
+			}
+		}
+	}
+}
+
+// snapshotWriteMu serializes snapshot writes: the periodic loop and the
+// shutdown path share one temp file, and two concurrent writers would
+// interleave bytes into it.
+var snapshotWriteMu sync.Mutex
+
+// writeSnapshot saves the engine to path atomically: the blob is
+// written to a sibling temp file, fsynced, and renamed into place, so
+// neither a process crash mid-write nor a power loss right after the
+// rename leaves a torn snapshot where the next boot looks.
+func writeSnapshot(path string, engine *search.Engine) error {
+	snapshotWriteMu.Lock()
+	defer snapshotWriteMu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.SaveEngine(f, engine); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush the data before the rename: on journaled filesystems the
+	// rename can become durable before the content does, which would
+	// make a post-crash boot find a truncated blob at the final path.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func deriveCatalog(mode string, db *relational.Database) (*core.Catalog, error) {

@@ -19,6 +19,17 @@
 // cache keyed by the full canonicalized request, with singleflight
 // deduplication of concurrent identical requests and graceful shutdown.
 //
+// The offline phase persists: SaveEngine writes the full engine state —
+// catalog with learned utilities, materialized instances, index layout,
+// collection statistics — as a versioned, checksummed binary snapshot,
+// and LoadEngine restores a serving-ready engine from it that answers
+// searches bitwise-identically to the one saved (qunitsd does this via
+// -snapshot/-snapshot-interval, writing atomically on shutdown). The
+// live engine also mutates in place: AddInstance/RemoveInstance (and
+// POST/DELETE /v1/instances over HTTP) merge new qunit instances into
+// or out of the serving index under the engine lock, searchable by the
+// next request with no rebuild or restart.
+//
 // # The /v1 HTTP API
 //
 // POST /v1/search takes a structured request — query, k, offset,
@@ -31,9 +42,10 @@
 // includes the query segmentation, its typed template, and the
 // identified-type affinities — the paper's §3 pipeline made
 // machine-readable. POST /v1/feedback closes the relevance-feedback
-// loop, GET /v1/instances/{id} dereferences a result, and every error
-// is an envelope {"error":{"code","message"}} with a stable code.
-// The pre-/v1 GET /search alias is kept byte-compatible.
+// loop, POST /v1/instances and DELETE /v1/instances/{id} mutate the
+// live instance set, GET /v1/instances/{id} dereferences a result, and
+// every error is an envelope {"error":{"code","message"}} with a
+// stable code. The pre-/v1 GET /search alias is kept byte-compatible.
 //
 // # Embedding
 //
@@ -46,12 +58,15 @@
 // examples/quickstart, which is written entirely against this surface.
 //
 // Start with README.md for a tour — module setup, the /v1 API
-// reference with curl examples, qunitsd usage, and the CI commands —
-// and EXPERIMENTS.md for the paper-versus-measured record. The
+// reference with curl examples, qunitsd operations (snapshots, drain,
+// cache tuning), and the CI commands — ARCHITECTURE.md for the
+// package-by-package pipeline walkthrough and the snapshot format
+// specification, and EXPERIMENTS.md for the paper-versus-measured
+// record. The
 // bench_test.go file in this directory regenerates every table and
 // figure of the paper's evaluation as Go benchmarks; `make bench-json`
 // emits the whole suite as a JSON artifact.
 package qunits
 
 // Version identifies this reproduction's release.
-const Version = "1.2.0"
+const Version = "1.3.0"

@@ -3,6 +3,10 @@
 // evidence) plus the hand-written expert set, on the same database —
 // showing what each strategy discovers and what it misses.
 //
+// Like examples/quickstart, it is written entirely against the public
+// qunits facade: universe generation and all four derivation strategies
+// are reachable without touching internal packages.
+//
 //	go run ./examples/derivation
 package main
 
@@ -11,27 +15,14 @@ import (
 	"log"
 	"strings"
 
-	"qunits/internal/core"
-	"qunits/internal/derive"
-	"qunits/internal/evidence"
-	"qunits/internal/imdb"
-	"qunits/internal/querylog"
-	"qunits/internal/segment"
+	"qunits"
 )
 
 func main() {
-	u := imdb.MustGenerate(imdb.Config{Seed: 1, Persons: 600, Movies: 300, CastPerMovie: 5})
-	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
-	seg := segment.NewSegmenter(dict)
-	logCfg := querylog.DefaultGenConfig()
-	logCfg.Volume = 6000
-	qlog := querylog.Generate(u, logCfg)
-	pages := evidence.BuildCorpus(u, evidence.DefaultCorpusConfig())
+	u := qunits.GenerateIMDb(qunits.IMDbConfig{Seed: 1, Persons: 600, Movies: 300, CastPerMovie: 5})
+	fmt.Printf("input: %d tuples across %d tables\n\n", u.DB.TotalRows(), len(u.DB.TableNames()))
 
-	fmt.Printf("inputs: %d tuples, %d log queries (%d unique), %d evidence pages\n\n",
-		u.DB.TotalRows(), qlog.Total, qlog.Unique(), len(pages))
-
-	show := func(title string, cat *core.Catalog, err error) {
+	show := func(title string, cat *qunits.Catalog, err error) {
 		fmt.Printf("════ %s\n", title)
 		if err != nil {
 			log.Fatal(err)
@@ -51,16 +42,16 @@ func main() {
 		fmt.Println()
 	}
 
-	schemaCat, err := derive.FromSchema{K1: 2, K2: 4}.Derive(u.DB)
+	schemaCat, err := qunits.DeriveFromSchema(u.DB)
 	show("§4.1 schema & data (queriability; note the plot/info table sneaking in)", schemaCat, err)
 
-	logCat, err := derive.FromQueryLog{Log: qlog, Segmenter: seg}.Derive(u.DB)
+	logCat, err := qunits.DeriveFromQueryLog(u, 2)
 	show("§4.2 query-log rollup (aspects users actually ask for, by frequency)", logCat, err)
 
-	evCat, err := derive.FromEvidence{Pages: pages, Dict: dict}.Derive(u.DB)
+	evCat, err := qunits.DeriveFromEvidence(u, 3)
 	show("§4.3 external evidence (one definition per page-layout family)", evCat, err)
 
-	humanCat, err := derive.Expert{}.Derive(u.DB)
+	humanCat, err := qunits.DeriveExpert(u.DB)
 	show("expert (the imdb.com-crawl stand-in; Figure 3's \"Human\")", humanCat, err)
 
 	// The paper's §4.1 criticism, demonstrated: the schema strategy joins

@@ -2,6 +2,12 @@
 // IMDb and shows what each competing system returns — the "george clooney
 // movies" / "star wars cast" discussion of §1 and §3 made executable.
 //
+// The qunit side (universe, derivation, engine, search) is written
+// against the public qunits facade, like examples/quickstart. The §5
+// baselines it compares against — BANKS and the LCA/MLCA tree search —
+// are paper-evaluation machinery, deliberately not part of the public
+// surface, so they remain internal imports.
+//
 //	go run ./examples/moviesearch
 package main
 
@@ -11,26 +17,25 @@ import (
 	"log"
 	"strings"
 
+	"qunits"
 	"qunits/internal/banks"
-	"qunits/internal/derive"
 	"qunits/internal/graph"
 	"qunits/internal/imdb"
-	"qunits/internal/search"
 	"qunits/internal/xtree"
 )
 
 func main() {
-	u := imdb.MustGenerate(imdb.Config{Seed: 1, Persons: 800, Movies: 400, CastPerMovie: 6})
+	u := qunits.GenerateIMDb(qunits.IMDbConfig{Seed: 1, Persons: 800, Movies: 400, CastPerMovie: 6})
 	fmt.Printf("synthetic IMDb: %d tuples across %d tables\n\n", u.DB.TotalRows(), len(u.DB.TableNames()))
 
 	// The three paradigms under comparison.
 	banksEngine := banks.New(graph.Build(u.DB), 0)
 	tree := xtree.Build(u.DB, xtree.BuildOptions{EntityTables: []string{imdb.TablePerson, imdb.TableMovie}})
-	cat, err := derive.Expert{}.Derive(u.DB)
+	cat, err := qunits.DeriveExpert(u.DB)
 	if err != nil {
 		log.Fatal(err)
 	}
-	qunitEngine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	qunitEngine, err := qunits.NewEngine(cat, qunits.Options{Synonyms: qunits.IMDbSynonyms()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func main() {
 		}
 
 		// Qunits: a complete, demarcated unit of information.
-		resp, err := qunitEngine.Search(context.Background(), search.Request{Query: q, K: 1})
+		resp, err := qunitEngine.Search(context.Background(), qunits.Request{Query: q, K: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,11 +19,18 @@
 package qunits
 
 import (
+	"io"
+
 	"qunits/internal/core"
 	"qunits/internal/derive"
+	"qunits/internal/evidence"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
 	"qunits/internal/relational"
 	"qunits/internal/search"
+	"qunits/internal/segment"
 	"qunits/internal/server"
+	"qunits/internal/snapshot"
 	"qunits/internal/sqlview"
 )
 
@@ -110,6 +117,47 @@ func DeriveExpert(db *Database) (*Catalog, error) { return derive.Expert{}.Deriv
 // works on any database.
 func DeriveFromSchema(db *Database) (*Catalog, error) { return derive.FromSchema{}.Derive(db) }
 
+// DeriveFromQueryLog derives a catalog from a synthetic query log over
+// the demo universe — the paper's §4.2 strategy (rollup by query
+// demand). The seed drives the log generation.
+func DeriveFromQueryLog(u *IMDbUniverse, seed int64) (*Catalog, error) {
+	cfg := querylog.DefaultGenConfig()
+	cfg.Seed = seed
+	log := querylog.Generate(u, cfg)
+	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	return derive.FromQueryLog{Log: log, Segmenter: segment.NewSegmenter(dict)}.Derive(u.DB)
+}
+
+// DeriveFromEvidence derives a catalog from a synthetic web-evidence
+// corpus over the demo universe — the paper's §4.3 strategy (one
+// definition per page-layout family). The seed drives corpus
+// generation.
+func DeriveFromEvidence(u *IMDbUniverse, seed int64) (*Catalog, error) {
+	cfg := evidence.DefaultCorpusConfig()
+	cfg.Seed = seed
+	pages := evidence.BuildCorpus(u, cfg)
+	dict := segment.BuildDictionary(u.DB, segment.Options{AttributeSynonyms: imdb.AttributeSynonyms()})
+	return derive.FromEvidence{Pages: pages, Dict: dict}.Derive(u.DB)
+}
+
+// --- Demo universe -----------------------------------------------------------
+
+// IMDbConfig sizes the synthetic IMDb-like demo universe.
+type IMDbConfig = imdb.Config
+
+// IMDbUniverse is a generated demo universe: the database plus the
+// entity populations the generators draw from.
+type IMDbUniverse = imdb.Universe
+
+// GenerateIMDb builds the synthetic IMDb-like demo universe the
+// examples, experiments, and qunitsd serve; equal seeds produce
+// identical databases.
+func GenerateIMDb(cfg IMDbConfig) *IMDbUniverse { return imdb.MustGenerate(cfg) }
+
+// IMDbSynonyms returns the attribute-synonym table for the demo
+// universe's schema, for Options.Synonyms.
+func IMDbSynonyms() map[string]string { return imdb.AttributeSynonyms() }
+
 // --- Search -----------------------------------------------------------------
 
 // Engine answers keyword queries over a qunit catalog; construct with
@@ -148,9 +196,60 @@ type UnknownDefinitionError = search.UnknownDefinitionError
 // content.
 var ErrEmptyQuery = search.ErrEmptyQuery
 
+// InstanceExistsError reports an instance add whose ID is already
+// indexed.
+type InstanceExistsError = search.InstanceExistsError
+
+// InstanceNotFoundError reports an operation addressing an instance ID
+// the engine does not hold.
+type InstanceNotFoundError = search.InstanceNotFoundError
+
 // NewEngine materializes and indexes every instance of the catalog and
 // returns a ready engine.
 func NewEngine(cat *Catalog, opts Options) (*Engine, error) { return search.NewEngine(cat, opts) }
+
+// --- Snapshots ---------------------------------------------------------------
+
+// SnapshotFormatVersion is the on-disk snapshot format version this
+// build writes.
+const SnapshotFormatVersion = snapshot.FormatVersion
+
+// Snapshot error values, for errors.Is.
+var (
+	// ErrSnapshotBadMagic reports a stream that is not an engine
+	// snapshot.
+	ErrSnapshotBadMagic = snapshot.ErrBadMagic
+	// ErrSnapshotTruncated reports a snapshot that ends mid-structure.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotChecksum reports a snapshot failing its CRC.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	// ErrSnapshotCorrupt reports a structurally impossible snapshot.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+)
+
+// SnapshotFutureVersionError reports a snapshot written by a newer
+// format version than this build understands.
+type SnapshotFutureVersionError = snapshot.FutureVersionError
+
+// SnapshotDatabaseMismatchError reports a snapshot loaded against a
+// database other than the one it was saved over.
+type SnapshotDatabaseMismatchError = snapshot.DatabaseMismatchError
+
+// SnapshotUnsupportedScorerError reports a save of an engine using a
+// custom scorer the format cannot serialize.
+type SnapshotUnsupportedScorerError = snapshot.UnsupportedScorerError
+
+// SaveEngine writes the engine's full state — catalog with learned
+// utilities, instances, index layout, collection statistics — as one
+// versioned, checksummed snapshot blob. The engine keeps serving while
+// the state is captured.
+func SaveEngine(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, e) }
+
+// LoadEngine rebuilds a serving-ready engine from a snapshot and the
+// database it was saved over, skipping derivation, materialization, and
+// indexing. The restored engine answers searches bitwise-identically to
+// the engine that was saved.
+func LoadEngine(r io.Reader, db *Database) (*Engine, error) { return snapshot.LoadEngine(r, db) }
 
 // --- Serving ----------------------------------------------------------------
 

@@ -118,6 +118,36 @@ func (ix *Index) AddAnalyzed(name string, doc DocTerms) (int, error) {
 	return id, nil
 }
 
+// removeLocal deletes the document in dense slot local, given the
+// analyzed terms it was added with: every posting referring to the slot
+// is filtered out, its length is zeroed, and its name mapping is
+// dropped. The slot itself is tombstoned (ids of other documents never
+// shift).
+//
+// Only valid on a shard of a ShardedIndex (shared != nil), whose owner
+// maintains the collection statistics; a standalone Index has no
+// removal support (its Len and AvgDocLen would keep counting the
+// tombstoned slot).
+func (ix *Index) removeLocal(local int, doc DocTerms) {
+	for _, tc := range doc.Terms {
+		pl := ix.postings[tc.Term]
+		kept := pl[:0]
+		for _, p := range pl {
+			if p.Doc != local {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, tc.Term)
+		} else {
+			ix.postings[tc.Term] = kept
+		}
+	}
+	ix.docLen[local] = 0
+	delete(ix.byName, ix.names[local])
+	ix.names[local] = ""
+}
+
 // MustAdd is Add that panics on error.
 func (ix *Index) MustAdd(name string, fields ...Field) int {
 	id, err := ix.Add(name, fields...)

@@ -1,0 +1,122 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// removalCorpus indexes a small document set into a sharded index.
+func removalCorpus(t *testing.T, shards int, skip map[string]bool) *ShardedIndex {
+	t.Helper()
+	docs := []struct{ name, text string }{
+		{"a", "the quick brown fox jumps over the lazy dog"},
+		{"b", "the lazy dog sleeps all day"},
+		{"c", "a quick brown rabbit outruns the fox"},
+		{"d", "dogs and foxes are canids"},
+		{"e", "the rabbit naps beside the dog"},
+	}
+	ix := NewShardedIndex(shards)
+	for _, d := range docs {
+		if skip[d.name] {
+			continue
+		}
+		ix.MustAdd(d.name, Field{Text: d.text})
+	}
+	return ix
+}
+
+func TestShardedRemove(t *testing.T) {
+	ix := removalCorpus(t, 2, nil)
+	before := ix.Len()
+	if err := ix.Remove("b"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := ix.Remove("d"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if got := ix.Len(); got != before-2 {
+		t.Fatalf("Len after removal = %d, want %d", got, before-2)
+	}
+	if _, ok := ix.ID("b"); ok {
+		t.Fatal("removed document still resolvable by name")
+	}
+	for _, q := range []string{"lazy dog", "quick brown fox", "canids", "rabbit"} {
+		for _, h := range ix.Search(BM25{}, q, 0) {
+			if h.Name == "b" || h.Name == "d" {
+				t.Fatalf("query %q surfaced removed document %q", q, h.Name)
+			}
+		}
+	}
+	// Collection statistics must match a fresh index built without the
+	// removed documents: integer stats exactly, the running total length
+	// within float tolerance (it is maintained incrementally).
+	fresh := removalCorpus(t, 2, map[string]bool{"b": true, "d": true})
+	if ix.Len() != fresh.Len() {
+		t.Fatalf("Len %d vs fresh %d", ix.Len(), fresh.Len())
+	}
+	if ix.VocabularySize() != fresh.VocabularySize() {
+		t.Fatalf("VocabularySize %d vs fresh %d", ix.VocabularySize(), fresh.VocabularySize())
+	}
+	for _, term := range []string{"dog", "fox", "lazy", "canids", "rabbit", "the"} {
+		if ix.DocFreq(term) != fresh.DocFreq(term) {
+			t.Fatalf("DocFreq(%q) %d vs fresh %d", term, ix.DocFreq(term), fresh.DocFreq(term))
+		}
+	}
+	if math.Abs(ix.AvgDocLen()-fresh.AvgDocLen()) > 1e-9 {
+		t.Fatalf("AvgDocLen %v vs fresh %v", ix.AvgDocLen(), fresh.AvgDocLen())
+	}
+	// Rankings agree with the fresh build within float tolerance.
+	for _, q := range []string{"lazy dog", "quick brown", "the rabbit"} {
+		got, want := ix.Search(BM25{}, q, 0), fresh.Search(BM25{}, q, 0)
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %d hits vs fresh %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Name != want[i].Name {
+				t.Fatalf("query %q hit %d: %q vs fresh %q", q, i, got[i].Name, want[i].Name)
+			}
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("query %q hit %d: score %v vs fresh %v", q, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestShardedRemoveUnknown(t *testing.T) {
+	ix := removalCorpus(t, 3, nil)
+	if err := ix.Remove("nope"); err == nil {
+		t.Fatal("Remove of unknown document did not error")
+	}
+}
+
+func TestShardedRemoveThenReAdd(t *testing.T) {
+	ix := removalCorpus(t, 2, nil)
+	if err := ix.Remove("c"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := ix.Add("c", Field{Text: "a brand new c document about rabbits"}); err != nil {
+		t.Fatalf("re-Add after Remove: %v", err)
+	}
+	hits := ix.Search(BM25{}, "brand new rabbits", 1)
+	if len(hits) == 0 || hits[0].Name != "c" {
+		t.Fatalf("re-added document not retrievable: %v", hits)
+	}
+	// The tombstoned slot stays dead; the re-add occupies a fresh id.
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ix.Len())
+	}
+	if ix.Slots() != 6 {
+		t.Fatalf("Slots = %d, want 6", ix.Slots())
+	}
+}
+
+func TestForceTotalLen(t *testing.T) {
+	ix := removalCorpus(t, 2, nil)
+	ix.ForceTotalLen(123.5)
+	if got := ix.TotalLen(); got != 123.5 {
+		t.Fatalf("TotalLen after ForceTotalLen = %v", got)
+	}
+	if got := ix.AvgDocLen(); got != 123.5/5 {
+		t.Fatalf("AvgDocLen = %v", got)
+	}
+}

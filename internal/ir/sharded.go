@@ -16,16 +16,19 @@ import (
 // concurrently and k-way-merges the per-shard rankings with the same
 // (score desc, name asc) order the unsharded path uses.
 //
-// A ShardedIndex is not safe for concurrent mutation; once built it is
-// immutable and any number of goroutines may Search it concurrently.
+// A ShardedIndex is not safe for concurrent mutation: callers that mix
+// Add/Remove with Search (e.g. a live search engine) must serialize
+// mutations against searches themselves — any number of goroutines may
+// Search concurrently between mutations.
 type ShardedIndex struct {
 	shards   []*Index
 	shared   *sharedStats
-	names    []string       // global id -> name
+	names    []string       // global id -> name ("" = removed slot)
 	byName   map[string]int // name -> global id
 	shardOf  []int32        // global id -> shard
 	localOf  []int32        // global id -> local id within shard
 	globalOf [][]int        // shard -> local id -> global id
+	terms    []DocTerms     // global id -> analyzed terms, retained so Remove can unwind postings and stats
 }
 
 // NewShardedIndex returns an empty index over n shards; n <= 0 means
@@ -81,6 +84,7 @@ func (s *ShardedIndex) AddAnalyzed(name string, doc DocTerms) (int, error) {
 	s.shardOf = append(s.shardOf, int32(shard))
 	s.localOf = append(s.localOf, int32(local))
 	s.globalOf[shard] = append(s.globalOf[shard], id)
+	s.terms = append(s.terms, doc)
 	s.shared.n++
 	s.shared.totalLen += doc.Length
 	for _, tc := range doc.Terms {
@@ -89,11 +93,64 @@ func (s *ShardedIndex) AddAnalyzed(name string, doc DocTerms) (int, error) {
 	return id, nil
 }
 
+// Remove deletes a document from the index: its postings are unwound
+// from its shard and the shared collection statistics (document count,
+// document frequency, total length) are decremented, so subsequent
+// searches score the collection as if the document were never added —
+// up to float rounding in the running total length, which is maintained
+// incrementally rather than re-summed. The document's global id slot is
+// tombstoned, never reused; its name becomes free for a later Add.
+func (s *ShardedIndex) Remove(name string) error {
+	id, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("ir: document %q not indexed", name)
+	}
+	doc := s.terms[id]
+	s.shards[s.shardOf[id]].removeLocal(int(s.localOf[id]), doc)
+	delete(s.byName, name)
+	s.names[id] = ""
+	s.terms[id] = DocTerms{}
+	s.shared.n--
+	s.shared.totalLen -= doc.Length
+	for _, tc := range doc.Terms {
+		if s.shared.df[tc.Term]--; s.shared.df[tc.Term] == 0 {
+			delete(s.shared.df, tc.Term)
+		}
+	}
+	return nil
+}
+
 // NumShards returns the number of shards.
 func (s *ShardedIndex) NumShards() int { return len(s.shards) }
 
-// Len returns the number of indexed documents.
-func (s *ShardedIndex) Len() int { return len(s.names) }
+// Len returns the number of live (non-removed) documents.
+func (s *ShardedIndex) Len() int { return s.shared.n }
+
+// Slots returns the size of the global id space, including tombstoned
+// slots of removed documents. Iterating ids in [0, Slots) and skipping
+// empty Name(id) walks the live documents in insertion order — the
+// order a snapshot must preserve to rebuild an identical index.
+func (s *ShardedIndex) Slots() int { return len(s.names) }
+
+// Terms returns the analyzed form of a global document id as it was
+// indexed (zero value for removed slots). The returned DocTerms shares
+// its slice with the index; callers must not mutate it.
+func (s *ShardedIndex) Terms(id int) DocTerms {
+	if id < 0 || id >= len(s.terms) {
+		return DocTerms{}
+	}
+	return s.terms[id]
+}
+
+// TotalLen returns the running total weighted document length of the
+// collection — the numerator of AvgDocLen.
+func (s *ShardedIndex) TotalLen() float64 { return s.shared.totalLen }
+
+// ForceTotalLen overwrites the running total document length. Snapshot
+// restore uses it to reproduce an engine's collection statistics
+// bit-for-bit: after removals the running total is an incremental sum
+// whose float rounding a fresh re-add sequence would not reproduce.
+func (s *ShardedIndex) ForceTotalLen(total float64) { s.shared.totalLen = total }
 
 // Name returns the external name of a global document id.
 func (s *ShardedIndex) Name(id int) string {

@@ -83,12 +83,14 @@ type Result struct {
 // Engine answers keyword queries over a qunit catalog.
 //
 // After construction the engine is safe for concurrent use: any number
-// of goroutines may call Search; ApplyFeedback (which mutates utilities)
-// is serialized against searches by an internal lock.
+// of goroutines may call Search; the mutating calls — ApplyFeedback
+// (utilities), AddInstance and RemoveInstance (the instance set and
+// index) — are serialized against searches by an internal lock.
 type Engine struct {
-	// mu guards the mutable state: instance/definition utilities, which
-	// ApplyFeedback writes and Search reads. The index, dictionary and
-	// segmenter are immutable after construction.
+	// mu guards the mutable state: instance/definition utilities
+	// (ApplyFeedback writes, Search reads) and the instance map and
+	// index (AddInstance/RemoveInstance write, Search reads). The
+	// dictionary and segmenter are immutable after construction.
 	mu        sync.RWMutex
 	cat       *core.Catalog
 	dict      *segment.Dictionary
@@ -105,29 +107,7 @@ type Engine struct {
 // legitimate realization — §3 only requires that ranking treat instances
 // as independent documents.)
 func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
-	if opts.Scorer == nil {
-		// Gentle length normalization: qunit instances differ in length
-		// by design (a profile is long because it covers more, not
-		// because it is verbose), so the standard b=0.75 would
-		// systematically favour thin aspect instances over rich ones.
-		opts.Scorer = ir.BM25{B: 0.3}
-	}
-	if opts.LabelWeight == 0 {
-		opts.LabelWeight = 3
-	}
-	if opts.KeywordWeight == 0 {
-		opts.KeywordWeight = 2
-	}
-	if opts.TypeBoost == 0 {
-		opts.TypeBoost = 1
-	}
-	if opts.UtilityInfluence == 0 {
-		opts.UtilityInfluence = 0.35
-	}
-	if opts.AnchorBoost == 0 {
-		opts.AnchorBoost = 2
-	}
-
+	opts = withDefaults(opts)
 	workers := opts.BuildWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -170,18 +150,54 @@ func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
 		}
 	}
 	for _, d := range cat.Definitions() {
-		tables := map[string]bool{}
-		for _, tn := range d.Base.From {
-			tables[tn] = true
-		}
-		for _, s := range d.Sections {
-			for _, tn := range s.Base.From {
-				tables[tn] = true
-			}
-		}
-		e.defTables[d.Name] = tables
+		e.defTables[d.Name] = definitionTables(d)
 	}
 	return e, nil
+}
+
+// definitionTables collects the tables a definition's base and section
+// expressions touch — the vocabulary typeAffinity credits attribute
+// segments against.
+func definitionTables(d *core.Definition) map[string]bool {
+	tables := map[string]bool{}
+	for _, tn := range d.Base.From {
+		tables[tn] = true
+	}
+	for _, s := range d.Sections {
+		for _, tn := range s.Base.From {
+			tables[tn] = true
+		}
+	}
+	return tables
+}
+
+// withDefaults fills the zero-valued options with the engine defaults —
+// the single defaulting point NewEngine and RestoreEngine share, so a
+// restored engine scores exactly like the one that was saved.
+func withDefaults(opts Options) Options {
+	if opts.Scorer == nil {
+		// Gentle length normalization: qunit instances differ in length
+		// by design (a profile is long because it covers more, not
+		// because it is verbose), so the standard b=0.75 would
+		// systematically favour thin aspect instances over rich ones.
+		opts.Scorer = ir.BM25{B: 0.3}
+	}
+	if opts.LabelWeight == 0 {
+		opts.LabelWeight = 3
+	}
+	if opts.KeywordWeight == 0 {
+		opts.KeywordWeight = 2
+	}
+	if opts.TypeBoost == 0 {
+		opts.TypeBoost = 1
+	}
+	if opts.UtilityInfluence == 0 {
+		opts.UtilityInfluence = 0.35
+	}
+	if opts.AnchorBoost == 0 {
+		opts.AnchorBoost = 2
+	}
+	return opts
 }
 
 // materializeParallel is cat.MaterializeCatalog with the per-definition
@@ -277,7 +293,11 @@ func analyzeParallel(insts []*core.Instance, opts Options, workers int) []ir.Doc
 func (e *Engine) Catalog() *core.Catalog { return e.cat }
 
 // InstanceCount returns the number of indexed qunit instances.
-func (e *Engine) InstanceCount() int { return len(e.instances) }
+func (e *Engine) InstanceCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.instances)
+}
 
 // Segmenter exposes the engine's query segmenter (shared with callers
 // that need gold segmentations, e.g. the evaluation oracle).
@@ -468,6 +488,8 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 // Instance returns the indexed instance with the given ID, if any. Used
 // by tools that inspect engine state.
 func (e *Engine) Instance(id string) (*core.Instance, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	inst, ok := e.instances[id]
 	return inst, ok
 }

@@ -1,0 +1,140 @@
+package search
+
+import (
+	"fmt"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+)
+
+// InstanceExistsError reports an AddInstance whose instance ID is
+// already indexed.
+type InstanceExistsError struct {
+	// ID is the conflicting instance ID.
+	ID string
+}
+
+// Error implements error.
+func (e *InstanceExistsError) Error() string {
+	return fmt.Sprintf("search: instance %q already indexed", e.ID)
+}
+
+// InstanceNotFoundError reports an operation addressing an instance ID
+// the engine does not hold.
+type InstanceNotFoundError struct {
+	// ID is the missing instance ID.
+	ID string
+}
+
+// Error implements error.
+func (e *InstanceNotFoundError) Error() string {
+	return fmt.Sprintf("search: no instance %q", e.ID)
+}
+
+// InvalidAnchorError reports an AddAnchorInstance whose anchor value
+// does not fit the definition's arity: a parameterized definition given
+// no anchor, or a parameterless one given one. It is a caller mistake
+// (a 4xx on the HTTP surface), unlike instantiation failures, which are
+// engine-side faults.
+type InvalidAnchorError struct {
+	// Definition is the definition the call addressed.
+	Definition string
+	// Reason says which way the arity was violated.
+	Reason string
+}
+
+// Error implements error.
+func (e *InvalidAnchorError) Error() string {
+	return fmt.Sprintf("search: definition %q %s", e.Definition, e.Reason)
+}
+
+// AddInstance indexes one qunit instance into the live engine: the
+// instance is analyzed with the engine's field weights and merged into
+// the sharded index, and is retrievable by the next Search — no rebuild,
+// no restart. The update is serialized against concurrent searches by
+// the engine lock; collection statistics (document count, frequencies,
+// total length) shift for every document, which is why callers holding
+// derived state (e.g. a result cache) must invalidate it.
+//
+// The instance's ID must be new; adding an already-indexed ID returns
+// *InstanceExistsError.
+func (e *Engine) AddInstance(inst *core.Instance) error {
+	if inst == nil || inst.Def == nil {
+		return fmt.Errorf("search: AddInstance of nil instance or instance without definition")
+	}
+	// Analysis is pure and CPU-bound; do it before taking the lock so
+	// concurrent searches stall only for the index merge itself.
+	doc := ir.AnalyzeFields(indexFields(inst, e.opts)...)
+	id := inst.ID()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.instances[id]; dup {
+		return &InstanceExistsError{ID: id}
+	}
+	if _, err := e.index.AddAnalyzed(id, doc); err != nil {
+		return err
+	}
+	e.instances[id] = inst
+	if _, known := e.defTables[inst.Def.Name]; !known {
+		e.defTables[inst.Def.Name] = definitionTables(inst.Def)
+	}
+	return nil
+}
+
+// RemoveInstance deletes an indexed instance by ID: its postings are
+// unwound from the index and the collection statistics adjusted, so the
+// next Search neither returns it nor counts it. Removing an unknown ID
+// returns *InstanceNotFoundError. Serialized against concurrent searches
+// by the engine lock.
+func (e *Engine) RemoveInstance(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.instances[id]; !ok {
+		return &InstanceNotFoundError{ID: id}
+	}
+	if err := e.index.Remove(id); err != nil {
+		return err
+	}
+	delete(e.instances, id)
+	return nil
+}
+
+// AddAnchorInstance instantiates the named catalog definition for one
+// anchor value and indexes the result — the one-call form of "a new
+// entity appeared; derive and serve its qunit". For a parameterless
+// definition anchor must be empty. The anchor need not exist in the
+// database: the derived qunit is then empty-bodied but still findable
+// by its label, which is the paper's "empty qunit" case ("the caller
+// decides whether an empty qunit is meaningful").
+//
+// It returns the indexed instance, *UnknownDefinitionError for an
+// unknown definition name, or *InstanceExistsError when the anchor's
+// instance is already indexed.
+func (e *Engine) AddAnchorInstance(defName, anchor string) (*core.Instance, error) {
+	d := e.cat.Definition(defName)
+	if d == nil {
+		return nil, &UnknownDefinitionError{Name: defName}
+	}
+	params := map[string]string{}
+	if param, _, ok := d.AnchorParam(); ok {
+		if anchor == "" {
+			return nil, &InvalidAnchorError{Definition: defName, Reason: "needs an anchor value"}
+		}
+		params[param] = anchor
+	} else if anchor != "" {
+		return nil, &InvalidAnchorError{Definition: defName, Reason: "takes no anchor"}
+	}
+	// Instantiate reads the immutable database plus the definition's
+	// utility; hold the read lock so the utility read cannot race a
+	// concurrent ApplyFeedback.
+	e.mu.RLock()
+	inst, err := e.cat.Instantiate(d, params)
+	e.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.AddInstance(inst); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

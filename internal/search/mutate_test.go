@@ -1,0 +1,252 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAddAnchorInstanceMakesSearchable(t *testing.T) {
+	_, e := expertEngine(t)
+	before := e.InstanceCount()
+	inst, err := e.AddAnchorInstance("movie-cast", "zz totally new release")
+	if err != nil {
+		t.Fatalf("AddAnchorInstance: %v", err)
+	}
+	if got := e.InstanceCount(); got != before+1 {
+		t.Fatalf("InstanceCount = %d, want %d", got, before+1)
+	}
+	res := e.SearchTopK("zz totally new release", 3)
+	if len(res) == 0 || res[0].Instance.ID() != inst.ID() {
+		t.Fatalf("added instance not top result for its label: %v", resultIDs(res))
+	}
+	if _, util, ok := e.InstanceDetail(inst.ID()); !ok || util <= 0 {
+		t.Fatalf("InstanceDetail after add: ok=%v util=%v", ok, util)
+	}
+}
+
+func TestAddAnchorInstanceErrors(t *testing.T) {
+	_, e := expertEngine(t)
+	if _, err := e.AddAnchorInstance("no-such-def", "x"); err == nil {
+		t.Fatal("unknown definition did not error")
+	} else {
+		var ud *UnknownDefinitionError
+		if !errors.As(err, &ud) {
+			t.Fatalf("unknown definition error type: %T", err)
+		}
+	}
+	if _, err := e.AddAnchorInstance("movie-cast", ""); err == nil {
+		t.Fatal("missing anchor did not error")
+	}
+	// An anchor that already has an instance collides on the instance ID.
+	res := e.SearchTopK("star wars cast", 1)
+	if len(res) == 0 {
+		t.Fatal("fixture query found nothing")
+	}
+	anchor := res[0].Instance.Label()
+	if _, err := e.AddAnchorInstance("movie-cast", anchor); err == nil {
+		t.Fatalf("duplicate anchor %q did not error", anchor)
+	} else {
+		var dup *InstanceExistsError
+		if !errors.As(err, &dup) {
+			t.Fatalf("duplicate error type: %T (%v)", err, err)
+		}
+	}
+}
+
+func TestRemoveInstance(t *testing.T) {
+	_, e := expertEngine(t)
+	res := e.SearchTopK("star wars cast", 1)
+	if len(res) == 0 {
+		t.Fatal("fixture query found nothing")
+	}
+	id := res[0].Instance.ID()
+	before := e.InstanceCount()
+	if err := e.RemoveInstance(id); err != nil {
+		t.Fatalf("RemoveInstance: %v", err)
+	}
+	if got := e.InstanceCount(); got != before-1 {
+		t.Fatalf("InstanceCount = %d, want %d", got, before-1)
+	}
+	for _, r := range e.SearchTopK("star wars cast", 20) {
+		if r.Instance.ID() == id {
+			t.Fatalf("removed instance %q still in results", id)
+		}
+	}
+	if _, _, ok := e.InstanceDetail(id); ok {
+		t.Fatal("InstanceDetail still resolves removed instance")
+	}
+	// Removing again is a typed not-found error.
+	var nf *InstanceNotFoundError
+	if err := e.RemoveInstance(id); !errors.As(err, &nf) {
+		t.Fatalf("second remove: %T (%v)", err, err)
+	}
+	// The ID is free for re-adding.
+	if _, err := e.AddAnchorInstance("movie-cast", res[0].Instance.Label()); err != nil {
+		t.Fatalf("re-add after remove: %v", err)
+	}
+	again := e.SearchTopK("star wars cast", 3)
+	if len(again) == 0 || again[0].Instance.ID() != id {
+		t.Fatalf("re-added instance not retrievable: %v", resultIDs(again))
+	}
+}
+
+// TestConcurrentSearchAndMutation races searches against instance
+// add/remove cycles and feedback — the live-update contract: every call
+// is serialized by the engine lock, and the race detector must stay
+// quiet (`make race` runs this package with -race).
+func TestConcurrentSearchAndMutation(t *testing.T) {
+	_, e := expertEngine(t)
+	const (
+		searchers = 4
+		rounds    = 30
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{"star wars cast", "george clooney", "zz live update", "movie"}
+			for i := 0; i < rounds; i++ {
+				q := queries[(i+w)%len(queries)]
+				if _, err := e.Search(context.Background(), Request{Query: q, K: 5, Explain: i%2 == 0}); err != nil {
+					t.Errorf("search %q: %v", q, err)
+					return
+				}
+				e.InstanceCount()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			anchor := fmt.Sprintf("zz live update %d", i)
+			inst, err := e.AddAnchorInstance("movie-cast", anchor)
+			if err != nil {
+				t.Errorf("add %q: %v", anchor, err)
+				return
+			}
+			if i%2 == 0 {
+				if err := e.RemoveInstance(inst.ID()); err != nil {
+					t.Errorf("remove %q: %v", inst.ID(), err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res := e.SearchTopK("star wars cast", 1)
+		if len(res) == 0 {
+			return
+		}
+		id := res[0].Instance.ID()
+		for i := 0; i < rounds; i++ {
+			if _, err := e.ApplyFeedback(id, i%2 == 0, Feedback{}); err != nil {
+				t.Errorf("feedback: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestDumpRestoreRoundTrip checks the state bridge directly: a restored
+// engine returns responses identical to the original, including after
+// feedback and live mutation shifted the original's state.
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	u, e := expertEngine(t)
+	// Shift learned state and the instance set so the dump carries more
+	// than a fresh build would.
+	res := e.SearchTopK("star wars cast", 1)
+	if len(res) == 0 {
+		t.Fatal("fixture query found nothing")
+	}
+	if _, err := e.ApplyFeedback(res[0].Instance.ID(), true, Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddAnchorInstance("movie-cast", "zz dumped addition"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.DumpState()
+	if err != nil {
+		t.Fatalf("DumpState: %v", err)
+	}
+	restored, err := RestoreEngine(u.DB, st)
+	if err != nil {
+		t.Fatalf("RestoreEngine: %v", err)
+	}
+	if restored.InstanceCount() != e.InstanceCount() {
+		t.Fatalf("restored InstanceCount %d, want %d", restored.InstanceCount(), e.InstanceCount())
+	}
+	for _, q := range []string{"star wars cast", "george clooney", "zz dumped addition"} {
+		req := Request{Query: q, K: 10, Explain: true}
+		want, err := e.Search(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Search(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResponsesIdentical(t, q, want, got)
+	}
+}
+
+// assertResponsesIdentical requires two responses to agree exactly —
+// result identity, every score component bit-for-bit, totals, and the
+// explain payload.
+func assertResponsesIdentical(t *testing.T, q string, want, got *Response) {
+	t.Helper()
+	if got.Total != want.Total {
+		t.Fatalf("query %q: Total %d, want %d", q, got.Total, want.Total)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("query %q: %d results, want %d", q, len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		w, g := want.Results[i], got.Results[i]
+		if g.Instance.ID() != w.Instance.ID() {
+			t.Fatalf("query %q result %d: %q, want %q", q, i, g.Instance.ID(), w.Instance.ID())
+		}
+		pairs := [][2]float64{
+			{g.Score, w.Score}, {g.IRScore, w.IRScore},
+			{g.TypeAffinity, w.TypeAffinity}, {g.TypeFactor, w.TypeFactor},
+			{g.Utility, w.Utility}, {g.UtilityBlend, w.UtilityBlend},
+			{g.AnchorBoost, w.AnchorBoost},
+		}
+		for j, p := range pairs {
+			if p[0] != p[1] {
+				t.Fatalf("query %q result %d component %d: %v, want %v (not bitwise identical)", q, i, j, p[0], p[1])
+			}
+		}
+	}
+	if (want.Explain == nil) != (got.Explain == nil) {
+		t.Fatalf("query %q: explain presence differs", q)
+	}
+	if want.Explain != nil {
+		if got.Explain.Template != want.Explain.Template {
+			t.Fatalf("query %q: template %q, want %q", q, got.Explain.Template, want.Explain.Template)
+		}
+		if len(got.Explain.Segments) != len(want.Explain.Segments) {
+			t.Fatalf("query %q: segment counts differ", q)
+		}
+		for i := range want.Explain.Segments {
+			if got.Explain.Segments[i] != want.Explain.Segments[i] {
+				t.Fatalf("query %q segment %d: %+v, want %+v", q, i, got.Explain.Segments[i], want.Explain.Segments[i])
+			}
+		}
+		if len(got.Explain.Affinities) != len(want.Explain.Affinities) {
+			t.Fatalf("query %q: affinity counts differ", q)
+		}
+		for i := range want.Explain.Affinities {
+			if got.Explain.Affinities[i] != want.Explain.Affinities[i] {
+				t.Fatalf("query %q affinity %d: %+v, want %+v", q, i, got.Explain.Affinities[i], want.Explain.Affinities[i])
+			}
+		}
+	}
+}

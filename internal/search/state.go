@@ -1,0 +1,164 @@
+package search
+
+import (
+	"bytes"
+	"fmt"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+	"qunits/internal/segment"
+	"qunits/internal/sqlview"
+)
+
+// EngineState is the serializable state of an engine — everything a
+// fresh process needs to answer searches bit-for-bit like the engine it
+// was dumped from, given the same database. internal/snapshot encodes
+// it to the on-disk format; DumpState and RestoreEngine convert between
+// it and a live Engine.
+//
+// The database itself is NOT part of the state: the segmentation
+// dictionary is rebuilt from it on restore, and catalog definitions are
+// revalidated against its schema. Restoring against a different
+// database is an error the snapshot layer detects via its fingerprint.
+type EngineState struct {
+	// Options are the engine options with defaults applied. The Scorer
+	// field is an interface; the snapshot layer serializes the stock
+	// scorers (BM25, TF-IDF) by their parameters.
+	Options Options
+	// Shards is the actual shard count of the index (Options.Shards may
+	// be 0 = GOMAXPROCS, which would differ across machines).
+	Shards int
+	// CatalogJSON is the catalog in the core codec's JSON wire format,
+	// carrying every definition with its learned utility.
+	CatalogJSON []byte
+	// Docs are the indexed instances in global index-insertion order —
+	// the order that makes the rebuilt posting lists and collection
+	// statistics identical to the dumped engine's.
+	Docs []DocState
+	// IndexTotalLen is the index's running total weighted document
+	// length. After removals it is an incremental float sum that a
+	// re-add sequence would not reproduce exactly, so it is restored
+	// verbatim.
+	IndexTotalLen float64
+}
+
+// DocState is one indexed qunit instance in dump form: the materialized
+// presentation, its provenance, its utility at dump time, and the
+// analyzed terms it was indexed under.
+type DocState struct {
+	// DefName names the producing definition in the catalog.
+	DefName string
+	// Params are the parameter bindings that derived the instance.
+	Params map[string]string
+	// XML and Text are the rendered presentation.
+	XML, Text string
+	// ContextText is the ranking-only context text.
+	ContextText string
+	// Tuples is the provenance (base tuples that contributed).
+	Tuples []relational.TupleRef
+	// Utility is the instance utility at dump time.
+	Utility float64
+	// Terms is the analyzed (tokenized, weighted) form the instance was
+	// indexed under.
+	Terms ir.DocTerms
+}
+
+// DumpState captures the engine's full state under the read lock: the
+// catalog (with learned utilities) as codec JSON, every live instance
+// in index order, and the exact collection statistics. The returned
+// state shares no mutable data with the engine and can be serialized
+// while the engine keeps serving.
+func (e *Engine) DumpState() (*EngineState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var cat bytes.Buffer
+	if err := e.cat.Encode(&cat); err != nil {
+		return nil, fmt.Errorf("search: dumping catalog: %w", err)
+	}
+	st := &EngineState{
+		Options:       e.opts,
+		Shards:        e.index.NumShards(),
+		CatalogJSON:   cat.Bytes(),
+		Docs:          make([]DocState, 0, len(e.instances)),
+		IndexTotalLen: e.index.TotalLen(),
+	}
+	for id := 0; id < e.index.Slots(); id++ {
+		name := e.index.Name(id)
+		if name == "" {
+			continue // tombstone of a removed instance
+		}
+		inst := e.instances[name]
+		if inst == nil {
+			return nil, fmt.Errorf("search: index document %q has no instance", name)
+		}
+		st.Docs = append(st.Docs, DocState{
+			DefName:     inst.Def.Name,
+			Params:      inst.Params,
+			XML:         inst.Rendered.XML,
+			Text:        inst.Rendered.Text,
+			ContextText: inst.ContextText,
+			Tuples:      inst.Tuples,
+			Utility:     inst.Utility,
+			Terms:       e.index.Terms(id),
+		})
+	}
+	return st, nil
+}
+
+// RestoreEngine rebuilds a serving-ready engine from a dumped state and
+// the database it was dumped over: the catalog is decoded and
+// revalidated against the schema, the segmentation dictionary is
+// rebuilt, and the index is reconstructed by replaying the documents in
+// their original insertion order — which reproduces posting lists,
+// shard layout, and collection statistics exactly, so the restored
+// engine's Search results (scores included) are bitwise identical to
+// the dumped engine's.
+func RestoreEngine(db *relational.Database, st *EngineState) (*Engine, error) {
+	cat, err := core.DecodeCatalog(db, bytes.NewReader(st.CatalogJSON))
+	if err != nil {
+		return nil, fmt.Errorf("search: restoring catalog: %w", err)
+	}
+	opts := withDefaults(st.Options)
+	if st.Shards < 1 {
+		return nil, fmt.Errorf("search: restoring engine: invalid shard count %d", st.Shards)
+	}
+	opts.Shards = st.Shards
+	dict := segment.BuildDictionary(db, segment.Options{AttributeSynonyms: opts.Synonyms})
+	e := &Engine{
+		cat:       cat,
+		dict:      dict,
+		seg:       segment.NewSegmenter(dict),
+		index:     ir.NewShardedIndex(st.Shards),
+		instances: make(map[string]*core.Instance, len(st.Docs)),
+		opts:      opts,
+		defTables: make(map[string]map[string]bool, cat.Len()),
+	}
+	for i, d := range st.Docs {
+		def := cat.Definition(d.DefName)
+		if def == nil {
+			return nil, fmt.Errorf("search: restoring doc %d: catalog has no definition %q", i, d.DefName)
+		}
+		inst := &core.Instance{
+			Def:         def,
+			Params:      d.Params,
+			Rendered:    sqlview.Rendered{XML: d.XML, Text: d.Text},
+			Tuples:      d.Tuples,
+			Utility:     d.Utility,
+			ContextText: d.ContextText,
+		}
+		id := inst.ID()
+		if _, err := e.index.AddAnalyzed(id, d.Terms); err != nil {
+			return nil, fmt.Errorf("search: restoring doc %d: %w", i, err)
+		}
+		e.instances[id] = inst
+	}
+	// A zero-instance state is valid: RemoveInstance can empty a live
+	// engine, and its snapshot must round-trip (searches simply return
+	// nothing). Only NewEngine insists on a non-empty catalog yield.
+	e.index.ForceTotalLen(st.IndexTotalLen)
+	for _, d := range cat.Definitions() {
+		e.defTables[d.Name] = definitionTables(d)
+	}
+	return e, nil
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/search"
+	"qunits/internal/snapshot"
+)
+
+func do(t *testing.T, s *Server, method, path, body string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	s.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestV1InstanceCreateMakesSearchableWithoutRestart(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+
+	// Before: the anchor is unknown — nothing served carries its label.
+	_, body := post(t, s, "/v1/search", `{"query":"zz live endpoint movie","k":50}`)
+	for _, r := range decodeBody[V1SearchResponse](t, body).Results {
+		if r.Label == "zz live endpoint movie" {
+			t.Fatalf("anchor already searchable before create: %s", body)
+		}
+	}
+
+	rec, body := post(t, s, "/v1/instances", `{"definition":"movie-cast","anchor":"zz live endpoint movie"}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status %d, want 201 (body %s)", rec.Code, body)
+	}
+	created := decodeBody[V1Instance](t, body)
+	if created.Definition != "movie-cast" || created.Label != "zz live endpoint movie" {
+		t.Fatalf("created instance: %+v", created)
+	}
+
+	// After: searchable on the very next request, no restart.
+	_, body = post(t, s, "/v1/search", `{"query":"zz live endpoint movie","k":3}`)
+	resp := decodeBody[V1SearchResponse](t, body)
+	if len(resp.Results) == 0 || resp.Results[0].ID != created.ID {
+		t.Fatalf("created instance not searchable: %s", body)
+	}
+
+	// And dereferencable.
+	rec, body = do(t, s, http.MethodGet, "/v1/instances/"+pathEscape(created.ID), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET created instance: %d (body %s)", rec.Code, body)
+	}
+}
+
+func TestV1InstanceCreateErrors(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+
+	rec, body := post(t, s, "/v1/instances", `{"anchor":"x"}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidArgument)
+
+	rec, body = post(t, s, "/v1/instances", `{"definition":"nope","anchor":"x"}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeUnknownDefinition)
+
+	rec, body = post(t, s, "/v1/instances", `{"definition":"movie-cast"}`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidArgument)
+
+	rec, body = post(t, s, "/v1/instances", `not json`)
+	wantV1Error(t, rec, body, http.StatusBadRequest, CodeInvalidJSON)
+
+	rec, body = do(t, s, http.MethodGet, "/v1/instances", "")
+	wantV1Error(t, rec, body, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+
+	// Duplicate create: 409 with the stable already_exists code.
+	if rec, body = post(t, s, "/v1/instances", `{"definition":"movie-cast","anchor":"zz dup"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("first create: %d (body %s)", rec.Code, body)
+	}
+	rec, body = post(t, s, "/v1/instances", `{"definition":"movie-cast","anchor":"zz dup"}`)
+	wantV1Error(t, rec, body, http.StatusConflict, CodeAlreadyExists)
+}
+
+func TestV1InstanceDelete(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+
+	_, body := post(t, s, "/v1/search", `{"query":"star wars cast","k":1}`)
+	resp := decodeBody[V1SearchResponse](t, body)
+	if len(resp.Results) == 0 {
+		t.Fatal("fixture query found nothing")
+	}
+	id := resp.Results[0].ID
+
+	rec, body := do(t, s, http.MethodDelete, "/v1/instances/"+pathEscape(id), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE: %d (body %s)", rec.Code, body)
+	}
+	removed := decodeBody[V1InstanceRemoveResponse](t, body)
+	if removed.ID != id || removed.Instances <= 0 {
+		t.Fatalf("remove reply: %+v", removed)
+	}
+
+	// The removed instance is out of search results immediately (the
+	// cache was purged, not just bypassed).
+	_, body = post(t, s, "/v1/search", `{"query":"star wars cast","k":20}`)
+	for _, r := range decodeBody[V1SearchResponse](t, body).Results {
+		if r.ID == id {
+			t.Fatalf("removed instance %q still served", id)
+		}
+	}
+
+	// Deleting again: 404.
+	rec, body = do(t, s, http.MethodDelete, "/v1/instances/"+pathEscape(id), "")
+	wantV1Error(t, rec, body, http.StatusNotFound, CodeNotFound)
+
+	// Mutation counters surface in /stats.
+	_, body = do(t, s, http.MethodGet, "/stats", "")
+	stats := decodeBody[StatsResponse](t, body)
+	if stats.InstanceRemovals != 1 {
+		t.Fatalf("stats.instance_removals = %d, want 1", stats.InstanceRemovals)
+	}
+}
+
+// volatileFields zeroes the per-request timing (and only it) so byte
+// comparison is meaningful: took_us is wall-clock time, everything else
+// on the wire must be identical.
+var volatileFields = regexp.MustCompile(`"took_us":\d+`)
+
+func normalizeWire(b []byte) []byte {
+	return volatileFields.ReplaceAll(b, []byte(`"took_us":0`))
+}
+
+// TestV1SearchByteParityAcrossSnapshotReload is the acceptance check at
+// the HTTP layer: a server over an engine restored from a snapshot (in
+// a "fresh process" — the database regenerated from scratch) returns
+// byte-identical /v1/search responses, explain payloads included.
+func TestV1SearchByteParityAcrossSnapshotReload(t *testing.T) {
+	gen := func() *search.Engine {
+		u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	orig := gen()
+	origSrv := New(orig, Config{CacheSize: -1}) // no cache: exercise the engine on every request
+
+	// Shift live state so the snapshot carries more than a fresh build.
+	if rec, body := post(t, origSrv, "/v1/instances", `{"definition":"movie-cast","anchor":"zz parity movie"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d (body %s)", rec.Code, body)
+	}
+
+	var snap bytes.Buffer
+	if err := snapshot.SaveEngine(&snap, orig); err != nil {
+		t.Fatal(err)
+	}
+	freshDB := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5}).DB
+	loaded, err := snapshot.LoadEngine(bytes.NewReader(snap.Bytes()), freshDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedSrv := New(loaded, Config{CacheSize: -1})
+
+	for _, reqBody := range []string{
+		`{"query":"star wars cast","k":10,"explain":true}`,
+		`{"query":"george clooney","k":10,"explain":true}`,
+		`{"query":"zz parity movie","k":5,"explain":true}`,
+		`{"query":"cast","k":20,"offset":3,"explain":true}`,
+		`{"queries":[{"query":"star wars cast","k":3,"explain":true},{"query":"tom hanks","k":3}]}`,
+	} {
+		_, want := post(t, origSrv, "/v1/search", reqBody)
+		_, got := post(t, loadedSrv, "/v1/search", reqBody)
+		if !bytes.Equal(normalizeWire(want), normalizeWire(got)) {
+			t.Fatalf("wire bytes differ for %s:\n orig: %s\nloaded: %s", reqBody, want, got)
+		}
+	}
+}
+
+func pathEscape(s string) string { return url.PathEscape(s) }

@@ -9,7 +9,10 @@
 //	                             queries, offset pagination, definition
 //	                             and anchor-type filters, explain mode
 //	POST /v1/feedback            relevance feedback on one instance
+//	POST /v1/instances           derive and index one new qunit instance
+//	                             into the live engine (no restart)
 //	GET  /v1/instances/{id}      one qunit instance in full
+//	DELETE /v1/instances/{id}    remove one instance from the live engine
 //
 // Plus the unversioned operational endpoints and the legacy alias:
 //
@@ -41,6 +44,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"qunits/internal/core"
 	"qunits/internal/search"
 )
 
@@ -68,13 +72,15 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
-	queries     atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	dedupShared atomic.Int64
-	badRequests atomic.Int64
-	feedbacks   atomic.Int64
-	purgeEpoch  atomic.Int64
+	queries      atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	dedupShared  atomic.Int64
+	badRequests  atomic.Int64
+	feedbacks    atomic.Int64
+	instanceAdds atomic.Int64
+	instanceRems atomic.Int64
+	purgeEpoch   atomic.Int64
 }
 
 // New returns a Server over the engine.
@@ -104,6 +110,7 @@ func New(engine *search.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/search", s.handleV1Search)
 	s.mux.HandleFunc("/v1/feedback", s.handleV1Feedback)
+	s.mux.HandleFunc("/v1/instances", s.handleV1InstanceCreate)
 	s.mux.HandleFunc("/v1/instances/", s.handleV1Instance)
 	return s
 }
@@ -280,45 +287,83 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the /stats reply.
 type StatsResponse struct {
-	Queries       int64   `json:"queries"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	DedupShared   int64   `json:"dedup_shared"`
-	BadRequests   int64   `json:"bad_requests"`
-	Feedbacks     int64   `json:"feedbacks"`
-	CacheLen      int     `json:"cache_len"`
-	CacheCap      int     `json:"cache_cap"`
-	Instances     int     `json:"instances"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries          int64   `json:"queries"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	DedupShared      int64   `json:"dedup_shared"`
+	BadRequests      int64   `json:"bad_requests"`
+	Feedbacks        int64   `json:"feedbacks"`
+	InstanceAdds     int64   `json:"instance_adds"`
+	InstanceRemovals int64   `json:"instance_removals"`
+	CacheLen         int     `json:"cache_len"`
+	CacheCap         int     `json:"cache_cap"`
+	Instances        int     `json:"instances"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Queries:       s.queries.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		DedupShared:   s.dedupShared.Load(),
-		BadRequests:   s.badRequests.Load(),
-		Feedbacks:     s.feedbacks.Load(),
-		CacheLen:      s.cache.len(),
-		CacheCap:      s.cfg.CacheSize,
-		Instances:     s.engine.InstanceCount(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:          s.queries.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		DedupShared:      s.dedupShared.Load(),
+		BadRequests:      s.badRequests.Load(),
+		Feedbacks:        s.feedbacks.Load(),
+		InstanceAdds:     s.instanceAdds.Load(),
+		InstanceRemovals: s.instanceRems.Load(),
+		CacheLen:         s.cache.len(),
+		CacheCap:         s.cfg.CacheSize,
+		Instances:        s.engine.InstanceCount(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
 	})
 }
 
-// ApplyFeedback forwards a feedback signal to the engine and purges the
-// result cache: a utility update can reorder any request's results. The
-// epoch bump keeps searches that started before the update from
+// invalidateResults empties the result cache after an engine mutation.
+// The epoch bump keeps searches that started before the mutation from
 // re-inserting their now-stale rankings after the purge.
+//
+// The purge is deliberately total, not per-entry: a feedback signal
+// reorders every request whose results contain the shifted qunit type,
+// and an instance add/remove shifts the collection statistics (document
+// count, frequencies, average length) that every BM25 score depends on
+// — so after any mutation there is no cache entry that is provably
+// still valid.
+func (s *Server) invalidateResults() {
+	s.purgeEpoch.Add(1)
+	s.cache.purge()
+}
+
+// ApplyFeedback forwards a feedback signal to the engine and purges the
+// result cache: a utility update can reorder any request's results.
 func (s *Server) ApplyFeedback(instanceID string, positive bool) (float64, error) {
 	util, err := s.engine.ApplyFeedback(instanceID, positive, search.Feedback{})
 	if err == nil {
 		s.feedbacks.Add(1)
-		s.purgeEpoch.Add(1)
-		s.cache.purge()
+		s.invalidateResults()
 	}
 	return util, err
+}
+
+// AddInstance derives and indexes one new qunit instance into the live
+// engine and purges the result cache (collection statistics shifted).
+func (s *Server) AddInstance(definition, anchor string) (*core.Instance, error) {
+	inst, err := s.engine.AddAnchorInstance(definition, anchor)
+	if err == nil {
+		s.instanceAdds.Add(1)
+		s.invalidateResults()
+	}
+	return inst, err
+}
+
+// RemoveInstance deletes one instance from the live engine and purges
+// the result cache (collection statistics shifted).
+func (s *Server) RemoveInstance(id string) error {
+	err := s.engine.RemoveInstance(id)
+	if err == nil {
+		s.instanceRems.Add(1)
+		s.invalidateResults()
+	}
+	return err
 }
 
 // truncateRunes cuts s to at most max bytes without splitting a rune,

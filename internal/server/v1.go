@@ -28,6 +28,8 @@ const (
 	CodeUnknownDefinition = "unknown_definition"
 	// CodeNotFound: the addressed resource (instance) does not exist.
 	CodeNotFound = "not_found"
+	// CodeAlreadyExists: the instance being created is already indexed.
+	CodeAlreadyExists = "already_exists"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeInternal: an unexpected server-side failure.
@@ -160,14 +162,40 @@ type V1FeedbackResponse struct {
 	Utility    float64 `json:"utility"`
 }
 
-// V1Instance is the GET /v1/instances/{id} reply.
+// V1Instance is the GET /v1/instances/{id} reply, and the success
+// payload of POST /v1/instances.
 type V1Instance struct {
-	ID         string  `json:"id"`
-	Label      string  `json:"label"`
-	Definition string  `json:"definition"`
-	Utility    float64 `json:"utility"`
-	Text       string  `json:"text"`
-	XML        string  `json:"xml,omitempty"`
+	// ID is the instance's unique name (definition plus parameters).
+	ID string `json:"id"`
+	// Label is the instance's display label (its anchor value).
+	Label string `json:"label"`
+	// Definition names the qunit type this instance belongs to.
+	Definition string `json:"definition"`
+	// Utility is the instance's utility at read time.
+	Utility float64 `json:"utility"`
+	// Text is the instance's rendered flat text.
+	Text string `json:"text"`
+	// XML is the instance's rendered XML presentation.
+	XML string `json:"xml,omitempty"`
+}
+
+// V1InstanceCreateRequest is the POST /v1/instances body: derive and
+// index one new qunit instance of an existing definition, live — no
+// rebuild, no restart.
+type V1InstanceCreateRequest struct {
+	// Definition names the qunit definition to instantiate.
+	Definition string `json:"definition"`
+	// Anchor is the anchor (parameter) value the instance is derived
+	// for; empty for parameterless definitions.
+	Anchor string `json:"anchor,omitempty"`
+}
+
+// V1InstanceRemoveResponse is the DELETE /v1/instances/{id} reply.
+type V1InstanceRemoveResponse struct {
+	// ID is the removed instance's ID.
+	ID string `json:"id"`
+	// Instances is the live instance count after the removal.
+	Instances int `json:"instances"`
 }
 
 // maxBodyBytes bounds every /v1 request body.
@@ -359,10 +387,57 @@ func (s *Server) handleV1Feedback(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleV1Instance serves GET /v1/instances/{id}.
+// handleV1InstanceCreate serves POST /v1/instances: the live-update
+// half of the snapshot story — a new entity's qunit is derived from the
+// database and merged into the serving index under the engine lock,
+// searchable by the next request.
+func (s *Server) handleV1InstanceCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/instances")
+		return
+	}
+	var body V1InstanceCreateRequest
+	if err := decodeV1(r, &body); err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+		return
+	}
+	if body.Definition == "" {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, "definition must not be empty")
+		return
+	}
+	inst, err := s.AddInstance(body.Definition, body.Anchor)
+	if err != nil {
+		var unknownDef *search.UnknownDefinitionError
+		var exists *search.InstanceExistsError
+		var badAnchor *search.InvalidAnchorError
+		switch {
+		case errors.As(err, &unknownDef):
+			s.writeV1Error(w, http.StatusBadRequest, CodeUnknownDefinition, err.Error())
+		case errors.As(err, &exists):
+			s.writeV1Error(w, http.StatusConflict, CodeAlreadyExists, err.Error())
+		case errors.As(err, &badAnchor):
+			s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		default:
+			// Anything else — instantiation or index failure — is an
+			// engine-side fault, not a bad request.
+			s.writeV1Error(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, V1Instance{
+		ID:         inst.ID(),
+		Label:      inst.Label(),
+		Definition: inst.Def.Name,
+		Utility:    inst.Utility,
+		Text:       inst.Rendered.Text,
+		XML:        inst.Rendered.XML,
+	})
+}
+
+// handleV1Instance serves GET and DELETE /v1/instances/{id}.
 func (s *Server) handleV1Instance(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET /v1/instances/{id}")
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET or DELETE /v1/instances/{id}")
 		return
 	}
 	// Work on the escaped path so an instance ID containing a literal
@@ -375,6 +450,19 @@ func (s *Server) handleV1Instance(w http.ResponseWriter, r *http.Request) {
 	id, err := url.PathUnescape(raw)
 	if err != nil {
 		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad instance id encoding: %v", err))
+		return
+	}
+	if r.Method == http.MethodDelete {
+		if err := s.RemoveInstance(id); err != nil {
+			var notFound *search.InstanceNotFoundError
+			if errors.As(err, &notFound) {
+				s.writeV1Error(w, http.StatusNotFound, CodeNotFound, err.Error())
+			} else {
+				s.writeV1Error(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, V1InstanceRemoveResponse{ID: id, Instances: s.engine.InstanceCount()})
 		return
 	}
 	inst, util, ok := s.engine.InstanceDetail(id)

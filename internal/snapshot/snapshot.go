@@ -1,0 +1,535 @@
+// Package snapshot persists a built search engine to a versioned binary
+// format and streams it back — the offline/online split the qunits
+// paper assumes: qunit derivation and indexing are "an offline process,
+// much like the index generation phase in IR systems", and serving
+// should not repeat them on every process start.
+//
+// # Format
+//
+// A snapshot is one self-describing binary blob:
+//
+//	magic    4 bytes  "QSNP"
+//	version  uint16   little-endian format version (currently 1)
+//	payload  -        version-defined body (see below)
+//	checksum uint32   little-endian CRC-32C over magic+version+payload
+//
+// The version-1 payload, in order: the scorer (kind byte + parameters),
+// the five scoring option weights, the synonym table, the shard count,
+// a database fingerprint (name, table count, row count, CRC-64 content
+// hash over every cell), the catalog in
+// the core codec's JSON wire format (definitions with learned
+// utilities), every indexed instance in index-insertion order (rendered
+// presentation, provenance, utility, analyzed terms), and the exact
+// running total document length. Integers are unsigned varints, floats
+// are IEEE-754 bits little-endian, strings are length-prefixed UTF-8.
+//
+// # Compatibility rules
+//
+//   - The magic never changes; anything else is ErrBadMagic.
+//   - A reader accepts exactly the versions it knows. A higher version
+//     is *FutureVersionError (upgrade the binary, not the snapshot); a
+//     version no longer supported fails the same way version 0 does.
+//   - Any payload change bumps the version. There are no optional or
+//     skippable fields inside a version.
+//   - The checksum is verified before any decoded state is used.
+//
+// # Guarantees
+//
+// LoadEngine over the same database reproduces the dumped engine
+// exactly: posting lists, shard layout, collection statistics, learned
+// utilities — so Search returns bitwise-identical scores and explain
+// payloads (parity-enforced by tests here and in internal/server). The
+// database itself is not part of the snapshot; a fingerprint mismatch
+// is *DatabaseMismatchError.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+	"math"
+	"sort"
+
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+	"qunits/internal/search"
+)
+
+// FormatVersion is the snapshot format version this package writes.
+const FormatVersion = 1
+
+// magic identifies a qunits engine snapshot.
+var magic = [4]byte{'Q', 'S', 'N', 'P'}
+
+// crcTable is the CRC-32C (Castagnoli) polynomial table the trailing
+// checksum uses.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrBadMagic reports a stream that is not a qunits engine snapshot.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a qunits engine snapshot)")
+	// ErrTruncated reports a snapshot that ends mid-structure.
+	ErrTruncated = errors.New("snapshot: truncated snapshot")
+	// ErrChecksum reports a snapshot whose trailing CRC-32C does not
+	// match its content.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupt snapshot)")
+	// ErrCorrupt reports a snapshot whose structure decodes to
+	// impossible values (an unknown scorer kind, an oversized count).
+	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+)
+
+// FutureVersionError reports a snapshot written by a newer format
+// version than this binary understands.
+type FutureVersionError struct {
+	// Version is the snapshot's format version.
+	Version uint16
+}
+
+// Error implements error.
+func (e *FutureVersionError) Error() string {
+	return fmt.Sprintf("snapshot: format version %d is newer than the supported %d", e.Version, FormatVersion)
+}
+
+// DatabaseMismatchError reports a snapshot loaded against a database
+// other than the one it was saved over.
+type DatabaseMismatchError struct {
+	// Want describes the database the snapshot was saved over.
+	Want string
+	// Got describes the database the load was attempted against.
+	Got string
+}
+
+// Error implements error.
+func (e *DatabaseMismatchError) Error() string {
+	return fmt.Sprintf("snapshot: database mismatch: snapshot is over %s, load attempted against %s", e.Want, e.Got)
+}
+
+// UnsupportedScorerError reports a save of an engine whose scorer the
+// format cannot serialize (only the stock ir.BM25 and ir.TFIDF are
+// parameterizable on the wire).
+type UnsupportedScorerError struct {
+	// Name is the scorer's self-reported name.
+	Name string
+}
+
+// Error implements error.
+func (e *UnsupportedScorerError) Error() string {
+	return fmt.Sprintf("snapshot: cannot serialize custom scorer %q (only bm25 and tfidf)", e.Name)
+}
+
+// Scorer kind tags on the wire.
+const (
+	scorerBM25  = 1
+	scorerTFIDF = 2
+)
+
+// Decode-time sanity caps: a corrupt length prefix must fail cleanly,
+// not attempt a multi-gigabyte allocation before the checksum check.
+// Counts additionally bound only the *initial* slice capacity
+// (maxPrealloc); the slices grow by append, so a corrupt count fails
+// with ErrTruncated as soon as the stream runs dry rather than
+// allocating count×elemsize up front.
+const (
+	maxStringLen = 1 << 28 // 256 MiB per string
+	maxCount     = 1 << 26 // 64M elements per collection
+	maxPrealloc  = 1 << 12 // elements preallocated per collection
+)
+
+// prealloc caps an untrusted element count down to a safe initial
+// slice capacity.
+func prealloc(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// SaveEngine writes the engine's full state as one snapshot blob. The
+// engine keeps serving while the state is captured (a read-lock
+// snapshot); the write itself happens outside the engine lock.
+func SaveEngine(w io.Writer, e *search.Engine) error {
+	st, err := e.DumpState()
+	if err != nil {
+		return err
+	}
+	return encodeState(w, e.Catalog().DB(), st)
+}
+
+// LoadEngine reads a snapshot and rebuilds a serving-ready engine over
+// the given database — which must be the database the snapshot was
+// saved over (same schema and rows; the fingerprint check catches
+// drift). On success the engine answers searches bitwise-identically to
+// the engine that was saved.
+func LoadEngine(r io.Reader, db *relational.Database) (*search.Engine, error) {
+	st, err := decodeState(r, db)
+	if err != nil {
+		return nil, err
+	}
+	return search.RestoreEngine(db, st)
+}
+
+// fingerprint summarizes a database for the compatibility check: its
+// name, shape counts, and a CRC-64 over every cell value in sorted
+// table order — so two universes that merely coincide in name and row
+// counts (easy with randomized generators) cannot be confused. Cost is
+// one linear pass over the cells, negligible next to the load itself.
+func fingerprint(db *relational.Database) (name string, tables, rows int, content uint64) {
+	h := crc64.New(contentTable)
+	names := db.TableNames()
+	sort.Strings(names)
+	for _, tn := range names {
+		h.Write([]byte(tn))
+		h.Write([]byte{0})
+		db.Table(tn).Scan(func(id int, row relational.Row) bool {
+			for _, v := range row {
+				h.Write([]byte(v.Render()))
+				h.Write([]byte{0x1f})
+			}
+			h.Write([]byte{'\n'})
+			return true
+		})
+	}
+	return db.Name(), len(names), db.TotalRows(), h.Sum64()
+}
+
+// contentTable is the CRC-64 polynomial table the database content
+// fingerprint uses.
+var contentTable = crc64.MakeTable(crc64.ECMA)
+
+// --- encoding ---------------------------------------------------------------
+
+// encoder serializes primitives to w while folding every written byte
+// into the running checksum. Errors are sticky.
+type encoder struct {
+	w   io.Writer
+	crc hash.Hash32
+	err error
+}
+
+func (e *encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(p); err != nil {
+		e.err = err
+		return
+	}
+	e.crc.Write(p)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	e.write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+func (e *encoder) f64(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	e.write(buf[:])
+}
+
+// stringMap writes a map in sorted key order, so identical state yields
+// identical bytes (and an identical checksum) on every save.
+func (e *encoder) stringMap(m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.str(m[k])
+	}
+}
+
+func encodeState(w io.Writer, db *relational.Database, st *search.EngineState) error {
+	enc := &encoder{w: w, crc: crc32.New(crcTable)}
+	enc.write(magic[:])
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], FormatVersion)
+	enc.write(ver[:])
+
+	switch s := st.Options.Scorer.(type) {
+	case ir.BM25:
+		enc.write([]byte{scorerBM25})
+		enc.f64(s.K1)
+		enc.f64(s.B)
+	case ir.TFIDF:
+		enc.write([]byte{scorerTFIDF})
+		enc.f64(0)
+		enc.f64(0)
+	default:
+		return &UnsupportedScorerError{Name: st.Options.Scorer.Name()}
+	}
+	enc.f64(st.Options.LabelWeight)
+	enc.f64(st.Options.KeywordWeight)
+	enc.f64(st.Options.TypeBoost)
+	enc.f64(st.Options.UtilityInfluence)
+	enc.f64(st.Options.AnchorBoost)
+	enc.stringMap(st.Options.Synonyms)
+	enc.uvarint(uint64(st.Shards))
+
+	name, tables, rows, content := fingerprint(db)
+	enc.str(name)
+	enc.uvarint(uint64(tables))
+	enc.uvarint(uint64(rows))
+	var ch [8]byte
+	binary.LittleEndian.PutUint64(ch[:], content)
+	enc.write(ch[:])
+
+	enc.str(string(st.CatalogJSON))
+
+	enc.uvarint(uint64(len(st.Docs)))
+	for _, d := range st.Docs {
+		enc.str(d.DefName)
+		enc.stringMap(d.Params)
+		enc.str(d.XML)
+		enc.str(d.Text)
+		enc.str(d.ContextText)
+		enc.f64(d.Utility)
+		enc.uvarint(uint64(len(d.Tuples)))
+		for _, tr := range d.Tuples {
+			enc.str(tr.Table)
+			enc.uvarint(uint64(tr.Row))
+		}
+		enc.uvarint(uint64(len(d.Terms.Terms)))
+		for _, tc := range d.Terms.Terms {
+			enc.str(tc.Term)
+			enc.f64(tc.TF)
+		}
+		enc.f64(d.Terms.Length)
+	}
+	enc.f64(st.IndexTotalLen)
+
+	if enc.err != nil {
+		return fmt.Errorf("snapshot: writing: %w", enc.err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], enc.crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("snapshot: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// decoder reads primitives while folding every consumed byte into the
+// running checksum. Errors are sticky; premature EOF maps to
+// ErrTruncated.
+type decoder struct {
+	r   io.Reader // payload reads (hashed)
+	raw *bufio.Reader
+	crc hash.Hash32
+	err error
+}
+
+func newDecoder(r io.Reader) *decoder {
+	raw := bufio.NewReader(r)
+	crc := crc32.New(crcTable)
+	// Tee after buffering: the checksum must cover exactly the bytes
+	// the decoder consumes, never the bufio read-ahead.
+	return &decoder{r: io.TeeReader(raw, crc), raw: raw, crc: crc}
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = ErrTruncated
+		}
+		d.err = err
+	}
+}
+
+func (d *decoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.fail(err)
+	}
+}
+
+func (d *decoder) byte() byte {
+	var b [1]byte
+	d.read(b[:])
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(byteReaderFunc(d.byte))
+	if err != nil && d.err == nil {
+		d.fail(err)
+	}
+	return v
+}
+
+// byteReaderFunc adapts the decoder's single-byte read to io.ByteReader.
+type byteReaderFunc func() byte
+
+// ReadByte implements io.ByteReader.
+func (f byteReaderFunc) ReadByte() (byte, error) { return f(), nil }
+
+func (d *decoder) count(what string) int {
+	n := d.uvarint()
+	if n > maxCount {
+		d.fail(fmt.Errorf("%w: %s count %d exceeds sanity cap", ErrCorrupt, what, n))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("%w: string length %d exceeds sanity cap", ErrCorrupt, n))
+		return ""
+	}
+	buf := make([]byte, n)
+	d.read(buf)
+	return string(buf)
+}
+
+func (d *decoder) f64() float64 {
+	var buf [8]byte
+	d.read(buf[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (d *decoder) stringMap() map[string]string {
+	n := d.count("map")
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, prealloc(n))
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = d.str()
+	}
+	return m
+}
+
+func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, error) {
+	dec := newDecoder(r)
+	var m [4]byte
+	dec.read(m[:])
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var ver [2]byte
+	dec.read(ver[:])
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	version := binary.LittleEndian.Uint16(ver[:])
+	if version > FormatVersion {
+		return nil, &FutureVersionError{Version: version}
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, version)
+	}
+
+	st := &search.EngineState{}
+	kind := dec.byte()
+	k1, b := dec.f64(), dec.f64()
+	switch kind {
+	case scorerBM25:
+		st.Options.Scorer = ir.BM25{K1: k1, B: b}
+	case scorerTFIDF:
+		st.Options.Scorer = ir.TFIDF{}
+	default:
+		if dec.err == nil {
+			return nil, fmt.Errorf("%w: unknown scorer kind %d", ErrCorrupt, kind)
+		}
+	}
+	st.Options.LabelWeight = dec.f64()
+	st.Options.KeywordWeight = dec.f64()
+	st.Options.TypeBoost = dec.f64()
+	st.Options.UtilityInfluence = dec.f64()
+	st.Options.AnchorBoost = dec.f64()
+	st.Options.Synonyms = dec.stringMap()
+	st.Shards = int(dec.uvarint())
+
+	wantName := dec.str()
+	wantTables := int(dec.uvarint())
+	wantRows := int(dec.uvarint())
+	var wantContent [8]byte
+	dec.read(wantContent[:])
+
+	st.CatalogJSON = []byte(dec.str())
+
+	nDocs := dec.count("doc")
+	if dec.err == nil {
+		st.Docs = make([]search.DocState, 0, prealloc(nDocs))
+	}
+	for i := 0; i < nDocs && dec.err == nil; i++ {
+		doc := search.DocState{
+			DefName: dec.str(),
+			Params:  dec.stringMap(),
+		}
+		doc.XML = dec.str()
+		doc.Text = dec.str()
+		doc.ContextText = dec.str()
+		doc.Utility = dec.f64()
+		nTuples := dec.count("tuple")
+		if dec.err == nil && nTuples > 0 {
+			doc.Tuples = make([]relational.TupleRef, 0, prealloc(nTuples))
+			for j := 0; j < nTuples && dec.err == nil; j++ {
+				doc.Tuples = append(doc.Tuples, relational.TupleRef{Table: dec.str(), Row: int(dec.uvarint())})
+			}
+		}
+		nTerms := dec.count("term")
+		if dec.err == nil && nTerms > 0 {
+			doc.Terms.Terms = make([]ir.TermCount, 0, prealloc(nTerms))
+			for j := 0; j < nTerms && dec.err == nil; j++ {
+				doc.Terms.Terms = append(doc.Terms.Terms, ir.TermCount{Term: dec.str(), TF: dec.f64()})
+			}
+		}
+		doc.Terms.Length = dec.f64()
+		st.Docs = append(st.Docs, doc)
+	}
+	st.IndexTotalLen = dec.f64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+
+	// Verify the trailing checksum before trusting anything decoded.
+	sum := dec.crc.Sum32()
+	var stored [4]byte
+	if _, err := io.ReadFull(dec.raw, stored[:]); err != nil {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(stored[:]) != sum {
+		return nil, ErrChecksum
+	}
+
+	gotName, gotTables, gotRows, gotContent := fingerprint(db)
+	wantHash := binary.LittleEndian.Uint64(wantContent[:])
+	if gotName != wantName || gotTables != wantTables || gotRows != wantRows || gotContent != wantHash {
+		return nil, &DatabaseMismatchError{
+			Want: fmt.Sprintf("%q (%d tables, %d rows, content %016x)", wantName, wantTables, wantRows, wantHash),
+			Got:  fmt.Sprintf("%q (%d tables, %d rows, content %016x)", gotName, gotTables, gotRows, gotContent),
+		}
+	}
+	return st, nil
+}

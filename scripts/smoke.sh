@@ -2,19 +2,30 @@
 # smoke.sh boots qunitsd on a scratch port and exercises the HTTP
 # surface end to end with curl: /healthz, /v1/search (single + batch +
 # explain + error envelope), /v1/feedback, /v1/instances/{id}, and the
-# legacy /search alias. It is the CI smoke test (`make smoke`) — fast,
-# hermetic, and loud on failure.
+# legacy /search alias — then the snapshot cycle: add an instance over
+# /v1, snapshot via SIGTERM, restart from the snapshot, and assert the
+# added instance is still searchable. It is the CI smoke test: `make
+# smoke` runs the basic flow, `make snapshot-smoke` the snapshot flow,
+# `scripts/smoke.sh all` both. Fast, hermetic, and loud on failure.
+#
+# Usage: smoke.sh [basic|snapshot|all]   (default: all)
 set -eu
+
+MODE="${1:-all}"
+case "$MODE" in basic|snapshot|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|all)" >&2; exit 2 ;;
+esac
 
 PORT="${SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
 BIN="$(mktemp -d)/qunitsd"
 LOG="$(mktemp)"
+SNAP="$(mktemp -u).snap"
 
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
     [ -n "${PID:-}" ] && wait "$PID" 2>/dev/null || true
-    rm -f "$BIN" "$LOG"
+    rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp"
 }
 trap cleanup EXIT INT TERM
 
@@ -31,67 +42,113 @@ jsonget() {
     python3 -c 'import json,sys; d=json.load(sys.stdin); print(eval(sys.argv[1], {"d": d}))' "$1"
 }
 
+# start_server EXTRA_FLAGS…: boot qunitsd and wait for /healthz.
+start_server() {
+    "$BIN" -addr "127.0.0.1:$PORT" -persons 120 -movies 80 "$@" >"$LOG" 2>&1 &
+    PID=$!
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server did not become healthy"
+        kill -0 "$PID" 2>/dev/null || fail "server exited early"
+        sleep 0.2
+    done
+}
+
+# stop_server: SIGTERM and wait for the graceful drain.
+stop_server() {
+    kill -TERM "$PID"
+    i=0
+    while kill -0 "$PID" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server did not drain after SIGTERM"
+        sleep 0.1
+    done
+    wait "$PID" 2>/dev/null || true
+    grep -q "drained" "$LOG" || fail "no graceful-shutdown log line"
+    PID=
+}
+
 echo "smoke: building qunitsd"
 go build -o "$BIN" ./cmd/qunitsd
 
-echo "smoke: starting qunitsd on :$PORT"
-"$BIN" -addr "127.0.0.1:$PORT" -persons 120 -movies 80 >"$LOG" 2>&1 &
-PID=$!
+if [ "$MODE" != "snapshot" ]; then
+    echo "smoke: starting qunitsd on :$PORT"
+    start_server
 
-# Wait for readiness (engine build takes a moment).
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "server did not become healthy"
-    kill -0 "$PID" 2>/dev/null || fail "server exited early"
-    sleep 0.2
-done
+    echo "smoke: GET /healthz"
+    curl -fsS "$BASE/healthz" | jsonget 'd["status"]' | grep -qx ok || fail "healthz not ok"
 
-echo "smoke: GET /healthz"
-curl -fsS "$BASE/healthz" | jsonget 'd["status"]' | grep -qx ok || fail "healthz not ok"
+    echo "smoke: POST /v1/search (single)"
+    OUT=$(curl -fsS -d '{"query":"star wars cast","k":3,"explain":true}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "single search top result: $OUT"
+    echo "$OUT" | jsonget 'd["explain"]["template"]' | grep -q 'movie.title' || fail "explain missing: $OUT"
+    TOP_ID=$(echo "$OUT" | jsonget 'd["results"][0]["id"]')
 
-echo "smoke: POST /v1/search (single)"
-OUT=$(curl -fsS -d '{"query":"star wars cast","k":3,"explain":true}' "$BASE/v1/search")
-echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "single search top result: $OUT"
-echo "$OUT" | jsonget 'd["explain"]["template"]' | grep -q 'movie.title' || fail "explain missing: $OUT"
-TOP_ID=$(echo "$OUT" | jsonget 'd["results"][0]["id"]')
+    echo "smoke: POST /v1/search (batch with per-item error)"
+    OUT=$(curl -fsS -d '{"queries":[{"query":"george clooney","k":2},{"query":""}]}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'len(d["items"])' | grep -qx 2 || fail "batch item count: $OUT"
+    echo "$OUT" | jsonget 'd["items"][1]["error"]["code"]' | grep -qx invalid_argument || fail "batch per-item error: $OUT"
 
-echo "smoke: POST /v1/search (batch with per-item error)"
-OUT=$(curl -fsS -d '{"queries":[{"query":"george clooney","k":2},{"query":""}]}' "$BASE/v1/search")
-echo "$OUT" | jsonget 'len(d["items"])' | grep -qx 2 || fail "batch item count: $OUT"
-echo "$OUT" | jsonget 'd["items"][1]["error"]["code"]' | grep -qx invalid_argument || fail "batch per-item error: $OUT"
+    echo "smoke: POST /v1/search (error envelope)"
+    OUT=$(curl -sS -d '{"query":"x","filter":{"definitions":["nope"]}}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'd["error"]["code"]' | grep -qx unknown_definition || fail "error envelope: $OUT"
 
-echo "smoke: POST /v1/search (error envelope)"
-OUT=$(curl -sS -d '{"query":"x","filter":{"definitions":["nope"]}}' "$BASE/v1/search")
-echo "$OUT" | jsonget 'd["error"]["code"]' | grep -qx unknown_definition || fail "error envelope: $OUT"
+    echo "smoke: POST /v1/feedback"
+    OUT=$(curl -fsS -d "{\"instance_id\":$(printf '%s' "$TOP_ID" | python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'),\"positive\":true}" "$BASE/v1/feedback")
+    echo "$OUT" | jsonget 'd["utility"] > 0' | grep -qx True || fail "feedback: $OUT"
 
-echo "smoke: POST /v1/feedback"
-OUT=$(curl -fsS -d "{\"instance_id\":$(printf '%s' "$TOP_ID" | python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'),\"positive\":true}" "$BASE/v1/feedback")
-echo "$OUT" | jsonget 'd["utility"] > 0' | grep -qx True || fail "feedback: $OUT"
+    echo "smoke: GET /v1/instances/{id}"
+    ENC_ID=$(printf '%s' "$TOP_ID" | python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.stdin.read()))')
+    OUT=$(curl -fsS "$BASE/v1/instances/$ENC_ID")
+    echo "$OUT" | jsonget 'd["definition"]' | grep -qx movie-cast || fail "instance fetch: $OUT"
 
-echo "smoke: GET /v1/instances/{id}"
-ENC_ID=$(printf '%s' "$TOP_ID" | python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.stdin.read()))')
-OUT=$(curl -fsS "$BASE/v1/instances/$ENC_ID")
-echo "$OUT" | jsonget 'd["definition"]' | grep -qx movie-cast || fail "instance fetch: $OUT"
+    echo "smoke: GET /search (legacy alias)"
+    OUT=$(curl -fsS "$BASE/search?q=star+wars+cast&k=2")
+    echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "legacy search: $OUT"
 
-echo "smoke: GET /search (legacy alias)"
-OUT=$(curl -fsS "$BASE/search?q=star+wars+cast&k=2")
-echo "$OUT" | jsonget 'd["results"][0]["definition"]' | grep -qx movie-cast || fail "legacy search: $OUT"
+    echo "smoke: GET /stats"
+    OUT=$(curl -fsS "$BASE/stats")
+    echo "$OUT" | jsonget 'd["feedbacks"]' | grep -qx 1 || fail "stats feedbacks: $OUT"
 
-echo "smoke: GET /stats"
-OUT=$(curl -fsS "$BASE/stats")
-echo "$OUT" | jsonget 'd["feedbacks"]' | grep -qx 1 || fail "stats feedbacks: $OUT"
+    echo "smoke: graceful shutdown (SIGTERM)"
+    stop_server
+fi
 
-echo "smoke: graceful shutdown (SIGTERM)"
-kill -TERM "$PID"
-i=0
-while kill -0 "$PID" 2>/dev/null; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "server did not drain after SIGTERM"
-    sleep 0.1
-done
-wait "$PID" 2>/dev/null || true
-grep -q "drained" "$LOG" || fail "no graceful-shutdown log line"
-PID=
+if [ "$MODE" != "basic" ]; then
+    echo "smoke: starting qunitsd with -snapshot (fresh build)"
+    start_server -snapshot "$SNAP"
+
+    echo "smoke: POST /v1/instances (live add)"
+    OUT=$(curl -fsS -d '{"definition":"movie-cast","anchor":"smoke snapshot qunit"}' "$BASE/v1/instances")
+    echo "$OUT" | jsonget 'd["id"]' | grep -qx 'movie-cast:smoke snapshot qunit' || fail "instance create: $OUT"
+
+    echo "smoke: added instance is searchable without restart"
+    OUT=$(curl -fsS -d '{"query":"smoke snapshot qunit","k":3}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'd["results"][0]["id"]' | grep -qx 'movie-cast:smoke snapshot qunit' || fail "live search after add: $OUT"
+
+    echo "smoke: SIGTERM writes the snapshot"
+    stop_server
+    grep -q "snapshot written" "$LOG" || fail "no snapshot-written log line"
+    [ -s "$SNAP" ] || fail "snapshot file missing or empty"
+
+    echo "smoke: restarting from the snapshot"
+    start_server -snapshot "$SNAP"
+    grep -q "loaded from snapshot" "$LOG" || fail "server did not load the snapshot"
+
+    echo "smoke: added instance survived the restart"
+    OUT=$(curl -fsS -d '{"query":"smoke snapshot qunit","k":3}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'd["results"][0]["id"]' | grep -qx 'movie-cast:smoke snapshot qunit' || fail "search after restart: $OUT"
+    OUT=$(curl -fsS "$BASE/v1/instances/movie-cast:smoke%20snapshot%20qunit")
+    echo "$OUT" | jsonget 'd["definition"]' | grep -qx movie-cast || fail "instance fetch after restart: $OUT"
+
+    echo "smoke: DELETE /v1/instances/{id}"
+    OUT=$(curl -fsS -X DELETE "$BASE/v1/instances/movie-cast:smoke%20snapshot%20qunit")
+    echo "$OUT" | jsonget 'd["id"]' | grep -qx 'movie-cast:smoke snapshot qunit' || fail "instance delete: $OUT"
+    OUT=$(curl -fsS -d '{"query":"smoke snapshot qunit","k":3}' "$BASE/v1/search")
+    echo "$OUT" | jsonget '[r["id"] for r in d["results"]].count("movie-cast:smoke snapshot qunit")' | grep -qx 0 || fail "deleted instance still served: $OUT"
+
+    stop_server
+fi
 
 echo "smoke: PASS"
