@@ -333,6 +333,65 @@ func BenchmarkServerV1SearchBatch(b *testing.B) {
 	}
 }
 
+// --- top-k pruned scoring: the scoring-path regression gate ------------------
+
+// topkBench holds two engines over one larger IMDb corpus: the default
+// pruned top-k path and the exhaustive oracle. CI's bench-regression
+// step compares the two sub-benchmarks' ns/op — a machine-independent
+// speedup ratio — against the committed baseline.
+var (
+	topkOnce    sync.Once
+	topkPruned  *search.Engine
+	topkOracle  *search.Engine
+	topkQueries = []string{"star wars cast", "george clooney movies", "the of movie", "soundtrack"}
+)
+
+func topkEngines(b *testing.B) (*search.Engine, *search.Engine) {
+	b.Helper()
+	topkOnce.Do(func() {
+		u := imdb.MustGenerate(imdb.Config{Seed: 9, Persons: 2500, Movies: 1500, CastPerMovie: 6})
+		build := func(exhaustive bool) *search.Engine {
+			cat, err := derive.Expert{}.Derive(u.DB)
+			if err != nil {
+				panic(err)
+			}
+			e, err := search.NewEngine(cat, search.Options{
+				Synonyms:         imdb.AttributeSynonyms(),
+				ExhaustiveScorer: exhaustive,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}
+		topkPruned, topkOracle = build(false), build(true)
+	})
+	return topkPruned, topkOracle
+}
+
+// BenchmarkTopKScoring measures the request page path (k <= 10, the
+// serving sweet spot) through the pruned scorer and the exhaustive
+// oracle. Results are parity-enforced identical; only the work differs.
+func BenchmarkTopKScoring(b *testing.B) {
+	pruned, oracle := topkEngines(b)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name   string
+		engine *search.Engine
+	}{{"pruned", pruned}, {"exhaustive", oracle}} {
+		for _, k := range []int{1, 10} {
+			b.Run(mode.name+"/k="+itoa(k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					req := search.Request{Query: topkQueries[i%len(topkQueries)], K: k}
+					if _, err := mode.engine.Search(ctx, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLazyResolverBuild measures non-materialized resolver
 // construction (§3's "no requirement that qunits be materialized") —
 // compare against BenchmarkQunitEngineBuild.

@@ -1,0 +1,119 @@
+// Command benchcheck gates the scoring hot path against performance
+// regressions using benchjson output (see cmd/benchjson).
+//
+// Raw ns/op numbers are useless across machines — a laptop baseline
+// would "regress" on every slower CI runner. So the gate is the
+// RATIO between two benchmarks from the same run: the pruned top-k
+// scoring path and its exhaustive oracle. The ratio is a
+// machine-independent measure of how much work pruning saves; it is
+// compared against an absolute floor (-min-speedup, the repo's
+// advertised speedup) and against the committed baseline's ratio
+// (-max-regress, the fraction of that ratio allowed to erode).
+//
+//	go test -bench TopKScoring -benchtime=50x -run '^$' . \
+//	  | go run ./cmd/benchjson > /tmp/topk.json
+//	go run ./cmd/benchcheck -current /tmp/topk.json -baseline BENCH.json \
+//	  -fast 'BenchmarkTopKScoring/pruned/k=10' \
+//	  -slow 'BenchmarkTopKScoring/exhaustive/k=10'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors benchjson's output shape.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	current := flag.String("current", "", "benchjson file of the run under test (required)")
+	baseline := flag.String("baseline", "", "benchjson file of the committed baseline (optional)")
+	fast := flag.String("fast", "BenchmarkTopKScoring/pruned/k=10", "benchmark whose ns/op should be small")
+	slow := flag.String("slow", "BenchmarkTopKScoring/exhaustive/k=10", "benchmark whose ns/op anchors the ratio")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "fail when slow/fast falls below this ratio")
+	maxRegress := flag.Float64("max-regress", 0.20, "fail when the ratio erodes by more than this fraction vs the baseline")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		os.Exit(2)
+	}
+
+	curRatio, err := ratioFrom(*current, *fast, *slow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchcheck: current %s/%s speedup = %.2fx\n", *slow, *fast, curRatio)
+	failed := false
+	if curRatio < *minSpeedup {
+		fmt.Printf("benchcheck: FAIL: speedup %.2fx is below the %.2fx floor\n", curRatio, *minSpeedup)
+		failed = true
+	}
+	if *baseline != "" {
+		baseRatio, err := ratioFrom(*baseline, *fast, *slow)
+		switch {
+		case err != nil:
+			// A baseline that predates these benchmarks is not an error:
+			// the absolute floor still gates the run.
+			fmt.Printf("benchcheck: baseline has no usable ratio (%v); floor check only\n", err)
+		default:
+			floor := baseRatio * (1 - *maxRegress)
+			fmt.Printf("benchcheck: baseline speedup = %.2fx (allowed floor %.2fx)\n", baseRatio, floor)
+			if curRatio < floor {
+				fmt.Printf("benchcheck: FAIL: scoring-path speedup regressed more than %.0f%%\n", *maxRegress*100)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// ratioFrom loads a benchjson file and returns slow.ns/op ÷ fast.ns/op.
+func ratioFrom(path, fast, slow string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var results []result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	// A file may carry the same benchmark at several -benchtime settings
+	// (the committed baseline appends a longer top-k pass to the 1x
+	// sweep); prefer the entry with the most iterations — the least
+	// noisy measurement.
+	ns := func(name string) (float64, error) {
+		var best *result
+		for i := range results {
+			r := &results[i]
+			if r.Name == name && (best == nil || r.Iterations > best.Iterations) {
+				best = r
+			}
+		}
+		if best == nil {
+			return 0, fmt.Errorf("%s: no benchmark %q", path, name)
+		}
+		if v, ok := best.Metrics["ns/op"]; ok && v > 0 {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: %q has no positive ns/op", path, name)
+	}
+	f, err := ns(fast)
+	if err != nil {
+		return 0, err
+	}
+	s, err := ns(slow)
+	if err != nil {
+		return 0, err
+	}
+	return s / f, nil
+}

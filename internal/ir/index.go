@@ -20,13 +20,22 @@ type Posting struct {
 	TF  float64 // weighted term frequency
 }
 
-// Index is an in-memory inverted index over named documents.
+// Index is an in-memory inverted index over named documents. Posting
+// lists are sorted, delta/varint-compressed doc-id blocks with per-block
+// max-score metadata (see postings.go); scorers traverse them through
+// cursors, either exhaustively or with MaxScore-style top-k pruning.
 type Index struct {
 	names    []string
 	byName   map[string]int
-	postings map[string][]Posting
-	docLen   []float64 // weighted token count per doc
+	postings map[string]*postingList
+	docLen   []float64 // weighted token count per doc; 0 tombstones a removed slot
 	totalLen float64
+
+	// minLiveLen is the smallest positive weighted document length ever
+	// indexed — a stale-safe lower bound on any live document's length
+	// (removals can only raise the true minimum), used by pruned scorers
+	// whose bounds improve with a length floor.
+	minLiveLen float64
 
 	// shared, when non-nil, makes the collection statistics (document
 	// count, average length, document frequency) come from the owning
@@ -48,7 +57,7 @@ type sharedStats struct {
 func NewIndex() *Index {
 	return &Index{
 		byName:   make(map[string]int),
-		postings: make(map[string][]Posting),
+		postings: make(map[string]*postingList),
 	}
 }
 
@@ -104,25 +113,57 @@ func (ix *Index) Add(name string, fields ...Field) (int, error) {
 // feed the results in here sequentially, in whatever order determinism
 // requires.
 func (ix *Index) AddAnalyzed(name string, doc DocTerms) (int, error) {
+	id, err := ix.addDocOnly(name, doc)
+	if err != nil {
+		return 0, err
+	}
+	for _, tc := range doc.Terms {
+		pl := ix.postings[tc.Term]
+		if pl == nil {
+			pl = &postingList{}
+			ix.postings[tc.Term] = pl
+		}
+		pl.add(id, tc.TF, doc.Length)
+	}
+	return id, nil
+}
+
+// addDocOnly registers the document's name and length statistics without
+// building postings — the shared front half of AddAnalyzed and the
+// snapshot fast path that installs pre-encoded posting lists afterwards.
+func (ix *Index) addDocOnly(name string, doc DocTerms) (int, error) {
 	if _, dup := ix.byName[name]; dup {
 		return 0, fmt.Errorf("ir: document %q already indexed", name)
 	}
 	id := len(ix.names)
 	ix.names = append(ix.names, name)
 	ix.byName[name] = id
-	for _, tc := range doc.Terms {
-		ix.postings[tc.Term] = append(ix.postings[tc.Term], Posting{Doc: id, TF: tc.TF})
-	}
 	ix.docLen = append(ix.docLen, doc.Length)
 	ix.totalLen += doc.Length
+	if doc.Length > 0 && (ix.minLiveLen == 0 || doc.Length < ix.minLiveLen) {
+		ix.minLiveLen = doc.Length
+	}
 	return id, nil
 }
 
+// addTombstone occupies the next dense slot as a removed-document
+// placeholder: no name mapping, zero length, no postings. Snapshot
+// restore uses it to reproduce a dumped index's slot layout exactly.
+func (ix *Index) addTombstone() int {
+	id := len(ix.names)
+	ix.names = append(ix.names, "")
+	ix.docLen = append(ix.docLen, 0)
+	return id
+}
+
 // removeLocal deletes the document in dense slot local, given the
-// analyzed terms it was added with: every posting referring to the slot
-// is filtered out, its length is zeroed, and its name mapping is
-// dropped. The slot itself is tombstoned (ids of other documents never
-// shift).
+// analyzed terms it was added with. The document is tombstoned in place:
+// its length is zeroed (which every posting cursor treats as "skip") and
+// its name mapping dropped; posting blocks and their max-score metadata
+// are left untouched. A stale block MaxTF can only overstate and a stale
+// MinLen only understate, so pruning bounds derived from them remain
+// valid — removal costs O(|doc terms|), not an O(postings) re-encode.
+// Slot ids of other documents never shift.
 //
 // Only valid on a shard of a ShardedIndex (shared != nil), whose owner
 // maintains the collection statistics; a standalone Index has no
@@ -131,16 +172,11 @@ func (ix *Index) AddAnalyzed(name string, doc DocTerms) (int, error) {
 func (ix *Index) removeLocal(local int, doc DocTerms) {
 	for _, tc := range doc.Terms {
 		pl := ix.postings[tc.Term]
-		kept := pl[:0]
-		for _, p := range pl {
-			if p.Doc != local {
-				kept = append(kept, p)
-			}
+		if pl == nil {
+			continue
 		}
-		if len(kept) == 0 {
+		if pl.live--; pl.live == 0 {
 			delete(ix.postings, tc.Term)
-		} else {
-			ix.postings[tc.Term] = kept
 		}
 	}
 	ix.docLen[local] = 0
@@ -168,7 +204,8 @@ func (ix *Index) Len() int {
 	return len(ix.names)
 }
 
-// LocalLen returns the number of documents physically indexed here.
+// LocalLen returns the number of document slots physically here,
+// tombstones included.
 func (ix *Index) LocalLen() int { return len(ix.names) }
 
 // Name returns the external name of a document id.
@@ -191,12 +228,26 @@ func (ix *Index) DocFreq(term string) int {
 	if ix.shared != nil {
 		return ix.shared.df[term]
 	}
-	return len(ix.postings[term])
+	if pl := ix.postings[term]; pl != nil {
+		return pl.live
+	}
+	return 0
 }
 
-// Postings returns the posting list for a term. The returned slice is
-// shared; callers must not mutate it.
-func (ix *Index) Postings(term string) []Posting { return ix.postings[term] }
+// Postings materializes the live postings of a term in doc-id order.
+// It decodes the compressed blocks on every call; scorers use cursors
+// instead, and callers (tests, tools) must not rely on this being cheap.
+func (ix *Index) Postings(term string) []Posting {
+	pl := ix.postings[term]
+	if pl == nil {
+		return nil
+	}
+	out := make([]Posting, 0, pl.live)
+	for c := newCursor(ix, pl); !c.done; c.next() {
+		out = append(out, Posting{Doc: c.doc, TF: c.tf})
+	}
+	return out
+}
 
 // AvgDocLen returns the mean weighted document length of the collection
 // (collection-wide when this index is a shard).

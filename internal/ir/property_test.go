@@ -78,6 +78,44 @@ func TestScoringOrderInvariance(t *testing.T) {
 	}
 }
 
+// Property: pruned top-k is insertion-order invariant, exactly like the
+// exhaustive scorer it must mirror (see also topk_test.go for the full
+// pruned≡exhaustive parity suite).
+func TestPrunedTopKOrderInvariance(t *testing.T) {
+	docs := map[string]string{
+		"a": "star wars epic space opera",
+		"b": "cast of star wars",
+		"c": "wars of the roses documentary",
+		"d": "unrelated cooking show",
+	}
+	build := func(order []string) []Hit {
+		ix := NewIndex()
+		for _, name := range order {
+			ix.MustAdd(name, Field{Text: docs[name]})
+		}
+		hits := Search(ix, BM25{}, "star wars", 2)
+		for i := range hits {
+			hits[i].Doc = 0 // dense ids shift with order; names must not
+		}
+		return hits
+	}
+	base := build([]string{"a", "b", "c", "d"})
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		order := []string{"a", "b", "c", "d"}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := build(order)
+		if len(got) != len(base) {
+			t.Fatal("top-k size changed with insertion order")
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("top-k changed with insertion order: %v vs %v", got[i], base[i])
+			}
+		}
+	}
+}
+
 // --- package microbenches ---
 
 func benchIndex(n int) *Index {

@@ -110,6 +110,78 @@ func TestShardedRemoveThenReAdd(t *testing.T) {
 	}
 }
 
+// TestRemoveReAddSameName is the regression for the Remove → re-Add
+// cycle of one document name: the shared collection statistics must
+// unwind and rebuild exactly, the tombstoned slot must stay dead while
+// the re-add takes a fresh slot, and the stale block-max metadata left
+// behind by the removal must never break pruned-scoring parity.
+func TestRemoveReAddSameName(t *testing.T) {
+	for _, shards := range []int{1, 2, 3} {
+		ix := removalCorpus(t, shards, nil)
+		if err := ix.Remove("c"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.Add("c", Field{Text: "a quick brown rabbit outruns the fox"}); err != nil {
+			t.Fatalf("re-Add: %v", err)
+		}
+		// "heavy" carries a far higher TF than any corpus document on a
+		// term ("the") present in every shard, so its removal leaves
+		// that term's block maximum stale in whichever shard held it
+		// (slot 6 lands on a shard where document "a" keeps the list
+		// alive for every shard count tested).
+		ix.MustAdd("heavy", Field{Text: "the rabbit rabbit rabbit", Weight: 6})
+		if err := ix.Remove("heavy"); err != nil {
+			t.Fatal(err)
+		}
+		// Shared stats must match an index that never saw the cycle
+		// ("c" re-added with identical text: only float rounding of the
+		// running total length may differ).
+		fresh := removalCorpus(t, shards, nil)
+		if ix.Len() != fresh.Len() || ix.VocabularySize() != fresh.VocabularySize() {
+			t.Fatalf("shards=%d: stats %d/%d vs fresh %d/%d",
+				shards, ix.Len(), ix.VocabularySize(), fresh.Len(), fresh.VocabularySize())
+		}
+		for _, term := range []string{"rabbit", "fox", "quick", "dog"} {
+			if ix.DocFreq(term) != fresh.DocFreq(term) {
+				t.Fatalf("shards=%d DocFreq(%q): %d vs fresh %d", shards, term, ix.DocFreq(term), fresh.DocFreq(term))
+			}
+		}
+		if math.Abs(ix.AvgDocLen()-fresh.AvgDocLen()) > 1e-9 {
+			t.Fatalf("shards=%d AvgDocLen %v vs fresh %v", shards, ix.AvgDocLen(), fresh.AvgDocLen())
+		}
+		if ix.Slots() != 7 { // 5 originals + heavy + re-added c
+			t.Fatalf("shards=%d Slots = %d, want 7", shards, ix.Slots())
+		}
+		// The stale "heavy" TF must still back some block max (the
+		// removal deliberately leaves metadata untouched)…
+		stale := false
+		for _, shard := range ix.shards {
+			if pl := shard.postings["the"]; pl != nil {
+				for _, b := range pl.blocks {
+					if b.MaxTF == 6 { // heavy's weighted tf, no live doc reaches it
+						stale = true
+					}
+				}
+			}
+		}
+		if !stale {
+			t.Fatalf("shards=%d: expected stale block-max metadata after removal", shards)
+		}
+		// …and pruned top-k must still agree with the exhaustive oracle
+		// bit for bit despite it.
+		for _, q := range []string{"rabbit fox", "quick brown rabbit", "lazy dog", "rabbit"} {
+			for _, scorer := range parityScorers {
+				for _, k := range []int{1, 2, 3, 10} {
+					pruned := ix.Search(scorer, q, k)
+					oracle := ix.Search(Exhaustive{S: scorer}, q, k)
+					label := "re-add " + q + " " + scorer.Name()
+					assertHitsIdentical(t, label, pruned, oracle)
+				}
+			}
+		}
+	}
+}
+
 func TestForceTotalLen(t *testing.T) {
 	ix := removalCorpus(t, 2, nil)
 	ix.ForceTotalLen(123.5)

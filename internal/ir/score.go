@@ -1,7 +1,6 @@
 package ir
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -21,6 +20,28 @@ type Scorer interface {
 	Score(ix *Index, terms []string) map[int]float64
 	// Name identifies the scorer in reports.
 	Name() string
+}
+
+// Exhaustive wraps a scorer and disables top-k pruning: Search and
+// ShardedIndex.Search always take the exhaustive score-everything path.
+// It is the debugging/parity oracle — pruned retrieval is required to be
+// result-identical (same docs, same float bits, same tie-break order) to
+// the same scorer wrapped in Exhaustive, and the parity test suites
+// assert exactly that.
+type Exhaustive struct{ S Scorer }
+
+// Name implements Scorer, reporting the wrapped scorer's name (the
+// wrapper changes the retrieval algorithm, never the ranking function).
+func (e Exhaustive) Name() string { return e.S.Name() }
+
+// Score implements Scorer.
+func (e Exhaustive) Score(ix *Index, terms []string) map[int]float64 { return e.S.Score(ix, terms) }
+
+// Prunable reports whether the scorer supports pruned top-k retrieval
+// (wrapping in Exhaustive makes any scorer non-prunable).
+func Prunable(s Scorer) bool {
+	_, ok := s.(prunedScorer)
+	return ok
 }
 
 // TFIDF is lnc-style cosine scoring: document weight (1+ln tf)·idf,
@@ -44,9 +65,9 @@ func (TFIDF) Score(ix *Index, terms []string) map[int]float64 {
 			continue
 		}
 		qw := (1 + math.Log(qf)) * idf
-		for _, p := range ix.Postings(t) {
-			dw := (1 + math.Log(p.TF)) * idf
-			acc[p.Doc] += qw * dw
+		for c := newCursor(ix, ix.postings[t]); !c.done; c.next() {
+			dw := (1 + math.Log(c.tf)) * idf
+			acc[c.doc] += qw * dw
 		}
 	}
 	for doc := range acc {
@@ -70,13 +91,7 @@ func (BM25) Name() string { return "bm25" }
 
 // Score implements Scorer.
 func (s BM25) Score(ix *Index, terms []string) map[int]float64 {
-	k1, b := s.K1, s.B
-	if k1 == 0 {
-		k1 = 1.2
-	}
-	if b == 0 {
-		b = 0.75
-	}
+	k1, b := s.params()
 	avg := ix.AvgDocLen()
 	if avg == 0 {
 		return nil
@@ -88,19 +103,33 @@ func (s BM25) Score(ix *Index, terms []string) map[int]float64 {
 	acc := make(map[int]float64)
 	for _, t := range sortedTerms(qtf) {
 		idf := ix.IDF(t)
-		for _, p := range ix.Postings(t) {
-			norm := p.TF * (k1 + 1) / (p.TF + k1*(1-b+b*ix.DocLen(p.Doc)/avg))
-			acc[p.Doc] += idf * norm
+		for c := newCursor(ix, ix.postings[t]); !c.done; c.next() {
+			norm := c.tf * (k1 + 1) / (c.tf + k1*(1-b+b*ix.DocLen(c.doc)/avg))
+			acc[c.doc] += idf * norm
 		}
 	}
 	return acc
+}
+
+// params applies the zero-value defaults.
+func (s BM25) params() (k1, b float64) {
+	k1, b = s.K1, s.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	return k1, b
 }
 
 // sortedTerms returns the query's distinct terms in sorted order.
 // Scoring must accumulate per-document sums in a fixed term order:
 // float addition is not associative, so a map-order walk would make
 // scores differ between runs — and between the sharded and unsharded
-// search paths, which must agree bitwise.
+// search paths, which must agree bitwise. The pruned top-k scorer
+// accumulates each document's contributions in this same sorted order,
+// which is what makes it bitwise identical to the exhaustive path.
 func sortedTerms(qtf map[string]float64) []string {
 	terms := make([]string, 0, len(qtf))
 	for t := range qtf {
@@ -113,8 +142,21 @@ func sortedTerms(qtf map[string]float64) []string {
 // Search scores the query with the scorer and returns the top k hits,
 // highest score first, ties broken by document name for determinism.
 // k <= 0 returns all hits.
+//
+// For k > 0 with a prunable scorer (the stock BM25 and TFIDF, not
+// wrapped in Exhaustive), retrieval takes the MaxScore pruned path over
+// the compressed posting lists; the result is guaranteed — and
+// parity-tested — to be identical to the exhaustive path, float bits
+// included.
 func Search(ix *Index, scorer Scorer, query string, k int) []Hit {
 	terms := Tokenize(query)
+	if k > 0 {
+		if ps, ok := scorer.(prunedScorer); ok {
+			if plan, ok := ps.plan(ix, terms); ok {
+				return scoreTopKPruned(ix, plan, k)
+			}
+		}
+	}
 	scores := scorer.Score(ix, terms)
 	hits := make([]Hit, 0, len(scores))
 	for doc, sc := range scores {
@@ -138,56 +180,34 @@ func sortHits(hits []Hit) {
 
 // TopK keeps the k best (score, name) pairs seen so far using a bounded
 // min-heap; useful when scoring streams of candidates without
-// materializing all scores.
+// materializing all scores. It is a thin Hit-shaped view over the
+// pruned driver's finalTopK accumulator, so the two can never drift in
+// ordering semantics.
 type TopK struct {
-	k    int
-	heap hitHeap
+	inner finalTopK
 }
 
 // NewTopK returns an accumulator for the k best hits.
-func NewTopK(k int) *TopK { return &TopK{k: k} }
+func NewTopK(k int) *TopK { return &TopK{inner: finalTopK{k: k}} }
 
 // Offer considers one hit.
 func (t *TopK) Offer(h Hit) {
-	if t.k <= 0 {
-		return
-	}
-	if len(t.heap) < t.k {
-		heap.Push(&t.heap, h)
-		return
-	}
-	if less(t.heap[0], h) {
-		t.heap[0] = h
-		heap.Fix(&t.heap, 0)
-	}
+	t.inner.offer(FinalHit{Doc: h.Doc, Name: h.Name, Score: h.Score, IRScore: h.Score})
 }
+
+// Threshold returns the k-th best score seen so far, and whether the
+// accumulator is full. Until it is full every candidate must be scored;
+// once full, a candidate whose score upper bound is strictly below the
+// threshold can be skipped (a tie could still win on the name
+// tie-break, so equality never prunes).
+func (t *TopK) Threshold() (float64, bool) { return t.inner.threshold() }
 
 // Hits returns the accumulated hits, best first.
 func (t *TopK) Hits() []Hit {
-	out := append([]Hit(nil), t.heap...)
-	sortHits(out)
-	return out
-}
-
-// less orders hits worst-first for the min-heap: lower score is "less",
-// with reverse-name tiebreak mirroring sortHits.
-func less(a, b Hit) bool {
-	if a.Score != b.Score {
-		return a.Score < b.Score
+	fh := t.inner.hits()
+	out := make([]Hit, len(fh))
+	for i, h := range fh {
+		out[i] = Hit{Doc: h.Doc, Name: h.Name, Score: h.Score}
 	}
-	return a.Name > b.Name
-}
-
-type hitHeap []Hit
-
-func (h hitHeap) Len() int            { return len(h) }
-func (h hitHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
-func (h hitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x interface{}) { *h = append(*h, x.(Hit)) }
-func (h *hitHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return out
 }

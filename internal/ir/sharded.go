@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -79,17 +80,7 @@ func (s *ShardedIndex) AddAnalyzed(name string, doc DocTerms) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.names = append(s.names, name)
-	s.byName[name] = id
-	s.shardOf = append(s.shardOf, int32(shard))
-	s.localOf = append(s.localOf, int32(local))
-	s.globalOf[shard] = append(s.globalOf[shard], id)
-	s.terms = append(s.terms, doc)
-	s.shared.n++
-	s.shared.totalLen += doc.Length
-	for _, tc := range doc.Terms {
-		s.shared.df[tc.Term]++
-	}
+	s.recordDoc(id, name, shard, local, doc)
 	return id, nil
 }
 
@@ -118,6 +109,81 @@ func (s *ShardedIndex) Remove(name string) error {
 		}
 	}
 	return nil
+}
+
+// AddAnalyzedDocOnly indexes a pre-analyzed document like AddAnalyzed
+// but skips building its postings — the snapshot fast path: restore
+// replays documents through here for names, lengths, and shared
+// statistics, then installs the persisted compressed posting lists
+// wholesale with ImportPostings.
+func (s *ShardedIndex) AddAnalyzedDocOnly(name string, doc DocTerms) (int, error) {
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("ir: document %q already indexed", name)
+	}
+	id := len(s.names)
+	shard := id % len(s.shards)
+	local, err := s.shards[shard].addDocOnly(name, doc)
+	if err != nil {
+		return 0, err
+	}
+	s.recordDoc(id, name, shard, local, doc)
+	return id, nil
+}
+
+// recordDoc appends the global bookkeeping for a newly-added document.
+func (s *ShardedIndex) recordDoc(id int, name string, shard, local int, doc DocTerms) {
+	s.names = append(s.names, name)
+	s.byName[name] = id
+	s.shardOf = append(s.shardOf, int32(shard))
+	s.localOf = append(s.localOf, int32(local))
+	s.globalOf[shard] = append(s.globalOf[shard], id)
+	s.terms = append(s.terms, doc)
+	s.shared.n++
+	s.shared.totalLen += doc.Length
+	for _, tc := range doc.Terms {
+		s.shared.df[tc.Term]++
+	}
+}
+
+// AddTombstone occupies the next global slot as a removed-document
+// placeholder: it counts toward Slots but not Len, owns no name, and
+// appears in no posting list. Snapshot restore uses it to reproduce a
+// dumped index's exact slot layout (and therefore its exact shard
+// assignment and compressed posting blocks).
+func (s *ShardedIndex) AddTombstone() {
+	id := len(s.names)
+	shard := id % len(s.shards)
+	local := s.shards[shard].addTombstone()
+	s.names = append(s.names, "")
+	s.shardOf = append(s.shardOf, int32(shard))
+	s.localOf = append(s.localOf, int32(local))
+	s.globalOf[shard] = append(s.globalOf[shard], id)
+	s.terms = append(s.terms, DocTerms{})
+}
+
+// ExportPostings deep-copies one shard's compressed posting lists in
+// sorted term order — the persistence form the snapshot layer writes.
+func (s *ShardedIndex) ExportPostings(shard int) []TermPostings {
+	ix := s.shards[shard]
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	out := make([]TermPostings, len(terms))
+	for i, t := range terms {
+		out[i] = ix.postings[t].export(t)
+	}
+	return out
+}
+
+// ImportPostings installs restored posting lists into one shard,
+// replacing whatever it holds, after structural validation against the
+// shard's document slots and tombstones. The caller (snapshot restore)
+// must have replayed the documents — via AddAnalyzedDocOnly and
+// AddTombstone, in their original slot order — first.
+func (s *ShardedIndex) ImportPostings(shard int, lists []TermPostings) error {
+	return s.shards[shard].importPostings(lists)
 }
 
 // NumShards returns the number of shards.
@@ -192,22 +258,18 @@ func (s *ShardedIndex) VocabularySize() int { return len(s.shared.df) }
 // the shard rankings into the global top k (k <= 0 means all hits). Hit
 // ordering is score desc, name asc — exactly the unsharded Search order —
 // and Hit.Doc carries the global document id.
+//
+// For k > 0 with a prunable scorer (stock BM25/TFIDF, not wrapped in
+// ir.Exhaustive), each shard retrieves its top k with MaxScore pruning
+// over the compressed posting lists; the per-shard result is identical
+// to exhaustive scoring, so the merged ranking is too.
 func (s *ShardedIndex) Search(scorer Scorer, query string, k int) []Hit {
 	terms := Tokenize(query)
 	if len(s.shards) == 1 {
 		// One shard means no parallelism to exploit: score inline and
 		// skip the goroutine and merge machinery — this is exactly the
 		// sequential path.
-		scores := scorer.Score(s.shards[0], terms)
-		hits := make([]Hit, 0, len(scores))
-		for doc, sc := range scores {
-			hits = append(hits, Hit{Doc: doc, Name: s.shards[0].Name(doc), Score: sc})
-		}
-		sortHits(hits)
-		if k > 0 && len(hits) > k {
-			hits = hits[:k]
-		}
-		return hits
+		return s.shardHits(0, scorer, terms, k)
 	}
 	perShard := make([][]Hit, len(s.shards))
 	var wg sync.WaitGroup
@@ -215,27 +277,205 @@ func (s *ShardedIndex) Search(scorer Scorer, query string, k int) []Hit {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			shard := s.shards[i]
-			scores := scorer.Score(shard, terms)
-			hits := make([]Hit, 0, len(scores))
-			for local, sc := range scores {
-				hits = append(hits, Hit{
-					Doc:   s.globalOf[i][local],
-					Name:  shard.Name(local),
-					Score: sc,
-				})
-			}
-			sortHits(hits)
-			// The global top k is contained in the union of per-shard
-			// top k's, so shards can truncate before the merge.
-			if k > 0 && len(hits) > k {
-				hits = hits[:k]
-			}
-			perShard[i] = hits
+			perShard[i] = s.shardHits(i, scorer, terms, k)
 		}(i)
 	}
 	wg.Wait()
 	return mergeHits(perShard, k)
+}
+
+// shardHits retrieves one shard's ranked hits (pruned when possible,
+// exhaustive otherwise), with global document ids, sorted, truncated to
+// k when k > 0. The global top k is contained in the union of per-shard
+// top k's, so per-shard truncation is lossless for the merge.
+func (s *ShardedIndex) shardHits(i int, scorer Scorer, terms []string, k int) []Hit {
+	shard := s.shards[i]
+	if k > 0 {
+		if ps, ok := scorer.(prunedScorer); ok {
+			if plan, ok := ps.plan(shard, terms); ok {
+				hits := scoreTopKPruned(shard, plan, k)
+				for j := range hits {
+					hits[j].Doc = s.globalOf[i][hits[j].Doc]
+				}
+				return hits
+			}
+		}
+	}
+	scores := scorer.Score(shard, terms)
+	hits := make([]Hit, 0, len(scores))
+	for local, sc := range scores {
+		hits = append(hits, Hit{
+			Doc:   s.globalOf[i][local],
+			Name:  shard.Name(local),
+			Score: sc,
+		})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchBoosted retrieves the top k documents ranked by FINAL score:
+// each candidate's exact IR score is mapped through booster.Final, with
+// booster.Include filtering documents out of retrieval entirely and
+// ceil bounding every document's final/IR score ratio (see Booster).
+// Shards run concurrently and merge on (final score desc, name asc).
+// ok is false when the scorer cannot build a pruning plan (caller falls
+// back to exhaustive scoring); k must be positive.
+func (s *ShardedIndex) SearchBoosted(scorer Scorer, query string, k int, booster Booster, ceil float64) ([]FinalHit, bool) {
+	ps, prunable := scorer.(prunedScorer)
+	if !prunable || k <= 0 {
+		return nil, false
+	}
+	terms := Tokenize(query)
+	perShard := make([][]FinalHit, len(s.shards))
+	planFailed := make([]bool, len(s.shards))
+	run := func(i int) {
+		shard := s.shards[i]
+		plan, ok := ps.plan(shard, terms)
+		if !ok {
+			planFailed[i] = true
+			return
+		}
+		hits := scoreTopKBoosted(shard, plan, k, booster, ceil)
+		for j := range hits {
+			hits[j].Doc = s.globalOf[i][hits[j].Doc]
+		}
+		perShard[i] = hits
+	}
+	if len(s.shards) == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := range s.shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, failed := range planFailed {
+		if failed {
+			return nil, false
+		}
+	}
+	return mergeFinalHits(perShard, k), true
+}
+
+// mergeFinalHits merges sorted per-shard FinalHit lists on the (score
+// desc, name asc) order, truncated to k. Lists are tiny (each at most
+// k), so repeated selection beats heap bookkeeping. k may far exceed
+// the hit count (a deep-offset request), so the preallocation is
+// capped at the total.
+func mergeFinalHits(lists [][]FinalHit, k int) []FinalHit {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if k > total {
+		k = total
+	}
+	pos := make([]int, len(lists))
+	out := make([]FinalHit, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if pos[i] < len(l) && (best == -1 || finalLess(lists[best][pos[best]], l[pos[i]])) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// ScoreNamed computes the exact IR scores of the named documents for
+// the query terms — bitwise identical to the corresponding entries of
+// an exhaustive Scorer.Score pass, at the cost of a few cursor seeks
+// instead of a full index scan. Names that are not indexed, or contain
+// no query term, map to absent entries (exactly the documents the
+// exhaustive scorer would omit). ok is false when the scorer cannot
+// build a pruning plan on some shard; callers then fall back to
+// exhaustive scoring.
+func (s *ShardedIndex) ScoreNamed(scorer Scorer, terms []string, names []string) (map[string]float64, bool) {
+	ps, prunable := scorer.(prunedScorer)
+	if !prunable {
+		return nil, false
+	}
+	perShard := make([][]int, len(s.shards))
+	for _, name := range names {
+		id, exists := s.byName[name]
+		if !exists {
+			continue
+		}
+		sh := s.shardOf[id]
+		perShard[sh] = append(perShard[sh], int(s.localOf[id]))
+	}
+	out := make(map[string]float64, len(names))
+	for i, locals := range perShard {
+		if len(locals) == 0 {
+			continue
+		}
+		shard := s.shards[i]
+		plan, ok := ps.plan(shard, terms)
+		if !ok {
+			return nil, false
+		}
+		sort.Ints(locals)
+		uniq := locals[:1]
+		for _, l := range locals[1:] {
+			if l != uniq[len(uniq)-1] {
+				uniq = append(uniq, l)
+			}
+		}
+		for local, score := range scoreDocsPlanned(shard, plan, uniq) {
+			out[shard.names[local]] = score
+		}
+	}
+	return out, true
+}
+
+// CountCandidates returns the number of live documents containing at
+// least one of the query terms and passing the allow filter (nil allows
+// everything) — exactly the candidate set the exhaustive scorer would
+// score and a pruned search may legitimately never visit. It walks doc
+// ids only (no score math, no ranking), so callers can report exact
+// totals next to pruned top-k pages.
+func (s *ShardedIndex) CountCandidates(terms []string, allow func(name string) bool) int {
+	distinct := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		distinct[t] = true
+	}
+	n := 0
+	for _, shard := range s.shards {
+		var seen []bool
+		for t := range distinct {
+			pl := shard.postings[t]
+			if pl == nil {
+				continue
+			}
+			if seen == nil {
+				seen = make([]bool, shard.LocalLen())
+			}
+			for c := newCursor(shard, pl); !c.done; c.next() {
+				seen[c.doc] = true
+			}
+		}
+		for local, hit := range seen {
+			if hit && (allow == nil || allow(shard.names[local])) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // mergeHits k-way-merges sorted per-shard hit lists, preserving the

@@ -51,6 +51,13 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 builds sequentially. The built engine is
 	// identical for every worker count.
 	BuildWorkers int
+	// ExhaustiveScorer disables top-k pruned retrieval: every search
+	// scores every candidate through the map-based exhaustive scorer,
+	// exactly as the pre-pruning engine did. It is a debugging/oracle
+	// flag: results are guaranteed (and parity-tested) to be identical
+	// with it on or off, so flipping it isolates whether a suspected
+	// ranking bug lives in the pruned scorer or elsewhere.
+	ExhaustiveScorer bool
 }
 
 // Result is one ranked qunit instance. Score is exactly
@@ -96,9 +103,17 @@ type Engine struct {
 	dict      *segment.Dictionary
 	seg       *segment.Segmenter
 	index     *ir.ShardedIndex
-	instances map[string]*core.Instance // by instance ID
+	instances map[string]*core.Instance            // by instance ID
+	byLabel   map[string]map[string]*core.Instance // label -> id -> instance
 	opts      Options
 	defTables map[string]map[string]bool // definition -> tables it covers
+
+	// maxUtility is a monotone upper bound on every indexed instance's
+	// utility, maintained on construction, AddInstance, and
+	// ApplyFeedback. It only ever grows (removals never shrink it), so
+	// it is always a valid — if occasionally loose — bound for the
+	// pruned search path's score-multiplier ceiling.
+	maxUtility float64
 }
 
 // NewEngine materializes every instance of the catalog and indexes it.
@@ -148,6 +163,8 @@ func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
 		if _, err := e.index.AddAnalyzed(inst.ID(), analyzed[i]); err != nil {
 			return nil, err
 		}
+		e.noteUtility(inst.Utility)
+		e.indexLabel(inst)
 	}
 	for _, d := range cat.Definitions() {
 		e.defTables[d.Name] = definitionTables(d)
@@ -315,6 +332,13 @@ func (e *Engine) Search(ctx context.Context, req Request) (*Response, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.searchLocked(ctx, req)
+}
+
+// searchLocked is the body of Search; callers hold the read lock and
+// have validated the request. BatchSearch reuses it so a whole batch
+// runs under one lock acquisition.
+func (e *Engine) searchLocked(ctx context.Context, req Request) (*Response, error) {
 	allowed, err := e.filterSet(req.Filter)
 	if err != nil {
 		return nil, err
@@ -334,37 +358,19 @@ func (e *Engine) Search(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 
-	hits := e.index.Search(e.opts.Scorer, req.Query, 0)
-	results := make([]Result, 0, len(hits))
-	for _, h := range hits {
-		inst := e.instances[h.Name]
-		if inst == nil {
-			continue
-		}
-		if allowed != nil && !allowed[inst.Def.Name] {
-			continue
-		}
-		aff := affinity[inst.Def.Name]
-		util := inst.Utility
-		typeFactor := 1 + e.opts.TypeBoost*aff
-		blend := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*util
-		boost := 1.0
-		if anchors[inst.Label()] {
-			boost = 1 + e.opts.AnchorBoost
-		}
-		results = append(results, Result{
-			Instance:     inst,
-			Score:        h.Score * typeFactor * blend * boost,
-			IRScore:      h.Score,
-			TypeAffinity: aff,
-			TypeFactor:   typeFactor,
-			Utility:      util,
-			UtilityBlend: blend,
-			AnchorBoost:  boost,
-		})
+	var results []Result
+	var total int
+	pruned := false
+	if e.canPrune(req) {
+		results, total, pruned = e.prunedPage(req, allowed, affinity, anchors)
 	}
-	sortResults(results)
-	resp := &Response{Total: len(results)}
+	if !pruned {
+		hits := e.index.Search(e.retrievalScorer(), req.Query, 0)
+		results = e.collectResults(hits, nil, allowed, affinity, anchors)
+		sortResults(results)
+		total = len(results)
+	}
+	resp := &Response{Total: total}
 	if req.Offset < len(results) {
 		results = results[req.Offset:]
 	} else {
@@ -378,6 +384,299 @@ func (e *Engine) Search(ctx context.Context, req Request) (*Response, error) {
 		resp.Explain = explainPayload(sg, affinity)
 	}
 	return resp, nil
+}
+
+// retrievalScorer returns the engine's scorer, wrapped in the
+// exhaustive-oracle shim when the debugging flag asks for it.
+func (e *Engine) retrievalScorer() ir.Scorer {
+	if e.opts.ExhaustiveScorer {
+		return ir.Exhaustive{S: e.opts.Scorer}
+	}
+	return e.opts.Scorer
+}
+
+// canPrune reports whether the request can take the pruned top-k path.
+// Besides needing a bounded page and a prunable scorer, every score
+// multiplier must be monotone in the quantity it scales (non-negative
+// boosts, utility influence within [0,1]) — otherwise the multiplier
+// ceiling the early-termination bound relies on would not be a ceiling.
+func (e *Engine) canPrune(req Request) bool {
+	return req.K > 0 &&
+		!e.opts.ExhaustiveScorer &&
+		ir.Prunable(e.opts.Scorer) &&
+		e.opts.TypeBoost >= 0 &&
+		e.opts.UtilityInfluence >= 0 && e.opts.UtilityInfluence <= 1 &&
+		e.opts.AnchorBoost >= 0
+}
+
+// resultFor applies the per-instance score multipliers to one IR score.
+// The multiplication order (ir · type · utility · anchor) is fixed:
+// float multiplication is not associative, and the pruned path's bound
+// must be computed by the same expression shape.
+func (e *Engine) resultFor(inst *core.Instance, irScore float64, affinity map[string]float64, anchors map[string]bool) Result {
+	aff := affinity[inst.Def.Name]
+	util := inst.Utility
+	typeFactor := 1 + e.opts.TypeBoost*aff
+	blend := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*util
+	boost := 1.0
+	if anchors[inst.Label()] {
+		boost = 1 + e.opts.AnchorBoost
+	}
+	return Result{
+		Instance:     inst,
+		Score:        irScore * typeFactor * blend * boost,
+		IRScore:      irScore,
+		TypeAffinity: aff,
+		TypeFactor:   typeFactor,
+		Utility:      util,
+		UtilityBlend: blend,
+		AnchorBoost:  boost,
+	}
+}
+
+// collectResults converts IR hits to scored results, applying the
+// definition/anchor-type filter and the per-instance score multipliers;
+// instances in exclude are skipped (the pruned path scores the
+// anchor-labeled ones separately and exactly).
+func (e *Engine) collectResults(hits []ir.Hit, exclude map[string]bool, allowed map[string]bool, affinity map[string]float64, anchors map[string]bool) []Result {
+	results := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		if exclude != nil && exclude[h.Name] {
+			continue
+		}
+		inst := e.instances[h.Name]
+		if inst == nil {
+			continue
+		}
+		if allowed != nil && !allowed[inst.Def.Name] {
+			continue
+		}
+		results = append(results, e.resultFor(inst, h.Score, affinity, anchors))
+	}
+	return results
+}
+
+// prunedPage retrieves the request's result page through the pruned
+// top-k scorer instead of scoring every candidate. ok=false means the
+// scorer could not build a pruning plan and the caller must fall back
+// to the exhaustive path.
+//
+// The exact Total a paginating client needs is counted by walking
+// candidate doc ids only — no score math. The anchor-boosted instances
+// (those whose label is an entity the query names — a small set the
+// label index resolves directly) are scored exactly via cursor seeks,
+// so the anchor boost never inflates the unseen-document bound. The
+// page itself then comes from iteratively-deepened pruned retrieval:
+// ask the index for its IR top kq, convert and filter, merge in the
+// anchor results, and stop once the page is provably complete — any
+// unseen document is non-anchored, so its final score is at most the
+// kq-th IR score times the remaining multiplier ceiling (max type
+// affinity is known per query; utilities are bounded by the engine's
+// monotone maxUtility). Every multiplier is monotone and non-negative,
+// and the ceiling is computed by the same float expression shape as the
+// per-result multipliers, so the float comparison is exact — strictly
+// beating the ceiling guarantees the page matches the exhaustive path
+// bit for bit, tie-breaks included; a tie deepens instead of stopping.
+func (e *Engine) prunedPage(req Request, allowed map[string]bool, affinity map[string]float64, anchors map[string]bool) ([]Result, int, bool) {
+	scorer := e.opts.Scorer
+	terms := ir.Tokenize(req.Query)
+	// With no filter every candidate counts: every index document has an
+	// instance (the two are only ever updated together under the write
+	// lock), so the per-candidate instance lookup is skipped entirely.
+	var allow func(name string) bool
+	if allowed != nil {
+		allow = func(name string) bool {
+			inst := e.instances[name]
+			return inst != nil && allowed[inst.Def.Name]
+		}
+	}
+	total := e.index.CountCandidates(terms, allow)
+
+	// Exact scoring of the anchor-labeled instances.
+	var exclude map[string]bool
+	var anchorResults []Result
+	if len(anchors) > 0 {
+		var anchorInsts []*core.Instance
+		for label := range anchors {
+			for _, inst := range e.byLabel[label] {
+				anchorInsts = append(anchorInsts, inst)
+			}
+		}
+		if len(anchorInsts) > 0 {
+			names := make([]string, len(anchorInsts))
+			exclude = make(map[string]bool, len(anchorInsts))
+			for i, inst := range anchorInsts {
+				names[i] = inst.ID()
+				exclude[names[i]] = true
+			}
+			scores, ok := e.index.ScoreNamed(scorer, terms, names)
+			if !ok {
+				return nil, 0, false
+			}
+			for _, inst := range anchorInsts {
+				irScore, contained := scores[inst.ID()]
+				if !contained {
+					continue // no query term: the exhaustive scorer omits it too
+				}
+				if allowed != nil && !allowed[inst.Def.Name] {
+					continue
+				}
+				anchorResults = append(anchorResults, e.resultFor(inst, irScore, affinity, anchors))
+			}
+		}
+	}
+
+	// Boosted retrieval: the index ranks by final score directly, with
+	// the type/utility multipliers folded in per document and the
+	// remaining multiplier ceiling (anchor-boosted documents are all in
+	// anchorResults, so their ×1 boost drops out) driving the pruning
+	// bounds. The top `target` non-anchor results plus the exact anchor
+	// results are a superset of the true page.
+	target := req.Offset + req.K
+	maxAff := 0.0
+	for _, a := range affinity {
+		if a > maxAff {
+			maxAff = a
+		}
+	}
+	typeHi := 1 + e.opts.TypeBoost*maxAff
+	blendHi := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*e.maxUtility
+	booster := &pageBooster{e: e, allowed: allowed, exclude: exclude, affinity: affinity}
+	hits, ok := e.index.SearchBoosted(scorer, req.Query, target, booster, typeHi*blendHi)
+	if !ok {
+		return nil, 0, false
+	}
+	results := make([]Result, 0, len(hits)+len(anchorResults))
+	for _, h := range hits {
+		results = append(results, e.resultFor(e.instances[h.Name], h.IRScore, affinity, anchors))
+	}
+	results = append(results, anchorResults...)
+	sortResults(results)
+	return results, total, true
+}
+
+// pageBooster adapts the engine's score multipliers to ir.Booster. Its
+// Final must reproduce the exhaustive path's multiplier chain bit for
+// bit for non-anchored documents: ir·type·utility (the trailing ×1
+// anchor factor of resultFor is exact in floats and drops away). It is
+// called concurrently from shard goroutines; it only reads state the
+// engine's read lock protects.
+type pageBooster struct {
+	e        *Engine
+	allowed  map[string]bool
+	exclude  map[string]bool
+	affinity map[string]float64
+}
+
+// Include implements ir.Booster.
+func (b *pageBooster) Include(name string) bool {
+	if b.exclude != nil && b.exclude[name] {
+		return false
+	}
+	inst := b.e.instances[name]
+	if inst == nil {
+		return false
+	}
+	return b.allowed == nil || b.allowed[inst.Def.Name]
+}
+
+// Final implements ir.Booster.
+func (b *pageBooster) Final(name string, irScore float64) float64 {
+	inst := b.e.instances[name]
+	typeFactor := 1 + b.e.opts.TypeBoost*b.affinity[inst.Def.Name]
+	blend := 1 - b.e.opts.UtilityInfluence + b.e.opts.UtilityInfluence*inst.Utility
+	return irScore * typeFactor * blend
+}
+
+// noteUtility folds one observed instance utility into the monotone
+// maxUtility bound. Callers hold the write lock (or are inside
+// single-threaded construction).
+func (e *Engine) noteUtility(u float64) {
+	if u > e.maxUtility {
+		e.maxUtility = u
+	}
+}
+
+// indexLabel registers an instance under its anchor label; the pruned
+// search path uses the label index to resolve the (small) set of
+// anchor-boosted instances a query names, so the anchor boost never has
+// to inflate the unseen-document bound.
+func (e *Engine) indexLabel(inst *core.Instance) {
+	if e.byLabel == nil {
+		e.byLabel = make(map[string]map[string]*core.Instance)
+	}
+	label := inst.Label()
+	m := e.byLabel[label]
+	if m == nil {
+		m = make(map[string]*core.Instance)
+		e.byLabel[label] = m
+	}
+	m[inst.ID()] = inst
+}
+
+// dropLabel removes an instance id from the label index.
+func (e *Engine) dropLabel(inst *core.Instance) {
+	label := inst.Label()
+	if m := e.byLabel[label]; m != nil {
+		delete(m, inst.ID())
+		if len(m) == 0 {
+			delete(e.byLabel, label)
+		}
+	}
+}
+
+// BatchResult pairs one batched request's response with its error;
+// exactly one of the two is set.
+type BatchResult struct {
+	Response *Response
+	Err      error
+}
+
+// BatchSearch answers several requests against one consistent view of
+// the engine: the read lock is taken once for the whole batch, so no
+// feedback or instance mutation can interleave between items — every
+// item scores the same index state and utilities, one index pass for
+// the batch. Duplicate items (same canonical CacheKey) are evaluated
+// once and share their result; distinct items are evaluated
+// concurrently. Results are positionally aligned with reqs.
+func (e *Engine) BatchSearch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	first := make(map[string]int, len(reqs))
+	share := make([]int, len(reqs)) // share[i] = index whose result item i reuses
+	var distinct []int
+	for i, req := range reqs {
+		key := req.CacheKey()
+		if j, ok := first[key]; ok {
+			share[i] = j
+			continue
+		}
+		first[key] = i
+		share[i] = i
+		distinct = append(distinct, i)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, i := range distinct {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := reqs[i].Validate(); err != nil {
+				out[i] = BatchResult{Err: err}
+				return
+			}
+			resp, err := e.searchLocked(ctx, reqs[i])
+			out[i] = BatchResult{Response: resp, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		out[i] = out[share[i]]
+	}
+	return out
 }
 
 // SearchTopK answers a plain keyword query with the top-k instances.
@@ -429,14 +728,31 @@ func (e *Engine) filterSet(f Filter) (map[string]bool, error) {
 
 // sortResults orders results by score desc, ties broken by instance ID
 // asc — the deterministic order every search path (sharded or not) must
-// present.
+// present. IDs are materialized once up front: Instance.ID() builds a
+// string, far too expensive to recompute inside the comparator.
 func sortResults(results []Result) {
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].Instance.ID() < results[j].Instance.ID()
-	})
+	ids := make([]string, len(results))
+	for i := range results {
+		ids[i] = results[i].Instance.ID()
+	}
+	sort.Sort(&resultSorter{results: results, ids: ids})
+}
+
+type resultSorter struct {
+	results []Result
+	ids     []string
+}
+
+func (s *resultSorter) Len() int { return len(s.results) }
+func (s *resultSorter) Less(i, j int) bool {
+	if s.results[i].Score != s.results[j].Score {
+		return s.results[i].Score > s.results[j].Score
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *resultSorter) Swap(i, j int) {
+	s.results[i], s.results[j] = s.results[j], s.results[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
 }
 
 // typeAffinity scores each definition against the query's segmentation —

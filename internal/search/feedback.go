@@ -57,6 +57,7 @@ func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (fl
 			other.Utility = def.Utility
 		}
 	}
+	e.noteUtility(def.Utility)
 	return def.Utility, nil
 }
 

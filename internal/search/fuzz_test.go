@@ -1,9 +1,14 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
 )
 
 // Robustness: the engine never panics and stays deterministic under
@@ -33,6 +38,142 @@ func TestSearchNeverPanics(t *testing.T) {
 			if a[k].Instance.ID() != b[k].Instance.ID() {
 				t.Fatalf("nondeterministic ranking for %q", q)
 			}
+		}
+	}
+}
+
+// parityEngines builds two engines over independently-derived (but
+// deterministic, hence identical) catalogs: one on the pruned top-k
+// path, one forced through the exhaustive oracle. Catalogs must not be
+// shared — feedback mutates definition utilities in place, and the
+// mirrored feedback calls below must not compound through a shared
+// definition object.
+func parityEngines(t *testing.T, shards int) (pruned, oracle *Engine) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	build := func(exhaustive bool) *Engine {
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(cat, Options{
+			Synonyms:         imdb.AttributeSynonyms(),
+			Shards:           shards,
+			ExhaustiveScorer: exhaustive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return build(false), build(true)
+}
+
+// randomRequest builds a randomized structured request over the movie
+// catalog's vocabulary: mixed k, offsets past the end, definition and
+// anchor-type filters, explain mode.
+func randomRequest(r *rand.Rand) Request {
+	entities := []string{"star wars", "george clooney", "ocean", "the matrix", "tom hanks", "wars"}
+	attrs := []string{"cast", "movies", "plot", "soundtrack", "year", "filmography"}
+	q := entities[r.Intn(len(entities))]
+	if r.Intn(2) == 0 {
+		q += " " + attrs[r.Intn(len(attrs))]
+	}
+	req := Request{
+		Query:   q,
+		K:       1 + r.Intn(12),
+		Offset:  []int{0, 0, 0, 1, 3, 50}[r.Intn(6)],
+		Explain: r.Intn(2) == 0,
+	}
+	switch r.Intn(4) {
+	case 0:
+		req.Filter.Definitions = []string{"movie-cast"}
+	case 1:
+		req.Filter.Definitions = []string{"movie-cast", "person-profile", "movie-profile"}
+	case 2:
+		req.Filter.AnchorTypes = []string{"movie.title"}
+	}
+	return req
+}
+
+// TestPrunedEngineParityFuzz is the engine-level half of the parity
+// harness: randomized structured requests, interleaved with mirrored
+// mutations (feedback, live instance add/remove), must produce bitwise
+// identical responses from the pruned path and the exhaustive oracle.
+func TestPrunedEngineParityFuzz(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		pruned, oracle := parityEngines(t, shards)
+		r := rand.New(rand.NewSource(int64(400 + shards)))
+		added := []string{}
+		ctx := context.Background()
+		for step := 0; step < 120; step++ {
+			// Mirror a mutation on both engines every few steps.
+			switch r.Intn(6) {
+			case 0: // identical feedback signal on both engines
+				if res := pruned.SearchTopK("star wars cast", 3); len(res) > 0 {
+					id := res[r.Intn(len(res))].Instance.ID()
+					positive := r.Intn(2) == 0
+					if _, err := pruned.ApplyFeedback(id, positive, Feedback{}); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := oracle.ApplyFeedback(id, positive, Feedback{}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 1: // add a fresh anchored instance to both
+				anchor := fmt.Sprintf("zz fuzz movie %d", step)
+				if _, err := pruned.AddAnchorInstance("movie-cast", anchor); err != nil {
+					t.Fatal(err)
+				}
+				inst, err := oracle.AddAnchorInstance("movie-cast", anchor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				added = append(added, inst.ID())
+			case 2: // remove one previously added instance from both
+				if len(added) > 0 {
+					id := added[len(added)-1]
+					added = added[:len(added)-1]
+					if err := pruned.RemoveInstance(id); err != nil {
+						t.Fatal(err)
+					}
+					if err := oracle.RemoveInstance(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			req := randomRequest(r)
+			want, errO := oracle.Search(ctx, req)
+			got, errP := pruned.Search(ctx, req)
+			if (errO == nil) != (errP == nil) {
+				t.Fatalf("step %d %+v: pruned err %v, oracle err %v", step, req, errP, errO)
+			}
+			if errO != nil {
+				continue
+			}
+			assertResponsesIdentical(t, fmt.Sprintf("shards=%d step=%d req=%+v", shards, step, req), want, got)
+		}
+	}
+}
+
+// Regression: a huge offset must page past the end gracefully on the
+// pruned path (it once sized an allocation by offset+k and panicked),
+// and stay bitwise-consistent with the oracle.
+func TestPrunedHugeOffset(t *testing.T) {
+	pruned, oracle := parityEngines(t, 2)
+	ctx := context.Background()
+	for _, offset := range []int{1 << 20, 1 << 40, 1 << 50} {
+		req := Request{Query: "star wars cast", K: 10, Offset: offset}
+		got, err := pruned.Search(ctx, req)
+		if err != nil {
+			t.Fatalf("offset %d: %v", offset, err)
+		}
+		want, err := oracle.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != 0 || got.Total != want.Total {
+			t.Fatalf("offset %d: %d results, total %d (oracle %d)", offset, len(got.Results), got.Total, want.Total)
 		}
 	}
 }

@@ -71,10 +71,18 @@ func (e *Engine) AddInstance(inst *core.Instance) error {
 	if _, dup := e.instances[id]; dup {
 		return &InstanceExistsError{ID: id}
 	}
+	// Re-sync the utility under the lock: the instance was instantiated
+	// outside it, and a feedback update that landed in between mirrored
+	// the definition's new utility onto every *indexed* instance — this
+	// one was not indexed yet and would stay stale forever otherwise
+	// (instance utilities always mirror their definition's).
+	inst.Utility = inst.Def.Utility
 	if _, err := e.index.AddAnalyzed(id, doc); err != nil {
 		return err
 	}
 	e.instances[id] = inst
+	e.noteUtility(inst.Utility)
+	e.indexLabel(inst)
 	if _, known := e.defTables[inst.Def.Name]; !known {
 		e.defTables[inst.Def.Name] = definitionTables(inst.Def)
 	}
@@ -95,6 +103,7 @@ func (e *Engine) RemoveInstance(id string) error {
 	if err := e.index.Remove(id); err != nil {
 		return err
 	}
+	e.dropLabel(e.instances[id])
 	delete(e.instances, id)
 	return nil
 }

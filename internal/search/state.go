@@ -41,6 +41,18 @@ type EngineState struct {
 	// re-add sequence would not reproduce exactly, so it is restored
 	// verbatim.
 	IndexTotalLen float64
+
+	// Slots is the dumped index's global slot count, tombstones of
+	// removed documents included. Zero (with Postings nil) marks a state
+	// from before slots were recorded — snapshot format v1 — which is
+	// restored by compacting live documents into fresh dense slots.
+	Slots int
+	// Postings holds, per shard, the compressed posting lists exactly as
+	// the dumped index stored them (tombstoned entries and stale
+	// block-max metadata included). When present, restore reproduces the
+	// dumped index slot-for-slot and installs these lists instead of
+	// re-deriving postings from Docs.
+	Postings [][]ir.TermPostings
 }
 
 // DocState is one indexed qunit instance in dump form: the materialized
@@ -62,6 +74,10 @@ type DocState struct {
 	// Terms is the analyzed (tokenized, weighted) form the instance was
 	// indexed under.
 	Terms ir.DocTerms
+	// Slot is the document's global slot id in the dumped index; slots
+	// missing from the Docs sequence are tombstones of removed
+	// documents. Unused (zero) in states without slot information.
+	Slot int
 }
 
 // DumpState captures the engine's full state under the read lock: the
@@ -101,7 +117,13 @@ func (e *Engine) DumpState() (*EngineState, error) {
 			Tuples:      inst.Tuples,
 			Utility:     inst.Utility,
 			Terms:       e.index.Terms(id),
+			Slot:        id,
 		})
+	}
+	st.Slots = e.index.Slots()
+	st.Postings = make([][]ir.TermPostings, e.index.NumShards())
+	for i := range st.Postings {
+		st.Postings[i] = e.index.ExportPostings(i)
 	}
 	return st, nil
 }
@@ -134,6 +156,24 @@ func RestoreEngine(db *relational.Database, st *EngineState) (*Engine, error) {
 		opts:      opts,
 		defTables: make(map[string]map[string]bool, cat.Len()),
 	}
+	// States carrying slot and postings information (format v2) are
+	// restored slot-exactly: tombstones of removed documents are
+	// re-created so shard assignment, local ids, and the persisted
+	// compressed posting lists all line up with the dumped index.
+	// Older states (v1) compact live documents into fresh dense slots
+	// and re-derive postings by replay — a layout that can differ from
+	// the dumped one, but scores identically (collection statistics are
+	// shared across shards and ranking is layout-independent).
+	slotExact := st.Postings != nil
+	if slotExact {
+		if len(st.Postings) != st.Shards {
+			return nil, fmt.Errorf("search: restoring engine: %d postings shards for %d index shards", len(st.Postings), st.Shards)
+		}
+		if len(st.Docs) > 0 && st.Slots <= st.Docs[len(st.Docs)-1].Slot {
+			return nil, fmt.Errorf("search: restoring engine: slot count %d does not cover doc slots", st.Slots)
+		}
+	}
+	nextSlot := 0
 	for i, d := range st.Docs {
 		def := cat.Definition(d.DefName)
 		if def == nil {
@@ -148,10 +188,33 @@ func RestoreEngine(db *relational.Database, st *EngineState) (*Engine, error) {
 			ContextText: d.ContextText,
 		}
 		id := inst.ID()
-		if _, err := e.index.AddAnalyzed(id, d.Terms); err != nil {
+		if slotExact {
+			if d.Slot < nextSlot {
+				return nil, fmt.Errorf("search: restoring doc %d: slot %d out of order", i, d.Slot)
+			}
+			for ; nextSlot < d.Slot; nextSlot++ {
+				e.index.AddTombstone()
+			}
+			nextSlot++
+			if _, err := e.index.AddAnalyzedDocOnly(id, d.Terms); err != nil {
+				return nil, fmt.Errorf("search: restoring doc %d: %w", i, err)
+			}
+		} else if _, err := e.index.AddAnalyzed(id, d.Terms); err != nil {
 			return nil, fmt.Errorf("search: restoring doc %d: %w", i, err)
 		}
 		e.instances[id] = inst
+		e.noteUtility(inst.Utility)
+		e.indexLabel(inst)
+	}
+	if slotExact {
+		for ; nextSlot < st.Slots; nextSlot++ {
+			e.index.AddTombstone()
+		}
+		for i, lists := range st.Postings {
+			if err := e.index.ImportPostings(i, lists); err != nil {
+				return nil, fmt.Errorf("search: restoring shard %d postings: %w", i, err)
+			}
+		}
 	}
 	// A zero-instance state is valid: RemoveInstance can empty a live
 	// engine, and its snapshot must round-trip (searches simply return

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// Workload replay: a generated query log (the paper's §5.2 synthetic
+// AOL/IMDb workload) is driven through two identically-configured
+// stacks — one engine on the pruned top-k path, one forced through the
+// exhaustive oracle scorer — at both the engine and HTTP layers.
+// The /v1 wire bytes must golden-diff clean: after scrubbing the one
+// timing field, every response byte must be identical.
+
+// replayStack is one engine+server pair.
+type replayStack struct {
+	engine *search.Engine
+	server *Server
+}
+
+func newReplayStacks(t *testing.T) (pruned, oracle replayStack, log *querylog.Log) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	cfg := querylog.DefaultGenConfig()
+	cfg.Volume = 600
+	log = querylog.Generate(u, cfg)
+	build := func(exhaustive bool) replayStack {
+		// Independent catalog derivations (deterministic, identical):
+		// feedback mutates definitions in place and must not leak
+		// between the two stacks through shared pointers.
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := search.NewEngine(cat, search.Options{
+			Synonyms:         imdb.AttributeSynonyms(),
+			ExhaustiveScorer: exhaustive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return replayStack{engine: e, server: New(e, Config{})}
+	}
+	return build(false), build(true), log
+}
+
+// scrubTiming removes the non-deterministic took_us fields from a JSON
+// document and re-marshals it canonically (Go maps marshal with sorted
+// keys), so two responses that differ only in timing compare equal.
+func scrubTiming(t *testing.T, raw []byte) string {
+	t.Helper()
+	var v interface{}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, raw)
+	}
+	var walk func(x interface{})
+	walk = func(x interface{}) {
+		switch n := x.(type) {
+		case map[string]interface{}:
+			delete(n, "took_us")
+			for _, c := range n {
+				walk(c)
+			}
+		case []interface{}:
+			for _, c := range n {
+				walk(c)
+			}
+		}
+	}
+	walk(v)
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// post drives one HTTP request and returns status and body.
+func replayPost(t *testing.T, s *Server, method, path, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// replayRequests shapes the query log into /v1/search request bodies:
+// plain queries, paged and filtered variants, explain mode, and
+// batches — every k kept small so the pruned path actually prunes.
+func replayRequests(log *querylog.Log) []string {
+	var bodies []string
+	entries := log.Entries
+	if len(entries) > 120 {
+		entries = entries[:120]
+	}
+	esc := func(q string) string {
+		b, _ := json.Marshal(q)
+		return string(b)
+	}
+	for i, e := range entries {
+		if strings.TrimSpace(e.Query) == "" {
+			continue
+		}
+		q := esc(e.Query)
+		switch i % 5 {
+		case 0:
+			bodies = append(bodies, fmt.Sprintf(`{"query":%s,"k":5}`, q))
+		case 1:
+			bodies = append(bodies, fmt.Sprintf(`{"query":%s,"k":3,"explain":true}`, q))
+		case 2:
+			bodies = append(bodies, fmt.Sprintf(`{"query":%s,"k":10,"offset":2}`, q))
+		case 3:
+			bodies = append(bodies, fmt.Sprintf(`{"query":%s,"k":5,"filter":{"anchor_types":["movie.title"]}}`, q))
+		case 4:
+			// Batch: this query plus its two successors, mixed shapes.
+			j, k := (i+1)%len(entries), (i+2)%len(entries)
+			bodies = append(bodies, fmt.Sprintf(
+				`{"queries":[{"query":%s,"k":4},{"query":%s,"k":2,"explain":true},{"query":%s,"k":6,"offset":1}]}`,
+				q, esc(entries[j].Query), esc(entries[k].Query)))
+		}
+	}
+	return bodies
+}
+
+// TestWorkloadReplayWireParity drives the generated workload through
+// both HTTP stacks and diffs the wire bytes, interleaving mirrored
+// mutations (feedback, live instance add/remove) so the replay also
+// covers tombstoned postings and shifted utilities.
+func TestWorkloadReplayWireParity(t *testing.T) {
+	pruned, oracle, log := newReplayStacks(t)
+	bodies := replayRequests(log)
+	if len(bodies) < 50 {
+		t.Fatalf("workload too small: %d requests", len(bodies))
+	}
+	var feedbackID string
+	if res := pruned.engine.SearchTopK("star wars cast", 1); len(res) > 0 {
+		feedbackID = res[0].Instance.ID()
+	}
+	var createdIDs []string
+	removed := 0
+	for i, body := range bodies {
+		// Every 10th request, mirror a mutation over HTTP first.
+		if i%10 == 5 {
+			var mPath, mBody, method string
+			switch {
+			case (i/10)%3 == 1 && len(createdIDs) > 0:
+				method = http.MethodDelete
+				mPath = "/v1/instances/" + url.PathEscape(createdIDs[len(createdIDs)-1])
+				createdIDs = createdIDs[:len(createdIDs)-1]
+				removed++
+			case (i/10)%3 == 2 && feedbackID != "":
+				method, mPath = http.MethodPost, "/v1/feedback"
+				mBody = fmt.Sprintf(`{"instance_id":%q,"positive":true}`, feedbackID)
+			default:
+				method, mPath = http.MethodPost, "/v1/instances"
+				mBody = fmt.Sprintf(`{"definition":"movie-cast","anchor":"zz replay movie %d"}`, i)
+			}
+			cs, rb := replayPost(t, pruned.server, method, mPath, mBody)
+			co, ro := replayPost(t, oracle.server, method, mPath, mBody)
+			if cs != co {
+				t.Fatalf("mutation %s %s: status %d pruned vs %d oracle", method, mPath, cs, co)
+			}
+			if got, want := scrubTiming(t, rb), scrubTiming(t, ro); got != want {
+				t.Fatalf("mutation %s %s: wire bytes differ\npruned: %s\noracle: %s", method, mPath, got, want)
+			}
+			if method == http.MethodPost && mPath == "/v1/instances" && cs == http.StatusCreated {
+				var created struct {
+					ID string `json:"id"`
+				}
+				if err := json.Unmarshal(rb, &created); err != nil {
+					t.Fatal(err)
+				}
+				createdIDs = append(createdIDs, created.ID)
+			}
+		}
+		statusP, respP := replayPost(t, pruned.server, http.MethodPost, "/v1/search", body)
+		statusO, respO := replayPost(t, oracle.server, http.MethodPost, "/v1/search", body)
+		if statusP != statusO {
+			t.Fatalf("request %d %s: status %d pruned vs %d oracle", i, body, statusP, statusO)
+		}
+		if got, want := scrubTiming(t, respP), scrubTiming(t, respO); got != want {
+			t.Fatalf("request %d %s: wire bytes differ\npruned: %s\noracle: %s", i, body, got, want)
+		}
+	}
+	if removed == 0 {
+		t.Fatal("replay exercised no instance removals")
+	}
+}
+
+// TestWorkloadReplayEngineParity replays the raw query log at the
+// engine layer — no HTTP, no cache — asserting bitwise response parity
+// between the pruned and oracle engines, including the exact Total.
+func TestWorkloadReplayEngineParity(t *testing.T) {
+	pruned, oracle, log := newReplayStacks(t)
+	ctx := context.Background()
+	n := 0
+	for _, e := range log.Entries {
+		if strings.TrimSpace(e.Query) == "" {
+			continue
+		}
+		if n++; n > 200 {
+			break
+		}
+		for _, k := range []int{1, 5, 10} {
+			req := search.Request{Query: e.Query, K: k}
+			want, errO := oracle.engine.Search(ctx, req)
+			got, errP := pruned.engine.Search(ctx, req)
+			if (errO == nil) != (errP == nil) {
+				t.Fatalf("%q k=%d: pruned err %v, oracle err %v", e.Query, k, errP, errO)
+			}
+			if errO != nil {
+				continue
+			}
+			if got.Total != want.Total || len(got.Results) != len(want.Results) {
+				t.Fatalf("%q k=%d: total/len mismatch: %d/%d vs %d/%d",
+					e.Query, k, got.Total, len(got.Results), want.Total, len(want.Results))
+			}
+			for i := range want.Results {
+				if got.Results[i].Instance.ID() != want.Results[i].Instance.ID() ||
+					got.Results[i].Score != want.Results[i].Score {
+					t.Fatalf("%q k=%d result %d: %q %v vs %q %v", e.Query, k, i,
+						got.Results[i].Instance.ID(), got.Results[i].Score,
+						want.Results[i].Instance.ID(), want.Results[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSharesOneEnginePass sanity-checks the batch path against
+// single-request responses: identical items in and out of a batch must
+// carry identical payloads (scrubbed of timing), and batch items must
+// dedupe into one engine evaluation without changing the wire shape.
+func TestBatchSharesOneEnginePass(t *testing.T) {
+	pruned, _, _ := newReplayStacks(t)
+	s := New(pruned.engine, Config{CacheSize: -1})
+	single := `{"query":"star wars cast","k":5}`
+	batch := `{"queries":[{"query":"star wars cast","k":5},{"query":"star wars cast","k":5},{"query":"george clooney","k":3}]}`
+	_, sResp := replayPost(t, s, http.MethodPost, "/v1/search", single)
+	code, bResp := replayPost(t, s, http.MethodPost, "/v1/search", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, bResp)
+	}
+	var parsed struct {
+		Items []struct {
+			Response json.RawMessage `json:"response"`
+			Error    json.RawMessage `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(bResp, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Items) != 3 {
+		t.Fatalf("%d batch items", len(parsed.Items))
+	}
+	want := scrubTiming(t, sResp)
+	if got := scrubTiming(t, parsed.Items[0].Response); got != want {
+		t.Fatalf("batch item differs from single request:\nbatch:  %s\nsingle: %s", got, want)
+	}
+	if got0, got1 := scrubTiming(t, parsed.Items[0].Response), scrubTiming(t, parsed.Items[1].Response); got0 != got1 {
+		t.Fatalf("duplicate batch items differ:\n%s\n%s", got0, got1)
+	}
+}

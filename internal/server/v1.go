@@ -295,6 +295,82 @@ func (s *Server) searchOne(r *http.Request, req search.Request) (*V1SearchRespon
 	}, nil
 }
 
+// searchBatch answers the items of one /v1/search batch. Cache hits are
+// served per item as usual; all misses then go to the engine in ONE
+// BatchSearch call — a single engine-lock acquisition, so every item in
+// the batch scores the same consistent index state, with duplicate
+// items deduplicated inside the engine. The per-item wire shape is
+// identical to single mode (batch items report the shared engine-pass
+// latency as their took_us).
+func (s *Server) searchBatch(r *http.Request, queries []V1SearchRequest) []V1BatchItem {
+	started := time.Now()
+	items := make([]V1BatchItem, len(queries))
+	reqs := make([]search.Request, len(queries))
+	keys := make([]string, len(queries))
+	var missIdx []int
+	var missReqs []search.Request
+	for i, q := range queries {
+		req, verr := s.toEngineRequest(q)
+		if verr != nil {
+			s.badRequests.Add(1)
+			items[i] = V1BatchItem{Error: verr}
+			continue
+		}
+		s.queries.Add(1)
+		reqs[i] = req
+		keys[i] = req.CacheKey()
+		if entry, ok := s.cache.get(keys[i]); ok {
+			s.cacheHits.Add(1)
+			items[i] = V1BatchItem{Response: s.toV1Response(req, entry, true, started)}
+			continue
+		}
+		s.cacheMisses.Add(1)
+		missIdx = append(missIdx, i)
+		missReqs = append(missReqs, req)
+	}
+	if len(missIdx) == 0 {
+		return items
+	}
+	// Snapshot the purge epoch before the engine pass, mirroring
+	// runSearch: results computed against pre-mutation state must not
+	// repopulate a cache that was purged mid-flight.
+	epoch := s.purgeEpoch.Load()
+	results := s.engine.BatchSearch(context.WithoutCancel(r.Context()), missReqs)
+	stale := s.purgeEpoch.Load() != epoch
+	for j, i := range missIdx {
+		if err := results[j].Err; err != nil {
+			_, code := v1ErrorFor(err)
+			s.badRequests.Add(1)
+			items[i] = V1BatchItem{Error: &V1Error{Code: code, Message: err.Error()}}
+			continue
+		}
+		entry := toCached(results[j].Response)
+		if !stale {
+			s.cache.put(keys[i], entry)
+		}
+		items[i] = V1BatchItem{Response: s.toV1Response(reqs[i], entry, false, started)}
+	}
+	return items
+}
+
+// toV1Response shapes one cached search outcome as the /v1 wire reply.
+func (s *Server) toV1Response(req search.Request, entry *cachedSearch, cached bool, started time.Time) *V1SearchResponse {
+	results := entry.results
+	if results == nil {
+		results = []V1Result{}
+	}
+	return &V1SearchResponse{
+		Query:   req.Query,
+		K:       req.K,
+		Offset:  req.Offset,
+		Total:   entry.total,
+		Cached:  cached,
+		TookUS:  time.Since(started).Microseconds(),
+		Results: results,
+		Explain: entry.explain,
+	}
+}
+
 // handleV1Search serves POST /v1/search, single and batched.
 func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -321,17 +397,7 @@ func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		started := time.Now()
-		items := make([]V1BatchItem, len(body.Queries))
-		for i, q := range body.Queries {
-			req, verr := s.toEngineRequest(q)
-			if verr == nil {
-				items[i].Response, verr = s.searchOne(r, req)
-			}
-			if verr != nil {
-				s.badRequests.Add(1)
-				items[i] = V1BatchItem{Error: verr}
-			}
-		}
+		items := s.searchBatch(r, body.Queries)
 		writeJSON(w, http.StatusOK, V1BatchResponse{Items: items, TookUS: time.Since(started).Microseconds()})
 		return
 	}

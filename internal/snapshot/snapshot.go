@@ -9,7 +9,7 @@
 // A snapshot is one self-describing binary blob:
 //
 //	magic    4 bytes  "QSNP"
-//	version  uint16   little-endian format version (currently 1)
+//	version  uint16   little-endian format version (currently 2)
 //	payload  -        version-defined body (see below)
 //	checksum uint32   little-endian CRC-32C over magic+version+payload
 //
@@ -23,12 +23,27 @@
 // running total document length. Integers are unsigned varints, floats
 // are IEEE-754 bits little-endian, strings are length-prefixed UTF-8.
 //
+// The version-2 payload is the version-1 payload followed by: the
+// exhaustive-scorer debugging flag (one byte), the index's global slot
+// count and each document's slot id (so removal tombstones — and with
+// them shard assignment — are reproduced exactly), and the compressed
+// posting lists of every shard: per sorted term, the list's live count
+// and stale-safe metadata aggregates, then each block's header
+// (first/last doc, posting count, max TF, min length), its
+// delta/varint-encoded doc-id bytes verbatim, and its TF array. A v2
+// load installs these lists wholesale instead of re-deriving postings
+// from the documents, reproducing the serving index — block boundaries,
+// tombstones, and block-max metadata included — bit for bit.
+//
 // # Compatibility rules
 //
 //   - The magic never changes; anything else is ErrBadMagic.
-//   - A reader accepts exactly the versions it knows. A higher version
-//     is *FutureVersionError (upgrade the binary, not the snapshot); a
-//     version no longer supported fails the same way version 0 does.
+//   - A reader accepts exactly the versions it knows — currently 1 and
+//     2. A higher version is *FutureVersionError (upgrade the binary,
+//     not the snapshot); a version no longer supported fails the same
+//     way version 0 does. A v1 snapshot restores by replaying its
+//     documents (live documents compact into fresh slots; rankings are
+//     unaffected).
 //   - Any payload change bumps the version. There are no optional or
 //     skippable fields inside a version.
 //   - The checksum is verified before any decoded state is used.
@@ -61,7 +76,10 @@ import (
 )
 
 // FormatVersion is the snapshot format version this package writes.
-const FormatVersion = 1
+const FormatVersion = 2
+
+// minReadVersion is the oldest format version this package still loads.
+const minReadVersion = 1
 
 // magic identifies a qunits engine snapshot.
 var magic = [4]byte{'Q', 'S', 'N', 'P'}
@@ -254,10 +272,17 @@ func (e *encoder) stringMap(m map[string]string) {
 }
 
 func encodeState(w io.Writer, db *relational.Database, st *search.EngineState) error {
+	return encodeStateAt(w, db, st, FormatVersion)
+}
+
+// encodeStateAt writes the state at a specific format version. Only the
+// current version is written in production; older versions are kept
+// writable so upgrade-compatibility tests can mint genuine old blobs.
+func encodeStateAt(w io.Writer, db *relational.Database, st *search.EngineState, version uint16) error {
 	enc := &encoder{w: w, crc: crc32.New(crcTable)}
 	enc.write(magic[:])
 	var ver [2]byte
-	binary.LittleEndian.PutUint16(ver[:], FormatVersion)
+	binary.LittleEndian.PutUint16(ver[:], version)
 	enc.write(ver[:])
 
 	switch s := st.Options.Scorer.(type) {
@@ -311,6 +336,43 @@ func encodeState(w io.Writer, db *relational.Database, st *search.EngineState) e
 		enc.f64(d.Terms.Length)
 	}
 	enc.f64(st.IndexTotalLen)
+
+	if version >= 2 {
+		if st.Options.ExhaustiveScorer {
+			enc.write([]byte{1})
+		} else {
+			enc.write([]byte{0})
+		}
+		enc.uvarint(uint64(st.Slots))
+		for _, d := range st.Docs {
+			enc.uvarint(uint64(d.Slot))
+		}
+		enc.uvarint(uint64(len(st.Postings)))
+		for _, lists := range st.Postings {
+			enc.uvarint(uint64(len(lists)))
+			for _, tp := range lists {
+				enc.str(tp.Term)
+				enc.uvarint(uint64(tp.Live))
+				enc.f64(tp.MaxTF)
+				enc.f64(tp.MinTF)
+				enc.f64(tp.MinLen)
+				enc.uvarint(uint64(tp.LastDoc))
+				enc.uvarint(uint64(len(tp.Blocks)))
+				for _, b := range tp.Blocks {
+					enc.uvarint(uint64(b.FirstDoc))
+					enc.uvarint(uint64(b.LastDoc))
+					enc.uvarint(uint64(b.N))
+					enc.f64(b.MaxTF)
+					enc.f64(b.MinLen)
+					enc.uvarint(uint64(len(b.Docs)))
+					enc.write(b.Docs)
+					for _, tf := range b.TFs {
+						enc.f64(tf)
+					}
+				}
+			}
+		}
+	}
 
 	if enc.err != nil {
 		return fmt.Errorf("snapshot: writing: %w", enc.err)
@@ -407,6 +469,21 @@ func (d *decoder) str() string {
 	return string(buf)
 }
 
+// bytes reads a length-prefixed byte blob, bounded like strings.
+func (d *decoder) bytes(what string) []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("%w: %s length %d exceeds sanity cap", ErrCorrupt, what, n))
+		return nil
+	}
+	buf := make([]byte, n)
+	d.read(buf)
+	return buf
+}
+
 func (d *decoder) f64() float64 {
 	var buf [8]byte
 	d.read(buf[:])
@@ -445,7 +522,7 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 	if version > FormatVersion {
 		return nil, &FutureVersionError{Version: version}
 	}
-	if version != FormatVersion {
+	if version < minReadVersion {
 		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, version)
 	}
 
@@ -509,6 +586,74 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 		st.Docs = append(st.Docs, doc)
 	}
 	st.IndexTotalLen = dec.f64()
+
+	if version >= 2 {
+		switch flag := dec.byte(); flag {
+		case 0:
+		case 1:
+			st.Options.ExhaustiveScorer = true
+		default:
+			if dec.err == nil {
+				return nil, fmt.Errorf("%w: bad exhaustive-scorer flag %d", ErrCorrupt, flag)
+			}
+		}
+		st.Slots = dec.count("slot")
+		prevSlot := -1
+		for i := range st.Docs {
+			slot := int(dec.uvarint())
+			if dec.err == nil && (slot <= prevSlot || slot >= st.Slots) {
+				return nil, fmt.Errorf("%w: doc %d slot %d out of order or range", ErrCorrupt, i, slot)
+			}
+			st.Docs[i].Slot = slot
+			prevSlot = slot
+		}
+		nShardLists := dec.count("postings shard")
+		if dec.err == nil && nShardLists != st.Shards {
+			return nil, fmt.Errorf("%w: %d postings shards for %d index shards", ErrCorrupt, nShardLists, st.Shards)
+		}
+		if dec.err == nil {
+			st.Postings = make([][]ir.TermPostings, 0, prealloc(nShardLists))
+		}
+		for si := 0; si < nShardLists && dec.err == nil; si++ {
+			nTerms := dec.count("postings term")
+			lists := make([]ir.TermPostings, 0, prealloc(nTerms))
+			for ti := 0; ti < nTerms && dec.err == nil; ti++ {
+				tp := ir.TermPostings{
+					Term:    dec.str(),
+					Live:    int(dec.uvarint()),
+					MaxTF:   dec.f64(),
+					MinTF:   dec.f64(),
+					MinLen:  dec.f64(),
+					LastDoc: int(dec.uvarint()),
+				}
+				nBlocks := dec.count("postings block")
+				tp.Blocks = make([]ir.PostingBlock, 0, prealloc(nBlocks))
+				for bi := 0; bi < nBlocks && dec.err == nil; bi++ {
+					b := ir.PostingBlock{
+						FirstDoc: int(dec.uvarint()),
+						LastDoc:  int(dec.uvarint()),
+						N:        int(dec.uvarint()),
+						MaxTF:    dec.f64(),
+						MinLen:   dec.f64(),
+					}
+					b.Docs = dec.bytes("postings gaps")
+					if dec.err == nil && (b.N < 1 || b.N > maxCount) {
+						return nil, fmt.Errorf("%w: postings block of %d entries", ErrCorrupt, b.N)
+					}
+					if dec.err == nil {
+						b.TFs = make([]float64, 0, prealloc(b.N))
+						for i := 0; i < b.N && dec.err == nil; i++ {
+							b.TFs = append(b.TFs, dec.f64())
+						}
+					}
+					tp.Blocks = append(tp.Blocks, b)
+				}
+				lists = append(lists, tp)
+			}
+			st.Postings = append(st.Postings, lists)
+		}
+	}
+
 	if dec.err != nil {
 		return nil, dec.err
 	}
