@@ -1,7 +1,13 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke bench bench-json ci
+# Minimum statement coverage for internal/ir (the scoring/compaction
+# core), enforced by `make cover`. Measured across the whole module's
+# tests (-coverpkg): the ir hot paths are deliberately exercised through
+# the engine, server, and snapshot suites too.
+COVER_MIN_IR ?= 90.0
+
+.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke soak bench bench-json bench-regression cover ci
 
 build:
 	$(GO) build ./...
@@ -10,10 +16,18 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent hot paths: parallel engine
-# build, sharded scoring, live instance mutation, snapshot dump, and
-# the HTTP serving layer.
+# build, sharded scoring, live instance mutation, online compaction,
+# snapshot dump, and the HTTP serving layer.
 race:
 	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/server/... ./internal/snapshot/...
+
+# soak runs the churn-soak compaction test — concurrent mutators,
+# searchers, and a compactor looping epoch swaps under the race
+# detector, with sequential-replay parity at the end — at the long
+# QUNITS_SOAK scale. The same test runs at its short scale inside
+# `make race`; this target is the deeper pass CI runs alongside it.
+soak:
+	QUNITS_SOAK=1 $(GO) test -race -run 'TestChurnSoakCompaction' -count=1 ./internal/search
 
 # vet covers the whole module; the explicit ./examples/... invocation
 # keeps the example programs covered even if they ever move behind a
@@ -46,33 +60,60 @@ smoke:
 snapshot-smoke:
 	./scripts/smoke.sh snapshot
 
+# compact-smoke drives online compaction under live load: accumulate
+# tombstones over /v1/instances, POST /v1/compact while a background
+# search loop hammers the server, and assert /stats reclamation plus
+# unchanged results.
+compact-smoke:
+	./scripts/smoke.sh compact
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # bench-json runs the full benchmark suite once and writes the results
 # as JSON to BENCH.json, so benchmark trajectories are reproducible and
-# diffable across commits. The top-k scoring pair additionally gets a
-# longer pass so the committed pruned-vs-exhaustive ratio — the
-# machine-independent number bench-regression gates on — is measured
+# diffable across commits. The top-k scoring and compaction pairs
+# additionally get a longer pass so the committed ratios — the
+# machine-independent numbers bench-regression gates on — are measured
 # with low noise (benchcheck prefers the higher-iteration entries).
 bench-json:
 	( $(GO) test -bench=. -benchtime=1x -run='^$$' . && \
-	  $(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -run='^$$' . ) \
+	  $(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -run='^$$' . && \
+	  $(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -run='^$$' . ) \
 	  | $(GO) run ./cmd/benchjson > BENCH.json
 	@echo "wrote BENCH.json"
 
-# bench-regression measures the pruned-vs-exhaustive top-k scoring
-# ratio and fails on a >20% erosion against the committed BENCH.json
-# baseline (or on dropping below the 2x floor outright). Ratios, not
-# raw ns/op, so the gate is machine-independent.
+# bench-regression gates the two scoring-path ratios, both
+# machine-independent (ratios between benchmarks of the same run, never
+# raw ns/op):
+#   - pruned vs exhaustive top-k (>= 2x floor, <= 20% erosion vs the
+#     committed BENCH.json baseline);
+#   - compacted vs 50%-tombstoned pruning on a single-shard posting-walk
+#     workload (>= 1.1x floor, wider erosion slack; the honest ratio is
+#     ~1.3x), so the bound decay compaction reverses cannot silently
+#     return.
 bench-regression:
 	$(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -run='^$$' . \
 	  | $(GO) run ./cmd/benchjson > bench_topk.json
 	$(GO) run ./cmd/benchcheck -current bench_topk.json -baseline BENCH.json
-	@rm -f bench_topk.json
+	$(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -run='^$$' . \
+	  | $(GO) run ./cmd/benchjson > bench_compact.json
+	$(GO) run ./cmd/benchcheck -current bench_compact.json -baseline BENCH.json \
+	  -fast 'BenchmarkCompactedPruning/compacted/k=1' \
+	  -slow 'BenchmarkCompactedPruning/tombstoned/k=1' \
+	  -min-speedup 1.1 -max-regress 0.35
+	@rm -f bench_topk.json bench_compact.json
 
-# cover writes the merged coverage profile CI uploads as an artifact.
+# cover writes the merged coverage profile CI uploads as an artifact and
+# gates internal/ir — the scoring/compaction core — on a minimum
+# statement coverage, so new retrieval code cannot land untested.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) test -coverpkg=./internal/ir -coverprofile=coverage_ir.out ./internal/... .
+	@total=$$($(GO) tool cover -func=coverage_ir.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/ir coverage: $$total% (floor $(COVER_MIN_IR)%)"; \
+	awk -v got="$$total" -v min="$(COVER_MIN_IR)" 'BEGIN { exit (got+0 >= min+0) ? 0 : 1 }' || \
+	  { echo "cover: FAIL: internal/ir coverage $$total% is below the $(COVER_MIN_IR)% floor" >&2; exit 1; }
+	@rm -f coverage_ir.out
 
-ci: build fmt-check vet test race smoke snapshot-smoke bench bench-regression
+ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke bench bench-regression cover

@@ -10,6 +10,8 @@ package qunits_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -385,6 +387,78 @@ func BenchmarkTopKScoring(b *testing.B) {
 					req := search.Request{Query: topkQueries[i%len(topkQueries)], K: k}
 					if _, err := mode.engine.Search(ctx, req); err != nil {
 						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- compaction: the pruning-decay regression gate ---------------------------
+
+// compactionIndexes holds a 50%-tombstoned single-shard index (stale
+// block-max metadata, dead postings inside every block) and its
+// compacted twin. Both rank every query bitwise identically; the only
+// difference is the physical work — the tombstoned run decodes twice
+// the postings and prunes against stale (loose) bounds. A single shard
+// keeps the measurement free of goroutine fan-out noise, so the ns/op
+// ratio CI's second bench-regression gate checks isolates exactly the
+// decay compaction reverses.
+var (
+	compactOnce  sync.Once
+	tombstonedIx *ir.ShardedIndex
+	compactedIx  *ir.ShardedIndex
+)
+
+func compactionIndexes(b *testing.B) (tombstoned, compacted *ir.ShardedIndex) {
+	b.Helper()
+	compactOnce.Do(func() {
+		r := rand.New(rand.NewSource(17))
+		words := make([]string, 48)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%02d", i)
+		}
+		tombstonedIx = ir.NewShardedIndex(1)
+		const docs = 24 * 1024
+		for i := 0; i < docs; i++ {
+			var sb strings.Builder
+			sb.WriteString("common")
+			for w, n := 0, 2+r.Intn(8); w < n; w++ {
+				sb.WriteByte(' ')
+				sb.WriteString(words[r.Intn(len(words))])
+			}
+			tombstonedIx.MustAdd(fmt.Sprintf("doc%05d", i), ir.Field{Text: sb.String()})
+		}
+		for i := 0; i < docs; i += 2 {
+			if err := tombstonedIx.Remove(fmt.Sprintf("doc%05d", i)); err != nil {
+				panic(err)
+			}
+		}
+		var err error
+		if compactedIx, _, err = tombstonedIx.Compacted(); err != nil {
+			panic(err)
+		}
+	})
+	return tombstonedIx, compactedIx
+}
+
+var compactionQueries = []string{"common w03", "w11 w27 common", "w05 w06 w07", "common"}
+
+// BenchmarkCompactedPruning measures pruned top-k retrieval on the
+// 50%-tombstoned index versus its compacted twin — identical results,
+// different traversal cost.
+func BenchmarkCompactedPruning(b *testing.B) {
+	tombstoned, compacted := compactionIndexes(b)
+	scorer := ir.BM25{B: 0.3}
+	for _, mode := range []struct {
+		name  string
+		index *ir.ShardedIndex
+	}{{"tombstoned", tombstoned}, {"compacted", compacted}} {
+		for _, k := range []int{1, 10} {
+			b.Run(mode.name+"/k="+itoa(k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if hits := mode.index.Search(scorer, compactionQueries[i%len(compactionQueries)], k); len(hits) != k {
+						b.Fatalf("got %d hits", len(hits))
 					}
 				}
 			})

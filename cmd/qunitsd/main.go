@@ -12,6 +12,7 @@
 //	curl -d '{"definition":"movie-cast","anchor":"new release"}' localhost:8080/v1/instances
 //	curl 'localhost:8080/v1/instances/movie-cast:star%20wars'
 //	curl -X DELETE 'localhost:8080/v1/instances/movie-cast:new%20release'
+//	curl -X POST 'localhost:8080/v1/compact'             # reclaim tombstoned slots
 //	curl 'localhost:8080/search?q=star+wars+cast&k=5'   # legacy alias
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/stats'
@@ -28,6 +29,15 @@
 // live instance adds/removals survive restarts:
 //
 //	qunitsd -addr :8080 -snapshot /var/lib/qunits/engine.snap -snapshot-interval 5m
+//
+// Live removals tombstone index slots rather than rewriting posting
+// lists; -compact-ratio keeps a long-lived daemon healthy under churn
+// by compacting the index online (searches keep flowing) whenever the
+// tombstone ratio reaches the threshold. POST /v1/compact triggers a
+// pass manually; /stats reports index_tombstones, compactions, and
+// slots_reclaimed:
+//
+//	qunitsd -addr :8080 -compact-ratio 0.3
 package main
 
 import (
@@ -69,6 +79,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window")
 		snapshotPath = flag.String("snapshot", "", "engine snapshot file: loaded at boot when present, written after the graceful drain")
 		snapInterval = flag.Duration("snapshot-interval", 0, "also write the snapshot this often while serving (0 = only at shutdown)")
+		compactRatio = flag.Float64("compact-ratio", 0, "auto-compact the index when its tombstone ratio (dead slots / slots) reaches this; 0 disables (POST /v1/compact still works)")
 	)
 	flag.Parse()
 
@@ -84,6 +95,13 @@ func main() {
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
+	}
+	// Compaction policy is serving configuration, not engine state: it is
+	// applied here at boot on both the fresh-build and snapshot-load
+	// paths (snapshots deliberately do not persist it).
+	engine.SetAutoCompact(*compactRatio)
+	if *compactRatio > 0 {
+		log.Printf("qunitsd: auto-compaction at tombstone ratio >= %g", *compactRatio)
 	}
 
 	handler := server.New(engine, server.Config{

@@ -43,7 +43,10 @@
 // identified-type affinities — the paper's §3 pipeline made
 // machine-readable. POST /v1/feedback closes the relevance-feedback
 // loop, POST /v1/instances and DELETE /v1/instances/{id} mutate the
-// live instance set, GET /v1/instances/{id} dereferences a result, and
+// live instance set, GET /v1/instances/{id} dereferences a result,
+// POST /v1/compact reclaims the tombstoned index slots removals leave
+// behind (online: searches keep flowing through the rebuild, and
+// results are bitwise identical across a pass), and
 // every error is an envelope {"error":{"code","message"}} with a
 // stable code. The pre-/v1 GET /search alias is kept byte-compatible.
 //

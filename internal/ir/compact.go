@@ -1,0 +1,138 @@
+package ir
+
+import "fmt"
+
+// Online index compaction.
+//
+// Removal tombstones a document in place (postings.go): dead slots stay
+// in the global id space forever, dead postings stay inside the
+// compressed blocks, and per-block MaxTF/MinLen metadata is left stale —
+// each individually safe, but under sustained churn the index's physical
+// footprint grows without bound and the MaxScore pruning bounds loosen
+// monotonically toward the exhaustive scorer's cost. Compaction is the
+// counter-move: rebuild every shard's posting blocks from the live
+// documents only, recomputing exact block-max metadata and remapping the
+// surviving documents onto fresh dense slot ids.
+//
+// Compacted builds the rebuilt index as a NEW value and never mutates
+// the receiver, so a live engine can keep answering searches on the old
+// index while the new one is constructed, then swap the two with one
+// pointer write — the copy-on-write epoch swap internal/search performs.
+//
+// # Score parity
+//
+// The compacted index must rank bitwise identically to the tombstoned
+// one (same documents, same float64 score bits, same tie order). Three
+// facts make that hold:
+//
+//   - Per-document inputs are preserved exactly: each live document is
+//     re-added with the DocTerms it was originally analyzed into, so
+//     every TF and weighted length is the same float.
+//   - Collection statistics are preserved exactly: the document count
+//     and per-term document frequencies are integers that the rebuild
+//     reproduces, and the running total length — an incremental float
+//     sum a re-add sequence would NOT reproduce after removals — is
+//     carried over verbatim rather than re-summed.
+//   - Scores never depend on the physical layout: slot ids, shard
+//     assignment, and block boundaries all change, but scorers
+//     accumulate per-document contributions in sorted-term order from
+//     (tf, dl, idf, avgdl) alone, and pruning bounds only ever decide
+//     whether a document is visited, never what it scores.
+//
+// Bounds do tighten: recomputed MaxTF/MinLen are exact again and each
+// shard's minLiveLen floor is recomputed over live documents only, so
+// pruned retrieval visits fewer blocks — the whole point — while the
+// strictly-less skipping rule keeps the results identical.
+
+// CompactStats describes one compaction pass.
+type CompactStats struct {
+	// SlotsBefore and SlotsAfter are the global id-space sizes before
+	// and after the pass; their difference is the reclaimed dead slots.
+	SlotsBefore, SlotsAfter int
+	// Live is the number of live documents carried over.
+	Live int
+	// ReclaimedSlots is SlotsBefore - SlotsAfter: the tombstoned slots
+	// the pass eliminated.
+	ReclaimedSlots int
+}
+
+// Tombstones returns the number of dead slots — removed documents whose
+// global ids (and postings) are still physically present. The tombstone
+// ratio Tombstones()/Slots() is the standard compaction trigger.
+func (s *ShardedIndex) Tombstones() int { return len(s.names) - s.shared.n }
+
+// Compacted builds a tombstone-free copy of the index: live documents
+// are re-added in slot order onto fresh dense ids (preserving their
+// relative order, and with it the deterministic round-robin shard
+// layout), posting blocks are re-encoded without dead postings, and all
+// block-max metadata is recomputed exact. The receiver is not modified
+// and may serve concurrent searches throughout; the result ranks every
+// query bitwise identically to the receiver (see the parity notes
+// above).
+func (s *ShardedIndex) Compacted() (*ShardedIndex, CompactStats, error) {
+	c := NewShardedIndex(len(s.shards))
+	for id := 0; id < len(s.names); id++ {
+		name := s.names[id]
+		if name == "" {
+			continue // dead slot: this is what compaction discards
+		}
+		if _, err := c.AddAnalyzed(name, s.terms[id]); err != nil {
+			// Unreachable while the index upholds its name-uniqueness
+			// invariant; surfaced rather than swallowed so corruption
+			// fails loudly instead of swapping in a partial index.
+			return nil, CompactStats{}, fmt.Errorf("ir: compacting slot %d: %w", id, err)
+		}
+	}
+	// Carry the running total length over verbatim: after removals it is
+	// an incremental float sum whose rounding the fresh re-add sequence
+	// does not reproduce, and every BM25 score depends on its exact bits
+	// through the average document length.
+	c.shared.totalLen = s.shared.totalLen
+	st := CompactStats{
+		SlotsBefore:    len(s.names),
+		SlotsAfter:     len(c.names),
+		Live:           c.shared.n,
+		ReclaimedSlots: len(s.names) - len(c.names),
+	}
+	return c, st, nil
+}
+
+// QueryFootprint is the physical posting-list volume a query's cursors
+// traverse, summed over the query's distinct terms across all shards.
+// Tombstoned postings still occupy blocks (Postings > Live), so the
+// footprint quantifies exactly the decay compaction reverses: after a
+// compaction pass Postings == Live and Blocks is minimal for the live
+// set.
+type QueryFootprint struct {
+	// Blocks is the number of posting blocks the terms' lists hold.
+	Blocks int
+	// Postings counts every stored posting, tombstones included.
+	Postings int
+	// Live counts only the non-tombstoned postings.
+	Live int
+}
+
+// QueryFootprint reports the footprint of the given query terms — the
+// blocks and postings any retrieval (pruned or exhaustive) over those
+// terms has to contend with. Regression tests use it to pin down that
+// compaction shrinks the scored volume; operators can use it to size
+// compaction policy.
+func (s *ShardedIndex) QueryFootprint(terms []string) QueryFootprint {
+	distinct := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		distinct[t] = true
+	}
+	var fp QueryFootprint
+	for _, shard := range s.shards {
+		for t := range distinct {
+			pl := shard.postings[t]
+			if pl == nil {
+				continue
+			}
+			fp.Blocks += len(pl.blocks)
+			fp.Postings += pl.total
+			fp.Live += pl.live
+		}
+	}
+	return fp
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qunits/internal/core"
 	"qunits/internal/ir"
@@ -58,6 +59,13 @@ type Options struct {
 	// with it on or off, so flipping it isolates whether a suspected
 	// ranking bug lives in the pruned scorer or elsewhere.
 	ExhaustiveScorer bool
+	// CompactRatio enables auto-compaction: after a removal leaves the
+	// index's tombstone ratio (dead slots / total slots) at or above
+	// this value, the engine compacts itself (see Engine.Compact).
+	// 0 disables auto-compaction. This is serving policy, not engine
+	// state: snapshots do not persist it, and operators re-apply it at
+	// boot (qunitsd -compact-ratio) or at runtime via SetAutoCompact.
+	CompactRatio float64
 }
 
 // Result is one ranked qunit instance. Score is exactly
@@ -107,6 +115,18 @@ type Engine struct {
 	byLabel   map[string]map[string]*core.Instance // label -> id -> instance
 	opts      Options
 	defTables map[string]map[string]bool // definition -> tables it covers
+
+	// indexMu serializes the index-structure writers (AddInstance,
+	// RemoveInstance, Compact) against each other; see compact.go for
+	// the full lock protocol. Always acquired before mu.
+	indexMu sync.Mutex
+	// compactions and slotsReclaimed are the monotone compaction
+	// counters /stats reports.
+	compactions    atomic.Int64
+	slotsReclaimed atomic.Int64
+	// compactRatio holds the auto-compaction tombstone-ratio threshold
+	// as float bits (0 = disabled); see SetAutoCompact.
+	compactRatio atomic.Uint64
 
 	// maxUtility is a monotone upper bound on every indexed instance's
 	// utility, maintained on construction, AddInstance, and
@@ -169,6 +189,7 @@ func NewEngine(cat *core.Catalog, opts Options) (*Engine, error) {
 	for _, d := range cat.Definitions() {
 		e.defTables[d.Name] = definitionTables(d)
 	}
+	e.SetAutoCompact(opts.CompactRatio)
 	return e, nil
 }
 
@@ -799,6 +820,20 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 		}
 	}
 	return aff
+}
+
+// InstanceIDs returns every indexed instance ID in sorted order — a
+// stable enumeration for tools (and tests/benchmarks) that need to
+// address the live instance set.
+func (e *Engine) InstanceIDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Instance returns the indexed instance with the given ID, if any. Used

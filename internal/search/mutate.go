@@ -66,6 +66,12 @@ func (e *Engine) AddInstance(inst *core.Instance) error {
 	// concurrent searches stall only for the index merge itself.
 	doc := ir.AnalyzeFields(indexFields(inst, e.opts)...)
 	id := inst.ID()
+	// indexMu first (the index-structure writers' lock — see
+	// compact.go), then the engine lock: a compaction pass in flight
+	// must finish and swap before this document lands, or the add would
+	// be lost with the old index.
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.instances[id]; dup {
@@ -94,7 +100,25 @@ func (e *Engine) AddInstance(inst *core.Instance) error {
 // next Search neither returns it nor counts it. Removing an unknown ID
 // returns *InstanceNotFoundError. Serialized against concurrent searches
 // by the engine lock.
+//
+// The removed document's index slot is tombstoned, not reclaimed; when
+// an auto-compaction policy is installed (Options.CompactRatio /
+// SetAutoCompact) and the removal pushes the tombstone ratio over the
+// threshold, the engine compacts before returning — searches stay
+// available throughout (see Compact).
 func (e *Engine) RemoveInstance(id string) error {
+	if err := e.removeInstance(id); err != nil {
+		return err
+	}
+	e.maybeAutoCompact()
+	return nil
+}
+
+// removeInstance is RemoveInstance's locked body; the auto-compaction
+// check runs after every lock is released.
+func (e *Engine) removeInstance(id string) error {
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.instances[id]; !ok {

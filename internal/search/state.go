@@ -223,5 +223,6 @@ func RestoreEngine(db *relational.Database, st *EngineState) (*Engine, error) {
 	for _, d := range cat.Definitions() {
 		e.defTables[d.Name] = definitionTables(d)
 	}
+	e.SetAutoCompact(opts.CompactRatio)
 	return e, nil
 }

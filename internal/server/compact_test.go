@@ -1,0 +1,190 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// churnTombstones creates count fresh instances over /v1 and deletes
+// them again, leaving count tombstoned slots behind.
+func churnTombstones(t *testing.T, s *Server, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		anchor := fmt.Sprintf("compact churn %d", i)
+		rec, body := post(t, s, "/v1/instances", fmt.Sprintf(`{"definition":"movie-cast","anchor":%q}`, anchor))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create %d: status %d: %s", i, rec.Code, body)
+		}
+		rec, body = do(t, s, http.MethodDelete, "/v1/instances/"+pathEscape("movie-cast:"+anchor), "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("delete %d: status %d: %s", i, rec.Code, body)
+		}
+	}
+}
+
+// TestV1CompactEndpoint drives the admin surface end to end: tombstones
+// accumulate over /v1/instances, POST /v1/compact reclaims them, /stats
+// reflects the pass, and — the serving contract — the /v1/search wire
+// bytes are identical before and after (cache disabled, so both passes
+// hit the engine).
+func TestV1CompactEndpoint(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{CacheSize: -1})
+	churnTombstones(t, s, 5)
+
+	st := decodeBody[StatsResponse](t, statsBody(t, s))
+	if st.IndexTombstones < 5 {
+		t.Fatalf("expected >= 5 tombstones, stats %+v", st)
+	}
+	queries := []string{
+		`{"query":"star wars cast","k":5}`,
+		`{"query":"george clooney","k":3,"offset":1}`,
+		`{"query":"soundtrack","k":10,"explain":true}`,
+	}
+	before := make([]V1SearchResponse, len(queries))
+	for i, q := range queries {
+		_, body := post(t, s, "/v1/search", q)
+		before[i] = decodeBody[V1SearchResponse](t, body)
+	}
+
+	rec, body := post(t, s, "/v1/compact", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact status %d: %s", rec.Code, body)
+	}
+	res := decodeBody[V1CompactResponse](t, body)
+	if res.ReclaimedSlots < 5 || res.SlotsAfter != res.Live || res.Compactions != 1 {
+		t.Fatalf("compact response %+v", res)
+	}
+	if res.SlotsBefore != res.SlotsAfter+res.ReclaimedSlots {
+		t.Fatalf("slot arithmetic broken: %+v", res)
+	}
+
+	st = decodeBody[StatsResponse](t, statsBody(t, s))
+	if st.IndexTombstones != 0 || st.Compactions != 1 || st.SlotsReclaimed != int64(res.ReclaimedSlots) {
+		t.Fatalf("post-compaction stats %+v", st)
+	}
+	if st.IndexSlots != st.Instances {
+		t.Fatalf("compacted index not dense: %+v", st)
+	}
+
+	for i, q := range queries {
+		_, body := post(t, s, "/v1/search", q)
+		after := decodeBody[V1SearchResponse](t, body)
+		// TookUS is wall time; everything else must be identical.
+		after.TookUS = before[i].TookUS
+		if !reflect.DeepEqual(after, before[i]) {
+			t.Fatalf("query %s changed across compaction:\nbefore %+v\nafter  %+v", q, before[i], after)
+		}
+	}
+}
+
+// TestV1CompactKeepsCache pins the no-purge contract: compaction leaves
+// cached results valid (it is bitwise score-preserving), so a repeat of
+// a pre-compaction query is served as a cache hit.
+func TestV1CompactKeepsCache(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+	churnTombstones(t, s, 3)
+	q := `{"query":"star wars cast","k":5}`
+	_, body := post(t, s, "/v1/search", q)
+	first := decodeBody[V1SearchResponse](t, body)
+	if first.Cached {
+		t.Fatal("first search unexpectedly cached")
+	}
+	if rec, body := post(t, s, "/v1/compact", ""); rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d %s", rec.Code, body)
+	}
+	_, body = post(t, s, "/v1/search", q)
+	second := decodeBody[V1SearchResponse](t, body)
+	if !second.Cached {
+		t.Fatal("compaction purged the result cache; parity makes that unnecessary")
+	}
+	if !reflect.DeepEqual(second.Results, first.Results) {
+		t.Fatalf("cached results changed across compaction")
+	}
+}
+
+// TestV1CompactMethodNotAllowed: the admin endpoint is POST-only.
+func TestV1CompactMethodNotAllowed(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+	rec, body := get(t, s, "/v1/compact")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if env := decodeBody[v1Envelope](t, body); env.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("error envelope: %s", body)
+	}
+}
+
+// TestStatsMonotoneUnderCompactionChurn hammers the server with
+// concurrent searches, instance churn, and compaction passes, polling
+// /stats throughout: every counter documented monotone must never step
+// backwards, and the occupancy gauges must stay coherent.
+func TestStatsMonotoneUnderCompactionChurn(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(t, s, "/v1/search", fmt.Sprintf(`{"query":"star wars cast","k":%d}`, 1+(i%7)))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			anchor := fmt.Sprintf("monotone churn %d", i)
+			post(t, s, "/v1/instances", fmt.Sprintf(`{"definition":"movie-cast","anchor":%q}`, anchor))
+			do(t, s, http.MethodDelete, "/v1/instances/"+pathEscape("movie-cast:"+anchor), "")
+			if i%3 == 0 {
+				post(t, s, "/v1/compact", "")
+			}
+		}
+		close(stop)
+	}()
+
+	var prev StatsResponse
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		st := decodeBody[StatsResponse](t, statsBody(t, s))
+		if st.Queries < prev.Queries || st.CacheHits < prev.CacheHits ||
+			st.CacheMisses < prev.CacheMisses || st.Compactions < prev.Compactions ||
+			st.SlotsReclaimed < prev.SlotsReclaimed || st.InstanceAdds < prev.InstanceAdds ||
+			st.InstanceRemovals < prev.InstanceRemovals {
+			t.Fatalf("counter stepped backwards:\nprev %+v\nnow  %+v", prev, st)
+		}
+		if st.IndexTombstones < 0 || st.Instances > st.IndexSlots {
+			t.Fatalf("incoherent occupancy gauges: %+v", st)
+		}
+		prev = st
+	}
+	wg.Wait()
+	final := decodeBody[StatsResponse](t, statsBody(t, s))
+	if final.Compactions < 4 {
+		t.Fatalf("expected >= 4 compaction passes, stats %+v", final)
+	}
+}
+
+// statsBody fetches /stats.
+func statsBody(t *testing.T, s *Server) []byte {
+	t.Helper()
+	rec, body := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	return body
+}

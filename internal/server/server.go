@@ -110,6 +110,7 @@ func New(engine *search.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/search", s.handleV1Search)
 	s.mux.HandleFunc("/v1/feedback", s.handleV1Feedback)
+	s.mux.HandleFunc("/v1/compact", s.handleV1Compact)
 	s.mux.HandleFunc("/v1/instances", s.handleV1InstanceCreate)
 	s.mux.HandleFunc("/v1/instances/", s.handleV1Instance)
 	return s
@@ -285,7 +286,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Instances: s.engine.InstanceCount()})
 }
 
-// StatsResponse is the /stats reply.
+// StatsResponse is the /stats reply. Queries through SlotsReclaimed are
+// monotone counters; the remaining fields are point-in-time gauges
+// (IndexTombstones in particular drops back to zero on every
+// compaction pass).
 type StatsResponse struct {
 	Queries          int64   `json:"queries"`
 	CacheHits        int64   `json:"cache_hits"`
@@ -295,13 +299,18 @@ type StatsResponse struct {
 	Feedbacks        int64   `json:"feedbacks"`
 	InstanceAdds     int64   `json:"instance_adds"`
 	InstanceRemovals int64   `json:"instance_removals"`
+	Compactions      int64   `json:"compactions"`
+	SlotsReclaimed   int64   `json:"slots_reclaimed"`
 	CacheLen         int     `json:"cache_len"`
 	CacheCap         int     `json:"cache_cap"`
 	Instances        int     `json:"instances"`
+	IndexSlots       int     `json:"index_slots"`
+	IndexTombstones  int     `json:"index_tombstones"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ix := s.engine.IndexStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Queries:          s.queries.Load(),
 		CacheHits:        s.cacheHits.Load(),
@@ -311,10 +320,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Feedbacks:        s.feedbacks.Load(),
 		InstanceAdds:     s.instanceAdds.Load(),
 		InstanceRemovals: s.instanceRems.Load(),
+		Compactions:      s.engine.Compactions(),
+		SlotsReclaimed:   s.engine.SlotsReclaimed(),
 		CacheLen:         s.cache.len(),
 		CacheCap:         s.cfg.CacheSize,
-		Instances:        s.engine.InstanceCount(),
-		UptimeSeconds:    time.Since(s.start).Seconds(),
+		// Instances comes from the same IndexStats snapshot as the slot
+		// gauges (live instances and index documents are only ever
+		// updated together), so the three occupancy numbers are always
+		// mutually coherent even while mutations race this handler.
+		Instances:       ix.Live,
+		IndexSlots:      ix.Slots,
+		IndexTombstones: ix.Tombstones,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
 	})
 }
 
@@ -364,6 +381,15 @@ func (s *Server) RemoveInstance(id string) error {
 		s.invalidateResults()
 	}
 	return err
+}
+
+// Compact runs one engine compaction pass. The result cache is
+// deliberately NOT purged: compaction is parity-proven to leave every
+// search response bitwise identical (see search.Engine.Compact), so no
+// cached entry can be stale — the pass changes the cost of a miss,
+// never the content of a hit.
+func (s *Server) Compact() (search.CompactionResult, error) {
+	return s.engine.Compact()
 }
 
 // truncateRunes cuts s to at most max bytes without splitting a rune,

@@ -382,7 +382,7 @@ func TestStatsShape(t *testing.T) {
 	if err := json.Unmarshal(body, &raw); err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"queries", "cache_hits", "cache_misses", "dedup_shared", "bad_requests", "cache_len", "cache_cap", "instances", "uptime_seconds"} {
+	for _, field := range []string{"queries", "cache_hits", "cache_misses", "dedup_shared", "bad_requests", "cache_len", "cache_cap", "instances", "uptime_seconds", "compactions", "slots_reclaimed", "index_slots", "index_tombstones"} {
 		if _, ok := raw[field]; !ok {
 			t.Fatalf("stats missing %q: %s", field, body)
 		}

@@ -453,6 +453,48 @@ func (s *Server) handleV1Feedback(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// V1CompactResponse is the POST /v1/compact reply.
+type V1CompactResponse struct {
+	// SlotsBefore and SlotsAfter are the index's global slot counts
+	// around the pass.
+	SlotsBefore int `json:"slots_before"`
+	SlotsAfter  int `json:"slots_after"`
+	// Live is the number of live instances carried over.
+	Live int `json:"live"`
+	// ReclaimedSlots is the number of tombstoned slots eliminated.
+	ReclaimedSlots int `json:"reclaimed_slots"`
+	// Compactions is the engine's total completed passes.
+	Compactions int64 `json:"compactions"`
+	// TookUS is the pass duration in microseconds.
+	TookUS int64 `json:"took_us"`
+}
+
+// handleV1Compact serves POST /v1/compact: the admin trigger for one
+// online compaction pass. Searches keep flowing while the pass runs
+// (the rebuild happens off the engine lock); concurrent instance
+// mutations block until it finishes. Safe to call at any time — on an
+// already-dense index it is a no-op rebuild.
+func (s *Server) handleV1Compact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/compact")
+		return
+	}
+	started := time.Now()
+	res, err := s.Compact()
+	if err != nil {
+		s.writeV1Error(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, V1CompactResponse{
+		SlotsBefore:    res.SlotsBefore,
+		SlotsAfter:     res.SlotsAfter,
+		Live:           res.Live,
+		ReclaimedSlots: res.ReclaimedSlots,
+		Compactions:    res.Compactions,
+		TookUS:         time.Since(started).Microseconds(),
+	})
+}
+
 // handleV1InstanceCreate serves POST /v1/instances: the live-update
 // half of the snapshot story — a new entity's qunit is derived from the
 // database and merged into the serving index under the engine lock,

@@ -4,16 +4,20 @@
 # explain + error envelope), /v1/feedback, /v1/instances/{id}, and the
 # legacy /search alias — then the snapshot cycle: add an instance over
 # /v1, snapshot via SIGTERM, restart from the snapshot, and assert the
-# added instance is still searchable. It is the CI smoke test: `make
+# added instance is still searchable — then the compaction cycle:
+# accumulate tombstones over /v1/instances, POST /v1/compact while a
+# background search loop keeps hitting the server, and assert /stats
+# reclamation plus unchanged results. It is the CI smoke test: `make
 # smoke` runs the basic flow, `make snapshot-smoke` the snapshot flow,
-# `scripts/smoke.sh all` both. Fast, hermetic, and loud on failure.
+# `make compact-smoke` the compact-under-load flow, `scripts/smoke.sh
+# all` everything. Fast, hermetic, and loud on failure.
 #
-# Usage: smoke.sh [basic|snapshot|all]   (default: all)
+# Usage: smoke.sh [basic|snapshot|compact|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
-case "$MODE" in basic|snapshot|all) ;; *)
-    echo "smoke: unknown mode $MODE (want basic|snapshot|all)" >&2; exit 2 ;;
+case "$MODE" in basic|snapshot|compact|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|all)" >&2; exit 2 ;;
 esac
 
 PORT="${SMOKE_PORT:-18080}"
@@ -25,7 +29,7 @@ SNAP="$(mktemp -u).snap"
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
     [ -n "${PID:-}" ] && wait "$PID" 2>/dev/null || true
-    rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp"
+    rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp" "$LOG.searchfail"
 }
 trap cleanup EXIT INT TERM
 
@@ -72,7 +76,7 @@ stop_server() {
 echo "smoke: building qunitsd"
 go build -o "$BIN" ./cmd/qunitsd
 
-if [ "$MODE" != "snapshot" ]; then
+if [ "$MODE" = "basic" ] || [ "$MODE" = "all" ]; then
     echo "smoke: starting qunitsd on :$PORT"
     start_server
 
@@ -115,7 +119,7 @@ if [ "$MODE" != "snapshot" ]; then
     stop_server
 fi
 
-if [ "$MODE" != "basic" ]; then
+if [ "$MODE" = "snapshot" ] || [ "$MODE" = "all" ]; then
     echo "smoke: starting qunitsd with -snapshot (fresh build)"
     start_server -snapshot "$SNAP"
 
@@ -147,6 +151,55 @@ if [ "$MODE" != "basic" ]; then
     echo "$OUT" | jsonget 'd["id"]' | grep -qx 'movie-cast:smoke snapshot qunit' || fail "instance delete: $OUT"
     OUT=$(curl -fsS -d '{"query":"smoke snapshot qunit","k":3}' "$BASE/v1/search")
     echo "$OUT" | jsonget '[r["id"] for r in d["results"]].count("movie-cast:smoke snapshot qunit")' | grep -qx 0 || fail "deleted instance still served: $OUT"
+
+    stop_server
+fi
+
+if [ "$MODE" = "compact" ] || [ "$MODE" = "all" ]; then
+    echo "smoke: starting qunitsd with -compact-ratio"
+    start_server -compact-ratio 0.5
+
+    echo "smoke: accumulating tombstones over /v1/instances"
+    for i in 1 2 3 4; do
+        curl -fsS -d "{\"definition\":\"movie-cast\",\"anchor\":\"compact smoke qunit $i\"}" "$BASE/v1/instances" >/dev/null || fail "instance create $i"
+    done
+    for i in 1 2 3; do
+        curl -fsS -X DELETE "$BASE/v1/instances/movie-cast:compact%20smoke%20qunit%20$i" >/dev/null || fail "instance delete $i"
+    done
+    OUT=$(curl -fsS "$BASE/stats")
+    echo "$OUT" | jsonget 'd["index_tombstones"] >= 3' | grep -qx True || fail "tombstones not accumulated: $OUT"
+
+    BEFORE=$(curl -fsS -d '{"query":"star wars cast","k":3}' "$BASE/v1/search" | jsonget 'd["results"][0]["id"]')
+
+    echo "smoke: POST /v1/compact under live search load"
+    FAILMARK="$LOG.searchfail"
+    rm -f "$FAILMARK"
+    ( i=0; while [ "$i" -lt 40 ]; do
+          # A fresh query text each iteration: distinct cache keys, so
+          # every request really reaches the engine while the pass runs
+          # (a repeated query would be served from the result cache and
+          # prove nothing about search availability).
+          curl -fsS -d "{\"query\":\"star wars cast $i\",\"k\":3}" "$BASE/v1/search" >/dev/null 2>&1 || { touch "$FAILMARK"; break; }
+          i=$((i + 1))
+      done ) &
+    LOADPID=$!
+    OUT=$(curl -fsS -X POST "$BASE/v1/compact")
+    echo "$OUT" | jsonget 'd["reclaimed_slots"] >= 3' | grep -qx True || fail "compact reclaimed too little: $OUT"
+    wait "$LOADPID"
+    [ ! -e "$FAILMARK" ] || fail "a search failed while compaction ran"
+
+    OUT=$(curl -fsS "$BASE/stats")
+    echo "$OUT" | jsonget 'd["index_tombstones"]' | grep -qx 0 || fail "tombstones survived compaction: $OUT"
+    echo "$OUT" | jsonget 'd["compactions"] >= 1' | grep -qx True || fail "compaction counter missing: $OUT"
+    echo "$OUT" | jsonget 'd["slots_reclaimed"] >= 3' | grep -qx True || fail "reclaimed counter missing: $OUT"
+
+    echo "smoke: results unchanged across compaction"
+    AFTER=$(curl -fsS -d '{"query":"star wars cast","k":3}' "$BASE/v1/search" | jsonget 'd["results"][0]["id"]')
+    [ "$BEFORE" = "$AFTER" ] || fail "top result changed across compaction: $BEFORE vs $AFTER"
+
+    echo "smoke: surviving live-added instance still served after compaction"
+    OUT=$(curl -fsS -d '{"query":"compact smoke qunit","k":5}' "$BASE/v1/search")
+    echo "$OUT" | jsonget '[r["id"] for r in d["results"]].count("movie-cast:compact smoke qunit 4")' | grep -qx 1 || fail "survivor lost across compaction: $OUT"
 
     stop_server
 fi
