@@ -7,7 +7,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 # the engine, server, and snapshot suites too.
 COVER_MIN_IR ?= 90.0
 
-.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke soak bench bench-json bench-regression cover ci
+.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke cluster-smoke soak bench bench-json bench-regression cover ci
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,10 @@ test:
 
 # Race-check the packages with concurrent hot paths: parallel engine
 # build, sharded scoring, live instance mutation, online compaction,
-# snapshot dump, and the HTTP serving layer.
+# snapshot dump, the scatter-gather coordinator and WAL replication,
+# and the HTTP serving layer.
 race:
-	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/server/... ./internal/snapshot/...
+	$(GO) test -race ./internal/search/... ./internal/ir/... ./internal/cluster/... ./internal/server/... ./internal/snapshot/...
 
 # soak runs the churn-soak compaction test — concurrent mutators,
 # searchers, and a compactor looping epoch swaps under the race
@@ -66,6 +67,14 @@ snapshot-smoke:
 # unchanged results.
 compact-smoke:
 	./scripts/smoke.sh compact
+
+# cluster-smoke boots a coordinator over two partition nodes (a
+# WAL-writing primary and a tailing follower) next to an
+# identically-seeded single node, then drives searches, a live instance
+# add, feedback, and a compaction through both stacks and diffs the
+# scrubbed /v1 responses byte for byte.
+cluster-smoke:
+	./scripts/smoke.sh cluster
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -116,4 +125,4 @@ cover:
 	  { echo "cover: FAIL: internal/ir coverage $$total% is below the $(COVER_MIN_IR)% floor" >&2; exit 1; }
 	@rm -f coverage_ir.out
 
-ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke bench bench-regression cover
+ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke cluster-smoke bench bench-regression cover

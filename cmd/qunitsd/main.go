@@ -38,6 +38,37 @@
 // slots_reclaimed:
 //
 //	qunitsd -addr :8080 -compact-ratio 0.3
+//
+// # Cluster modes
+//
+// -mode turns the same binary into one node of a distributed
+// deployment (see ARCHITECTURE.md, "A distributed qunitsd"):
+//
+//	-mode partition    one scoring node: the full engine replica plus
+//	                   the /v1/partition RPC over the shard subset
+//	                   selected by -partition-index/-partition-count.
+//	                   With -wal the node is the cluster primary and
+//	                   logs every mutation; with -wal and -wal-follow
+//	                   it is a follower that tails the log instead and
+//	                   refuses direct mutations.
+//	-mode coordinator  no engine: fans /v1/search out to the partition
+//	                   servers listed in -partitions and merges their
+//	                   pages into byte-identical single-node responses.
+//
+// Every partition node must be started over the same universe flags
+// (seed, sizes, derive mode) and the same explicit -shards count —
+// partitions score shard subsets, so differing shard layouts would
+// change which node scores which document. A 3-partition cluster on
+// one machine:
+//
+//	qunitsd -mode partition -addr :8081 -shards 8 -partition-index 0 -partition-count 3 -wal /tmp/q.wal
+//	qunitsd -mode partition -addr :8082 -shards 8 -partition-index 1 -partition-count 3 -wal /tmp/q.wal -wal-follow
+//	qunitsd -mode partition -addr :8083 -shards 8 -partition-index 2 -partition-count 3 -wal /tmp/q.wal -wal-follow
+//	qunitsd -mode coordinator -addr :8080 -partitions http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// In partition mode -snapshot writes a bootstrap pair (QSNP blob plus a
+// .seq sidecar recording the WAL position) so a restarted node resumes
+// the log exactly where its state left off.
 package main
 
 import (
@@ -49,13 +80,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"qunits/internal/cluster"
 	"qunits/internal/core"
 	"qunits/internal/derive"
 	"qunits/internal/imdb"
+	"qunits/internal/ir"
 	"qunits/internal/relational"
 	"qunits/internal/search"
 	"qunits/internal/server"
@@ -80,36 +114,168 @@ func main() {
 		snapshotPath = flag.String("snapshot", "", "engine snapshot file: loaded at boot when present, written after the graceful drain")
 		snapInterval = flag.Duration("snapshot-interval", 0, "also write the snapshot this often while serving (0 = only at shutdown)")
 		compactRatio = flag.Float64("compact-ratio", 0, "auto-compact the index when its tombstone ratio (dead slots / slots) reaches this; 0 disables (POST /v1/compact still works)")
+		mode         = flag.String("mode", "single", "deployment role: single, partition, or coordinator")
+		partitions   = flag.String("partitions", "", "coordinator mode: comma-separated partition base URLs, in partition-index order")
+		partIndex    = flag.Int("partition-index", 0, "partition mode: this node's partition index")
+		partCount    = flag.Int("partition-count", 1, "partition mode: total partitions in the cluster")
+		walPath      = flag.String("wal", "", "partition mode: mutation WAL path (the primary writes it, followers tail it)")
+		walFollow    = flag.Bool("wal-follow", false, "partition mode: tail -wal as a follower instead of writing it as the primary")
+		walPoll      = flag.Duration("wal-poll", 500*time.Millisecond, "follower WAL poll interval")
 	)
 	flag.Parse()
 
-	log.Printf("qunitsd: generating universe (seed=%d persons=%d movies=%d)", *seed, *persons, *movies)
-	u := imdb.MustGenerate(imdb.Config{
-		Seed:         *seed,
-		Persons:      *persons,
-		Movies:       *movies,
-		CastPerMovie: *castPerMovie,
-	})
-
-	engine, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers)
-	if err != nil {
-		log.Print(err)
-		os.Exit(2)
-	}
-	// Compaction policy is serving configuration, not engine state: it is
-	// applied here at boot on both the fresh-build and snapshot-load
-	// paths (snapshots deliberately do not persist it).
-	engine.SetAutoCompact(*compactRatio)
-	if *compactRatio > 0 {
-		log.Printf("qunitsd: auto-compaction at tombstone ratio >= %g", *compactRatio)
-	}
-
-	handler := server.New(engine, server.Config{
+	cfg := server.Config{
 		CacheSize: *cacheSize,
 		DefaultK:  *defaultK,
 		MaxK:      *maxK,
 		MaxBatch:  *maxBatch,
-	})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler *server.Server
+	var saveSnap func() error        // snapshot writer for the shutdown and periodic paths; nil when -snapshot is unset
+	var followerDone <-chan struct{} // closed when the follower loop has stopped; nil otherwise
+
+	switch *mode {
+	case "coordinator":
+		urls := splitList(*partitions)
+		if len(urls) == 0 {
+			log.Print("qunitsd: -mode coordinator requires -partitions")
+			os.Exit(2)
+		}
+		if *snapshotPath != "" {
+			log.Print("qunitsd: -snapshot is ignored in coordinator mode (a coordinator holds no engine)")
+		}
+		parts := make([]cluster.Partition, len(urls))
+		for i, base := range urls {
+			parts[i] = cluster.NewClient(base, i)
+		}
+		handler = server.NewCoordinatorServer(cluster.NewCoordinator(parts), cfg)
+		log.Printf("qunitsd: coordinator over %d partitions", len(parts))
+
+	case "single", "partition":
+		set := ir.ShardSet{Index: *partIndex, Count: *partCount}
+		if *mode == "partition" {
+			if err := set.Validate(); err != nil {
+				log.Printf("qunitsd: %v", err)
+				os.Exit(2)
+			}
+			if *shards == 0 {
+				// The default shard count is GOMAXPROCS, which varies by
+				// machine; partitions score shard subsets, so the layout
+				// must be pinned explicitly and identically cluster-wide.
+				log.Print("qunitsd: -mode partition requires an explicit -shards count (identical on every node)")
+				os.Exit(2)
+			}
+		}
+
+		log.Printf("qunitsd: generating universe (seed=%d persons=%d movies=%d)", *seed, *persons, *movies)
+		u := imdb.MustGenerate(imdb.Config{
+			Seed:         *seed,
+			Persons:      *persons,
+			Movies:       *movies,
+			CastPerMovie: *castPerMovie,
+		})
+
+		engine, applied, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		// Compaction policy is serving configuration, not engine state: it is
+		// applied here at boot on both the fresh-build and snapshot-load
+		// paths (snapshots deliberately do not persist it).
+		engine.SetAutoCompact(*compactRatio)
+		if *compactRatio > 0 {
+			log.Printf("qunitsd: auto-compaction at tombstone ratio >= %g", *compactRatio)
+		}
+
+		if *mode == "single" {
+			handler = server.New(engine, cfg)
+			if *snapshotPath != "" {
+				saveSnap = func() error { return writeSnapshot(*snapshotPath, engine) }
+			}
+			break
+		}
+
+		pcfg := server.PartitionConfig{Set: set}
+		switch {
+		case *walPath != "" && !*walFollow:
+			// Primary: recover any WAL records past the bootstrap
+			// snapshot, then start logging new mutations.
+			wal, err := cluster.OpenWAL(*walPath)
+			if err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			if wal.LastSeq() < applied {
+				log.Printf("qunitsd: snapshot is at wal position %d but %s ends at %d; refusing to fork the log",
+					applied, *walPath, wal.LastSeq())
+				os.Exit(2)
+			}
+			recovery := cluster.NewFollower(engine, cluster.NewWALReader(*walPath), applied)
+			n, err := recovery.CatchUp()
+			if err != nil {
+				log.Printf("qunitsd: wal recovery: %v", err)
+				os.Exit(2)
+			}
+			if n > 0 {
+				log.Printf("qunitsd: recovered %d wal records (now at %d)", n, recovery.AppliedSeq())
+			}
+			engine.SetMutationLog(wal)
+			pcfg.Seq = wal.LastSeq
+			pcfg.AcceptMutations = true
+			if *snapshotPath != "" {
+				saveSnap = func() error { return saveBootstrapLocked(*snapshotPath, engine, wal.LastSeq) }
+			}
+			log.Printf("qunitsd: partition %d/%d primary, logging mutations to %s", *partIndex, *partCount, *walPath)
+
+		case *walPath != "":
+			// Follower: replay the log and keep tailing it. Local
+			// auto-compaction must stay off — the primary's compactions
+			// arrive through the WAL, and an extra local pass would move
+			// documents across shards and desynchronize subset scoring.
+			if *compactRatio > 0 {
+				log.Print("qunitsd: -compact-ratio is forced to 0 on a follower (compactions replicate through the wal)")
+				engine.SetAutoCompact(0)
+			}
+			fol := cluster.NewFollower(engine, cluster.NewWALReader(*walPath), applied)
+			if _, err := fol.CatchUp(); err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			log.Printf("qunitsd: partition %d/%d follower at wal position %d, tailing %s",
+				*partIndex, *partCount, fol.AppliedSeq(), *walPath)
+			pcfg.Seq = fol.AppliedSeq
+			if *snapshotPath != "" {
+				saveSnap = func() error { return saveBootstrapLocked(*snapshotPath, engine, fol.AppliedSeq) }
+			}
+			// One goroutine owns both tailing and periodic snapshots, so a
+			// snapshot can never capture a half-advanced applied position.
+			done := make(chan struct{})
+			followerDone = done
+			go followLoop(ctx, fol, *walPoll, saveSnap, *snapInterval, done)
+
+		default:
+			if *walFollow {
+				log.Print("qunitsd: -wal-follow requires -wal")
+				os.Exit(2)
+			}
+			// A static partition (no WAL): serve the subset, accept no
+			// mutations — without a log they could not replicate.
+			if *snapshotPath != "" {
+				saveSnap = func() error { return saveBootstrapLocked(*snapshotPath, engine, nil) }
+			}
+			log.Printf("qunitsd: partition %d/%d (static: no wal, mutations refused)", *partIndex, *partCount)
+		}
+		handler = server.NewPartitionServer(engine, cfg, pcfg)
+
+	default:
+		log.Printf("qunitsd: unknown -mode %q (want single, partition, or coordinator)", *mode)
+		os.Exit(2)
+	}
 	// A production listener, not a bare ListenAndServe: bounded header,
 	// read, write, and idle timeouts so one slow client can't pin a
 	// connection goroutine forever.
@@ -122,15 +288,15 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("qunitsd: listening on %s", *addr)
 		errc <- srv.ListenAndServe()
 	}()
-	if *snapshotPath != "" && *snapInterval > 0 {
-		go snapshotLoop(ctx, *snapshotPath, engine, *snapInterval)
+	// Followers snapshot from inside their tail loop; everyone else gets
+	// the periodic writer goroutine.
+	if saveSnap != nil && *snapInterval > 0 && followerDone == nil {
+		go snapshotLoop(ctx, *snapshotPath, saveSnap, *snapInterval)
 	}
 
 	select {
@@ -149,11 +315,16 @@ func main() {
 			log.Printf("qunitsd: shutdown: %v", drainErr)
 			_ = srv.Close()
 		}
+		if followerDone != nil {
+			// The tail loop stops on the same context; wait for it so the
+			// final snapshot captures a settled applied position.
+			<-followerDone
+		}
 		// Write the snapshot even when the drain timed out: the engine
 		// state (learned utilities, live instance mutations) is intact
 		// and losing it would punish the operator for one slow client.
-		if *snapshotPath != "" {
-			if err := writeSnapshot(*snapshotPath, engine); err != nil {
+		if saveSnap != nil {
+			if err := saveSnap(); err != nil {
 				log.Printf("qunitsd: snapshot: %v", err)
 				os.Exit(1)
 			}
@@ -166,31 +337,89 @@ func main() {
 	}
 }
 
+// splitList parses a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}
+
+// followLoop tails the primary's WAL until the context is canceled,
+// writing periodic bootstrap snapshots from the same goroutine (so the
+// snapshot's .seq sidecar can never capture a half-advanced position),
+// then closes done. The shutdown path waits on done before its final
+// snapshot.
+func followLoop(ctx context.Context, fol *cluster.Follower, poll time.Duration, saveSnap func() error, snapInterval time.Duration, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	var snap <-chan time.Time
+	if saveSnap != nil && snapInterval > 0 {
+		snapTick := time.NewTicker(snapInterval)
+		defer snapTick.Stop()
+		snap = snapTick.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			n, err := fol.CatchUp()
+			if err != nil {
+				// A gap or corrupt record will not heal; surface it loudly
+				// every poll rather than silently serving stale state.
+				log.Printf("qunitsd: wal tail: %v", err)
+				continue
+			}
+			if n > 0 {
+				log.Printf("qunitsd: applied %d wal records (now at %d)", n, fol.AppliedSeq())
+			}
+		case <-snap:
+			if err := saveSnap(); err != nil {
+				log.Printf("qunitsd: periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// saveBootstrapLocked writes a bootstrap snapshot (QSNP plus .seq
+// sidecar) under the daemon's snapshot mutex, so the periodic and
+// shutdown paths never interleave writes to the shared temp files.
+func saveBootstrapLocked(path string, engine *search.Engine, seq func() uint64) error {
+	snapshotWriteMu.Lock()
+	defer snapshotWriteMu.Unlock()
+	return cluster.SaveBootstrap(path, engine, seq)
+}
+
 // loadOrBuildEngine restores the engine from the snapshot file when one
 // is configured and present — skipping catalog derivation, instance
 // materialization, and indexing — and otherwise builds it from scratch.
-func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards, buildWorkers int) (*search.Engine, error) {
+// The second return is the restored state's WAL position: the value of
+// the snapshot's .seq sidecar, or 0 for a fresh build or a sidecar-less
+// snapshot.
+func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards, buildWorkers int) (*search.Engine, uint64, error) {
 	if snapshotPath != "" {
-		f, err := os.Open(snapshotPath)
-		switch {
-		case err == nil:
-			defer f.Close()
+		if _, err := os.Stat(snapshotPath); err == nil {
 			loadStart := time.Now()
-			engine, err := snapshot.LoadEngine(f, u.DB)
+			engine, applied, err := cluster.LoadBootstrap(snapshotPath, u.DB)
 			if err != nil {
-				return nil, fmt.Errorf("qunitsd: loading snapshot %s: %w", snapshotPath, err)
+				return nil, 0, fmt.Errorf("qunitsd: loading snapshot %s: %w", snapshotPath, err)
 			}
-			log.Printf("qunitsd: engine loaded from snapshot %s in %v (%d instances)",
-				snapshotPath, time.Since(loadStart).Round(time.Millisecond), engine.InstanceCount())
-			return engine, nil
-		case !os.IsNotExist(err):
-			return nil, fmt.Errorf("qunitsd: opening snapshot: %w", err)
+			log.Printf("qunitsd: engine loaded from snapshot %s in %v (%d instances, wal position %d)",
+				snapshotPath, time.Since(loadStart).Round(time.Millisecond), engine.InstanceCount(), applied)
+			return engine, applied, nil
+		} else if !os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("qunitsd: opening snapshot: %w", err)
 		}
 		log.Printf("qunitsd: no snapshot at %s, building fresh", snapshotPath)
 	}
 	cat, err := deriveCatalog(deriveMode, u.DB)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	buildStart := time.Now()
 	engine, err := search.NewEngine(cat, search.Options{
@@ -199,16 +428,16 @@ func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards
 		BuildWorkers: buildWorkers,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("qunitsd: building engine: %w", err)
+		return nil, 0, fmt.Errorf("qunitsd: building engine: %w", err)
 	}
 	log.Printf("qunitsd: engine ready in %v (%d instances, %d definitions)",
 		time.Since(buildStart).Round(time.Millisecond), engine.InstanceCount(), cat.Len())
-	return engine, nil
+	return engine, 0, nil
 }
 
 // snapshotLoop writes the snapshot every interval until the context is
 // canceled; the shutdown path writes the final one.
-func snapshotLoop(ctx context.Context, path string, engine *search.Engine, interval time.Duration) {
+func snapshotLoop(ctx context.Context, path string, saveSnap func() error, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -216,7 +445,7 @@ func snapshotLoop(ctx context.Context, path string, engine *search.Engine, inter
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if err := writeSnapshot(path, engine); err != nil {
+			if err := saveSnap(); err != nil {
 				log.Printf("qunitsd: periodic snapshot: %v", err)
 			} else {
 				log.Printf("qunitsd: periodic snapshot written to %s", path)

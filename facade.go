@@ -21,10 +21,12 @@ package qunits
 import (
 	"io"
 
+	"qunits/internal/cluster"
 	"qunits/internal/core"
 	"qunits/internal/derive"
 	"qunits/internal/evidence"
 	"qunits/internal/imdb"
+	"qunits/internal/ir"
 	"qunits/internal/querylog"
 	"qunits/internal/relational"
 	"qunits/internal/search"
@@ -263,3 +265,107 @@ type ServerConfig = server.Config
 
 // NewServer returns an HTTP handler serving the engine.
 func NewServer(engine *Engine, cfg ServerConfig) *Server { return server.New(engine, cfg) }
+
+// --- Distributed serving ----------------------------------------------------
+//
+// A cluster splits SCORING, not data: every partition node holds the
+// full engine (BM25 scores depend on collection-wide statistics) and
+// scores only the index shards its ShardSet selects; a coordinator
+// merges the per-partition pages into responses byte-identical to a
+// single node's. Replication between the primary and its followers
+// rides a mutation WAL paired with bootstrap snapshots. See
+// ARCHITECTURE.md, "A distributed qunitsd".
+
+// ShardSet selects the subset of index shards a partition scores:
+// shard s belongs to the set when s % Count == Index. The zero value
+// selects every shard.
+type ShardSet = ir.ShardSet
+
+// ClusterProtoVersion is the partition RPC protocol version this build
+// speaks.
+const ClusterProtoVersion = cluster.ProtoVersion
+
+// Partition is one scoring node as the coordinator sees it: in-process
+// (LocalPartition) or remote (PartitionClient).
+type Partition = cluster.Partition
+
+// LocalPartition scores a shard subset of an in-process engine.
+type LocalPartition = cluster.LocalPartition
+
+// PartitionClient speaks the /v1/partition RPC to one remote partition
+// server.
+type PartitionClient = cluster.Client
+
+// Coordinator scatter-gathers searches across partitions and merges
+// the pages under the engine's exact ranking order.
+type Coordinator = cluster.Coordinator
+
+// RemoteError is an error a partition returned over the RPC, carrying
+// its stable /v1 code.
+type RemoteError = cluster.RemoteError
+
+// UnavailableError reports a partition that could not be reached.
+type UnavailableError = cluster.UnavailableError
+
+// WAL is the append side of a mutation log; install it on the primary
+// engine with Engine.SetMutationLog.
+type WAL = cluster.WAL
+
+// WALReader tails a mutation log.
+type WALReader = cluster.WALReader
+
+// WALRecord is one logged mutation.
+type WALRecord = cluster.Record
+
+// Follower replays a primary's mutation WAL into a replica engine.
+type Follower = cluster.Follower
+
+// PartitionServerConfig shapes a partition node's HTTP server.
+type PartitionServerConfig = server.PartitionConfig
+
+// NewPartitionClient returns a client for the partition server at
+// baseURL serving the given partition index.
+func NewPartitionClient(baseURL string, index int) *PartitionClient {
+	return cluster.NewClient(baseURL, index)
+}
+
+// NewCoordinator returns a coordinator over the given partitions;
+// partition i must score ShardSet{Index: i, Count: len(parts)}.
+func NewCoordinator(parts []Partition) *Coordinator { return cluster.NewCoordinator(parts) }
+
+// NewPartitionServer returns the HTTP server for one scoring node: the
+// full /v1 surface over its engine replica plus the /v1/partition RPC.
+func NewPartitionServer(engine *Engine, cfg ServerConfig, pcfg PartitionServerConfig) *Server {
+	return server.NewPartitionServer(engine, cfg, pcfg)
+}
+
+// NewCoordinatorServer returns the HTTP server for a coordinator node:
+// /v1/search fanned out to the cluster, mutations refused.
+func NewCoordinatorServer(coord *Coordinator, cfg ServerConfig) *Server {
+	return server.NewCoordinatorServer(coord, cfg)
+}
+
+// OpenWAL opens or creates a mutation log for appending, recovering
+// the last sequence number and truncating a torn tail.
+func OpenWAL(path string) (*WAL, error) { return cluster.OpenWAL(path) }
+
+// NewWALReader returns a reader positioned at the start of the log.
+func NewWALReader(path string) *WALReader { return cluster.NewWALReader(path) }
+
+// NewFollower returns a follower replaying reader into engine from the
+// given applied position.
+func NewFollower(engine *Engine, reader *WALReader, applied uint64) *Follower {
+	return cluster.NewFollower(engine, reader, applied)
+}
+
+// SaveBootstrap writes the engine as a snapshot plus a .seq sidecar
+// recording the WAL position, captured atomically with the state.
+func SaveBootstrap(path string, engine *Engine, seq func() uint64) error {
+	return cluster.SaveBootstrap(path, engine, seq)
+}
+
+// LoadBootstrap restores an engine from a bootstrap snapshot and
+// returns the WAL position its state corresponds to.
+func LoadBootstrap(path string, db *Database) (*Engine, uint64, error) {
+	return cluster.LoadBootstrap(path, db)
+}

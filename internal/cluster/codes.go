@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"qunits/internal/search"
+)
+
+// The stable error codes of the public /v1 envelope and the partition
+// RPC. They live here — the lowest layer of the versioned API — so the
+// public server and the partition protocol share one vocabulary;
+// internal/server aliases them. Clients branch on these, never on
+// message text.
+const (
+	// CodeInvalidArgument: the request is syntactically valid JSON but
+	// semantically wrong (empty query, negative offset, k out of range,
+	// batch too large, …).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeInvalidJSON: the request body is not the expected JSON shape.
+	CodeInvalidJSON = "invalid_json"
+	// CodeUnknownDefinition: a filter names a definition the catalog
+	// does not contain.
+	CodeUnknownDefinition = "unknown_definition"
+	// CodeNotFound: the addressed resource (instance) does not exist.
+	CodeNotFound = "not_found"
+	// CodeAlreadyExists: the instance being created is already indexed.
+	CodeAlreadyExists = "already_exists"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotSupported: the endpoint exists but this node's role does
+	// not serve it (mutations on a coordinator or follower).
+	CodeNotSupported = "not_supported"
+	// CodeUnavailable: a partition required to answer could not be
+	// reached.
+	CodeUnavailable = "unavailable"
+	// CodeUnsupportedProto: the partition RPC version is not spoken by
+	// the receiving node.
+	CodeUnsupportedProto = "unsupported_proto"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorCode maps an error to its stable code — the single mapping every
+// surface (public /v1, partition RPC, coordinator) routes through.
+// Errors that already carry a code (RemoteError) keep it, so codes
+// survive a coordinator hop unchanged.
+func ErrorCode(err error) string {
+	var (
+		remote      *RemoteError
+		unavailable *UnavailableError
+		unknownDef  *search.UnknownDefinitionError
+		notFound    *search.InstanceNotFoundError
+		exists      *search.InstanceExistsError
+		badAnchor   *search.InvalidAnchorError
+	)
+	switch {
+	case errors.As(err, &remote):
+		return remote.Code
+	case errors.As(err, &unavailable):
+		return CodeUnavailable
+	case errors.Is(err, search.ErrEmptyQuery):
+		return CodeInvalidArgument
+	case errors.As(err, &unknownDef):
+		return CodeUnknownDefinition
+	case errors.As(err, &notFound):
+		return CodeNotFound
+	case errors.As(err, &exists):
+		return CodeAlreadyExists
+	case errors.As(err, &badAnchor):
+		return CodeInvalidArgument
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeInternal
+	default:
+		return CodeInternal
+	}
+}

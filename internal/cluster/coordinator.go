@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qunits/internal/search"
+)
+
+// Coordinator fans a search out to every partition of a deployment and
+// merges the pages back into exactly the response a single-node engine
+// would produce. It owns no index: correctness rests on the partition
+// contract (full replicas scoring disjoint shard subsets — see the
+// package comment), which makes per-partition totals sum to the global
+// Total and the global top-(offset+k) a subset of the union of
+// per-partition top-(offset+k) prefixes.
+type Coordinator struct {
+	parts []Partition
+}
+
+// NewCoordinator returns a coordinator over the given partitions.
+// Partition i must score ShardSet{Index: i, Count: len(parts)}; the
+// coordinator stamps that selector on every request so a misconfigured
+// node rejects it instead of silently scoring the wrong subset.
+func NewCoordinator(parts []Partition) *Coordinator {
+	return &Coordinator{parts: parts}
+}
+
+// Partitions reports the deployment's partition count.
+func (c *Coordinator) Partitions() int { return len(c.parts) }
+
+// Page is a merged search response in wire form, ready for the public
+// /v1 surface.
+type Page struct {
+	// Total is the exact global match count (sum of disjoint subsets).
+	Total int
+	// Results is the requested page, (score desc, ID asc) — never nil.
+	Results []Result
+	// Explain is present when the request asked for it.
+	Explain *Explain
+}
+
+// BatchOutcome is one item of a merged batch: exactly one of Page or
+// Err is set.
+type BatchOutcome struct {
+	Page *Page
+	Err  error
+}
+
+// Search scatter-gathers one request. The request must already carry
+// the public surface's defaulting and limits (the /v1 layer applies
+// them before calling here, exactly as it does before a single-node
+// engine call); Validate is still enforced so direct callers get the
+// same errors a single node returns.
+func (c *Coordinator) Search(ctx context.Context, req search.Request) (*Page, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	replies := make([]*PageReply, len(c.parts))
+	errs := make([]error, len(c.parts))
+	var wg sync.WaitGroup
+	for i, part := range c.parts {
+		wg.Add(1)
+		go func(i int, part Partition) {
+			defer wg.Done()
+			replies[i], errs[i] = part.Search(ctx, c.pageRequest(req, i))
+		}(i, part)
+	}
+	wg.Wait()
+	// Errors are surfaced deterministically: the lowest-indexed
+	// partition's error wins, so a multi-failure fan-out never flaps
+	// between messages across runs.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePage(replies, req), nil
+}
+
+// Batch scatter-gathers a whole batch: every partition scores all items
+// in one engine pass, then each item is merged independently. Outcomes
+// align positionally with reqs. A partition-level failure (transport,
+// protocol) fails the whole call — a correct page cannot be served with
+// a shard subset missing — while per-item errors stay per-item, exactly
+// as on a single node.
+func (c *Coordinator) Batch(ctx context.Context, reqs []search.Request) ([]BatchOutcome, error) {
+	replies := make([]*BatchReply, len(c.parts))
+	errs := make([]error, len(c.parts))
+	var wg sync.WaitGroup
+	for i, part := range c.parts {
+		wg.Add(1)
+		go func(i int, part Partition) {
+			defer wg.Done()
+			breq := BatchRequest{
+				Proto:     ProtoVersion,
+				Partition: Selector{Index: i, Count: len(c.parts)},
+				Items:     make([]PageItem, len(reqs)),
+			}
+			for j, req := range reqs {
+				breq.Items[j] = RequestToItem(c.partitionRequest(req, i))
+			}
+			replies[i], errs[i] = part.Batch(ctx, breq)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outcomes := make([]BatchOutcome, len(reqs))
+	itemReplies := make([]*PageReply, len(c.parts))
+	for j := range reqs {
+		outcomes[j] = c.mergeItem(replies, itemReplies, j, reqs[j])
+	}
+	return outcomes, nil
+}
+
+// StatsAll fans Stats out to every partition concurrently. Both slices
+// align with partition indexes; a nil stats entry pairs with its error.
+// Unlike Search, one unreachable node does not fail the call — topology
+// reporting must describe degraded clusters.
+func (c *Coordinator) StatsAll(ctx context.Context) ([]*PartitionStats, []error) {
+	stats := make([]*PartitionStats, len(c.parts))
+	errs := make([]error, len(c.parts))
+	var wg sync.WaitGroup
+	for i, part := range c.parts {
+		wg.Add(1)
+		go func(i int, part Partition) {
+			defer wg.Done()
+			stats[i], errs[i] = part.Stats(ctx)
+		}(i, part)
+	}
+	wg.Wait()
+	return stats, errs
+}
+
+// mergeItem merges item j across all partition batch replies, reusing
+// scratch as the per-partition reply buffer.
+func (c *Coordinator) mergeItem(replies []*BatchReply, scratch []*PageReply, j int, req search.Request) BatchOutcome {
+	for i, reply := range replies {
+		if j >= len(reply.Items) {
+			return BatchOutcome{Err: &UnavailableError{Partition: i,
+				Err: fmt.Errorf("batch reply carries %d items, need at least %d", len(reply.Items), j+1)}}
+		}
+		item := reply.Items[j]
+		if item.Error != nil {
+			// A partition rejected this item. All replicas run the same
+			// validation over the same state, so every partition rejects
+			// it with the same error; surface the lowest index's,
+			// re-typed so the code survives to the public envelope and
+			// the message stays verbatim.
+			return BatchOutcome{Err: &RemoteError{Code: item.Error.Code, Message: item.Error.Message}}
+		}
+		if item.Reply == nil {
+			return BatchOutcome{Err: &UnavailableError{Partition: i,
+				Err: fmt.Errorf("batch item %d carries neither reply nor error", j)}}
+		}
+		scratch[i] = item.Reply
+	}
+	return BatchOutcome{Page: mergePage(scratch, req)}
+}
+
+// pageRequest builds partition i's request for req.
+func (c *Coordinator) pageRequest(req search.Request, i int) PageRequest {
+	preq := c.partitionRequest(req, i)
+	out := PageRequest{
+		Proto:     ProtoVersion,
+		Partition: Selector{Index: i, Count: len(c.parts)},
+		Query:     preq.Query,
+		K:         preq.K,
+		Offset:    preq.Offset,
+		Explain:   preq.Explain,
+	}
+	if !preq.Filter.IsZero() {
+		out.Filter = &Filter{Definitions: preq.Filter.Definitions, AnchorTypes: preq.Filter.AnchorTypes}
+	}
+	return out
+}
+
+// partitionRequest rewrites the client paging for one partition: the
+// global page [offset, offset+k) is contained in the union of the
+// per-partition top-(offset+k) prefixes, so each partition is asked for
+// that prefix from rank 0 and the coordinator re-applies the offset
+// after the merge. K <= 0 keeps its engine meaning ("all results").
+// Explain is query-level and identical on every replica, so only
+// partition 0 computes it.
+func (c *Coordinator) partitionRequest(req search.Request, i int) search.Request {
+	out := req
+	out.Offset = 0
+	if req.K > 0 {
+		out.K = req.Offset + req.K
+	}
+	out.Explain = req.Explain && i == 0
+	return out
+}
+
+// mergePage merges per-partition replies into the client's page under
+// the engine's exact order (score desc, ID asc). Shard subsets are
+// disjoint, so no ID appears twice and the concatenation-sort
+// reproduces the single-node ranking of the union.
+func mergePage(replies []*PageReply, req search.Request) *Page {
+	total := 0
+	size := 0
+	for _, reply := range replies {
+		total += reply.Total
+		size += len(reply.Results)
+	}
+	merged := make([]Result, 0, size)
+	for _, reply := range replies {
+		merged = append(merged, reply.Results...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Score != merged[b].Score {
+			return merged[a].Score > merged[b].Score
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if req.Offset >= len(merged) {
+		merged = merged[:0]
+	} else {
+		merged = merged[req.Offset:]
+	}
+	if req.K > 0 && len(merged) > req.K {
+		merged = merged[:req.K]
+	}
+	page := &Page{Total: total, Results: merged}
+	if len(replies) > 0 && replies[0] != nil {
+		page.Explain = replies[0].Explain
+	}
+	return page
+}

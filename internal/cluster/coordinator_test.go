@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"qunits/internal/ir"
+	"qunits/internal/search"
+)
+
+// localCluster returns a coordinator over n LocalPartitions of one
+// engine — the degenerate deployment the merge invariants are proved
+// against.
+func localCluster(e *search.Engine, n int) *Coordinator {
+	parts := make([]Partition, n)
+	for i := range parts {
+		parts[i] = &LocalPartition{Engine: e, Set: ir.ShardSet{Index: i, Count: n}}
+	}
+	return NewCoordinator(parts)
+}
+
+// TestCoordinatorMergeParity drives a workload through a 3-partition
+// coordinator and a direct engine call and requires identical pages:
+// same Total, same results in the same order with the same scores, same
+// explain payload. This is the scatter-gather contract — disjoint shard
+// subsets merge back into exactly the single-node ranking.
+func TestCoordinatorMergeParity(t *testing.T) {
+	u := testUniverse(t)
+	e := newReplicaEngine(t, u)
+	coord := localCluster(e, 3)
+	ctx := context.Background()
+	for _, q := range workloadQueries(t, u, 40) {
+		for _, req := range []search.Request{
+			{Query: q, K: 5},
+			{Query: q, K: 3, Offset: 2},
+			{Query: q, K: 4, Explain: true},
+			{Query: q, K: 5, Filter: search.Filter{AnchorTypes: []string{"movie.title"}}},
+			{Query: q},                   // K <= 0: all results
+			{Query: q, K: 2, Offset: 50}, // offset past the end
+		} {
+			want, errW := e.Search(ctx, req)
+			got, errG := coord.Search(ctx, req)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("%q: errors diverge: engine %v, coordinator %v", q, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			if got.Total != want.Total {
+				t.Fatalf("%q k=%d off=%d: total %d, want %d", q, req.K, req.Offset, got.Total, want.Total)
+			}
+			if !reflect.DeepEqual(got.Results, ResultsToWire(want.Results)) {
+				t.Fatalf("%q k=%d off=%d: results diverge\ngot:  %+v\nwant: %+v",
+					q, req.K, req.Offset, got.Results, ResultsToWire(want.Results))
+			}
+			if !reflect.DeepEqual(got.Explain, ExplainToWire(want.Explain)) {
+				t.Fatalf("%q: explain diverges\ngot:  %+v\nwant: %+v", q, got.Explain, ExplainToWire(want.Explain))
+			}
+		}
+	}
+}
+
+// TestCoordinatorPartitionCounts checks the partition-count edge cases:
+// a 1-partition cluster is literally a single node, and more partitions
+// than index shards leaves some partitions with nothing to score but
+// must not change the merged page.
+func TestCoordinatorPartitionCounts(t *testing.T) {
+	u := testUniverse(t)
+	e := newReplicaEngine(t, u)
+	ctx := context.Background()
+	queries := workloadQueries(t, u, 10)
+	for _, n := range []int{1, 2, 7} { // engine has 5 shards
+		coord := localCluster(e, n)
+		for _, q := range queries {
+			req := search.Request{Query: q, K: 5}
+			want, err := e.Search(ctx, req)
+			if err != nil {
+				continue
+			}
+			got, err := coord.Search(ctx, req)
+			if err != nil {
+				t.Fatalf("n=%d %q: %v", n, q, err)
+			}
+			if got.Total != want.Total || !reflect.DeepEqual(got.Results, ResultsToWire(want.Results)) {
+				t.Fatalf("n=%d %q: merged page diverges from single node", n, q)
+			}
+		}
+	}
+}
+
+// TestCoordinatorBatchParity merges batches item by item and compares
+// each outcome against the single-engine response, including a per-item
+// error (empty query) that must stay per-item with the engine's exact
+// message.
+func TestCoordinatorBatchParity(t *testing.T) {
+	u := testUniverse(t)
+	e := newReplicaEngine(t, u)
+	coord := localCluster(e, 3)
+	ctx := context.Background()
+	queries := workloadQueries(t, u, 6)
+	reqs := []search.Request{
+		{Query: queries[0], K: 4},
+		{Query: "   ", K: 3}, // invalid: per-item error
+		{Query: queries[1], K: 2, Explain: true},
+		{Query: queries[2], K: 6, Offset: 1},
+		{Query: queries[0], K: 4}, // duplicate of item 0
+	}
+	outcomes, err := coord.Batch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(outcomes), len(reqs))
+	}
+	for i, req := range reqs {
+		want, errW := e.Search(ctx, req)
+		if errW != nil {
+			if outcomes[i].Err == nil {
+				t.Fatalf("item %d: engine rejected (%v), coordinator did not", i, errW)
+			}
+			var remote *RemoteError
+			if !errors.As(outcomes[i].Err, &remote) {
+				t.Fatalf("item %d: error %T, want *RemoteError", i, outcomes[i].Err)
+			}
+			if remote.Error() != errW.Error() {
+				t.Fatalf("item %d: message %q, want engine's %q", i, remote.Error(), errW.Error())
+			}
+			if remote.Code != ErrorCode(errW) {
+				t.Fatalf("item %d: code %q, want %q", i, remote.Code, ErrorCode(errW))
+			}
+			continue
+		}
+		if outcomes[i].Err != nil {
+			t.Fatalf("item %d: %v", i, outcomes[i].Err)
+		}
+		page := outcomes[i].Page
+		if page.Total != want.Total || !reflect.DeepEqual(page.Results, ResultsToWire(want.Results)) {
+			t.Fatalf("item %d: merged page diverges from single node", i)
+		}
+		if !reflect.DeepEqual(page.Explain, ExplainToWire(want.Explain)) {
+			t.Fatalf("item %d: explain diverges", i)
+		}
+	}
+	if !reflect.DeepEqual(outcomes[0].Page, outcomes[4].Page) {
+		t.Fatal("identical batch items produced different pages")
+	}
+}
+
+// failingPartition fails every call, standing in for an unreachable
+// node.
+type failingPartition struct{ err error }
+
+func (p *failingPartition) Search(context.Context, PageRequest) (*PageReply, error) {
+	return nil, p.err
+}
+func (p *failingPartition) Batch(context.Context, BatchRequest) (*BatchReply, error) {
+	return nil, p.err
+}
+func (p *failingPartition) Stats(context.Context) (*PartitionStats, error) { return nil, p.err }
+
+// TestCoordinatorPartitionFailure: a page cannot be served with a shard
+// subset missing, so one failing partition fails the search and the
+// whole batch — but StatsAll still reports the healthy nodes.
+func TestCoordinatorPartitionFailure(t *testing.T) {
+	u := testUniverse(t)
+	e := newReplicaEngine(t, u)
+	down := &UnavailableError{Partition: 1, Err: errors.New("connection refused")}
+	coord := NewCoordinator([]Partition{
+		&LocalPartition{Engine: e, Set: ir.ShardSet{Index: 0, Count: 3}},
+		&failingPartition{err: down},
+		&LocalPartition{Engine: e, Set: ir.ShardSet{Index: 2, Count: 3}},
+	})
+	ctx := context.Background()
+	q := workloadQueries(t, u, 5)[0]
+	if _, err := coord.Search(ctx, search.Request{Query: q, K: 5}); !errors.Is(err, down) {
+		t.Fatalf("search error %v, want the partition failure", err)
+	}
+	if _, err := coord.Batch(ctx, []search.Request{{Query: q, K: 5}}); !errors.Is(err, down) {
+		t.Fatalf("batch error %v, want the partition failure", err)
+	}
+	stats, errs := coord.StatsAll(ctx)
+	if stats[0] == nil || stats[2] == nil {
+		t.Fatal("healthy partitions missing from StatsAll")
+	}
+	if stats[1] != nil || errs[1] == nil {
+		t.Fatalf("failed partition reported as healthy: %+v, err %v", stats[1], errs[1])
+	}
+}
+
+// TestCoordinatorValidates: the coordinator returns the engine's own
+// validation errors without touching any partition.
+func TestCoordinatorValidates(t *testing.T) {
+	boom := &failingPartition{err: errors.New("partition must not be called")}
+	coord := NewCoordinator([]Partition{boom})
+	if _, err := coord.Search(context.Background(), search.Request{Query: "  "}); err == nil {
+		t.Fatal("empty query accepted")
+	} else if ErrorCode(err) != CodeInvalidArgument {
+		t.Fatalf("code %q, want %q", ErrorCode(err), CodeInvalidArgument)
+	}
+}

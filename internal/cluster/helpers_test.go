@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// Test fixtures shared by the coordinator, WAL, and follower tests: a
+// deterministic IMDb universe, identically-derived replica engines over
+// it, and a slice of workload queries.
+
+func testUniverse(t *testing.T) *imdb.Universe {
+	t.Helper()
+	return imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 60, Movies: 40, CastPerMovie: 4})
+}
+
+// newReplicaEngine derives a fresh catalog over u and builds an engine
+// on it. Derivation is deterministic, so every replica built from the
+// same universe starts bitwise identical — the cluster's core premise.
+func newReplicaEngine(t *testing.T, u *imdb.Universe) *search.Engine {
+	t.Helper()
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// workloadQueries returns up to n non-empty queries from the generated
+// query log.
+func workloadQueries(t *testing.T, u *imdb.Universe, n int) []string {
+	t.Helper()
+	cfg := querylog.DefaultGenConfig()
+	cfg.Volume = 200
+	log := querylog.Generate(u, cfg)
+	var out []string
+	for _, e := range log.Entries {
+		if strings.TrimSpace(e.Query) == "" {
+			continue
+		}
+		out = append(out, e.Query)
+		if len(out) == n {
+			break
+		}
+	}
+	if len(out) < 5 {
+		t.Fatalf("workload too small: %d queries", len(out))
+	}
+	return out
+}
+
+// assertEngineParity fails unless a and b return identical results
+// (IDs, scores, totals) for every query at a few page shapes. It is the
+// replication tests' state-equality check: two engines that rank a
+// workload identically — scores included — hold the same index and the
+// same utilities.
+func assertEngineParity(t *testing.T, a, b *search.Engine, queries []string) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range queries {
+		for _, req := range []search.Request{
+			{Query: q, K: 5},
+			{Query: q, K: 3, Offset: 2},
+			{Query: q}, // K <= 0: all results
+		} {
+			ra, errA := a.Search(ctx, req)
+			rb, errB := b.Search(ctx, req)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%q: errors diverge: %v vs %v", q, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if ra.Total != rb.Total || len(ra.Results) != len(rb.Results) {
+				t.Fatalf("%q k=%d: total/len %d/%d vs %d/%d",
+					q, req.K, ra.Total, len(ra.Results), rb.Total, len(rb.Results))
+			}
+			for i := range ra.Results {
+				if ra.Results[i].Instance.ID() != rb.Results[i].Instance.ID() ||
+					ra.Results[i].Score != rb.Results[i].Score {
+					t.Fatalf("%q k=%d result %d: %q %v vs %q %v", q, req.K, i,
+						ra.Results[i].Instance.ID(), ra.Results[i].Score,
+						rb.Results[i].Instance.ID(), rb.Results[i].Score)
+				}
+			}
+		}
+	}
+}

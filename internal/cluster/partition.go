@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+
+	"qunits/internal/ir"
+	"qunits/internal/search"
+)
+
+// Partition is one scoring node of a partitioned deployment: it scores
+// pages and counts candidates over its shard subset and reports its
+// health. The two implementations are LocalPartition (in-process, the
+// same shards a single node scores) and Client (a remote node over the
+// /v1/partition RPC); the coordinator is written against this interface
+// and cannot tell them apart.
+type Partition interface {
+	// Search scores one page against the partition's shard subset.
+	Search(ctx context.Context, req PageRequest) (*PageReply, error)
+	// Batch scores every item in one engine pass; items align
+	// positionally and carry per-item errors.
+	Batch(ctx context.Context, req BatchRequest) (*BatchReply, error)
+	// Stats reports the node's selector, occupancy, and log position.
+	Stats(ctx context.Context) (*PartitionStats, error)
+}
+
+// LocalPartition scores a shard subset of an in-process engine. It is
+// the degenerate (no-network) partition: a coordinator over N
+// LocalPartitions of the same engine exercises the full scatter-gather
+// merge against in-process state, which is how the coordinator's merge
+// invariants are unit-tested.
+type LocalPartition struct {
+	// Engine is the full engine this node holds.
+	Engine *search.Engine
+	// Set is the shard subset this node scores.
+	Set ir.ShardSet
+	// Seq reports the node's WAL position for Stats; nil means 0.
+	Seq func() uint64
+	// AcceptsMutations marks the primary in Stats.
+	AcceptsMutations bool
+}
+
+// Search implements Partition.
+func (p *LocalPartition) Search(ctx context.Context, req PageRequest) (*PageReply, error) {
+	resp, err := p.Engine.PartitionSearch(ctx, toEngineRequest(req), p.Set)
+	if err != nil {
+		return nil, err
+	}
+	return &PageReply{
+		Total:   resp.Total,
+		Results: ResultsToWire(resp.Results),
+		Explain: ExplainToWire(resp.Explain),
+	}, nil
+}
+
+// Batch implements Partition.
+func (p *LocalPartition) Batch(ctx context.Context, req BatchRequest) (*BatchReply, error) {
+	reqs := make([]search.Request, len(req.Items))
+	for i, item := range req.Items {
+		reqs[i] = ItemToRequest(item)
+	}
+	results, err := p.Engine.PartitionBatchSearch(ctx, reqs, p.Set)
+	if err != nil {
+		return nil, err
+	}
+	reply := &BatchReply{Items: make([]BatchItem, len(results))}
+	for i, r := range results {
+		if r.Err != nil {
+			reply.Items[i] = BatchItem{Error: &WireError{Code: ErrorCode(r.Err), Message: r.Err.Error()}}
+			continue
+		}
+		reply.Items[i] = BatchItem{Reply: &PageReply{
+			Total:   r.Response.Total,
+			Results: ResultsToWire(r.Response.Results),
+			Explain: ExplainToWire(r.Response.Explain),
+		}}
+	}
+	return reply, nil
+}
+
+// Stats implements Partition.
+func (p *LocalPartition) Stats(ctx context.Context) (*PartitionStats, error) {
+	ix := p.Engine.IndexStats()
+	var seq uint64
+	if p.Seq != nil {
+		seq = p.Seq()
+	}
+	return &PartitionStats{
+		Proto:            ProtoVersion,
+		Index:            p.Set.Index,
+		Count:            p.Set.Count,
+		Instances:        p.Engine.InstanceCount(),
+		Slots:            ix.Slots,
+		Tombstones:       ix.Tombstones,
+		WALSeq:           seq,
+		AcceptsMutations: p.AcceptsMutations,
+	}, nil
+}
+
+// toEngineRequest converts a wire page request to the engine form.
+func toEngineRequest(req PageRequest) search.Request {
+	out := search.Request{Query: req.Query, K: req.K, Offset: req.Offset, Explain: req.Explain}
+	if req.Filter != nil {
+		out.Filter = search.Filter{Definitions: req.Filter.Definitions, AnchorTypes: req.Filter.AnchorTypes}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The mutation WAL is the replication stream between a primary and its
+// followers: every state-changing engine operation — including
+// compaction, which reassigns documents across shards and therefore
+// changes what a shard subset scores — is appended as one record, and a
+// follower that replays the records in sequence through the same Engine
+// methods converges on the primary's exact state.
+//
+// Format: newline-delimited text, one record per line,
+//
+//	<crc32c-hex> <json>\n
+//
+// where the CRC (Castagnoli, 8 lower-case hex digits) covers the JSON
+// bytes. A final line without its newline is a torn tail — an append
+// cut short — and is not a record yet: readers stop before it and keep
+// their offset so a later read picks it up once complete, and a writer
+// reopening the log truncates it. A complete line that fails its CRC or
+// does not parse is corruption and is an error, never silently skipped.
+
+// Op values of Record.Op.
+const (
+	OpAdd      = "add"
+	OpRemove   = "remove"
+	OpFeedback = "feedback"
+	OpCompact  = "compact"
+)
+
+// Record is one logged mutation. Seq starts at 1 and increments by one
+// per record with no gaps, which is what lets a follower detect both
+// duplicates (seq <= applied: skip) and holes (seq > applied+1: error)
+// after a restart.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+	// Def and Params identify the instance for OpAdd; replay
+	// re-instantiates it through the catalog, which is deterministic
+	// given (definition, params, database).
+	Def    string            `json:"def,omitempty"`
+	Params map[string]string `json:"params,omitempty"`
+	// ID addresses the instance for OpRemove and OpFeedback.
+	ID string `json:"id,omitempty"`
+	// Positive and Rate carry the OpFeedback signal. Rate is always the
+	// resolved rate (the engine's 0-means-0.2 defaulting happens before
+	// logging), so replay is exact.
+	Positive bool    `json:"positive,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+}
+
+// CorruptRecordError reports a complete WAL line that fails validation.
+// A torn tail is NOT corruption; this error means bytes in the middle
+// of the log are wrong, which no amount of waiting will fix.
+type CorruptRecordError struct {
+	// Path is the log file.
+	Path string
+	// Offset is the byte offset of the bad line.
+	Offset int64
+	// Reason describes the failure.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("cluster: corrupt wal record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is the append side of a mutation log. It implements
+// search.MutationLog, so installing it on a primary engine with
+// SetMutationLog is all it takes to start replicating: the engine calls
+// the Append hooks inside its own serializing locks, in apply order.
+// Appends from different engine locks (feedback under the instance
+// lock, compaction under the index lock) can still arrive concurrently,
+// so the WAL serializes internally.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64
+}
+
+// OpenWAL opens or creates the log at path for appending. An existing
+// log is scanned first: its records are validated, the last sequence
+// number is recovered, and a torn tail from an interrupted append is
+// truncated. Corruption anywhere else is an error — appending after a
+// hole would strand every follower.
+func OpenWAL(path string) (*WAL, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cluster: reading wal %s: %w", path, err)
+	}
+	recs, consumed, err := scanRecords(path, data, 0)
+	if err != nil {
+		return nil, err
+	}
+	var seq uint64
+	if len(recs) > 0 {
+		seq = recs[len(recs)-1].Seq
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening wal %s: %w", path, err)
+	}
+	if err := f.Truncate(consumed); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: truncating torn wal tail in %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: seeking wal %s: %w", path, err)
+	}
+	return &WAL{f: f, path: path, seq: seq}, nil
+}
+
+// LastSeq returns the sequence number of the last appended record (0
+// for an empty log). On a primary this is the position followers chase.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// AppendAdd implements search.MutationLog.
+func (w *WAL) AppendAdd(defName string, params map[string]string) error {
+	return w.append(Record{Op: OpAdd, Def: defName, Params: params})
+}
+
+// AppendRemove implements search.MutationLog.
+func (w *WAL) AppendRemove(id string) error {
+	return w.append(Record{Op: OpRemove, ID: id})
+}
+
+// AppendFeedback implements search.MutationLog.
+func (w *WAL) AppendFeedback(instanceID string, positive bool, rate float64) error {
+	return w.append(Record{Op: OpFeedback, ID: instanceID, Positive: positive, Rate: rate})
+}
+
+// AppendCompact implements search.MutationLog.
+func (w *WAL) AppendCompact() error {
+	return w.append(Record{Op: OpCompact})
+}
+
+// append stamps the next sequence number and writes one record as a
+// single Write call, so concurrent appends never interleave bytes.
+func (w *WAL) append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.Seq = w.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding wal record: %w", err)
+	}
+	line := make([]byte, 0, 8+1+len(payload)+1)
+	line = appendCRC(line, payload)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("cluster: appending wal record %d: %w", rec.Seq, err)
+	}
+	w.seq = rec.Seq
+	return nil
+}
+
+// appendCRC appends the 8-hex-digit Castagnoli CRC of payload.
+func appendCRC(dst, payload []byte) []byte {
+	var sum [4]byte
+	crc := crc32.Checksum(payload, crcTable)
+	sum[0] = byte(crc >> 24)
+	sum[1] = byte(crc >> 16)
+	sum[2] = byte(crc >> 8)
+	sum[3] = byte(crc)
+	return hex.AppendEncode(dst, sum[:])
+}
+
+// scanRecords parses every complete line of data (whose first byte sits
+// at baseOffset in the file) and returns the records plus the file
+// offset just past the last complete line. Trailing bytes without a
+// newline are a torn tail and are simply not consumed. Sequence numbers
+// must increase by exactly one between adjacent records — the writer
+// produces nothing else, so anything else is corruption.
+func scanRecords(path string, data []byte, baseOffset int64) ([]Record, int64, error) {
+	var recs []Record
+	offset := baseOffset
+	var prevSeq uint64
+	havePrev := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: not a record yet
+		}
+		line := data[:nl]
+		rec, err := parseLine(line)
+		if err != nil {
+			return nil, 0, &CorruptRecordError{Path: path, Offset: offset, Reason: err.Error()}
+		}
+		if havePrev && rec.Seq != prevSeq+1 {
+			return nil, 0, &CorruptRecordError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("sequence %d follows %d", rec.Seq, prevSeq)}
+		}
+		prevSeq, havePrev = rec.Seq, true
+		recs = append(recs, rec)
+		data = data[nl+1:]
+		offset += int64(nl) + 1
+	}
+	return recs, offset, nil
+}
+
+// parseLine validates and decodes one complete record line.
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("malformed line %.40q", line)
+	}
+	want, err := hex.DecodeString(string(line[:8]))
+	if err != nil {
+		return rec, fmt.Errorf("malformed checksum %.8q", line)
+	}
+	payload := line[9:]
+	crc := crc32.Checksum(payload, crcTable)
+	got := []byte{byte(crc >> 24), byte(crc >> 16), byte(crc >> 8), byte(crc)}
+	if !bytes.Equal(want, got) {
+		return rec, fmt.Errorf("checksum mismatch (stored %s, computed %x)", line[:8], got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("decoding record: %v", err)
+	}
+	if rec.Seq == 0 {
+		return rec, fmt.Errorf("record missing sequence number")
+	}
+	switch rec.Op {
+	case OpAdd, OpRemove, OpFeedback, OpCompact:
+	default:
+		return rec, fmt.Errorf("unknown op %q", rec.Op)
+	}
+	return rec, nil
+}
+
+// WALReader tails a mutation log. It remembers the byte offset past the
+// last complete record it returned, so repeated ReadAvailable calls
+// stream new records as the primary appends them; a torn tail is left
+// unconsumed for the next call. The reader opens the file per call —
+// tailing is poll-frequency work, not a hot path — which also means the
+// log may not exist yet (an idle primary): that reads as zero records.
+type WALReader struct {
+	path   string
+	offset int64
+}
+
+// NewWALReader returns a reader positioned at the start of the log.
+func NewWALReader(path string) *WALReader {
+	return &WALReader{path: path}
+}
+
+// Offset reports the reader's position: the byte offset just past the
+// last complete record returned so far.
+func (r *WALReader) Offset() int64 { return r.offset }
+
+// ReadAvailable returns every complete record appended since the last
+// call. It never blocks waiting for more; an empty slice means the
+// reader is caught up.
+func (r *WALReader) ReadAvailable() ([]Record, error) {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cluster: reading wal %s: %w", r.path, err)
+	}
+	if r.offset > int64(len(data)) {
+		return nil, &CorruptRecordError{Path: r.path, Offset: r.offset,
+			Reason: fmt.Sprintf("log shrank below reader offset (length %d)", len(data))}
+	}
+	recs, consumed, err := scanRecords(r.path, data[r.offset:], r.offset)
+	if err != nil {
+		return nil, err
+	}
+	r.offset = consumed
+	return recs, nil
+}

@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"qunits/internal/search"
+)
+
+// encodeLine builds one valid wire line for rec, without the newline.
+func encodeLine(t *testing.T, rec Record) []byte {
+	t.Helper()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := appendCRC(nil, payload)
+	line = append(line, ' ')
+	return append(line, payload...)
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTail: a final line without its newline is not a record
+// yet. The reader must return everything before it, hold its offset,
+// and pick the record up once the newline lands; a writer reopening the
+// log must truncate it and append cleanly after.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendAdd("movie-cast", map[string]string{"x": "star wars"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRemove("some-id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewWALReader(path)
+	recs, err := r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	cleanOffset := r.Offset()
+
+	// A torn append: a valid record missing only its newline.
+	torn := encodeLine(t, Record{Seq: 3, Op: OpFeedback, ID: "some-id", Positive: true, Rate: 0.2})
+	appendBytes(t, path, torn)
+	recs, err = r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("torn tail yielded %d records", len(recs))
+	}
+	if r.Offset() != cleanOffset {
+		t.Fatalf("reader consumed the torn tail: offset %d, want %d", r.Offset(), cleanOffset)
+	}
+
+	// The append completes: now it is a record.
+	appendBytes(t, path, []byte("\n"))
+	recs, err = r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 || recs[0].Op != OpFeedback {
+		t.Fatalf("completed tail read as %+v", recs)
+	}
+
+	// A torn append of garbage, then a writer restart: OpenWAL truncates
+	// the tail, recovers the sequence, and appends record 4 cleanly.
+	appendBytes(t, path, []byte("deadbeef {\"seq\":4,\"op\":"))
+	w, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LastSeq(); got != 3 {
+		t.Fatalf("recovered seq %d, want 3", got)
+	}
+	if err := w.AppendCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := NewWALReader(path).ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 || all[3].Seq != 4 || all[3].Op != OpCompact {
+		t.Fatalf("log after truncate+append: %+v", all)
+	}
+}
+
+// TestWALCorruption: a complete line with bad bytes is an error — for
+// the reader and for a writer reopening the log — never a silent skip.
+func TestWALCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRemove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRemove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01 // flip one bit mid-log
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *CorruptRecordError
+	if _, err := NewWALReader(path).ReadAvailable(); !errors.As(err, &corrupt) {
+		t.Fatalf("reader error %v, want *CorruptRecordError", err)
+	}
+	if _, err := OpenWAL(path); !errors.As(err, &corrupt) {
+		t.Fatalf("writer error %v, want *CorruptRecordError", err)
+	}
+}
+
+// TestFollowerGapDetection: a log that starts past the follower's
+// applied position (snapshot paired with the wrong/rotated log) must
+// fail loudly, not replay from the wrong point.
+func TestFollowerGapDetection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendRemove(fmt.Sprintf("id-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the first record: the log now starts at seq 2.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.log")
+	rest := data[strings.IndexByte(string(data), '\n')+1:]
+	if err := os.WriteFile(cut, rest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u := testUniverse(t)
+	fol := NewFollower(newReplicaEngine(t, u), NewWALReader(cut), 0)
+	if _, err := fol.CatchUp(); err == nil || !strings.Contains(err.Error(), "wal gap") {
+		t.Fatalf("catch-up error %v, want a wal gap", err)
+	}
+}
+
+// TestFollowerIdempotentRestart is the duplicate-delivery test: a
+// follower that restarts with a reader rewound to the start of the log
+// (but its applied position intact) must skip every already-applied
+// record. Feedback is a multiplicative update, so any double-apply
+// would shift scores and break the parity check.
+func TestFollowerIdempotentRestart(t *testing.T) {
+	u := testUniverse(t)
+	primary := newReplicaEngine(t, u)
+	replica := newReplicaEngine(t, u)
+	queries := workloadQueries(t, u, 15)
+
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetMutationLog(w)
+
+	// A workload with every op: add, feedback (twice on the same
+	// instance), remove, compact.
+	added, err := primary.AddAnchorInstance("movie-cast", "zz wal movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := primary.Search(context.Background(), search.Request{Query: queries[0], K: 1})
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("no feedback target: %v", err)
+	}
+	target := resp.Results[0].Instance.ID()
+	if _, err := primary.ApplyFeedback(target, true, search.Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.ApplyFeedback(target, true, search.Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.RemoveInstance(added.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	fol := NewFollower(replica, NewWALReader(path), 0)
+	n, err := fol.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("applied %d records, want 5", n)
+	}
+	assertEngineParity(t, primary, replica, queries)
+
+	// Restart: same engine, fresh reader at offset 0, applied position
+	// carried over. Every record is redelivered; none may re-apply.
+	restarted := NewFollower(replica, NewWALReader(path), fol.AppliedSeq())
+	if n, err := restarted.CatchUp(); err != nil || n != 0 {
+		t.Fatalf("restart applied %d records (err %v), want 0", n, err)
+	}
+	assertEngineParity(t, primary, replica, queries)
+
+	// The restarted follower still tracks new mutations.
+	if _, err := primary.ApplyFeedback(target, false, search.Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := restarted.CatchUp(); err != nil || n != 1 {
+		t.Fatalf("post-restart applied %d records (err %v), want 1", n, err)
+	}
+	assertEngineParity(t, primary, replica, queries)
+}
+
+// TestFollowerBootstrapRoundTrip: SaveBootstrap captures engine state
+// and log position atomically; a follower restored from it resumes the
+// log at exactly the first record the snapshot lacks.
+func TestFollowerBootstrapRoundTrip(t *testing.T) {
+	u := testUniverse(t)
+	primary := newReplicaEngine(t, u)
+	queries := workloadQueries(t, u, 10)
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetMutationLog(w)
+	resp, err := primary.Search(context.Background(), search.Request{Query: queries[0], K: 1})
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("no feedback target: %v", err)
+	}
+	target := resp.Results[0].Instance.ID()
+	if _, err := primary.ApplyFeedback(target, true, search.Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint the primary itself: snapshot at seq 1.
+	snap := filepath.Join(dir, "boot.qsnp")
+	if err := SaveBootstrap(snap, primary, w.LastSeq); err != nil {
+		t.Fatal(err)
+	}
+
+	// More mutations after the checkpoint.
+	if _, err := primary.ApplyFeedback(target, true, search.Feedback{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, applied, err := LoadBootstrap(snap, u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("bootstrap position %d, want 1", applied)
+	}
+	fol := NewFollower(replica, NewWALReader(walPath), applied)
+	// The reader starts at byte 0 and redelivers record 1; only records
+	// 2 and 3 may apply on top of the snapshot.
+	if n, err := fol.CatchUp(); err != nil || n != 2 {
+		t.Fatalf("applied %d records (err %v), want 2", n, err)
+	}
+	assertEngineParity(t, primary, replica, queries)
+}
+
+// TestFollowerReplayOrderingWithConcurrentCompaction races instance
+// churn, feedback, and explicit compaction passes on a logged primary,
+// then replays the log serially into a replica. The WAL appends inside
+// the engine's own serializing locks, so whatever interleaving the race
+// produced, the log order IS the apply order — the replica must land on
+// the primary's exact state, physical index layout included.
+func TestFollowerReplayOrderingWithConcurrentCompaction(t *testing.T) {
+	u := testUniverse(t)
+	primary := newReplicaEngine(t, u)
+	replica := newReplicaEngine(t, u)
+	queries := workloadQueries(t, u, 15)
+
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetMutationLog(w)
+	resp, err := primary.Search(context.Background(), search.Request{Query: queries[0], K: 1})
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("no feedback target: %v", err)
+	}
+	target := resp.Results[0].Instance.ID()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // churn: adds, half removed again → tombstones
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			inst, err := primary.AddAnchorInstance("movie-cast", fmt.Sprintf("zz churn movie %d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if err := primary.RemoveInstance(inst.ID()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // feedback stream
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := primary.ApplyFeedback(target, i%3 != 0, search.Feedback{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // compaction passes racing both
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := primary.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	fol := NewFollower(replica, NewWALReader(path), 0)
+	n, err := fol.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20 + 10 + 15 + 5; n != want {
+		t.Fatalf("applied %d records, want %d", n, want)
+	}
+	if fol.AppliedSeq() != w.LastSeq() {
+		t.Fatalf("follower at %d, primary log at %d", fol.AppliedSeq(), w.LastSeq())
+	}
+	// Same physical occupancy, not just the same search results: replay
+	// order must reproduce the primary's slot/tombstone layout.
+	if p, r := primary.IndexStats(), replica.IndexStats(); p != r {
+		t.Fatalf("index stats diverge: primary %+v, replica %+v", p, r)
+	}
+	assertEngineParity(t, primary, replica, queries)
+}

@@ -1,0 +1,304 @@
+// Package cluster turns the single-process qunit engine into a small
+// distributed system: N partition servers each score a disjoint subset
+// of the index shards, a coordinator scatter-gathers their pages, and
+// followers converge on the primary's exact engine state by replaying
+// its mutation WAL from a snapshot.
+//
+// # Why partitions are replicas
+//
+// BM25-family scores depend on collection-wide statistics (document
+// count, document frequencies, average length). Splitting the corpus
+// across servers would give each node local statistics and change every
+// score. Instead, every partition node holds the FULL engine — built
+// from the same snapshot and kept identical via the WAL — and scores
+// only the shards s with s % Count == Index (ir.ShardSet). Per-document
+// scores are then bitwise identical to a single node's; the subsets are
+// disjoint and cover the index, so per-partition candidate counts sum
+// to the exact Total and the global top k is contained in the union of
+// per-partition top k's. The coordinator's k-way merge under the
+// engine's (score desc, ID asc) order therefore reproduces single-node
+// responses byte for byte — the property the parity harness in
+// internal/server enforces on the wire.
+//
+// # The partition RPC
+//
+// Partitions speak a small versioned HTTP/JSON protocol under
+// /v1/partition/* (served by internal/server in partition mode):
+//
+//	POST /v1/partition/search  PageRequest  -> PageReply
+//	POST /v1/partition/batch   BatchRequest -> BatchReply
+//	GET  /v1/partition/stats                -> PartitionStats
+//
+// Errors reuse the public /v1 envelope {"error":{code,message}} with
+// the same stable codes. Every request carries ProtoVersion; a
+// partition rejects versions it does not speak, so mixed deployments
+// fail loudly instead of merging subtly different pages.
+package cluster
+
+import (
+	"fmt"
+
+	"qunits/internal/search"
+)
+
+// ProtoVersion is the partition RPC protocol version this package
+// speaks. Any incompatible change to the request/reply shapes or to the
+// merge contract bumps it.
+const ProtoVersion = 1
+
+// snippetLen mirrors the /v1 snippet truncation; ResultToWire is the
+// single conversion point (internal/server delegates to it), so the
+// two surfaces cannot drift.
+const snippetLen = 200
+
+// Result is one ranked instance on the partition wire — field-for-field
+// the /v1 result shape, so converting between the two is lossless and
+// the coordinator can merge partition pages straight into /v1 replies.
+type Result struct {
+	ID           string  `json:"id"`
+	Label        string  `json:"label"`
+	Definition   string  `json:"definition"`
+	Score        float64 `json:"score"`
+	IRScore      float64 `json:"ir_score"`
+	TypeAffinity float64 `json:"type_affinity"`
+	Snippet      string  `json:"snippet,omitempty"`
+	Utility      float64 `json:"utility"`
+	TypeFactor   float64 `json:"type_factor"`
+	UtilityBlend float64 `json:"utility_blend"`
+	AnchorBoost  float64 `json:"anchor_boost"`
+}
+
+// Segment, Affinity, and Explain mirror the /v1 explain payload.
+type Segment struct {
+	Text  string `json:"text"`
+	Kind  string `json:"kind"`
+	Type  string `json:"type,omitempty"`
+	Table string `json:"table,omitempty"`
+}
+
+// Affinity is one definition's type-identification score.
+type Affinity struct {
+	Definition string  `json:"definition"`
+	Affinity   float64 `json:"affinity"`
+}
+
+// Explain is the query-level diagnostic payload on the partition wire.
+type Explain struct {
+	Template   string     `json:"template"`
+	Segments   []Segment  `json:"segments"`
+	Affinities []Affinity `json:"affinities"`
+}
+
+// Filter mirrors search.Filter on the wire.
+type Filter struct {
+	Definitions []string `json:"definitions,omitempty"`
+	AnchorTypes []string `json:"anchor_types,omitempty"`
+}
+
+// Selector names the shard subset a partition scores.
+type Selector struct {
+	// Index in [0, Count).
+	Index int `json:"index"`
+	// Count is the partition count of the deployment.
+	Count int `json:"count"`
+}
+
+// PageRequest is the POST /v1/partition/search body: one search scored
+// against the partition's shard subset. The coordinator sends Offset 0
+// and K = client offset + client k (the per-partition prefix that
+// provably contains the global page); Offset and K are still honored
+// generally. K and Offset are NOT re-clamped partition-side — this is
+// an internal API and the coordinator has already applied the public
+// defaulting and limits.
+type PageRequest struct {
+	// Proto is the sender's ProtoVersion; mismatches are rejected.
+	Proto int `json:"proto"`
+	// Partition is the shard subset to score.
+	Partition Selector `json:"partition"`
+	Query     string   `json:"query"`
+	K         int      `json:"k,omitempty"`
+	Offset    int      `json:"offset,omitempty"`
+	Filter    *Filter  `json:"filter,omitempty"`
+	Explain   bool     `json:"explain,omitempty"`
+}
+
+// PageReply is the /v1/partition/search success body.
+type PageReply struct {
+	// Total is the exact candidate count within the shard subset.
+	Total int `json:"total"`
+	// Results is the subset's ranked page, (score desc, ID asc).
+	Results []Result `json:"results"`
+	// Explain is present when the request asked for it.
+	Explain *Explain `json:"explain,omitempty"`
+}
+
+// BatchRequest is the POST /v1/partition/batch body: every item of one
+// public batch, scored against one shard subset in a single engine
+// pass (mirroring the public batch's one-lock guarantee per partition).
+type BatchRequest struct {
+	Proto     int        `json:"proto"`
+	Partition Selector   `json:"partition"`
+	Items     []PageItem `json:"items"`
+}
+
+// PageItem is one batched search (PageRequest minus proto/partition).
+type PageItem struct {
+	Query   string  `json:"query"`
+	K       int     `json:"k,omitempty"`
+	Offset  int     `json:"offset,omitempty"`
+	Filter  *Filter `json:"filter,omitempty"`
+	Explain bool    `json:"explain,omitempty"`
+}
+
+// BatchReply is the /v1/partition/batch success body; items align
+// positionally with the request.
+type BatchReply struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem carries exactly one of a reply or an error.
+type BatchItem struct {
+	Reply *PageReply `json:"reply,omitempty"`
+	Error *WireError `json:"error,omitempty"`
+}
+
+// WireError is the {code,message} pair of the /v1 error envelope.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// PartitionStats is the GET /v1/partition/stats reply — the per-node
+// health and progress the coordinator aggregates into GET /v1/cluster.
+type PartitionStats struct {
+	Proto int `json:"proto"`
+	// Index and Count are the node's shard-subset selector.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Instances, Slots, and Tombstones are the node's engine occupancy.
+	Instances  int `json:"instances"`
+	Slots      int `json:"slots"`
+	Tombstones int `json:"tombstones"`
+	// WALSeq is the node's mutation-log position: last appended record
+	// on a primary, last applied record on a follower. The coordinator
+	// derives per-partition lag as max(WALSeq) - WALSeq.
+	WALSeq uint64 `json:"wal_seq"`
+	// AcceptsMutations is true on the primary (mutations flow through
+	// its WAL) and false on followers.
+	AcceptsMutations bool `json:"accepts_mutations"`
+}
+
+// RemoteError is an error a partition returned over the RPC. Error()
+// is the partition's message VERBATIM — no "partition 2:" prefix —
+// because the coordinator surfaces it on the public /v1 wire, where it
+// must match the message a single-node engine would have produced byte
+// for byte. Code and Status carry the envelope's stable code and the
+// HTTP status for the server layer to map back.
+type RemoteError struct {
+	// Code is the stable /v1 error code from the envelope.
+	Code string
+	// Status is the HTTP status of the RPC response (0 when the error
+	// came from a batch item, which carries no status).
+	Status int
+	// Message is the partition's error message.
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Message }
+
+// UnavailableError reports a partition that could not be reached or
+// answered outside the protocol (transport failure, bad proto, non-JSON
+// body). A scatter-gather cannot serve a correct page with a subset
+// missing, so the whole request fails with it.
+type UnavailableError struct {
+	// Partition is the unreachable partition's index.
+	Partition int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("cluster: partition %d unavailable: %v", e.Partition, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// ResultToWire converts one engine result to its wire form. This is THE
+// conversion point for every surface (partition RPC, coordinator
+// replies, and the public /v1 results built by internal/server), so a
+// partitioned deployment cannot drift from single-node responses in
+// snippet truncation or field choice.
+func ResultToWire(r search.Result) Result {
+	return Result{
+		ID:           r.Instance.ID(),
+		Label:        r.Instance.Label(),
+		Definition:   r.Instance.Def.Name,
+		Score:        r.Score,
+		IRScore:      r.IRScore,
+		TypeAffinity: r.TypeAffinity,
+		Snippet:      truncateRunes(r.Instance.Rendered.Text, snippetLen),
+		Utility:      r.Utility,
+		TypeFactor:   r.TypeFactor,
+		UtilityBlend: r.UtilityBlend,
+		AnchorBoost:  r.AnchorBoost,
+	}
+}
+
+// ResultsToWire converts a result slice (never nil: the wire shape is
+// an empty array).
+func ResultsToWire(rs []search.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = ResultToWire(r)
+	}
+	return out
+}
+
+// ExplainToWire converts the engine explain payload (nil passes
+// through).
+func ExplainToWire(ex *search.Explain) *Explain {
+	if ex == nil {
+		return nil
+	}
+	out := &Explain{Template: ex.Template}
+	for _, seg := range ex.Segments {
+		out.Segments = append(out.Segments, Segment(seg))
+	}
+	for _, a := range ex.Affinities {
+		out.Affinities = append(out.Affinities, Affinity(a))
+	}
+	return out
+}
+
+// RequestToItem converts an engine request to its batch-item wire form.
+func RequestToItem(req search.Request) PageItem {
+	item := PageItem{Query: req.Query, K: req.K, Offset: req.Offset, Explain: req.Explain}
+	if !req.Filter.IsZero() {
+		item.Filter = &Filter{Definitions: req.Filter.Definitions, AnchorTypes: req.Filter.AnchorTypes}
+	}
+	return item
+}
+
+// ItemToRequest converts a wire item back to the engine form.
+func ItemToRequest(item PageItem) search.Request {
+	req := search.Request{Query: item.Query, K: item.K, Offset: item.Offset, Explain: item.Explain}
+	if item.Filter != nil {
+		req.Filter = search.Filter{Definitions: item.Filter.Definitions, AnchorTypes: item.Filter.AnchorTypes}
+	}
+	return req
+}
+
+// truncateRunes cuts s to at most max bytes without splitting a rune —
+// the exact snippet rule of the public wire.
+func truncateRunes(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	for max > 0 && s[max]&0xC0 == 0x80 {
+		max--
+	}
+	return s[:max]
+}

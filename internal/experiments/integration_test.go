@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"qunits/internal/derive"
@@ -36,7 +37,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// 5. A query through the full pipeline.
-	results := engine.SearchTopK("star wars cast", 1)
+	results := searchTopK(engine, "star wars cast", 1)
 	if len(results) == 0 {
 		t.Fatal("no results end to end")
 	}
@@ -86,4 +87,14 @@ func TestFigure3ShapeStableAcrossSeeds(t *testing.T) {
 			t.Errorf("seed 7: %s (%.3f) >= worst qunit (%.3f)", base, r.Score(base), worstQunit)
 		}
 	}
+}
+
+// searchTopK is the test-local replacement for the deleted SearchTopK
+// shim: a positional top-k call that flattens errors to no results.
+func searchTopK(e *search.Engine, query string, k int) []search.Result {
+	resp, err := e.Search(context.Background(), search.Request{Query: query, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
 }

@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"qunits/internal/banks"
@@ -130,10 +131,10 @@ func (s *QunitSystem) Name() string { return s.Label }
 
 // Answer implements System.
 func (s *QunitSystem) Answer(query string) (eval.SystemResult, bool) {
-	res := s.Engine.SearchTopK(query, 1)
-	if len(res) == 0 {
+	resp, err := s.Engine.Search(context.Background(), search.Request{Query: query, K: 1})
+	if err != nil || len(resp.Results) == 0 {
 		return eval.SystemResult{}, false
 	}
-	inst := res[0].Instance
+	inst := resp.Results[0].Instance
 	return eval.SystemResult{Text: inst.Rendered.Text, Tuples: inst.Tuples}, true
 }

@@ -264,8 +264,20 @@ func (s *ShardedIndex) VocabularySize() int { return len(s.shared.df) }
 // over the compressed posting lists; the per-shard result is identical
 // to exhaustive scoring, so the merged ranking is too.
 func (s *ShardedIndex) Search(scorer Scorer, query string, k int) []Hit {
+	return s.SearchSet(scorer, query, k, ShardSet{})
+}
+
+// SearchSet is Search restricted to the shards the set selects: only
+// those shards are scored and merged, so the result is the ranking over
+// their documents alone — with scores identical to the full search,
+// because collection statistics are shared across all shards. The zero
+// set scores everything (== Search).
+func (s *ShardedIndex) SearchSet(scorer Scorer, query string, k int, set ShardSet) []Hit {
 	terms := Tokenize(query)
 	if len(s.shards) == 1 {
+		if !set.Contains(0) {
+			return nil
+		}
 		// One shard means no parallelism to exploit: score inline and
 		// skip the goroutine and merge machinery — this is exactly the
 		// sequential path.
@@ -274,6 +286,9 @@ func (s *ShardedIndex) Search(scorer Scorer, query string, k int) []Hit {
 	perShard := make([][]Hit, len(s.shards))
 	var wg sync.WaitGroup
 	for i := range s.shards {
+		if !set.Contains(i) {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -325,6 +340,14 @@ func (s *ShardedIndex) shardHits(i int, scorer Scorer, terms []string, k int) []
 // ok is false when the scorer cannot build a pruning plan (caller falls
 // back to exhaustive scoring); k must be positive.
 func (s *ShardedIndex) SearchBoosted(scorer Scorer, query string, k int, booster Booster, ceil float64) ([]FinalHit, bool) {
+	return s.SearchBoostedSet(scorer, query, k, booster, ceil, ShardSet{})
+}
+
+// SearchBoostedSet is SearchBoosted restricted to the shards the set
+// selects. Per-document final scores are identical to the full call
+// (shared statistics again), so a coordinator merging per-subset pages
+// under the same order reconstructs the full page exactly.
+func (s *ShardedIndex) SearchBoostedSet(scorer Scorer, query string, k int, booster Booster, ceil float64, set ShardSet) ([]FinalHit, bool) {
 	ps, prunable := scorer.(prunedScorer)
 	if !prunable || k <= 0 {
 		return nil, false
@@ -345,11 +368,17 @@ func (s *ShardedIndex) SearchBoosted(scorer Scorer, query string, k int, booster
 		}
 		perShard[i] = hits
 	}
-	if len(s.shards) == 1 {
-		run(0)
+	var selected []int
+	for i := range s.shards {
+		if set.Contains(i) {
+			selected = append(selected, i)
+		}
+	}
+	if len(selected) == 1 {
+		run(selected[0])
 	} else {
 		var wg sync.WaitGroup
-		for i := range s.shards {
+		for _, i := range selected {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -406,6 +435,14 @@ func mergeFinalHits(lists [][]FinalHit, k int) []FinalHit {
 // build a pruning plan on some shard; callers then fall back to
 // exhaustive scoring.
 func (s *ShardedIndex) ScoreNamed(scorer Scorer, terms []string, names []string) (map[string]float64, bool) {
+	return s.ScoreNamedSet(scorer, terms, names, ShardSet{})
+}
+
+// ScoreNamedSet is ScoreNamed restricted to the shards the set selects:
+// named documents living on excluded shards are simply absent from the
+// result map, exactly as if they contained no query term. Scores for
+// the documents that are scored are identical to the full call.
+func (s *ShardedIndex) ScoreNamedSet(scorer Scorer, terms []string, names []string, set ShardSet) (map[string]float64, bool) {
 	ps, prunable := scorer.(prunedScorer)
 	if !prunable {
 		return nil, false
@@ -417,6 +454,9 @@ func (s *ShardedIndex) ScoreNamed(scorer Scorer, terms []string, names []string)
 			continue
 		}
 		sh := s.shardOf[id]
+		if !set.Contains(int(sh)) {
+			continue
+		}
 		perShard[sh] = append(perShard[sh], int(s.localOf[id]))
 	}
 	out := make(map[string]float64, len(names))
@@ -450,12 +490,22 @@ func (s *ShardedIndex) ScoreNamed(scorer Scorer, terms []string, names []string)
 // ids only (no score math, no ranking), so callers can report exact
 // totals next to pruned top-k pages.
 func (s *ShardedIndex) CountCandidates(terms []string, allow func(name string) bool) int {
+	return s.CountCandidatesSet(terms, allow, ShardSet{})
+}
+
+// CountCandidatesSet is CountCandidates restricted to the shards the
+// set selects. Subsets of one Count-way division are disjoint and cover
+// the index, so the per-subset counts sum to the global count.
+func (s *ShardedIndex) CountCandidatesSet(terms []string, allow func(name string) bool, set ShardSet) int {
 	distinct := make(map[string]bool, len(terms))
 	for _, t := range terms {
 		distinct[t] = true
 	}
 	n := 0
-	for _, shard := range s.shards {
+	for si, shard := range s.shards {
+		if !set.Contains(si) {
+			continue
+		}
 		var seen []bool
 		for t := range distinct {
 			pl := shard.postings[t]

@@ -1,0 +1,43 @@
+package ir
+
+import "fmt"
+
+// ShardSet selects the subset of index shards a scoring call visits: of
+// a Count-way division, the shards s with s % Count == Index. The zero
+// value selects every shard — all full-index entry points delegate to
+// their *Set variant with it.
+//
+// The selector is how a distributed deployment splits scoring work
+// without splitting the corpus: every partition node holds the full
+// index (so shared collection statistics — and therefore per-document
+// scores — are bitwise identical everywhere), but each scores only its
+// shard subset. Subsets are disjoint and cover the index, so per-subset
+// candidate counts sum to the global count and the global top k is
+// contained in the union of per-subset top k's — a coordinator's k-way
+// merge reproduces single-node rankings exactly.
+type ShardSet struct {
+	// Index in [0, Count) identifies this subset.
+	Index int
+	// Count is the number of subsets; <= 0 means "all shards".
+	Count int
+}
+
+// All reports whether the set selects every shard.
+func (s ShardSet) All() bool { return s.Count <= 0 }
+
+// Contains reports whether the set selects shard i.
+func (s ShardSet) Contains(i int) bool {
+	return s.Count <= 0 || i%s.Count == s.Index
+}
+
+// Validate rejects selectors whose Index falls outside [0, Count); the
+// zero (all-shards) value is valid.
+func (s ShardSet) Validate() error {
+	if s.Count <= 0 {
+		return nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("ir: shard set index %d out of range [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}

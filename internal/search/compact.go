@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -74,6 +75,18 @@ func (e *Engine) Compact() (CompactionResult, error) {
 	compacted, st, err := old.Compacted()
 	if err != nil {
 		return CompactionResult{}, err
+	}
+	// Compaction is a logged mutation: it re-assigns documents to shards
+	// (live docs are re-added onto dense ids), which shard-subset scoring
+	// observes even though full-index searches cannot. Replicas must
+	// therefore compact at the same log position; appending under
+	// indexMu serializes the record against add/remove records exactly
+	// as the passes themselves are serialized. (Utilities are untouched,
+	// so ordering against feedback records is immaterial.)
+	if e.mlog != nil {
+		if err := e.mlog.AppendCompact(); err != nil {
+			return CompactionResult{}, fmt.Errorf("search: logging compaction: %w", err)
+		}
 	}
 	e.mu.Lock()
 	e.index = compacted

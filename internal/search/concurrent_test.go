@@ -46,8 +46,8 @@ func TestParallelBuildShardedSearchParity(t *testing.T) {
 	}
 	for _, q := range concurrencyQueries {
 		for _, k := range []int{1, 5, 50, 0} {
-			want := sequential.SearchTopK(q, k)
-			got := parallel.SearchTopK(q, k)
+			want := searchTopK(sequential, q, k)
+			got := searchTopK(parallel, q, k)
 			if len(got) != len(want) {
 				t.Fatalf("q=%q k=%d: %d results, want %d", q, k, len(got), len(want))
 			}
@@ -71,7 +71,7 @@ func TestParallelBuildShardedSearchParity(t *testing.T) {
 // -race to flag unsynchronized access.
 func TestConcurrentSearchAndFeedback(t *testing.T) {
 	e := engineWith(t, 4, 4)
-	seed := e.SearchTopK("star wars cast", 1)
+	seed := searchTopK(e, "star wars cast", 1)
 	if len(seed) == 0 {
 		t.Fatal("no seed result")
 	}
@@ -83,7 +83,7 @@ func TestConcurrentSearchAndFeedback(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				q := concurrencyQueries[(g+i)%len(concurrencyQueries)]
-				if res := e.SearchTopK(q, 5); len(res) > 0 && res[0].Score < 0 {
+				if res := searchTopK(e, q, 5); len(res) > 0 && res[0].Score < 0 {
 					t.Error("negative score")
 				}
 				if i%5 == 0 {
@@ -123,8 +123,8 @@ func TestBuildWorkerCountsAgree(t *testing.T) {
 		if e.InstanceCount() != base.InstanceCount() {
 			t.Fatalf("workers=%d: %d instances, want %d", workers, e.InstanceCount(), base.InstanceCount())
 		}
-		res := e.SearchTopK("star wars cast", 3)
-		baseRes := base.SearchTopK("star wars cast", 3)
+		res := searchTopK(e, "star wars cast", 3)
+		baseRes := searchTopK(base, "star wars cast", 3)
 		for i := range baseRes {
 			if res[i].Instance.ID() != baseRes[i].Instance.ID() || res[i].Score != baseRes[i].Score {
 				t.Fatalf("workers=%d result %d: (%s, %v), want (%s, %v)",

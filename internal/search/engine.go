@@ -115,6 +115,9 @@ type Engine struct {
 	byLabel   map[string]map[string]*core.Instance // label -> id -> instance
 	opts      Options
 	defTables map[string]map[string]bool // definition -> tables it covers
+	// mlog, when installed, receives one record per mutation, appended
+	// under the lock serializing that mutation (see partition.go).
+	mlog MutationLog
 
 	// indexMu serializes the index-structure writers (AddInstance,
 	// RemoveInstance, Compact) against each other; see compact.go for
@@ -353,13 +356,15 @@ func (e *Engine) Search(ctx context.Context, req Request) (*Response, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.searchLocked(ctx, req)
+	return e.searchLocked(ctx, req, ir.ShardSet{})
 }
 
 // searchLocked is the body of Search; callers hold the read lock and
 // have validated the request. BatchSearch reuses it so a whole batch
-// runs under one lock acquisition.
-func (e *Engine) searchLocked(ctx context.Context, req Request) (*Response, error) {
+// runs under one lock acquisition; PartitionSearch passes a non-zero
+// shard set to score only its subset of the index (the zero set scores
+// everything).
+func (e *Engine) searchLocked(ctx context.Context, req Request, set ir.ShardSet) (*Response, error) {
 	allowed, err := e.filterSet(req.Filter)
 	if err != nil {
 		return nil, err
@@ -383,10 +388,10 @@ func (e *Engine) searchLocked(ctx context.Context, req Request) (*Response, erro
 	var total int
 	pruned := false
 	if e.canPrune(req) {
-		results, total, pruned = e.prunedPage(req, allowed, affinity, anchors)
+		results, total, pruned = e.prunedPage(req, set, allowed, affinity, anchors)
 	}
 	if !pruned {
-		hits := e.index.Search(e.retrievalScorer(), req.Query, 0)
+		hits := e.index.SearchSet(e.retrievalScorer(), req.Query, 0, set)
 		results = e.collectResults(hits, nil, allowed, affinity, anchors)
 		sortResults(results)
 		total = len(results)
@@ -498,7 +503,7 @@ func (e *Engine) collectResults(hits []ir.Hit, exclude map[string]bool, allowed 
 // per-result multipliers, so the float comparison is exact — strictly
 // beating the ceiling guarantees the page matches the exhaustive path
 // bit for bit, tie-breaks included; a tie deepens instead of stopping.
-func (e *Engine) prunedPage(req Request, allowed map[string]bool, affinity map[string]float64, anchors map[string]bool) ([]Result, int, bool) {
+func (e *Engine) prunedPage(req Request, set ir.ShardSet, allowed map[string]bool, affinity map[string]float64, anchors map[string]bool) ([]Result, int, bool) {
 	scorer := e.opts.Scorer
 	terms := ir.Tokenize(req.Query)
 	// With no filter every candidate counts: every index document has an
@@ -511,7 +516,7 @@ func (e *Engine) prunedPage(req Request, allowed map[string]bool, affinity map[s
 			return inst != nil && allowed[inst.Def.Name]
 		}
 	}
-	total := e.index.CountCandidates(terms, allow)
+	total := e.index.CountCandidatesSet(terms, allow, set)
 
 	// Exact scoring of the anchor-labeled instances.
 	var exclude map[string]bool
@@ -530,7 +535,11 @@ func (e *Engine) prunedPage(req Request, allowed map[string]bool, affinity map[s
 				names[i] = inst.ID()
 				exclude[names[i]] = true
 			}
-			scores, ok := e.index.ScoreNamed(scorer, terms, names)
+			// With a shard subset, anchor instances living on excluded
+			// shards are absent from the score map and drop out below —
+			// their exclude entries are harmless (those names never
+			// surface from subset retrieval anyway).
+			scores, ok := e.index.ScoreNamedSet(scorer, terms, names, set)
 			if !ok {
 				return nil, 0, false
 			}
@@ -563,7 +572,7 @@ func (e *Engine) prunedPage(req Request, allowed map[string]bool, affinity map[s
 	typeHi := 1 + e.opts.TypeBoost*maxAff
 	blendHi := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*e.maxUtility
 	booster := &pageBooster{e: e, allowed: allowed, exclude: exclude, affinity: affinity}
-	hits, ok := e.index.SearchBoosted(scorer, req.Query, target, booster, typeHi*blendHi)
+	hits, ok := e.index.SearchBoostedSet(scorer, req.Query, target, booster, typeHi*blendHi, set)
 	if !ok {
 		return nil, 0, false
 	}
@@ -661,6 +670,12 @@ type BatchResult struct {
 // once and share their result; distinct items are evaluated
 // concurrently. Results are positionally aligned with reqs.
 func (e *Engine) BatchSearch(ctx context.Context, reqs []Request) []BatchResult {
+	return e.batchSearchSet(ctx, reqs, ir.ShardSet{})
+}
+
+// batchSearchSet is the body of BatchSearch, parameterized by the shard
+// subset each item scores (see PartitionBatchSearch).
+func (e *Engine) batchSearchSet(ctx context.Context, reqs []Request, set ir.ShardSet) []BatchResult {
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out
@@ -689,7 +704,7 @@ func (e *Engine) BatchSearch(ctx context.Context, reqs []Request) []BatchResult 
 				out[i] = BatchResult{Err: err}
 				return
 			}
-			resp, err := e.searchLocked(ctx, reqs[i])
+			resp, err := e.searchLocked(ctx, reqs[i], set)
 			out[i] = BatchResult{Response: resp, Err: err}
 		}(i)
 	}
@@ -698,18 +713,6 @@ func (e *Engine) BatchSearch(ctx context.Context, reqs []Request) []BatchResult 
 		out[i] = out[share[i]]
 	}
 	return out
-}
-
-// SearchTopK answers a plain keyword query with the top-k instances.
-//
-// Deprecated: this is the pre-Request positional call surface, kept as
-// a thin shim. New code should build a Request and call Search.
-func (e *Engine) SearchTopK(query string, k int) []Result {
-	resp, err := e.Search(context.Background(), Request{Query: query, K: k})
-	if err != nil {
-		return nil
-	}
-	return resp.Results
 }
 
 // filterSet resolves a Filter to the set of definition names it allows;

@@ -37,7 +37,7 @@ func TestSearchPaperRunningExample(t *testing.T) {
 	_, e := expertEngine(t)
 	// Fig. 1: "star wars cast" must pick the cast qunit instance of the
 	// movie Star Wars.
-	res := e.SearchTopK("star wars cast", 5)
+	res := searchTopK(e, "star wars cast", 5)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -55,7 +55,7 @@ func TestSearchPaperRunningExample(t *testing.T) {
 
 func TestSearchSingleEntityGetsProfile(t *testing.T) {
 	_, e := expertEngine(t)
-	res := e.SearchTopK("george clooney", 5)
+	res := searchTopK(e, "george clooney", 5)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -84,7 +84,7 @@ func TestSearchEntityAttributeVariants(t *testing.T) {
 		{withTrivia + " trivia", "movie-trivia"},
 	}
 	for _, c := range cases {
-		res := e.SearchTopK(c.query, 3)
+		res := searchTopK(e, c.query, 3)
 		if len(res) == 0 {
 			t.Errorf("%q: no results", c.query)
 			continue
@@ -116,7 +116,7 @@ func TestSearchAnchorsCorrectEntity(t *testing.T) {
 		if _, ok := u.FindMovie(title); !ok {
 			continue
 		}
-		res := e.SearchTopK(title+" cast", 1)
+		res := searchTopK(e, title+" cast", 1)
 		if len(res) == 0 {
 			t.Errorf("%q cast: no results", title)
 			continue
@@ -129,8 +129,8 @@ func TestSearchAnchorsCorrectEntity(t *testing.T) {
 
 func TestSearchDeterministic(t *testing.T) {
 	_, e := expertEngine(t)
-	a := e.SearchTopK("tom hanks", 10)
-	b := e.SearchTopK("tom hanks", 10)
+	a := searchTopK(e, "tom hanks", 10)
+	b := searchTopK(e, "tom hanks", 10)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic count")
 	}
@@ -143,24 +143,24 @@ func TestSearchDeterministic(t *testing.T) {
 
 func TestSearchNoMatch(t *testing.T) {
 	_, e := expertEngine(t)
-	if res := e.SearchTopK("zzzz qqqq wwww", 5); len(res) != 0 {
+	if res := searchTopK(e, "zzzz qqqq wwww", 5); len(res) != 0 {
 		t.Errorf("nonsense query returned %d results", len(res))
 	}
-	if res := e.SearchTopK("", 5); len(res) != 0 {
+	if res := searchTopK(e, "", 5); len(res) != 0 {
 		t.Errorf("empty query returned %d results", len(res))
 	}
 }
 
 func TestSearchKRespected(t *testing.T) {
 	_, e := expertEngine(t)
-	if res := e.SearchTopK("the", 3); len(res) > 3 {
+	if res := searchTopK(e, "the", 3); len(res) > 3 {
 		t.Errorf("k=3 returned %d", len(res))
 	}
 }
 
 func TestSearchResultHasRenderedContent(t *testing.T) {
 	_, e := expertEngine(t)
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -186,7 +186,7 @@ func TestSearchWithTFIDF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 || res[0].Instance.Def.Name != "movie-cast" {
 		t.Errorf("TFIDF engine top = %v", resultIDs(res))
 	}

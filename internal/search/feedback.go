@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -33,11 +34,16 @@ func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (fl
 	defer e.mu.Unlock()
 	inst, ok := e.instances[instanceID]
 	if !ok {
-		return 0, fmt.Errorf("search: no instance %q", instanceID)
+		return 0, &InstanceNotFoundError{ID: instanceID}
 	}
 	rate := f.Rate
 	if rate == 0 {
 		rate = 0.2
+	}
+	if e.mlog != nil {
+		if err := e.mlog.AppendFeedback(instanceID, positive, rate); err != nil {
+			return 0, fmt.Errorf("search: logging feedback: %w", err)
+		}
 	}
 	def := inst.Def
 	if positive {
@@ -66,9 +72,13 @@ func (e *Engine) ApplyFeedback(instanceID string, positive bool, f Feedback) (fl
 // and negative feedback to results that ranked above the click but were
 // skipped (the classic "skip-above" interpretation).
 func (e *Engine) FeedbackSession(clicks map[string]string, f Feedback) error {
+	ctx := context.Background()
 	for query, clicked := range clicks {
-		results := e.SearchTopK(query, 10)
-		for _, r := range results {
+		resp, err := e.Search(ctx, Request{Query: query, K: 10})
+		if err != nil {
+			return err
+		}
+		for _, r := range resp.Results {
 			id := r.Instance.ID()
 			if id == clicked {
 				if _, err := e.ApplyFeedback(id, true, f); err != nil {

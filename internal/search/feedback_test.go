@@ -9,7 +9,7 @@ import (
 
 func TestApplyFeedbackMovesUtility(t *testing.T) {
 	_, e := expertEngine(t)
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -45,7 +45,7 @@ func TestApplyFeedbackUnknownInstance(t *testing.T) {
 
 func TestFeedbackBounded(t *testing.T) {
 	_, e := expertEngine(t)
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	id := res[0].Instance.ID()
 	for i := 0; i < 100; i++ {
 		u, err := e.ApplyFeedback(id, true, Feedback{Rate: 0.5})
@@ -80,7 +80,7 @@ func TestFeedbackChangesRanking(t *testing.T) {
 	}
 	// An ambiguous query where summary and cast both plausibly answer.
 	query := "star wars"
-	before := e.SearchTopK(query, 5)
+	before := searchTopK(e, query, 5)
 	if len(before) < 2 {
 		t.Skip("not enough results to reorder")
 	}
@@ -95,7 +95,7 @@ func TestFeedbackChangesRanking(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	after := e.SearchTopK(query, 5)
+	after := searchTopK(e, query, 5)
 	if after[0].Instance.ID() == first {
 		t.Errorf("ranking did not adapt: %s still first", first)
 	}
@@ -111,7 +111,7 @@ func TestFeedbackSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := e.SearchTopK("star wars cast", 2)
+	res := searchTopK(e, "star wars cast", 2)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -132,7 +132,7 @@ func TestUtilityEntropy(t *testing.T) {
 		t.Fatalf("entropy = %v", h)
 	}
 	// Concentrating utility on one definition lowers entropy.
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	winner := res[0].Instance.Def.Name
 	for i := 0; i < 30; i++ {
 		if _, err := e.ApplyFeedback(res[0].Instance.ID(), true, Feedback{Rate: 0.5}); err != nil {

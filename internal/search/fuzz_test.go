@@ -29,8 +29,8 @@ func TestSearchNeverPanics(t *testing.T) {
 			parts[j] = fragments[r.Intn(len(fragments))]
 		}
 		q := strings.Join(parts, " ")
-		a := e.SearchTopK(q, 5)
-		b := e.SearchTopK(q, 5)
+		a := searchTopK(e, q, 5)
+		b := searchTopK(e, q, 5)
 		if len(a) != len(b) {
 			t.Fatalf("nondeterministic for %q", q)
 		}
@@ -110,7 +110,7 @@ func TestPrunedEngineParityFuzz(t *testing.T) {
 			// Mirror a mutation on both engines every few steps.
 			switch r.Intn(6) {
 			case 0: // identical feedback signal on both engines
-				if res := pruned.SearchTopK("star wars cast", 3); len(res) > 0 {
+				if res := searchTopK(pruned, "star wars cast", 3); len(res) > 0 {
 					id := res[r.Intn(len(res))].Instance.ID()
 					positive := r.Intn(2) == 0
 					if _, err := pruned.ApplyFeedback(id, positive, Feedback{}); err != nil {

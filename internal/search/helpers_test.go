@@ -1,0 +1,14 @@
+package search
+
+import "context"
+
+// searchTopK is the test-local replacement for the deleted SearchTopK
+// shim: a plain positional top-k call that, like the shim, flattens
+// errors (empty query, etc.) to an empty result.
+func searchTopK(e *Engine, query string, k int) []Result {
+	resp, err := e.Search(context.Background(), Request{Query: query, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
+}

@@ -83,6 +83,14 @@ func (e *Engine) AddInstance(inst *core.Instance) error {
 	// one was not indexed yet and would stay stale forever otherwise
 	// (instance utilities always mirror their definition's).
 	inst.Utility = inst.Def.Utility
+	// Log before applying: validation is done and the apply below cannot
+	// fail, so an appended record always corresponds to a state change —
+	// and an append failure aborts with the engine untouched.
+	if e.mlog != nil {
+		if err := e.mlog.AppendAdd(inst.Def.Name, inst.Params); err != nil {
+			return fmt.Errorf("search: logging add: %w", err)
+		}
+	}
 	if _, err := e.index.AddAnalyzed(id, doc); err != nil {
 		return err
 	}
@@ -123,6 +131,11 @@ func (e *Engine) removeInstance(id string) error {
 	defer e.mu.Unlock()
 	if _, ok := e.instances[id]; !ok {
 		return &InstanceNotFoundError{ID: id}
+	}
+	if e.mlog != nil {
+		if err := e.mlog.AppendRemove(id); err != nil {
+			return fmt.Errorf("search: logging remove: %w", err)
+		}
 	}
 	if err := e.index.Remove(id); err != nil {
 		return err

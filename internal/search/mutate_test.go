@@ -18,7 +18,7 @@ func TestAddAnchorInstanceMakesSearchable(t *testing.T) {
 	if got := e.InstanceCount(); got != before+1 {
 		t.Fatalf("InstanceCount = %d, want %d", got, before+1)
 	}
-	res := e.SearchTopK("zz totally new release", 3)
+	res := searchTopK(e, "zz totally new release", 3)
 	if len(res) == 0 || res[0].Instance.ID() != inst.ID() {
 		t.Fatalf("added instance not top result for its label: %v", resultIDs(res))
 	}
@@ -41,7 +41,7 @@ func TestAddAnchorInstanceErrors(t *testing.T) {
 		t.Fatal("missing anchor did not error")
 	}
 	// An anchor that already has an instance collides on the instance ID.
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 {
 		t.Fatal("fixture query found nothing")
 	}
@@ -58,7 +58,7 @@ func TestAddAnchorInstanceErrors(t *testing.T) {
 
 func TestRemoveInstance(t *testing.T) {
 	_, e := expertEngine(t)
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 {
 		t.Fatal("fixture query found nothing")
 	}
@@ -70,7 +70,7 @@ func TestRemoveInstance(t *testing.T) {
 	if got := e.InstanceCount(); got != before-1 {
 		t.Fatalf("InstanceCount = %d, want %d", got, before-1)
 	}
-	for _, r := range e.SearchTopK("star wars cast", 20) {
+	for _, r := range searchTopK(e, "star wars cast", 20) {
 		if r.Instance.ID() == id {
 			t.Fatalf("removed instance %q still in results", id)
 		}
@@ -87,7 +87,7 @@ func TestRemoveInstance(t *testing.T) {
 	if _, err := e.AddAnchorInstance("movie-cast", res[0].Instance.Label()); err != nil {
 		t.Fatalf("re-add after remove: %v", err)
 	}
-	again := e.SearchTopK("star wars cast", 3)
+	again := searchTopK(e, "star wars cast", 3)
 	if len(again) == 0 || again[0].Instance.ID() != id {
 		t.Fatalf("re-added instance not retrievable: %v", resultIDs(again))
 	}
@@ -140,7 +140,7 @@ func TestConcurrentSearchAndMutation(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res := e.SearchTopK("star wars cast", 1)
+		res := searchTopK(e, "star wars cast", 1)
 		if len(res) == 0 {
 			return
 		}
@@ -162,7 +162,7 @@ func TestDumpRestoreRoundTrip(t *testing.T) {
 	u, e := expertEngine(t)
 	// Shift learned state and the instance set so the dump carries more
 	// than a fresh build would.
-	res := e.SearchTopK("star wars cast", 1)
+	res := searchTopK(e, "star wars cast", 1)
 	if len(res) == 0 {
 		t.Fatal("fixture query found nothing")
 	}

@@ -31,7 +31,7 @@ func TestAnchorBoostSelectsNamedEntity(t *testing.T) {
 	// effects can promote other instances. Either way, the boosted
 	// engine must rank the named entity first.
 	boosted := buildWith(t, Options{AnchorBoost: 5})
-	res := boosted.SearchTopK("george clooney", 3)
+	res := searchTopK(boosted, "george clooney", 3)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -45,7 +45,7 @@ func TestUtilityInfluenceReordersEqualContent(t *testing.T) {
 	// bare movie query the movie-summary def (utility 1.0) must beat
 	// lower-utility aspect defs anchored on the same movie.
 	heavy := buildWith(t, Options{UtilityInfluence: 0.9})
-	res := heavy.SearchTopK("star wars", 5)
+	res := searchTopK(heavy, "star wars", 5)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -65,7 +65,7 @@ func TestTypeBoostPrefersTypedDefinition(t *testing.T) {
 	if title == "" {
 		t.Skip("no movie with soundtrack at this seed")
 	}
-	res := e.SearchTopK(title+" soundtrack", 3)
+	res := searchTopK(e, title+" soundtrack", 3)
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"context"
+
+	"qunits/internal/ir"
+)
+
+// Partitioned scoring and the mutation log: the two engine-level hooks
+// the cluster layer (internal/cluster) is built on.
+//
+// A partition node holds the FULL engine — same catalog, same index,
+// same shared collection statistics — but scores only a subset of the
+// index shards (ir.ShardSet). Because BM25-family scores depend on
+// collection-wide statistics, splitting the corpus itself across nodes
+// would change every score; splitting only the scoring work keeps every
+// per-document score bitwise identical to a single node's, so a
+// coordinator can k-way-merge per-partition pages under the engine's
+// (score desc, ID asc) order and reproduce single-node responses
+// byte for byte. Disjoint subsets also make per-partition candidate
+// counts sum to the exact global Total.
+//
+// Keeping N full replicas identical is the mutation log's job: every
+// state change flows through exactly four engine methods (AddInstance,
+// RemoveInstance, ApplyFeedback, Compact), and each appends one record
+// to the installed MutationLog before applying, while holding the lock
+// that serializes it — so log order IS apply order, and a follower
+// replaying the log through the same four methods converges to the
+// primary's exact state. Compaction is logged too: it reassigns
+// documents to shards (ir.ShardedIndex.Compacted re-adds live docs onto
+// dense ids), which full-index searches never notice but shard-subset
+// scoring does, so all replicas must compact at the same log position.
+
+// MutationLog receives one record per engine mutation, invoked while
+// the engine holds the lock serializing that mutation (mu for
+// add/remove/feedback, indexMu for compact). An append error aborts the
+// mutation before any state changes, keeping log and engine consistent.
+// Implementations must be safe for concurrent use: feedback and compact
+// are serialized by different locks and can append concurrently.
+type MutationLog interface {
+	// AppendAdd records an AddInstance as (definition, params) — enough
+	// for a replica to re-instantiate the identical instance against the
+	// same database.
+	AppendAdd(defName string, params map[string]string) error
+	// AppendRemove records a RemoveInstance by instance ID.
+	AppendRemove(id string) error
+	// AppendFeedback records an ApplyFeedback with its resolved (post
+	// defaulting) learning rate.
+	AppendFeedback(instanceID string, positive bool, rate float64) error
+	// AppendCompact records a Compact pass.
+	AppendCompact() error
+}
+
+// SetMutationLog installs the engine's mutation log (nil uninstalls).
+// Install it before the engine serves mutations: records are appended
+// only from that point on, so the log pairs with a snapshot of the
+// engine taken at installation time (see DumpStateWith).
+func (e *Engine) SetMutationLog(log MutationLog) {
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mlog = log
+}
+
+// PartitionSearch is Search restricted to the index shards the set
+// selects: the full pipeline runs — segmentation, type affinity, anchor
+// identification, filtering, pruned or exhaustive retrieval — but only
+// subset documents are scored, counted, and returned. Scores are
+// bitwise identical to the full search's for every returned document.
+// The zero set is exactly Search.
+func (e *Engine) PartitionSearch(ctx context.Context, req Request, set ir.ShardSet) (*Response, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.searchLocked(ctx, req, set)
+}
+
+// PartitionBatchSearch is BatchSearch restricted to the shards the set
+// selects, with the same one-lock, deduplicated, concurrent semantics.
+func (e *Engine) PartitionBatchSearch(ctx context.Context, reqs []Request, set ir.ShardSet) ([]BatchResult, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return e.batchSearchSet(ctx, reqs, set), nil
+}

@@ -16,7 +16,7 @@ func TestSearchShimEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shim := e.SearchTopK("star wars cast", 5)
+	shim := searchTopK(e, "star wars cast", 5)
 	if !reflect.DeepEqual(resp.Results, shim) {
 		t.Fatalf("shim diverges from structured call:\n%v\nvs\n%v", resp.Results, shim)
 	}

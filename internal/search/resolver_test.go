@@ -36,7 +36,7 @@ func TestResolverAgreesWithEngineOnTypedQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		indexed := e.SearchTopK(q, 1)
+		indexed := searchTopK(e, q, 1)
 		if len(lazy) == 0 || len(indexed) == 0 {
 			t.Errorf("%q: lazy=%d indexed=%d results", q, len(lazy), len(indexed))
 			continue

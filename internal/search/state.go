@@ -88,6 +88,28 @@ type DocState struct {
 func (e *Engine) DumpState() (*EngineState, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.dumpStateLocked()
+}
+
+// DumpStateWith dumps the state with every mutation path quiesced —
+// indexMu AND the read lock held, so adds, removals, feedback, and
+// compaction are all excluded — and runs capture inside that critical
+// section. The cluster layer uses it to record the mutation-log
+// position atomically with the state: a concurrent Compact appends its
+// log record under indexMu without touching mu, so a read lock alone
+// could capture a sequence number from mid-compaction.
+func (e *Engine) DumpStateWith(capture func()) (*EngineState, error) {
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	capture()
+	return e.dumpStateLocked()
+}
+
+// dumpStateLocked is the body of DumpState; callers hold e.mu (read or
+// write).
+func (e *Engine) dumpStateLocked() (*EngineState, error) {
 	var cat bytes.Buffer
 	if err := e.cat.Encode(&cat); err != nil {
 		return nil, fmt.Errorf("search: dumping catalog: %w", err)

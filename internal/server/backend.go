@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+
+	"qunits/internal/cluster"
+	"qunits/internal/search"
+)
+
+// searchBackend is where a server's search traffic goes once the public
+// request shaping (defaulting, clamping, caching, coalescing) is done:
+// an in-process engine on single and partition nodes, a scatter-gather
+// coordinator on coordinator nodes. Both produce the same wire-ready
+// cachedSearch, which is what keeps the /v1 surface byte-identical
+// across deployment shapes.
+type searchBackend interface {
+	// search answers one request.
+	search(ctx context.Context, req search.Request) (*cachedSearch, error)
+	// batch answers a batch with per-item outcomes, aligned with reqs. A
+	// non-nil error means the whole batch failed (a partition was
+	// unreachable) and no outcomes exist.
+	batch(ctx context.Context, reqs []search.Request) ([]backendOutcome, error)
+}
+
+// backendOutcome is one batch item's result: exactly one field is set.
+type backendOutcome struct {
+	entry *cachedSearch
+	err   error
+}
+
+// engineBackend serves searches from an in-process engine.
+type engineBackend struct {
+	engine *search.Engine
+}
+
+func (b engineBackend) search(ctx context.Context, req search.Request) (*cachedSearch, error) {
+	resp, err := b.engine.Search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return toCached(resp), nil
+}
+
+func (b engineBackend) batch(ctx context.Context, reqs []search.Request) ([]backendOutcome, error) {
+	results := b.engine.BatchSearch(ctx, reqs)
+	out := make([]backendOutcome, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = backendOutcome{err: r.Err}
+			continue
+		}
+		out[i] = backendOutcome{entry: toCached(r.Response)}
+	}
+	return out, nil
+}
+
+// coordBackend serves searches by fanning out to a partition cluster.
+type coordBackend struct {
+	coord *cluster.Coordinator
+}
+
+func (b coordBackend) search(ctx context.Context, req search.Request) (*cachedSearch, error) {
+	page, err := b.coord.Search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return pageToCached(page), nil
+}
+
+func (b coordBackend) batch(ctx context.Context, reqs []search.Request) ([]backendOutcome, error) {
+	outcomes, err := b.coord.Batch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]backendOutcome, len(outcomes))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			out[i] = backendOutcome{err: o.Err}
+			continue
+		}
+		out[i] = backendOutcome{entry: pageToCached(o.Page)}
+	}
+	return out, nil
+}
+
+// fromWireResults projects cluster wire results onto the /v1 result
+// shape. The two are field-for-field identical by construction
+// (cluster.ResultToWire is the single engine-to-wire conversion point);
+// this is only a type change.
+func fromWireResults(rs []cluster.Result) []V1Result {
+	out := make([]V1Result, len(rs))
+	for i, r := range rs {
+		out[i] = V1Result{
+			SearchResult: SearchResult{
+				ID:           r.ID,
+				Label:        r.Label,
+				Definition:   r.Definition,
+				Score:        r.Score,
+				IRScore:      r.IRScore,
+				TypeAffinity: r.TypeAffinity,
+				Snippet:      r.Snippet,
+			},
+			Utility:      r.Utility,
+			TypeFactor:   r.TypeFactor,
+			UtilityBlend: r.UtilityBlend,
+			AnchorBoost:  r.AnchorBoost,
+		}
+	}
+	return out
+}
+
+// fromWireExplain projects the cluster explain payload onto /v1's.
+func fromWireExplain(ex *cluster.Explain) *V1Explain {
+	if ex == nil {
+		return nil
+	}
+	out := &V1Explain{Template: ex.Template}
+	for _, seg := range ex.Segments {
+		out.Segments = append(out.Segments, V1Segment(seg))
+	}
+	for _, a := range ex.Affinities {
+		out.Affinities = append(out.Affinities, V1Affinity(a))
+	}
+	return out
+}
+
+// pageToCached shapes a merged coordinator page as the wire-ready form
+// the cache and the /v1 handlers share.
+func pageToCached(p *cluster.Page) *cachedSearch {
+	return &cachedSearch{
+		results: fromWireResults(p.Results),
+		total:   p.Total,
+		explain: fromWireExplain(p.Explain),
+	}
+}
+
+// toCached converts an engine response to its wire-ready cached form,
+// routing through cluster.ResultToWire so single-node responses and
+// partition pages share one conversion and cannot drift.
+func toCached(resp *search.Response) *cachedSearch {
+	return &cachedSearch{
+		results: fromWireResults(cluster.ResultsToWire(resp.Results)),
+		total:   resp.Total,
+		explain: fromWireExplain(cluster.ExplainToWire(resp.Explain)),
+	}
+}

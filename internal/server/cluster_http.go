@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"qunits/internal/cluster"
+)
+
+// This file is the HTTP face of the cluster API: the /v1/partition/*
+// RPC a partition node serves to its coordinator, and the GET
+// /v1/cluster topology endpoint every role serves.
+
+// checkPartitionRequest validates the RPC preamble shared by search and
+// batch: protocol version, then selector. A selector mismatch means the
+// coordinator and this node disagree about the topology — scoring the
+// request anyway would silently drop or double-count shards, so it
+// fails loudly instead.
+func (s *Server) checkPartitionRequest(w http.ResponseWriter, proto int, sel cluster.Selector) bool {
+	if proto != cluster.ProtoVersion {
+		s.writeV1Error(w, http.StatusBadRequest, CodeUnsupportedProto,
+			fmt.Sprintf("partition protocol %d not supported; this node speaks %d", proto, cluster.ProtoVersion))
+		return false
+	}
+	if sel.Index != s.part.Set.Index || sel.Count != s.part.Set.Count {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("selector %d/%d does not match this node's %d/%d",
+				sel.Index, sel.Count, s.part.Set.Index, s.part.Set.Count))
+		return false
+	}
+	return true
+}
+
+// handlePartitionSearch serves POST /v1/partition/search: one page
+// scored against this node's shard subset. No caching, no coalescing,
+// no k clamping — this is the internal RPC, and the coordinator has
+// already applied the public surface's defaulting and limits.
+func (s *Server) handlePartitionSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/partition/search")
+		return
+	}
+	var req cluster.PageRequest
+	if err := decodeV1(r, &req); err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+		return
+	}
+	if !s.checkPartitionRequest(w, req.Proto, req.Partition) {
+		return
+	}
+	reply, err := s.part.Search(r.Context(), req)
+	if err != nil {
+		status, code := v1ErrorFor(err)
+		s.writeV1Error(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handlePartitionBatch serves POST /v1/partition/batch: every item of a
+// public batch scored against this node's shard subset in one engine
+// pass. Item errors ride inside the reply; only a malformed request
+// fails the call.
+func (s *Server) handlePartitionBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/partition/batch")
+		return
+	}
+	var req cluster.BatchRequest
+	if err := decodeV1(r, &req); err != nil {
+		s.writeV1Error(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+		return
+	}
+	if !s.checkPartitionRequest(w, req.Proto, req.Partition) {
+		return
+	}
+	reply, err := s.part.Batch(r.Context(), req)
+	if err != nil {
+		status, code := v1ErrorFor(err)
+		s.writeV1Error(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handlePartitionStats serves GET /v1/partition/stats.
+func (s *Server) handlePartitionStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET /v1/partition/stats")
+		return
+	}
+	stats, err := s.part.Stats(r.Context())
+	if err != nil {
+		status, code := v1ErrorFor(err)
+		s.writeV1Error(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// V1ClusterPartition is one node's row in the GET /v1/cluster reply.
+type V1ClusterPartition struct {
+	// Index and Count are the node's shard-subset selector.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Healthy reports whether the node answered its stats probe; when
+	// false, Error carries the failure and the gauges below are zero.
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Instances, Slots, and Tombstones are the node's engine occupancy.
+	Instances  int `json:"instances"`
+	Slots      int `json:"slots"`
+	Tombstones int `json:"tombstones"`
+	// WALSeq is the node's mutation-log position; Lag is how far it
+	// trails the most advanced healthy node (0 on a non-coordinator,
+	// which cannot see its peers).
+	WALSeq uint64 `json:"wal_seq"`
+	Lag    uint64 `json:"lag"`
+	// AcceptsMutations marks the primary.
+	AcceptsMutations bool `json:"accepts_mutations"`
+}
+
+// V1ClusterResponse is the GET /v1/cluster reply: the node's role and
+// the topology it can see — itself on single and partition nodes, every
+// partition on a coordinator.
+type V1ClusterResponse struct {
+	Role       string               `json:"role"`
+	Proto      int                  `json:"proto"`
+	Partitions []V1ClusterPartition `json:"partitions"`
+}
+
+// handleV1Cluster serves GET /v1/cluster on every role.
+func (s *Server) handleV1Cluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET /v1/cluster")
+		return
+	}
+	resp := V1ClusterResponse{Role: s.role, Proto: cluster.ProtoVersion, Partitions: []V1ClusterPartition{}}
+	switch {
+	case s.coord != nil:
+		stats, errs := s.coord.StatsAll(r.Context())
+		// Lag is relative to the most advanced healthy node: on a
+		// converged cluster every row reads 0.
+		var maxSeq uint64
+		for _, st := range stats {
+			if st != nil && st.WALSeq > maxSeq {
+				maxSeq = st.WALSeq
+			}
+		}
+		for i, st := range stats {
+			if st == nil {
+				resp.Partitions = append(resp.Partitions, V1ClusterPartition{
+					Index: i, Count: s.coord.Partitions(), Error: errs[i].Error(),
+				})
+				continue
+			}
+			resp.Partitions = append(resp.Partitions, V1ClusterPartition{
+				Index:            st.Index,
+				Count:            st.Count,
+				Healthy:          true,
+				Instances:        st.Instances,
+				Slots:            st.Slots,
+				Tombstones:       st.Tombstones,
+				WALSeq:           st.WALSeq,
+				Lag:              maxSeq - st.WALSeq,
+				AcceptsMutations: st.AcceptsMutations,
+			})
+		}
+	case s.part != nil:
+		st, err := s.part.Stats(r.Context())
+		if err != nil {
+			status, code := v1ErrorFor(err)
+			s.writeV1Error(w, status, code, err.Error())
+			return
+		}
+		resp.Partitions = append(resp.Partitions, V1ClusterPartition{
+			Index:            st.Index,
+			Count:            st.Count,
+			Healthy:          true,
+			Instances:        st.Instances,
+			Slots:            st.Slots,
+			Tombstones:       st.Tombstones,
+			WALSeq:           st.WALSeq,
+			AcceptsMutations: st.AcceptsMutations,
+		})
+	default:
+		// A single node is its own one-partition cluster.
+		ix := s.engine.IndexStats()
+		resp.Partitions = append(resp.Partitions, V1ClusterPartition{
+			Index:            0,
+			Count:            1,
+			Healthy:          true,
+			Instances:        ix.Live,
+			Slots:            ix.Slots,
+			Tombstones:       ix.Tombstones,
+			AcceptsMutations: true,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"qunits/internal/cluster"
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/ir"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// The distributed parity harness: a 3-partition cluster — partition 0
+// the WAL-writing primary, partitions 1 and 2 followers tailing the
+// log — behind a scatter-gather coordinator, driven over real HTTP
+// (httptest servers, the /v1/partition RPC on the wire) against a
+// single-node server over the same corpus. Every /v1 response must be
+// byte-identical between the two stacks after scrubbing took_us,
+// through mutations, compaction, and a follower restart from a
+// bootstrap snapshot.
+
+// swappableHandler lets a partition's backing server be replaced
+// mid-test (the follower restart) without changing its URL, which the
+// coordinator's clients captured at startup.
+type swappableHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swappableHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// clusterHarness is the assembled deployment plus the single-node
+// control stack.
+type clusterHarness struct {
+	single  *Server // control: one engine, whole index
+	coord   *Server // cluster entry point: /v1 over scatter-gather
+	primary *Server // partition 0's server: /v1 mutations land here
+
+	universe  *imdb.Universe
+	walPath   string
+	engines   [3]*search.Engine
+	handlers  [3]*swappableHandler
+	followers [2]*cluster.Follower // partitions 1 and 2
+	wal       *cluster.WAL
+}
+
+func newClusterHarness(t *testing.T) (*clusterHarness, *querylog.Log) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: 6, Persons: 120, Movies: 80, CastPerMovie: 5})
+	lcfg := querylog.DefaultGenConfig()
+	lcfg.Volume = 600
+	qlog := querylog.Generate(u, lcfg)
+
+	newEngine := func() *search.Engine {
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Explicit shard count: replicas must agree on the index
+		// geometry, and the default tracks GOMAXPROCS.
+		e, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	h := &clusterHarness{universe: u, walPath: filepath.Join(t.TempDir(), "wal.log")}
+	// Caches are off (-1) on every node: the coordinator cannot see
+	// partition-side mutations to invalidate, and the scrubbed wire
+	// bytes include the cached flag, so both stacks must agree on it.
+	h.single = New(newEngine(), Config{CacheSize: -1})
+
+	wal, err := cluster.OpenWAL(h.walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wal.Close() })
+	h.wal = wal
+
+	clients := make([]cluster.Partition, 3)
+	for i := 0; i < 3; i++ {
+		h.engines[i] = newEngine()
+		pcfg := PartitionConfig{Set: ir.ShardSet{Index: i, Count: 3}}
+		if i == 0 {
+			h.engines[i].SetMutationLog(wal)
+			pcfg.Seq = wal.LastSeq
+			pcfg.AcceptMutations = true
+		} else {
+			fol := cluster.NewFollower(h.engines[i], cluster.NewWALReader(h.walPath), 0)
+			h.followers[i-1] = fol
+			pcfg.Seq = fol.AppliedSeq
+		}
+		ps := NewPartitionServer(h.engines[i], Config{CacheSize: -1}, pcfg)
+		if i == 0 {
+			h.primary = ps
+		}
+		h.handlers[i] = &swappableHandler{h: ps}
+		ts := httptest.NewServer(h.handlers[i])
+		t.Cleanup(ts.Close)
+		clients[i] = cluster.NewClient(ts.URL, i)
+	}
+	h.coord = NewCoordinatorServer(cluster.NewCoordinator(clients), Config{CacheSize: -1})
+	return h, qlog
+}
+
+// catchUpFollowers drains the WAL into both followers, as the daemon's
+// poll loop would between requests.
+func (h *clusterHarness) catchUpFollowers(t *testing.T) {
+	t.Helper()
+	for i, fol := range h.followers {
+		if _, err := fol.CatchUp(); err != nil {
+			t.Fatalf("follower %d catch-up: %v", i+1, err)
+		}
+	}
+}
+
+// do drives one request against both stacks — searches to the
+// coordinator, mutations to the primary partition — and requires equal
+// status and scrubbed wire bytes; it returns the cluster stack's reply.
+func (h *clusterHarness) do(t *testing.T, method, path, body string) (int, []byte) {
+	t.Helper()
+	clusterTarget := h.coord
+	if method != http.MethodGet && path != "/v1/search" {
+		clusterTarget = h.primary
+	}
+	cs, cb := replayPost(t, clusterTarget, method, path, body)
+	ss, sb := replayPost(t, h.single, method, path, body)
+	if cs != ss {
+		t.Fatalf("%s %s: status %d cluster vs %d single\ncluster: %s\nsingle:  %s", method, path, cs, ss, cb, sb)
+	}
+	if got, want := scrubTiming(t, cb), scrubTiming(t, sb); got != want {
+		t.Fatalf("%s %s: wire bytes differ\ncluster: %s\nsingle:  %s", method, path, got, want)
+	}
+	return cs, cb
+}
+
+// TestClusterWireParity is the tentpole's proof: the full replay
+// workload (plain, paged, filtered, explain, and batch searches) with
+// interleaved mutations produces byte-identical /v1 traffic from a
+// 3-partition cluster and a single node — including across a
+// mid-stream compaction and a follower restart from a bootstrap
+// snapshot.
+func TestClusterWireParity(t *testing.T) {
+	h, qlog := newClusterHarness(t)
+	bodies := replayRequests(qlog)
+	if len(bodies) < 50 {
+		t.Fatalf("workload too small: %d requests", len(bodies))
+	}
+
+	var feedbackID string
+	if res := searchTopK(h.engines[0], "star wars cast", 1); len(res) > 0 {
+		feedbackID = res[0].Instance.ID()
+	}
+	if feedbackID == "" {
+		t.Fatal("no feedback target")
+	}
+
+	var createdIDs []string
+	added, removed := 0, 0
+	compacted := false
+	restarted := false
+	for i, body := range bodies {
+		// Mirror a mutation through both stacks every 10th request, then
+		// let the followers catch up before the next search hits them.
+		if i%10 == 5 {
+			var method, mPath, mBody string
+			switch {
+			case (i/10)%3 == 1 && len(createdIDs) > 0:
+				method = http.MethodDelete
+				mPath = "/v1/instances/" + url.PathEscape(createdIDs[len(createdIDs)-1])
+				createdIDs = createdIDs[:len(createdIDs)-1]
+				removed++
+			case (i/10)%3 == 2:
+				method, mPath = http.MethodPost, "/v1/feedback"
+				mBody = fmt.Sprintf(`{"instance_id":%q,"positive":true}`, feedbackID)
+			default:
+				method, mPath = http.MethodPost, "/v1/instances"
+				mBody = fmt.Sprintf(`{"definition":"movie-cast","anchor":"zz cluster movie %d"}`, i)
+			}
+			status, reply := h.do(t, method, mPath, mBody)
+			if method == http.MethodPost && mPath == "/v1/instances" && status == http.StatusCreated {
+				var created struct {
+					ID string `json:"id"`
+				}
+				if err := json.Unmarshal(reply, &created); err != nil {
+					t.Fatal(err)
+				}
+				createdIDs = append(createdIDs, created.ID)
+				added++
+			}
+			h.catchUpFollowers(t)
+		}
+		// Mid-stream, after some tombstones exist: compact both stacks.
+		// The pass is WAL-logged, so the followers replay it and compact
+		// at the same log position as the primary.
+		if i == len(bodies)/2 && !compacted {
+			compacted = true
+			h.do(t, http.MethodPost, "/v1/compact", "")
+			h.catchUpFollowers(t)
+		}
+		// Two thirds in: restart partition 2 from a bootstrap snapshot.
+		// The replacement engine starts from the checkpoint, re-reads the
+		// log from byte 0, skips every record the snapshot already holds,
+		// and must land exactly where the old follower stood.
+		if i == 2*len(bodies)/3 && !restarted {
+			restarted = true
+			h.restartFollowerFromSnapshot(t)
+		}
+		h.do(t, http.MethodPost, "/v1/search", body)
+	}
+	if !compacted || !restarted {
+		t.Fatal("workload too short to reach the compaction/restart steps")
+	}
+	if added == 0 || removed == 0 {
+		t.Fatalf("replay exercised %d adds and %d removals; need both", added, removed)
+	}
+}
+
+// restartFollowerFromSnapshot checkpoints partition 2, discards its
+// engine, restores a fresh one from the snapshot, and swaps it into the
+// same URL the coordinator already points at.
+func (h *clusterHarness) restartFollowerFromSnapshot(t *testing.T) {
+	t.Helper()
+	fol := h.followers[1]
+	snap := filepath.Join(t.TempDir(), "boot.qsnp")
+	if err := cluster.SaveBootstrap(snap, h.engines[2], fol.AppliedSeq); err != nil {
+		t.Fatal(err)
+	}
+	engine, applied, err := cluster.LoadBootstrap(snap, h.universe.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != fol.AppliedSeq() {
+		t.Fatalf("bootstrap position %d, want %d", applied, fol.AppliedSeq())
+	}
+	h.engines[2] = engine
+	restarted := cluster.NewFollower(engine, cluster.NewWALReader(h.walPath), applied)
+	h.followers[1] = restarted
+	ps := NewPartitionServer(engine, Config{CacheSize: -1}, PartitionConfig{
+		Set: ir.ShardSet{Index: 2, Count: 3},
+		Seq: restarted.AppliedSeq,
+	})
+	h.handlers[2].swap(ps)
+}
+
+// TestClusterTopologyEndpoint exercises GET /v1/cluster on all three
+// roles: the coordinator sees every partition with primary flag and
+// lag, a partition sees itself, and mutations sent to non-primary nodes
+// are refused with the stable not_supported code.
+func TestClusterTopologyEndpoint(t *testing.T) {
+	h, _ := newClusterHarness(t)
+	h.do(t, http.MethodPost, "/v1/instances", `{"definition":"movie-cast","anchor":"zz topo movie"}`)
+	// Followers deliberately NOT caught up: partition 0 sits at seq 1,
+	// the followers at 0, so the coordinator must report lag 1.
+	code, body := replayPost(t, h.coord, http.MethodGet, "/v1/cluster", "")
+	if code != http.StatusOK {
+		t.Fatalf("coordinator /v1/cluster: %d %s", code, body)
+	}
+	var resp V1ClusterResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Role != RoleCoordinator || resp.Proto != cluster.ProtoVersion || len(resp.Partitions) != 3 {
+		t.Fatalf("topology: %+v", resp)
+	}
+	for i, p := range resp.Partitions {
+		if !p.Healthy || p.Index != i || p.Count != 3 {
+			t.Fatalf("partition %d row: %+v", i, p)
+		}
+		if got := p.AcceptsMutations; got != (i == 0) {
+			t.Fatalf("partition %d accepts_mutations=%v", i, got)
+		}
+		wantSeq, wantLag := uint64(0), uint64(1)
+		if i == 0 {
+			wantSeq, wantLag = 1, 0
+		}
+		if p.WALSeq != wantSeq || p.Lag != wantLag {
+			t.Fatalf("partition %d: wal_seq=%d lag=%d, want %d/%d", i, p.WALSeq, p.Lag, wantSeq, wantLag)
+		}
+	}
+
+	// A partition node reports only itself.
+	code, body = replayPost(t, h.primary, http.MethodGet, "/v1/cluster", "")
+	if code != http.StatusOK {
+		t.Fatalf("partition /v1/cluster: %d %s", code, body)
+	}
+	var self V1ClusterResponse
+	if err := json.Unmarshal(body, &self); err != nil {
+		t.Fatal(err)
+	}
+	if self.Role != RolePartition || len(self.Partitions) != 1 || self.Partitions[0].Index != 0 {
+		t.Fatalf("partition topology: %+v", self)
+	}
+
+	// A single node is its own one-partition cluster.
+	code, body = replayPost(t, h.single, http.MethodGet, "/v1/cluster", "")
+	if code != http.StatusOK {
+		t.Fatalf("single /v1/cluster: %d %s", code, body)
+	}
+	var single V1ClusterResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Role != RoleSingle || len(single.Partitions) != 1 || !single.Partitions[0].AcceptsMutations {
+		t.Fatalf("single topology: %+v", single)
+	}
+}
+
+// TestClusterMutationGating: the coordinator holds no engine and
+// followers hold no authority, so mutations against either must be
+// refused with stable codes — and the refusal must not disturb state.
+func TestClusterMutationGating(t *testing.T) {
+	h, _ := newClusterHarness(t)
+	assertRefused := func(s *Server, method, path, body string) {
+		t.Helper()
+		code, reply := replayPost(t, s, method, path, body)
+		if code != http.StatusNotImplemented {
+			t.Fatalf("%s %s: status %d, want 501: %s", method, path, code, reply)
+		}
+		var envelope struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(reply, &envelope); err != nil {
+			t.Fatal(err)
+		}
+		if envelope.Error.Code != CodeNotSupported {
+			t.Fatalf("%s %s: code %q, want %q", method, path, envelope.Error.Code, CodeNotSupported)
+		}
+	}
+	followerURL := func(i int) *Server { return h.handlers[i].h.(*Server) }
+	for _, s := range []*Server{h.coord, followerURL(1), followerURL(2)} {
+		assertRefused(s, http.MethodPost, "/v1/feedback", `{"instance_id":"x","positive":true}`)
+		assertRefused(s, http.MethodPost, "/v1/instances", `{"definition":"movie-cast","anchor":"zz nope"}`)
+		assertRefused(s, http.MethodPost, "/v1/compact", "")
+	}
+	// Instance reads need an engine: refused on the coordinator only.
+	assertRefused(h.coord, http.MethodGet, "/v1/instances/whatever", "")
+	if code, _ := replayPost(t, followerURL(1), http.MethodGet, "/v1/instances/nope", ""); code != http.StatusNotFound {
+		t.Fatalf("follower instance read: status %d, want 404", code)
+	}
+	// The primary still accepts mutations.
+	if code, _ := replayPost(t, h.primary, http.MethodPost, "/v1/feedback",
+		fmt.Sprintf(`{"instance_id":%q,"positive":true}`, searchTopK(h.engines[0], "star wars cast", 1)[0].Instance.ID())); code != http.StatusOK {
+		t.Fatalf("primary feedback: status %d, want 200", code)
+	}
+}
+
+// TestPartitionRPCRejectsMismatches: the internal RPC fails loudly on a
+// protocol or topology disagreement instead of silently mis-scoring.
+func TestPartitionRPCRejectsMismatches(t *testing.T) {
+	h, _ := newClusterHarness(t)
+	post := func(body string) (int, string) {
+		code, reply := replayPost(t, h.primary, http.MethodPost, "/v1/partition/search", body)
+		var envelope struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(reply, &envelope); err != nil {
+			t.Fatalf("not an error envelope: %s", reply)
+		}
+		return code, envelope.Error.Code
+	}
+	if code, ec := post(`{"proto":99,"partition":{"index":0,"count":3},"query":"x","k":1}`); code != http.StatusBadRequest || ec != CodeUnsupportedProto {
+		t.Fatalf("bad proto: %d %s", code, ec)
+	}
+	if code, ec := post(fmt.Sprintf(`{"proto":%d,"partition":{"index":1,"count":3},"query":"x","k":1}`, cluster.ProtoVersion)); code != http.StatusBadRequest || ec != CodeInvalidArgument {
+		t.Fatalf("selector mismatch: %d %s", code, ec)
+	}
+	if code, ec := post(fmt.Sprintf(`{"proto":%d,"partition":{"index":0,"count":3},"query":"  ","k":1}`, cluster.ProtoVersion)); code != http.StatusBadRequest || ec != CodeInvalidArgument {
+		t.Fatalf("empty query: %d %s", code, ec)
+	}
+}

@@ -144,7 +144,7 @@ func TestWorkloadReplayWireParity(t *testing.T) {
 		t.Fatalf("workload too small: %d requests", len(bodies))
 	}
 	var feedbackID string
-	if res := pruned.engine.SearchTopK("star wars cast", 1); len(res) > 0 {
+	if res := searchTopK(pruned.engine, "star wars cast", 1); len(res) > 0 {
 		feedbackID = res[0].Instance.ID()
 	}
 	var createdIDs []string
@@ -271,4 +271,14 @@ func TestBatchSharesOneEnginePass(t *testing.T) {
 	if got0, got1 := scrubTiming(t, parsed.Items[0].Response), scrubTiming(t, parsed.Items[1].Response); got0 != got1 {
 		t.Fatalf("duplicate batch items differ:\n%s\n%s", got0, got1)
 	}
+}
+
+// searchTopK is the test-local replacement for the deleted SearchTopK
+// shim: a positional top-k call that flattens errors to no results.
+func searchTopK(e *search.Engine, query string, k int) []search.Result {
+	resp, err := e.Search(context.Background(), search.Request{Query: query, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
 }

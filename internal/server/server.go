@@ -44,7 +44,9 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"qunits/internal/cluster"
 	"qunits/internal/core"
+	"qunits/internal/ir"
 	"qunits/internal/search"
 )
 
@@ -62,15 +64,39 @@ type Config struct {
 	MaxBatch int
 }
 
-// Server serves a search engine over HTTP. Create with New; it
-// implements http.Handler.
+// A Server's role decides which endpoints it serves and where search
+// traffic goes (see New, NewPartitionServer, NewCoordinatorServer).
+const (
+	// RoleSingle is the classic one-process deployment: full engine,
+	// full API.
+	RoleSingle = "single"
+	// RolePartition is one scoring node of a cluster: the full /v1
+	// surface over its full engine replica, plus the /v1/partition RPC
+	// over its shard subset. Mutations are only accepted on the primary.
+	RolePartition = "partition"
+	// RoleCoordinator fans /v1/search out to partition servers and
+	// serves no engine-local endpoints.
+	RoleCoordinator = "coordinator"
+)
+
+// Server serves a search engine over HTTP. Create with New,
+// NewPartitionServer, or NewCoordinatorServer; it implements
+// http.Handler.
 type Server struct {
-	engine *search.Engine
-	cfg    Config
-	cache  *lruCache
-	flight *flightGroup
-	mux    *http.ServeMux
-	start  time.Time
+	role    string
+	engine  *search.Engine // nil on a coordinator
+	backend searchBackend
+	coord   *cluster.Coordinator    // non-nil only on a coordinator
+	part    *cluster.LocalPartition // non-nil only on a partition node
+	cfg     Config
+	cache   *lruCache
+	flight  *flightGroup
+	mux     *http.ServeMux
+	start   time.Time
+	// acceptMutations gates the mutation endpoints: true on a single
+	// node and on a cluster's primary partition, false on followers and
+	// coordinators.
+	acceptMutations bool
 
 	queries      atomic.Int64
 	cacheHits    atomic.Int64
@@ -83,8 +109,65 @@ type Server struct {
 	purgeEpoch   atomic.Int64
 }
 
-// New returns a Server over the engine.
+// New returns a single-node Server over the engine.
 func New(engine *search.Engine, cfg Config) *Server {
+	return newServer(RoleSingle, engine, nil, nil, cfg)
+}
+
+// PartitionConfig shapes a partition node.
+type PartitionConfig struct {
+	// Set is the shard subset this node scores for the cluster; it must
+	// be the subset the coordinator assigns this node's index.
+	Set ir.ShardSet
+	// Seq reports the node's WAL position for stats and lag: the WAL's
+	// LastSeq on the primary, the follower's AppliedSeq elsewhere. Nil
+	// reports 0.
+	Seq func() uint64
+	// AcceptMutations marks the primary. On any other node the mutation
+	// endpoints refuse with CodeNotSupported — a mutation applied to a
+	// follower would fork it from the primary's WAL.
+	AcceptMutations bool
+}
+
+// NewPartitionServer returns a Server for one scoring node of a
+// cluster: the full single-node /v1 surface over its engine replica,
+// plus the /v1/partition RPC the coordinator calls. The result cache
+// defaults OFF (cfg.CacheSize 0) on non-primary nodes: WAL replay
+// mutates the engine without passing through this server, so cached
+// pages could go stale invisibly.
+func NewPartitionServer(engine *search.Engine, cfg Config, pcfg PartitionConfig) *Server {
+	if cfg.CacheSize == 0 && !pcfg.AcceptMutations {
+		cfg.CacheSize = -1
+	}
+	part := &cluster.LocalPartition{
+		Engine:           engine,
+		Set:              pcfg.Set,
+		Seq:              pcfg.Seq,
+		AcceptsMutations: pcfg.AcceptMutations,
+	}
+	s := newServer(RolePartition, engine, nil, part, cfg)
+	if !pcfg.AcceptMutations {
+		s.acceptMutations = false
+	}
+	return s
+}
+
+// NewCoordinatorServer returns a Server that fans /v1/search out to the
+// coordinator's partitions. It owns no engine: mutation and instance
+// endpoints refuse with CodeNotSupported (send them to the primary
+// partition), and the result cache defaults OFF (cfg.CacheSize 0)
+// because primary-side mutations cannot invalidate it here.
+func NewCoordinatorServer(coord *cluster.Coordinator, cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = -1
+	}
+	s := newServer(RoleCoordinator, nil, coord, nil, cfg)
+	s.acceptMutations = false
+	return s
+}
+
+// newServer builds a Server for one role.
+func newServer(role string, engine *search.Engine, coord *cluster.Coordinator, part *cluster.LocalPartition, cfg Config) *Server {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
 	}
@@ -98,12 +181,21 @@ func New(engine *search.Engine, cfg Config) *Server {
 		cfg.MaxBatch = 32
 	}
 	s := &Server{
-		engine: engine,
-		cfg:    cfg,
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		role:            role,
+		engine:          engine,
+		coord:           coord,
+		part:            part,
+		cfg:             cfg,
+		cache:           newLRUCache(cfg.CacheSize),
+		flight:          newFlightGroup(),
+		mux:             http.NewServeMux(),
+		start:           time.Now(),
+		acceptMutations: engine != nil,
+	}
+	if coord != nil {
+		s.backend = coordBackend{coord: coord}
+	} else {
+		s.backend = engineBackend{engine: engine}
 	}
 	s.mux.HandleFunc("/search", s.handleLegacySearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -113,6 +205,12 @@ func New(engine *search.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/compact", s.handleV1Compact)
 	s.mux.HandleFunc("/v1/instances", s.handleV1InstanceCreate)
 	s.mux.HandleFunc("/v1/instances/", s.handleV1Instance)
+	s.mux.HandleFunc("/v1/cluster", s.handleV1Cluster)
+	if part != nil {
+		s.mux.HandleFunc("/v1/partition/search", s.handlePartitionSearch)
+		s.mux.HandleFunc("/v1/partition/batch", s.handlePartitionBatch)
+		s.mux.HandleFunc("/v1/partition/stats", s.handlePartitionStats)
+	}
 	return s
 }
 
@@ -156,8 +254,6 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-const snippetLen = 200
-
 // runSearch is the single core every search endpoint flows through:
 // cache lookup by the request's canonical key, singleflight coalescing
 // of concurrent identical misses, and the engine call. The bool reports
@@ -178,11 +274,10 @@ func (s *Server) runSearch(ctx context.Context, req search.Request) (*cachedSear
 		// Detach cancellation: the leader's work is shared by every
 		// coalesced follower and feeds the cache, so one client hanging
 		// up must not fail the flight for the others.
-		resp, err := s.engine.Search(context.WithoutCancel(ctx), req)
+		entry, err := s.backend.search(context.WithoutCancel(ctx), req)
 		if err != nil {
 			return nil, err
 		}
-		entry := toCached(resp)
 		if s.purgeEpoch.Load() == epoch {
 			s.cache.put(key, entry)
 		}
@@ -192,29 +287,6 @@ func (s *Server) runSearch(ctx context.Context, req search.Request) (*cachedSear
 		s.dedupShared.Add(1)
 	}
 	return entry, false, err
-}
-
-// toCached converts an engine response to its wire-ready cached form.
-func toCached(resp *search.Response) *cachedSearch {
-	out := make([]V1Result, len(resp.Results))
-	for i, r := range resp.Results {
-		out[i] = V1Result{
-			SearchResult: SearchResult{
-				ID:           r.Instance.ID(),
-				Label:        r.Instance.Label(),
-				Definition:   r.Instance.Def.Name,
-				Score:        r.Score,
-				IRScore:      r.IRScore,
-				TypeAffinity: r.TypeAffinity,
-				Snippet:      truncateRunes(r.Instance.Rendered.Text, snippetLen),
-			},
-			Utility:      r.Utility,
-			TypeFactor:   r.TypeFactor,
-			UtilityBlend: r.UtilityBlend,
-			AnchorBoost:  r.AnchorBoost,
-		}
-	}
-	return &cachedSearch{results: out, total: resp.Total, explain: toWireExplain(resp.Explain)}
 }
 
 // legacyResults projects the /v1 result page down to the frozen legacy
@@ -283,7 +355,13 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Instances: s.engine.InstanceCount()})
+	// A coordinator owns no engine; it is alive when it can answer at
+	// all, and reports zero local instances.
+	instances := 0
+	if s.engine != nil {
+		instances = s.engine.InstanceCount()
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Instances: instances})
 }
 
 // StatsResponse is the /stats reply. Queries through SlotsReclaimed are
@@ -310,8 +388,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	ix := s.engine.IndexStats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Queries:          s.queries.Load(),
 		CacheHits:        s.cacheHits.Load(),
 		CacheMisses:      s.cacheMisses.Load(),
@@ -320,19 +397,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Feedbacks:        s.feedbacks.Load(),
 		InstanceAdds:     s.instanceAdds.Load(),
 		InstanceRemovals: s.instanceRems.Load(),
-		Compactions:      s.engine.Compactions(),
-		SlotsReclaimed:   s.engine.SlotsReclaimed(),
 		CacheLen:         s.cache.len(),
 		CacheCap:         s.cfg.CacheSize,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+	}
+	// Engine gauges stay zero on a coordinator: per-node occupancy lives
+	// behind GET /v1/cluster there.
+	if s.engine != nil {
+		ix := s.engine.IndexStats()
+		resp.Compactions = s.engine.Compactions()
+		resp.SlotsReclaimed = s.engine.SlotsReclaimed()
 		// Instances comes from the same IndexStats snapshot as the slot
 		// gauges (live instances and index documents are only ever
 		// updated together), so the three occupancy numbers are always
 		// mutually coherent even while mutations race this handler.
-		Instances:       ix.Live,
-		IndexSlots:      ix.Slots,
-		IndexTombstones: ix.Tombstones,
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-	})
+		resp.Instances = ix.Live
+		resp.IndexSlots = ix.Slots
+		resp.IndexTombstones = ix.Tombstones
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // invalidateResults empties the result cache after an engine mutation.

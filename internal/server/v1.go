@@ -11,29 +11,25 @@ import (
 	"strings"
 	"time"
 
+	"qunits/internal/cluster"
 	"qunits/internal/search"
 )
 
 // Stable /v1 error codes. Clients should branch on these, never on
-// message text.
+// message text. The values are defined in internal/cluster — the public
+// surface and the partition RPC share one vocabulary — and aliased here
+// so existing call sites and external references keep compiling.
 const (
-	// CodeInvalidArgument: the request is syntactically valid JSON but
-	// semantically wrong (empty query, negative offset, k out of range,
-	// batch too large, …).
-	CodeInvalidArgument = "invalid_argument"
-	// CodeInvalidJSON: the request body is not the expected JSON shape.
-	CodeInvalidJSON = "invalid_json"
-	// CodeUnknownDefinition: a filter names a definition the catalog
-	// does not contain.
-	CodeUnknownDefinition = "unknown_definition"
-	// CodeNotFound: the addressed resource (instance) does not exist.
-	CodeNotFound = "not_found"
-	// CodeAlreadyExists: the instance being created is already indexed.
-	CodeAlreadyExists = "already_exists"
-	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
-	CodeMethodNotAllowed = "method_not_allowed"
-	// CodeInternal: an unexpected server-side failure.
-	CodeInternal = "internal"
+	CodeInvalidArgument   = cluster.CodeInvalidArgument
+	CodeInvalidJSON       = cluster.CodeInvalidJSON
+	CodeUnknownDefinition = cluster.CodeUnknownDefinition
+	CodeNotFound          = cluster.CodeNotFound
+	CodeAlreadyExists     = cluster.CodeAlreadyExists
+	CodeMethodNotAllowed  = cluster.CodeMethodNotAllowed
+	CodeNotSupported      = cluster.CodeNotSupported
+	CodeUnavailable       = cluster.CodeUnavailable
+	CodeUnsupportedProto  = cluster.CodeUnsupportedProto
+	CodeInternal          = cluster.CodeInternal
 )
 
 // V1Error is the structured error carried by every /v1 error envelope.
@@ -221,10 +217,23 @@ func decodeV1(r *http.Request, v interface{}) error {
 	return nil
 }
 
-// v1ErrorFor maps an engine error to its HTTP status and stable code.
+// v1ErrorFor maps an engine or cluster error to its HTTP status and
+// stable code.
 func v1ErrorFor(err error) (int, string) {
 	var unknownDef *search.UnknownDefinitionError
+	var remote *cluster.RemoteError
+	var unavailable *cluster.UnavailableError
 	switch {
+	case errors.As(err, &remote):
+		// A partition already classified this error; relay its code (and
+		// HTTP status when the RPC carried one) unchanged, so a client
+		// sees the same code it would have on a single node.
+		if remote.Status != 0 {
+			return remote.Status, remote.Code
+		}
+		return statusForCode(remote.Code), remote.Code
+	case errors.As(err, &unavailable):
+		return http.StatusServiceUnavailable, CodeUnavailable
 	case errors.Is(err, search.ErrEmptyQuery):
 		return http.StatusBadRequest, CodeInvalidArgument
 	case errors.As(err, &unknownDef):
@@ -233,6 +242,28 @@ func v1ErrorFor(err error) (int, string) {
 		return statusClientClosedRequest, CodeInternal
 	default:
 		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// statusForCode maps a stable code to its canonical HTTP status — the
+// inverse the coordinator needs when an error arrives as a bare code
+// (batch items carry no status).
+func statusForCode(code string) int {
+	switch code {
+	case CodeInvalidArgument, CodeInvalidJSON, CodeUnknownDefinition, CodeUnsupportedProto:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeAlreadyExists:
+		return http.StatusConflict
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeNotSupported:
+		return http.StatusNotImplemented
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
@@ -335,16 +366,26 @@ func (s *Server) searchBatch(r *http.Request, queries []V1SearchRequest) []V1Bat
 	// runSearch: results computed against pre-mutation state must not
 	// repopulate a cache that was purged mid-flight.
 	epoch := s.purgeEpoch.Load()
-	results := s.engine.BatchSearch(context.WithoutCancel(r.Context()), missReqs)
+	outcomes, err := s.backend.batch(context.WithoutCancel(r.Context()), missReqs)
 	stale := s.purgeEpoch.Load() != epoch
+	if err != nil {
+		// The whole backend pass failed (a partition was unreachable):
+		// every miss item reports it, cache-hit items stand.
+		_, code := v1ErrorFor(err)
+		for _, i := range missIdx {
+			s.badRequests.Add(1)
+			items[i] = V1BatchItem{Error: &V1Error{Code: code, Message: err.Error()}}
+		}
+		return items
+	}
 	for j, i := range missIdx {
-		if err := results[j].Err; err != nil {
+		if err := outcomes[j].err; err != nil {
 			_, code := v1ErrorFor(err)
 			s.badRequests.Add(1)
 			items[i] = V1BatchItem{Error: &V1Error{Code: code, Message: err.Error()}}
 			continue
 		}
-		entry := toCached(results[j].Response)
+		entry := outcomes[j].entry
 		if !stale {
 			s.cache.put(keys[i], entry)
 		}
@@ -408,11 +449,7 @@ func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, verr := s.searchOne(r, req)
 	if verr != nil {
-		status := http.StatusBadRequest
-		if verr.Code == CodeInternal {
-			status = http.StatusInternalServerError
-		}
-		s.writeV1Error(w, status, verr.Code, verr.Message)
+		s.writeV1Error(w, statusForCode(verr.Code), verr.Code, verr.Message)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -425,6 +462,9 @@ func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleV1Feedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/feedback")
+		return
+	}
+	if !s.requireMutations(w) {
 		return
 	}
 	var body V1FeedbackRequest
@@ -479,6 +519,9 @@ func (s *Server) handleV1Compact(w http.ResponseWriter, r *http.Request) {
 		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/compact")
 		return
 	}
+	if !s.requireMutations(w) {
+		return
+	}
 	started := time.Now()
 	res, err := s.Compact()
 	if err != nil {
@@ -502,6 +545,9 @@ func (s *Server) handleV1Compact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleV1InstanceCreate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST /v1/instances")
+		return
+	}
+	if !s.requireMutations(w) {
 		return
 	}
 	var body V1InstanceCreateRequest
@@ -548,6 +594,12 @@ func (s *Server) handleV1Instance(w http.ResponseWriter, r *http.Request) {
 		s.writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET or DELETE /v1/instances/{id}")
 		return
 	}
+	if !s.requireEngine(w) {
+		return
+	}
+	if r.Method == http.MethodDelete && !s.requireMutations(w) {
+		return
+	}
 	// Work on the escaped path so an instance ID containing a literal
 	// "/" stays addressable as %2F (labels are arbitrary data).
 	raw := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/instances/")
@@ -588,17 +640,26 @@ func (s *Server) handleV1Instance(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// toWireExplain converts the engine explain payload to its wire form.
-func toWireExplain(ex *search.Explain) *V1Explain {
-	if ex == nil {
-		return nil
+// requireMutations refuses the request with CodeNotSupported when this
+// node's role does not accept mutations, and reports whether the
+// handler may proceed.
+func (s *Server) requireMutations(w http.ResponseWriter) bool {
+	if s.acceptMutations {
+		return true
 	}
-	out := &V1Explain{Template: ex.Template}
-	for _, seg := range ex.Segments {
-		out.Segments = append(out.Segments, V1Segment(seg))
+	s.writeV1Error(w, http.StatusNotImplemented, CodeNotSupported,
+		"this node does not accept mutations; send them to the primary partition")
+	return false
+}
+
+// requireEngine refuses the request with CodeNotSupported on nodes
+// without a local engine (coordinators), and reports whether the
+// handler may proceed.
+func (s *Server) requireEngine(w http.ResponseWriter) bool {
+	if s.engine != nil {
+		return true
 	}
-	for _, a := range ex.Affinities {
-		out.Affinities = append(out.Affinities, V1Affinity(a))
-	}
-	return out
+	s.writeV1Error(w, http.StatusNotImplemented, CodeNotSupported,
+		"a coordinator holds no instances; address an engine-backed node")
+	return false
 }

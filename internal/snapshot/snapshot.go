@@ -178,6 +178,17 @@ func SaveEngine(w io.Writer, e *search.Engine) error {
 	return encodeState(w, e.Catalog().DB(), st)
 }
 
+// SaveState writes an already-captured engine state as one snapshot
+// blob over the database it was dumped from. It is SaveEngine with the
+// capture step lifted out, for callers that must pair the state with
+// other data captured in the same critical section — the cluster
+// layer's follower bootstrap records the mutation-log position
+// atomically with the state via search.Engine.DumpStateWith and then
+// encodes here.
+func SaveState(w io.Writer, db *relational.Database, st *search.EngineState) error {
+	return encodeState(w, db, st)
+}
+
 // LoadEngine reads a snapshot and rebuilds a serving-ready engine over
 // the given database — which must be the database the snapshot was
 // saved over (same schema and rows; the fingerprint check catches

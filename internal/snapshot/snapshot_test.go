@@ -142,7 +142,7 @@ func TestRoundTripParity(t *testing.T) {
 func TestRoundTripCarriesLearnedState(t *testing.T) {
 	db := fixtureDB(t)
 	e := fixtureEngine(t, db)
-	top := e.SearchTopK("star wars cast", 1)
+	top := searchTopK(e, "star wars cast", 1)
 	if len(top) == 0 {
 		t.Fatal("fixture query found nothing")
 	}
@@ -189,7 +189,7 @@ func TestRoundTripCarriesLearnedState(t *testing.T) {
 func TestRoundTripAfterRemoval(t *testing.T) {
 	db := fixtureDB(t)
 	e := fixtureEngine(t, db)
-	top := e.SearchTopK("george clooney", 1)
+	top := searchTopK(e, "george clooney", 1)
 	if len(top) == 0 {
 		t.Fatal("fixture query found nothing")
 	}
@@ -371,4 +371,14 @@ func TestSaveDeterministic(t *testing.T) {
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("two saves of the same engine differ")
 	}
+}
+
+// searchTopK is the test-local replacement for the deleted SearchTopK
+// shim: a positional top-k call that flattens errors to no results.
+func searchTopK(e *search.Engine, query string, k int) []search.Result {
+	resp, err := e.Search(context.Background(), search.Request{Query: query, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
 }

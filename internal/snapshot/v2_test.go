@@ -17,7 +17,7 @@ import (
 func mutatedEngine(t *testing.T) *search.Engine {
 	t.Helper()
 	e := fixtureEngine(t, fixtureDB(t))
-	top := e.SearchTopK("star wars cast", 3)
+	top := searchTopK(e, "star wars cast", 3)
 	if len(top) < 2 {
 		t.Fatal("fixture query found too little")
 	}

@@ -7,17 +7,23 @@
 # added instance is still searchable — then the compaction cycle:
 # accumulate tombstones over /v1/instances, POST /v1/compact while a
 # background search loop keeps hitting the server, and assert /stats
-# reclamation plus unchanged results. It is the CI smoke test: `make
-# smoke` runs the basic flow, `make snapshot-smoke` the snapshot flow,
-# `make compact-smoke` the compact-under-load flow, `scripts/smoke.sh
-# all` everything. Fast, hermetic, and loud on failure.
+# reclamation plus unchanged results — then the cluster cycle: boot a
+# coordinator over two partition nodes (a WAL-writing primary and a
+# tailing follower) next to an identically-seeded single node, drive
+# searches, a live instance add, feedback, and a compaction through
+# both stacks, and diff the scrubbed /v1 responses byte for byte. It is
+# the CI smoke test: `make smoke` runs the basic flow, `make
+# snapshot-smoke` the snapshot flow, `make compact-smoke` the
+# compact-under-load flow, `make cluster-smoke` the cluster flow,
+# `scripts/smoke.sh all` everything. Fast, hermetic, and loud on
+# failure.
 #
-# Usage: smoke.sh [basic|snapshot|compact|all]   (default: all)
+# Usage: smoke.sh [basic|snapshot|compact|cluster|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
-case "$MODE" in basic|snapshot|compact|all) ;; *)
-    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|all)" >&2; exit 2 ;;
+case "$MODE" in basic|snapshot|compact|cluster|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|all)" >&2; exit 2 ;;
 esac
 
 PORT="${SMOKE_PORT:-18080}"
@@ -29,7 +35,10 @@ SNAP="$(mktemp -u).snap"
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
     [ -n "${PID:-}" ] && wait "$PID" 2>/dev/null || true
+    for p in ${CPIDS:-}; do kill "$p" 2>/dev/null || true; done
+    for p in ${CPIDS:-}; do wait "$p" 2>/dev/null || true; done
     rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp" "$LOG.searchfail"
+    [ -n "${CLOGS:-}" ] && rm -rf "$CLOGS"
 }
 trap cleanup EXIT INT TERM
 
@@ -202,6 +211,144 @@ if [ "$MODE" = "compact" ] || [ "$MODE" = "all" ]; then
     echo "$OUT" | jsonget '[r["id"] for r in d["results"]].count("movie-cast:compact smoke qunit 4")' | grep -qx 1 || fail "survivor lost across compaction: $OUT"
 
     stop_server
+fi
+
+if [ "$MODE" = "cluster" ] || [ "$MODE" = "all" ]; then
+    # Four nodes: a single-node control plus a 2-partition cluster
+    # (primary + WAL follower) behind a coordinator. All engine nodes
+    # share the universe seed and shard geometry, and every node runs
+    # with the result cache off so the scrubbed /v1 bytes can be diffed
+    # directly (a cache hit flips the "cached" field).
+    CLOGS="$(mktemp -d)"
+    CWAL="$CLOGS/mutations.wal"
+    SPORT=$((PORT + 1)); P0PORT=$((PORT + 2)); P1PORT=$((PORT + 3)); COPORT=$((PORT + 4))
+    SBASE="http://127.0.0.1:$SPORT"; COBASE="http://127.0.0.1:$COPORT"
+    GEN="-persons 120 -movies 80 -shards 4 -cache -1"
+    CPIDS=""
+
+    cluster_fail() {
+        echo "smoke: FAIL: $1" >&2
+        for f in "$CLOGS"/*.log; do
+            echo "--- $f ---" >&2
+            cat "$f" >&2
+        done
+        exit 1
+    }
+
+    # start_node NAME PORT FLAGS…: boot one cluster node, wait for
+    # /healthz, remember its pid for cleanup.
+    start_node() {
+        name=$1; port=$2; shift 2
+        # shellcheck disable=SC2086
+        "$BIN" -addr "127.0.0.1:$port" $GEN "$@" >"$CLOGS/$name.log" 2>&1 &
+        CPIDS="$CPIDS $!"
+        i=0
+        until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            [ "$i" -gt 100 ] && cluster_fail "$name did not become healthy"
+            sleep 0.2
+        done
+    }
+
+    # scrub: drop took_us everywhere and re-serialize with sorted keys,
+    # so two responses that differ only in timing compare equal.
+    scrub() {
+        python3 -c '
+import json, sys
+def walk(x):
+    if isinstance(x, dict):
+        x.pop("took_us", None)
+        for v in x.values(): walk(v)
+    elif isinstance(x, list):
+        for v in x: walk(v)
+d = json.load(sys.stdin); walk(d); print(json.dumps(d, sort_keys=True))'
+    }
+
+    # diff_post LABEL SINGLE_URL CLUSTER_URL BODY: drive one POST
+    # through both stacks and require identical scrubbed bytes.
+    diff_post() {
+        label=$1; su=$2; cu=$3; body=$4
+        s_out=$(curl -sS -d "$body" "$su" | scrub) || cluster_fail "$label: single-node request failed"
+        c_out=$(curl -sS -d "$body" "$cu" | scrub) || cluster_fail "$label: cluster request failed"
+        [ "$s_out" = "$c_out" ] || cluster_fail "$label: responses differ
+single:  $s_out
+cluster: $c_out"
+    }
+
+    diff_search() {
+        diff_post "search $1" "$SBASE/v1/search" "$COBASE/v1/search" "$1"
+    }
+
+    # wait_converged: poll the coordinator's topology until every
+    # partition reports lag 0 (the follower has replayed the WAL).
+    wait_converged() {
+        i=0
+        until curl -fsS "$COBASE/v1/cluster" | jsonget 'max(p["lag"] for p in d["partitions"])' | grep -qx 0; do
+            i=$((i + 1))
+            [ "$i" -gt 100 ] && cluster_fail "followers did not converge"
+            sleep 0.1
+        done
+    }
+
+    echo "smoke: starting single-node control on :$SPORT"
+    start_node single "$SPORT"
+    echo "smoke: starting partition 0 (primary) on :$P0PORT"
+    start_node part0 "$P0PORT" -mode partition -partition-index 0 -partition-count 2 -wal "$CWAL"
+    echo "smoke: starting partition 1 (follower) on :$P1PORT"
+    start_node part1 "$P1PORT" -mode partition -partition-index 1 -partition-count 2 -wal "$CWAL" -wal-follow -wal-poll 100ms
+    echo "smoke: starting coordinator on :$COPORT"
+    start_node coord "$COPORT" -mode coordinator -partitions "http://127.0.0.1:$P0PORT,http://127.0.0.1:$P1PORT"
+
+    echo "smoke: GET /v1/cluster (topology)"
+    OUT=$(curl -fsS "$COBASE/v1/cluster")
+    echo "$OUT" | jsonget 'd["role"]' | grep -qx coordinator || cluster_fail "coordinator role: $OUT"
+    echo "$OUT" | jsonget 'len(d["partitions"])' | grep -qx 2 || cluster_fail "partition count: $OUT"
+    echo "$OUT" | jsonget 'all(p["healthy"] for p in d["partitions"])' | grep -qx True || cluster_fail "unhealthy partition: $OUT"
+    echo "$OUT" | jsonget '[p["accepts_mutations"] for p in d["partitions"]]' | grep -qx '\[True, False\]' || cluster_fail "primary flag: $OUT"
+
+    echo "smoke: scatter-gather searches match the single node byte for byte"
+    diff_search '{"query":"star wars cast","k":5}'
+    diff_search '{"query":"star wars cast","k":3,"explain":true}'
+    diff_search '{"query":"george clooney","k":10,"offset":2}'
+    diff_search '{"query":"star wars","k":5,"filter":{"anchor_types":["movie.title"]}}'
+    diff_search '{"queries":[{"query":"star wars cast","k":4},{"query":""},{"query":"george clooney","k":2,"explain":true}]}'
+    diff_search '{"query":"x","filter":{"definitions":["nope"]}}'
+
+    echo "smoke: mutations through the primary replicate to the follower"
+    diff_post "instance add" "$SBASE/v1/instances" "http://127.0.0.1:$P0PORT/v1/instances" \
+        '{"definition":"movie-cast","anchor":"zz cluster smoke"}'
+    diff_post "feedback" "$SBASE/v1/feedback" "http://127.0.0.1:$P0PORT/v1/feedback" \
+        '{"instance_id":"movie-cast:zz cluster smoke","positive":true}'
+    wait_converged
+    diff_search '{"query":"zz cluster smoke","k":3}'
+
+    echo "smoke: WAL-logged compaction keeps the replicas in step"
+    S_OUT=$(curl -fsS -X POST "$SBASE/v1/compact" | scrub)
+    C_OUT=$(curl -fsS -X POST "http://127.0.0.1:$P0PORT/v1/compact" | scrub)
+    [ "$S_OUT" = "$C_OUT" ] || cluster_fail "compact responses differ
+single:  $S_OUT
+cluster: $C_OUT"
+    wait_converged
+    diff_search '{"query":"star wars cast","k":5}'
+    diff_search '{"query":"zz cluster smoke","k":3}'
+
+    echo "smoke: non-primary nodes refuse mutations"
+    OUT=$(curl -sS -d '{"definition":"movie-cast","anchor":"zz nope"}' "$COBASE/v1/instances")
+    echo "$OUT" | jsonget 'd["error"]["code"]' | grep -qx not_supported || cluster_fail "coordinator accepted a mutation: $OUT"
+    OUT=$(curl -sS -d '{"definition":"movie-cast","anchor":"zz nope"}' "http://127.0.0.1:$P1PORT/v1/instances")
+    echo "$OUT" | jsonget 'd["error"]["code"]' | grep -qx not_supported || cluster_fail "follower accepted a mutation: $OUT"
+
+    for p in $CPIDS; do kill -TERM "$p" 2>/dev/null || true; done
+    for p in $CPIDS; do
+        i=0
+        while kill -0 "$p" 2>/dev/null; do
+            i=$((i + 1))
+            [ "$i" -gt 100 ] && cluster_fail "cluster node $p did not drain after SIGTERM"
+            sleep 0.1
+        done
+        wait "$p" 2>/dev/null || true
+    done
+    CPIDS=""
 fi
 
 echo "smoke: PASS"
