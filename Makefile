@@ -7,7 +7,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 # the engine, server, and snapshot suites too.
 COVER_MIN_IR ?= 90.0
 
-.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke cluster-smoke soak bench bench-json bench-regression cover ci
+.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke soak bench bench-json bench-regression bench-load cover ci
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ compact-smoke:
 cluster-smoke:
 	./scripts/smoke.sh cluster
 
+# loadgen-smoke boots qunitsd on a small synth corpus, drives it with a
+# short closed-loop and open-loop cmd/loadgen burst (plus a closed-loop
+# burst through a 2-partition coordinator), and gates the reports with
+# benchcheck -load: zero errors, a request floor, and a generous
+# absolute p99 ceiling.
+loadgen-smoke:
+	./scripts/smoke.sh loadgen
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
@@ -113,6 +121,14 @@ bench-regression:
 	  -min-speedup 1.1 -max-regress 0.35
 	@rm -f bench_topk.json bench_compact.json
 
+# bench-load refreshes the committed BENCH_LOAD.json: the loadgen smoke
+# flow with its single-node report exported to the repo root. Like
+# BENCH.json, the committed numbers document a trajectory; the CI gate
+# uses machine-independent absolute ceilings, not these raw latencies.
+bench-load:
+	LOADGEN_JSON=$(CURDIR)/BENCH_LOAD.json ./scripts/smoke.sh loadgen
+	@echo "wrote BENCH_LOAD.json"
+
 # cover writes the merged coverage profile CI uploads as an artifact and
 # gates internal/ir — the scoring/compaction core — on a minimum
 # statement coverage, so new retrieval code cannot land untested.
@@ -125,4 +141,4 @@ cover:
 	  { echo "cover: FAIL: internal/ir coverage $$total% is below the $(COVER_MIN_IR)% floor" >&2; exit 1; }
 	@rm -f coverage_ir.out
 
-ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke cluster-smoke bench bench-regression cover
+ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke bench bench-regression cover

@@ -1,0 +1,141 @@
+// Command loadgen replays a zipfian query-log workload against a running
+// qunitsd (or a cluster coordinator) over HTTP and reports achieved QPS,
+// error rate, and latency quantiles (p50/p95/p99/p999).
+//
+// It regenerates the same universe the server booted with (mirror the
+// server's corpus flags, or -instances for a synth corpus), derives the
+// default query log from it, and offers that traffic either closed-loop
+// (fixed concurrency, -mode closed) or open-loop (fixed arrival rate,
+// -mode open, coordinated-omission corrected). -mode both runs one of
+// each. -json writes the machine-readable BENCH_LOAD.json document that
+// cmd/benchcheck -load gates on in CI.
+//
+// Example against a default dev server:
+//
+//	qunitsd -addr :8080 &
+//	loadgen -target http://127.0.0.1:8080 -mode both -duration 10s -json BENCH_LOAD.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qunits/internal/imdb"
+	"qunits/internal/loadgen"
+	"qunits/internal/synth"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of the qunitsd node (required), e.g. http://127.0.0.1:8080")
+		mode        = flag.String("mode", "closed", "load mode: closed, open, or both")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window per run")
+		warmup      = flag.Duration("warmup", 2*time.Second, "unmeasured lead-in per run")
+		concurrency = flag.Int("concurrency", 8, "workers (closed loop) / in-flight cap (open loop)")
+		qps         = flag.Float64("qps", 200, "open-loop arrival rate")
+		k           = flag.Int("k", 5, "results per search")
+		mutateRate  = flag.Float64("mutate-rate", 0, "fraction of ops that are feedback mutations (needs a mutation-accepting node)")
+		seed        = flag.Int64("seed", 42, "workload sampling seed; equal seeds replay identical op sequences")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		jsonPath    = flag.String("json", "", "write a BENCH_LOAD.json document to this path")
+
+		// Corpus flags: mirror the server's so the replayed log matches
+		// what the server indexed. Defaults match qunitsd's defaults.
+		corpusSeed   = flag.Int64("corpus-seed", 1, "universe generation seed (match the server's -seed)")
+		persons      = flag.Int("persons", 400, "persons in the universe (match the server)")
+		movies       = flag.Int("movies", 250, "movies in the universe (match the server)")
+		castPerMovie = flag.Int("cast-per-movie", 5, "cast entries per movie (match the server)")
+		instances    = flag.Int("instances", 0, "synth corpus sized for this many instances (match the server's -instances; 0 = plain imdb corpus)")
+		queries      = flag.Int("queries", 0, "query-log volume (0 = the default log size)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	if *target == "" {
+		log.Println("-target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var modes []loadgen.Mode
+	switch *mode {
+	case "closed":
+		modes = []loadgen.Mode{loadgen.ModeClosed}
+	case "open":
+		modes = []loadgen.Mode{loadgen.ModeOpen}
+	case "both":
+		modes = []loadgen.Mode{loadgen.ModeClosed, loadgen.ModeOpen}
+	default:
+		log.Fatalf("unknown -mode %q (want closed, open, or both)", *mode)
+	}
+
+	// Rebuild the server's universe so the query log targets real
+	// entities (cache hits, non-empty results).
+	var u *imdb.Universe
+	corpus := &loadgen.CorpusInfo{Seed: *corpusSeed}
+	if *instances > 0 {
+		scfg := synth.ForInstances(*instances)
+		scfg.Seed = *corpusSeed
+		log.Printf("generating synth corpus (seed=%d instances>=%d persons=%d movies=%d)",
+			scfg.Seed, *instances, scfg.Persons, scfg.Movies)
+		u = synth.MustGenerate(scfg)
+		corpus.Persons = scfg.Persons
+		corpus.Movies = scfg.Movies
+		corpus.Instances = synth.EstimatedInstances(scfg)
+	} else {
+		log.Printf("generating corpus (seed=%d persons=%d movies=%d)", *corpusSeed, *persons, *movies)
+		u = imdb.MustGenerate(imdb.Config{
+			Seed:         *corpusSeed,
+			Persons:      *persons,
+			Movies:       *movies,
+			CastPerMovie: *castPerMovie,
+		})
+		corpus.Persons = *persons
+		corpus.Movies = *movies
+	}
+	w := loadgen.ForUniverse(u, *seed, *queries)
+	corpus.Queries = w.Queries()
+	log.Printf("workload: %d distinct queries", w.Queries())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	doc := &loadgen.Document{Corpus: corpus}
+	for _, m := range modes {
+		rep, err := loadgen.Run(ctx, w, loadgen.Options{
+			Target:      strings.TrimRight(*target, "/"),
+			Mode:        m,
+			Concurrency: *concurrency,
+			QPS:         *qps,
+			Duration:    *duration,
+			Warmup:      *warmup,
+			K:           *k,
+			MutateRate:  *mutateRate,
+			Seed:        *seed,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.Text())
+		doc.Runs = append(doc.Runs, rep)
+		if ctx.Err() != nil {
+			log.Println("interrupted; reporting what was measured")
+			break
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := doc.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}

@@ -94,6 +94,7 @@ import (
 	"qunits/internal/search"
 	"qunits/internal/server"
 	"qunits/internal/snapshot"
+	"qunits/internal/synth"
 )
 
 func main() {
@@ -103,6 +104,7 @@ func main() {
 		persons      = flag.Int("persons", 400, "persons in the generated universe")
 		movies       = flag.Int("movies", 250, "movies in the generated universe")
 		castPerMovie = flag.Int("cast-per-movie", 5, "cast entries per movie")
+		instances    = flag.Int("instances", 0, "size the universe for at least this many qunit instances via internal/synth (overrides -persons/-movies; 0 disables)")
 		deriveMode   = flag.String("derive", "expert", "catalog derivation strategy: expert or schema")
 		shards       = flag.Int("shards", 0, "index shards scored in parallel (0 = GOMAXPROCS)")
 		buildWorkers = flag.Int("build-workers", 0, "engine build workers (0 = GOMAXPROCS)")
@@ -171,13 +173,25 @@ func main() {
 			}
 		}
 
-		log.Printf("qunitsd: generating universe (seed=%d persons=%d movies=%d)", *seed, *persons, *movies)
-		u := imdb.MustGenerate(imdb.Config{
-			Seed:         *seed,
-			Persons:      *persons,
-			Movies:       *movies,
-			CastPerMovie: *castPerMovie,
-		})
+		var u *imdb.Universe
+		if *instances > 0 {
+			scfg := synth.ForInstances(*instances)
+			scfg.Seed = *seed
+			log.Printf("qunitsd: generating synth universe (seed=%d instances>=%d persons=%d movies=%d)",
+				*seed, *instances, scfg.Persons, scfg.Movies)
+			genStart := time.Now()
+			u = synth.MustGenerate(scfg)
+			log.Printf("qunitsd: universe generated in %v (%d rows)",
+				time.Since(genStart).Round(time.Millisecond), u.DB.TotalRows())
+		} else {
+			log.Printf("qunitsd: generating universe (seed=%d persons=%d movies=%d)", *seed, *persons, *movies)
+			u = imdb.MustGenerate(imdb.Config{
+				Seed:         *seed,
+				Persons:      *persons,
+				Movies:       *movies,
+				CastPerMovie: *castPerMovie,
+			})
+		}
 
 		engine, applied, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers)
 		if err != nil {

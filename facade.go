@@ -34,6 +34,7 @@ import (
 	"qunits/internal/server"
 	"qunits/internal/snapshot"
 	"qunits/internal/sqlview"
+	"qunits/internal/synth"
 )
 
 // --- Relational substrate ---------------------------------------------------
@@ -159,6 +160,19 @@ func GenerateIMDb(cfg IMDbConfig) *IMDbUniverse { return imdb.MustGenerate(cfg) 
 // IMDbSynonyms returns the attribute-synonym table for the demo
 // universe's schema, for Options.Synonyms.
 func IMDbSynonyms() map[string]string { return imdb.AttributeSynonyms() }
+
+// SynthConfig sizes the scaled synthetic corpus generator — the
+// streaming, instance-budgeted variant of the demo universe that stays
+// practical past a million qunit instances.
+type SynthConfig = synth.Config
+
+// SynthForInstances sizes a SynthConfig so the expert catalog
+// materializes at least n qunit instances over the generated universe.
+func SynthForInstances(n int) SynthConfig { return synth.ForInstances(n) }
+
+// GenerateSynth builds a scaled demo universe; equal seeds produce
+// identical databases at any size.
+func GenerateSynth(cfg SynthConfig) *IMDbUniverse { return synth.MustGenerate(cfg) }
 
 // --- Search -----------------------------------------------------------------
 

@@ -323,6 +323,24 @@ func zipfWeight(rank int, s float64) float64 {
 	return 1 / math.Pow(float64(rank+1), s)
 }
 
+// ZipfWeight is the popularity mass assigned to the entity at the given
+// zero-based popularity rank. Exported so internal/synth assigns weights
+// on the same curve when it builds universes at scale.
+func ZipfWeight(rank int, s float64) float64 {
+	return zipfWeight(rank, s)
+}
+
+// NewUniverse wraps an already-populated database with the entity views
+// and popularity samplers the query-log generator and evaluation oracle
+// need. The entity slices must be sorted by descending weight, matching
+// what Generate produces; internal/synth uses this to return universes
+// built by its streaming generator.
+func NewUniverse(db *relational.Database, persons, movies []Entity) *Universe {
+	u := &Universe{DB: db, Persons: persons, Movies: movies}
+	u.buildSamplers()
+	return u
+}
+
 func (u *Universe) buildSamplers() {
 	u.personCum = cumulative(u.Persons)
 	u.movieCum = cumulative(u.Movies)
@@ -385,6 +403,12 @@ func findEntity(es []Entity, name string) (Entity, bool) {
 func makeUniqueNames(r *rand.Rand, n int, anchors []string, gen func() string) []string {
 	out := make([]string, 0, n)
 	seen := make(map[string]bool, n)
+	// dupes tracks how many collisions each base name has produced, so
+	// disambiguation walks a deterministic sequence — middle surnames,
+	// then a generation suffix — instead of rejection-sampling, which
+	// degrades to O(n^2) once the first+last composition space (~9.2k
+	// combinations) saturates.
+	dupes := make(map[string]int)
 	for _, a := range anchors {
 		out = append(out, a)
 		seen[a] = true
@@ -394,12 +418,14 @@ func makeUniqueNames(r *rand.Rand, n int, anchors []string, gen func() string) [
 	}
 	for len(out) < n {
 		name := gen()
-		if seen[name] {
-			// Disambiguate with a middle surname rather than rejecting, so
-			// generation terminates even when the combination space is tight.
-			name = strings.Replace(name, " ", " "+lastNames[r.Intn(len(lastNames))]+" ", 1)
-			if seen[name] {
-				continue
+		for seen[name] {
+			base := name
+			k := dupes[base]
+			dupes[base] = k + 1
+			if k < len(lastNames) {
+				name = strings.Replace(base, " ", " "+lastNames[k]+" ", 1)
+			} else {
+				name = base + " " + ordinalSuffix(k-len(lastNames)+2)
 			}
 		}
 		seen[name] = true
@@ -423,6 +449,9 @@ func makeMovieTitles(r *rand.Rand, n int) []string {
 	for _, a := range out {
 		seen[a] = true
 	}
+	// sequels numbers collisions per base title ("dark tide ii", "dark
+	// tide iii", ...) so a saturated pattern space never rejects.
+	sequels := make(map[string]int)
 	for len(out) < n {
 		if len(out) > len(famousMovies) && r.Float64() < 0.02 {
 			// Remake: duplicate an existing title.
@@ -435,10 +464,37 @@ func makeMovieTitles(r *rand.Rand, n int) []string {
 			t = strings.Replace(t, "%n", titleNouns[r.Intn(len(titleNouns))], 1)
 		}
 		if seen[t] {
-			continue
+			base := t
+			k := sequels[base]
+			if k < 2 {
+				k = 2
+			}
+			for seen[base+" "+ordinalSuffix(k)] {
+				k++
+			}
+			sequels[base] = k + 1
+			t = base + " " + ordinalSuffix(k)
 		}
 		seen[t] = true
 		out = append(out, t)
 	}
 	return out
+}
+
+// ordinalSuffix renders the 1-based ordinal n as a lowercase roman
+// numeral ("ii", "iii", ...), the way sequels are titled.
+func ordinalSuffix(n int) string {
+	if n > 3999 {
+		return fmt.Sprintf("part %d", n)
+	}
+	vals := []int{1000, 900, 500, 400, 100, 90, 50, 40, 10, 9, 5, 4, 1}
+	syms := []string{"m", "cm", "d", "cd", "c", "xc", "l", "xl", "x", "ix", "v", "iv", "i"}
+	var b strings.Builder
+	for i, v := range vals {
+		for n >= v {
+			b.WriteString(syms[i])
+			n -= v
+		}
+	}
+	return b.String()
 }

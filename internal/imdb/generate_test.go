@@ -190,3 +190,73 @@ func TestDefaultConfigScale(t *testing.T) {
 		t.Error("default config too small to exercise ranking")
 	}
 }
+
+func TestUniqueNamesBeyondCompositionSpace(t *testing.T) {
+	// 96 first x 96 last ≈ 9.2k combinations; asking for 40k names
+	// saturates the space several times over. The counter-walk
+	// disambiguation must stay unique (and fast — the old rejection
+	// sampler went quadratic here).
+	r := rand.New(rand.NewSource(11))
+	n := 40000
+	names := makeUniqueNames(r, n, famousPeople, func() string {
+		return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+	})
+	if len(names) != n {
+		t.Fatalf("got %d names, want %d", len(names), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestMovieTitlesUniqueExceptRemakes(t *testing.T) {
+	// The pattern space is far larger than the name space but still
+	// finite; at 30k titles collisions are routine and must come out as
+	// sequel-numbered variants, not rejection-loop stalls. Duplicates
+	// must stay near the deliberate 2% remake rate.
+	r := rand.New(rand.NewSource(13))
+	n := 30000
+	titles := makeMovieTitles(r, n)
+	if len(titles) != n {
+		t.Fatalf("got %d titles, want %d", len(titles), n)
+	}
+	counts := make(map[string]int, n)
+	dups := 0
+	for _, title := range titles {
+		if counts[title] > 0 {
+			dups++
+		}
+		counts[title]++
+	}
+	if dups == 0 {
+		t.Fatal("no remakes at 30k titles")
+	}
+	if frac := float64(dups) / float64(n); frac > 0.05 {
+		t.Fatalf("duplicate fraction %.3f exceeds the deliberate remake rate", frac)
+	}
+}
+
+func TestOrdinalSuffix(t *testing.T) {
+	cases := map[int]string{2: "ii", 3: "iii", 4: "iv", 9: "ix", 14: "xiv", 40: "xl", 3999: "mmmcmxcix", 4000: "part 4000"}
+	for n, want := range cases {
+		if got := ordinalSuffix(n); got != want {
+			t.Errorf("ordinalSuffix(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestNewUniverseSamplers(t *testing.T) {
+	u := MustGenerate(smallConfig())
+	w := NewUniverse(u.DB, u.Persons, u.Movies)
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if a, b := u.SamplePerson(r1), w.SamplePerson(r2); a != b {
+			t.Fatalf("rewrapped universe samples diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}

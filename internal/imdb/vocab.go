@@ -1,0 +1,63 @@
+package imdb
+
+// Vocab exposes the generator's word lists to other packages — notably
+// internal/synth, which scales the same schema to millions of instances
+// and must compose names from the same fragments so the famous anchors,
+// attribute synonyms, and query-log templates keep working verbatim.
+// The slices are shared with the generator, not copied; callers must
+// treat them as read-only.
+type Vocab struct {
+	FamousPeople     []string
+	FamousMovies     []string
+	FirstNames       []string
+	LastNames        []string
+	TitleAdjectives  []string
+	TitleNouns       []string
+	TitlePatterns    []string
+	Genres           []string
+	Places           []string
+	PlaceLevels      []string
+	CastRoles        []string
+	CrewJobs         []string
+	CompanyNames     []string
+	CompanyCountries []string
+	CompanyKinds     []string
+	KeywordWords     []string
+	AwardNames       []string
+	TrackWords       []string
+	PlotFragments    []string
+	TriviaFragments  []string
+}
+
+// Vocabulary returns the word lists the synthetic IMDb is composed from.
+func Vocabulary() Vocab {
+	return Vocab{
+		FamousPeople:     famousPeople,
+		FamousMovies:     famousMovies,
+		FirstNames:       firstNames,
+		LastNames:        lastNames,
+		TitleAdjectives:  titleAdjectives,
+		TitleNouns:       titleNouns,
+		TitlePatterns:    titlePatterns,
+		Genres:           genres,
+		Places:           places,
+		PlaceLevels:      placeLevels,
+		CastRoles:        castRoles,
+		CrewJobs:         crewJobs,
+		CompanyNames:     companyNames,
+		CompanyCountries: companyCountries,
+		CompanyKinds:     companyKinds,
+		KeywordWords:     keywordWords,
+		AwardNames:       awardNames,
+		TrackWords:       trackWords,
+		PlotFragments:    plotFragments,
+		TriviaFragments:  triviaFragments,
+	}
+}
+
+// OrdinalSuffix renders the 1-based ordinal n as a lowercase roman
+// numeral ("ii", "iii", ...); shared with internal/synth so sequel and
+// generation suffixes look the same at every corpus scale.
+func OrdinalSuffix(n int) string {
+	return ordinalSuffix(n)
+}

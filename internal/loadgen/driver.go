@@ -1,0 +1,264 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+const (
+	// ModeClosed runs a fixed number of workers, each issuing its next
+	// request as soon as the previous one returns — throughput follows
+	// from latency. Good for capacity probing.
+	ModeClosed Mode = "closed"
+	// ModeOpen schedules requests at a fixed arrival rate regardless of
+	// completions — the production-faithful mode. Latency is measured
+	// from each request's *scheduled* send time, so queueing delay when
+	// the server falls behind is charged to the server (no coordinated
+	// omission).
+	ModeOpen Mode = "open"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Target is the base URL of the qunitsd node, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Mode is open or closed loop; default closed.
+	Mode Mode
+	// Concurrency is the worker count (closed loop) or the in-flight cap
+	// (open loop). Default 8.
+	Concurrency int
+	// QPS is the open-loop arrival rate. Default 100.
+	QPS float64
+	// Duration is the measured window, after warmup. Default 10s.
+	Duration time.Duration
+	// Warmup is discarded lead-in time: requests *started* before the
+	// warmup boundary are issued but not recorded. Default 0.
+	Warmup time.Duration
+	// K is the page size sent with every search. Default 5.
+	K int
+	// MutateRate is the probability an operation is a feedback mutation
+	// instead of a search. Mutations require a node that accepts them
+	// (single mode or the cluster primary). Default 0.
+	MutateRate float64
+	// Seed drives workload sampling; equal seeds replay identical
+	// operation sequences. Default 1.
+	Seed int64
+	// Timeout bounds each request. Default 10s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = ModeClosed
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.QPS <= 0 {
+		o.QPS = 100
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return o
+}
+
+type driver struct {
+	opts   Options
+	client *http.Client
+	hist   Histogram
+	errors atomic.Int64
+}
+
+// Run offers the workload to the target per opts and reports what the
+// client observed. A context cancellation ends the run early; what was
+// measured up to that point is still reported.
+func Run(ctx context.Context, w *Workload, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target")
+	}
+	if w == nil || w.Queries() == 0 {
+		return nil, fmt.Errorf("loadgen: empty workload")
+	}
+	d := &driver{opts: opts, client: opts.Client}
+	if d.client == nil {
+		d.client = &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Concurrency * 2,
+				MaxIdleConnsPerHost: opts.Concurrency * 2,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		}
+	}
+
+	start := time.Now()
+	warmEnd := start.Add(opts.Warmup)
+	deadline := warmEnd.Add(opts.Duration)
+	switch opts.Mode {
+	case ModeOpen:
+		d.runOpen(ctx, w, start, warmEnd, deadline)
+	default:
+		d.runClosed(ctx, w, warmEnd, deadline)
+	}
+	window := time.Since(warmEnd).Seconds()
+	if end := deadline.Sub(warmEnd).Seconds(); window > end {
+		window = end
+	}
+
+	requests := d.hist.Count() + d.errors.Load()
+	rep := &Report{
+		Mode:            string(opts.Mode),
+		Target:          opts.Target,
+		Concurrency:     opts.Concurrency,
+		K:               opts.K,
+		MutateRate:      opts.MutateRate,
+		WarmupSeconds:   opts.Warmup.Seconds(),
+		DurationSeconds: window,
+		Requests:        requests,
+		Errors:          d.errors.Load(),
+		Latency:         d.hist.Summarize(),
+	}
+	if opts.Mode == ModeOpen {
+		rep.TargetQPS = opts.QPS
+	}
+	if requests > 0 {
+		rep.ErrorRate = float64(d.errors.Load()) / float64(requests)
+	}
+	if window > 0 {
+		rep.QPS = float64(requests) / window
+	}
+	return rep, nil
+}
+
+// runClosed: Concurrency workers in lockstep with the server.
+func (d *driver) runClosed(ctx context.Context, w *Workload, warmEnd, deadline time.Time) {
+	var wg sync.WaitGroup
+	for i := 0; i < d.opts.Concurrency; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(d.opts.Seed + int64(id)*7919))
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				if !t0.Before(deadline) {
+					return
+				}
+				err := d.do(ctx, w.Next(r, d.opts.MutateRate))
+				if t0.Before(warmEnd) {
+					continue
+				}
+				if err != nil {
+					d.errors.Add(1)
+					continue
+				}
+				d.hist.Record(time.Since(t0).Microseconds())
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runOpen: a scheduler goroutine launches one request per arrival slot.
+// The in-flight cap (Concurrency) back-pressures the scheduler when the
+// server is saturated; because latency is measured from the scheduled
+// time, that backlog shows up in the tail instead of being omitted.
+func (d *driver) runOpen(ctx context.Context, w *Workload, start, warmEnd, deadline time.Time) {
+	interval := time.Duration(float64(time.Second) / d.opts.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, d.opts.Concurrency)
+	r := rand.New(rand.NewSource(d.opts.Seed))
+	var wg sync.WaitGroup
+	for n := 0; ctx.Err() == nil; n++ {
+		scheduled := start.Add(time.Duration(n) * interval)
+		if !scheduled.Before(deadline) {
+			break
+		}
+		if wait := time.Until(scheduled); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		op := w.Next(r, d.opts.MutateRate)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(op Op, scheduled time.Time) {
+			defer wg.Done()
+			err := d.do(ctx, op)
+			lat := time.Since(scheduled)
+			<-sem
+			if scheduled.Before(warmEnd) {
+				return
+			}
+			if err != nil {
+				d.errors.Add(1)
+				return
+			}
+			d.hist.Record(lat.Microseconds())
+		}(op, scheduled)
+	}
+	wg.Wait()
+}
+
+// do issues one operation and classifies the outcome; response bodies
+// are drained so connections are reused.
+func (d *driver) do(ctx context.Context, op Op) error {
+	var path string
+	var body map[string]any
+	switch op.Kind {
+	case "feedback":
+		path = "/v1/feedback"
+		body = map[string]any{"instance_id": op.InstanceID, "positive": op.Positive}
+	default:
+		path = "/v1/search"
+		body = map[string]any{"query": op.Query, "k": d.opts.K}
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.opts.Target+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive; status is the signal
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}

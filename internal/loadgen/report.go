@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report is what one load run observed, client-side. It is the unit
+// BENCH_LOAD.json records and cmd/benchcheck -load gates on.
+type Report struct {
+	// Mode is "open" or "closed".
+	Mode string `json:"mode"`
+	// Target is the base URL the run drove.
+	Target string `json:"target"`
+	// Concurrency is the worker count (closed) or in-flight cap (open).
+	Concurrency int `json:"concurrency"`
+	// TargetQPS is the open-loop arrival rate; zero for closed loop.
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	// K is the page size each search requested.
+	K int `json:"k"`
+	// MutateRate is the fraction of operations that were mutations.
+	MutateRate float64 `json:"mutate_rate,omitempty"`
+	// WarmupSeconds were issued but not measured.
+	WarmupSeconds float64 `json:"warmup_seconds"`
+	// DurationSeconds is the measured window.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Requests is the measured operation count (successes + errors).
+	Requests int64 `json:"requests"`
+	// Errors counts transport failures and non-200 responses.
+	Errors int64 `json:"errors"`
+	// ErrorRate is Errors / Requests.
+	ErrorRate float64 `json:"error_rate"`
+	// QPS is the achieved request rate over the measured window.
+	QPS float64 `json:"qps"`
+	// Latency digests successful-request latencies in microseconds. In
+	// open-loop mode latency runs from the scheduled send time, so
+	// server backlog is charged to the server.
+	Latency Summary `json:"latency"`
+}
+
+// Text renders the report as aligned human-readable lines.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s target=%s", r.Mode, r.Target)
+	if r.Mode == string(ModeOpen) {
+		fmt.Fprintf(&b, " target_qps=%.0f inflight<=%d", r.TargetQPS, r.Concurrency)
+	} else {
+		fmt.Fprintf(&b, " concurrency=%d", r.Concurrency)
+	}
+	if r.MutateRate > 0 {
+		fmt.Fprintf(&b, " mutate_rate=%.2f", r.MutateRate)
+	}
+	fmt.Fprintf(&b, "\n  %d requests in %.1fs (%.1f qps), %d errors (%.2f%%)\n",
+		r.Requests, r.DurationSeconds, r.QPS, r.Errors, 100*r.ErrorRate)
+	l := r.Latency
+	fmt.Fprintf(&b, "  latency µs: mean=%d p50=%d p95=%d p99=%d p999=%d max=%d\n",
+		l.Mean, l.P50, l.P95, l.P99, l.P999, l.Max)
+	return b.String()
+}
+
+// CorpusInfo records which corpus the workload was generated against, so
+// a BENCH_LOAD.json is reproducible.
+type CorpusInfo struct {
+	Seed      int64 `json:"seed"`
+	Persons   int   `json:"persons"`
+	Movies    int   `json:"movies"`
+	Instances int   `json:"instances,omitempty"`
+	// Queries is the distinct-query count of the replayed workload.
+	Queries int `json:"queries"`
+}
+
+// Document is the BENCH_LOAD.json file shape: the corpus the workload
+// came from plus one report per run (cmd/loadgen -mode both writes a
+// closed- and an open-loop run).
+type Document struct {
+	Corpus *CorpusInfo `json:"corpus,omitempty"`
+	Runs   []*Report   `json:"runs"`
+}
+
+// WriteFile writes the document as indented JSON.
+func (d *Document) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadDocument loads a BENCH_LOAD.json.
+func ReadDocument(path string) (*Document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"qunits/internal/imdb"
+	"qunits/internal/ir"
+	"qunits/internal/querylog"
+)
+
+// Op is one unit of traffic: a search, or — in mixed workloads — a
+// relevance-feedback mutation (feedback reweights a qunit type's utility
+// and purges the server's result cache, so it exercises the write path
+// without growing the index unboundedly during a run).
+type Op struct {
+	Kind       string // "search" or "feedback"
+	Query      string
+	InstanceID string
+	Positive   bool
+}
+
+// Workload is a replayable query mix: the aggregated query log flattened
+// into a cumulative-frequency table for O(log n) weighted sampling, so
+// replay reproduces the log's zipfian skew — head queries hit the
+// server's cache exactly as often as they appear in the log.
+type Workload struct {
+	queries   []string
+	cum       []int64
+	total     int64
+	feedbacks []string
+}
+
+// FromLog builds a workload from an aggregated query log.
+func FromLog(l *querylog.Log) *Workload {
+	w := &Workload{
+		queries: make([]string, 0, len(l.Entries)),
+		cum:     make([]int64, 0, len(l.Entries)),
+	}
+	for _, e := range l.Entries {
+		w.total += int64(e.Freq)
+		w.queries = append(w.queries, e.Query)
+		w.cum = append(w.cum, w.total)
+	}
+	return w
+}
+
+// ForUniverse generates the default query log over a universe and builds
+// the replay workload from it, with feedback targets drawn from the
+// universe's movie summaries. seed and volume parameterize the log;
+// volume <= 0 keeps the default log size.
+func ForUniverse(u *imdb.Universe, seed int64, volume int) *Workload {
+	cfg := querylog.DefaultGenConfig()
+	cfg.Seed = seed
+	if volume > 0 {
+		cfg.Volume = volume
+	}
+	w := FromLog(querylog.Generate(u, cfg))
+	// Feedback targets: the popularity head, where mutations collide
+	// with cached reads the hardest. movie-summary instances exist for
+	// every movie under the expert catalog.
+	n := len(u.Movies)
+	if n > 256 {
+		n = 256
+	}
+	ids := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for _, m := range u.Movies[:n] {
+		id := "movie-summary:" + ir.Normalize(m.Name)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	w.feedbacks = ids
+	return w
+}
+
+// Queries returns the number of distinct queries in the workload.
+func (w *Workload) Queries() int { return len(w.queries) }
+
+// Next draws the next operation: a frequency-weighted query, or with
+// probability mutateRate a feedback mutation against a popular instance.
+func (w *Workload) Next(r *rand.Rand, mutateRate float64) Op {
+	if mutateRate > 0 && len(w.feedbacks) > 0 && r.Float64() < mutateRate {
+		return Op{
+			Kind:       "feedback",
+			InstanceID: w.feedbacks[r.Intn(len(w.feedbacks))],
+			Positive:   r.Intn(2) == 0,
+		}
+	}
+	x := r.Int63n(w.total) + 1
+	i := sort.Search(len(w.cum), func(i int) bool { return w.cum[i] >= x })
+	return Op{Kind: "search", Query: w.queries[i]}
+}

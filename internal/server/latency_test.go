@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestStatsReportsPerEndpointLatency(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	for i := 0; i < 5; i++ {
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, httptest.NewRequest("GET", "/search?q=george+clooney", nil))
+		if rr.Code != 200 {
+			t.Fatalf("search %d: HTTP %d", i, rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := stats.Latency["/search"]
+	if !ok {
+		t.Fatalf("no /search latency in stats: %v", stats.Latency)
+	}
+	if lat.Count != 5 {
+		t.Errorf("/search latency count = %d, want 5", lat.Count)
+	}
+	if lat.P50 < 0 || lat.P99 < lat.P50 || lat.Max < lat.P99 {
+		t.Errorf("non-monotone quantiles: %+v", lat)
+	}
+	// Endpoints never hit must be omitted, not reported as zeros.
+	if _, ok := stats.Latency["/v1/feedback"]; ok {
+		t.Error("untouched endpoint reported latency")
+	}
+}
+
+func TestStatsLatencyOmittedWhenIdle(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	// The /stats request itself is timed, but its own histogram is read
+	// before the request finishes — so a first scrape sees no endpoints.
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["latency_us"]; ok {
+		t.Errorf("idle server emitted latency_us: %s", raw["latency_us"])
+	}
+	// A second scrape sees the first.
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats.Latency["/stats"]; !ok {
+		t.Errorf("second scrape missing /stats latency: %v", stats.Latency)
+	}
+}
+
+func TestLatencyTrackingUnderConcurrency(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(id int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				rr := httptest.NewRecorder()
+				q := fmt.Sprintf("/search?q=movie+%d+%d", id, i)
+				srv.ServeHTTP(rr, httptest.NewRequest("GET", q, nil))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Latency["/search"].Count; got != 200 {
+		t.Errorf("/search latency count = %d, want 200", got)
+	}
+}

@@ -18,7 +18,8 @@
 //
 //	GET /search?q=<query>&k=<n>  pre-/v1 wire format, kept byte-compatible
 //	GET /healthz                 liveness probe
-//	GET /stats                   serving counters and engine stats
+//	GET /stats                   serving counters, engine stats, and
+//	                             per-endpoint latency quantiles
 //
 // Every /v1 error is a structured envelope {"error":{"code","message"}}
 // with a stable machine-readable code. All search traffic — legacy and
@@ -47,6 +48,7 @@ import (
 	"qunits/internal/cluster"
 	"qunits/internal/core"
 	"qunits/internal/ir"
+	"qunits/internal/loadgen"
 	"qunits/internal/search"
 )
 
@@ -92,6 +94,7 @@ type Server struct {
 	cache   *lruCache
 	flight  *flightGroup
 	mux     *http.ServeMux
+	latency *latencySet
 	start   time.Time
 	// acceptMutations gates the mutation endpoints: true on a single
 	// node and on a cluster's primary partition, false on followers and
@@ -189,6 +192,7 @@ func newServer(role string, engine *search.Engine, coord *cluster.Coordinator, p
 		cache:           newLRUCache(cfg.CacheSize),
 		flight:          newFlightGroup(),
 		mux:             http.NewServeMux(),
+		latency:         newLatencySet(),
 		start:           time.Now(),
 		acceptMutations: engine != nil,
 	}
@@ -197,19 +201,24 @@ func newServer(role string, engine *search.Engine, coord *cluster.Coordinator, p
 	} else {
 		s.backend = engineBackend{engine: engine}
 	}
-	s.mux.HandleFunc("/search", s.handleLegacySearch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/search", s.handleV1Search)
-	s.mux.HandleFunc("/v1/feedback", s.handleV1Feedback)
-	s.mux.HandleFunc("/v1/compact", s.handleV1Compact)
-	s.mux.HandleFunc("/v1/instances", s.handleV1InstanceCreate)
-	s.mux.HandleFunc("/v1/instances/", s.handleV1Instance)
-	s.mux.HandleFunc("/v1/cluster", s.handleV1Cluster)
+	// Every endpoint registers through the latency wrapper, so /stats
+	// reports per-endpoint quantiles without handlers opting in.
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.latency.wrap(pattern, h))
+	}
+	handle("/search", s.handleLegacySearch)
+	handle("/healthz", s.handleHealthz)
+	handle("/stats", s.handleStats)
+	handle("/v1/search", s.handleV1Search)
+	handle("/v1/feedback", s.handleV1Feedback)
+	handle("/v1/compact", s.handleV1Compact)
+	handle("/v1/instances", s.handleV1InstanceCreate)
+	handle("/v1/instances/", s.handleV1Instance)
+	handle("/v1/cluster", s.handleV1Cluster)
 	if part != nil {
-		s.mux.HandleFunc("/v1/partition/search", s.handlePartitionSearch)
-		s.mux.HandleFunc("/v1/partition/batch", s.handlePartitionBatch)
-		s.mux.HandleFunc("/v1/partition/stats", s.handlePartitionStats)
+		handle("/v1/partition/search", s.handlePartitionSearch)
+		handle("/v1/partition/batch", s.handlePartitionBatch)
+		handle("/v1/partition/stats", s.handlePartitionStats)
 	}
 	return s
 }
@@ -385,6 +394,9 @@ type StatsResponse struct {
 	IndexSlots       int     `json:"index_slots"`
 	IndexTombstones  int     `json:"index_tombstones"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
+	// Latency holds per-endpoint request-latency digests (microseconds)
+	// for every endpoint that has served at least one request.
+	Latency map[string]loadgen.Summary `json:"latency_us,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -400,6 +412,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheLen:         s.cache.len(),
 		CacheCap:         s.cfg.CacheSize,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Latency:          s.latency.summaries(),
 	}
 	// Engine gauges stay zero on a coordinator: per-node occupancy lives
 	// behind GET /v1/cluster there.

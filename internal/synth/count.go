@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"fmt"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/relational"
+)
+
+// CountInstances computes exactly how many qunit instances a catalog
+// will materialize — without materializing any of them. MaterializeAll
+// emits one instance per distinct normalized anchor label whose group
+// joins to at least one tuple, so for each definition the counter scans
+// the anchor table once, gates each anchor row on the fact tables in the
+// definition's base that directly reference it (every other join on the
+// path is guaranteed by foreign-key integrity), and counts the distinct
+// normalized labels that survive.
+//
+// The direct-reference gate is exact for catalogs whose aspect joins hop
+// anchor → fact → far-side entity, which covers everything the deriver
+// produces over the IMDb and university schemas; the parity tests pin
+// this against engine.InstanceCount. Parameterless definitions
+// materialize exactly one instance.
+func CountInstances(cat *core.Catalog) (int, error) {
+	db := cat.DB()
+	total := 0
+	for _, d := range cat.Definitions() {
+		_, col, ok := d.AnchorParam()
+		if !ok {
+			total++
+			continue
+		}
+		anchorT := db.Table(col.Table)
+		if anchorT == nil {
+			return 0, fmt.Errorf("synth: definition %q anchors on missing table %q", d.Name, col.Table)
+		}
+		schema := anchorT.Schema()
+		if schema.PrimaryKey == "" {
+			return 0, fmt.Errorf("synth: definition %q anchors on table %q without a primary key", d.Name, col.Table)
+		}
+		pkIdx, _ := schema.ColumnIndex(schema.PrimaryKey)
+		labelIdx, okc := schema.ColumnIndex(col.Column)
+		if !okc {
+			return 0, fmt.Errorf("synth: definition %q anchors on missing column %s.%s", d.Name, col.Table, col.Column)
+		}
+		var present []map[int64]struct{}
+		for _, tn := range d.Base.From {
+			if tn == col.Table {
+				continue
+			}
+			ft := db.Table(tn)
+			if ft == nil {
+				return 0, fmt.Errorf("synth: definition %q references missing table %q", d.Name, tn)
+			}
+			for _, fk := range ft.Schema().ForeignKeys {
+				if fk.RefTable != col.Table {
+					continue
+				}
+				fkIdx, okf := ft.Schema().ColumnIndex(fk.Column)
+				if !okf {
+					continue
+				}
+				set := make(map[int64]struct{}, ft.Len())
+				ft.Scan(func(_ int, row relational.Row) bool {
+					set[row[fkIdx].AsInt()] = struct{}{}
+					return true
+				})
+				present = append(present, set)
+			}
+		}
+		labels := make(map[string]struct{})
+		anchorT.Scan(func(_ int, row relational.Row) bool {
+			pk := row[pkIdx].AsInt()
+			for _, set := range present {
+				if _, hit := set[pk]; !hit {
+					return true
+				}
+			}
+			labels[ir.Normalize(row[labelIdx].Render())] = struct{}{}
+			return true
+		})
+		total += len(labels)
+	}
+	return total, nil
+}

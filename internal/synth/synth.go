@@ -1,0 +1,463 @@
+// Package synth scales the repo's synthetic schemas to production-size
+// corpora. The stock internal/imdb generator is tuned for laptop-scale
+// experiments (thousands of entities); this package generates the same
+// 17-table IMDb schema — and the university schema from the examples —
+// at millions of qunit instances, deterministically from a single seed.
+//
+// The generator streams: every movie's dependent fact rows (cast, crew,
+// keywords, awards, soundtrack, ...) are emitted in the same pass that
+// inserts the movie row, names come from an arithmetic walk over the
+// first×last composition space instead of a rejection sampler, and no
+// intermediate slice beyond the entity views (which the Universe API
+// requires anyway) is ever held. Sizing is instance-driven rather than
+// row-driven: ForInstances solves the expert-catalog instance model for
+// entity counts, and CountInstances computes the exact number of
+// instances a catalog will materialize without materializing them.
+package synth
+
+import (
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"math/rand"
+
+	"qunits/internal/imdb"
+	"qunits/internal/relational"
+)
+
+// Config controls the size and randomness of the generated corpus. It
+// mirrors imdb.Config: equal seeds produce identical databases.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Persons is the number of people to generate.
+	Persons int
+	// Movies is the number of movies to generate.
+	Movies int
+	// CastPerMovie is the mean cast size.
+	CastPerMovie int
+	// PopularityExponent shapes the Zipfian head; ~0.8-1.2 is realistic.
+	PopularityExponent float64
+}
+
+// DefaultConfig returns the million-instance configuration the load
+// harness runs against.
+func DefaultConfig() Config {
+	return ForInstances(1_000_000)
+}
+
+func (cfg Config) withDefaults() Config {
+	v := imdb.Vocabulary()
+	if cfg.Persons < len(v.FamousPeople) {
+		cfg.Persons = len(v.FamousPeople)
+	}
+	if cfg.Movies < len(v.FamousMovies) {
+		cfg.Movies = len(v.FamousMovies)
+	}
+	if cfg.CastPerMovie <= 0 {
+		cfg.CastPerMovie = 6
+	}
+	if cfg.PopularityExponent <= 0 {
+		cfg.PopularityExponent = 0.9
+	}
+	return cfg
+}
+
+// Aspect rates, matching internal/imdb so corpora at every scale have the
+// same shape. awardRate is P(rating >= 7.5) * 0.6 under the generator's
+// rating law 10*(0.35 + 0.65*u*v): P(u*v >= 8/13) = 1 - a + a*ln(a) with
+// a = 8/13, ≈ 0.086, times the 0.6 nomination gate.
+const (
+	akaRate        = 0.2
+	soundtrackRate = 0.3
+	boxOfficeRate  = 0.85
+	triviaRate     = 0.4
+	remakeRate     = 0.02
+	awardRate      = 0.0515
+	// personsPerMovie is the entity ratio ForInstances maintains.
+	personsPerMovie = 2
+)
+
+// instancesPerMovieLabel is the expected expert-catalog instance count
+// per distinct movie title: summary, cast, crew, keywords, and locations
+// always materialize (cast size is >= 1 and the location/info joins are
+// FK-guaranteed), the remaining aspects at their rates.
+const instancesPerMovieLabel = 5 + soundtrackRate + boxOfficeRate + triviaRate + awardRate
+
+// EstimatedInstances predicts how many instances the expert catalog
+// materializes over a corpus generated with cfg: one profile per person
+// (names are unique by construction) plus instancesPerMovieLabel per
+// distinct movie title (deliberate remakes merge into their original's
+// qunit group).
+func EstimatedInstances(cfg Config) int {
+	cfg = cfg.withDefaults()
+	titles := float64(cfg.Movies) * (1 - remakeRate)
+	return int(titles*instancesPerMovieLabel) + cfg.Persons
+}
+
+// ForInstances returns a configuration expected to materialize at least
+// n expert-catalog instances, with a small margin over the estimate to
+// absorb the binomial noise of the aspect rates.
+func ForInstances(n int) Config {
+	perMovie := (1-remakeRate)*instancesPerMovieLabel + personsPerMovie
+	movies := int(math.Ceil(1.05 * float64(n) / perMovie))
+	cfg := Config{
+		Seed:               1,
+		Movies:             movies,
+		Persons:            personsPerMovie * movies,
+		CastPerMovie:       6,
+		PopularityExponent: 0.9,
+	}
+	return cfg.withDefaults()
+}
+
+// Generate builds the corpus. The result is a full imdb.Universe, so the
+// query-log generator and every downstream consumer work unchanged.
+func Generate(cfg Config) (*imdb.Universe, error) {
+	cfg = cfg.withDefaults()
+	v := imdb.Vocabulary()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDatabase("imdb")
+	for _, s := range imdb.Schemas() {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Static dimension tables, identical in layout to internal/imdb.
+	genreT := db.Table(imdb.TableGenre)
+	for i, g := range v.Genres {
+		genreT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(g)})
+	}
+	locT := db.Table(imdb.TableLocations)
+	for i, p := range v.Places {
+		lvl := v.PlaceLevels[r.Intn(len(v.PlaceLevels))]
+		locT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(p), relational.String(lvl)})
+	}
+	compT := db.Table(imdb.TableCompany)
+	for i, c := range v.CompanyNames {
+		compT.MustInsert(relational.Row{
+			relational.Int(int64(i + 1)), relational.String(c),
+			relational.String(v.CompanyCountries[r.Intn(len(v.CompanyCountries))]),
+		})
+	}
+	kwT := db.Table(imdb.TableKeyword)
+	for i, k := range v.KeywordWords {
+		kwT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(k)})
+	}
+	awT := db.Table(imdb.TableAward)
+	for i, a := range v.AwardNames {
+		awT.MustInsert(relational.Row{relational.Int(int64(i + 1)), relational.String(a)})
+	}
+
+	// Persons: the namer walks a seed-permuted arithmetic sequence over
+	// the first×last composition space, so names are unique at any scale
+	// without a seen-map or rejection loop.
+	namer := newPersonNamer(cfg.Seed, v)
+	personT := db.Table(imdb.TablePerson)
+	persons := make([]imdb.Entity, 0, cfg.Persons)
+	for i := 0; i < cfg.Persons; i++ {
+		name := namer.name(i)
+		g := "m"
+		if r.Intn(2) == 0 {
+			g = "f"
+		}
+		bd := fmt.Sprintf("%04d-%02d-%02d", 1925+r.Intn(75), 1+r.Intn(12), 1+r.Intn(28))
+		id := int64(i + 1)
+		row := personT.MustInsert(relational.Row{
+			relational.Int(id), relational.String(name),
+			relational.String(bd), relational.String(g),
+		})
+		persons = append(persons, imdb.Entity{
+			Name: name, Table: imdb.TablePerson, Row: row, PK: id,
+			Weight: imdb.ZipfWeight(i, cfg.PopularityExponent),
+		})
+	}
+	// Person sampler for cast/crew/soundtrack assignment; the full
+	// universe (with movies) is rebuilt at the end.
+	pu := imdb.NewUniverse(db, persons, nil)
+
+	// Movies: one pass per movie emits the movie row and every dependent
+	// fact row, so the generator never rescans the movie table.
+	titler := newMovieTitler(v)
+	infoT := db.Table(imdb.TableInfo)
+	movieT := db.Table(imdb.TableMovie)
+	castT := db.Table(imdb.TableCast)
+	crewT := db.Table(imdb.TableCrew)
+	akaT := db.Table(imdb.TableAkaTitle)
+	mcT := db.Table(imdb.TableMovieCompany)
+	mkT := db.Table(imdb.TableMovieKeyword)
+	maT := db.Table(imdb.TableMovieAward)
+	stT := db.Table(imdb.TableSoundtrack)
+	boT := db.Table(imdb.TableBoxOffice)
+	trT := db.Table(imdb.TableTrivia)
+	movies := make([]imdb.Entity, 0, cfg.Movies)
+	for i := 0; i < cfg.Movies; i++ {
+		var title string
+		switch {
+		case i < len(v.FamousMovies):
+			title = v.FamousMovies[i]
+		case r.Float64() < remakeRate:
+			// Remake: duplicate an existing title (the paper's point that
+			// titles are not unique).
+			title = movies[r.Intn(len(movies))].Name
+		default:
+			title = titler.next(r)
+		}
+		id := int64(i + 1)
+		plot := v.PlotFragments[r.Intn(len(v.PlotFragments))] + "; " +
+			v.PlotFragments[r.Intn(len(v.PlotFragments))]
+		infoT.MustInsert(relational.Row{relational.Int(id), relational.String(plot)})
+		year := 1950 + r.Intn(59)
+		rating := 10 * (0.35 + 0.65*r.Float64()*r.Float64())
+		rating = math.Round(rating*10) / 10
+		row := movieT.MustInsert(relational.Row{
+			relational.Int(id), relational.String(title),
+			relational.Int(int64(year)), relational.Float(rating),
+			relational.Int(int64(1 + r.Intn(len(v.Genres)))),
+			relational.Int(int64(1 + r.Intn(len(v.Places)))),
+			relational.Int(id),
+		})
+		movies = append(movies, imdb.Entity{
+			Name: title, Table: imdb.TableMovie, Row: row, PK: id,
+			Weight: imdb.ZipfWeight(i, cfg.PopularityExponent),
+		})
+
+		// Cast: popular people cluster in popular movies.
+		n := 1 + r.Intn(2*cfg.CastPerMovie)
+		seenCast := make(map[int64]bool, n)
+		for j := 0; j < n; j++ {
+			p := pu.SamplePerson(r)
+			if seenCast[p.PK] {
+				continue
+			}
+			seenCast[p.PK] = true
+			castT.MustInsert(relational.Row{
+				relational.Int(p.PK), relational.Int(id),
+				relational.String(v.CastRoles[r.Intn(len(v.CastRoles))]),
+			})
+		}
+		// Crew: a director plus a couple of others.
+		jobs := []string{"director"}
+		for j := 0; j < 1+r.Intn(3); j++ {
+			jobs = append(jobs, v.CrewJobs[1+r.Intn(len(v.CrewJobs)-1)])
+		}
+		for _, job := range jobs {
+			p := pu.SamplePerson(r)
+			crewT.MustInsert(relational.Row{
+				relational.Int(p.PK), relational.Int(id), relational.String(job),
+			})
+		}
+		if r.Float64() < akaRate {
+			aka := "aka " + v.TitleNouns[r.Intn(len(v.TitleNouns))] + " " + v.TitleNouns[r.Intn(len(v.TitleNouns))]
+			akaT.MustInsert(relational.Row{relational.Int(id), relational.String(aka)})
+		}
+		for j := 0; j < 1+r.Intn(2); j++ {
+			mcT.MustInsert(relational.Row{
+				relational.Int(id),
+				relational.Int(int64(1 + r.Intn(len(v.CompanyNames)))),
+				relational.String(v.CompanyKinds[r.Intn(len(v.CompanyKinds))]),
+			})
+		}
+		nk := 2 + r.Intn(4)
+		seenKw := make(map[int64]bool, nk)
+		for j := 0; j < nk; j++ {
+			k := int64(1 + r.Intn(len(v.KeywordWords)))
+			if seenKw[k] {
+				continue
+			}
+			seenKw[k] = true
+			mkT.MustInsert(relational.Row{relational.Int(id), relational.Int(k)})
+		}
+		if rating >= 7.5 && r.Float64() < 0.6 {
+			maT.MustInsert(relational.Row{
+				relational.Int(id),
+				relational.Int(int64(1 + r.Intn(len(v.AwardNames)))),
+				relational.Int(int64(year + 1)),
+				relational.Bool(r.Float64() < 0.35),
+			})
+		}
+		if r.Float64() < soundtrackRate {
+			for j := 0; j < 1+r.Intn(3); j++ {
+				track := v.TrackWords[r.Intn(len(v.TrackWords))] + " in " +
+					v.TitleNouns[r.Intn(len(v.TitleNouns))]
+				stT.MustInsert(relational.Row{
+					relational.Int(id), relational.String(track),
+					relational.String(pu.SamplePerson(r).Name),
+				})
+			}
+		}
+		if r.Float64() < boxOfficeRate {
+			gross := int64(1+r.Intn(900)) * 1_000_000
+			boT.MustInsert(relational.Row{
+				relational.Int(id), relational.Int(gross),
+				relational.Int(gross / int64(3+r.Intn(10))),
+			})
+		}
+		if r.Float64() < triviaRate {
+			for j := 0; j < 1+r.Intn(2); j++ {
+				trT.MustInsert(relational.Row{
+					relational.Int(id),
+					relational.String(v.TriviaFragments[r.Intn(len(v.TriviaFragments))]),
+				})
+			}
+		}
+	}
+
+	db.Tables(func(t *relational.Table) {
+		for _, fk := range t.Schema().ForeignKeys {
+			if err := t.CreateIndex(fk.Column); err != nil {
+				panic(err) // unreachable: columns come from validated schemas
+			}
+		}
+	})
+	if err := db.ValidateForeignKeys(); err != nil {
+		return nil, fmt.Errorf("synth: generated database fails FK validation: %w", err)
+	}
+	return imdb.NewUniverse(db, persons, movies), nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *imdb.Universe {
+	u, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// personNamer assigns person i a unique name in O(1) with no seen-map:
+// index i maps to a slot in a seed-permuted arithmetic walk over the
+// first×last composition space, and each full lap adds a generation
+// suffix ("ii", "iii", ...). The famous anchors occupy the head; a
+// generated collision with an anchor takes a "jr".
+type personNamer struct {
+	first, last []string
+	anchors     []string
+	anchorSet   map[string]bool
+	combos      int
+	start, step int
+}
+
+func newPersonNamer(seed int64, v imdb.Vocab) *personNamer {
+	n := &personNamer{
+		first:     v.FirstNames,
+		last:      v.LastNames,
+		anchors:   v.FamousPeople,
+		anchorSet: make(map[string]bool, len(v.FamousPeople)),
+		combos:    len(v.FirstNames) * len(v.LastNames),
+	}
+	for _, a := range n.anchors {
+		n.anchorSet[a] = true
+	}
+	h := splitmix64(uint64(seed))
+	n.start = int(h % uint64(n.combos))
+	n.step = int((h>>17)%uint64(n.combos)) | 1
+	for gcd(n.step, n.combos) != 1 {
+		n.step += 2
+	}
+	return n
+}
+
+func (n *personNamer) name(i int) string {
+	if i < len(n.anchors) {
+		return n.anchors[i]
+	}
+	j := i - len(n.anchors)
+	combo := (n.start + j*n.step) % n.combos
+	gen := j / n.combos
+	name := n.first[combo%len(n.first)] + " " + n.last[combo/len(n.first)]
+	if gen > 0 {
+		return name + " " + imdb.OrdinalSuffix(gen+1)
+	}
+	if n.anchorSet[name] {
+		return name + " jr"
+	}
+	return name
+}
+
+// movieTitler composes pattern titles, numbering collisions as sequels —
+// amortized O(1) per title, never rejects. Deliberate remakes are the
+// caller's business (they duplicate an emitted title on purpose).
+type movieTitler struct {
+	v       imdb.Vocab
+	seen    map[string]bool
+	sequels map[string]int
+}
+
+func newMovieTitler(v imdb.Vocab) *movieTitler {
+	t := &movieTitler{v: v, seen: make(map[string]bool), sequels: make(map[string]int)}
+	for _, f := range v.FamousMovies {
+		t.seen[f] = true
+	}
+	return t
+}
+
+func (mt *movieTitler) next(r *rand.Rand) string {
+	p := mt.v.TitlePatterns[r.Intn(len(mt.v.TitlePatterns))]
+	t := ""
+	for i := 0; i < len(p); i++ {
+		if p[i] == '%' && i+1 < len(p) {
+			switch p[i+1] {
+			case 'a':
+				t += mt.v.TitleAdjectives[r.Intn(len(mt.v.TitleAdjectives))]
+				i++
+				continue
+			case 'n':
+				t += mt.v.TitleNouns[r.Intn(len(mt.v.TitleNouns))]
+				i++
+				continue
+			}
+		}
+		t += string(p[i])
+	}
+	if mt.seen[t] {
+		base := t
+		k := mt.sequels[base]
+		if k < 2 {
+			k = 2
+		}
+		for mt.seen[base+" "+imdb.OrdinalSuffix(k)] {
+			k++
+		}
+		mt.sequels[base] = k + 1
+		t = base + " " + imdb.OrdinalSuffix(k)
+	}
+	mt.seen[t] = true
+	return t
+}
+
+// Fingerprint returns a streaming CRC-64 digest over every row of every
+// table in creation and insertion order. The determinism tests compare
+// fingerprints instead of holding two million-row corpora side by side.
+func Fingerprint(db *relational.Database) uint64 {
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	for _, tn := range db.TableNames() {
+		io.WriteString(h, tn)
+		h.Write([]byte{0})
+		db.Table(tn).Scan(func(_ int, row relational.Row) bool {
+			for _, v := range row {
+				io.WriteString(h, v.Render())
+				h.Write([]byte{0x1f})
+			}
+			h.Write([]byte{0x1e})
+			return true
+		})
+	}
+	return h.Sum64()
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/search"
+)
+
+// TestMillionInstanceCorpusDeterministic is the subsystem's headline
+// guarantee: ForInstances(1M) yields a corpus that (a) the expert
+// catalog materializes into at least a million instances and (b) is
+// bit-identical across runs with the same seed. Fingerprints keep the
+// memory cost at one corpus per run instead of two held side by side.
+func TestMillionInstanceCorpusDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-instance corpus generation skipped in -short mode")
+	}
+	cfg := ForInstances(1_000_000)
+	u := MustGenerate(cfg)
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountInstances(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1_000_000 {
+		t.Fatalf("ForInstances(1M) materializes only %d instances", n)
+	}
+	if n > 1_300_000 {
+		t.Fatalf("ForInstances(1M) overshoots wildly: %d instances", n)
+	}
+	est := EstimatedInstances(cfg)
+	if ratio := float64(n) / float64(est); ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("estimate %d vs actual %d (ratio %.3f): instance model drifted", est, n, ratio)
+	}
+	fp := Fingerprint(u.DB)
+	u = nil // allow the first corpus to be collected before regenerating
+
+	again := MustGenerate(cfg)
+	if fp2 := Fingerprint(again.DB); fp2 != fp {
+		t.Fatalf("same seed produced different corpora: %x vs %x", fp, fp2)
+	}
+
+	cfg.Seed = 2
+	other := MustGenerate(Config{Seed: 2, Persons: cfg.Persons, Movies: cfg.Movies,
+		CastPerMovie: cfg.CastPerMovie, PopularityExponent: cfg.PopularityExponent})
+	if Fingerprint(other.DB) == fp {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestCountInstancesMatchesEngine pins the arithmetic counter to the
+// ground truth: the engine's post-materialization instance count over
+// the same catalog.
+func TestCountInstancesMatchesEngine(t *testing.T) {
+	u := MustGenerate(ForInstances(8000))
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CountInstances(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.InstanceCount(); got != want {
+		t.Fatalf("CountInstances = %d but engine materialized %d", want, got)
+	}
+	if got := eng.InstanceCount(); got < 8000 {
+		t.Fatalf("ForInstances(8000) materialized only %d", got)
+	}
+}
+
+func TestGenerateKeepsUniverseContract(t *testing.T) {
+	u := MustGenerate(Config{Seed: 3, Persons: 500, Movies: 260})
+	for _, name := range []string{"george clooney", "julio iglesias"} {
+		if _, ok := u.FindPerson(name); !ok {
+			t.Errorf("missing famous person %q", name)
+		}
+	}
+	for _, title := range []string{"star wars", "tomb raider"} {
+		if _, ok := u.FindMovie(title); !ok {
+			t.Errorf("missing famous movie %q", title)
+		}
+	}
+	if u.Persons[0].Weight <= u.Persons[len(u.Persons)-1].Weight {
+		t.Error("popularity not decreasing")
+	}
+	r := rand.New(rand.NewSource(4))
+	head, tail := 0, 0
+	for i := 0; i < 4000; i++ {
+		switch u.SamplePerson(r).Name {
+		case u.Persons[0].Name:
+			head++
+		case u.Persons[len(u.Persons)-1].Name:
+			tail++
+		}
+	}
+	if head <= tail || head < 20 {
+		t.Errorf("sampler not zipfian: head %d, tail %d", head, tail)
+	}
+}
+
+func TestPersonNamerUniqueAtScale(t *testing.T) {
+	namer := newPersonNamer(9, imdb.Vocabulary())
+	n := 60000 // several laps around the 9.2k composition space
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		name := namer.name(i)
+		if seen[name] {
+			t.Fatalf("duplicate person name %q at index %d", name, i)
+		}
+		seen[name] = true
+	}
+}
+
+func TestForInstancesScalesMonotonically(t *testing.T) {
+	small, large := ForInstances(10_000), ForInstances(500_000)
+	if small.Movies >= large.Movies || small.Persons >= large.Persons {
+		t.Fatalf("ForInstances not monotonic: %+v vs %+v", small, large)
+	}
+	tiny := ForInstances(1)
+	if tiny.Movies < 20 || tiny.Persons < 20 {
+		t.Fatalf("ForInstances(1) below the famous anchor floors: %+v", tiny)
+	}
+}
+
+// TestUniversityCorpus proves the subsystem is not IMDb-specific: the
+// scaled university schema works with the generic §4.1 deriver, and the
+// instance counter stays exact on it.
+func TestUniversityCorpus(t *testing.T) {
+	cfg := UniversityConfig{Seed: 5, Departments: 10, Professors: 60,
+		Courses: 150, Students: 400, EnrollPerStudent: 3}
+	db, err := GenerateUniversity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("student").Len() != 400 || db.Table("course").Len() != 150 {
+		t.Fatalf("cardinalities not honored: %d students, %d courses",
+			db.Table("student").Len(), db.Table("course").Len())
+	}
+	db2, err := GenerateUniversity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(db) != Fingerprint(db2) {
+		t.Fatal("university generation not deterministic")
+	}
+	cat, err := derive.FromSchema{K1: 3, K2: 2}.Derive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CountInstances(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := search.NewEngine(cat, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.InstanceCount(); got != want {
+		t.Fatalf("university CountInstances = %d but engine materialized %d", want, got)
+	}
+	if want == 0 {
+		t.Fatal("university corpus materialized zero instances")
+	}
+}

@@ -15,18 +15,47 @@
 # the CI smoke test: `make smoke` runs the basic flow, `make
 # snapshot-smoke` the snapshot flow, `make compact-smoke` the
 # compact-under-load flow, `make cluster-smoke` the cluster flow,
+# `make loadgen-smoke` the load-generator flow (cmd/loadgen against a
+# synth corpus, single node and cluster, gated by benchcheck -load),
 # `scripts/smoke.sh all` everything. Fast, hermetic, and loud on
 # failure.
 #
-# Usage: smoke.sh [basic|snapshot|compact|cluster|all]   (default: all)
+# Usage: smoke.sh [basic|snapshot|compact|cluster|loadgen|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
-case "$MODE" in basic|snapshot|compact|cluster|all) ;; *)
-    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|all)" >&2; exit 2 ;;
+case "$MODE" in basic|snapshot|compact|cluster|loadgen|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|loadgen|all)" >&2; exit 2 ;;
 esac
 
-PORT="${SMOKE_PORT:-18080}"
+# pick_ports N: print N distinct free TCP ports, one per line. All N
+# sockets are held open simultaneously while being picked, so the
+# kernel cannot hand the same port out twice; they are closed only on
+# exit, immediately before the servers bind. (The old scheme — a fixed
+# 18080 plus offsets — collided with anything already listening there,
+# including a concurrent smoke run.)
+pick_ports() {
+    python3 -c '
+import socket, sys
+socks = [socket.socket() for _ in range(int(sys.argv[1]))]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+for s in socks:
+    print(s.getsockname()[1])
+' "$1"
+}
+
+if [ -n "${SMOKE_PORT:-}" ]; then
+    # Explicit override keeps the old deterministic layout for debugging.
+    PORT="$SMOKE_PORT"
+    SPORT=$((PORT + 1)); P0PORT=$((PORT + 2)); P1PORT=$((PORT + 3)); COPORT=$((PORT + 4))
+    LPORT=$((PORT + 5)); LP0PORT=$((PORT + 6)); LP1PORT=$((PORT + 7)); LCOPORT=$((PORT + 8))
+else
+    # shellcheck disable=SC2046
+    set -- $(pick_ports 9)
+    PORT=$1; SPORT=$2; P0PORT=$3; P1PORT=$4; COPORT=$5
+    LPORT=$6; LP0PORT=$7; LP1PORT=$8; LCOPORT=$9
+fi
 BASE="http://127.0.0.1:$PORT"
 BIN="$(mktemp -d)/qunitsd"
 LOG="$(mktemp)"
@@ -39,6 +68,7 @@ cleanup() {
     for p in ${CPIDS:-}; do wait "$p" 2>/dev/null || true; done
     rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp" "$LOG.searchfail"
     [ -n "${CLOGS:-}" ] && rm -rf "$CLOGS"
+    [ -n "${LGLOGS:-}" ] && rm -rf "$LGLOGS"
 }
 trap cleanup EXIT INT TERM
 
@@ -221,7 +251,6 @@ if [ "$MODE" = "cluster" ] || [ "$MODE" = "all" ]; then
     # directly (a cache hit flips the "cached" field).
     CLOGS="$(mktemp -d)"
     CWAL="$CLOGS/mutations.wal"
-    SPORT=$((PORT + 1)); P0PORT=$((PORT + 2)); P1PORT=$((PORT + 3)); COPORT=$((PORT + 4))
     SBASE="http://127.0.0.1:$SPORT"; COBASE="http://127.0.0.1:$COPORT"
     GEN="-persons 120 -movies 80 -shards 4 -cache -1"
     CPIDS=""
@@ -344,6 +373,85 @@ cluster: $C_OUT"
         while kill -0 "$p" 2>/dev/null; do
             i=$((i + 1))
             [ "$i" -gt 100 ] && cluster_fail "cluster node $p did not drain after SIGTERM"
+            sleep 0.1
+        done
+        wait "$p" 2>/dev/null || true
+    done
+    CPIDS=""
+fi
+
+if [ "$MODE" = "loadgen" ] || [ "$MODE" = "all" ]; then
+    # Boot qunitsd on a small synth corpus, hit it with a short
+    # closed-loop and open-loop burst from cmd/loadgen, and gate the
+    # result through benchcheck -load: zero errors, a sane request
+    # floor, and a generous absolute p99 ceiling (it catches
+    # order-of-magnitude regressions, not CI jitter). Then the same
+    # closed-loop burst through a coordinator over two static
+    # partitions, proving scatter-gather under real concurrency. Set
+    # LOADGEN_JSON to keep the single-node BENCH_LOAD.json.
+    LGLOGS="$(mktemp -d)"
+    LGBIN="$LGLOGS/loadgen"
+    BCBIN="$LGLOGS/benchcheck"
+    LJSON="${LOADGEN_JSON:-$LGLOGS/BENCH_LOAD.json}"
+    echo "smoke: building loadgen + benchcheck"
+    go build -o "$LGBIN" ./cmd/loadgen
+    go build -o "$BCBIN" ./cmd/benchcheck
+
+    PORT="$LPORT"
+    BASE="http://127.0.0.1:$PORT"
+    echo "smoke: starting qunitsd on a 3000-instance synth corpus (:$PORT)"
+    start_server -instances 3000
+
+    echo "smoke: loadgen closed+open burst against the single node"
+    "$LGBIN" -target "$BASE" -instances 3000 -mode both \
+        -duration 2s -warmup 500ms -qps 150 -mutate-rate 0.05 \
+        -json "$LJSON" >"$LGLOGS/loadgen.log" 2>&1 || fail "loadgen run failed: $(cat "$LGLOGS/loadgen.log")"
+    cat "$LGLOGS/loadgen.log"
+
+    echo "smoke: gating the load report (benchcheck -load)"
+    "$BCBIN" -load "$LJSON" -max-p99 2000000 -max-error-rate 0 -min-requests 50 \
+        || fail "load gate failed"
+
+    echo "smoke: /stats reports per-endpoint latency quantiles"
+    OUT=$(curl -fsS "$BASE/stats")
+    echo "$OUT" | jsonget 'd["latency_us"]["/v1/search"]["count"] > 0' | grep -qx True || fail "no /v1/search latency in stats: $OUT"
+    echo "$OUT" | jsonget 'd["latency_us"]["/v1/search"]["p99_us"] >= d["latency_us"]["/v1/search"]["p50_us"]' | grep -qx True || fail "non-monotone latency quantiles: $OUT"
+    stop_server
+
+    # lg_node NAME PORT FLAGS…: boot one cluster node for the loadgen
+    # leg (static partitions: no WAL, search-only traffic).
+    lg_node() {
+        name=$1; port=$2; shift 2
+        "$BIN" -addr "127.0.0.1:$port" -persons 120 -movies 80 -shards 4 "$@" >"$LGLOGS/$name.log" 2>&1 &
+        CPIDS="$CPIDS $!"
+        i=0
+        until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            [ "$i" -gt 100 ] && fail "loadgen cluster node $name did not become healthy: $(cat "$LGLOGS/$name.log")"
+            sleep 0.2
+        done
+    }
+
+    echo "smoke: loadgen against a 2-partition cluster (:$LCOPORT)"
+    CPIDS=""
+    lg_node lgpart0 "$LP0PORT" -mode partition -partition-index 0 -partition-count 2
+    lg_node lgpart1 "$LP1PORT" -mode partition -partition-index 1 -partition-count 2
+    lg_node lgcoord "$LCOPORT" -mode coordinator -partitions "http://127.0.0.1:$LP0PORT,http://127.0.0.1:$LP1PORT"
+
+    "$LGBIN" -target "http://127.0.0.1:$LCOPORT" -persons 120 -movies 80 -mode closed \
+        -duration 2s -warmup 500ms \
+        -json "$LGLOGS/BENCH_LOAD.cluster.json" >"$LGLOGS/loadgen-cluster.log" 2>&1 \
+        || fail "cluster loadgen run failed: $(cat "$LGLOGS/loadgen-cluster.log")"
+    cat "$LGLOGS/loadgen-cluster.log"
+    "$BCBIN" -load "$LGLOGS/BENCH_LOAD.cluster.json" -max-p99 2000000 -max-error-rate 0 -min-requests 50 \
+        || fail "cluster load gate failed"
+
+    for p in $CPIDS; do kill -TERM "$p" 2>/dev/null || true; done
+    for p in $CPIDS; do
+        i=0
+        while kill -0 "$p" 2>/dev/null; do
+            i=$((i + 1))
+            [ "$i" -gt 100 ] && fail "loadgen cluster node $p did not drain after SIGTERM"
             sleep 0.1
         done
         wait "$p" 2>/dev/null || true
