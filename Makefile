@@ -7,7 +7,12 @@ STATICCHECK_VERSION ?= 2025.1.1
 # the engine, server, and snapshot suites too.
 COVER_MIN_IR ?= 90.0
 
-.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke soak bench bench-json bench-regression bench-load cover ci
+# Minimum statement coverage for internal/eval (the relevance-gate
+# machinery: golden sets, rank metrics, the offline/online harness) —
+# the gate that judges quality must itself stay tested.
+COVER_MIN_EVAL ?= 85.0
+
+.PHONY: build test race vet fmt-check staticcheck smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke eval-smoke soak bench bench-json bench-regression bench-load eval cover ci
 
 build:
 	$(GO) build ./...
@@ -129,9 +134,23 @@ bench-load:
 	LOADGEN_JSON=$(CURDIR)/BENCH_LOAD.json ./scripts/smoke.sh loadgen
 	@echo "wrote BENCH_LOAD.json"
 
+# eval is the relevance gate: run both committed golden sets offline
+# through cmd/eval, enforce each set's committed Precision@k/NDCG@k
+# floors, and write the deterministic BENCH_EVAL.json report.
+eval:
+	$(GO) run ./cmd/eval -golden imdb -golden university -json BENCH_EVAL.json
+
+# eval-smoke boots qunitsd on the IMDb golden corpus and runs the same
+# gate online over POST /v1/search, asserting the report is
+# byte-identical to the offline run — the serving stack cannot change
+# what the gate measures.
+eval-smoke:
+	./scripts/smoke.sh eval
+
 # cover writes the merged coverage profile CI uploads as an artifact and
-# gates internal/ir — the scoring/compaction core — on a minimum
-# statement coverage, so new retrieval code cannot land untested.
+# gates internal/ir — the scoring/compaction core — and internal/eval —
+# the relevance-gate machinery — on minimum statement coverage, so new
+# retrieval or evaluation code cannot land untested.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) test -coverpkg=./internal/ir -coverprofile=coverage_ir.out ./internal/... .
@@ -140,5 +159,11 @@ cover:
 	awk -v got="$$total" -v min="$(COVER_MIN_IR)" 'BEGIN { exit (got+0 >= min+0) ? 0 : 1 }' || \
 	  { echo "cover: FAIL: internal/ir coverage $$total% is below the $(COVER_MIN_IR)% floor" >&2; exit 1; }
 	@rm -f coverage_ir.out
+	$(GO) test -coverpkg=./internal/eval -coverprofile=coverage_eval.out ./internal/... .
+	@total=$$($(GO) tool cover -func=coverage_eval.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/eval coverage: $$total% (floor $(COVER_MIN_EVAL)%)"; \
+	awk -v got="$$total" -v min="$(COVER_MIN_EVAL)" 'BEGIN { exit (got+0 >= min+0) ? 0 : 1 }' || \
+	  { echo "cover: FAIL: internal/eval coverage $$total% is below the $(COVER_MIN_EVAL)% floor" >&2; exit 1; }
+	@rm -f coverage_eval.out
 
-ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke bench bench-regression cover
+ci: build fmt-check vet test race soak smoke snapshot-smoke compact-smoke cluster-smoke loadgen-smoke eval eval-smoke bench bench-regression cover

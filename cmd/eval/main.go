@@ -1,0 +1,352 @@
+// Command eval is the relevance-quality gate: it runs golden query sets
+// (curated query → expected-qunit judgments) against the search stack,
+// computes Precision@k, Recall@k, MRR, and NDCG@k, and fails when the
+// committed floors are not met — turning the paper's Figure 3 result-
+// quality metric into a continuously enforced regression test.
+//
+// Evaluate the committed golden sets offline (a fresh engine per set,
+// rebuilt from each set's corpus recipe):
+//
+//	eval -golden imdb -golden university -json BENCH_EVAL.json
+//
+// Evaluate online, against a running qunitsd serving the same corpus —
+// single node, coordinator, or follower; the gate then exercises the
+// whole serving stack including the scatter-gather merge:
+//
+//	qunitsd -addr :8080 -seed 1 -persons 120 -movies 80 &
+//	eval -golden imdb -online -addr http://127.0.0.1:8080
+//
+// Serving is parity-locked end to end, so online and offline runs over
+// the same corpus produce byte-identical reports (scripts/smoke.sh
+// asserts exactly that).
+//
+// Generate a candidate golden set for human curation (the survey
+// workload judged by the need oracle's Table 2 rubric):
+//
+//	eval -generate imdb -seed 1 -persons 120 -movies 80 -out imdb_golden.jsonl
+//	eval -generate university -out university_golden.jsonl
+//
+// Flags -min-precision/-min-ndcg override the committed floors; -json
+// writes the full report (the BENCH_EVAL.json artifact). The exit code
+// is 0 when every set passes, 1 when any floor is missed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qunits/internal/core"
+	"qunits/internal/derive"
+	"qunits/internal/eval"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/relational"
+	"qunits/internal/search"
+	"qunits/internal/synth"
+)
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var goldens stringList
+	var (
+		online       = flag.Bool("online", false, "evaluate over HTTP against -addr instead of an in-process engine")
+		addr         = flag.String("addr", "http://127.0.0.1:8080", "base URL of the running qunitsd (online mode)")
+		k            = flag.Int("k", 0, "evaluation depth override; 0 uses each set's committed k")
+		minPrecision = flag.Float64("min-precision", -1, "Precision@k floor override; negative uses each set's committed floor")
+		minNDCG      = flag.Float64("min-ndcg", -1, "NDCG@k floor override; negative uses each set's committed floor")
+		jsonOut      = flag.String("json", "", "write the full report as JSON to this file (BENCH_EVAL.json)")
+		generate     = flag.String("generate", "", "generate a candidate golden set for this corpus (imdb or university) and exit")
+		out          = flag.String("out", "", "generated golden set destination (default stdout)")
+		queries      = flag.Int("queries", 25, "generate: survey-workload size")
+		candidates   = flag.Int("candidates", 0, "generate: results judged per query (0 = 2k)")
+		name         = flag.String("name", "", "generate: set name (default: the corpus name)")
+		seed         = flag.Int64("seed", 1, "generate: corpus seed")
+		persons      = flag.Int("persons", 120, "generate: imdb persons")
+		movies       = flag.Int("movies", 80, "generate: imdb movies")
+		castPerMovie = flag.Int("cast-per-movie", 5, "generate: imdb cast entries per movie")
+		departments  = flag.Int("departments", 8, "generate: university departments")
+		professors   = flag.Int("professors", 40, "generate: university professors")
+		courses      = flag.Int("courses", 120, "generate: university courses")
+		students     = flag.Int("students", 200, "generate: university students")
+		enrolls      = flag.Int("enroll-per-student", 3, "generate: university enrollments per student")
+		deriveMode   = flag.String("derive", "", "generate: catalog derivation (expert or schema; default expert for imdb, schema for university)")
+		evalK        = flag.Int("eval-k", 10, "generate: committed evaluation depth")
+	)
+	flag.Var(&goldens, "golden", "golden set to evaluate: a builtin name (imdb, university) or a JSONL path; repeatable")
+	flag.Parse()
+
+	if *generate != "" {
+		hdr := eval.GoldenHeader{
+			Name: *name, Corpus: *generate, Seed: *seed, Derive: *deriveMode, K: *evalK,
+		}
+		if hdr.Name == "" {
+			hdr.Name = *generate
+		}
+		switch *generate {
+		case eval.CorpusIMDb:
+			hdr.Persons, hdr.Movies, hdr.CastPerMovie = *persons, *movies, *castPerMovie
+		case eval.CorpusUniversity:
+			hdr.Departments, hdr.Professors, hdr.Courses = *departments, *professors, *courses
+			hdr.Students, hdr.EnrollPerStudent = *students, *enrolls
+		default:
+			fatalf(2, "eval: -generate %q: want %s or %s", *generate, eval.CorpusIMDb, eval.CorpusUniversity)
+		}
+		if err := runGenerate(hdr, *queries, *candidates, *out); err != nil {
+			fatalf(1, "eval: %v", err)
+		}
+		return
+	}
+
+	if len(goldens) == 0 {
+		fatalf(2, "eval: name at least one -golden set (builtin: %s)", strings.Join(eval.BuiltinGoldenNames(), ", "))
+	}
+	report := &eval.Report{Format: eval.ReportFormat}
+	for _, nameOrPath := range goldens {
+		set, err := loadSet(nameOrPath)
+		if err != nil {
+			fatalf(2, "eval: %v", err)
+		}
+		if *k > 0 {
+			set.Header.K = *k
+		}
+		searcher, err := searcherFor(set, *online, *addr)
+		if err != nil {
+			fatalf(1, "eval: %s: %v", set.Header.Name, err)
+		}
+		sr, err := eval.EvaluateGolden(context.Background(), searcher, set)
+		if err != nil {
+			fatalf(1, "eval: %s: %v", set.Header.Name, err)
+		}
+		floors := sr.Floors
+		if *minPrecision >= 0 {
+			floors.Precision = *minPrecision
+		}
+		if *minNDCG >= 0 {
+			floors.NDCG = *minNDCG
+		}
+		sr.CheckFloors(floors)
+		report.Sets = append(report.Sets, *sr)
+		verdict := "PASS"
+		if !sr.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("eval: %s (corpus %s, k=%d): %d queries, %d answered · precision@k %.4f (floor %.2f) · recall@k %.4f · mrr %.4f · ndcg@k %.4f (floor %.2f) · %s\n",
+			sr.Name, sr.Corpus, sr.K, sr.Queries, sr.Answered,
+			sr.Precision, sr.Floors.Precision, sr.Recall, sr.MRR, sr.NDCG, sr.Floors.NDCG, verdict)
+	}
+	if *jsonOut != "" {
+		if err := eval.WriteReport(*jsonOut, report); err != nil {
+			fatalf(1, "eval: writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("eval: wrote %s\n", *jsonOut)
+	}
+	if !report.Pass() {
+		fatalf(1, "eval: FAIL: a quality floor was missed (see above)")
+	}
+}
+
+// loadSet resolves a -golden argument: builtin name or file path.
+func loadSet(nameOrPath string) (*eval.GoldenSet, error) {
+	for _, b := range eval.BuiltinGoldenNames() {
+		if nameOrPath == b {
+			return eval.BuiltinGolden(nameOrPath)
+		}
+	}
+	return eval.LoadGolden(nameOrPath)
+}
+
+// searcherFor builds the evaluation seam for one set: the HTTP adapter
+// in online mode, otherwise a fresh engine rebuilt from the set's
+// corpus recipe.
+func searcherFor(set *eval.GoldenSet, online bool, addr string) (eval.Searcher, error) {
+	if online {
+		return eval.HTTPSearcher{BaseURL: addr}, nil
+	}
+	engine, _, _, err := buildCorpus(set.Header)
+	if err != nil {
+		return nil, err
+	}
+	return eval.EngineSearcher{Engine: engine}, nil
+}
+
+// buildCorpus materializes the engine (and oracle, for generation) a
+// golden header describes.
+func buildCorpus(hdr eval.GoldenHeader) (*search.Engine, *eval.Oracle, *relational.Database, error) {
+	switch hdr.Corpus {
+	case eval.CorpusIMDb:
+		u, err := imdb.Generate(imdb.Config{
+			Seed: hdr.Seed, Persons: hdr.Persons, Movies: hdr.Movies, CastPerMovie: hdr.CastPerMovie,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cat, err := deriveCatalog(u.DB, hdr.Derive, "expert")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		oracle := eval.NewOracle(u.DB, map[string][]string{
+			imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+			imdb.TableMovie:  {imdb.TableCast},
+		})
+		return engine, oracle, u.DB, nil
+	case eval.CorpusUniversity:
+		db, err := synth.GenerateUniversity(synth.UniversityConfig{
+			Seed: hdr.Seed, Departments: hdr.Departments, Professors: hdr.Professors,
+			Courses: hdr.Courses, Students: hdr.Students, EnrollPerStudent: hdr.EnrollPerStudent,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// The default schema derivation keeps only the top-2 anchor tables
+		// by queriability, which drops professor and department entirely;
+		// widen it so every labeled entity the survey queries name has a
+		// profile qunit to find.
+		cat, err := deriveCatalogK(db, hdr.Derive, "schema", 4)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		engine, err := search.NewEngine(cat, search.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		oracle := eval.NewOracle(db, map[string][]string{
+			"professor":  {"course"},
+			"course":     {"enrollment"},
+			"department": {"professor", "course"},
+			"student":    {"enrollment"},
+		})
+		return engine, oracle, db, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown corpus %q", hdr.Corpus)
+	}
+}
+
+func deriveCatalog(db *relational.Database, mode, dflt string) (*core.Catalog, error) {
+	return deriveCatalogK(db, mode, dflt, 0)
+}
+
+func deriveCatalogK(db *relational.Database, mode, dflt string, k1 int) (*core.Catalog, error) {
+	if mode == "" {
+		mode = dflt
+	}
+	switch mode {
+	case "expert":
+		return derive.Expert{}.Derive(db)
+	case "schema":
+		return derive.FromSchema{K1: k1}.Derive(db)
+	default:
+		return nil, fmt.Errorf("unknown derive mode %q", mode)
+	}
+}
+
+// runGenerate builds the corpus, derives the survey queries, judges
+// them with the oracle, and writes the candidate golden set.
+func runGenerate(hdr eval.GoldenHeader, workload, candidates int, out string) error {
+	engine, oracle, db, err := buildCorpus(hdr)
+	if err != nil {
+		return err
+	}
+	var queries []eval.SurveyQuery
+	switch hdr.Corpus {
+	case eval.CorpusIMDb:
+		// The persona-derived survey workload: the benchmark queries of
+		// §5.2 with their gold needs attached (the same workload Figure 3
+		// judges).
+		u, err := imdb.Generate(imdb.Config{
+			Seed: hdr.Seed, Persons: hdr.Persons, Movies: hdr.Movies, CastPerMovie: hdr.CastPerMovie,
+		})
+		if err != nil {
+			return err
+		}
+		logCfg := querylog.DefaultGenConfig()
+		logCfg.Seed = hdr.Seed + 1
+		log := querylog.Generate(u, logCfg)
+		queries = eval.BuildSurveyWorkload(log, engine.Segmenter(), workload)
+	case eval.CorpusUniversity:
+		queries = universityQueries(db, engine, workload)
+	}
+	set, err := eval.GenerateGolden(context.Background(), engine, oracle, queries, hdr,
+		eval.GenerateOptions{Candidates: candidates})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := set.Encode(w); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("eval: wrote %d cases to %s (proposed floors: precision %.2f, ndcg %.2f) — review before committing\n",
+			len(set.Cases), out, set.Header.Floors.Precision, set.Header.Floors.NDCG)
+	}
+	return nil
+}
+
+// universityQueries derives a deterministic survey workload for the
+// university corpus from its own labels: professor profiles and course
+// aspects, department rosters, and course lookups — the university
+// analogue of the movie survey's need mix.
+func universityQueries(db *relational.Database, engine *search.Engine, n int) []eval.SurveyQuery {
+	var out []eval.SurveyQuery
+	add := func(q string) {
+		if len(out) < n {
+			out = append(out, eval.SurveyQuery{Query: q, Need: eval.NeedFromQuery(engine.Segmenter(), q)})
+		}
+	}
+	labels := func(table string, limit int) []string {
+		var ls []string
+		t := db.Table(table)
+		if t == nil {
+			return nil
+		}
+		t.Scan(func(id int, _ relational.Row) bool {
+			ls = append(ls, db.Label(relational.TupleRef{Table: table, Row: id}))
+			return len(ls) < limit
+		})
+		return ls
+	}
+	// Students and courses carry the set: their schema-derived profile
+	// qunits can fully satisfy the oracle. Professor and department
+	// queries are asked too — when derivation improves enough to answer
+	// them fully they will start contributing cases.
+	for _, s := range labels("student", (n+2)/3) {
+		add(s)
+	}
+	for _, c := range labels("course", (n+2)/3) {
+		add(c)
+	}
+	for _, p := range labels("professor", (n+5)/6) {
+		add(p)
+	}
+	for _, d := range labels("department", (n+5)/6) {
+		add(d + " professor")
+	}
+	return out
+}
+
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

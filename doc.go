@@ -9,7 +9,10 @@
 // engine, the baselines the paper compares against (BANKS, LCA, MLCA),
 // and the synthetic counterparts of the paper's proprietary evaluation
 // inputs (IMDb data, the AOL query log, web evidence pages, human
-// judges).
+// judges). The paper's result-quality metric runs continuously too:
+// cmd/eval evaluates committed golden query sets with Precision@k and
+// NDCG@k — offline against an engine or online over /v1/search — and
+// fails CI below the committed floors.
 //
 // Beyond the reproduction, the module is a concurrent search service:
 // engine construction fans instance materialization and tokenization out
@@ -72,4 +75,4 @@
 package qunits
 
 // Version identifies this reproduction's release.
-const Version = "1.3.0"
+const Version = "1.4.0"

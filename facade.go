@@ -19,11 +19,13 @@
 package qunits
 
 import (
+	"context"
 	"io"
 
 	"qunits/internal/cluster"
 	"qunits/internal/core"
 	"qunits/internal/derive"
+	"qunits/internal/eval"
 	"qunits/internal/evidence"
 	"qunits/internal/imdb"
 	"qunits/internal/ir"
@@ -266,6 +268,70 @@ func SaveEngine(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, e)
 // indexing. The restored engine answers searches bitwise-identically to
 // the engine that was saved.
 func LoadEngine(r io.Reader, db *Database) (*Engine, error) { return snapshot.LoadEngine(r, db) }
+
+// --- Relevance evaluation ----------------------------------------------------
+//
+// The relevance gate: curated golden sets (query → expected qunit ids,
+// optionally graded) evaluated with Precision@k, Recall@k, MRR, and
+// NDCG@k against an engine in process or a running server over HTTP.
+// cmd/eval is the CLI; these exports let an embedding run the same gate
+// over its own corpus.
+
+// GoldenSet is a parsed golden relevance dataset: a self-describing
+// header plus one judged case per query.
+type GoldenSet = eval.GoldenSet
+
+// GoldenHeader is a golden set's first JSONL line: format tag, corpus
+// recipe, evaluation depth, and committed metric floors.
+type GoldenHeader = eval.GoldenHeader
+
+// GoldenCase is one judged query of a golden set.
+type GoldenCase = eval.GoldenCase
+
+// EvalFloors are the committed quality floors an evaluation must meet.
+type EvalFloors = eval.Floors
+
+// QueryMetrics are one query's rank metrics at k.
+type QueryMetrics = eval.QueryMetrics
+
+// EvalReport is the full evaluation artifact (the BENCH_EVAL.json
+// shape).
+type EvalReport = eval.Report
+
+// EvalSetReport is one golden set's evaluation outcome.
+type EvalSetReport = eval.SetReport
+
+// EvalSearcher answers one query with its ranked qunit instance ids —
+// the seam the evaluation harness runs through.
+type EvalSearcher = eval.Searcher
+
+// LoadGolden reads and strictly validates a golden set file.
+func LoadGolden(path string) (*GoldenSet, error) { return eval.LoadGolden(path) }
+
+// ParseGolden parses and strictly validates golden JSONL from a reader.
+func ParseGolden(r io.Reader) (*GoldenSet, error) { return eval.ParseGolden(r) }
+
+// BuiltinGolden loads one of the committed golden sets ("imdb" or
+// "university").
+func BuiltinGolden(name string) (*GoldenSet, error) { return eval.BuiltinGolden(name) }
+
+// MetricsAtK computes Precision/Recall/MRR/NDCG at k for one ranked id
+// list against binary relevance and graded gains.
+func MetricsAtK(ranked []string, relevant map[string]bool, gains map[string]float64, k int) QueryMetrics {
+	return eval.MetricsAtK(ranked, relevant, gains, k)
+}
+
+// EvaluateGoldenSet runs every case of a golden set through the engine
+// and aggregates the rank metrics into a gated report.
+func EvaluateGoldenSet(ctx context.Context, engine *Engine, set *GoldenSet) (*EvalSetReport, error) {
+	return eval.EvaluateGolden(ctx, eval.EngineSearcher{Engine: engine}, set)
+}
+
+// EvaluateGoldenSetHTTP runs a golden set against a running server's
+// POST /v1/search (single node, coordinator, or follower).
+func EvaluateGoldenSetHTTP(ctx context.Context, baseURL string, set *GoldenSet) (*EvalSetReport, error) {
+	return eval.EvaluateGolden(ctx, eval.HTTPSearcher{BaseURL: baseURL}, set)
+}
 
 // --- Serving ----------------------------------------------------------------
 

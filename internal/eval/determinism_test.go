@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// The determinism pins. Golden generation and evaluation are pure
+// functions of the corpus seed, so their serialized bytes admit a
+// checked-in CRC — the same idiom internal/synth uses for corpus
+// generation. If one of these fails after an INTENTIONAL change to
+// ranking, derivation, the oracle, or the serialization, regenerate the
+// value printed in the failure message and update the constant; if
+// nothing was meant to change, a nondeterminism crept in.
+const (
+	pinGoldenGenCRC     = "fa87123ef953f921"
+	pinEvalFingerprint  = "4674a44d83d33145"
+	pinEvalReportCRC    = "6b505816d791e2eb"
+	determinismPinSeed  = 5
+	determinismPinRuns  = 3
+	determinismPinBytes = 1 << 20
+)
+
+// determinismFixture builds the fixed small corpus the pins are minted
+// on, returning a fresh engine and oracle each call — no state may leak
+// between runs.
+func determinismFixture(t *testing.T) (*search.Engine, *Oracle, []SurveyQuery) {
+	t.Helper()
+	u := imdb.MustGenerate(imdb.Config{Seed: determinismPinSeed, Persons: 60, Movies: 40, CastPerMovie: 4})
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracle(u.DB, map[string][]string{
+		imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+		imdb.TableMovie:  {imdb.TableCast},
+	})
+	logCfg := querylog.DefaultGenConfig()
+	logCfg.Seed = determinismPinSeed
+	logCfg.Volume = 2000
+	queries := BuildSurveyWorkload(querylog.Generate(u, logCfg), engine.Segmenter(), 15)
+	return engine, oracle, queries
+}
+
+func crcOf(data []byte) string {
+	return fmt.Sprintf("%016x", crc64.Checksum(data, crc64.MakeTable(crc64.ECMA)))
+}
+
+// TestGoldenGenerationDeterministic: generating the same golden set from
+// scratch — fresh corpus, fresh engine, fresh oracle — yields the same
+// bytes every run, pinned by CRC so drift against history is caught too.
+func TestGoldenGenerationDeterministic(t *testing.T) {
+	ctx := context.Background()
+	hdr := GoldenHeader{
+		Format: GoldenFormat, Name: "pin", Corpus: CorpusIMDb,
+		Seed: determinismPinSeed, Persons: 60, Movies: 40, CastPerMovie: 4,
+		Derive: "expert", K: 5,
+	}
+	var first []byte
+	for run := 0; run < determinismPinRuns; run++ {
+		engine, oracle, queries := determinismFixture(t)
+		set, err := GenerateGolden(ctx, engine, oracle, queries, hdr, GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := set.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() > determinismPinBytes {
+			t.Fatalf("generated set unexpectedly large: %d bytes", buf.Len())
+		}
+		if run == 0 {
+			first = append([]byte(nil), buf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("run %d generated different bytes than run 0", run)
+		}
+	}
+	if got := crcOf(first); got != pinGoldenGenCRC {
+		t.Errorf("golden generation CRC = %s, pinned %s — update the pin only for an intentional change", got, pinGoldenGenCRC)
+	}
+}
+
+// TestEvalReportDeterministic: evaluating a fixed golden set produces
+// byte-identical report JSON across runs, and the per-set fingerprint
+// matches its pin.
+func TestEvalReportDeterministic(t *testing.T) {
+	ctx := context.Background()
+	hdr := GoldenHeader{
+		Format: GoldenFormat, Name: "pin", Corpus: CorpusIMDb,
+		Seed: determinismPinSeed, Persons: 60, Movies: 40, CastPerMovie: 4,
+		Derive: "expert", K: 5,
+	}
+	var first []byte
+	for run := 0; run < determinismPinRuns; run++ {
+		engine, oracle, queries := determinismFixture(t)
+		set, err := GenerateGolden(ctx, engine, oracle, queries, hdr, GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := EvaluateGolden(ctx, EngineSearcher{Engine: engine}, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Fingerprint != pinEvalFingerprint {
+			t.Errorf("run %d: fingerprint = %s, pinned %s", run, sr.Fingerprint, pinEvalFingerprint)
+		}
+		report := &Report{Format: ReportFormat, Sets: []SetReport{*sr}}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = append([]byte(nil), data...)
+			continue
+		}
+		if !bytes.Equal(first, data) {
+			t.Fatalf("run %d report bytes differ from run 0", run)
+		}
+	}
+	if got := crcOf(first); got != pinEvalReportCRC {
+		t.Errorf("report CRC = %s, pinned %s — update the pin only for an intentional change", got, pinEvalReportCRC)
+	}
+}

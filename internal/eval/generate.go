@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"qunits/internal/search"
+)
+
+// The golden generator bootstraps curation: it runs the survey workload
+// (the persona-derived queries of the §5.3 study) through an engine,
+// scores every returned instance with the need oracle's Table 2 rubric,
+// and emits the judgments as a golden set. The output is a CANDIDATE —
+// the point is that a human reviews and edits the JSONL before
+// committing it — but because both the workload and the oracle are
+// deterministic, regeneration is byte-identical per seed and the diff
+// against the curated file shows exactly what the curator changed.
+
+// GenerateOptions configures golden-set generation.
+type GenerateOptions struct {
+	// Candidates is how many results per query the oracle judges;
+	// 0 means 2×EvalK.
+	Candidates int
+	// FloorSlack is subtracted from the measured Precision@k and NDCG@k
+	// (then rounded down to the 0.05 grid) to propose the committed
+	// floors; 0 means 0.05. Curators tighten or loosen by editing the
+	// header.
+	FloorSlack float64
+}
+
+// GenerateGolden builds a candidate golden set: each query's top
+// candidates are scored with the oracle (rubric 1.0 results become
+// expected, every positively-rubric'd result becomes a graded gain),
+// queries the oracle cannot judge are dropped, and the header's floors
+// are proposed from the generating engine's own measured metrics minus
+// the slack. The header's corpus recipe fields are taken from hdr
+// verbatim — the caller describes the corpus it built the engine from.
+func GenerateGolden(ctx context.Context, engine *search.Engine, oracle *Oracle, queries []SurveyQuery, hdr GoldenHeader, opts GenerateOptions) (*GoldenSet, error) {
+	hdr.Format = GoldenFormat
+	if hdr.K <= 0 {
+		hdr.K = 10
+	}
+	candidates := opts.Candidates
+	if candidates <= 0 {
+		candidates = 2 * hdr.K
+	}
+	slack := opts.FloorSlack
+	if slack == 0 {
+		slack = 0.05
+	}
+	set := &GoldenSet{Header: hdr}
+	seen := map[string]bool{}
+	for _, sq := range queries {
+		if seen[sq.Query] {
+			continue
+		}
+		seen[sq.Query] = true
+		resp, err := engine.Search(ctx, search.Request{Query: sq.Query, K: candidates})
+		if err != nil {
+			return nil, fmt.Errorf("golden: generating %q: %w", sq.Query, err)
+		}
+		c := GoldenCase{Query: sq.Query, Graded: map[string]float64{}}
+		for _, r := range resp.Results {
+			gain := oracle.Score(sq.Need, SystemResult{Text: r.Instance.Rendered.Text, Tuples: r.Instance.Tuples})
+			if gain <= 0 {
+				continue
+			}
+			id := r.Instance.ID()
+			c.Graded[id] = gain
+			if gain >= 1 {
+				c.Expected = append(c.Expected, id)
+			}
+		}
+		// A query with no fully-relevant result cannot anchor the binary
+		// metrics; a query with no graded result cannot anchor NDCG
+		// either. Only judgeable queries make the set.
+		if len(c.Expected) == 0 {
+			continue
+		}
+		set.Cases = append(set.Cases, c)
+	}
+	if len(set.Cases) == 0 {
+		return nil, fmt.Errorf("golden: no judgeable queries (oracle found nothing fully relevant)")
+	}
+	// Propose floors from the generating engine's own numbers: the gate
+	// should pass today with margin, and trip when quality erodes.
+	report, err := EvaluateGolden(ctx, EngineSearcher{Engine: engine}, set)
+	if err != nil {
+		return nil, fmt.Errorf("golden: measuring proposed floors: %w", err)
+	}
+	set.Header.Floors = Floors{
+		Precision: proposeFloor(report.Precision, slack),
+		NDCG:      proposeFloor(report.NDCG, slack),
+	}
+	return set, nil
+}
+
+// proposeFloor rounds metric−slack down to the 0.05 grid, clamped to
+// [0, 1] — a committed floor humans can read at a glance.
+func proposeFloor(metric, slack float64) float64 {
+	f := math.Floor((metric-slack)*20) / 20
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

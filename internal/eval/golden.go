@@ -1,0 +1,317 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A golden set is a versioned JSONL file of curated relevance
+// judgments: line one is the header (format version, the corpus recipe
+// the judgments were made against, the evaluation depth, and the
+// committed metric floors), every following line is one query with its
+// expected qunit instance ids and optional graded gains:
+//
+//	{"format":"qunits-golden/1","name":"imdb","corpus":"imdb","seed":1,...,"floors":{"precision":0.5,"ndcg":0.7}}
+//	{"query":"star wars cast","expected":["movie-cast:star wars"],"graded":{"movie-cast:star wars":1,"movie-summary:star wars":0.5}}
+//
+// The corpus recipe makes a set self-describing: cmd/eval rebuilds the
+// exact engine offline, and operators boot the exact qunitsd for the
+// online mode, from the header alone. Loading is strict — unknown
+// fields, duplicate queries, out-of-range gains, and expected ids
+// missing from graded all fail loudly, so a mis-curated set can never
+// silently weaken the gate.
+
+// GoldenFormat is the format tag every golden set's header must carry.
+const GoldenFormat = "qunits-golden/1"
+
+// Golden corpus names. A set's judgments are only meaningful against
+// the exact corpus they were curated on, so the loader restricts the
+// corpus to the recipes cmd/eval can rebuild.
+const (
+	// CorpusIMDb is the synthetic IMDb universe (internal/imdb).
+	CorpusIMDb = "imdb"
+	// CorpusUniversity is the scaled university schema (internal/synth).
+	CorpusUniversity = "university"
+)
+
+// Floors are the committed quality floors a golden-set run must meet.
+type Floors struct {
+	// Precision is the minimum mean Precision@k.
+	Precision float64 `json:"precision"`
+	// NDCG is the minimum mean NDCG@k.
+	NDCG float64 `json:"ndcg"`
+}
+
+// GoldenHeader is the first line of a golden set.
+type GoldenHeader struct {
+	// Format must be GoldenFormat.
+	Format string `json:"format"`
+	// Name labels the set in reports ("imdb", "university").
+	Name string `json:"name"`
+	// Corpus names the corpus recipe: CorpusIMDb or CorpusUniversity.
+	Corpus string `json:"corpus"`
+	// Seed is the corpus generation seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Persons, Movies, CastPerMovie size the IMDb corpus.
+	Persons      int `json:"persons,omitempty"`
+	Movies       int `json:"movies,omitempty"`
+	CastPerMovie int `json:"cast_per_movie,omitempty"`
+	// Departments, Professors, Courses, Students, EnrollPerStudent size
+	// the university corpus.
+	Departments      int `json:"departments,omitempty"`
+	Professors       int `json:"professors,omitempty"`
+	Courses          int `json:"courses,omitempty"`
+	Students         int `json:"students,omitempty"`
+	EnrollPerStudent int `json:"enroll_per_student,omitempty"`
+	// Derive is the catalog derivation strategy: "expert" (default) or
+	// "schema".
+	Derive string `json:"derive,omitempty"`
+	// K is the evaluation depth (Precision@K, NDCG@K); 0 means 10.
+	K int `json:"k,omitempty"`
+	// Floors are the committed minimums the gate enforces.
+	Floors Floors `json:"floors"`
+}
+
+// EvalK returns the evaluation depth with the default applied.
+func (h GoldenHeader) EvalK() int {
+	if h.K <= 0 {
+		return 10
+	}
+	return h.K
+}
+
+// GoldenCase is one judged query.
+type GoldenCase struct {
+	// Query is the keyword query.
+	Query string `json:"query"`
+	// Expected lists the instance ids judged fully relevant (rubric 1.0)
+	// — the binary-relevance set Precision/Recall/MRR use.
+	Expected []string `json:"expected"`
+	// Graded maps instance id to gain in (0, 1] for NDCG. Empty means
+	// binary judgments: every expected id gains 1.
+	Graded map[string]float64 `json:"graded,omitempty"`
+}
+
+// Gains returns the case's graded gains, deriving the binary gains from
+// Expected when no explicit grades were curated.
+func (c GoldenCase) Gains() map[string]float64 {
+	if len(c.Graded) > 0 {
+		return c.Graded
+	}
+	gains := make(map[string]float64, len(c.Expected))
+	for _, id := range c.Expected {
+		gains[id] = 1
+	}
+	return gains
+}
+
+// RelevantSet returns the binary-relevant ids as a set.
+func (c GoldenCase) RelevantSet() map[string]bool {
+	rel := make(map[string]bool, len(c.Expected))
+	for _, id := range c.Expected {
+		rel[id] = true
+	}
+	return rel
+}
+
+// GoldenSet is a parsed golden dataset.
+type GoldenSet struct {
+	Header GoldenHeader
+	Cases  []GoldenCase
+}
+
+// builtinGoldens holds the committed, curated golden sets; cmd/eval
+// resolves the bare names "imdb" and "university" to them so the gate
+// needs no filesystem paths.
+//
+//go:embed testdata/imdb_golden.jsonl testdata/university_golden.jsonl
+var builtinGoldens embed.FS
+
+// BuiltinGoldenNames lists the committed golden sets.
+func BuiltinGoldenNames() []string { return []string{CorpusIMDb, CorpusUniversity} }
+
+// BuiltinGolden loads one of the committed golden sets by name.
+func BuiltinGolden(name string) (*GoldenSet, error) {
+	data, err := builtinGoldens.ReadFile("testdata/" + name + "_golden.jsonl")
+	if err != nil {
+		return nil, fmt.Errorf("golden: no builtin set %q (have %s)", name, strings.Join(BuiltinGoldenNames(), ", "))
+	}
+	set, err := ParseGolden(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("golden: builtin %q: %w", name, err)
+	}
+	return set, nil
+}
+
+// LoadGolden reads and validates a golden set file.
+func LoadGolden(path string) (*GoldenSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := ParseGolden(f)
+	if err != nil {
+		return nil, fmt.Errorf("golden: %s: %w", path, err)
+	}
+	return set, nil
+}
+
+// ParseGolden parses and strictly validates a golden set: the header
+// must come first and carry the supported format tag, every line must
+// decode without unknown fields or trailing garbage, queries must be
+// unique and non-empty, expected ids must be unique and (when grades
+// are present) graded, and every gain must lie in (0, 1] — the Table 2
+// rubric's range.
+func ParseGolden(r io.Reader) (*GoldenSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	set := &GoldenSet{}
+	seen := map[string]bool{}
+	line := 0
+	headerSeen := false
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		if !headerSeen {
+			if err := decodeStrictLine(raw, &set.Header); err != nil {
+				return nil, fmt.Errorf("line %d (header): %w", line, err)
+			}
+			if err := validateHeader(set.Header); err != nil {
+				return nil, fmt.Errorf("line %d (header): %w", line, err)
+			}
+			headerSeen = true
+			continue
+		}
+		var c GoldenCase
+		if err := decodeStrictLine(raw, &c); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := validateCase(c); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if seen[c.Query] {
+			return nil, fmt.Errorf("line %d: duplicate query %q", line, c.Query)
+		}
+		seen[c.Query] = true
+		set.Cases = append(set.Cases, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("empty file: want a %s header line", GoldenFormat)
+	}
+	if len(set.Cases) == 0 {
+		return nil, fmt.Errorf("no cases after the header")
+	}
+	return set, nil
+}
+
+// decodeStrictLine decodes one JSONL line rejecting unknown fields and
+// trailing data.
+func decodeStrictLine(raw string, v interface{}) error {
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}
+
+func validateHeader(h GoldenHeader) error {
+	if h.Format != GoldenFormat {
+		return fmt.Errorf("format %q: want %q", h.Format, GoldenFormat)
+	}
+	if strings.TrimSpace(h.Name) == "" {
+		return fmt.Errorf("name must not be empty")
+	}
+	if h.Corpus != CorpusIMDb && h.Corpus != CorpusUniversity {
+		return fmt.Errorf("corpus %q: want %q or %q", h.Corpus, CorpusIMDb, CorpusUniversity)
+	}
+	switch h.Derive {
+	case "", "expert", "schema":
+	default:
+		return fmt.Errorf("derive %q: want expert or schema", h.Derive)
+	}
+	if h.K < 0 {
+		return fmt.Errorf("negative k %d", h.K)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"precision", h.Floors.Precision}, {"ndcg", h.Floors.NDCG}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("floor %s %v out of [0, 1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+func validateCase(c GoldenCase) error {
+	if strings.TrimSpace(c.Query) == "" {
+		return fmt.Errorf("empty query")
+	}
+	if len(c.Expected) == 0 && len(c.Graded) == 0 {
+		return fmt.Errorf("query %q: no expected ids and no graded gains", c.Query)
+	}
+	ids := map[string]bool{}
+	for _, id := range c.Expected {
+		if id == "" {
+			return fmt.Errorf("query %q: empty expected id", c.Query)
+		}
+		if ids[id] {
+			return fmt.Errorf("query %q: duplicate expected id %q", c.Query, id)
+		}
+		ids[id] = true
+		if len(c.Graded) > 0 {
+			if _, ok := c.Graded[id]; !ok {
+				return fmt.Errorf("query %q: expected id %q missing from graded", c.Query, id)
+			}
+		}
+	}
+	for id, gain := range c.Graded {
+		if id == "" {
+			return fmt.Errorf("query %q: empty graded id", c.Query)
+		}
+		if gain <= 0 || gain > 1 {
+			return fmt.Errorf("query %q: gain %v for %q out of (0, 1]", c.Query, gain, id)
+		}
+	}
+	return nil
+}
+
+// Encode writes the set as canonical JSONL: the header line, then one
+// case per line in slice order, with graded keys in encoding/json's
+// sorted-key order. Encoding is byte-deterministic, so generated sets
+// can be fingerprinted and diffed.
+func (s *GoldenSet) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(s.Header); err != nil {
+		return err
+	}
+	for _, c := range s.Cases {
+		// Keep expected in a canonical order too: curators reorder lists
+		// freely, but machine-generated sets should never differ by
+		// incidental ordering.
+		c.Expected = append([]string(nil), c.Expected...)
+		sort.Strings(c.Expected)
+		if err := enc.Encode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

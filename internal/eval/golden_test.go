@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const validHeader = `{"format":"qunits-golden/1","name":"t","corpus":"imdb","seed":1,"persons":10,"movies":5,"k":5,"floors":{"precision":0.2,"ndcg":0.7}}`
+
+func parse(t *testing.T, lines ...string) (*GoldenSet, error) {
+	t.Helper()
+	return ParseGolden(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+}
+
+func TestParseGoldenValid(t *testing.T) {
+	set, err := parse(t, validHeader,
+		`{"query":"star wars","expected":["a","b"],"graded":{"a":1,"b":1,"c":0.5}}`,
+		``,
+		`{"query":"clooney","expected":["d"]}`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Header.Name != "t" || set.Header.EvalK() != 5 || set.Header.Floors.NDCG != 0.7 {
+		t.Errorf("header = %+v", set.Header)
+	}
+	if len(set.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2 (blank lines skipped)", len(set.Cases))
+	}
+	// Graded case uses its grades; binary case derives gain 1 per id.
+	if g := set.Cases[0].Gains(); g["c"] != 0.5 || len(g) != 3 {
+		t.Errorf("graded gains = %v", g)
+	}
+	if g := set.Cases[1].Gains(); g["d"] != 1 || len(g) != 1 {
+		t.Errorf("binary gains = %v", g)
+	}
+	if rel := set.Cases[0].RelevantSet(); !rel["a"] || !rel["b"] || rel["c"] {
+		t.Errorf("relevant set = %v", rel)
+	}
+}
+
+func TestParseGoldenRejects(t *testing.T) {
+	okCase := `{"query":"q","expected":["a"]}`
+	cases := []struct {
+		name    string
+		lines   []string
+		wantErr string
+	}{
+		{"empty file", nil, "empty file"},
+		{"header only", []string{validHeader}, "no cases"},
+		{"bad format tag", []string{`{"format":"qunits-golden/9","name":"t","corpus":"imdb","floors":{}}`, okCase}, "format"},
+		{"case before header", []string{okCase, okCase}, "header"},
+		{"unknown header field", []string{`{"format":"qunits-golden/1","name":"t","corpus":"imdb","floors":{},"bogus":1}`, okCase}, "bogus"},
+		{"missing name", []string{`{"format":"qunits-golden/1","corpus":"imdb","floors":{}}`, okCase}, "name"},
+		{"unknown corpus", []string{`{"format":"qunits-golden/1","name":"t","corpus":"wiki","floors":{}}`, okCase}, "corpus"},
+		{"bad derive", []string{`{"format":"qunits-golden/1","name":"t","corpus":"imdb","derive":"magic","floors":{}}`, okCase}, "derive"},
+		{"negative k", []string{`{"format":"qunits-golden/1","name":"t","corpus":"imdb","k":-1,"floors":{}}`, okCase}, "k"},
+		{"floor out of range", []string{`{"format":"qunits-golden/1","name":"t","corpus":"imdb","floors":{"precision":1.5}}`, okCase}, "floor"},
+		{"unknown case field", []string{validHeader, `{"query":"q","expected":["a"],"note":"hi"}`}, "note"},
+		{"trailing garbage", []string{validHeader, okCase + ` {"x":1}`}, "trailing"},
+		{"empty query", []string{validHeader, `{"query":"  ","expected":["a"]}`}, "empty query"},
+		{"no judgments", []string{validHeader, `{"query":"q"}`}, "no expected"},
+		{"empty expected id", []string{validHeader, `{"query":"q","expected":[""]}`}, "empty expected id"},
+		{"duplicate expected id", []string{validHeader, `{"query":"q","expected":["a","a"]}`}, "duplicate expected id"},
+		{"expected not graded", []string{validHeader, `{"query":"q","expected":["a"],"graded":{"b":1}}`}, "missing from graded"},
+		{"gain zero", []string{validHeader, `{"query":"q","expected":["a"],"graded":{"a":0}}`}, "out of (0, 1]"},
+		{"gain above one", []string{validHeader, `{"query":"q","expected":["a"],"graded":{"a":1.1}}`}, "out of (0, 1]"},
+		{"duplicate query", []string{validHeader, okCase, okCase}, "duplicate query"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.lines...)
+			if err == nil {
+				t.Fatal("parse accepted a malformed set")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGoldenEncodeRoundTrip(t *testing.T) {
+	set, err := parse(t, validHeader,
+		`{"query":"star wars","expected":["b","a"],"graded":{"b":1,"a":1}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGolden(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("encoded set does not re-parse: %v", err)
+	}
+	// Canonical: expected sorted on output.
+	if got := back.Cases[0].Expected; got[0] != "a" || got[1] != "b" {
+		t.Errorf("expected not canonicalized: %v", got)
+	}
+	// Re-encoding is a fixed point.
+	var buf2 bytes.Buffer
+	if err := back.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Encode is not a fixed point over its own output")
+	}
+}
+
+// TestBuiltinGoldenSetsParse: the committed sets must always load
+// strictly — a broken checked-in golden file should fail tier-1, not
+// just `make eval`.
+func TestBuiltinGoldenSetsParse(t *testing.T) {
+	names := BuiltinGoldenNames()
+	if len(names) != 2 {
+		t.Fatalf("builtin names = %v", names)
+	}
+	for _, name := range names {
+		set, err := BuiltinGolden(name)
+		if err != nil {
+			t.Fatalf("builtin %q: %v", name, err)
+		}
+		if set.Header.Name != name || set.Header.Corpus != name {
+			t.Errorf("builtin %q header mislabeled: %+v", name, set.Header)
+		}
+		if len(set.Cases) < 5 {
+			t.Errorf("builtin %q has only %d cases — too thin to gate on", name, len(set.Cases))
+		}
+		if set.Header.Floors.Precision <= 0 || set.Header.Floors.NDCG <= 0 {
+			t.Errorf("builtin %q floors %+v must be positive — a zero floor gates nothing", name, set.Header.Floors)
+		}
+	}
+	if _, err := BuiltinGolden("nope"); err == nil {
+		t.Error("BuiltinGolden accepted an unknown name")
+	}
+}
+
+func TestLoadGoldenFromDisk(t *testing.T) {
+	if _, err := LoadGolden(t.TempDir() + "/missing.jsonl"); err == nil {
+		t.Error("LoadGolden accepted a missing file")
+	}
+	path := t.TempDir() + "/set.jsonl"
+	set, err := parse(t, validHeader, `{"query":"q","expected":["a"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Cases) != 1 || loaded.Cases[0].Query != "q" {
+		t.Errorf("loaded = %+v", loaded)
+	}
+}

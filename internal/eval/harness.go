@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"strconv"
+
+	"qunits/internal/search"
+)
+
+// The evaluation harness runs a golden set through a Searcher and
+// reduces the per-query metrics to one SetReport — the BENCH_EVAL.json
+// shape cmd/eval writes and the floors gate on. The Searcher seam is
+// deliberately minimal: the offline adapter calls the engine directly,
+// the online adapter speaks POST /v1/search to a running qunitsd
+// (single node, coordinator, or follower), and because serving is
+// parity-locked end to end the two must produce identical reports over
+// the same corpus — an equality scripts/smoke.sh asserts.
+
+// Searcher answers one query with its ranked qunit instance ids.
+type Searcher interface {
+	// RankedIDs returns the ids of the top k results, best first.
+	RankedIDs(ctx context.Context, query string, k int) ([]string, error)
+}
+
+// EngineSearcher is the offline adapter: it queries a search.Engine in
+// process.
+type EngineSearcher struct {
+	Engine *search.Engine
+}
+
+// RankedIDs implements Searcher.
+func (s EngineSearcher) RankedIDs(ctx context.Context, query string, k int) ([]string, error) {
+	resp, err := s.Engine.Search(ctx, search.Request{Query: query, K: k})
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(resp.Results))
+	for i, r := range resp.Results {
+		ids[i] = r.Instance.ID()
+	}
+	return ids, nil
+}
+
+// ReportFormat tags the report shape cmd/eval writes.
+const ReportFormat = "qunits-eval/1"
+
+// Report is the full evaluation artifact (BENCH_EVAL.json): one
+// SetReport per golden set. It contains no timestamps or durations —
+// the bytes are deterministic for a fixed corpus seed, so reports diff
+// cleanly across commits and the determinism tests can pin them.
+type Report struct {
+	Format string      `json:"format"`
+	Sets   []SetReport `json:"sets"`
+}
+
+// Pass reports whether every set met its floors.
+func (r *Report) Pass() bool {
+	for _, s := range r.Sets {
+		if !s.Pass {
+			return false
+		}
+	}
+	return len(r.Sets) > 0
+}
+
+// SetReport is one golden set's evaluation outcome.
+type SetReport struct {
+	// Name and Corpus identify the set.
+	Name   string `json:"name"`
+	Corpus string `json:"corpus"`
+	// K is the evaluation depth.
+	K int `json:"k"`
+	// Queries is the number of golden cases evaluated; Answered counts
+	// those the system returned at least one result for.
+	Queries  int `json:"queries"`
+	Answered int `json:"answered"`
+	// Precision, Recall, MRR, and NDCG are the means over all cases.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	MRR       float64 `json:"mrr"`
+	NDCG      float64 `json:"ndcg"`
+	// Floors are the minimums enforced on this run; Pass is the verdict.
+	Floors Floors `json:"floors"`
+	Pass   bool   `json:"pass"`
+	// Fingerprint is a crc64 over the per-query metrics — one value to
+	// compare across runs, modes, and machines.
+	Fingerprint string `json:"fingerprint"`
+	// PerQuery breaks the means down, in golden-set order.
+	PerQuery []QueryReport `json:"per_query"`
+}
+
+// QueryReport is one golden case's outcome.
+type QueryReport struct {
+	Query string `json:"query"`
+	// Returned is how many results the system produced (≤ k); Relevant
+	// is the size of the golden binary-relevance set.
+	Returned int `json:"returned"`
+	Relevant int `json:"relevant"`
+	// Metrics are this query's rank metrics at k.
+	Metrics QueryMetrics `json:"metrics"`
+}
+
+// EvaluateGolden runs every golden case through the searcher at the
+// set's evaluation depth and aggregates the metrics. Floors are copied
+// from the set header; pass callers that need different floors
+// (cmd/eval's -min-precision/-min-ndcg) CheckFloors afterwards.
+func EvaluateGolden(ctx context.Context, s Searcher, set *GoldenSet) (*SetReport, error) {
+	k := set.Header.EvalK()
+	out := &SetReport{
+		Name:    set.Header.Name,
+		Corpus:  set.Header.Corpus,
+		K:       k,
+		Queries: len(set.Cases),
+		Floors:  set.Header.Floors,
+	}
+	for _, c := range set.Cases {
+		ranked, err := s.RankedIDs(ctx, c.Query, k)
+		if err != nil {
+			return nil, fmt.Errorf("eval: query %q: %w", c.Query, err)
+		}
+		if len(ranked) > 0 {
+			out.Answered++
+		}
+		m := MetricsAtK(ranked, c.RelevantSet(), c.Gains(), k)
+		out.PerQuery = append(out.PerQuery, QueryReport{
+			Query:    c.Query,
+			Returned: len(ranked),
+			Relevant: len(c.Expected),
+			Metrics:  m,
+		})
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.MRR += m.MRR
+		out.NDCG += m.NDCG
+	}
+	n := float64(len(set.Cases))
+	out.Precision /= n
+	out.Recall /= n
+	out.MRR /= n
+	out.NDCG /= n
+	out.Pass = out.Precision >= out.Floors.Precision && out.NDCG >= out.Floors.NDCG
+	out.Fingerprint = fingerprintReport(out)
+	return out, nil
+}
+
+// WriteReport marshals the report as indented JSON to path — the
+// BENCH_EVAL.json artifact. The bytes are deterministic for fixed
+// inputs (no timestamps, stable field order).
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckFloors re-gates a report against explicit floors (overriding the
+// committed ones), updating Floors and Pass in place.
+func (r *SetReport) CheckFloors(f Floors) {
+	r.Floors = f
+	r.Pass = r.Precision >= f.Precision && r.NDCG >= f.NDCG
+}
+
+// fingerprintReport digests the per-query metrics (not the verdict or
+// floors — those are policy, not measurement) so two runs measuring the
+// same ranking agree on one short value.
+func fingerprintReport(r *SetReport) string {
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	writeF := func(v float64) {
+		io.WriteString(h, strconv.FormatFloat(v, 'g', -1, 64))
+		h.Write([]byte{0x1f})
+	}
+	io.WriteString(h, r.Name)
+	h.Write([]byte{0})
+	io.WriteString(h, strconv.Itoa(r.K))
+	h.Write([]byte{0})
+	for _, q := range r.PerQuery {
+		io.WriteString(h, q.Query)
+		h.Write([]byte{0x1f})
+		io.WriteString(h, strconv.Itoa(q.Returned))
+		h.Write([]byte{0x1f})
+		writeF(q.Metrics.Precision)
+		writeF(q.Metrics.Recall)
+		writeF(q.Metrics.MRR)
+		writeF(q.Metrics.NDCG)
+		h.Write([]byte{0x1e})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// stubSearcher answers from a fixed query → ranking table.
+type stubSearcher map[string][]string
+
+func (s stubSearcher) RankedIDs(_ context.Context, query string, k int) ([]string, error) {
+	ids := s[query]
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids, nil
+}
+
+// errSearcher fails every query.
+type errSearcher struct{}
+
+func (errSearcher) RankedIDs(context.Context, string, int) ([]string, error) {
+	return nil, fmt.Errorf("backend down")
+}
+
+func stubSet() *GoldenSet {
+	return &GoldenSet{
+		Header: GoldenHeader{
+			Format: GoldenFormat, Name: "stub", Corpus: CorpusIMDb, K: 2,
+			Floors: Floors{Precision: 0.5, NDCG: 0.5},
+		},
+		Cases: []GoldenCase{
+			{Query: "hit", Expected: []string{"a"}, Graded: map[string]float64{"a": 1, "b": 0.5}},
+			{Query: "miss", Expected: []string{"z"}},
+		},
+	}
+}
+
+func TestEvaluateGoldenAggregation(t *testing.T) {
+	s := stubSearcher{
+		"hit":  {"a", "b", "c"}, // truncated to k=2
+		"miss": {"q", "r"},
+	}
+	sr, err := EvaluateGolden(context.Background(), s, stubSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Queries != 2 || sr.Answered != 2 || sr.K != 2 {
+		t.Errorf("counts: %+v", sr)
+	}
+	// hit: precision 1/2, recall 1, mrr 1, ndcg 1 (ideal at k=2 is the
+	// returned order). miss: all zero. Means halve them.
+	approx(t, "precision", sr.Precision, 0.25)
+	approx(t, "recall", sr.Recall, 0.5)
+	approx(t, "mrr", sr.MRR, 0.5)
+	approx(t, "ndcg", sr.NDCG, 0.5)
+	if sr.Pass {
+		t.Error("pass = true, want false (precision 0.25 under floor 0.5)")
+	}
+	if len(sr.PerQuery) != 2 || sr.PerQuery[0].Returned != 2 || sr.PerQuery[1].Relevant != 1 {
+		t.Errorf("per-query: %+v", sr.PerQuery)
+	}
+	if sr.Fingerprint == "" {
+		t.Error("fingerprint empty")
+	}
+
+	// Overriding the floors re-gates without touching the measurement.
+	fp := sr.Fingerprint
+	sr.CheckFloors(Floors{Precision: 0.2, NDCG: 0.4})
+	if !sr.Pass || sr.Floors.Precision != 0.2 {
+		t.Errorf("after CheckFloors: %+v", sr)
+	}
+	if sr.Fingerprint != fp {
+		t.Error("CheckFloors changed the fingerprint — floors are policy, not measurement")
+	}
+
+	// A report passes only when every set does, and an empty report never
+	// passes.
+	if (&Report{}).Pass() {
+		t.Error("empty report passes")
+	}
+	r := &Report{Sets: []SetReport{*sr, {Pass: false}}}
+	if r.Pass() {
+		t.Error("report with a failing set passes")
+	}
+
+	if _, err := EvaluateGolden(context.Background(), errSearcher{}, stubSet()); err == nil || !strings.Contains(err.Error(), "backend down") {
+		t.Errorf("searcher error not surfaced: %v", err)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := t.TempDir() + "/r.json"
+	r := &Report{Format: ReportFormat, Sets: []SetReport{{Name: "x", Pass: true}}}
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(a) != string(b) {
+		t.Error("WriteReport bytes differ across identical writes")
+	}
+	if !strings.HasSuffix(string(a), "\n") {
+		t.Error("report file missing trailing newline")
+	}
+}
+
+func TestHTTPSearcher(t *testing.T) {
+	var gotBody string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/search" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		buf := make([]byte, 1024)
+		n, _ := r.Body.Read(buf)
+		gotBody = string(buf[:n])
+		switch {
+		case strings.Contains(gotBody, "boom"):
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":{"code":"invalid_argument","message":"bad query"}}`)
+		case strings.Contains(gotBody, "garbled"):
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, "not json at all")
+		case strings.Contains(gotBody, "badjson"):
+			fmt.Fprint(w, "{")
+		default:
+			fmt.Fprint(w, `{"results":[{"id":"a"},{"id":"b"}],"total":2}`)
+		}
+	}))
+	defer srv.Close()
+
+	// Trailing slash on the base URL must not double up.
+	s := HTTPSearcher{BaseURL: srv.URL + "/"}
+	ids, err := s.RankedIDs(context.Background(), "star wars", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("ids = %v", ids)
+	}
+	if !strings.Contains(gotBody, `"k":5`) || !strings.Contains(gotBody, `"query":"star wars"`) {
+		t.Errorf("request body = %s", gotBody)
+	}
+
+	if _, err := s.RankedIDs(context.Background(), "boom", 5); err == nil || !strings.Contains(err.Error(), "invalid_argument") {
+		t.Errorf("error envelope not decoded: %v", err)
+	}
+	if _, err := s.RankedIDs(context.Background(), "garbled", 5); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("non-JSON error not surfaced: %v", err)
+	}
+	if _, err := s.RankedIDs(context.Background(), "badjson", 5); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Errorf("malformed reply not surfaced: %v", err)
+	}
+
+	down := HTTPSearcher{BaseURL: "http://127.0.0.1:1"}
+	if _, err := down.RankedIDs(context.Background(), "q", 1); err == nil {
+		t.Error("connection failure not surfaced")
+	}
+}

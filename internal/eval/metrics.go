@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the one place rank-quality arithmetic lives. The Figure 3
+// experiment (internal/experiments) and the relevance gate (cmd/eval)
+// both compute their numbers through it, so the one-shot reproduction
+// and the continuously-enforced CI gate can never drift apart.
+
+// QueryMetrics are the rank metrics for one query's result list against
+// its golden relevance judgments.
+type QueryMetrics struct {
+	// Precision is Precision@k: relevant results in the top k over k.
+	Precision float64 `json:"precision"`
+	// Recall is Recall@k: relevant results in the top k over all
+	// relevant ids.
+	Recall float64 `json:"recall"`
+	// MRR is the reciprocal rank of the first relevant result (0 when
+	// none of the top k is relevant).
+	MRR float64 `json:"mrr"`
+	// NDCG is NDCG@k over the graded gains: DCG of the returned order
+	// divided by the DCG of the ideal order.
+	NDCG float64 `json:"ndcg"`
+}
+
+// MetricsAtK computes the rank metrics for one ranked id list.
+//
+//	ranked   the system's results, best first; ids must be unique.
+//	relevant the binary-relevant id set (the golden "expected" ids).
+//	gains    graded gain per id for NDCG; ids absent from the map gain 0.
+//	k        the evaluation depth; only ranked[:k] is scored.
+//
+// Tie handling is deterministic by construction: the ranked order is the
+// engine's (score desc, instance ID asc) total order, and the ideal DCG
+// depends only on the multiset of gains, so equal gains cannot perturb
+// it. k must be positive.
+func MetricsAtK(ranked []string, relevant map[string]bool, gains map[string]float64, k int) QueryMetrics {
+	if k <= 0 {
+		return QueryMetrics{}
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	var m QueryMetrics
+	hits := 0
+	dcg := 0.0
+	for i, id := range ranked {
+		if relevant[id] {
+			hits++
+			if m.MRR == 0 {
+				m.MRR = 1 / float64(i+1)
+			}
+		}
+		dcg += gains[id] / math.Log2(float64(i)+2)
+	}
+	m.Precision = float64(hits) / float64(k)
+	if len(relevant) > 0 {
+		m.Recall = float64(hits) / float64(len(relevant))
+	}
+	if ideal := idealDCG(gains, k); ideal > 0 {
+		m.NDCG = dcg / ideal
+	}
+	return m
+}
+
+// idealDCG is the DCG of the best possible ordering: all graded gains
+// sorted descending, truncated at k.
+func idealDCG(gains map[string]float64, k int) float64 {
+	sorted := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		sorted = append(sorted, g)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	ideal := 0.0
+	for i, g := range sorted {
+		ideal += g / math.Log2(float64(i)+2)
+	}
+	return ideal
+}
+
+// HighAgreementThreshold is the judge-majority share the paper calls
+// high agreement ("a third of the questions having an 80% or higher
+// majority for the winning answer").
+const HighAgreementThreshold = 0.8
+
+// Scorecard accumulates per-query judge-panel ratings into the summary
+// statistics the Figure 3 experiment reports: the mean relevance, the
+// per-query means, the per-need-kind breakdown, and the judge-agreement
+// tally. It is the shared aggregation the experiment must route through
+// (its private loop used to duplicate this arithmetic).
+type Scorecard struct {
+	perQuery   []float64
+	kindSums   map[NeedKind]float64
+	kindCounts map[NeedKind]int
+	cells      int
+	high       int
+}
+
+// NewScorecard returns an empty scorecard.
+func NewScorecard() *Scorecard {
+	return &Scorecard{kindSums: map[NeedKind]float64{}, kindCounts: map[NeedKind]int{}}
+}
+
+// Add folds one query's panel ratings in and returns the query's panel
+// mean.
+func (s *Scorecard) Add(kind NeedKind, ratings []float64) float64 {
+	mean := Mean(ratings)
+	s.perQuery = append(s.perQuery, mean)
+	s.kindSums[kind] += mean
+	s.kindCounts[kind]++
+	s.cells++
+	if MajorityShare(ratings) >= HighAgreementThreshold {
+		s.high++
+	}
+	return mean
+}
+
+// Mean is the mean of the per-query panel means — one system's bar in
+// Figure 3.
+func (s *Scorecard) Mean() float64 { return Mean(s.perQuery) }
+
+// PerQuery returns the per-query panel means in Add order.
+func (s *Scorecard) PerQuery() []float64 { return s.perQuery }
+
+// ByKind returns the mean relevance per need kind.
+func (s *Scorecard) ByKind() map[NeedKind]float64 {
+	out := make(map[NeedKind]float64, len(s.kindSums))
+	for k, sum := range s.kindSums {
+		out[k] = sum / float64(s.kindCounts[k])
+	}
+	return out
+}
+
+// Cells returns the number of (query, ratings) cells added.
+func (s *Scorecard) Cells() int { return s.cells }
+
+// HighAgreement returns how many added cells reached the
+// high-agreement majority threshold.
+func (s *Scorecard) HighAgreement() int { return s.high }

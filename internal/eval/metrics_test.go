@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestMetricsAtKHandComputed(t *testing.T) {
+	// Ranked: [a b c d e], relevant {a, c, f}, graded a=1, c=0.5, f=1, k=5.
+	ranked := []string{"a", "b", "c", "d", "e"}
+	relevant := map[string]bool{"a": true, "c": true, "f": true}
+	gains := map[string]float64{"a": 1, "c": 0.5, "f": 1}
+	m := MetricsAtK(ranked, relevant, gains, 5)
+	approx(t, "precision", m.Precision, 2.0/5)
+	approx(t, "recall", m.Recall, 2.0/3)
+	approx(t, "mrr", m.MRR, 1.0)
+	// DCG  = 1/log2(2) + 0.5/log2(4) = 1 + 0.25
+	// IDCG = 1/log2(2) + 1/log2(3) + 0.5/log2(4)
+	wantDCG := 1.0 + 0.5/2
+	wantIdeal := 1.0 + 1.0/math.Log2(3) + 0.5/2
+	approx(t, "ndcg", m.NDCG, wantDCG/wantIdeal)
+}
+
+func TestMetricsAtKTruncatesToK(t *testing.T) {
+	ranked := []string{"x", "y", "a"} // relevant a is at rank 3
+	relevant := map[string]bool{"a": true}
+	gains := map[string]float64{"a": 1}
+	m := MetricsAtK(ranked, relevant, gains, 2)
+	approx(t, "precision", m.Precision, 0)
+	approx(t, "recall", m.Recall, 0)
+	approx(t, "mrr", m.MRR, 0)
+	approx(t, "ndcg", m.NDCG, 0)
+	m = MetricsAtK(ranked, relevant, gains, 3)
+	approx(t, "precision@3", m.Precision, 1.0/3)
+	approx(t, "mrr@3", m.MRR, 1.0/3)
+}
+
+func TestMetricsAtKEdgeCases(t *testing.T) {
+	// No results at all.
+	m := MetricsAtK(nil, map[string]bool{"a": true}, map[string]float64{"a": 1}, 10)
+	if m != (QueryMetrics{}) {
+		t.Errorf("empty ranking scored %+v, want zeros", m)
+	}
+	// Nothing relevant and no gains: all metrics zero, no division blowups.
+	m = MetricsAtK([]string{"a", "b"}, nil, nil, 10)
+	if m != (QueryMetrics{}) {
+		t.Errorf("no-judgment case scored %+v, want zeros", m)
+	}
+	// Non-positive k.
+	if m := MetricsAtK([]string{"a"}, map[string]bool{"a": true}, nil, 0); m != (QueryMetrics{}) {
+		t.Errorf("k=0 scored %+v, want zeros", m)
+	}
+	// Perfect single-result answer.
+	m = MetricsAtK([]string{"a"}, map[string]bool{"a": true}, map[string]float64{"a": 1}, 1)
+	approx(t, "precision", m.Precision, 1)
+	approx(t, "recall", m.Recall, 1)
+	approx(t, "mrr", m.MRR, 1)
+	approx(t, "ndcg", m.NDCG, 1)
+}
+
+// TestMetricsIdealDCGOrderIndependent: NDCG's ideal normalizer depends
+// only on the multiset of gains, so equal-gain ties cannot perturb it —
+// the determinism the gate relies on.
+func TestMetricsIdealDCGOrderIndependent(t *testing.T) {
+	gains := map[string]float64{"a": 0.5, "b": 1, "c": 0.5, "d": 1}
+	first := idealDCG(gains, 3)
+	for i := 0; i < 50; i++ {
+		if got := idealDCG(gains, 3); got != first {
+			t.Fatalf("idealDCG varied across calls: %v then %v", first, got)
+		}
+	}
+	want := 1.0 + 1.0/math.Log2(3) + 0.5/2
+	approx(t, "idealDCG", first, want)
+}
+
+func TestScorecardMatchesDirectArithmetic(t *testing.T) {
+	card := NewScorecard()
+	// Two profile queries and one aspect query; the aspect panel splits,
+	// so only the unanimous cells count as high agreement.
+	if got := card.Add(NeedProfile, []float64{1, 1, 1, 1, 1}); got != 1 {
+		t.Errorf("Add returned %v, want 1", got)
+	}
+	card.Add(NeedProfile, []float64{0, 0, 0, 0, 0})
+	card.Add(NeedAspect, []float64{1, 0.5, 0, 1, 0.5})
+	approx(t, "mean", card.Mean(), (1+0+0.6)/3)
+	if got := card.PerQuery(); len(got) != 3 || got[2] != 0.6 {
+		t.Errorf("PerQuery = %v", got)
+	}
+	byKind := card.ByKind()
+	approx(t, "profile mean", byKind[NeedProfile], 0.5)
+	approx(t, "aspect mean", byKind[NeedAspect], 0.6)
+	if card.Cells() != 3 {
+		t.Errorf("Cells = %d, want 3", card.Cells())
+	}
+	if card.HighAgreement() != 2 {
+		t.Errorf("HighAgreement = %d, want 2 (the unanimous panels)", card.HighAgreement())
+	}
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"qunits/internal/server"
+)
+
+// HTTPSearcher is the online adapter: it evaluates through a running
+// qunitsd's POST /v1/search, so the gate exercises the whole serving
+// stack — request decoding, the result cache, and (against a
+// coordinator) the scatter-gather merge — not just the engine. It
+// reuses the server package's wire types, so the eval client and the
+// serving surface cannot drift apart.
+type HTTPSearcher struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Any /v1
+	// role that serves searches works: single, coordinator, partition
+	// primary, or follower.
+	BaseURL string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+// RankedIDs implements Searcher.
+func (s HTTPSearcher) RankedIDs(ctx context.Context, query string, k int) ([]string, error) {
+	body, err := json.Marshal(server.V1SearchRequest{Query: query, K: &k})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(s.BaseURL, "/")+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error server.V1Error `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+			return nil, fmt.Errorf("eval: /v1/search %d: %s: %s", resp.StatusCode, envelope.Error.Code, envelope.Error.Message)
+		}
+		return nil, fmt.Errorf("eval: /v1/search %d: %s", resp.StatusCode, data)
+	}
+	var sr server.V1SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, fmt.Errorf("eval: decoding /v1/search reply: %w", err)
+	}
+	ids := make([]string, len(sr.Results))
+	for i, r := range sr.Results {
+		ids[i] = r.ID
+	}
+	return ids, nil
+}

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qunits/internal/derive"
+	"qunits/internal/imdb"
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// parityEngine builds one engine over the given corpus with the chosen
+// scoring path and shard count.
+func parityEngine(t *testing.T, u *imdb.Universe, exhaustive bool, shards int) *search.Engine {
+	t.Helper()
+	cat, err := derive.Expert{}.Derive(u.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := search.NewEngine(cat, search.Options{
+		Synonyms:         imdb.AttributeSynonyms(),
+		Shards:           shards,
+		ExhaustiveScorer: exhaustive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// mutateForParity replays one deterministic add/remove/feedback
+// interleaving onto an engine. Both engines of a parity pair receive the
+// same sequence, so their instance populations stay identical while the
+// index internals (tombstones, posting order, shard layout) diverge as
+// much as the implementation allows.
+func mutateForParity(t *testing.T, e *search.Engine, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ids := e.InstanceIDs()
+	for i := 0; i < 12; i++ {
+		switch r.Intn(3) {
+		case 0:
+			if _, err := e.AddAnchorInstance("movie-cast", fmt.Sprintf("parity qunit %d %d", seed, i)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := e.RemoveInstance(ids[r.Intn(len(ids))]); err != nil {
+				// Removing an already-removed id is a legal interleaving;
+				// both engines fail it identically.
+				continue
+			}
+		default:
+			if _, err := e.ApplyFeedback(ids[r.Intn(len(ids))], r.Intn(2) == 0, search.Feedback{}); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// TestEvalMetricsScorerInvariant is the property the relevance gate
+// stands on: the metrics measure ranking quality, and the pruned
+// MaxScore path is contractually the same ranking as the exhaustive
+// oracle — so Precision/NDCG computed over either must be bitwise
+// identical, on random corpora, across evaluation depths, shard
+// counts, and mutation interleavings. If this fails, either the pruned
+// scorer broke ranking parity or the metrics grew a nondeterminism.
+func TestEvalMetricsScorerInvariant(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{3, 11, 27} {
+		u := imdb.MustGenerate(imdb.Config{Seed: seed, Persons: 70, Movies: 50, CastPerMovie: 4})
+		logCfg := querylog.DefaultGenConfig()
+		logCfg.Seed = seed
+		logCfg.Volume = 2000
+
+		for _, shards := range []int{1, 2, 5} {
+			pruned := parityEngine(t, u, false, shards)
+			exhaustive := parityEngine(t, u, true, 1)
+			mutateForParity(t, pruned, seed)
+			mutateForParity(t, exhaustive, seed)
+
+			oracle := NewOracle(u.DB, map[string][]string{
+				imdb.TablePerson: {imdb.TableCast, imdb.TableCrew},
+				imdb.TableMovie:  {imdb.TableCast},
+			})
+			queries := BuildSurveyWorkload(querylog.Generate(u, logCfg), pruned.Segmenter(), 12)
+
+			for _, k := range []int{1, 3, 10} {
+				hdr := GoldenHeader{
+					Format: GoldenFormat,
+					Name:   fmt.Sprintf("parity-s%d", seed),
+					Corpus: CorpusIMDb, Seed: seed, K: k,
+				}
+				set, err := GenerateGolden(ctx, pruned, oracle, queries, hdr, GenerateOptions{})
+				if err != nil {
+					t.Fatalf("seed %d shards %d k %d: %v", seed, shards, k, err)
+				}
+				got, err := EvaluateGolden(ctx, EngineSearcher{Engine: pruned}, set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := EvaluateGolden(ctx, EngineSearcher{Engine: exhaustive}, set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Fingerprint != want.Fingerprint {
+					t.Errorf("seed %d shards %d k %d: pruned fingerprint %s != exhaustive %s",
+						seed, shards, k, got.Fingerprint, want.Fingerprint)
+				}
+				// Bitwise, not approximate: the full reports must serialize
+				// identically, per-query metrics included.
+				gj, _ := json.Marshal(got)
+				wj, _ := json.Marshal(want)
+				if string(gj) != string(wj) {
+					t.Errorf("seed %d shards %d k %d: reports diverge\npruned:     %s\nexhaustive: %s",
+						seed, shards, k, gj, wj)
+				}
+			}
+		}
+	}
+}

@@ -54,28 +54,23 @@ func figure3(lab *Lab, systems []System) *Figure3Result {
 	cells := 0
 	highAgreement := 0
 	for _, sys := range systems {
-		score := SystemScore{System: sys.Name(), ByKind: map[eval.NeedKind]float64{}}
-		kindCounts := map[eval.NeedKind]int{}
+		// All relevance aggregation goes through the shared scorecard —
+		// the same arithmetic the cmd/eval relevance gate uses.
+		card := eval.NewScorecard()
+		score := SystemScore{System: sys.Name()}
 		for _, sq := range workload {
 			oracleScore := 0.0
 			if res, ok := sys.Answer(sq.Query); ok {
 				oracleScore = lab.Oracle.Score(sq.Need, res)
 				score.Answered++
 			}
-			ratings := panel.Rate(oracleScore)
-			mean := eval.Mean(ratings)
-			score.PerQuery = append(score.PerQuery, mean)
-			score.ByKind[sq.Need.Kind] += mean
-			kindCounts[sq.Need.Kind]++
-			cells++
-			if eval.MajorityShare(ratings) >= 0.8 {
-				highAgreement++
-			}
+			card.Add(sq.Need.Kind, panel.Rate(oracleScore))
 		}
-		for k, n := range kindCounts {
-			score.ByKind[k] /= float64(n)
-		}
-		score.Mean = eval.Mean(score.PerQuery)
+		score.PerQuery = card.PerQuery()
+		score.ByKind = card.ByKind()
+		score.Mean = card.Mean()
+		cells += card.Cells()
+		highAgreement += card.HighAgreement()
 		out.Scores = append(out.Scores, score)
 	}
 	// Theoretical maximum: defined, not measured.

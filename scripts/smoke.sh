@@ -17,15 +17,18 @@
 # compact-under-load flow, `make cluster-smoke` the cluster flow,
 # `make loadgen-smoke` the load-generator flow (cmd/loadgen against a
 # synth corpus, single node and cluster, gated by benchcheck -load),
-# `scripts/smoke.sh all` everything. Fast, hermetic, and loud on
-# failure.
+# `make eval-smoke` the relevance-gate flow (cmd/eval offline on the
+# committed IMDb golden set, then online over /v1/search against a
+# qunitsd serving the same corpus, with the two reports required to be
+# byte-identical), `scripts/smoke.sh all` everything. Fast, hermetic,
+# and loud on failure.
 #
-# Usage: smoke.sh [basic|snapshot|compact|cluster|loadgen|all]   (default: all)
+# Usage: smoke.sh [basic|snapshot|compact|cluster|loadgen|eval|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
-case "$MODE" in basic|snapshot|compact|cluster|loadgen|all) ;; *)
-    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|loadgen|all)" >&2; exit 2 ;;
+case "$MODE" in basic|snapshot|compact|cluster|loadgen|eval|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|loadgen|eval|all)" >&2; exit 2 ;;
 esac
 
 # pick_ports N: print N distinct free TCP ports, one per line. All N
@@ -69,6 +72,8 @@ cleanup() {
     rm -f "$BIN" "$LOG" "$SNAP" "$SNAP.tmp" "$LOG.searchfail"
     [ -n "${CLOGS:-}" ] && rm -rf "$CLOGS"
     [ -n "${LGLOGS:-}" ] && rm -rf "$LGLOGS"
+    [ -n "${EVBIN:-}" ] && rm -f "$EVBIN"
+    [ -n "${EVDIR:-}" ] && rm -rf "$EVDIR"
 }
 trap cleanup EXIT INT TERM
 
@@ -457,6 +462,42 @@ if [ "$MODE" = "loadgen" ] || [ "$MODE" = "all" ]; then
         wait "$p" 2>/dev/null || true
     done
     CPIDS=""
+fi
+
+if [ "$MODE" = "eval" ] || [ "$MODE" = "all" ]; then
+    EVBIN="$(mktemp -d)/eval"
+    EVDIR="$(mktemp -d)"
+    echo "smoke: building cmd/eval"
+    go build -o "$EVBIN" ./cmd/eval
+
+    # Offline leg: a fresh in-process engine rebuilt from the golden
+    # header's corpus recipe.
+    echo "smoke: offline relevance gate (committed imdb golden set)"
+    "$EVBIN" -golden imdb -json "$EVDIR/offline.json" || fail "offline relevance gate failed"
+
+    # Online leg: the same golden set through a running qunitsd — the
+    # server's defaults (seed 1, 120 persons, 80 movies, expert
+    # derivation) are exactly the committed set's corpus recipe.
+    echo "smoke: starting qunitsd on the golden corpus (:$PORT)"
+    BASE="http://127.0.0.1:$PORT"
+    start_server
+    echo "smoke: online relevance gate over POST /v1/search"
+    "$EVBIN" -golden imdb -online -addr "$BASE" -json "$EVDIR/online.json" || fail "online relevance gate failed"
+    stop_server
+
+    # Serving is parity-locked end to end, so the measurement must not
+    # change with the transport: byte-identical reports or bust.
+    cmp -s "$EVDIR/offline.json" "$EVDIR/online.json" || {
+        diff "$EVDIR/offline.json" "$EVDIR/online.json" >&2 || true
+        fail "online eval report differs from offline report"
+    }
+    echo "smoke: online and offline eval reports are byte-identical"
+
+    # EVAL_JSON exports the report for the CI artifact upload.
+    if [ -n "${EVAL_JSON:-}" ]; then
+        cp "$EVDIR/online.json" "$EVAL_JSON"
+        echo "smoke: wrote $EVAL_JSON"
+    fi
 fi
 
 echo "smoke: PASS"
