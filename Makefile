@@ -101,11 +101,12 @@ bench:
 bench-json:
 	( $(GO) test -bench=. -benchtime=1x -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -run='^$$' . && \
-	  $(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -run='^$$' . ) \
+	  $(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -run='^$$' . && \
+	  $(GO) test -bench=BenchmarkBatchAmortized -benchtime=30x -count=3 -run='^$$' . ) \
 	  | $(GO) run ./cmd/benchjson > BENCH.json
 	@echo "wrote BENCH.json"
 
-# bench-regression gates the two scoring-path ratios, both
+# bench-regression gates the three scoring-path ratios, all
 # machine-independent (ratios between benchmarks of the same run, never
 # raw ns/op):
 #   - pruned vs exhaustive top-k (>= 2x floor, <= 20% erosion vs the
@@ -113,18 +114,28 @@ bench-json:
 #   - compacted vs 50%-tombstoned pruning on a single-shard posting-walk
 #     workload (>= 1.1x floor, wider erosion slack; the honest ratio is
 #     ~1.3x), so the bound decay compaction reverses cannot silently
-#     return.
+#     return;
+#   - one-pass amortized batch vs serial per-item execution on a
+#     64-query mixed batch (>= 2x floor; typical is ~2.3-2.4x). Run at
+#     -count=3 — benchcheck takes each side's fastest repetition, so a
+#     noisy-neighbor blip during one repetition cannot flip the ratio.
 bench-regression:
-	$(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -run='^$$' . \
+	$(GO) test -bench=BenchmarkTopKScoring -benchtime=50x -count=2 -run='^$$' . \
 	  | $(GO) run ./cmd/benchjson > bench_topk.json
 	$(GO) run ./cmd/benchcheck -current bench_topk.json -baseline BENCH.json
-	$(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -run='^$$' . \
+	$(GO) test -bench=BenchmarkCompactedPruning -benchtime=200x -count=2 -run='^$$' . \
 	  | $(GO) run ./cmd/benchjson > bench_compact.json
 	$(GO) run ./cmd/benchcheck -current bench_compact.json -baseline BENCH.json \
 	  -fast 'BenchmarkCompactedPruning/compacted/k=1' \
 	  -slow 'BenchmarkCompactedPruning/tombstoned/k=1' \
 	  -min-speedup 1.1 -max-regress 0.35
-	@rm -f bench_topk.json bench_compact.json
+	$(GO) test -bench=BenchmarkBatchAmortized -benchtime=30x -count=3 -run='^$$' . \
+	  | $(GO) run ./cmd/benchjson > bench_batch.json
+	$(GO) run ./cmd/benchcheck -current bench_batch.json -baseline BENCH.json \
+	  -fast 'BenchmarkBatchAmortized/onepass' \
+	  -slow 'BenchmarkBatchAmortized/serial' \
+	  -min-speedup 2.0 -max-regress 0.35
+	@rm -f bench_topk.json bench_compact.json bench_batch.json
 
 # bench-load refreshes the committed BENCH_LOAD.json: the loadgen smoke
 # flow with its single-node report exported to the repo root. Like

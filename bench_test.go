@@ -466,6 +466,80 @@ func BenchmarkCompactedPruning(b *testing.B) {
 	}
 }
 
+// --- amortized batch execution: the batch-path regression gate ---------------
+
+// batchFixture holds one pruned engine over the top-k corpus plus a
+// 64-query mixed batch drawn from the zipfian head of a generated query
+// log (mixed k and offsets, all items distinct). CI's third
+// bench-regression gate compares the one-pass batch against serial
+// per-item execution — results are parity-enforced identical; only the
+// posting-list work differs.
+var (
+	batchAmortOnce   sync.Once
+	batchAmortEngine *search.Engine
+	batchAmortReqs   []search.Request
+)
+
+func batchFixture(b *testing.B) (*search.Engine, []search.Request) {
+	b.Helper()
+	batchAmortOnce.Do(func() {
+		u := imdb.MustGenerate(imdb.Config{Seed: 9, Persons: 2500, Movies: 1500, CastPerMovie: 6})
+		cat, err := derive.Expert{}.Derive(u.DB)
+		if err != nil {
+			panic(err)
+		}
+		batchAmortEngine, err = search.NewEngine(cat, search.Options{Synonyms: imdb.AttributeSynonyms()})
+		if err != nil {
+			panic(err)
+		}
+		lcfg := querylog.DefaultGenConfig()
+		lcfg.Volume = 3000
+		qlog := querylog.Generate(u, lcfg)
+		ks := []int{10, 5, 1, 10}
+		offsets := []int{0, 0, 2, 0}
+		for _, entry := range qlog.Entries {
+			if strings.TrimSpace(entry.Query) == "" {
+				continue
+			}
+			n := len(batchAmortReqs)
+			batchAmortReqs = append(batchAmortReqs, search.Request{Query: entry.Query, K: ks[n%4], Offset: offsets[n%4]})
+			if len(batchAmortReqs) == 64 {
+				break
+			}
+		}
+		if len(batchAmortReqs) != 64 {
+			panic("batch fixture: query log head too small")
+		}
+	})
+	return batchAmortEngine, batchAmortReqs
+}
+
+// BenchmarkBatchAmortized measures a 64-query mixed batch through the
+// one-pass amortized executor versus 64 serial Search calls on the same
+// engine.
+func BenchmarkBatchAmortized(b *testing.B) {
+	engine, reqs := batchFixture(b)
+	ctx := context.Background()
+	b.Run("onepass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range engine.BatchSearch(ctx, reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := engine.Search(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkLazyResolverBuild measures non-materialized resolver
 // construction (§3's "no requirement that qunits be materialized") —
 // compare against BenchmarkQunitEngineBuild.

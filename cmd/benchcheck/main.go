@@ -170,23 +170,34 @@ func ratioFrom(path, fast, slow string) (float64, error) {
 	}
 	// A file may carry the same benchmark at several -benchtime settings
 	// (the committed baseline appends a longer top-k pass to the 1x
-	// sweep); prefer the entry with the most iterations — the least
-	// noisy measurement.
+	// sweep); prefer the entries with the most iterations — the least
+	// noisy measurement. Among repetitions at that same iteration count
+	// (a -count=N run), take the fastest: each repetition's ns/op is
+	// the true cost plus nonnegative scheduling noise, so the minimum
+	// is the most robust estimator on a shared CI runner.
 	ns := func(name string) (float64, error) {
-		var best *result
+		var maxIter int64 = -1
+		best := 0.0
 		for i := range results {
 			r := &results[i]
-			if r.Name == name && (best == nil || r.Iterations > best.Iterations) {
-				best = r
+			if r.Name != name {
+				continue
+			}
+			v, ok := r.Metrics["ns/op"]
+			if !ok || v <= 0 {
+				continue
+			}
+			switch {
+			case r.Iterations > maxIter:
+				maxIter, best = r.Iterations, v
+			case r.Iterations == maxIter && v < best:
+				best = v
 			}
 		}
-		if best == nil {
-			return 0, fmt.Errorf("%s: no benchmark %q", path, name)
+		if maxIter < 0 {
+			return 0, fmt.Errorf("%s: no benchmark %q with positive ns/op", path, name)
 		}
-		if v, ok := best.Metrics["ns/op"]; ok && v > 0 {
-			return v, nil
-		}
-		return 0, fmt.Errorf("%s: %q has no positive ns/op", path, name)
+		return best, nil
 	}
 	f, err := ns(fast)
 	if err != nil {

@@ -39,6 +39,14 @@
 //
 //	qunitsd -addr :8080 -compact-ratio 0.3
 //
+// With -prewarm the daemon replays the head of an aggregated query log
+// (freq<TAB>query lines, or bare queries) through the batched search
+// path at boot, so the most frequent queries are result-cache hits
+// before the first client arrives; the head is replayed again after
+// every compaction pass:
+//
+//	qunitsd -addr :8080 -prewarm /var/lib/qunits/queries.log
+//
 // # Cluster modes
 //
 // -mode turns the same binary into one node of a distributed
@@ -90,6 +98,7 @@ import (
 	"qunits/internal/derive"
 	"qunits/internal/imdb"
 	"qunits/internal/ir"
+	"qunits/internal/querylog"
 	"qunits/internal/relational"
 	"qunits/internal/search"
 	"qunits/internal/server"
@@ -123,6 +132,8 @@ func main() {
 		walPath      = flag.String("wal", "", "partition mode: mutation WAL path (the primary writes it, followers tail it)")
 		walFollow    = flag.Bool("wal-follow", false, "partition mode: tail -wal as a follower instead of writing it as the primary")
 		walPoll      = flag.Duration("wal-poll", 500*time.Millisecond, "follower WAL poll interval")
+		prewarmPath  = flag.String("prewarm", "", "query-log file (freq<TAB>query lines, or bare queries) whose head is replayed through the batch path at boot to warm the result cache")
+		prewarmTop   = flag.Int("prewarm-top", 0, "how many head entries -prewarm replays (0 = as many as the cache holds)")
 	)
 	flag.Parse()
 
@@ -289,6 +300,23 @@ func main() {
 	default:
 		log.Printf("qunitsd: unknown -mode %q (want single, partition, or coordinator)", *mode)
 		os.Exit(2)
+	}
+	if *prewarmPath != "" {
+		qlog, err := querylog.ReadFile(*prewarmPath)
+		if err != nil {
+			log.Printf("qunitsd: prewarm: %v", err)
+			os.Exit(2)
+		}
+		warmStart := time.Now()
+		warmed, err := handler.Prewarm(ctx, qlog, *prewarmTop)
+		if err != nil {
+			// Best-effort by design: a partially warmed cache still serves;
+			// the boot must not fail because a partition was briefly down.
+			log.Printf("qunitsd: prewarm stopped early after %d entries: %v", warmed, err)
+		} else {
+			log.Printf("qunitsd: prewarmed %d of %d unique queries from %s in %v",
+				warmed, qlog.Unique(), *prewarmPath, time.Since(warmStart).Round(time.Millisecond))
+		}
 	}
 	// A production listener, not a bare ListenAndServe: bounded header,
 	// read, write, and idle timeouts so one slow client can't pin a

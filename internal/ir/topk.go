@@ -63,11 +63,21 @@ const minPositiveTFIDFTF = 0.36788
 // bound, its exact contribution function (bitwise identical to the
 // exhaustive scorer's expression), and its bound function over block
 // metadata.
+//
+// shared and scale are the contribution factored into a
+// query-independent part and a per-(query,term) scalar, so the
+// multi-query driver can compute shared(tf, dl) once per posting and
+// reuse it across every batch query subscribed to the term. The
+// factoring must satisfy scale*shared(tf, dl) == contrib(tf, dl)
+// bitwise: either scale == 1.0 (IEEE 1.0*x == x exactly) or
+// contrib's own final operation is literally the scale multiply.
 type planTerm struct {
 	term    string
 	ub      float64
 	contrib func(tf, dl float64) float64
 	bound   func(maxTF, minLen float64) float64
+	shared  func(tf, dl float64) float64
+	scale   float64
 }
 
 // scorePlan is a query's full pruned-scoring plan. terms are in sorted
@@ -80,6 +90,10 @@ type scorePlan struct {
 	// boundFin is finalize's upper-bound counterpart: applied to an
 	// inflated raw bound with the best-case (smallest) document length.
 	boundFin func(raw, dl float64) float64
+	// rawFinal marks finalize as the identity (rawFinalize), letting
+	// hot paths use the raw sum directly — bitwise the same value —
+	// without an indirect call per candidate.
+	rawFinal bool
 	// minDl is a lower bound on any live document's weighted length.
 	minDl float64
 }
@@ -103,13 +117,13 @@ func (s BM25) plan(ix *Index, terms []string) (scorePlan, bool) {
 	}
 	avg := ix.AvgDocLen()
 	if avg == 0 {
-		return scorePlan{terms: nil, finalize: rawFinalize, boundFin: rawFinalize}, true
+		return scorePlan{terms: nil, finalize: rawFinalize, boundFin: rawFinalize, rawFinal: true}, true
 	}
 	qtf := make(map[string]float64)
 	for _, t := range terms {
 		qtf[t]++
 	}
-	plan := scorePlan{finalize: rawFinalize, boundFin: rawFinalize, minDl: ix.minLiveLen}
+	plan := scorePlan{finalize: rawFinalize, boundFin: rawFinalize, rawFinal: true, minDl: ix.minLiveLen}
 	for _, t := range sortedTerms(qtf) {
 		pl := ix.postings[t]
 		if pl == nil {
@@ -125,7 +139,9 @@ func (s BM25) plan(ix *Index, terms []string) (scorePlan, bool) {
 		}
 		// The bound is the contribution expression evaluated at the
 		// block's most favorable posting: maximum TF, minimum length.
-		pt := planTerm{term: t, contrib: contrib, bound: contrib}
+		// BM25 contributions are query-independent, so the shared part
+		// is the whole contribution and the scale is exactly 1.
+		pt := planTerm{term: t, contrib: contrib, bound: contrib, shared: contrib, scale: 1}
 		pt.ub = pt.bound(pl.maxTF, pl.minLen)
 		plan.terms = append(plan.terms, pt)
 	}
@@ -167,6 +183,13 @@ func (TFIDF) plan(ix *Index, terms []string) (scorePlan, bool) {
 				dw := (1 + math.Log(maxTF)) * idf
 				return qw * dw
 			},
+			// The document weight is query-independent; qw*dw is
+			// contrib's own final multiply, so scale*shared is the
+			// identical float expression.
+			shared: func(tf, dl float64) float64 {
+				return (1 + math.Log(tf)) * idf
+			},
+			scale: qw,
 		}
 		pt.ub = pt.bound(pl.maxTF, pl.minLen)
 		plan.terms = append(plan.terms, pt)

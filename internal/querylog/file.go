@@ -1,0 +1,96 @@
+package querylog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text file form of an aggregated log: one entry per line as
+//
+//	<freq>\t<query>
+//
+// A line without a tab is a bare query with frequency 1, so a plain
+// newline-separated list of raw queries (the natural dump of an access
+// log) reads back directly. Blank lines and lines starting with '#' are
+// skipped. Duplicate queries aggregate on read, and entries come back
+// in the Log's canonical order (frequency descending, then query text),
+// so Read(Write(l)) reproduces l exactly.
+
+// Write serializes the log in the text file form.
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.Entries {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", e.Freq, e.Query); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes the log to path in the text file form.
+func WriteFile(path string, l *Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses the text file form into an aggregated log.
+func Read(r io.Reader) (*Log, error) {
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		// The tab is looked for on the raw line: trimming first would
+		// turn "5\t" (a frequency with a missing query — an error) into
+		// the bare query "5".
+		query := trimmed
+		freq := 1
+		if i := strings.IndexByte(raw, '\t'); i >= 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(raw[:i]))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("querylog: line %d: bad frequency %q", line, raw[:i])
+			}
+			freq = n
+			query = strings.TrimSpace(raw[i+1:])
+		}
+		if query == "" {
+			return nil, fmt.Errorf("querylog: line %d: empty query", line)
+		}
+		counts[query] += freq
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("querylog: %w", err)
+	}
+	return fromCounts(counts), nil
+}
+
+// ReadFile parses the text file at path into an aggregated log.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}

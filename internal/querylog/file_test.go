@@ -1,0 +1,75 @@
+package querylog
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	l := fromCounts(map[string]int{
+		"star wars":       7,
+		"casablanca cast": 3,
+		"george clooney":  3,
+		"x":               1,
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestReadBareLinesCommentsAndAggregation(t *testing.T) {
+	in := "star wars\n" + // bare line = freq 1
+		"3\tcasablanca\n" +
+		"# a comment\n" +
+		"\n" +
+		"star wars\n" +
+		" 2\t star wars \n" // whitespace trimmed, aggregates
+	l, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromCounts(map[string]int{"star wars": 4, "casablanca": 3})
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("got %+v want %+v", l, want)
+	}
+	if l.Total != 7 || l.Unique() != 2 {
+		t.Fatalf("total=%d unique=%d", l.Total, l.Unique())
+	}
+}
+
+func TestReadRejectsBadLines(t *testing.T) {
+	for _, in := range []string{"0\tfoo", "-2\tfoo", "x\tfoo", "5\t", "5\t   "} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted a bad line", in)
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queries.log")
+	l := fromCounts(map[string]int{"terminator cast": 5, "tomb raider": 2})
+	if err := WriteFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("file round trip diverged:\n got %+v\nwant %+v", got, l)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+		t.Fatal("ReadFile on a missing path should fail")
+	}
+}

@@ -1,0 +1,365 @@
+package search
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qunits/internal/core"
+	"qunits/internal/ir"
+	"qunits/internal/segment"
+)
+
+// Amortized batch execution: the whole batch is answered by ONE pass
+// over the shared posting lists (ir.MultiSearchSet) instead of N
+// independent searchLocked calls. The per-item preamble — filter
+// resolution, segmentation, type affinity, anchor identification — is
+// the same code searchLocked runs, and every final score goes through
+// resultFor, so per-item responses are bitwise identical to serial
+// execution (the one-pass driver's own parity argument is in
+// internal/ir/multi.go). Items the driver cannot take — exhaustive
+// oracle engines, non-prunable scorers, plan failures — run through
+// searchLocked on a GOMAXPROCS-bounded worker pool instead.
+
+// batchSearchSet is the body of BatchSearch, parameterized by the shard
+// subset each item scores (see PartitionBatchSearch).
+func (e *Engine) batchSearchSet(ctx context.Context, reqs []Request, set ir.ShardSet) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	first := make(map[string]int, len(reqs))
+	share := make([]int, len(reqs)) // share[i] = index whose result item i reuses
+	var distinct []int
+	for i, req := range reqs {
+		key := req.CacheKey()
+		if j, ok := first[key]; ok {
+			share[i] = j
+			continue
+		}
+		first[key] = i
+		share[i] = i
+		distinct = append(distinct, i)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	valid := make([]int, 0, len(distinct))
+	for _, i := range distinct {
+		if err := reqs[i].Validate(); err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		valid = append(valid, i)
+	}
+
+	// One distinct item gains nothing from amortization and would trade
+	// the pruned serial path for an exhaustive pass; keep it serial.
+	fallback := valid
+	if len(valid) >= 2 && e.onePassBatch(ctx, reqs, valid, set, out) {
+		fallback = nil
+	}
+	if len(fallback) > 0 {
+		e.serialBatch(ctx, reqs, fallback, set, out)
+	}
+
+	// Positionally distinct duplicate items get defensive copies: the
+	// response a caller can mutate must never be shared with another
+	// item's.
+	for i := range out {
+		if share[i] != i {
+			out[i] = copyBatchResult(out[share[i]])
+		}
+	}
+	return out
+}
+
+// serialBatch runs the given items through searchLocked on a bounded
+// worker pool — the fallback when the one-pass driver cannot take the
+// batch. The pool is GOMAXPROCS-sized: a max-size batch must not spawn
+// one goroutine per item while holding the engine read lock.
+func (e *Engine) serialBatch(ctx context.Context, reqs []Request, items []int, set ir.ShardSet, out []BatchResult) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, i := range items {
+			resp, err := e.searchLocked(ctx, reqs[i], set)
+			out[i] = BatchResult{Response: resp, Err: err}
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				resp, err := e.searchLocked(ctx, reqs[i], set)
+				out[i] = BatchResult{Response: resp, Err: err}
+			}
+		}()
+	}
+	for _, i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// batchQueryCtx is one item's resolved preamble: exactly the state
+// searchLocked computes before retrieval, plus the anchor-labeled
+// instances resolved to sorted global doc ids — the booster's boost
+// decision per (query, doc) is then an integer probe of a tiny slice
+// instead of Label() plus a map lookup per scored candidate.
+type batchQueryCtx struct {
+	allowed    map[string]bool
+	affinity   map[string]float64
+	anchors    map[string]bool
+	anchorDocs []int
+	sg         segment.Segmentation
+}
+
+// onePassBatch answers the given (validated, distinct) items through
+// the multi-query driver. It reports whether the items were fully
+// handled — false means the driver could not run and the caller must
+// fall back to serial execution for all of them. Per-item failures
+// (bad filters) are handled here either way.
+func (e *Engine) onePassBatch(ctx context.Context, reqs []Request, items []int, set ir.ShardSet, out []BatchResult) bool {
+	if err := ctx.Err(); err != nil {
+		for _, i := range items {
+			out[i] = BatchResult{Err: err}
+		}
+		return true
+	}
+	// Resolve each item's preamble; filter errors resolve that item
+	// immediately (searchLocked would fail the same way before ever
+	// touching the index).
+	live := make([]int, 0, len(items))
+	qctx := make([]batchQueryCtx, 0, len(items))
+	queries := make([]ir.BatchQuery, 0, len(items))
+	for _, i := range items {
+		req := reqs[i]
+		allowed, err := e.filterSet(req.Filter)
+		if err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		sg := e.seg.Segment(req.Query)
+		anchors := map[string]bool{}
+		for _, ent := range sg.Entities() {
+			anchors[ent.Text] = true
+		}
+		// Anchor-labeled instances as global doc ids: an indexed
+		// instance satisfies anchors[inst.Label()] exactly when its doc
+		// id is in this set (byLabel and the index are maintained
+		// together under the write lock).
+		var anchorDocs []int
+		for label := range anchors {
+			for _, inst := range e.byLabel[label] {
+				if g, ok := e.index.ID(inst.ID()); ok {
+					anchorDocs = append(anchorDocs, g)
+				}
+			}
+		}
+		sort.Ints(anchorDocs)
+		qc := batchQueryCtx{
+			allowed:    allowed,
+			affinity:   e.typeAffinity(sg),
+			anchors:    anchors,
+			anchorDocs: anchorDocs,
+			sg:         sg,
+		}
+		// Retain the top offset+k by final score — enough to slice the
+		// requested page bit-identically; k == 0 means the whole ranking.
+		retain := 0
+		if req.K > 0 {
+			retain = req.Offset + req.K
+		}
+		// Score-multiplier ceiling for MaxScore skipping inside the pass,
+		// the same bound prunedPage hands SearchBoostedSet: valid only
+		// when every multiplier is monotone non-decreasing and ≥ 0
+		// (canPrune's conditions). Anchor-labeled instances can exceed it
+		// by the anchor boost, so they ride along as ceiling-exempt; 0
+		// leaves the driver exhaustive for this item.
+		ceil := 0.0
+		if e.opts.TypeBoost >= 0 &&
+			e.opts.UtilityInfluence >= 0 && e.opts.UtilityInfluence <= 1 &&
+			e.opts.AnchorBoost >= 0 {
+			maxAff := 0.0
+			for _, a := range qc.affinity {
+				if a > maxAff {
+					maxAff = a
+				}
+			}
+			typeHi := 1 + e.opts.TypeBoost*maxAff
+			blendHi := 1 - e.opts.UtilityInfluence + e.opts.UtilityInfluence*e.maxUtility
+			ceil = typeHi * blendHi
+		}
+		live = append(live, i)
+		qctx = append(qctx, qc)
+		queries = append(queries, ir.BatchQuery{Terms: ir.Tokenize(req.Query), K: retain, Ceil: ceil, Exempt: anchorDocs})
+	}
+	if len(live) == 0 {
+		return true
+	}
+	booster := newBatchBooster(e, qctx)
+	hits, ok := e.index.MultiSearchSet(e.retrievalScorer(), queries, booster, set)
+	if !ok {
+		// Roll the filter-failed items back too? No: their errors are
+		// final and identical to serial; only the live items return to
+		// the caller's fallback list, which re-runs everything in
+		// items — re-resolving a failed filter yields the same error.
+		return false
+	}
+	for n, i := range live {
+		req, qc, bh := reqs[i], qctx[n], hits[n]
+		results := make([]Result, 0, len(bh.Hits))
+		for _, h := range bh.Hits {
+			results = append(results, e.resultFor(e.instances[h.Name], h.IRScore, qc.affinity, qc.anchors))
+		}
+		resp := &Response{Total: bh.Total}
+		if req.Offset < len(results) {
+			results = results[req.Offset:]
+		} else {
+			results = nil
+		}
+		if req.K > 0 && len(results) > req.K {
+			results = results[:req.K]
+		}
+		resp.Results = results
+		if req.Explain {
+			resp.Explain = explainPayload(qc.sg, qc.affinity)
+		}
+		out[i] = BatchResult{Response: resp}
+	}
+	return true
+}
+
+// batchBooster adapts the engine's per-item score context to
+// ir.MultiBooster. Final computes the score by the identical float
+// expression resultFor uses — same sub-expressions, same multiplication
+// order — with the anchor decision probed by doc id (see batchQueryCtx)
+// instead of by label, so the hot path never hashes a string beyond the
+// type-affinity lookup. The per-query filter decisions are precomputed
+// per catalog definition as bitmask words, so Prepare settles counting
+// for the whole batch with one pointer-map probe. Called concurrently
+// from shard goroutines; it only reads state the engine's read lock
+// protects (plus its own immutable tables).
+type batchBooster struct {
+	e     *Engine
+	byDoc []*core.Instance
+	ctxs  []batchQueryCtx
+	// maskByDef[def][w] bit j: query w*64+j counts documents of def.
+	maskByDef map[*core.Definition][]uint64
+	// tfByDef[def][q] is query q's precomputed type factor for
+	// documents of def: 1 + TypeBoost*affinity[def.Name] — the same
+	// expression resultFor evaluates, hoisted out of the per-candidate
+	// path.
+	tfByDef map[*core.Definition][]float64
+}
+
+func newBatchBooster(e *Engine, ctxs []batchQueryCtx) *batchBooster {
+	words := (len(ctxs) + 63) / 64
+	maskByDef := make(map[*core.Definition][]uint64, e.cat.Len())
+	tfByDef := make(map[*core.Definition][]float64, e.cat.Len())
+	for _, def := range e.cat.Definitions() {
+		m := make([]uint64, words)
+		tf := make([]float64, len(ctxs))
+		for q := range ctxs {
+			if ctxs[q].allowed == nil || ctxs[q].allowed[def.Name] {
+				m[q/64] |= 1 << uint(q%64)
+			}
+			tf[q] = 1 + e.opts.TypeBoost*ctxs[q].affinity[def.Name]
+		}
+		maskByDef[def] = m
+		tfByDef[def] = tf
+	}
+	return &batchBooster{e: e, byDoc: e.docInstances(), ctxs: ctxs, maskByDef: maskByDef, tfByDef: tfByDef}
+}
+
+// Prepare implements ir.MultiBooster.
+func (b *batchBooster) Prepare(doc int, name string, base int) (any, uint64, bool) {
+	if doc < 0 || doc >= len(b.byDoc) {
+		return nil, 0, false
+	}
+	inst := b.byDoc[doc]
+	if inst == nil {
+		return nil, 0, false
+	}
+	if m, ok := b.maskByDef[inst.Def]; ok {
+		return inst, m[base/64], true
+	}
+	// Definition not in the catalog table (cannot normally happen):
+	// answer the filters directly.
+	var counts uint64
+	for j := 0; j < 64 && base+j < len(b.ctxs); j++ {
+		qc := &b.ctxs[base+j]
+		if qc.allowed == nil || qc.allowed[inst.Def.Name] {
+			counts |= 1 << uint(j)
+		}
+	}
+	return inst, counts, true
+}
+
+// Final implements ir.MultiBooster.
+func (b *batchBooster) Final(handle any, q, doc int, irScore float64) float64 {
+	inst := handle.(*core.Instance)
+	qc := &b.ctxs[q]
+	var typeFactor float64
+	if tf, ok := b.tfByDef[inst.Def]; ok {
+		typeFactor = tf[q]
+	} else {
+		typeFactor = 1 + b.e.opts.TypeBoost*qc.affinity[inst.Def.Name]
+	}
+	blend := 1 - b.e.opts.UtilityInfluence + b.e.opts.UtilityInfluence*inst.Utility
+	boost := 1.0
+	if len(qc.anchorDocs) > 0 && containsDoc(qc.anchorDocs, doc) {
+		boost = 1 + b.e.opts.AnchorBoost
+	}
+	return irScore * typeFactor * blend * boost
+}
+
+// containsDoc reports whether a sorted doc-id slice contains d; anchor
+// sets are tiny, so a linear scan wins.
+func containsDoc(a []int, d int) bool {
+	for _, x := range a {
+		if x == d {
+			return true
+		}
+		if x > d {
+			return false
+		}
+	}
+	return false
+}
+
+// copyBatchResult returns a defensively-copied batch result: the
+// Response struct, its Results slice, and the Explain payload are all
+// fresh, so a caller mutating one batch item can never corrupt a
+// positionally distinct duplicate. Result entries still share the
+// engine's *core.Instance pointers — exactly what two independent
+// serial Search calls return.
+func copyBatchResult(br BatchResult) BatchResult {
+	if br.Response == nil {
+		return br
+	}
+	resp := *br.Response
+	if resp.Results != nil {
+		resp.Results = append([]Result(nil), resp.Results...)
+	}
+	if resp.Explain != nil {
+		ex := *resp.Explain
+		if ex.Segments != nil {
+			ex.Segments = append([]ExplainSegment(nil), ex.Segments...)
+		}
+		if ex.Affinities != nil {
+			ex.Affinities = append([]DefinitionAffinity(nil), ex.Affinities...)
+		}
+		resp.Explain = &ex
+	}
+	return BatchResult{Response: &resp, Err: br.Err}
+}

@@ -90,6 +90,7 @@ func (e *Engine) Compact() (CompactionResult, error) {
 	}
 	e.mu.Lock()
 	e.index = compacted
+	e.docsVersion++
 	e.mu.Unlock()
 	e.slotsReclaimed.Add(int64(st.ReclaimedSlots))
 	return CompactionResult{

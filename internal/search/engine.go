@@ -137,6 +137,38 @@ type Engine struct {
 	// it is always a valid — if occasionally loose — bound for the
 	// pruned search path's score-multiplier ceiling.
 	maxUtility float64
+
+	// docsVersion counts the mutations that change the global-doc-id ↔
+	// instance mapping (AddInstance, RemoveInstance, Compact; feedback
+	// only touches utilities, which byDoc reads through the instance
+	// pointer). Written under the write lock, read under either.
+	docsVersion uint64
+	// docCache lazily materializes the mapping as a dense slice for the
+	// batch path, which resolves instances per candidate document and
+	// would otherwise pay a string-map lookup each time. Rebuilt on
+	// version mismatch under its own lock (readers hold only e.mu.RLock).
+	docCache struct {
+		mu      sync.Mutex
+		version uint64
+		byDoc   []*core.Instance
+	}
+	// affCache holds the per-definition state typeAffinity consults for
+	// every query — normalized keyword vocabulary, covered tables,
+	// rollup flag — which is derived entirely from the (effectively
+	// immutable) definitions. Invalidated by catalog growth.
+	affCache struct {
+		mu   sync.Mutex
+		n    int
+		defs []defAffinity
+	}
+}
+
+// defAffinity is one definition's precomputed type-affinity state.
+type defAffinity struct {
+	d      *core.Definition
+	kw     map[string]bool // normalized keyword vocabulary
+	tables map[string]bool // covered tables (== defTables entry)
+	rollup bool            // has sections: prefers underspecified queries
 }
 
 // NewEngine materializes every instance of the catalog and indexes it.
@@ -618,6 +650,29 @@ func (b *pageBooster) Final(name string, irScore float64) float64 {
 	return irScore * typeFactor * blend
 }
 
+// docInstances returns the dense global-doc-id → instance view of the
+// engine, rebuilding the cached slice when a mutation has invalidated
+// it. Callers hold the engine read lock; the cache's own lock
+// serializes concurrent rebuilds. Tombstoned slots hold nil.
+func (e *Engine) docInstances() []*core.Instance {
+	v := e.docsVersion
+	c := &e.docCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byDoc != nil && c.version == v {
+		return c.byDoc
+	}
+	byDoc := make([]*core.Instance, e.index.Slots())
+	for g := range byDoc {
+		if name := e.index.Name(g); name != "" {
+			byDoc[g] = e.instances[name]
+		}
+	}
+	c.version = v
+	c.byDoc = byDoc
+	return byDoc
+}
+
 // noteUtility folds one observed instance utility into the monotone
 // maxUtility bound. Callers hold the write lock (or are inside
 // single-threaded construction).
@@ -665,54 +720,13 @@ type BatchResult struct {
 // BatchSearch answers several requests against one consistent view of
 // the engine: the read lock is taken once for the whole batch, so no
 // feedback or instance mutation can interleave between items — every
-// item scores the same index state and utilities, one index pass for
-// the batch. Duplicate items (same canonical CacheKey) are evaluated
-// once and share their result; distinct items are evaluated
-// concurrently. Results are positionally aligned with reqs.
+// item scores the same index state and utilities. Distinct items are
+// answered by ONE amortized pass over the shared posting lists (see
+// batch.go); duplicate items (same canonical CacheKey) are evaluated
+// once and returned as independent copies. Results are positionally
+// aligned with reqs, bitwise identical to calling Search per item.
 func (e *Engine) BatchSearch(ctx context.Context, reqs []Request) []BatchResult {
 	return e.batchSearchSet(ctx, reqs, ir.ShardSet{})
-}
-
-// batchSearchSet is the body of BatchSearch, parameterized by the shard
-// subset each item scores (see PartitionBatchSearch).
-func (e *Engine) batchSearchSet(ctx context.Context, reqs []Request, set ir.ShardSet) []BatchResult {
-	out := make([]BatchResult, len(reqs))
-	if len(reqs) == 0 {
-		return out
-	}
-	first := make(map[string]int, len(reqs))
-	share := make([]int, len(reqs)) // share[i] = index whose result item i reuses
-	var distinct []int
-	for i, req := range reqs {
-		key := req.CacheKey()
-		if j, ok := first[key]; ok {
-			share[i] = j
-			continue
-		}
-		first[key] = i
-		share[i] = i
-		distinct = append(distinct, i)
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	var wg sync.WaitGroup
-	for _, i := range distinct {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := reqs[i].Validate(); err != nil {
-				out[i] = BatchResult{Err: err}
-				return
-			}
-			resp, err := e.searchLocked(ctx, reqs[i], set)
-			out[i] = BatchResult{Response: resp, Err: err}
-		}(i)
-	}
-	wg.Wait()
-	for i := range out {
-		out[i] = out[share[i]]
-	}
-	return out
 }
 
 // filterSet resolves a Filter to the set of definition names it allows;
@@ -788,7 +802,8 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 	aff := make(map[string]float64, e.cat.Len())
 	entities := sg.Entities()
 	attrs := sg.Attributes()
-	for _, d := range e.cat.Definitions() {
+	for _, da := range e.affinityDefs() {
+		d := da.d
 		score := 0.0
 		_, anchorCol, hasAnchor := d.AnchorParam()
 		for _, ent := range entities {
@@ -801,21 +816,17 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 				score += 1
 			}
 		}
-		kw := map[string]bool{}
-		for _, w := range d.Keywords {
-			kw[ir.Normalize(w)] = true
-		}
 		for _, a := range attrs {
-			if kw[a.Text] {
+			if da.kw[a.Text] {
 				score += 2
-			} else if e.defTables[d.Name][a.Table] {
+			} else if da.tables[a.Table] {
 				score += 1
 			}
 		}
 		// A bare single-entity query prefers profile qunits: rollup
 		// definitions (those with sections) answer underspecified
 		// queries.
-		if len(entities) == 1 && len(attrs) == 0 && len(d.Sections) > 0 {
+		if len(entities) == 1 && len(attrs) == 0 && da.rollup {
 			score += 1
 		}
 		if score > 0 {
@@ -823,6 +834,29 @@ func (e *Engine) typeAffinity(sg segment.Segmentation) map[string]float64 {
 		}
 	}
 	return aff
+}
+
+// affinityDefs returns the cached per-definition type-affinity state,
+// rebuilding it when the catalog has grown. Rebuilding normalizes every
+// definition's keyword vocabulary once instead of once per query.
+func (e *Engine) affinityDefs() []defAffinity {
+	c := &e.affCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.defs != nil && c.n == e.cat.Len() {
+		return c.defs
+	}
+	ds := e.cat.Definitions()
+	defs := make([]defAffinity, 0, len(ds))
+	for _, d := range ds {
+		kw := make(map[string]bool, len(d.Keywords))
+		for _, w := range d.Keywords {
+			kw[ir.Normalize(w)] = true
+		}
+		defs = append(defs, defAffinity{d: d, kw: kw, tables: definitionTables(d), rollup: len(d.Sections) > 0})
+	}
+	c.n, c.defs = e.cat.Len(), defs
+	return defs
 }
 
 // InstanceIDs returns every indexed instance ID in sorted order — a

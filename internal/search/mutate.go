@@ -95,6 +95,7 @@ func (e *Engine) AddInstance(inst *core.Instance) error {
 		return err
 	}
 	e.instances[id] = inst
+	e.docsVersion++
 	e.noteUtility(inst.Utility)
 	e.indexLabel(inst)
 	if _, known := e.defTables[inst.Def.Name]; !known {
@@ -142,6 +143,7 @@ func (e *Engine) removeInstance(id string) error {
 	}
 	e.dropLabel(e.instances[id])
 	delete(e.instances, id)
+	e.docsVersion++
 	return nil
 }
 

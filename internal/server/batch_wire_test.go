@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The batch wire contract: a /v1/search batch may amortize the engine
+// work behind its items (one shared posting pass, deduplicated
+// duplicates), but it must not change a byte — every item's payload
+// must golden-match the reply the same request gets on its own, through
+// both deployment shapes: an in-process engine and a scatter-gather
+// coordinator over a 3-partition cluster.
+
+// batchWireItems is the mixed-shape workload: plain, explain, paged,
+// anchor-filtered, definition-filtered, a duplicate of the first item,
+// and an invalid (blank) item that must fail alone without failing the
+// batch.
+var batchWireItems = []string{
+	`{"query":"star wars cast","k":4}`,
+	`{"query":"george clooney","k":2,"explain":true}`,
+	`{"query":"ocean","k":6,"offset":1}`,
+	`{"query":"star wars","k":5,"filter":{"anchor_types":["movie.title"]}}`,
+	`{"query":"tom hanks","k":3,"filter":{"definitions":["person-profile","movie-cast"]}}`,
+	`{"query":"star wars cast","k":4}`,
+	`{"query":"   "}`,
+}
+
+// checkBatchWireGolden drives the batch and the singles against one
+// server and diffs the scrubbed bytes item by item.
+func checkBatchWireGolden(t *testing.T, s *Server) {
+	t.Helper()
+	batchBody := fmt.Sprintf(`{"queries":[%s]}`, strings.Join(batchWireItems, ","))
+	code, raw := replayPost(t, s, http.MethodPost, "/v1/search", batchBody)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	var parsed struct {
+		Items []struct {
+			Response json.RawMessage `json:"response"`
+			Error    *V1Error        `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Items) != len(batchWireItems) {
+		t.Fatalf("%d items out for %d in", len(parsed.Items), len(batchWireItems))
+	}
+	for i, body := range batchWireItems {
+		singleCode, singleRaw := replayPost(t, s, http.MethodPost, "/v1/search", body)
+		item := parsed.Items[i]
+		if singleCode != http.StatusOK {
+			// The single request failed, so the batch item must carry the
+			// same structured error.
+			var envelope v1Envelope
+			if err := json.Unmarshal(singleRaw, &envelope); err != nil {
+				t.Fatal(err)
+			}
+			if item.Error == nil || *item.Error != envelope.Error {
+				t.Fatalf("item %d %s: batch error %+v, single error %+v", i, body, item.Error, envelope.Error)
+			}
+			continue
+		}
+		if item.Error != nil {
+			t.Fatalf("item %d %s: batch failed (%+v) but the single request succeeded", i, body, item.Error)
+		}
+		if got, want := scrubTiming(t, item.Response), scrubTiming(t, singleRaw); got != want {
+			t.Fatalf("item %d %s: wire bytes differ\nbatch:  %s\nsingle: %s", i, body, got, want)
+		}
+	}
+}
+
+// TestBatchWireGolden runs the golden diff through both backends. The
+// caches are off on every node so the cached flag — part of the wire
+// bytes — agrees between the batch and single runs.
+func TestBatchWireGolden(t *testing.T) {
+	t.Run("engine", func(t *testing.T) {
+		pruned, _, _ := newReplayStacks(t)
+		checkBatchWireGolden(t, New(pruned.engine, Config{CacheSize: -1}))
+	})
+	t.Run("coordinator", func(t *testing.T) {
+		h, _ := newClusterHarness(t)
+		checkBatchWireGolden(t, h.coord)
+	})
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"qunits/internal/querylog"
+	"qunits/internal/search"
+)
+
+// Result-cache prewarming. Keyword workloads are extremely head-skewed
+// (the paper's §5.2 query-log analysis: 98,549 queries, 46,901 unique —
+// the head repeats constantly), so a server that boots cold pays the
+// full engine cost for exactly the queries it will be asked most often.
+// Prewarm replays the head of an aggregated query log through the same
+// batched backend path /v1/search uses, so the first real request for a
+// head query is already a cache hit.
+//
+// The replay deliberately reuses the batch machinery rather than a
+// per-query loop: on an engine-backed node the misses of each chunk
+// execute as ONE shared posting pass (see search.Engine.BatchSearch),
+// which makes warming a 1024-entry head an amortized, bounded amount of
+// engine work rather than 1024 serial searches.
+
+// prewarmState remembers the registered log so the head can be replayed
+// again after a compaction pass.
+type prewarmState struct {
+	mu   sync.Mutex
+	log  *querylog.Log
+	topN int
+}
+
+// Prewarm replays the log's most frequent queries — the zipfian head —
+// through the batch search path, populating the result cache, and
+// registers the log so the server re-warms itself after every
+// compaction pass (compaction usually follows churn, and churn purges
+// the cache). Each entry is warmed as the request real head traffic
+// sends: the bare query with the server's default k, which is the
+// canonical key both the legacy route and a field-free /v1 request map
+// to.
+//
+// topN caps how many entries to replay; 0 (or anything past the cache
+// capacity) means "as many as the cache can hold". Per-item failures
+// (a query of nothing but stopwords, say) are skipped — a log line must
+// never prevent boot. The returned count is the number of entries
+// actually warmed; already-cached entries are not re-executed.
+func (s *Server) Prewarm(ctx context.Context, l *querylog.Log, topN int) (int, error) {
+	s.prewarm.mu.Lock()
+	s.prewarm.log, s.prewarm.topN = l, topN
+	s.prewarm.mu.Unlock()
+	return s.replayHead(ctx, l, topN)
+}
+
+// replayHead runs one warming pass over the log's head.
+func (s *Server) replayHead(ctx context.Context, l *querylog.Log, topN int) (int, error) {
+	if l == nil || s.cfg.CacheSize <= 0 {
+		// No cache, nothing to warm (coordinators and followers default
+		// the cache off; see NewCoordinatorServer / NewPartitionServer).
+		return 0, nil
+	}
+	n := topN
+	if n <= 0 || n > s.cfg.CacheSize {
+		n = s.cfg.CacheSize
+	}
+	n = min(n, len(l.Entries))
+	warmed := 0
+	for start := 0; start < n; start += s.cfg.MaxBatch {
+		chunk := l.Entries[start:min(start+s.cfg.MaxBatch, n)]
+		reqs := make([]search.Request, 0, len(chunk))
+		keys := make([]string, 0, len(chunk))
+		for _, e := range chunk {
+			req := search.Request{Query: e.Query, K: s.cfg.DefaultK}
+			key := req.CacheKey()
+			if _, ok := s.cache.get(key); ok {
+				continue
+			}
+			reqs = append(reqs, req)
+			keys = append(keys, key)
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		// Snapshot the purge epoch around the engine pass, exactly as the
+		// serving paths do: a mutation that lands mid-warm invalidates
+		// everything this pass computed, so stop rather than insert stale
+		// pages (the post-compaction rewarm will not race itself — the
+		// mutation's own purge already emptied what we wrote).
+		epoch := s.purgeEpoch.Load()
+		outcomes, err := s.backend.batch(ctx, reqs)
+		if err != nil {
+			return warmed, err
+		}
+		if s.purgeEpoch.Load() != epoch {
+			return warmed, nil
+		}
+		for i, o := range outcomes {
+			if o.err != nil {
+				continue
+			}
+			s.cache.put(keys[i], o.entry)
+			warmed++
+		}
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+	}
+	return warmed, nil
+}
+
+// rewarm replays the registered head again, best-effort. Called after a
+// compaction pass: the pass itself never stales the cache (it is
+// parity-proven), but compaction typically runs after mutation churn,
+// and every mutation purged the cache — so the head is cold exactly
+// when the operator compacts. Errors are deliberately swallowed: a
+// failed warm just means the next real queries miss, which is the state
+// the server was in anyway.
+func (s *Server) rewarm() {
+	s.prewarm.mu.Lock()
+	l, n := s.prewarm.log, s.prewarm.topN
+	s.prewarm.mu.Unlock()
+	if l == nil {
+		return
+	}
+	_, _ = s.replayHead(context.Background(), l, n)
+}

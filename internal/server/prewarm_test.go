@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"qunits/internal/querylog"
+)
+
+// headLog builds an aggregated log directly; entries must already be in
+// the canonical order (frequency descending, then query text).
+func headLog(entries ...querylog.Entry) *querylog.Log {
+	l := &querylog.Log{Entries: entries}
+	for _, e := range entries {
+		l.Total += e.Freq
+	}
+	return l
+}
+
+// TestPrewarmPopulatesCache: replaying a log head makes its queries
+// cache hits on both routes, and a junk entry (blank query) is skipped
+// without failing the pass.
+func TestPrewarmPopulatesCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	l := headLog(
+		querylog.Entry{Query: "star wars cast", Freq: 9},
+		querylog.Entry{Query: "george clooney", Freq: 5},
+		querylog.Entry{Query: "   ", Freq: 3}, // blank: engine rejects it
+		querylog.Entry{Query: "casablanca", Freq: 2},
+	)
+	warmed, err := s.Prewarm(context.Background(), l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 3 {
+		t.Fatalf("warmed %d entries, want 3 (stopword entry skipped)", warmed)
+	}
+	if got := s.cache.len(); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3", got)
+	}
+	// The legacy route with the default k maps to the exact key the
+	// replay warmed.
+	rec, body := get(t, s, "/search?q=star+wars+cast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if resp := decodeBody[SearchResponse](t, body); !resp.Cached {
+		t.Fatalf("legacy head query missed the warmed cache: %+v", resp)
+	}
+	// So does a field-free /v1 request.
+	rec, body = post(t, s, "/v1/search", `{"query":"george clooney"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if resp := decodeBody[V1SearchResponse](t, body); !resp.Cached {
+		t.Fatalf("/v1 head query missed the warmed cache: %+v", resp)
+	}
+	// Warming again is a no-op: everything is already cached.
+	again, err := s.Prewarm(context.Background(), l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("second pass warmed %d entries, want 0", again)
+	}
+}
+
+// TestPrewarmRespectsTopN: the cap limits the replay to the head.
+func TestPrewarmRespectsTopN(t *testing.T) {
+	s := newTestServer(t, Config{})
+	l := headLog(
+		querylog.Entry{Query: "star wars cast", Freq: 9},
+		querylog.Entry{Query: "casablanca", Freq: 2},
+	)
+	warmed, err := s.Prewarm(context.Background(), l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 1 || s.cache.len() != 1 {
+		t.Fatalf("warmed=%d cache=%d, want 1 and 1", warmed, s.cache.len())
+	}
+}
+
+// TestPrewarmWithoutCache: on a node whose cache is disabled (followers,
+// coordinators) the replay is a clean no-op.
+func TestPrewarmWithoutCache(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: -1})
+	l := headLog(querylog.Entry{Query: "star wars cast", Freq: 9})
+	warmed, err := s.Prewarm(context.Background(), l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 0 {
+		t.Fatalf("warmed %d entries with caching disabled", warmed)
+	}
+}
+
+// TestCompactRewarms: once a log is registered, a compaction pass
+// re-warms the head — the operational moment the cache is cold, because
+// the churn that motivated compacting purged it.
+func TestCompactRewarms(t *testing.T) {
+	s := New(newPrivateEngine(t), Config{})
+	l := headLog(
+		querylog.Entry{Query: "star wars cast", Freq: 9},
+		querylog.Entry{Query: "george clooney", Freq: 5},
+	)
+	if _, err := s.Prewarm(context.Background(), l, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: a mutation purges the cache (simulated directly).
+	s.invalidateResults()
+	if s.cache.len() != 0 {
+		t.Fatalf("cache not purged: %d entries", s.cache.len())
+	}
+	rec, body := post(t, s, "/v1/compact", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact status %d: %s", rec.Code, body)
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Fatalf("compaction re-warmed %d entries, want 2", got)
+	}
+	rec, body = post(t, s, "/v1/search", `{"query":"star wars cast"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if resp := decodeBody[V1SearchResponse](t, body); !resp.Cached {
+		t.Fatalf("head query missed after post-compaction rewarm: %+v", resp)
+	}
+}

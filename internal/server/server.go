@@ -100,6 +100,9 @@ type Server struct {
 	// node and on a cluster's primary partition, false on followers and
 	// coordinators.
 	acceptMutations bool
+	// prewarm remembers the query log registered via Prewarm so the
+	// result cache can be re-warmed after compaction passes.
+	prewarm prewarmState
 
 	queries      atomic.Int64
 	cacheHits    atomic.Int64
@@ -483,9 +486,15 @@ func (s *Server) RemoveInstance(id string) error {
 // deliberately NOT purged: compaction is parity-proven to leave every
 // search response bitwise identical (see search.Engine.Compact), so no
 // cached entry can be stale — the pass changes the cost of a miss,
-// never the content of a hit.
+// never the content of a hit. When a query log was registered via
+// Prewarm, the pass re-warms the head afterwards: compaction tends to
+// follow mutation churn, and the mutations purged the cache.
 func (s *Server) Compact() (search.CompactionResult, error) {
-	return s.engine.Compact()
+	res, err := s.engine.Compact()
+	if err == nil {
+		s.rewarm()
+	}
+	return res, err
 }
 
 // truncateRunes cuts s to at most max bytes without splitting a rune,
