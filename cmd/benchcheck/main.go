@@ -27,6 +27,17 @@
 //
 //	go run ./cmd/benchcheck -load /tmp/BENCH_LOAD.json \
 //	  -max-p99 500000 -max-error-rate 0 -min-requests 50
+//
+// With -allocs it instead gates a benchmark's allocs/op against an
+// absolute ceiling (-max-allocs). Allocation counts — unlike ns/op —
+// are machine-independent, so an absolute gate is meaningful: the
+// benchmark must have been run with -benchmem for benchjson to carry
+// the metric.
+//
+//	go test -bench TopKAllocs -benchmem -run '^$' ./internal/ir \
+//	  | go run ./cmd/benchjson > /tmp/allocs.json
+//	go run ./cmd/benchcheck -allocs /tmp/allocs.json \
+//	  -alloc-bench 'BenchmarkTopKAllocs' -max-allocs 12
 package main
 
 import (
@@ -58,9 +69,19 @@ func main() {
 	maxErrorRate := flag.Float64("max-error-rate", 0, "fail when any load run's error rate exceeds this fraction")
 	minRequests := flag.Int64("min-requests", 1, "fail when any load run measured fewer requests than this")
 	maxP99Regress := flag.Float64("max-p99-regress", 3.0, "fail when a run's p99 exceeds this multiple of the baseline run's (same mode)")
+	allocs := flag.String("allocs", "", "gate a benchjson file's allocs/op instead of a ns/op ratio")
+	allocBench := flag.String("alloc-bench", "BenchmarkTopKAllocs", "benchmark whose allocs/op is gated by -max-allocs")
+	maxAllocs := flag.Float64("max-allocs", 12, "fail when the -alloc-bench benchmark allocates more than this many objects per op")
 	flag.Parse()
 	if *load != "" {
 		if checkLoad(*load, *loadBaseline, *maxP99, *maxErrorRate, *minRequests, *maxP99Regress) {
+			os.Exit(1)
+		}
+		fmt.Println("benchcheck: ok")
+		return
+	}
+	if *allocs != "" {
+		if checkAllocs(*allocs, *allocBench, *maxAllocs) {
 			os.Exit(1)
 		}
 		fmt.Println("benchcheck: ok")
@@ -156,6 +177,51 @@ func checkLoad(path, baselinePath string, maxP99 int64, maxErrRate float64, minR
 		}
 	}
 	return failed
+}
+
+// checkAllocs gates a benchmark's allocs/op against an absolute
+// ceiling; returns true on failure. Allocation counts are exact on a
+// steady-state benchmark, so unlike the ns/op gates no baseline or
+// ratio is involved — the committed ceiling IS the budget.
+func checkAllocs(path, bench string, maxAllocs float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return true
+	}
+	var results []result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		return true
+	}
+	// Among repetitions, take the highest allocs/op: warm-up effects
+	// only ever hide allocations (a pool hit where steady state would
+	// miss), so the maximum is the honest measurement.
+	worst, found := 0.0, false
+	for i := range results {
+		r := &results[i]
+		if r.Name != bench {
+			continue
+		}
+		v, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		found = true
+		if v > worst {
+			worst = v
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no benchmark %q with an allocs/op metric (was it run with -benchmem?)\n", path, bench)
+		return true
+	}
+	fmt.Printf("benchcheck: %s allocs/op = %.1f (budget %.1f)\n", bench, worst, maxAllocs)
+	if worst > maxAllocs {
+		fmt.Printf("benchcheck: FAIL: %s allocates %.1f objects/op, budget is %.1f\n", bench, worst, maxAllocs)
+		return true
+	}
+	return false
 }
 
 // ratioFrom loads a benchjson file and returns slow.ns/op ÷ fast.ns/op.

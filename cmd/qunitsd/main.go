@@ -123,6 +123,7 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 32, "maximum queries per /v1/search batch")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window")
 		snapshotPath = flag.String("snapshot", "", "engine snapshot file: loaded at boot when present, written after the graceful drain")
+		useMmap      = flag.Bool("mmap", false, "serve posting lists directly from a read-only memory mapping of -snapshot (v3 snapshots on mmap platforms; others fall back to a copying load)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "also write the snapshot this often while serving (0 = only at shutdown)")
 		compactRatio = flag.Float64("compact-ratio", 0, "auto-compact the index when its tombstone ratio (dead slots / slots) reaches this; 0 disables (POST /v1/compact still works)")
 		mode         = flag.String("mode", "single", "deployment role: single, partition, or coordinator")
@@ -204,7 +205,7 @@ func main() {
 			})
 		}
 
-		engine, applied, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers)
+		engine, applied, err := loadOrBuildEngine(u, *snapshotPath, *deriveMode, *shards, *buildWorkers, *useMmap)
 		if err != nil {
 			log.Print(err)
 			os.Exit(2)
@@ -440,19 +441,35 @@ func saveBootstrapLocked(path string, engine *search.Engine, seq func() uint64) 
 // loadOrBuildEngine restores the engine from the snapshot file when one
 // is configured and present — skipping catalog derivation, instance
 // materialization, and indexing — and otherwise builds it from scratch.
-// The second return is the restored state's WAL position: the value of
-// the snapshot's .seq sidecar, or 0 for a fresh build or a sidecar-less
-// snapshot.
-func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards, buildWorkers int) (*search.Engine, uint64, error) {
+// With useMmap the snapshot's posting blocks are served straight out of
+// a read-only memory mapping (v3 snapshots on mmap platforms), making
+// boot O(metadata) instead of O(corpus). The second return is the
+// restored state's WAL position: the value of the snapshot's .seq
+// sidecar, or 0 for a fresh build or a sidecar-less snapshot.
+func loadOrBuildEngine(u *imdb.Universe, snapshotPath, deriveMode string, shards, buildWorkers int, useMmap bool) (*search.Engine, uint64, error) {
 	if snapshotPath != "" {
 		if _, err := os.Stat(snapshotPath); err == nil {
 			loadStart := time.Now()
-			engine, applied, err := cluster.LoadBootstrap(snapshotPath, u.DB)
+			var engine *search.Engine
+			var applied uint64
+			var err error
+			how := "snapshot"
+			if useMmap {
+				var mapped bool
+				engine, applied, mapped, err = cluster.LoadBootstrapMapped(snapshotPath, u.DB)
+				if mapped {
+					how = "mapped snapshot"
+				} else if err == nil {
+					log.Printf("qunitsd: -mmap requested but %s is not mappable (pre-v3 snapshot or platform without mmap); loaded by copy", snapshotPath)
+				}
+			} else {
+				engine, applied, err = cluster.LoadBootstrap(snapshotPath, u.DB)
+			}
 			if err != nil {
 				return nil, 0, fmt.Errorf("qunitsd: loading snapshot %s: %w", snapshotPath, err)
 			}
-			log.Printf("qunitsd: engine loaded from snapshot %s in %v (%d instances, wal position %d)",
-				snapshotPath, time.Since(loadStart).Round(time.Millisecond), engine.InstanceCount(), applied)
+			log.Printf("qunitsd: engine loaded from %s %s in %v (%d instances, wal position %d)",
+				how, snapshotPath, time.Since(loadStart).Round(time.Millisecond), engine.InstanceCount(), applied)
 			return engine, applied, nil
 		} else if !os.IsNotExist(err) {
 			return nil, 0, fmt.Errorf("qunitsd: opening snapshot: %w", err)

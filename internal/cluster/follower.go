@@ -179,16 +179,44 @@ func LoadBootstrap(path string, db *relational.Database) (*search.Engine, uint64
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: loading bootstrap %s: %w", path, err)
 	}
+	pos, err := bootstrapSeq(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return engine, pos, nil
+}
+
+// LoadBootstrapMapped is LoadBootstrap serving posting blocks straight
+// out of a memory mapping of the snapshot file when the platform and
+// snapshot version allow it (see snapshot.LoadEngineFile) — follower
+// bootstrap then costs O(metadata), not O(corpus), and co-located
+// followers of the same bootstrap share one page-cached copy. mapped
+// reports whether the mapped path was taken (false = the streaming
+// fallback loaded it).
+func LoadBootstrapMapped(path string, db *relational.Database) (*search.Engine, uint64, bool, error) {
+	engine, mapped, err := snapshot.LoadEngineFile(path, db)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("cluster: loading bootstrap %s: %w", path, err)
+	}
+	pos, err := bootstrapSeq(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return engine, pos, mapped, nil
+}
+
+// bootstrapSeq reads the WAL position from the "<path>.seq" sidecar.
+func bootstrapSeq(path string) (uint64, error) {
 	raw, err := os.ReadFile(path + ".seq")
 	if err != nil {
 		if os.IsNotExist(err) {
-			return engine, 0, nil
+			return 0, nil
 		}
-		return nil, 0, fmt.Errorf("cluster: reading bootstrap sidecar %s.seq: %w", path, err)
+		return 0, fmt.Errorf("cluster: reading bootstrap sidecar %s.seq: %w", path, err)
 	}
 	pos, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
 	if err != nil {
-		return nil, 0, fmt.Errorf("cluster: parsing bootstrap sidecar %s.seq: %w", path, err)
+		return 0, fmt.Errorf("cluster: parsing bootstrap sidecar %s.seq: %w", path, err)
 	}
-	return engine, pos, nil
+	return pos, nil
 }

@@ -394,3 +394,76 @@ func TestFollowerReplayOrderingWithConcurrentCompaction(t *testing.T) {
 	}
 	assertEngineParity(t, primary, replica, queries)
 }
+
+// TestWALReaderSuffixRead: polling an already-consumed log must cost
+// O(delta) — only the bytes appended since the last poll are fetched,
+// and a caught-up poll fetches nothing. This is the regression test for
+// the reader re-reading the whole file on every poll, which turned
+// follower lag linear in log size.
+func TestWALReaderSuffixRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 500; i++ {
+		if err := w.AppendFeedback(fmt.Sprintf("movie-cast:bulk %03d", i), true, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewWALReader(path)
+	recs, err := r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("initial read returned %d records, want 500", len(recs))
+	}
+	bulk := r.BytesRead()
+	if bulk == 0 {
+		t.Fatal("BytesRead is zero after consuming the log")
+	}
+
+	// One small appended record: the next poll must fetch just it.
+	if err := w.AppendRemove("movie-cast:bulk 007"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != OpRemove {
+		t.Fatalf("delta read returned %+v, want the single remove", recs)
+	}
+	delta := r.BytesRead() - bulk
+	if delta <= 0 || delta > 256 {
+		t.Fatalf("delta poll read %d bytes; want just the appended record (<= 256), not a rescan of the %d-byte prefix", delta, bulk)
+	}
+
+	// Caught up: a poll with nothing new must not touch the file body.
+	recs, err = r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("caught-up poll returned %d records, want 0", len(recs))
+	}
+	if got := r.BytesRead(); got != bulk+delta {
+		t.Fatalf("caught-up poll read %d bytes, want 0", got-bulk-delta)
+	}
+
+	// The suffix reads must not have broken sequence continuity: the
+	// next record after a delta poll still chains off the last seq.
+	if err := w.AppendCompact(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = r.ReadAvailable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 502 {
+		t.Fatalf("post-delta record = %+v, want seq 502", recs)
+	}
+}

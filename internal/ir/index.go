@@ -42,6 +42,12 @@ type Index struct {
 	// ShardedIndex instead of this shard alone, so scorers see the same
 	// IDF and length normalization they would on one monolithic index.
 	shared *sharedStats
+
+	// retain anchors the owner of any memory-mapped bytes the posting
+	// blocks alias (see ShardedIndex.Retain): while the index is
+	// reachable the mapping's finalizer cannot run, so cursors reading
+	// mapped TFs never dangle. nil for ordinary heap-backed indexes.
+	retain any
 }
 
 // sharedStats are collection-wide statistics shared by the shards of a

@@ -238,7 +238,9 @@ func (s *ShardedIndex) multiShardPass(ps prunedScorer, queries []BatchQuery, boo
 	shard := s.shards[si]
 	plans := make([]scorePlan, len(queries))
 	for q := range queries {
-		plan, ok := ps.plan(shard, queries[q].Terms)
+		// No scratch here: every query's plan must stay alive for the
+		// whole pass, so the buffers cannot be shared.
+		plan, ok := ps.plan(shard, queries[q].Terms, nil)
 		if !ok {
 			return nil, false
 		}
@@ -280,7 +282,7 @@ func (s *ShardedIndex) multiShardPass(ps prunedScorer, queries []BatchQuery, boo
 	all := make([][]FinalHit, len(queries))
 	for q := range queries {
 		if queries[q].K > 0 {
-			topks[q] = newFinalTopK(queries[q].K)
+			topks[q] = &finalTopK{k: queries[q].K}
 		}
 	}
 	totals := make([]int, len(queries))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ir
+
+const raceEnabled = false

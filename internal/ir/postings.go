@@ -321,3 +321,54 @@ func (ix *Index) importPostings(lists []TermPostings) error {
 	ix.postings = postings
 	return nil
 }
+
+// importPostingsTrusted installs posting lists with shape-only
+// validation: block headers must be internally consistent (posting
+// counts, TF slice lengths, live-vs-total sanity), but gap streams are
+// NOT decoded and per-posting doc ids and TFs are NOT checked against
+// the index. That makes restore O(terms + blocks) instead of
+// O(postings) — the point of serving a memory-mapped snapshot whose
+// content is already covered by the snapshot layer's checksums. The
+// installed block slices may alias mapped bytes; mutation via add
+// appends, which reallocates (the slices arrive with len == cap), so
+// the mapping itself is never written through.
+func (ix *Index) importPostingsTrusted(lists []TermPostings) error {
+	postings := make(map[string]*postingList, len(lists))
+	for li := range lists {
+		tp := &lists[li]
+		if tp.Term == "" {
+			return fmt.Errorf("ir: postings list %d has an empty term", li)
+		}
+		if _, dup := postings[tp.Term]; dup {
+			return fmt.Errorf("ir: duplicate postings list for term %q", tp.Term)
+		}
+		if tp.Live < 1 {
+			return fmt.Errorf("ir: term %q: no live postings (dead lists are dropped, not persisted)", tp.Term)
+		}
+		total := 0
+		for bi := range tp.Blocks {
+			b := &tp.Blocks[bi]
+			if b.N < 1 || b.N > blockSize || len(b.TFs) != b.N {
+				return fmt.Errorf("ir: term %q block %d: bad posting count", tp.Term, bi)
+			}
+			if b.FirstDoc < 0 || b.LastDoc < b.FirstDoc || b.LastDoc >= len(ix.names) {
+				return fmt.Errorf("ir: term %q block %d: doc range [%d, %d] invalid for %d slots", tp.Term, bi, b.FirstDoc, b.LastDoc, len(ix.names))
+			}
+			total += b.N
+		}
+		if total < tp.Live {
+			return fmt.Errorf("ir: term %q: live count %d exceeds %d postings", tp.Term, tp.Live, total)
+		}
+		postings[tp.Term] = &postingList{
+			blocks: tp.Blocks,
+			live:   tp.Live,
+			total:  total,
+			maxTF:  tp.MaxTF,
+			minTF:  tp.MinTF,
+			minLen: tp.MinLen,
+			last:   tp.LastDoc,
+		}
+	}
+	ix.postings = postings
+	return nil
+}

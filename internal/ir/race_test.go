@@ -1,0 +1,7 @@
+//go:build race
+
+package ir
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation adds allocations of its own.
+const raceEnabled = true

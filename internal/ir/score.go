@@ -152,9 +152,13 @@ func Search(ix *Index, scorer Scorer, query string, k int) []Hit {
 	terms := Tokenize(query)
 	if k > 0 {
 		if ps, ok := scorer.(prunedScorer); ok {
-			if plan, ok := ps.plan(ix, terms); ok {
-				return scoreTopKPruned(ix, plan, k)
+			sc := getScratch()
+			if plan, ok := ps.plan(ix, terms, sc); ok {
+				hits := scoreTopKPruned(ix, plan, k, sc)
+				putScratch(sc)
+				return hits
 			}
+			putScratch(sc)
 		}
 	}
 	scores := scorer.Score(ix, terms)
@@ -202,7 +206,9 @@ func (t *TopK) Offer(h Hit) {
 // tie-break, so equality never prunes).
 func (t *TopK) Threshold() (float64, bool) { return t.inner.threshold() }
 
-// Hits returns the accumulated hits, best first.
+// Hits returns the accumulated hits, best first. It consumes the
+// accumulator: the inner heap is sorted in place, so Offer must not be
+// called afterwards.
 func (t *TopK) Hits() []Hit {
 	fh := t.inner.hits()
 	out := make([]Hit, len(fh))

@@ -186,6 +186,28 @@ func (s *ShardedIndex) ImportPostings(shard int, lists []TermPostings) error {
 	return s.shards[shard].importPostings(lists)
 }
 
+// ImportPostingsTrusted installs posting lists whose block slices may
+// alias a memory-mapped snapshot region. Only shape validation is
+// performed — no per-document decoding — so restore cost is O(terms),
+// not O(corpus). The caller vouches for the content (the snapshot
+// layer's checksums do), and must anchor the mapping's lifetime with
+// Retain before the index serves searches.
+func (s *ShardedIndex) ImportPostingsTrusted(shard int, lists []TermPostings) error {
+	return s.shards[shard].importPostingsTrusted(lists)
+}
+
+// Retain anchors owner (typically a snapshot mapping) to every shard:
+// as long as any shard — or any plan, cursor, or compaction input that
+// references one — is reachable, owner is too, so the mapped bytes the
+// posting blocks alias cannot be unmapped under a search. Compaction
+// builds fresh heap-backed shards, so the anchor naturally drops with
+// the pre-compaction epoch.
+func (s *ShardedIndex) Retain(owner any) {
+	for _, shard := range s.shards {
+		shard.retain = owner
+	}
+}
+
 // NumShards returns the number of shards.
 func (s *ShardedIndex) NumShards() int { return len(s.shards) }
 
@@ -307,13 +329,16 @@ func (s *ShardedIndex) shardHits(i int, scorer Scorer, terms []string, k int) []
 	shard := s.shards[i]
 	if k > 0 {
 		if ps, ok := scorer.(prunedScorer); ok {
-			if plan, ok := ps.plan(shard, terms); ok {
-				hits := scoreTopKPruned(shard, plan, k)
+			sc := getScratch()
+			if plan, ok := ps.plan(shard, terms, sc); ok {
+				hits := scoreTopKPruned(shard, plan, k, sc)
+				putScratch(sc)
 				for j := range hits {
 					hits[j].Doc = s.globalOf[i][hits[j].Doc]
 				}
 				return hits
 			}
+			putScratch(sc)
 		}
 	}
 	scores := scorer.Score(shard, terms)
@@ -355,18 +380,29 @@ func (s *ShardedIndex) SearchBoostedSet(scorer Scorer, query string, k int, boos
 	terms := Tokenize(query)
 	perShard := make([][]FinalHit, len(s.shards))
 	planFailed := make([]bool, len(s.shards))
+	// Each shard's hits alias its goroutine's scratch (the driver's heap
+	// buffer), so the scratches are held until the merge below has
+	// copied the hits out, then released together.
+	scratches := make([]*searchScratch, len(s.shards))
 	run := func(i int) {
+		sc := getScratch()
+		scratches[i] = sc
 		shard := s.shards[i]
-		plan, ok := ps.plan(shard, terms)
+		plan, ok := ps.plan(shard, terms, sc)
 		if !ok {
 			planFailed[i] = true
 			return
 		}
-		hits := scoreTopKBoosted(shard, plan, k, booster, ceil)
+		hits := scoreTopKBoosted(shard, plan, k, booster, ceil, sc)
 		for j := range hits {
 			hits[j].Doc = s.globalOf[i][hits[j].Doc]
 		}
 		perShard[i] = hits
+	}
+	release := func() {
+		for _, sc := range scratches {
+			putScratch(sc)
+		}
 	}
 	var selected []int
 	for i := range s.shards {
@@ -389,10 +425,13 @@ func (s *ShardedIndex) SearchBoostedSet(scorer Scorer, query string, k int, boos
 	}
 	for _, failed := range planFailed {
 		if failed {
+			release()
 			return nil, false
 		}
 	}
-	return mergeFinalHits(perShard, k), true
+	merged := mergeFinalHits(perShard, k)
+	release()
+	return merged, true
 }
 
 // mergeFinalHits merges sorted per-shard FinalHit lists on the (score
@@ -460,13 +499,18 @@ func (s *ShardedIndex) ScoreNamedSet(scorer Scorer, terms []string, names []stri
 		perShard[sh] = append(perShard[sh], int(s.localOf[id]))
 	}
 	out := make(map[string]float64, len(names))
+	// The shard loop is sequential, so one scratch serves every shard in
+	// turn; scoreDocsPlanned's result aliases it, but the copy into out
+	// below finishes before the next iteration reuses the buffers.
+	sc := getScratch()
 	for i, locals := range perShard {
 		if len(locals) == 0 {
 			continue
 		}
 		shard := s.shards[i]
-		plan, ok := ps.plan(shard, terms)
+		plan, ok := ps.plan(shard, terms, sc)
 		if !ok {
+			putScratch(sc)
 			return nil, false
 		}
 		sort.Ints(locals)
@@ -476,10 +520,11 @@ func (s *ShardedIndex) ScoreNamedSet(scorer Scorer, terms []string, names []stri
 				uniq = append(uniq, l)
 			}
 		}
-		for local, score := range scoreDocsPlanned(shard, plan, uniq) {
+		for local, score := range scoreDocsPlanned(shard, plan, uniq, sc) {
 			out[shard.names[local]] = score
 		}
 	}
+	putScratch(sc)
 	return out, true
 }
 

@@ -2,7 +2,9 @@ package ir
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 )
 
 // MaxScore/WAND-style pruned top-k retrieval.
@@ -102,13 +104,52 @@ type scorePlan struct {
 // plan returns ok=false when the index or parameters violate the
 // assumptions pruning needs (non-negative, monotone contributions);
 // callers then fall back to the exhaustive path, which is always valid.
+// A non-nil scratch makes the returned plan's buffers alias it (see
+// searchScratch for the lifetime rules); nil allocates fresh, which is
+// required whenever several plans must be alive at once.
 type prunedScorer interface {
 	Scorer
-	plan(ix *Index, terms []string) (scorePlan, bool)
+	plan(ix *Index, terms []string, sc *searchScratch) (scorePlan, bool)
+}
+
+// queryTF folds the raw query terms into a term-frequency map plus the
+// sorted distinct-term list plan construction iterates — the one fold
+// both plan builders previously duplicated inline. With a scratch, the
+// map and term buffer are reused across queries instead of allocated
+// per plan.
+func queryTF(terms []string, sc *searchScratch) (map[string]float64, []string) {
+	var qtf map[string]float64
+	var sorted []string
+	if sc != nil {
+		clear(sc.qtf)
+		qtf, sorted = sc.qtf, sc.terms[:0]
+	} else {
+		qtf = make(map[string]float64, len(terms))
+	}
+	for _, t := range terms {
+		qtf[t]++
+	}
+	for t := range qtf {
+		sorted = append(sorted, t)
+	}
+	sort.Strings(sorted)
+	if sc != nil {
+		sc.terms = sorted
+	}
+	return qtf, sorted
+}
+
+// planBuf hands out the scratch's plan-term buffer (or nothing, for the
+// allocate-fresh path).
+func planBuf(sc *searchScratch) []planTerm {
+	if sc == nil {
+		return nil
+	}
+	return sc.plans[:0]
 }
 
 // plan implements prunedScorer for BM25.
-func (s BM25) plan(ix *Index, terms []string) (scorePlan, bool) {
+func (s BM25) plan(ix *Index, terms []string, sc *searchScratch) (scorePlan, bool) {
 	k1, b := s.params()
 	if !(k1 > 0) || b < 0 || b > 1 {
 		// Exotic shape parameters break the monotonicity (in tf up, in
@@ -119,12 +160,10 @@ func (s BM25) plan(ix *Index, terms []string) (scorePlan, bool) {
 	if avg == 0 {
 		return scorePlan{terms: nil, finalize: rawFinalize, boundFin: rawFinalize, rawFinal: true}, true
 	}
-	qtf := make(map[string]float64)
-	for _, t := range terms {
-		qtf[t]++
-	}
+	_, sorted := queryTF(terms, sc)
 	plan := scorePlan{finalize: rawFinalize, boundFin: rawFinalize, rawFinal: true, minDl: ix.minLiveLen}
-	for _, t := range sortedTerms(qtf) {
+	plan.terms = planBuf(sc)
+	for _, t := range sorted {
 		pl := ix.postings[t]
 		if pl == nil {
 			continue
@@ -145,21 +184,22 @@ func (s BM25) plan(ix *Index, terms []string) (scorePlan, bool) {
 		pt.ub = pt.bound(pl.maxTF, pl.minLen)
 		plan.terms = append(plan.terms, pt)
 	}
+	if sc != nil {
+		sc.plans = plan.terms
+	}
 	return plan, true
 }
 
 // plan implements prunedScorer for TFIDF.
-func (TFIDF) plan(ix *Index, terms []string) (scorePlan, bool) {
-	qtf := make(map[string]float64)
-	for _, t := range terms {
-		qtf[t]++
-	}
+func (TFIDF) plan(ix *Index, terms []string, sc *searchScratch) (scorePlan, bool) {
+	qtf, sorted := queryTF(terms, sc)
 	plan := scorePlan{
 		finalize: cosineFinalize,
 		boundFin: cosineFinalize,
 		minDl:    ix.minLiveLen,
 	}
-	for _, t := range sortedTerms(qtf) {
+	plan.terms = planBuf(sc)
+	for _, t := range sorted {
 		pl := ix.postings[t]
 		if pl == nil {
 			continue
@@ -194,6 +234,9 @@ func (TFIDF) plan(ix *Index, terms []string) (scorePlan, bool) {
 		pt.ub = pt.bound(pl.maxTF, pl.minLen)
 		plan.terms = append(plan.terms, pt)
 	}
+	if sc != nil {
+		sc.plans = plan.terms
+	}
 	return plan, true
 }
 
@@ -217,9 +260,16 @@ func cosineFinalize(raw, dl float64) float64 {
 // term-at-a-time scorer, so the results are bitwise identical to the
 // corresponding entries of Scorer.Score. locals must be sorted
 // ascending and deduplicated. Docs containing no plan term are absent
-// from the result, exactly as they are absent from Score's map.
-func scoreDocsPlanned(ix *Index, plan scorePlan, locals []int) map[int]float64 {
-	raw := make(map[int]float64, len(locals))
+// from the result, exactly as they are absent from Score's map. With a
+// scratch, the returned map aliases it and is valid only until release.
+func scoreDocsPlanned(ix *Index, plan scorePlan, locals []int, sc *searchScratch) map[int]float64 {
+	var raw map[int]float64
+	if sc != nil {
+		clear(sc.raw)
+		raw = sc.raw
+	} else {
+		raw = make(map[int]float64, len(locals))
+	}
 	for i := range plan.terms {
 		pt := &plan.terms[i]
 		c := newCursor(ix, ix.postings[pt.term])
@@ -265,9 +315,10 @@ type FinalHit struct {
 
 // scoreTopKPruned runs MaxScore retrieval for the plan and returns the
 // top k hits sorted best-first — identical to sorting the exhaustive
-// scorer's full output and truncating to k.
-func scoreTopKPruned(ix *Index, plan scorePlan, k int) []Hit {
-	fhits := scoreTopKBoosted(ix, plan, k, nil, 1)
+// scorer's full output and truncating to k. The result is a fresh
+// copy, so the caller may release the scratch immediately after.
+func scoreTopKPruned(ix *Index, plan scorePlan, k int, sc *searchScratch) []Hit {
+	fhits := scoreTopKBoosted(ix, plan, k, nil, 1, sc)
 	hits := make([]Hit, len(fhits))
 	for i, fh := range fhits {
 		hits[i] = Hit{Doc: fh.Doc, Name: fh.Name, Score: fh.Score}
@@ -275,12 +326,19 @@ func scoreTopKPruned(ix *Index, plan scorePlan, k int) []Hit {
 	return hits
 }
 
+// termCursor pairs a plan term with its posting cursor — the MaxScore
+// driver's per-list state.
+type termCursor struct {
+	pt  *planTerm
+	cur cursor
+}
+
 // scoreTopKBoosted is the MaxScore driver. With a nil booster it ranks
 // by raw IR score (ceil is ignored as 1); with a booster, candidates
 // are filtered by Include, scored exactly, mapped through Final, and
 // every pruning bound is stretched by ceil so it dominates any included
 // document's final score.
-func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil float64) []FinalHit {
+func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil float64, sc *searchScratch) []FinalHit {
 	// stretch maps an IR-score bound to a final-score bound: identity
 	// for plain retrieval, ×ceil (with inflation absorbing the changed
 	// association) for boosted retrieval.
@@ -290,17 +348,21 @@ func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil fl
 		}
 		return inflate(v * ceil)
 	}
-	type termCursor struct {
-		pt  *planTerm
-		cur cursor
+	var cursors []termCursor
+	if sc != nil {
+		cursors = sc.cursors[:0]
+	} else {
+		cursors = make([]termCursor, 0, len(plan.terms))
 	}
-	cursors := make([]termCursor, 0, len(plan.terms))
 	for i := range plan.terms {
 		pt := &plan.terms[i]
 		c := newCursor(ix, ix.postings[pt.term])
 		if !c.done {
 			cursors = append(cursors, termCursor{pt: pt, cur: c})
 		}
+	}
+	if sc != nil {
+		sc.cursors = cursors
 	}
 	if len(cursors) == 0 {
 		return []FinalHit{}
@@ -309,18 +371,31 @@ func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil fl
 	// order holds cursor indices sorted by list upper bound ascending
 	// (term asc on ties, for determinism); cum[i] is the float prefix
 	// sum of bounds over order[0..i].
-	order := make([]int, len(cursors))
+	var order []int
+	var cum, suffix []float64
+	if sc != nil {
+		order = grownInts(sc.order, len(cursors))
+		cum = grownF64s(sc.cum, len(cursors))
+		suffix = grownF64s(sc.suffix, len(cursors)+1)
+		sc.order, sc.cum, sc.suffix = order, cum, suffix
+	} else {
+		order = make([]int, len(cursors))
+		cum = make([]float64, len(cursors))
+		suffix = make([]float64, len(cursors)+1)
+	}
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := cursors[order[a]], cursors[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		ca, cb := cursors[a], cursors[b]
 		if ca.pt.ub != cb.pt.ub {
-			return ca.pt.ub < cb.pt.ub
+			if ca.pt.ub < cb.pt.ub {
+				return -1
+			}
+			return 1
 		}
-		return ca.pt.term < cb.pt.term
+		return strings.Compare(ca.pt.term, cb.pt.term)
 	})
-	cum := make([]float64, len(order))
 	for i, oi := range order {
 		cum[i] = cursors[oi].pt.ub
 		if i > 0 {
@@ -328,12 +403,15 @@ func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil fl
 		}
 	}
 	// suffix[i] bounds the total contribution of plan-order terms i..n.
-	suffix := make([]float64, len(cursors)+1)
+	suffix[len(cursors)] = 0
 	for i := len(cursors) - 1; i >= 0; i-- {
 		suffix[i] = cursors[i].pt.ub + suffix[i+1]
 	}
 
-	topk := newFinalTopK(k)
+	topk := finalTopK{k: k}
+	if sc != nil {
+		topk.h = sc.heap[:0]
+	}
 	theta := math.Inf(-1)
 	full := false
 	ness := 0 // cursors order[:ness] are non-essential under theta
@@ -422,7 +500,11 @@ func scoreTopKBoosted(ix *Index, plan scorePlan, k int, booster Booster, ceil fl
 			}
 		}
 	}
-	return topk.hits()
+	res := topk.hits()
+	if sc != nil {
+		sc.heap = res
+	}
+	return res
 }
 
 // finalTopK is a bounded min-heap of FinalHit with the (score desc,
@@ -431,8 +513,6 @@ type finalTopK struct {
 	k int
 	h []FinalHit
 }
-
-func newFinalTopK(k int) *finalTopK { return &finalTopK{k: k} }
 
 // finalLess orders worst-first: lower score, reverse-name tiebreak.
 func finalLess(a, b FinalHit) bool {
@@ -490,8 +570,20 @@ func (t *finalTopK) threshold() (float64, bool) {
 	return t.h[0].Score, true
 }
 
+// hits sorts the heap in place into best-first order and returns the
+// backing slice without copying — the allocation the per-query hot
+// path used to pay per call. The accumulator is spent afterwards (the
+// sort destroys the heap invariant): callers must not offer again, and
+// callers that hand the slice across a scratch release must copy first.
 func (t *finalTopK) hits() []FinalHit {
-	out := append([]FinalHit(nil), t.h...)
-	sort.Slice(out, func(i, j int) bool { return finalLess(out[j], out[i]) })
-	return out
+	slices.SortFunc(t.h, func(a, b FinalHit) int {
+		if finalLess(b, a) {
+			return -1
+		}
+		if finalLess(a, b) {
+			return 1
+		}
+		return 0
+	})
+	return t.h
 }

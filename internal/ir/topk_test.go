@@ -295,7 +295,7 @@ func TestPrunedFallbackTinyTFs(t *testing.T) {
 			Field{Text: "gamma"},
 		)
 	}
-	if _, ok := (TFIDF{}).plan(ix, []string{"alpha"}); ok {
+	if _, ok := (TFIDF{}).plan(ix, []string{"alpha"}, nil); ok {
 		t.Fatal("TFIDF plan accepted a list with tf < 1/e")
 	}
 	for _, scorer := range parityScorers {

@@ -53,6 +53,18 @@ type EngineState struct {
 	// dumped index slot-for-slot and installs these lists instead of
 	// re-deriving postings from Docs.
 	Postings [][]ir.TermPostings
+
+	// TrustedPostings marks Postings as already integrity-checked by the
+	// producer (the snapshot layer's checksums) and possibly aliasing a
+	// memory-mapped file: restore installs them with shape-only
+	// validation instead of the O(corpus) per-posting decode, which is
+	// what makes a mapped load O(metadata).
+	TrustedPostings bool
+	// PostingsOwner, when non-nil, owns the bytes Postings alias (a
+	// snapshot mapping). Restore anchors it to the index so the mapping
+	// stays mapped while any search can reach it; it is released by GC
+	// once every index epoch referencing it is gone.
+	PostingsOwner any
 }
 
 // DocState is one indexed qunit instance in dump form: the materialized
@@ -233,9 +245,18 @@ func RestoreEngine(db *relational.Database, st *EngineState) (*Engine, error) {
 			e.index.AddTombstone()
 		}
 		for i, lists := range st.Postings {
-			if err := e.index.ImportPostings(i, lists); err != nil {
+			var err error
+			if st.TrustedPostings {
+				err = e.index.ImportPostingsTrusted(i, lists)
+			} else {
+				err = e.index.ImportPostings(i, lists)
+			}
+			if err != nil {
 				return nil, fmt.Errorf("search: restoring shard %d postings: %w", i, err)
 			}
+		}
+		if st.PostingsOwner != nil {
+			e.index.Retain(st.PostingsOwner)
 		}
 	}
 	// A zero-instance state is valid: RemoveInstance can empty a live

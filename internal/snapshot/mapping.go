@@ -1,0 +1,88 @@
+package snapshot
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Mapping owns a read-only memory mapping of a snapshot file. An engine
+// restored from it serves posting blocks directly out of the mapped
+// bytes, so the Mapping must stay mapped as long as the engine — or any
+// search running against it — is reachable. Restore wires that up
+// automatically: the engine's index retains the Mapping (via
+// EngineState.PostingsOwner), so the GC cannot finalize it under a
+// live search, and once the last engine epoch referencing it is
+// collected (e.g. after Compact rebuilds heap-backed shards) the
+// finalizer unmaps it without any explicit bookkeeping.
+//
+// Close may be called explicitly only when the caller knows no engine
+// serves from the mapping (load-failure cleanup, tests).
+type Mapping struct {
+	data   []byte
+	closed atomic.Bool
+}
+
+// activeMappings counts live (not yet unmapped) mappings; test
+// instrumentation for the lifetime rules above.
+var activeMappings atomic.Int64
+
+func newMapping(data []byte) *Mapping {
+	m := &Mapping{data: data}
+	activeMappings.Add(1)
+	runtime.SetFinalizer(m, (*Mapping).Close)
+	return m
+}
+
+// Close unmaps the file. It is idempotent; the GC finalizer calls it
+// when the mapping becomes unreachable.
+func (m *Mapping) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	activeMappings.Add(-1)
+	data := m.data
+	m.data = nil
+	return munmapFile(data)
+}
+
+// ActiveMappings reports how many snapshot mappings are currently
+// mapped. Tests use it to assert that dropping an engine (plus a GC
+// cycle) releases its mapping.
+func ActiveMappings() int64 { return activeMappings.Load() }
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// little-endian — the byte order the v3 blob stores TFs in. On the
+// (rare) big-endian host the zero-copy float view is wrong, so loads
+// fall back to decoding copies.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64View reinterprets an 8-byte-aligned little-endian byte slice as
+// a []float64 without copying (len == cap, so any append reallocates
+// off the underlying bytes). ok is false when the host byte order or
+// the slice alignment makes the view invalid; callers then decode a
+// copy instead.
+func f64View(b []byte) ([]float64, bool) {
+	if len(b)%8 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// f64Bytes is the inverse view: the raw bytes backing a []float64.
+// Used to give the copy-mode blob buffer guaranteed 8-byte alignment.
+func f64Bytes(words []float64) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+}

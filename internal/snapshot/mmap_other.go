@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can serve snapshots via
+// memory mapping; without it every load takes the streaming copy path.
+const mmapSupported = false
+
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -9,9 +9,10 @@
 // A snapshot is one self-describing binary blob:
 //
 //	magic    4 bytes  "QSNP"
-//	version  uint16   little-endian format version (currently 2)
+//	version  uint16   little-endian format version (currently 3)
 //	payload  -        version-defined body (see below)
 //	checksum uint32   little-endian CRC-32C over magic+version+payload
+//	                  (version 3 excludes the posting blob — see below)
 //
 // The version-1 payload, in order: the scorer (kind byte + parameters),
 // the five scoring option weights, the synonym table, the shard count,
@@ -35,15 +36,42 @@
 // from the documents, reproducing the serving index — block boundaries,
 // tombstones, and block-max metadata included — bit for bit.
 //
+// The version-3 layout restructures the file so the posting payload is
+// directly servable via mmap:
+//
+//	magic     4 bytes   "QSNP"
+//	version   uint16    3, little-endian
+//	blobLen   uint64    posting-blob byte length, little-endian
+//	pad       2 bytes   zero (the blob starts at offset 16, 8-aligned)
+//	blob      blobLen   posting block payloads (below)
+//	metadata  -         blobCRC64, then the v1 payload, then the v2
+//	                    extras with per-block blob offsets instead of
+//	                    inline payloads
+//	checksum  uint32    CRC-32C over magic..pad + metadata (NOT the blob)
+//
+// The blob holds, for every posting block in shard/term/block order:
+// padding up to the next 8-byte boundary, the block's TFs as
+// contiguous little-endian IEEE-754 float64s, then its delta/varint
+// doc-id gap bytes verbatim. Block metadata (in the hashed metadata
+// section) stores each block's TF-region offset and gap-byte length;
+// the doc-gap region is implied at tfsOff + 8·N. Because every TF
+// region is 8-aligned, a loader may mmap the file and hand the ir
+// layer zero-copy float64 views of the mapped bytes; a streaming
+// loader instead copies the blob to one aligned heap buffer and
+// builds the same views over that. blobCRC64 is a CRC-64/ECMA over
+// the blob, verified on copy loads; mapped loads skip it (hashing the
+// whole blob would defeat O(1) boot) and trust the kernel to page in
+// exactly what was written.
+//
 // # Compatibility rules
 //
 //   - The magic never changes; anything else is ErrBadMagic.
-//   - A reader accepts exactly the versions it knows — currently 1 and
-//     2. A higher version is *FutureVersionError (upgrade the binary,
-//     not the snapshot); a version no longer supported fails the same
-//     way version 0 does. A v1 snapshot restores by replaying its
-//     documents (live documents compact into fresh slots; rankings are
-//     unaffected).
+//   - A reader accepts exactly the versions it knows — currently 1, 2
+//     and 3. A higher version is *FutureVersionError (upgrade the
+//     binary, not the snapshot); a version no longer supported fails
+//     the same way version 0 does. A v1 snapshot restores by replaying
+//     its documents (live documents compact into fresh slots; rankings
+//     are unaffected).
 //   - Any payload change bumps the version. There are no optional or
 //     skippable fields inside a version.
 //   - The checksum is verified before any decoded state is used.
@@ -60,6 +88,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -68,6 +97,7 @@ import (
 	"hash/crc64"
 	"io"
 	"math"
+	"os"
 	"sort"
 
 	"qunits/internal/ir"
@@ -76,7 +106,7 @@ import (
 )
 
 // FormatVersion is the snapshot format version this package writes.
-const FormatVersion = 2
+const FormatVersion = 3
 
 // minReadVersion is the oldest format version this package still loads.
 const minReadVersion = 1
@@ -158,15 +188,6 @@ const (
 	maxPrealloc  = 1 << 12 // elements preallocated per collection
 )
 
-// prealloc caps an untrusted element count down to a safe initial
-// slice capacity.
-func prealloc(n int) int {
-	if n > maxPrealloc {
-		return maxPrealloc
-	}
-	return n
-}
-
 // SaveEngine writes the engine's full state as one snapshot blob. The
 // engine keeps serving while the state is captured (a read-lock
 // snapshot); the write itself happens outside the engine lock.
@@ -199,6 +220,90 @@ func LoadEngine(r io.Reader, db *relational.Database) (*search.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return search.RestoreEngine(db, st)
+}
+
+// errNotMappable marks a snapshot file the mapped loader cannot serve
+// in place (pre-v3 version, or a host without usable mmap semantics);
+// LoadEngineFile falls back to the streaming path, which produces the
+// canonical error for genuinely bad files.
+var errNotMappable = errors.New("snapshot: not mappable")
+
+// LoadEngineFile loads a snapshot from a file, serving posting blocks
+// directly out of a read-only memory mapping when the platform and the
+// snapshot version (3+) allow it, and falling back to the streaming
+// LoadEngine otherwise. mapped reports which path was taken.
+//
+// A mapped load is O(metadata), not O(corpus): posting payloads are
+// never touched at load time, only paged in on first search. The
+// restored engine anchors the mapping for exactly as long as any
+// search can reach the mapped bytes (see Mapping); callers need no
+// explicit unmap.
+func LoadEngineFile(path string, db *relational.Database) (eng *search.Engine, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	if mmapSupported && hostLittleEndian {
+		eng, err := loadMapped(f, db)
+		if err == nil {
+			return eng, true, nil
+		}
+		if !errors.Is(err, errNotMappable) {
+			return nil, false, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, false, err
+		}
+	}
+	eng, err = LoadEngine(f, db)
+	return eng, false, err
+}
+
+// loadMapped maps the file and decodes it in place. The stream handed
+// to the decoder splices the blob region out (header + metadata only),
+// so the checksum machinery hashes exactly what the encoder hashed
+// while the posting payloads stay untouched.
+func loadMapped(f *os.File, db *relational.Database) (*search.Engine, error) {
+	data, err := mmapFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errNotMappable, err)
+	}
+	m := newMapping(data)
+	eng, err := restoreMapped(m, db)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+func restoreMapped(m *Mapping, db *relational.Database) (*search.Engine, error) {
+	data := m.data
+	if len(data) < 16 || [4]byte(data[:4]) != magic {
+		// Too short or not a snapshot: let the streaming path produce
+		// the canonical ErrTruncated/ErrBadMagic.
+		return nil, errNotMappable
+	}
+	if binary.LittleEndian.Uint16(data[4:6]) < 3 {
+		return nil, errNotMappable
+	}
+	blobLen := binary.LittleEndian.Uint64(data[6:14])
+	if blobLen > uint64(len(data)-16) {
+		return nil, fmt.Errorf("%w: %d-byte blob in %d-byte file", ErrTruncated, blobLen, len(data))
+	}
+	blobEnd := 16 + int(blobLen)
+	stream := io.MultiReader(bytes.NewReader(data[:16]), bytes.NewReader(data[blobEnd:]))
+	st, err := decodeStateCfg(stream, db, &decodeCfg{
+		mappedBlob: data[16:blobEnd:blobEnd],
+		limit:      int64(len(data) - int(blobLen)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.TrustedPostings = true
+	st.PostingsOwner = m
 	return search.RestoreEngine(db, st)
 }
 
@@ -251,6 +356,18 @@ func (e *encoder) write(p []byte) {
 	e.crc.Write(p)
 }
 
+// writeRaw writes bytes WITHOUT folding them into the trailing
+// checksum — only the v3 posting blob goes through here, which carries
+// its own CRC-64 so mapped loads can skip hashing it.
+func (e *encoder) writeRaw(p []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(p); err != nil {
+		e.err = err
+	}
+}
+
 func (e *encoder) uvarint(v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	e.write(buf[:binary.PutUvarint(buf[:], v)])
@@ -289,12 +406,74 @@ func encodeState(w io.Writer, db *relational.Database, st *search.EngineState) e
 // encodeStateAt writes the state at a specific format version. Only the
 // current version is written in production; older versions are kept
 // writable so upgrade-compatibility tests can mint genuine old blobs.
+// blobAlign is the alignment of every TF region in the v3 posting
+// blob — what lets a mapped load view TFs as []float64 in place.
+const blobAlign = 8
+
+// blobLayout walks the posting lists in encode order and returns the
+// blob's total length and each block's TF-region offset, both derived
+// purely arithmetically (the write pass must then produce exactly
+// these offsets).
+func blobLayout(postings [][]ir.TermPostings) (blobLen uint64, tfsOffs []uint64) {
+	var off uint64
+	for _, lists := range postings {
+		for _, tp := range lists {
+			for _, b := range tp.Blocks {
+				off = (off + blobAlign - 1) &^ (blobAlign - 1)
+				tfsOffs = append(tfsOffs, off)
+				off += uint64(len(b.TFs)) * 8
+				off += uint64(len(b.Docs))
+			}
+		}
+	}
+	return off, tfsOffs
+}
+
 func encodeStateAt(w io.Writer, db *relational.Database, st *search.EngineState, version uint16) error {
 	enc := &encoder{w: w, crc: crc32.New(crcTable)}
 	enc.write(magic[:])
 	var ver [2]byte
 	binary.LittleEndian.PutUint16(ver[:], version)
 	enc.write(ver[:])
+
+	var tfsOffs []uint64
+	if version >= 3 {
+		// Header tail: blob length + alignment pad, then the blob itself
+		// outside the trailing checksum, then its own CRC-64 opening the
+		// hashed metadata section.
+		blobLen, offs := blobLayout(st.Postings)
+		tfsOffs = offs
+		var hdr [10]byte
+		binary.LittleEndian.PutUint64(hdr[:8], blobLen)
+		enc.write(hdr[:])
+
+		bh := crc64.New(contentTable)
+		var off uint64
+		var padBuf [blobAlign]byte
+		var tfBuf [8]byte
+		for _, lists := range st.Postings {
+			for _, tp := range lists {
+				for _, b := range tp.Blocks {
+					if pad := (blobAlign - off%blobAlign) % blobAlign; pad > 0 {
+						enc.writeRaw(padBuf[:pad])
+						bh.Write(padBuf[:pad])
+						off += pad
+					}
+					for _, tf := range b.TFs {
+						binary.LittleEndian.PutUint64(tfBuf[:], math.Float64bits(tf))
+						enc.writeRaw(tfBuf[:])
+						bh.Write(tfBuf[:])
+					}
+					enc.writeRaw(b.Docs)
+					bh.Write(b.Docs)
+					off += uint64(len(b.TFs))*8 + uint64(len(b.Docs))
+				}
+			}
+		}
+		var bc [8]byte
+		binary.LittleEndian.PutUint64(bc[:], bh.Sum64())
+		enc.write(bc[:])
+	}
 
 	switch s := st.Options.Scorer.(type) {
 	case ir.BM25:
@@ -359,6 +538,7 @@ func encodeStateAt(w io.Writer, db *relational.Database, st *search.EngineState,
 			enc.uvarint(uint64(d.Slot))
 		}
 		enc.uvarint(uint64(len(st.Postings)))
+		blockIdx := 0
 		for _, lists := range st.Postings {
 			enc.uvarint(uint64(len(lists)))
 			for _, tp := range lists {
@@ -373,6 +553,18 @@ func encodeStateAt(w io.Writer, db *relational.Database, st *search.EngineState,
 					enc.uvarint(uint64(b.FirstDoc))
 					enc.uvarint(uint64(b.LastDoc))
 					enc.uvarint(uint64(b.N))
+					if version >= 3 {
+						// Payload lives in the blob; reference it. The
+						// uvarints lead and the floats trail so a bit flip
+						// in the file's final bytes lands in a float (a
+						// checksum-caught value change), never in a length.
+						enc.uvarint(tfsOffs[blockIdx])
+						enc.uvarint(uint64(len(b.Docs)))
+						blockIdx++
+						enc.f64(b.MaxTF)
+						enc.f64(b.MinLen)
+						continue
+					}
 					enc.f64(b.MaxTF)
 					enc.f64(b.MinLen)
 					enc.uvarint(uint64(len(b.Docs)))
@@ -406,14 +598,26 @@ type decoder struct {
 	raw *bufio.Reader
 	crc hash.Hash32
 	err error
+
+	// limit is the number of bytes the stream can still yield, when
+	// known (-1 otherwise). Length-measurable sources — bytes.Reader
+	// and friends via Len(), plus the mapped loader, which knows the
+	// file size — let the decoder refuse counts and preallocations
+	// that provably exceed the remaining bytes, so a corrupt huge
+	// count in a truncated file fails before allocating, not after.
+	limit int64
 }
 
 func newDecoder(r io.Reader) *decoder {
+	limit := int64(-1)
+	if l, ok := r.(interface{ Len() int }); ok {
+		limit = int64(l.Len())
+	}
 	raw := bufio.NewReader(r)
 	crc := crc32.New(crcTable)
 	// Tee after buffering: the checksum must cover exactly the bytes
 	// the decoder consumes, never the bufio read-ahead.
-	return &decoder{r: io.TeeReader(raw, crc), raw: raw, crc: crc}
+	return &decoder{r: io.TeeReader(raw, crc), raw: raw, crc: crc, limit: limit}
 }
 
 func (d *decoder) fail(err error) {
@@ -431,7 +635,27 @@ func (d *decoder) read(p []byte) {
 	}
 	if _, err := io.ReadFull(d.r, p); err != nil {
 		d.fail(err)
+		return
 	}
+	if d.limit >= 0 {
+		d.limit -= int64(len(p))
+	}
+}
+
+// prealloc caps an untrusted element count down to a safe initial
+// slice capacity: at most maxPrealloc elements, and never more than
+// the remaining stream bytes could possibly encode given a minimum
+// on-wire element size.
+func (d *decoder) prealloc(n, minElemSize int) int {
+	if n > maxPrealloc {
+		n = maxPrealloc
+	}
+	if d.limit >= 0 {
+		if rem := d.limit / int64(minElemSize); int64(n) > rem {
+			n = int(rem)
+		}
+	}
+	return n
 }
 
 func (d *decoder) byte() byte {
@@ -475,6 +699,10 @@ func (d *decoder) str() string {
 		d.fail(fmt.Errorf("%w: string length %d exceeds sanity cap", ErrCorrupt, n))
 		return ""
 	}
+	if d.limit >= 0 && int64(n) > d.limit {
+		d.fail(io.ErrUnexpectedEOF)
+		return ""
+	}
 	buf := make([]byte, n)
 	d.read(buf)
 	return string(buf)
@@ -490,9 +718,52 @@ func (d *decoder) bytes(what string) []byte {
 		d.fail(fmt.Errorf("%w: %s length %d exceeds sanity cap", ErrCorrupt, what, n))
 		return nil
 	}
+	if d.limit >= 0 && int64(n) > d.limit {
+		d.fail(io.ErrUnexpectedEOF)
+		return nil
+	}
 	buf := make([]byte, n)
 	d.read(buf)
 	return buf
+}
+
+// blobCopy reads n bytes from the raw (unhashed) stream into one
+// 8-byte-aligned heap buffer — the streaming stand-in for a mapping.
+// The buffer grows geometrically as bytes actually arrive, so a
+// corrupt huge n in a truncated file fails with ErrTruncated when the
+// stream runs dry instead of attempting the full allocation up front.
+func (d *decoder) blobCopy(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.limit >= 0 && int64(n) > d.limit {
+		d.fail(io.ErrUnexpectedEOF)
+		return nil
+	}
+	nWords := int((n + 7) / 8)
+	words := make([]float64, min(nWords, 1<<13)) // start at ≤64 KiB
+	got := 0
+	for uint64(got) < n {
+		if got == len(words)*8 {
+			grown := make([]float64, min(nWords, 2*len(words)))
+			copy(grown, words)
+			words = grown
+		}
+		chunk := f64Bytes(words)[got:min(len(words)*8, int(n))]
+		m, err := io.ReadFull(d.raw, chunk)
+		got += m
+		if d.limit >= 0 {
+			d.limit -= int64(m)
+		}
+		if err != nil {
+			d.fail(err)
+			return nil
+		}
+	}
+	if nWords == 0 {
+		return nil
+	}
+	return f64Bytes(words)[:n]
 }
 
 func (d *decoder) f64() float64 {
@@ -506,7 +777,7 @@ func (d *decoder) stringMap() map[string]string {
 	if n == 0 {
 		return nil
 	}
-	m := make(map[string]string, prealloc(n))
+	m := make(map[string]string, d.prealloc(n, 2))
 	for i := 0; i < n; i++ {
 		k := d.str()
 		m[k] = d.str()
@@ -515,7 +786,27 @@ func (d *decoder) stringMap() map[string]string {
 }
 
 func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, error) {
+	return decodeStateCfg(r, db, nil)
+}
+
+// decodeCfg alters how decodeStateCfg obtains the v3 posting blob.
+type decodeCfg struct {
+	// mappedBlob, when non-nil, is the snapshot's blob region served
+	// from a memory mapping; the stream then contains only header and
+	// metadata (the mapped loader splices the blob out), the blob's
+	// CRC-64 is NOT verified (the point of a mapped load is not to
+	// touch all of it), and decoded posting blocks alias the mapping.
+	mappedBlob []byte
+	// limit is the stream's byte count when the caller knows it better
+	// than the decoder can detect (mapped loads); 0 means autodetect.
+	limit int64
+}
+
+func decodeStateCfg(r io.Reader, db *relational.Database, cfg *decodeCfg) (*search.EngineState, error) {
 	dec := newDecoder(r)
+	if cfg != nil && cfg.limit > 0 {
+		dec.limit = cfg.limit
+	}
 	var m [4]byte
 	dec.read(m[:])
 	if dec.err != nil {
@@ -535,6 +826,39 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 	}
 	if version < minReadVersion {
 		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, version)
+	}
+
+	// v3: the header ends with the blob length, then the (unhashed)
+	// blob, then the hashed metadata opens with the blob's CRC-64.
+	var blob []byte
+	var blobLen uint64
+	mapped := cfg != nil && cfg.mappedBlob != nil
+	if version >= 3 {
+		var hdr [10]byte
+		dec.read(hdr[:])
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		blobLen = binary.LittleEndian.Uint64(hdr[:8])
+		if hdr[8] != 0 || hdr[9] != 0 {
+			return nil, fmt.Errorf("%w: nonzero header padding", ErrCorrupt)
+		}
+		if mapped {
+			if uint64(len(cfg.mappedBlob)) != blobLen {
+				return nil, fmt.Errorf("%w: mapped blob is %d bytes, header says %d", ErrCorrupt, len(cfg.mappedBlob), blobLen)
+			}
+			blob = cfg.mappedBlob
+		} else {
+			blob = dec.blobCopy(blobLen)
+		}
+		var bc [8]byte
+		dec.read(bc[:])
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if !mapped && crc64.Checksum(blob, contentTable) != binary.LittleEndian.Uint64(bc[:]) {
+			return nil, fmt.Errorf("%w: posting blob CRC-64 mismatch", ErrChecksum)
+		}
 	}
 
 	st := &search.EngineState{}
@@ -568,7 +892,7 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 
 	nDocs := dec.count("doc")
 	if dec.err == nil {
-		st.Docs = make([]search.DocState, 0, prealloc(nDocs))
+		st.Docs = make([]search.DocState, 0, dec.prealloc(nDocs, 16))
 	}
 	for i := 0; i < nDocs && dec.err == nil; i++ {
 		doc := search.DocState{
@@ -581,14 +905,14 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 		doc.Utility = dec.f64()
 		nTuples := dec.count("tuple")
 		if dec.err == nil && nTuples > 0 {
-			doc.Tuples = make([]relational.TupleRef, 0, prealloc(nTuples))
+			doc.Tuples = make([]relational.TupleRef, 0, dec.prealloc(nTuples, 2))
 			for j := 0; j < nTuples && dec.err == nil; j++ {
 				doc.Tuples = append(doc.Tuples, relational.TupleRef{Table: dec.str(), Row: int(dec.uvarint())})
 			}
 		}
 		nTerms := dec.count("term")
 		if dec.err == nil && nTerms > 0 {
-			doc.Terms.Terms = make([]ir.TermCount, 0, prealloc(nTerms))
+			doc.Terms.Terms = make([]ir.TermCount, 0, dec.prealloc(nTerms, 9))
 			for j := 0; j < nTerms && dec.err == nil; j++ {
 				doc.Terms.Terms = append(doc.Terms.Terms, ir.TermCount{Term: dec.str(), TF: dec.f64()})
 			}
@@ -623,11 +947,11 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 			return nil, fmt.Errorf("%w: %d postings shards for %d index shards", ErrCorrupt, nShardLists, st.Shards)
 		}
 		if dec.err == nil {
-			st.Postings = make([][]ir.TermPostings, 0, prealloc(nShardLists))
+			st.Postings = make([][]ir.TermPostings, 0, dec.prealloc(nShardLists, 1))
 		}
 		for si := 0; si < nShardLists && dec.err == nil; si++ {
 			nTerms := dec.count("postings term")
-			lists := make([]ir.TermPostings, 0, prealloc(nTerms))
+			lists := make([]ir.TermPostings, 0, dec.prealloc(nTerms, 16))
 			for ti := 0; ti < nTerms && dec.err == nil; ti++ {
 				tp := ir.TermPostings{
 					Term:    dec.str(),
@@ -638,21 +962,62 @@ func decodeState(r io.Reader, db *relational.Database) (*search.EngineState, err
 					LastDoc: int(dec.uvarint()),
 				}
 				nBlocks := dec.count("postings block")
-				tp.Blocks = make([]ir.PostingBlock, 0, prealloc(nBlocks))
+				tp.Blocks = make([]ir.PostingBlock, 0, dec.prealloc(nBlocks, 16))
 				for bi := 0; bi < nBlocks && dec.err == nil; bi++ {
 					b := ir.PostingBlock{
 						FirstDoc: int(dec.uvarint()),
 						LastDoc:  int(dec.uvarint()),
 						N:        int(dec.uvarint()),
-						MaxTF:    dec.f64(),
-						MinLen:   dec.f64(),
 					}
+					if version >= 3 {
+						tfsOff := dec.uvarint()
+						docsLen := dec.uvarint()
+						b.MaxTF = dec.f64()
+						b.MinLen = dec.f64()
+						if dec.err != nil {
+							break
+						}
+						if b.N < 1 || b.N > maxCount {
+							return nil, fmt.Errorf("%w: postings block of %d entries", ErrCorrupt, b.N)
+						}
+						// The block's payload is a [tfsOff, tfsOff+8N)
+						// float region followed by docsLen gap bytes; both
+						// must fall inside the blob, and the float region
+						// must keep the encoder's 8-byte alignment.
+						if tfsOff%blobAlign != 0 || tfsOff > blobLen || uint64(b.N)*8 > blobLen-tfsOff {
+							return nil, fmt.Errorf("%w: postings TF region [%d, +%d×8) outside %d-byte blob", ErrCorrupt, tfsOff, b.N, blobLen)
+						}
+						docsOff := tfsOff + uint64(b.N)*8
+						if docsLen > blobLen-docsOff {
+							return nil, fmt.Errorf("%w: postings gap region [%d, +%d) outside %d-byte blob", ErrCorrupt, docsOff, docsLen, blobLen)
+						}
+						// Full slice expressions force len == cap so any
+						// later append (index mutation) reallocates to the
+						// heap instead of writing through the blob.
+						tfBytes := blob[tfsOff:docsOff:docsOff]
+						if tfs, ok := f64View(tfBytes); ok {
+							b.TFs = tfs
+						} else {
+							// Big-endian host (or an unaligned copy buffer,
+							// which f64Bytes-backed buffers never are):
+							// decode a heap copy.
+							b.TFs = make([]float64, b.N)
+							for i := range b.TFs {
+								b.TFs[i] = math.Float64frombits(binary.LittleEndian.Uint64(tfBytes[i*8:]))
+							}
+						}
+						b.Docs = blob[docsOff : docsOff+docsLen : docsOff+docsLen]
+						tp.Blocks = append(tp.Blocks, b)
+						continue
+					}
+					b.MaxTF = dec.f64()
+					b.MinLen = dec.f64()
 					b.Docs = dec.bytes("postings gaps")
 					if dec.err == nil && (b.N < 1 || b.N > maxCount) {
 						return nil, fmt.Errorf("%w: postings block of %d entries", ErrCorrupt, b.N)
 					}
 					if dec.err == nil {
-						b.TFs = make([]float64, 0, prealloc(b.N))
+						b.TFs = make([]float64, 0, dec.prealloc(b.N, 8))
 						for i := 0; i < b.N && dec.err == nil; i++ {
 							b.TFs = append(b.TFs, dec.f64())
 						}

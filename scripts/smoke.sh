@@ -4,7 +4,10 @@
 # explain + error envelope), /v1/feedback, /v1/instances/{id}, and the
 # legacy /search alias — then the snapshot cycle: add an instance over
 # /v1, snapshot via SIGTERM, restart from the snapshot, and assert the
-# added instance is still searchable — then the compaction cycle:
+# added instance is still searchable — then the mmap cycle: snapshot a
+# synth corpus, reboot with -mmap, and require the mapped path to
+# engage, serve byte-identical search responses, accept live mutations,
+# and boot far under the fresh-build time — then the compaction cycle:
 # accumulate tombstones over /v1/instances, POST /v1/compact while a
 # background search loop keeps hitting the server, and assert /stats
 # reclamation plus unchanged results — then the cluster cycle: boot a
@@ -13,7 +16,8 @@
 # searches, a live instance add, feedback, and a compaction through
 # both stacks, and diff the scrubbed /v1 responses byte for byte. It is
 # the CI smoke test: `make smoke` runs the basic flow, `make
-# snapshot-smoke` the snapshot flow, `make compact-smoke` the
+# snapshot-smoke` the snapshot flow, `make mmap-smoke` the mmap flow,
+# `make compact-smoke` the
 # compact-under-load flow, `make cluster-smoke` the cluster flow,
 # `make loadgen-smoke` the load-generator flow (cmd/loadgen against a
 # synth corpus, single node and cluster, gated by benchcheck -load),
@@ -23,12 +27,12 @@
 # byte-identical), `scripts/smoke.sh all` everything. Fast, hermetic,
 # and loud on failure.
 #
-# Usage: smoke.sh [basic|snapshot|compact|cluster|loadgen|eval|all]   (default: all)
+# Usage: smoke.sh [basic|snapshot|mmap|compact|cluster|loadgen|eval|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
-case "$MODE" in basic|snapshot|compact|cluster|loadgen|eval|all) ;; *)
-    echo "smoke: unknown mode $MODE (want basic|snapshot|compact|cluster|loadgen|eval|all)" >&2; exit 2 ;;
+case "$MODE" in basic|snapshot|mmap|compact|cluster|loadgen|eval|all) ;; *)
+    echo "smoke: unknown mode $MODE (want basic|snapshot|mmap|compact|cluster|loadgen|eval|all)" >&2; exit 2 ;;
 esac
 
 # pick_ports N: print N distinct free TCP ports, one per line. All N
@@ -88,6 +92,41 @@ fail() {
 # images; avoids a jq dependency).
 jsonget() {
     python3 -c 'import json,sys; d=json.load(sys.stdin); print(eval(sys.argv[1], {"d": d}))' "$1"
+}
+
+# scrub: drop took_us everywhere and re-serialize with sorted keys, so
+# two responses that differ only in timing compare equal. Shared by the
+# mmap parity diff and the cluster byte-for-byte diff.
+scrub() {
+    python3 -c '
+import json, sys
+def walk(x):
+    if isinstance(x, dict):
+        x.pop("took_us", None)
+        for v in x.values(): walk(v)
+    elif isinstance(x, list):
+        for v in x: walk(v)
+d = json.load(sys.stdin); walk(d); print(json.dumps(d, sort_keys=True))'
+}
+
+# boot_secs PATTERN: parse the Go duration ("123ms", "1.2s", ...) out of
+# the first log line matching PATTERN and print it as seconds.
+boot_secs() {
+    python3 -c '
+import re, sys
+for line in open(sys.argv[2]):
+    if re.search(sys.argv[1], line):
+        units = {"h": 3600, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "m": 60, "s": 1}
+        total = 0.0
+        m = re.search(r" in ([0-9.a-zµ]+) ", line)
+        if not m:
+            continue
+        for num, unit in re.findall(r"([0-9.]+)(h|ms|µs|us|ns|m|s)", m.group(1)):
+            total += float(num) * units.get(unit.replace("µs", "us"), 1e-6)
+        print("%.6f" % total)
+        sys.exit(0)
+sys.exit(1)
+' "$1" "$LOG"
 }
 
 # start_server EXTRA_FLAGS…: boot qunitsd and wait for /healthz.
@@ -199,6 +238,68 @@ if [ "$MODE" = "snapshot" ] || [ "$MODE" = "all" ]; then
     stop_server
 fi
 
+if [ "$MODE" = "mmap" ] || [ "$MODE" = "all" ]; then
+    # The mmap flow proves the tentpole end to end: build a snapshot of
+    # a synth corpus, reboot from it with and without -mmap, and require
+    # (a) the mapped path actually engages, (b) scrubbed /v1/search
+    # bytes are identical between the copying and mapped engines, and
+    # (c) the mapped boot is O(snapshot-load), far below the fresh
+    # build — the page-in work the mapping defers. The cache is off so
+    # every diffed response really comes from the engine.
+    MFLAGS="-instances 8000 -cache -1"
+    rm -f "$SNAP" # the snapshot flow may have left its (smaller) snapshot here
+
+    echo "smoke: fresh build on an 8000-instance synth corpus (writes snapshot)"
+    # shellcheck disable=SC2086
+    start_server -snapshot "$SNAP" $MFLAGS
+    BUILD_SECS=$(boot_secs "engine ready in") || fail "no engine-ready log line"
+    stop_server
+    grep -q "snapshot written" "$LOG" || fail "no snapshot-written log line"
+    [ -s "$SNAP" ] || fail "snapshot file missing or empty"
+
+    mmap_probe() {
+        curl -fsS -d '{"query":"star wars cast","k":5}' "$BASE/v1/search" | scrub &&
+        curl -fsS -d '{"query":"george clooney","k":10,"explain":true}' "$BASE/v1/search" | scrub &&
+        curl -fsS -d '{"queries":[{"query":"star wars","k":4},{"query":"summary keywords","k":3}]}' "$BASE/v1/search" | scrub
+    }
+
+    echo "smoke: copying restart from the snapshot"
+    # shellcheck disable=SC2086
+    start_server -snapshot "$SNAP" $MFLAGS
+    grep -q "loaded from snapshot" "$LOG" || fail "copying restart did not load the snapshot"
+    COPY_OUT=$(mmap_probe) || fail "copying-engine probe searches failed"
+    stop_server
+
+    echo "smoke: mapped restart from the snapshot (-mmap)"
+    # shellcheck disable=SC2086
+    start_server -snapshot "$SNAP" $MFLAGS -mmap
+    grep -q "loaded from mapped snapshot" "$LOG" || fail "-mmap did not take the mapped path"
+    MAP_SECS=$(boot_secs "loaded from mapped snapshot") || fail "no mapped-boot log line"
+
+    echo "smoke: mapped engine serves byte-identical search responses"
+    MAP_OUT=$(mmap_probe) || fail "mapped-engine probe searches failed"
+    [ "$COPY_OUT" = "$MAP_OUT" ] || fail "mapped responses differ from copying responses
+copy: $COPY_OUT
+mmap: $MAP_OUT"
+
+    echo "smoke: mapped engine accepts live mutations (copy-on-write)"
+    OUT=$(curl -fsS -d '{"definition":"movie-cast","anchor":"mmap smoke qunit"}' "$BASE/v1/instances")
+    echo "$OUT" | jsonget 'd["id"]' | grep -qx 'movie-cast:mmap smoke qunit' || fail "instance create on mapped engine: $OUT"
+    OUT=$(curl -fsS -d '{"query":"mmap smoke qunit","k":3}' "$BASE/v1/search")
+    echo "$OUT" | jsonget 'd["results"][0]["id"]' | grep -qx 'movie-cast:mmap smoke qunit' || fail "search after add on mapped engine: $OUT"
+    stop_server
+
+    # The O(1)-boot gate: a mapped boot skips derivation, indexing, and
+    # the posting-blob copy, so it must come in well under the fresh
+    # build of the same corpus (typical ratio is ~0.45 at this scale,
+    # where per-instance metadata decode dominates; the blob-copy
+    # saving grows with the corpus). The 0.7 bound catches the mapped
+    # path silently degrading into a rebuild, not CI jitter.
+    echo "smoke: mapped boot ${MAP_SECS}s vs fresh build ${BUILD_SECS}s"
+    awk -v m="$MAP_SECS" -v b="$BUILD_SECS" 'BEGIN { exit (m + 0 < b * 0.7) ? 0 : 1 }' \
+        || fail "mapped boot ${MAP_SECS}s is not well under the fresh build ${BUILD_SECS}s"
+fi
+
 if [ "$MODE" = "compact" ] || [ "$MODE" = "all" ]; then
     echo "smoke: starting qunitsd with -compact-ratio"
     start_server -compact-ratio 0.5
@@ -282,20 +383,6 @@ if [ "$MODE" = "cluster" ] || [ "$MODE" = "all" ]; then
             [ "$i" -gt 100 ] && cluster_fail "$name did not become healthy"
             sleep 0.2
         done
-    }
-
-    # scrub: drop took_us everywhere and re-serialize with sorted keys,
-    # so two responses that differ only in timing compare equal.
-    scrub() {
-        python3 -c '
-import json, sys
-def walk(x):
-    if isinstance(x, dict):
-        x.pop("took_us", None)
-        for v in x.values(): walk(v)
-    elif isinstance(x, list):
-        for v in x: walk(v)
-d = json.load(sys.stdin); walk(d); print(json.dumps(d, sort_keys=True))'
     }
 
     # diff_post LABEL SINGLE_URL CLUSTER_URL BODY: drive one POST
